@@ -1,0 +1,94 @@
+// Ablation — field-semantics recovery (§IV-C): keyword dictionary vs plain
+// TextCNN vs attention+TextCNN, measured against synthesizer ground truth
+// on a held-out slice set.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "support/strings.h"
+#include "nlp/trainer.h"
+
+namespace {
+
+using namespace firmres;
+
+double truth_accuracy_keyword(const std::vector<nlp::LabeledSlice>& slices) {
+  int correct = 0;
+  for (const nlp::LabeledSlice& s : slices)
+    correct += fw::keyword_label(s.text) == s.truth ? 1 : 0;
+  return slices.empty() ? 0.0
+                        : static_cast<double>(correct) /
+                              static_cast<double>(slices.size());
+}
+
+nlp::Dataset g_dataset;
+
+void print_ablation() {
+  nlp::DatasetConfig dc;
+  dc.num_devices = 24;
+  g_dataset = nlp::build_dataset(dc);
+
+  nlp::TrainConfig tc;
+  tc.epochs = 3;
+
+  nlp::ModelConfig with_attention;
+  nlp::ModelConfig without_attention;
+  without_attention.use_attention = false;
+
+  const auto attn = nlp::train_classifier(g_dataset, with_attention, tc);
+  const auto plain = nlp::train_classifier(g_dataset, without_attention, tc);
+
+  std::printf("ABLATION: FIELD SEMANTICS RECOVERY (§IV-C)\n");
+  bench::print_rule();
+  std::printf("%-36s %-18s %-18s\n", "model", "test acc (labels)",
+              "test acc (truth)");
+  bench::print_rule();
+  std::printf("%-36s %-18s %-18s\n", "keyword dictionary (auto-labeler)",
+              "-",
+              support::format("%.2f%%",
+                              100 * truth_accuracy_keyword(g_dataset.test))
+                  .c_str());
+  std::printf(
+      "%-36s %-18s %-18s\n", "TextCNN (no attention)",
+      support::format("%.2f%%",
+                      100 * nlp::evaluate_labels(*plain, g_dataset.test)
+                                .accuracy())
+          .c_str(),
+      support::format("%.2f%%",
+                      100 * nlp::evaluate_truth(*plain, g_dataset.test)
+                                .accuracy())
+          .c_str());
+  std::printf(
+      "%-36s %-18s %-18s\n", "attention + TextCNN (full)",
+      support::format("%.2f%%",
+                      100 * nlp::evaluate_labels(*attn, g_dataset.test)
+                                .accuracy())
+          .c_str(),
+      support::format("%.2f%%",
+                      100 * nlp::evaluate_truth(*attn, g_dataset.test)
+                                .accuracy())
+          .c_str());
+  bench::print_rule();
+  std::printf(
+      "The learned models absorb contextual cues (call chains, store keys) "
+      "the dictionary cannot;\nattention supplies the global context the "
+      "paper attributes to its BERT stage.\n\n");
+}
+
+void BM_KeywordClassify(benchmark::State& state) {
+  const std::string slice =
+      g_dataset.test.empty() ? "CALL nvram_get mac" : g_dataset.test[0].text;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fw::keyword_label(slice));
+  }
+}
+BENCHMARK(BM_KeywordClassify);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  firmres::support::set_log_level(firmres::support::LogLevel::Warn);
+  print_ablation();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,87 @@
+// §V-C — "Field Semantic Recovery": builds the auto-labeled slice dataset,
+// trains the attention-TextCNN classifier, and reports accuracy against the
+// paper's figures (92.23 % validation / 91.74 % test on 30,941 slices).
+//
+// Environment knobs (so CI stays fast while a full run is reachable):
+//   FIRMRES_DATASET_DEVICES (default 40)
+//   FIRMRES_TRAIN_EPOCHS    (default 4)
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+
+#include "bench_util.h"
+#include "nlp/trainer.h"
+
+namespace {
+
+using namespace firmres;
+
+int env_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atoi(v) : fallback;
+}
+
+std::unique_ptr<nlp::SliceClassifier> g_model;
+nlp::Dataset g_dataset;
+
+void train_and_report() {
+  nlp::DatasetConfig dc;
+  dc.num_devices = env_int("FIRMRES_DATASET_DEVICES", 40);
+  g_dataset = nlp::build_dataset(dc);
+  std::printf("FIELD SEMANTIC RECOVERY (BERT-TextCNN stand-in)\n");
+  bench::print_rule();
+  std::printf(
+      "dataset: %zu slices from %d pseudo-devices (train %zu / val %zu / "
+      "test %zu, 7:2:1)   (paper: 30,941 slices from 547 executables)\n",
+      g_dataset.total(), dc.num_devices, g_dataset.train.size(),
+      g_dataset.val.size(), g_dataset.test.size());
+  std::printf("label review agreement with ground truth: %.2f%%\n",
+              100 * nlp::label_agreement(g_dataset.train));
+
+  nlp::TrainConfig tc;
+  tc.epochs = env_int("FIRMRES_TRAIN_EPOCHS", 4);
+  nlp::ModelConfig mc;
+  g_model = nlp::train_classifier(g_dataset, mc, tc);
+  std::printf("model: %zu parameters, vocab %d, %d epochs\n",
+              g_model->parameter_count(), g_model->vocab().size(), tc.epochs);
+
+  const auto val = nlp::evaluate_labels(*g_model, g_dataset.val);
+  const auto test = nlp::evaluate_labels(*g_model, g_dataset.test);
+  const auto truth = nlp::evaluate_truth(*g_model, g_dataset.test);
+  std::printf(
+      "validation accuracy: %.2f%%   (paper: 92.23%%)\n"
+      "test accuracy:       %.2f%%   (paper: 91.74%%)\n"
+      "accuracy vs ground truth (test): %.2f%%\n\n",
+      100 * val.accuracy(), 100 * test.accuracy(), 100 * truth.accuracy());
+}
+
+void BM_ClassifySlice(benchmark::State& state) {
+  const std::string slice = g_dataset.test.empty()
+                                ? std::string("CALL nvram_get mac")
+                                : g_dataset.test.front().text;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g_model->classify(slice));
+  }
+}
+BENCHMARK(BM_ClassifySlice);
+
+void BM_TrainExample(benchmark::State& state) {
+  const auto& example = g_dataset.train.front();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        g_model->train_example(example.text, example.label));
+  }
+  g_model->apply_gradients(0.0f);  // discard accumulated grads
+}
+BENCHMARK(BM_TrainExample);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  firmres::support::set_log_level(firmres::support::LogLevel::Warn);
+  train_and_report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  g_model.reset();
+  return 0;
+}

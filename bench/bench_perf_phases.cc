@@ -1,0 +1,106 @@
+// §V-E — "Performance of FIRMRES": per-device wall-clock and per-phase
+// breakdown, side by side with the paper's measurements.
+//
+// Paper (Ghidra on real MIPS/ARM binaries, i5/8 GB): 154 s – 1472 s per
+// firmware; phase split 37.67 / 43.83 / 3.71 / 9.96 / 4.81 %. Our substrate
+// analyzes pre-lifted IR, so absolute times are ms-scale and the split
+// shifts toward the reconstruction stages (see EXPERIMENTS.md).
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace firmres;
+
+void print_perf() {
+  const core::KeywordModel model;
+  const bench::CorpusRun run = bench::run_corpus(model);
+
+  std::printf("PERFORMANCE OF FIRMRES (per firmware image)\n");
+  bench::print_rule();
+  std::printf("%-6s %-10s | %-9s %-9s %-9s %-9s %-9s\n", "Device",
+              "total(ms)", "pinpoint", "fields", "semantics", "concat",
+              "check");
+  bench::print_rule();
+  double min_t = 1e9, max_t = 0;
+  core::PhaseTimings sum;
+  for (const auto& a : run.analyses) {
+    if (a.device_cloud_executable.empty()) continue;
+    const auto& t = a.timings;
+    min_t = std::min(min_t, t.total_s());
+    max_t = std::max(max_t, t.total_s());
+    sum.pinpoint_s += t.pinpoint_s;
+    sum.fields_s += t.fields_s;
+    sum.semantics_s += t.semantics_s;
+    sum.concat_s += t.concat_s;
+    sum.check_s += t.check_s;
+    std::printf("%-6d %-10.2f | %-9.2f %-9.2f %-9.2f %-9.2f %-9.2f\n",
+                a.device_id, 1e3 * t.total_s(), 1e3 * t.pinpoint_s,
+                1e3 * t.fields_s, 1e3 * t.semantics_s, 1e3 * t.concat_s,
+                1e3 * t.check_s);
+  }
+  bench::print_rule();
+  const double total = sum.total_s();
+  std::printf(
+      "fastest firmware: %.2f ms   slowest: %.2f ms   (paper: 154 s / 1472 "
+      "s on Ghidra-lifted binaries)\n",
+      1e3 * min_t, 1e3 * max_t);
+  std::printf(
+      "phase split (measured):  pinpoint %.2f%%  fields %.2f%%  semantics "
+      "%.2f%%  concat %.2f%%  check %.2f%%\n",
+      100 * sum.pinpoint_s / total, 100 * sum.fields_s / total,
+      100 * sum.semantics_s / total, 100 * sum.concat_s / total,
+      100 * sum.check_s / total);
+  std::printf(
+      "phase split (paper):     pinpoint 37.67%%  fields 43.83%%  semantics "
+      "3.71%%  concat 9.96%%  check 4.81%%\n\n");
+}
+
+void BM_PhasePinpoint(benchmark::State& state) {
+  const auto image = fw::synthesize(fw::profile_by_id(14));
+  const core::ExecutableIdentifier identifier;
+  const auto execs = image.executables();
+  for (auto _ : state) {
+    for (const ir::Program* p : execs)
+      benchmark::DoNotOptimize(identifier.analyze(*p));
+  }
+}
+BENCHMARK(BM_PhasePinpoint);
+
+void BM_PhaseTaint(benchmark::State& state) {
+  const auto image = fw::synthesize(fw::profile_by_id(14));
+  const auto* exec = image.file(image.truth.device_cloud_executable);
+  const analysis::CallGraph cg(*exec->program);
+  const core::MftBuilder builder(*exec->program, cg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(builder.build_all());
+  }
+}
+BENCHMARK(BM_PhaseTaint);
+
+void BM_PhaseReconstruct(benchmark::State& state) {
+  static const core::KeywordModel model;
+  const auto image = fw::synthesize(fw::profile_by_id(14));
+  const auto* exec = image.file(image.truth.device_cloud_executable);
+  const analysis::CallGraph cg(*exec->program);
+  const core::MftBuilder builder(*exec->program, cg);
+  const auto mfts = builder.build_all();
+  const core::Reconstructor reconstructor(model);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reconstructor.reconstruct(mfts, exec->path));
+  }
+}
+BENCHMARK(BM_PhaseReconstruct);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  firmres::support::set_log_level(firmres::support::LogLevel::Warn);
+  print_perf();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Table II — "Overall Results of Message Reconstruction": per-device
+// message/field identification, validity, clustering thresholds, and
+// semantics accuracy; benchmarks the per-device pipeline.
+//
+// Paper totals for comparison: 281 identified / 246 valid messages,
+// 2019 identified / 1785 confirmed fields (88.41 %), 1641 accurate
+// semantics (91.93 %).
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+
+#include "bench_util.h"
+#include "nlp/trainer.h"
+
+namespace {
+
+using namespace firmres;
+
+void print_table2() {
+  const core::KeywordModel model;
+  const bench::CorpusRun run = bench::run_corpus(model);
+
+  std::printf("TABLE II: OVERALL RESULTS OF MESSAGE RECONSTRUCTION\n");
+  bench::print_rule();
+  std::printf("%-6s | %-11s %-6s | %-11s %-10s | %-7s %-7s %-7s | %-9s\n",
+              "Device", "#Identified", "#Valid", "#IdFields", "#Confirmed",
+              "thd=0.5", "thd=0.6", "thd=0.7", "#Accurate");
+  bench::print_rule();
+
+  std::vector<cloudsim::Table2Row> rows;
+  for (std::size_t i = 0; i < run.corpus.size(); ++i) {
+    if (run.corpus[i].profile.script_based) continue;
+    rows.push_back(
+        cloudsim::evaluate_device(run.analyses[i], run.corpus[i], run.net));
+    const auto& r = rows.back();
+    std::printf("%-6d | %-11d %-6d | %-11d %-10d | %-7s %-7s %-7s | %-9d\n",
+                r.device_id, r.identified_msgs, r.valid_msgs,
+                r.identified_fields, r.confirmed_fields,
+                bench::fmt_cluster(r.clusters[0]).c_str(),
+                bench::fmt_cluster(r.clusters[1]).c_str(),
+                bench::fmt_cluster(r.clusters[2]).c_str(),
+                r.accurate_semantics);
+  }
+  bench::print_rule();
+  const auto totals = cloudsim::total_rows(rows);
+  std::printf("%-6s | %-11d %-6d | %-11d %-10d | %-23s | %-9d\n", "Total",
+              totals.sum.identified_msgs, totals.sum.valid_msgs,
+              totals.sum.identified_fields, totals.sum.confirmed_fields, "",
+              totals.sum.accurate_semantics);
+  std::printf(
+      "field identification accuracy: %.2f%%   (paper: 88.41%%)\n"
+      "semantics recovery accuracy:   %.2f%%   (paper: 91.93%%)\n"
+      "message validity:              %d/%d = %.2f%%   (paper: 246/281 = "
+      "87.54%%)\n\n",
+      100 * totals.field_accuracy, 100 * totals.semantics_accuracy,
+      totals.sum.valid_msgs, totals.sum.identified_msgs,
+      100.0 * totals.sum.valid_msgs / totals.sum.identified_msgs);
+}
+
+// FIRMRES_NEURAL=1 re-runs the corpus with a freshly trained neural
+// classifier and reports the end-to-end semantics accuracy next to the
+// dictionary model's (the paper's configuration uses the learned model).
+void maybe_neural_pass() {
+  const char* flag = std::getenv("FIRMRES_NEURAL");
+  if (flag == nullptr || flag[0] == '0') return;
+  nlp::DatasetConfig dc;
+  dc.num_devices = 30;
+  const nlp::Dataset dataset = nlp::build_dataset(dc);
+  nlp::TrainConfig tc;
+  tc.epochs = 3;
+  const auto model = nlp::train_classifier(dataset, nlp::ModelConfig{}, tc);
+  const bench::CorpusRun run = bench::run_corpus(*model);
+  std::vector<cloudsim::Table2Row> rows;
+  for (std::size_t i = 0; i < run.corpus.size(); ++i) {
+    if (run.corpus[i].profile.script_based) continue;
+    rows.push_back(
+        cloudsim::evaluate_device(run.analyses[i], run.corpus[i], run.net));
+  }
+  const auto totals = cloudsim::total_rows(rows);
+  std::printf(
+      "with trained neural model: semantics accuracy %.2f%% over %d "
+      "confirmed fields (paper: 91.93%%)\n\n",
+      100 * totals.semantics_accuracy, totals.sum.confirmed_fields);
+}
+
+void BM_PipelinePerDevice(benchmark::State& state) {
+  static const core::KeywordModel model;
+  const auto image =
+      fw::synthesize(fw::profile_by_id(static_cast<int>(state.range(0))));
+  const core::Pipeline pipeline(model);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pipeline.analyze(image));
+  }
+}
+BENCHMARK(BM_PipelinePerDevice)->Arg(5)->Arg(11)->Arg(14)->Arg(17);
+
+void BM_EvaluateDevice(benchmark::State& state) {
+  static const core::KeywordModel model;
+  const auto image = fw::synthesize(fw::profile_by_id(14));
+  cloudsim::CloudNetwork net;
+  net.enroll(image);
+  const auto analysis = core::Pipeline(model).analyze(image);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cloudsim::evaluate_device(analysis, image, net));
+  }
+}
+BENCHMARK(BM_EvaluateDevice);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  firmres::support::set_log_level(firmres::support::LogLevel::Warn);
+  print_table2();
+  maybe_neural_pass();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Shared helpers for the reproduction benches: corpus setup, pipeline runs,
+// and table formatting. Every bench binary prints its paper artifact
+// (table/figure rows) to stdout, then runs its google-benchmark timings.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cloud/evaluation.h"
+#include "cloud/vuln_hunter.h"
+#include "core/pipeline.h"
+#include "firmware/synthesizer.h"
+#include "support/logging.h"
+
+namespace firmres::bench {
+
+struct CorpusRun {
+  std::vector<fw::FirmwareImage> corpus;
+  cloudsim::CloudNetwork net;
+  std::vector<core::DeviceAnalysis> analyses;
+};
+
+/// Synthesize + analyze the full Table I corpus with the given model.
+inline CorpusRun run_corpus(const core::SemanticsModel& model) {
+  support::set_log_level(support::LogLevel::Warn);
+  CorpusRun run;
+  run.corpus = fw::synthesize_corpus();
+  for (const auto& image : run.corpus) run.net.enroll(image);
+  const core::Pipeline pipeline(model);
+  for (const auto& image : run.corpus)
+    run.analyses.push_back(pipeline.analyze(image));
+  return run;
+}
+
+inline std::string fmt_cluster(const std::optional<int>& c) {
+  return c.has_value() ? std::to_string(*c) : "-";
+}
+
+inline void print_rule(int width = 100) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace firmres::bench

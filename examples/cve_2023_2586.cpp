@@ -1,0 +1,89 @@
+// The paper's running example (§III-A): CVE-2023-2586 on the Teltonika
+// RUT241's rms_connect.
+//
+// The device proves its identity to the remote-management cloud with only
+// its serial number and MAC address; the cloud answers with the device
+// certificate. Anyone who learns those two weak identifiers (Shodan/SNMP,
+// enumeration, device resale) can impersonate the device. This example
+// walks every stage: the lifted message-construction code, the MFT, the
+// reconstructed message, and the attacker-side probe that proves the flaw.
+#include <cstdio>
+
+#include "analysis/call_graph.h"
+#include "cloud/prober.h"
+#include "cloud/vuln_hunter.h"
+#include "core/pipeline.h"
+#include "firmware/synthesizer.h"
+#include "ir/printer.h"
+
+using namespace firmres;
+
+int main() {
+  // Device 11 of the corpus is the RUT241; its device-cloud executable is
+  // rms_connect, like the CVE advisory's.
+  const fw::FirmwareImage image = fw::synthesize(fw::profile_by_id(11));
+  std::printf("=== %s %s, firmware %s ===\n\n", image.profile.vendor.c_str(),
+              image.profile.model.c_str(),
+              image.profile.firmware_version.c_str());
+
+  // --- 1. The vulnerable message-construction code (cf. Listing 1) --------
+  const fw::FirmwareFile* exec = image.file("/usr/bin/rms_connect");
+  const ir::Function* builder_fn =
+      exec->program->function("build_rms_register_cve_2023_2586_msg");
+  std::printf("lifted message-construction code:\n%s\n",
+              ir::render_function(*builder_fn).c_str());
+
+  // --- 2. The MFT FIRMRES builds from the SSL_write callsite --------------
+  const fw::MessageTruth* cve = nullptr;
+  for (const fw::MessageTruth& t : image.truth.messages)
+    if (t.spec.name.find("cve") != std::string::npos) cve = &t;
+  const analysis::CallGraph cg(*exec->program);
+  const core::MftBuilder mft_builder(*exec->program, cg);
+  for (const core::Mft& mft : mft_builder.build_all()) {
+    if (mft.delivery_op->address != cve->delivery_address) continue;
+    std::printf("message field tree:\n%s\n", core::render_mft(mft).c_str());
+  }
+
+  // --- 3. The reconstructed message (cf. Listing 2) ------------------------
+  const core::KeywordModel model;
+  const core::DeviceAnalysis analysis = core::Pipeline(model).analyze(image);
+  const core::ReconstructedMessage* msg = nullptr;
+  for (const core::ReconstructedMessage& m : analysis.messages)
+    if (m.delivery_address == cve->delivery_address) msg = &m;
+  std::printf("reconstructed message: %s via %s\n",
+              msg->endpoint_path.c_str(), msg->delivery_callee.c_str());
+  for (const core::ReconstructedField& f : msg->fields) {
+    std::printf("    field %-12s semantics=%-15s source=%s:%s\n",
+                f.key.c_str(), fw::primitive_name(f.semantics),
+                core::field_value_source_name(f.source),
+                f.source_detail.c_str());
+  }
+
+  // --- 4. The form check flags it ------------------------------------------
+  for (const core::FlawReport& flaw : analysis.flaws) {
+    if (flaw.delivery_address == cve->delivery_address)
+      std::printf("\nform check: FLAGGED — %s\n", flaw.detail.c_str());
+  }
+
+  // --- 5. Attacker-side probe: serial + MAC are enough ----------------------
+  cloudsim::CloudNetwork net;
+  net.enroll(image);
+  const cloudsim::Prober prober(net, image);
+  const cloudsim::Request forged = prober.forge(*msg, /*attacker=*/true);
+  std::printf("\nattacker forges (knowing only public identifiers):\n");
+  for (const auto& [k, v] : forged.fields)
+    std::printf("    %s = %s\n", k.c_str(), v.c_str());
+  const cloudsim::Response resp = net.send(forged);
+  std::printf("cloud answers: %s (HTTP %d)%s\n",
+              cloudsim::verdict_text(resp.verdict), resp.code,
+              resp.sensitive ? " — SENSITIVE material disclosed" : "");
+  const auto* cert = resp.body.find("certificate");
+  if (cert != nullptr) {
+    std::printf("leaked device certificate (first line): %.40s...\n",
+                cert->as_string().c_str());
+    std::printf("\nWith this certificate the attacker speaks MQTT as the "
+                "device — full impersonation,\nexactly the CVE-2023-2586 "
+                "scenario the paper opens with.\n");
+  }
+  return 0;
+}

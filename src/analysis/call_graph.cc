@@ -1,0 +1,134 @@
+#include "analysis/call_graph.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+#include "ir/library.h"
+
+namespace firmres::analysis {
+
+CallGraph::CallGraph(const ir::Program& program) : program_(program) {
+  const auto& lib = ir::LibraryModel::instance();
+
+  for (const ir::Function* fn : program.functions()) by_entry_[fn->entry_address()] = fn;
+
+  for (const ir::Function* fn : program.local_functions()) {
+    std::set<const ir::Function*> seen_callees;
+    for (const ir::BasicBlock& b : fn->blocks()) {
+      for (const ir::PcodeOp& op : b.ops) {
+        if (op.opcode != ir::OpCode::Call) continue;
+        const CallSite site{.caller = fn, .op = &op};
+        sites_by_callee_[op.callee].push_back(site);
+        sites_by_caller_[fn].push_back(site);
+
+        const ir::Function* target = program.function(op.callee);
+        if (target != nullptr && !target->is_import() &&
+            seen_callees.insert(target).second) {
+          callees_[fn].push_back(target);
+          callers_[target].push_back(fn);
+        }
+
+        // Event-callback registration: a const function-pointer argument to
+        // an EventReg library call marks the target as implicitly invoked.
+        const ir::LibFunction* libfn = lib.find(op.callee);
+        if (libfn != nullptr && libfn->kind == ir::LibKind::EventReg &&
+            libfn->callback_arg >= 0 &&
+            static_cast<std::size_t>(libfn->callback_arg) < op.inputs.size()) {
+          const ir::VarNode& cb = op.inputs[static_cast<std::size_t>(libfn->callback_arg)];
+          if (cb.is_constant()) {
+            const auto it = by_entry_.find(cb.offset);
+            if (it != by_entry_.end()) event_registered_[it->second] = true;
+          }
+        }
+      }
+    }
+  }
+
+  // Undirected adjacency for distance/path queries.
+  for (const auto& [fn, outs] : callees_) {
+    for (const ir::Function* out : outs) {
+      undirected_[fn].push_back(out);
+      undirected_[out].push_back(fn);
+    }
+  }
+  for (auto& [fn, adj] : undirected_) {
+    (void)fn;
+    std::sort(adj.begin(), adj.end(),
+              [](const ir::Function* a, const ir::Function* b) {
+                return a->entry_address() < b->entry_address();
+              });
+    adj.erase(std::unique(adj.begin(), adj.end()), adj.end());
+  }
+}
+
+const std::vector<const ir::Function*>& CallGraph::callers(
+    const ir::Function* fn) const {
+  const auto it = callers_.find(fn);
+  return it == callers_.end() ? empty_ : it->second;
+}
+
+const std::vector<const ir::Function*>& CallGraph::callees(
+    const ir::Function* fn) const {
+  const auto it = callees_.find(fn);
+  return it == callees_.end() ? empty_ : it->second;
+}
+
+std::vector<CallSite> CallGraph::callsites_of(
+    std::string_view callee_name) const {
+  const auto it = sites_by_callee_.find(callee_name);
+  return it == sites_by_callee_.end() ? std::vector<CallSite>{} : it->second;
+}
+
+std::vector<CallSite> CallGraph::callsites_in(const ir::Function* fn) const {
+  const auto it = sites_by_caller_.find(fn);
+  return it == sites_by_caller_.end() ? std::vector<CallSite>{} : it->second;
+}
+
+std::vector<const ir::Function*> CallGraph::path(const ir::Function* a,
+                                                 const ir::Function* b) const {
+  if (a == b) return {a};
+  std::map<const ir::Function*, const ir::Function*> parent;
+  std::deque<const ir::Function*> queue{a};
+  parent[a] = nullptr;
+  while (!queue.empty()) {
+    const ir::Function* cur = queue.front();
+    queue.pop_front();
+    const auto it = undirected_.find(cur);
+    if (it == undirected_.end()) continue;
+    for (const ir::Function* next : it->second) {
+      if (parent.contains(next)) continue;
+      parent[next] = cur;
+      if (next == b) {
+        std::vector<const ir::Function*> out;
+        for (const ir::Function* f = b; f != nullptr; f = parent[f])
+          out.push_back(f);
+        std::reverse(out.begin(), out.end());
+        return out;
+      }
+      queue.push_back(next);
+    }
+  }
+  return {};
+}
+
+int CallGraph::distance(const ir::Function* a, const ir::Function* b) const {
+  const auto p = path(a, b);
+  return p.empty() ? -1 : static_cast<int>(p.size()) - 1;
+}
+
+bool CallGraph::has_direct_callers(const ir::Function* fn) const {
+  return !callers(fn).empty();
+}
+
+bool CallGraph::is_event_registered(const ir::Function* fn) const {
+  const auto it = event_registered_.find(fn);
+  return it != event_registered_.end() && it->second;
+}
+
+const ir::Function* CallGraph::function_at(std::uint64_t entry_address) const {
+  const auto it = by_entry_.find(entry_address);
+  return it == by_entry_.end() ? nullptr : it->second;
+}
+
+}  // namespace firmres::analysis

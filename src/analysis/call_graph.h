@@ -1,0 +1,82 @@
+// Call graph over a P-Code Program.
+//
+// FIRMRES uses the call graph in three places:
+//   - §IV-A: clustering fun_in/fun_out anchor callsites "by their closest
+//     distances on the call graph", and extracting the function-call
+//     sequence between an anchor pair (the candidate handler);
+//   - §IV-A: asynchronous-handler detection — does any function directly
+//     invoke the caller of a fun_in callsite?
+//   - §IV-B: backward taint walks caller edges when a tainted value turns
+//     out to be a function parameter.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ir/program.h"
+
+namespace firmres::analysis {
+
+/// A concrete call instruction within a function.
+struct CallSite {
+  const ir::Function* caller = nullptr;
+  const ir::PcodeOp* op = nullptr;
+};
+
+class CallGraph {
+ public:
+  explicit CallGraph(const ir::Program& program);
+
+  const ir::Program& program() const { return program_; }
+
+  /// Functions that contain a direct CALL to `fn`.
+  const std::vector<const ir::Function*>& callers(
+      const ir::Function* fn) const;
+
+  /// Local functions directly called by `fn` (imports excluded).
+  const std::vector<const ir::Function*>& callees(
+      const ir::Function* fn) const;
+
+  /// All direct callsites targeting `callee_name` anywhere in the program.
+  std::vector<CallSite> callsites_of(std::string_view callee_name) const;
+
+  /// All direct callsites whose caller is `fn`.
+  std::vector<CallSite> callsites_in(const ir::Function* fn) const;
+
+  /// Hop distance between two functions on the *undirected* call graph
+  /// (anchors of a handler are connected through shared helpers regardless
+  /// of call direction). Returns -1 when disconnected.
+  int distance(const ir::Function* a, const ir::Function* b) const;
+
+  /// Shortest undirected path (inclusive of endpoints); empty when
+  /// disconnected. Ties broken by function creation order for determinism.
+  std::vector<const ir::Function*> path(const ir::Function* a,
+                                        const ir::Function* b) const;
+
+  /// True if some local function contains a direct CALL to `fn`.
+  bool has_direct_callers(const ir::Function* fn) const;
+
+  /// Functions whose entry address is registered as an event callback
+  /// (passed as a const function-pointer argument to a LibKind::EventReg
+  /// call).
+  bool is_event_registered(const ir::Function* fn) const;
+
+  /// Resolve a const VarNode holding a function entry address.
+  const ir::Function* function_at(std::uint64_t entry_address) const;
+
+ private:
+  const ir::Program& program_;
+  std::map<const ir::Function*, std::vector<const ir::Function*>> callers_;
+  std::map<const ir::Function*, std::vector<const ir::Function*>> callees_;
+  std::map<const ir::Function*, std::vector<const ir::Function*>> undirected_;
+  std::map<std::string, std::vector<CallSite>, std::less<>> sites_by_callee_;
+  std::map<const ir::Function*, std::vector<CallSite>> sites_by_caller_;
+  std::map<std::uint64_t, const ir::Function*> by_entry_;
+  std::map<const ir::Function*, bool> event_registered_;
+  std::vector<const ir::Function*> empty_;
+};
+
+}  // namespace firmres::analysis

@@ -1,0 +1,123 @@
+#include "analysis/flow.h"
+
+#include "ir/library.h"
+
+namespace firmres::analysis {
+
+namespace {
+
+std::vector<ir::VarNode> summary_sources(const ir::PcodeOp& op,
+                                         const ir::DataflowSummary& s) {
+  std::vector<ir::VarNode> srcs;
+  for (const int idx : s.srcs) {
+    if (idx >= 0 && static_cast<std::size_t>(idx) < op.inputs.size())
+      srcs.push_back(op.inputs[static_cast<std::size_t>(idx)]);
+  }
+  if (s.srcs_from >= 0) {
+    for (std::size_t i = static_cast<std::size_t>(s.srcs_from);
+         i < op.inputs.size(); ++i)
+      srcs.push_back(op.inputs[i]);
+  }
+  return srcs;
+}
+
+std::optional<ir::VarNode> summary_dst(const ir::PcodeOp& op,
+                                       const ir::DataflowSummary& s) {
+  if (s.dst >= 0) {
+    if (static_cast<std::size_t>(s.dst) < op.inputs.size())
+      return op.inputs[static_cast<std::size_t>(s.dst)];
+    return std::nullopt;
+  }
+  return op.output;
+}
+
+std::vector<FlowEdge> call_edges(const ir::PcodeOp& op,
+                                 const ir::Program& program) {
+  const auto& lib = ir::LibraryModel::instance();
+  const ir::LibFunction* libfn = lib.find(op.callee);
+  const ir::Function* target = program.function(op.callee);
+
+  if (target != nullptr && !target->is_import()) {
+    // Local call: the inter-procedural engines descend into the body; the
+    // edge records only that the output comes "from the call".
+    if (!op.output.has_value()) return {};
+    return {FlowEdge{.dst = *op.output,
+                     .srcs = op.inputs,
+                     .dst_also_src = false,
+                     .kind = FlowKind::LocalCall,
+                     .op = &op}};
+  }
+
+  if (libfn != nullptr) {
+    const ir::DataflowSummary& s = libfn->summary;
+    const bool has_flow =
+        s.dst >= 0 || !s.srcs.empty() || s.srcs_from >= 0 || s.is_field_source;
+    if (!has_flow) return {};  // summarized as flow-free (strlen, memset, …)
+    const auto dst = summary_dst(op, s);
+    if (!dst.has_value()) return {};
+    return {FlowEdge{.dst = *dst,
+                     .srcs = summary_sources(op, s),
+                     .dst_also_src = s.dst_also_src,
+                     .kind = s.is_field_source ? FlowKind::FieldSource
+                                               : FlowKind::Summary,
+                     .op = &op}};
+  }
+
+  // Unknown import: overtaint. Output derives from every input.
+  if (!op.output.has_value() || op.inputs.empty()) return {};
+  return {FlowEdge{.dst = *op.output,
+                   .srcs = op.inputs,
+                   .dst_also_src = false,
+                   .kind = FlowKind::Overtaint,
+                   .op = &op}};
+}
+
+}  // namespace
+
+std::vector<FlowEdge> flow_edges(const ir::PcodeOp& op,
+                                 const ir::Program& program) {
+  using ir::OpCode;
+  switch (op.opcode) {
+    case OpCode::Call:
+      return call_edges(op, program);
+    case OpCode::CallInd:
+    case OpCode::Branch:
+    case OpCode::CBranch:
+    case OpCode::BranchInd:
+    case OpCode::Return:
+      return {};
+    case OpCode::Store:
+      // STORE addr, value: model the pointed-at cell as the address operand.
+      if (op.inputs.size() >= 2) {
+        return {FlowEdge{.dst = op.inputs[0],
+                         .srcs = {op.inputs[1]},
+                         .dst_also_src = false,
+                         .kind = FlowKind::Direct,
+                         .op = &op}};
+      }
+      return {};
+    default:
+      if (!op.output.has_value()) return {};
+      return {FlowEdge{.dst = *op.output,
+                       .srcs = op.inputs,
+                       .dst_also_src = false,
+                       .kind = FlowKind::Direct,
+                       .op = &op}};
+  }
+}
+
+std::vector<ir::VarNode> written_varnodes(const ir::PcodeOp& op,
+                                          const ir::Program& program) {
+  std::vector<ir::VarNode> out;
+  for (const FlowEdge& e : flow_edges(op, program)) out.push_back(e.dst);
+  // The raw call output also counts as written even when a summary routes
+  // the interesting flow into an argument.
+  if (op.output.has_value()) {
+    bool present = false;
+    for (const auto& v : out) present = present || v == *op.output;
+    if (!present) out.push_back(*op.output);
+  }
+  return out;
+}
+
+}  // namespace firmres::analysis

@@ -1,0 +1,49 @@
+// Flow edges: the abstract dataflow effect of one P-Code op.
+//
+// This is the single place where "how does data move through this op" is
+// decided — the backward taint engine (§IV-B), forward request-taint for
+// P_f scoring (§IV-A), and the Dev-Secret tracker (§IV-E) all consume these
+// edges. Library calls are modelled by LibraryModel summaries; *unknown*
+// imports are over-approximated (output flows from every input), matching
+// the paper's stated strategy "to overtaint during dataflow analysis"
+// (§V-C) — which is also what produces its characteristic false-positive
+// fields (stray numeric constants).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "ir/pcode.h"
+#include "ir/program.h"
+
+namespace firmres::analysis {
+
+enum class FlowKind {
+  Direct,       ///< ordinary op: output computed from inputs
+  Summary,      ///< library call modelled by a DataflowSummary
+  FieldSource,  ///< library call whose result is a terminal field source
+  LocalCall,    ///< call into a function with a body (handled inter-proc.)
+  Overtaint,    ///< unknown import: conservative all-inputs-to-output edge
+};
+
+/// One abstract assignment: `dst` receives data derived from `srcs`.
+struct FlowEdge {
+  ir::VarNode dst;
+  std::vector<ir::VarNode> srcs;
+  /// strcat-like: dst's previous value also contributes (append semantics).
+  bool dst_also_src = false;
+  FlowKind kind = FlowKind::Direct;
+  const ir::PcodeOp* op = nullptr;
+};
+
+/// Compute the flow edges of `op`. `program` resolves call targets.
+/// Branch/return/compare-only ops yield no edges.
+std::vector<FlowEdge> flow_edges(const ir::PcodeOp& op,
+                                 const ir::Program& program);
+
+/// The VarNodes this op *writes* (direct output plus summary-destination
+/// arguments). Used by def-scans.
+std::vector<ir::VarNode> written_varnodes(const ir::PcodeOp& op,
+                                          const ir::Program& program);
+
+}  // namespace firmres::analysis

@@ -1,0 +1,101 @@
+#include "analysis/forward_taint.h"
+
+#include "analysis/flow.h"
+
+namespace firmres::analysis {
+
+ForwardTaint::ForwardTaint(const ir::Program& program,
+                           const CallGraph& call_graph,
+                           const ir::Function& root,
+                           std::vector<ir::VarNode> seeds, int max_call_depth)
+    : program_(program), call_graph_(call_graph) {
+  auto& root_set = tainted_[&root];
+  for (const auto& v : seeds) root_set.insert(v);
+  // Iterate the root (and transitively its callees) to a global fixpoint.
+  // propagate_function() re-enqueues callees by direct recursion with a
+  // depth bound; the outer loop re-runs until no set grows, which handles
+  // taint that flows back out of callees via return values.
+  bool changed = true;
+  int rounds = 0;
+  while (changed && rounds++ < 32) {
+    std::size_t before = 0;
+    for (const auto& [fn, set] : tainted_) {
+      (void)fn;
+      before += set.size();
+    }
+    propagate_function(&root, max_call_depth);
+    std::size_t after = 0;
+    for (const auto& [fn, set] : tainted_) {
+      (void)fn;
+      after += set.size();
+    }
+    changed = after != before;
+  }
+}
+
+void ForwardTaint::propagate_function(const ir::Function* fn, int depth) {
+  if (depth < 0 || fn == nullptr || fn->is_import()) return;
+  auto& set = tainted_[fn];
+
+  bool changed = true;
+  int rounds = 0;
+  while (changed && rounds++ < 16) {
+    changed = false;
+    for (const ir::PcodeOp* op : fn->ops_in_order()) {
+      // Intra-procedural flow.
+      for (const FlowEdge& edge : flow_edges(*op, program_)) {
+        if (edge.kind == FlowKind::FieldSource) continue;  // fresh data
+        bool src_tainted = false;
+        for (const auto& s : edge.srcs) src_tainted = src_tainted || set.contains(s);
+        if (edge.dst_also_src) src_tainted = src_tainted || set.contains(edge.dst);
+        if (src_tainted && set.insert(edge.dst).second) changed = true;
+      }
+
+      // Inter-procedural: bind tainted arguments to callee parameters and
+      // pull tainted return values back into the call output.
+      if (op->opcode != ir::OpCode::Call) continue;
+      const ir::Function* callee = program_.function(op->callee);
+      if (callee == nullptr || callee->is_import()) continue;
+
+      auto& callee_set = tainted_[callee];
+      const auto& params = callee->params();
+      bool callee_changed = false;
+      for (std::size_t i = 0; i < params.size() && i < op->inputs.size(); ++i) {
+        if (set.contains(op->inputs[i]) &&
+            callee_set.insert(params[i]).second) {
+          callee_changed = true;
+        }
+      }
+      if (callee_changed) propagate_function(callee, depth - 1);
+
+      if (op->output.has_value() && !set.contains(*op->output)) {
+        // Tainted return: any RETURN input of the callee tainted?
+        bool ret_tainted = false;
+        callee->for_each_op([&](const ir::PcodeOp& callee_op) {
+          if (callee_op.opcode != ir::OpCode::Return) return;
+          for (const auto& v : callee_op.inputs)
+            ret_tainted = ret_tainted || callee_set.contains(v);
+        });
+        if (ret_tainted) {
+          set.insert(*op->output);
+          changed = true;
+        }
+      }
+    }
+  }
+}
+
+bool ForwardTaint::is_tainted(const ir::Function* fn,
+                              const ir::VarNode& v) const {
+  const auto it = tainted_.find(fn);
+  return it != tainted_.end() && it->second.contains(v);
+}
+
+std::vector<ir::VarNode> ForwardTaint::tainted_in(
+    const ir::Function* fn) const {
+  const auto it = tainted_.find(fn);
+  if (it == tainted_.end()) return {};
+  return {it->second.begin(), it->second.end()};
+}
+
+}  // namespace firmres::analysis

@@ -1,0 +1,43 @@
+// Forward taint propagation.
+//
+// §IV-A's request-handler scoring needs to know which predicate operands
+// "originate from the arguments of the callsite of the request incoming
+// function". We taint the recv buffer at its callsite and push taint
+// forward — through ordinary ops, library summaries, and into local callees
+// (arguments bind to parameters, returned values bind to call outputs).
+// The engine is flow-insensitive within a function (iterate to fixpoint),
+// which matches FIRMRES's overtainting strategy and is cheap enough to run
+// on every candidate handler sequence.
+#pragma once
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "analysis/call_graph.h"
+#include "ir/program.h"
+
+namespace firmres::analysis {
+
+class ForwardTaint {
+ public:
+  /// Taints `seeds` inside `root`, propagates to fixpoint. `max_call_depth`
+  /// bounds descent into callees (handlers are shallow; 6 is generous).
+  ForwardTaint(const ir::Program& program, const CallGraph& call_graph,
+               const ir::Function& root, std::vector<ir::VarNode> seeds,
+               int max_call_depth = 6);
+
+  bool is_tainted(const ir::Function* fn, const ir::VarNode& v) const;
+
+  /// All tainted varnodes of a function (for diagnostics/tests).
+  std::vector<ir::VarNode> tainted_in(const ir::Function* fn) const;
+
+ private:
+  void propagate_function(const ir::Function* fn, int depth);
+
+  const ir::Program& program_;
+  const CallGraph& call_graph_;
+  std::map<const ir::Function*, std::set<ir::VarNode>> tainted_;
+};
+
+}  // namespace firmres::analysis

@@ -1,0 +1,46 @@
+#include "analysis/predicates.h"
+
+#include <map>
+
+#include "ir/opcodes.h"
+
+namespace firmres::analysis {
+
+std::vector<Predicate> predicates_of(const ir::Function& fn) {
+  // Map each defined varnode to its most recent defining op in layout order.
+  // Conditions are temporaries defined immediately before their branch, so
+  // last-def resolution is exact in practice.
+  std::vector<Predicate> out;
+  std::map<ir::VarNode, const ir::PcodeOp*> last_def;
+  for (const ir::PcodeOp* op : fn.ops_in_order()) {
+    if (op->output.has_value()) last_def[*op->output] = op;
+    if (op->opcode != ir::OpCode::CBranch || op->inputs.empty()) continue;
+
+    Predicate p;
+    p.cbranch = op;
+    const auto it = last_def.find(op->inputs[0]);
+    if (it != last_def.end()) {
+      const ir::PcodeOp* def = it->second;
+      if (ir::is_comparison(def->opcode) ||
+          def->opcode == ir::OpCode::BoolAnd ||
+          def->opcode == ir::OpCode::BoolOr ||
+          def->opcode == ir::OpCode::BoolNegate) {
+        p.condition_def = def;
+        p.operands = def->inputs;
+      } else if (def->opcode == ir::OpCode::Call) {
+        // Condition straight from a call result (strcmp(...) == used as
+        // bool): the call's arguments are the compared operands.
+        p.condition_def = def;
+        p.operands = def->inputs;
+      }
+    }
+    if (p.operands.empty()) {
+      // Fall back to the raw condition operand itself.
+      p.operands = {op->inputs[0]};
+    }
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+}  // namespace firmres::analysis

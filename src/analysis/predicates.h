@@ -1,0 +1,27 @@
+// Predicate extraction for the string-parsing factor (§IV-A).
+//
+// A "predicate" is a CBRANCH; its operands are the inputs of the comparison
+// op that produced the branch condition. P_f = O_r / O counts how many of a
+// function's predicate operands are derived from the incoming request.
+#pragma once
+
+#include <vector>
+
+#include "ir/function.h"
+
+namespace firmres::analysis {
+
+struct Predicate {
+  const ir::PcodeOp* cbranch = nullptr;
+  /// The comparison/boolean op defining the branch condition; nullptr when
+  /// the condition's producer is not found (condition from a call, etc.).
+  const ir::PcodeOp* condition_def = nullptr;
+  /// The operands counted by the P_f statistic.
+  std::vector<ir::VarNode> operands;
+};
+
+/// Extract every predicate of `fn`, resolving each branch condition to its
+/// defining op by a backward scan within the function.
+std::vector<Predicate> predicates_of(const ir::Function& fn);
+
+}  // namespace firmres::analysis

@@ -1,0 +1,21 @@
+#include "baseline/apiscanner.h"
+
+namespace firmres::baseline {
+
+ApiScannerResult run_apiscanner(const std::vector<ApiDoc>& docs) {
+  ApiScannerResult result;
+  for (const ApiDoc& doc : docs) {
+    ++result.interfaces_tested;
+    // Documented APIs replay exactly; every request is well-formed.
+    ++result.interfaces_correct;
+    // Unauthenticated replay: accepted iff no auth required (by design) —
+    // in which case it is not a flaw — or auth required but broken.
+    if (doc.requires_auth && doc.broken_auth) {
+      result.unauthorized.push_back(
+          ApiScannerFinding{.platform = doc.platform, .path = doc.path});
+    }
+  }
+  return result;
+}
+
+}  // namespace firmres::baseline

@@ -1,0 +1,35 @@
+// IoT-APIScanner-analogue (Li et al., ICCCN'20): detects unauthorized-access
+// flaws in IoT *platform* clouds by enumerating the platform's documented
+// APIs from the mobile IoT app and replaying them without credentials.
+//
+// The APIs come from documentation, so the interface inventory is exact
+// (Table IV's 100 % accuracy / 157 interfaces); the tool cannot see
+// vendor-private clouds that publish no documentation — FIRMRES's niche.
+#pragma once
+
+#include "baseline/mobile_corpus.h"
+
+namespace firmres::baseline {
+
+struct ApiScannerFinding {
+  std::string platform;
+  std::string path;
+};
+
+struct ApiScannerResult {
+  int interfaces_tested = 0;
+  int interfaces_correct = 0;
+  std::vector<ApiScannerFinding> unauthorized;  ///< broken-auth APIs found
+  double accuracy() const {
+    return interfaces_tested == 0
+               ? 0.0
+               : static_cast<double>(interfaces_correct) /
+                     static_cast<double>(interfaces_tested);
+  }
+};
+
+/// Enumerate documented APIs and probe each without credentials; an API
+/// that answers despite requiring auth is a broken-access-control finding.
+ApiScannerResult run_apiscanner(const std::vector<ApiDoc>& docs);
+
+}  // namespace firmres::baseline

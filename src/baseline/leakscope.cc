@@ -1,0 +1,59 @@
+#include "baseline/leakscope.h"
+
+namespace firmres::baseline {
+
+namespace {
+
+const char* service_of_key(const std::string& s) {
+  if (s.rfind("AKIA", 0) == 0) return "aws-s3";
+  if (s.rfind("AZSK", 0) == 0) return "azure-blob";
+  if (s.rfind("FIRE", 0) == 0) return "firebase-db";
+  return nullptr;
+}
+
+bool looks_like_endpoint(const std::string& s) {
+  return s.rfind("https://", 0) == 0;
+}
+
+}  // namespace
+
+LeakScopeResult run_leakscope(const std::vector<MobileApp>& apps) {
+  LeakScopeResult result;
+  for (const MobileApp& app : apps) {
+    // String-table scan: pair each recognized SDK key with the nearest
+    // following endpoint URL (they are emitted adjacently by SDK glue).
+    for (std::size_t i = 0; i < app.strings.size(); ++i) {
+      const char* service = service_of_key(app.strings[i]);
+      if (service == nullptr) continue;
+      std::string endpoint;
+      for (std::size_t j = i + 1; j < app.strings.size(); ++j) {
+        if (looks_like_endpoint(app.strings[j])) {
+          endpoint = app.strings[j];
+          break;
+        }
+      }
+      if (endpoint.empty()) continue;
+
+      LeakScopeFinding finding;
+      finding.package = app.package;
+      finding.service = service;
+      finding.endpoint = endpoint;
+      ++result.interfaces_recovered;
+
+      // Validation against the backend (ground truth stands in for the
+      // probe): exact when key+endpoint pair exists.
+      for (const SdkCall& truth : app.truth) {
+        if (truth.credential == app.strings[i] &&
+            truth.endpoint == endpoint) {
+          ++result.interfaces_correct;
+          finding.misconfigured = truth.misconfigured;
+          break;
+        }
+      }
+      result.findings.push_back(std::move(finding));
+    }
+  }
+  return result;
+}
+
+}  // namespace firmres::baseline

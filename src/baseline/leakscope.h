@@ -1,0 +1,43 @@
+// LeakScope-analogue (Zuo et al., S&P'19): exposes access-control issues in
+// the public-cloud backends of mobile apps by recovering embedded SDK
+// credentials/endpoints from the app and probing the cloud.
+//
+// Because the evidence sits verbatim in app string tables, recovery is
+// exact — the property behind LeakScope's 100 % accuracy row in Table IV.
+// Its reach, however, is limited to apps using the big public-cloud SDKs
+// (32 interfaces), whereas FIRMRES targets arbitrary vendor clouds.
+#pragma once
+
+#include "baseline/mobile_corpus.h"
+
+namespace firmres::baseline {
+
+struct LeakScopeFinding {
+  std::string package;
+  std::string service;
+  std::string endpoint;
+  bool misconfigured = false;
+};
+
+struct LeakScopeResult {
+  int interfaces_recovered = 0;
+  int interfaces_correct = 0;  ///< matched ground truth exactly
+  std::vector<LeakScopeFinding> findings;
+  double accuracy() const {
+    return interfaces_recovered == 0
+               ? 0.0
+               : static_cast<double>(interfaces_correct) /
+                     static_cast<double>(interfaces_recovered);
+  }
+  int misconfigurations() const {
+    int n = 0;
+    for (const LeakScopeFinding& f : findings) n += f.misconfigured ? 1 : 0;
+    return n;
+  }
+};
+
+/// Scan every app's string table for SDK key/endpoint pairs and validate
+/// against ground truth (the "probe the cloud" step of the original).
+LeakScopeResult run_leakscope(const std::vector<MobileApp>& apps);
+
+}  // namespace firmres::baseline

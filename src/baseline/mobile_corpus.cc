@@ -1,0 +1,89 @@
+#include "baseline/mobile_corpus.h"
+
+#include "support/strings.h"
+
+namespace firmres::baseline {
+
+namespace {
+
+std::string random_key(support::Rng& rng, const std::string& prefix,
+                       int length) {
+  static constexpr char kAlphabet[] =
+      "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+  std::string out = prefix;
+  for (int i = 0; i < length; ++i)
+    out.push_back(kAlphabet[rng.uniform(0, 35)]);
+  return out;
+}
+
+}  // namespace
+
+std::vector<MobileApp> synthesize_app_corpus(int num_apps, int total_calls,
+                                             support::Rng& rng) {
+  static const std::vector<std::string> kServices = {"aws-s3", "azure-blob",
+                                                     "firebase-db"};
+  std::vector<MobileApp> apps;
+  apps.reserve(static_cast<std::size_t>(num_apps));
+  for (int a = 0; a < num_apps; ++a) {
+    MobileApp app;
+    app.package = support::format("com.vendor%02d.smarthome", a);
+    // Noise strings a real APK string table would carry.
+    for (int i = 0; i < 20; ++i) {
+      app.strings.push_back(
+          support::format("res/layout/activity_%lld",
+                          static_cast<long long>(rng.uniform(0, 99))));
+    }
+    apps.push_back(std::move(app));
+  }
+
+  for (int c = 0; c < total_calls; ++c) {
+    MobileApp& app = apps[static_cast<std::size_t>(c % num_apps)];
+    SdkCall call;
+    call.service = kServices[static_cast<std::size_t>(rng.uniform(0, 2))];
+    if (call.service == "aws-s3") {
+      call.credential = random_key(rng, "AKIA", 16);
+      call.endpoint = support::format(
+          "https://app-bucket-%d.s3.amazonaws.example/%s", c,
+          "userdata");
+    } else if (call.service == "azure-blob") {
+      call.credential = random_key(rng, "AZSK", 20);
+      call.endpoint = support::format(
+          "https://vendor%d.blob.core.example/backups", c);
+    } else {
+      call.credential = random_key(rng, "FIRE", 12);
+      call.endpoint = support::format(
+          "https://vendor%d.firebaseio.example/devices.json", c);
+    }
+    call.misconfigured = rng.chance(0.25);
+    // The scanner-visible evidence: credential and endpoint appear verbatim
+    // in the string table (LeakScope's observation about real apps).
+    app.strings.push_back(call.credential);
+    app.strings.push_back(call.endpoint);
+    app.truth.push_back(std::move(call));
+  }
+  return apps;
+}
+
+std::vector<ApiDoc> synthesize_platform_docs(int num_platforms,
+                                             int total_apis,
+                                             support::Rng& rng) {
+  static const std::vector<std::string> kResources = {
+      "devices", "users",  "scenes",   "schedules", "firmware",
+      "events",  "shares", "sessions", "rooms",     "automations"};
+  std::vector<ApiDoc> docs;
+  docs.reserve(static_cast<std::size_t>(total_apis));
+  for (int i = 0; i < total_apis; ++i) {
+    ApiDoc doc;
+    doc.platform = support::format("platform%d", i % num_platforms);
+    doc.path = support::format(
+        "/openapi/v%lld/%s/%s", static_cast<long long>(rng.uniform(1, 3)),
+        rng.pick(kResources).c_str(),
+        rng.chance(0.5) ? "list" : "detail");
+    doc.requires_auth = rng.chance(0.9);
+    doc.broken_auth = doc.requires_auth && rng.chance(0.15);
+    docs.push_back(std::move(doc));
+  }
+  return docs;
+}
+
+}  // namespace firmres::baseline

@@ -1,0 +1,55 @@
+// Synthetic mobile-app corpus for the Table IV comparison baselines.
+//
+// Substitution note (DESIGN.md §2): LEAKSCOPE consumes mobile apps whose
+// binaries embed public-cloud SDK calls; IOT-APISCANNER consumes mobile IoT
+// apps plus the IoT platform's API documentation. Neither tool is
+// available, so we synthesize their inputs: APK-like string tables with
+// embedded SDK keys/endpoints (for LeakScope) and documented platform API
+// inventories (for APIScanner). Both carry ground truth so the baselines'
+// "dynamic analysis is exact" property (100 % recovery in Table IV) is a
+// measured outcome, not an assumption.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/rng.h"
+
+namespace firmres::baseline {
+
+/// One public-cloud SDK invocation baked into an app.
+struct SdkCall {
+  std::string service;     ///< "aws-s3", "azure-blob", "firebase-db"
+  std::string endpoint;    ///< bucket / container / database URL
+  std::string credential;  ///< embedded key material
+  /// The backend accepts the embedded (root/overprivileged) credential —
+  /// the misconfiguration class LeakScope exposes.
+  bool misconfigured = false;
+};
+
+/// An APK reduced to what a static string scanner sees.
+struct MobileApp {
+  std::string package;
+  std::vector<std::string> strings;  ///< string table (keys, URLs, noise)
+  std::vector<SdkCall> truth;        ///< ground truth for accuracy scoring
+};
+
+/// One documented API of an IoT platform.
+struct ApiDoc {
+  std::string platform;
+  std::string path;
+  bool requires_auth = true;
+  /// The platform forgot the server-side check — APIScanner's flaw class.
+  bool broken_auth = false;
+};
+
+/// LeakScope input: apps embedding `total_calls` SDK calls overall.
+std::vector<MobileApp> synthesize_app_corpus(int num_apps, int total_calls,
+                                             support::Rng& rng);
+
+/// APIScanner input: platform API inventories totalling `total_apis` docs.
+std::vector<ApiDoc> synthesize_platform_docs(int num_platforms,
+                                             int total_apis,
+                                             support::Rng& rng);
+
+}  // namespace firmres::baseline

@@ -1,0 +1,194 @@
+#include "cloud/cloud.h"
+
+#include "firmware/crypto_sim.h"
+
+namespace firmres::cloudsim {
+
+const char* verdict_text(Verdict verdict) {
+  switch (verdict) {
+    case Verdict::Ok: return "Request OK";
+    case Verdict::NoPermission: return "No Permission";
+    case Verdict::AccessDenied: return "Access Denied";
+    case Verdict::BadRequest: return "Bad Request";
+    case Verdict::PathNotExists: return "Path Not Exists";
+    case Verdict::NotSupported: return "Request Not Supported";
+  }
+  return "?";
+}
+
+VendorCloud::VendorCloud(const fw::FirmwareImage& image)
+    : host_(image.identity.cloud_host) {
+  enroll(image);
+}
+
+void VendorCloud::enroll(const fw::FirmwareImage& image) {
+  registry_.push_back(image.identity);
+  for (const fw::MessageTruth& truth : image.truth.messages) {
+    const fw::MessageSpec& spec = truth.spec;
+    // Retired endpoints are gone from the backend; LAN messages never had a
+    // cloud endpoint at all.
+    if (spec.endpoint_retired || spec.lan_destination) continue;
+
+    EndpointPolicy policy;
+    policy.path = spec.endpoint_path;
+    policy.functionality = spec.functionality;
+    policy.protocol = spec.protocol;
+    policy.phase = spec.phase;
+    policy.anonymous_ok = spec.benign_no_auth;
+    policy.vulnerable = spec.vulnerable;
+    policy.consequence = spec.consequence;
+    policy.previously_known =
+        spec.name.find("cve") != std::string::npos;
+    // Sensitive responses: binding endpoints issue credentials; Table III
+    // information-leak endpoints return private data.
+    policy.returns_sensitive =
+        spec.phase == fw::MessageSpec::Phase::Binding ||
+        spec.consequence.find("leak") != std::string::npos ||
+        spec.consequence.find("returns") != std::string::npos ||
+        spec.consequence.find("token") != std::string::npos;
+    endpoints_.emplace(policy.path, policy);  // first enrollment wins
+
+    // Record vendor-wide fixed tokens burned into the firmware (device 5):
+    // the flawed backend accepts them as Bind-Token.
+    for (const fw::FieldSpec& field : spec.fields) {
+      if (field.primitive == fw::Primitive::BindToken &&
+          field.origin == fw::FieldOrigin::HardcodedStr) {
+        fixed_vendor_token_ = field.value;
+      }
+    }
+  }
+}
+
+const EndpointPolicy* VendorCloud::endpoint(const std::string& path) const {
+  const auto it = endpoints_.find(path);
+  return it == endpoints_.end() ? nullptr : &it->second;
+}
+
+VendorCloud::CredentialCheck VendorCloud::check_credentials(
+    const Request& request) const {
+  CredentialCheck best;
+  for (const fw::DeviceIdentity& device : registry_) {
+    CredentialCheck check;
+    const std::string expected_signature =
+        fw::pseudo_hmac(device.dev_secret, device.device_id);
+    bool user_name_ok = false, user_pass_ok = false;
+    for (const auto& [name, value] : request.fields) {
+      (void)name;
+      if (value.empty()) continue;
+      if (value == device.mac || value == device.serial ||
+          value == device.device_id || value == device.uid ||
+          value == device.uuid)
+        check.id_ok = true;
+      if (value == device.dev_secret || value == device.certificate)
+        check.secret_ok = true;
+      if (value == device.cloud_username) user_name_ok = true;
+      if (value == device.cloud_password) user_pass_ok = true;
+      if (value == device.bind_token ||
+          (!fixed_vendor_token_.empty() && value == fixed_vendor_token_))
+        check.token_ok = true;
+      if (value == expected_signature) check.signature_ok = true;
+    }
+    check.user_ok = user_name_ok && user_pass_ok;
+    if (check.any_composition()) return check;
+    if (check.id_ok && !best.id_ok) best = check;
+  }
+  return best;
+}
+
+Response VendorCloud::handle(const Request& request) const {
+  Response response;
+  const EndpointPolicy* policy = endpoint(request.path);
+  if (policy == nullptr) {
+    response.verdict = Verdict::PathNotExists;
+    response.code = 404;
+    response.body.set("error", verdict_text(response.verdict));
+    return response;
+  }
+  // Protocol discipline: an MQTT topic does not answer HTTP and vice versa
+  // (HTTP and HTTPS share endpoints).
+  const auto is_mqtt = [](fw::Protocol p) { return p == fw::Protocol::Mqtt; };
+  if (is_mqtt(policy->protocol) != is_mqtt(request.protocol)) {
+    response.verdict = Verdict::NotSupported;
+    response.code = 405;
+    response.body.set("error", verdict_text(response.verdict));
+    return response;
+  }
+  if (request.fields.empty() && !policy->anonymous_ok) {
+    response.verdict = Verdict::BadRequest;
+    response.code = 400;
+    response.body.set("error", verdict_text(response.verdict));
+    return response;
+  }
+
+  const CredentialCheck check = check_credentials(request);
+  const bool accept = policy->anonymous_ok || check.any_composition() ||
+                      (policy->vulnerable && check.id_ok);
+  if (!accept) {
+    // Distinguish wrong credentials from missing ones, like real backends.
+    const bool presented_something =
+        check.id_ok || check.secret_ok || check.token_ok ||
+        check.signature_ok;
+    response.verdict = presented_something ? Verdict::NoPermission
+                                           : Verdict::AccessDenied;
+    response.code = presented_something ? 403 : 401;
+    response.body.set("error", verdict_text(response.verdict));
+    return response;
+  }
+
+  response.verdict = Verdict::Ok;
+  response.code = 200;
+  response.body.set("status", verdict_text(response.verdict));
+  if (policy->returns_sensitive) {
+    response.sensitive = true;
+    if (policy->phase == fw::MessageSpec::Phase::Binding) {
+      // Binding endpoints issue session material — exactly what the
+      // Table III registration flaws leak to impersonators.
+      response.body.set("token", !fixed_vendor_token_.empty()
+                                     ? fixed_vendor_token_
+                                     : registry_.front().bind_token);
+      response.body.set("certificate", registry_.front().certificate);
+    } else {
+      response.body.set("data", "sensitive:" + policy->functionality);
+    }
+  }
+  return response;
+}
+
+void CloudNetwork::enroll(const fw::FirmwareImage& image) {
+  const auto it = clouds_.find(image.identity.cloud_host);
+  if (it != clouds_.end()) {
+    it->second.enroll(image);  // same vendor, additional device model
+    return;
+  }
+  clouds_.emplace(image.identity.cloud_host, VendorCloud(image));
+}
+
+const VendorCloud* CloudNetwork::cloud_for(const std::string& host) const {
+  const auto it = clouds_.find(host);
+  return it == clouds_.end() ? nullptr : &it->second;
+}
+
+Response CloudNetwork::send(const Request& request) const {
+  Response response;
+  const VendorCloud* cloud = cloud_for(request.host);
+  if (cloud == nullptr) {
+    response.verdict = Verdict::PathNotExists;
+    response.code = 404;
+    response.body.set("error", "unknown host");
+  } else {
+    response = cloud->handle(request);
+  }
+  if (transcript_.size() >= kTranscriptCap)
+    transcript_.erase(transcript_.begin());
+  transcript_.push_back(Exchange{request, response});
+  return response;
+}
+
+std::vector<const Exchange*> CloudNetwork::sensitive_exchanges() const {
+  std::vector<const Exchange*> out;
+  for (const Exchange& e : transcript_)
+    if (e.response.sensitive) out.push_back(&e);
+  return out;
+}
+
+}  // namespace firmres::cloudsim

@@ -1,0 +1,152 @@
+// Simulated vendor clouds.
+//
+// Substitution note (DESIGN.md §2): the paper probes real vendor backends
+// manually; we stand up one in-process cloud per vendor, built from the
+// same MessageSpecs the firmware was synthesized from. Each endpoint
+// enforces — or, for the Table III flaws, fails to enforce — the §II-B
+// primitive compositions against the enrolled device's registry entry.
+// Responses use the paper's phrasing ("Request OK", "No Permission",
+// "Access Denied", "Bad Request", "Path Not Exists") so the §V-C validity
+// classification reads identically.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "firmware/firmware_image.h"
+#include "firmware/message_spec.h"
+#include "support/json.h"
+
+namespace firmres::cloudsim {
+
+struct Request {
+  std::string host;  ///< target cloud (routing key)
+  std::string path;  ///< endpoint path / MQTT topic
+  fw::Protocol protocol = fw::Protocol::Https;
+  /// Parsed fields (name → value). The cloud validates credential *values*
+  /// against its registry; unknown extra fields are ignored, like real
+  /// backends ignore unexpected JSON keys.
+  std::map<std::string, std::string> fields;
+};
+
+enum class Verdict {
+  Ok,               ///< "Request OK" — accepted
+  NoPermission,     ///< "No Permission" — endpoint known, credentials wrong
+  AccessDenied,     ///< "Access Denied" — required primitives absent
+  BadRequest,       ///< "Bad Request" — malformed
+  PathNotExists,    ///< "Path Not Exists" — unknown endpoint
+  NotSupported,     ///< "Request Not Supported" — wrong protocol/method
+};
+
+const char* verdict_text(Verdict verdict);
+
+struct Response {
+  Verdict verdict = Verdict::BadRequest;
+  int code = 400;
+  support::Json body;
+  /// The response discloses sensitive material (tokens, keys, video paths) —
+  /// reviewed during manual verification (§IV-E).
+  bool sensitive = false;
+
+  /// §V-C validity: the message reached a live endpoint and was understood.
+  bool indicates_valid_message() const {
+    return verdict == Verdict::Ok || verdict == Verdict::NoPermission ||
+           verdict == Verdict::AccessDenied;
+  }
+};
+
+struct EndpointPolicy {
+  std::string path;
+  std::string functionality;
+  fw::Protocol protocol = fw::Protocol::Https;
+  fw::MessageSpec::Phase phase = fw::MessageSpec::Phase::Business;
+  /// Endpoint intentionally requires no credentials (anonymous telemetry).
+  bool anonymous_ok = false;
+  /// Table III flaw: the endpoint accepts requests authenticated by weak
+  /// identifiers only.
+  bool vulnerable = false;
+  std::string consequence;
+  /// Accepting responses disclose sensitive material.
+  bool returns_sensitive = false;
+  /// The flaw was already public when probed (device 11, CVE-2023-2586).
+  bool previously_known = false;
+};
+
+/// One vendor's backend. Vendors host every device model on the same
+/// cloud, so several firmware images may enroll into one VendorCloud
+/// (TP-Link devices 2/3/4, Netgear 6/7/8); endpoint tables merge and the
+/// registry holds every enrolled device.
+class VendorCloud {
+ public:
+  /// Builds the endpoint table and device registry from the image's ground
+  /// truth (the cloud accepts what the firmware sends, by construction —
+  /// except retired endpoints, which are absent).
+  explicit VendorCloud(const fw::FirmwareImage& image);
+
+  /// Merge another device of the same vendor into this cloud.
+  void enroll(const fw::FirmwareImage& image);
+
+  const std::string& host() const { return host_; }
+
+  Response handle(const Request& request) const;
+
+  const EndpointPolicy* endpoint(const std::string& path) const;
+  std::size_t endpoint_count() const { return endpoints_.size(); }
+
+ private:
+  struct CredentialCheck {
+    bool id_ok = false;
+    bool secret_ok = false;
+    bool user_ok = false;
+    bool token_ok = false;
+    bool signature_ok = false;
+    bool any_composition() const {
+      return (id_ok && token_ok) || (id_ok && signature_ok) ||
+             (id_ok && secret_ok && user_ok);
+    }
+  };
+  CredentialCheck check_credentials(const Request& request) const;
+
+  std::string host_;
+  std::vector<fw::DeviceIdentity> registry_;  ///< all enrolled devices
+  std::string fixed_vendor_token_;  ///< device 5-style vendor-wide token
+  std::map<std::string, EndpointPolicy> endpoints_;
+};
+
+/// One probe and its answer, kept for the §IV-E response review ("we
+/// review all cloud responses to confirm whether there is any sensitive
+/// information leakage").
+struct Exchange {
+  Request request;
+  Response response;
+};
+
+/// Routing table over the whole corpus: host → vendor cloud.
+class CloudNetwork {
+ public:
+  void enroll(const fw::FirmwareImage& image);
+
+  /// Route a request by host; "Path Not Exists" for unknown hosts. Every
+  /// exchange is transcribed (bounded; oldest dropped past the cap).
+  Response send(const Request& request) const;
+
+  const VendorCloud* cloud_for(const std::string& host) const;
+  std::size_t cloud_count() const { return clouds_.size(); }
+
+  /// Probe history since construction / the last clear.
+  const std::vector<Exchange>& transcript() const { return transcript_; }
+  void clear_transcript() { transcript_.clear(); }
+
+  /// The review step: exchanges whose responses disclosed sensitive
+  /// material (tokens, certificates, private data).
+  std::vector<const Exchange*> sensitive_exchanges() const;
+
+ private:
+  static constexpr std::size_t kTranscriptCap = 4096;
+  std::map<std::string, VendorCloud> clouds_;
+  mutable std::vector<Exchange> transcript_;
+};
+
+}  // namespace firmres::cloudsim

@@ -1,0 +1,106 @@
+#include "cloud/evaluation.h"
+
+#include <set>
+
+#include "core/slices.h"
+#include "core/truth_match.h"
+#include "support/strings.h"
+
+namespace firmres::cloudsim {
+
+Table2Row evaluate_device(const core::DeviceAnalysis& analysis,
+                          const fw::FirmwareImage& image,
+                          const CloudNetwork& network) {
+  Table2Row row;
+  row.device_id = analysis.device_id;
+  const Prober prober(network, image);
+
+  for (const core::ReconstructedMessage& message : analysis.messages) {
+    ++row.identified_msgs;
+
+    // §V-C validity: forge as the device and classify the cloud's answer.
+    if (prober.probe_as_device(message).indicates_valid_message())
+      ++row.valid_msgs;
+
+    const fw::MessageTruth* truth =
+        image.truth.message_at(message.delivery_address);
+
+    std::vector<bool> used(truth != nullptr ? truth->spec.fields.size() : 0,
+                           false);
+    for (const core::ReconstructedField& field : message.fields) {
+      ++row.identified_fields;
+      if (truth == nullptr) continue;
+      for (std::size_t i = 0; i < truth->spec.fields.size(); ++i) {
+        if (used[i]) continue;
+        if (!core::field_matches_spec(field, truth->spec.fields[i]))
+          continue;
+        used[i] = true;
+        ++row.confirmed_fields;
+        if (field.semantics == truth->spec.fields[i].primitive)
+          ++row.accurate_semantics;
+        break;
+      }
+    }
+  }
+
+  // Clustering statistics (Table II thd columns): pieces of the sprintf
+  // formats used for body assembly. Devices whose firmware assembles bodies
+  // without formatted output show "-" (paper's dash); a sprintf-style
+  // device whose formats never carry several fields shows 0 (device 11).
+  if (image.profile.assembly == fw::AssemblyStyle::Sprintf) {
+    // Following §V-C, the statistic describes "the substrings of the
+    // deconstructed message": we take the device's richest formatted
+    // message (partial messages are assembled by several sprintf calls),
+    // pool the pieces of all its format strings, and cluster them at each
+    // threshold.
+    std::vector<std::string> pieces;
+    for (const core::ReconstructedMessage& message : analysis.messages) {
+      std::vector<std::string> msg_pieces;
+      std::set<std::string> seen_pieces;
+      for (const std::string& fmt : message.multi_field_formats) {
+        for (std::string& p : core::SliceGenerator::field_pieces(fmt)) {
+          if (seen_pieces.insert(p).second)
+            msg_pieces.push_back(std::move(p));
+        }
+      }
+      if (msg_pieces.size() > pieces.size()) pieces = std::move(msg_pieces);
+    }
+    if (pieces.size() < 2) pieces.clear();  // URL scheme formats only
+    const double thresholds[3] = {0.5, 0.6, 0.7};
+    for (int t = 0; t < 3; ++t) {
+      row.clusters[t] = static_cast<int>(
+          core::SliceGenerator::cluster_pieces(pieces, thresholds[t]).size());
+    }
+  }
+  return row;
+}
+
+Table2Totals total_rows(const std::vector<Table2Row>& rows) {
+  Table2Totals totals;
+  for (const Table2Row& row : rows) {
+    totals.sum.identified_msgs += row.identified_msgs;
+    totals.sum.valid_msgs += row.valid_msgs;
+    totals.sum.identified_fields += row.identified_fields;
+    totals.sum.confirmed_fields += row.confirmed_fields;
+    totals.sum.accurate_semantics += row.accurate_semantics;
+    for (int t = 0; t < 3; ++t) {
+      if (row.clusters[t].has_value()) {
+        totals.sum.clusters[t] =
+            totals.sum.clusters[t].value_or(0) + *row.clusters[t];
+      }
+    }
+  }
+  if (totals.sum.identified_fields > 0) {
+    totals.field_accuracy =
+        static_cast<double>(totals.sum.confirmed_fields) /
+        static_cast<double>(totals.sum.identified_fields);
+  }
+  if (totals.sum.confirmed_fields > 0) {
+    totals.semantics_accuracy =
+        static_cast<double>(totals.sum.accurate_semantics) /
+        static_cast<double>(totals.sum.confirmed_fields);
+  }
+  return totals;
+}
+
+}  // namespace firmres::cloudsim

@@ -1,0 +1,42 @@
+// Evaluation harness: computes the Table II row of one device from a
+// pipeline run, the firmware ground truth (the stand-in for the paper's
+// manual confirmation), and cloud probing (the §V-C validity check).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cloud/prober.h"
+#include "cloud/vuln_hunter.h"
+#include "core/pipeline.h"
+
+namespace firmres::cloudsim {
+
+struct Table2Row {
+  int device_id = 0;
+  int identified_msgs = 0;   ///< reconstructed (non-LAN) messages
+  int valid_msgs = 0;        ///< cloud recognized the message (§V-C)
+  int identified_fields = 0;
+  int confirmed_fields = 0;  ///< matched a ground-truth field
+  /// Cluster counts of the sprintf-piece clustering at thd 0.5/0.6/0.7;
+  /// nullopt ("-") for devices that assemble bodies without sprintf.
+  std::optional<int> clusters[3];
+  int accurate_semantics = 0;  ///< confirmed fields with correct primitive
+};
+
+struct Table2Totals {
+  Table2Row sum;                      ///< device_id = 0
+  double field_accuracy = 0.0;        ///< confirmed / identified
+  double semantics_accuracy = 0.0;    ///< accurate / confirmed
+};
+
+/// Evaluate one device. `analysis` must come from the same image.
+Table2Row evaluate_device(const core::DeviceAnalysis& analysis,
+                          const fw::FirmwareImage& image,
+                          const CloudNetwork& network);
+
+/// Column sums + the two accuracy ratios of §V-C.
+Table2Totals total_rows(const std::vector<Table2Row>& rows);
+
+}  // namespace firmres::cloudsim

@@ -1,0 +1,141 @@
+#include "cloud/prober.h"
+
+#include "firmware/crypto_sim.h"
+#include "support/strings.h"
+
+namespace firmres::cloudsim {
+
+namespace {
+
+using core::FieldValueSource;
+
+std::string devinfo_value(const std::string& getter,
+                          const fw::DeviceIdentity& id) {
+  if (getter == "get_mac_address") return id.mac;
+  if (getter == "get_serial_number") return id.serial;
+  if (getter == "get_device_id") return id.device_id;
+  if (getter == "get_uuid") return id.uuid;
+  if (getter == "get_model_name") return id.model_number;
+  if (getter == "get_hw_version") return id.hardware_version;
+  if (getter == "get_fw_version") return id.firmware_version;
+  return {};
+}
+
+std::string frontend_value(const std::string& key,
+                           const fw::DeviceIdentity& id) {
+  if (key == "username") return id.cloud_username;
+  if (key == "password") return id.cloud_password;
+  if (key == "verify_code") return "482913";  // delivered via the user's UI
+  return "ui-input";
+}
+
+}  // namespace
+
+std::string Prober::device_value(
+    const core::ReconstructedField& field) const {
+  const fw::DeviceIdentity& id = image_.identity;
+  switch (field.source) {
+    case FieldValueSource::Nvram:
+      return image_.nvram_value(field.source_detail).value_or("");
+    case FieldValueSource::Config:
+      return image_.config_value(field.source_detail).value_or("");
+    case FieldValueSource::DevInfo:
+      return devinfo_value(field.source_detail, id);
+    case FieldValueSource::Frontend:
+      return frontend_value(field.source_detail, id);
+    case FieldValueSource::Env:
+      return {};
+    case FieldValueSource::StringConst:
+    case FieldValueSource::NumConst:
+      return field.const_value;
+    case FieldValueSource::FileRead:
+      // Factory-provisioned files live on the device's flash.
+      return field.source_detail.find(".crt") != std::string::npos
+                 ? id.certificate
+                 : id.dev_secret;
+    case FieldValueSource::Derived:
+      return fw::pseudo_hmac(id.dev_secret, id.device_id);
+    case FieldValueSource::Opaque:
+      return "1719800001";
+  }
+  return {};
+}
+
+std::string Prober::attacker_value(const core::ReconstructedField& field,
+                                   const AttackerKnowledge& knowledge) const {
+  const fw::DeviceIdentity& id = image_.identity;
+
+  // Hard-coded constants ship in the public image: always known.
+  if (field.source == FieldValueSource::StringConst ||
+      field.source == FieldValueSource::NumConst)
+    return field.const_value;
+  // Metadata the attacker can invent freely.
+  if (field.source == FieldValueSource::Opaque) return "1719800001";
+
+  const std::string value = device_value(field);
+  if (value.empty()) return "forged";
+
+  // Secret-class values require the matching knowledge grant.
+  if (value == id.dev_secret || value == id.certificate)
+    return knowledge.dev_secret ? value : "forged-secret";
+  if (value == id.bind_token)
+    return knowledge.bind_token ? value : "forged-token";
+  if (value == id.cloud_username || value == id.cloud_password)
+    return knowledge.user_cred ? value : "forged-cred";
+  if (field.source == FieldValueSource::Derived)
+    return knowledge.dev_secret ? value : "forged-signature";
+  if (field.source == FieldValueSource::Frontend &&
+      field.source_detail == "verify_code")
+    return "000000";  // the attacker never received the code
+
+  // Everything else is identifier-grade (§III-B: discoverable/guessable).
+  return knowledge.identifiers ? value : "forged";
+}
+
+Request Prober::forge(const core::ReconstructedMessage& message,
+                      bool attacker,
+                      const AttackerKnowledge& knowledge) const {
+  Request request;
+  request.protocol = image_.profile.primary_protocol;
+
+  // Host: resolve indirect hints (nvram/config keys) to the actual value;
+  // fall back to the capture-derived endpoint when absent (§V-C).
+  std::string host = message.host;
+  if (!host.empty() && host.find('.') == std::string::npos) {
+    host = image_.nvram_value(host).value_or(
+        image_.config_value(host).value_or(""));
+  }
+  if (host.empty() || core::Reconstructor::is_lan_address(host))
+    host = image_.identity.cloud_host;
+  request.host = host;
+
+  request.path = message.endpoint_path;
+  if (request.path.empty()) {
+    const fw::MessageTruth* truth =
+        image_.truth.message_at(message.delivery_address);
+    if (truth != nullptr) request.path = truth->spec.endpoint_path;
+  }
+
+  int anon = 0;
+  for (const core::ReconstructedField& field : message.fields) {
+    if (field.semantics == fw::Primitive::Address) continue;
+    std::string key = field.key;
+    if (key.empty())
+      key = support::format("field_%d", anon++);
+    request.fields[key] =
+        attacker ? attacker_value(field, knowledge) : device_value(field);
+  }
+  return request;
+}
+
+Response Prober::probe_as_device(
+    const core::ReconstructedMessage& message) const {
+  return network_.send(forge(message, /*attacker=*/false));
+}
+
+Response Prober::probe_as_attacker(const core::ReconstructedMessage& message,
+                                   const AttackerKnowledge& knowledge) const {
+  return network_.send(forge(message, /*attacker=*/true, knowledge));
+}
+
+}  // namespace firmres::cloudsim

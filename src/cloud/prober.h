@@ -1,0 +1,68 @@
+// Prober: fills reconstructed messages with concrete values and sends them
+// to the simulated clouds (§IV-E manual verification, mechanized).
+//
+// Two personas:
+//  - device: values come from the device's own NVRAM/config/identity —
+//    this is the §V-C validity check ("we forged device-cloud messages
+//    sent by a PC and checked the responses of the cloud");
+//  - attacker: only the threat model's knowledge (§III-B) is available —
+//    public identifiers (Shodan/SNMP/enumeration/ownership transfer), plus
+//    anything hard-coded in the public firmware image. Secrets and
+//    user credentials are forged garbage unless explicitly granted.
+//
+// Where the Address/endpoint is "not directly evident" in the firmware
+// (§V-C), the prober falls back to the ground-truth endpoint — the stand-in
+// for the paper's traffic-capture step.
+#pragma once
+
+#include "cloud/cloud.h"
+#include "core/reconstructor.h"
+#include "firmware/firmware_image.h"
+
+namespace firmres::cloudsim {
+
+struct AttackerKnowledge {
+  bool identifiers = true;  ///< MAC/serial/device id/uid/uuid, model, host
+  bool user_cred = false;
+  bool bind_token = false;
+  bool dev_secret = false;
+
+  /// §III-B tier 1/2: identifiers recovered via Shodan/SNMP queries or
+  /// enumeration of weakly random id spaces. The default.
+  static AttackerKnowledge identifiers_only() { return {}; }
+
+  /// §IV-E "hardware read of the device's flash or NVRAM": off-site
+  /// physical interaction (resold/returned device) yields the factory
+  /// secrets and any stored session token — but never the victim's cloud
+  /// account credentials.
+  static AttackerKnowledge physical_access() {
+    AttackerKnowledge k;
+    k.dev_secret = true;
+    k.bind_token = true;
+    return k;
+  }
+};
+
+class Prober {
+ public:
+  Prober(const CloudNetwork& network, const fw::FirmwareImage& image)
+      : network_(network), image_(image) {}
+
+  /// Build the concrete request for a reconstructed message.
+  Request forge(const core::ReconstructedMessage& message, bool attacker,
+                const AttackerKnowledge& knowledge = {}) const;
+
+  Response probe_as_device(const core::ReconstructedMessage& message) const;
+  Response probe_as_attacker(const core::ReconstructedMessage& message,
+                             const AttackerKnowledge& knowledge = {}) const;
+
+ private:
+  std::string device_value(const core::ReconstructedField& field) const;
+  std::string attacker_value(const core::ReconstructedField& field,
+                             const AttackerKnowledge& knowledge) const;
+
+  const CloudNetwork& network_;
+  const fw::FirmwareImage& image_;
+};
+
+}  // namespace firmres::cloudsim

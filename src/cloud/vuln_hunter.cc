@@ -1,0 +1,59 @@
+#include "cloud/vuln_hunter.h"
+
+#include <set>
+
+#include "support/strings.h"
+
+namespace firmres::cloudsim {
+
+HuntResult VulnHunter::hunt(const core::DeviceAnalysis& analysis,
+                            const fw::FirmwareImage& image) const {
+  HuntResult result;
+  const Prober prober(network_, image);
+
+  std::set<std::size_t> flagged;
+  for (const core::FlawReport& flaw : analysis.flaws)
+    flagged.insert(flaw.message_index);
+  result.reported_messages = static_cast<int>(flagged.size());
+
+  for (const std::size_t index : flagged) {
+    const core::ReconstructedMessage& message = analysis.messages[index];
+    const Request request = prober.forge(message, /*attacker=*/true);
+    const Response response = network_.send(request);
+
+    const VendorCloud* cloud = network_.cloud_for(request.host);
+    const EndpointPolicy* policy =
+        cloud != nullptr ? cloud->endpoint(request.path) : nullptr;
+
+    const bool guards_something =
+        policy != nullptr && !policy->anonymous_ok &&
+        (policy->returns_sensitive || !policy->consequence.empty() ||
+         response.sensitive);
+    if (response.verdict == Verdict::Ok && guards_something) {
+      VulnFinding finding;
+      finding.device_id = analysis.device_id;
+      finding.functionality = policy->functionality;
+      finding.path = request.path;
+      std::vector<std::string> keys;
+      for (const core::ReconstructedField& f : message.fields) {
+        if (f.semantics == fw::Primitive::Address) continue;
+        if (!f.key.empty()) keys.push_back(f.key);
+      }
+      finding.params = support::join(keys, "/");
+      finding.consequence = policy->consequence;
+      finding.previously_known = policy->previously_known;
+      for (const core::FlawReport& flaw : analysis.flaws) {
+        if (flaw.message_index == index) {
+          finding.flaw_kind = flaw.kind;
+          break;
+        }
+      }
+      result.confirmed.push_back(std::move(finding));
+    } else {
+      ++result.false_alarms;
+    }
+  }
+  return result;
+}
+
+}  // namespace firmres::cloudsim

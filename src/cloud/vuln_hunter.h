@@ -1,0 +1,49 @@
+// Vulnerability confirmation (§IV-E manual verification → Table III).
+//
+// Every message the form checker flagged is probed against the vendor
+// cloud with attacker-only knowledge. A flaw is confirmed when the cloud
+// ACCEPTS the forged request AND the endpoint guards something worth
+// protecting (sensitive response or stated consequence) — anonymous
+// telemetry endpoints and custom-primitive misdetections fall out here,
+// reproducing the paper's 26-reported/15-confirmed split (§V-D).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cloud/prober.h"
+#include "core/pipeline.h"
+
+namespace firmres::cloudsim {
+
+struct VulnFinding {
+  int device_id = 0;
+  std::string functionality;
+  std::string path;
+  std::string params;       ///< "/"-joined field names, Table III style
+  std::string consequence;
+  bool previously_known = false;  ///< device 11's CVE-2023-2586
+  core::FlawKind flaw_kind = core::FlawKind::MissingPrimitives;
+};
+
+struct HuntResult {
+  /// Messages the automatic form check reported (unique messages).
+  int reported_messages = 0;
+  /// Confirmed vulnerabilities (one per flawed interface).
+  std::vector<VulnFinding> confirmed;
+  /// Flagged messages rejected during manual verification (false alarms).
+  int false_alarms = 0;
+};
+
+class VulnHunter {
+ public:
+  explicit VulnHunter(const CloudNetwork& network) : network_(network) {}
+
+  HuntResult hunt(const core::DeviceAnalysis& analysis,
+                  const fw::FirmwareImage& image) const;
+
+ private:
+  const CloudNetwork& network_;
+};
+
+}  // namespace firmres::cloudsim

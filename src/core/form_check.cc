@@ -1,0 +1,91 @@
+#include "core/form_check.h"
+
+#include <set>
+
+#include "support/strings.h"
+
+namespace firmres::core {
+
+const char* flaw_kind_name(FlawKind kind) {
+  switch (kind) {
+    case FlawKind::MissingPrimitives: return "missing-primitives";
+    case FlawKind::HardcodedSecret: return "hardcoded-secret";
+  }
+  return "?";
+}
+
+bool FormChecker::satisfies_any_form(const ReconstructedMessage& msg) {
+  const bool id = msg.has_primitive(fw::Primitive::DevIdentifier);
+  if (!id) return false;
+  if (msg.has_primitive(fw::Primitive::BindToken)) return true;   // ①
+  if (msg.has_primitive(fw::Primitive::Signature)) return true;   // ②
+  if (msg.has_primitive(fw::Primitive::DevSecret) &&
+      msg.has_primitive(fw::Primitive::UserCred))
+    return true;  // ③ / binding
+  return false;
+}
+
+std::vector<FlawReport> FormChecker::check(
+    const std::vector<ReconstructedMessage>& messages,
+    const std::vector<std::string>& image_files) const {
+  const std::set<std::string> files(image_files.begin(), image_files.end());
+  std::vector<FlawReport> out;
+  for (std::size_t i = 0; i < messages.size(); ++i) {
+    const ReconstructedMessage& msg = messages[i];
+
+    std::set<fw::Primitive> present;
+    for (const ReconstructedField& f : msg.fields) {
+      if (f.semantics != fw::Primitive::None &&
+          f.semantics != fw::Primitive::Address)
+        present.insert(f.semantics);
+    }
+
+    if (!satisfies_any_form(msg)) {
+      FlawReport r;
+      r.message_index = i;
+      r.delivery_address = msg.delivery_address;
+      r.kind = FlawKind::MissingPrimitives;
+      r.present = {present.begin(), present.end()};
+      std::vector<std::string> names;
+      for (const fw::Primitive p : r.present)
+        names.emplace_back(fw::primitive_name(p));
+      r.detail = names.empty()
+                     ? "no access-control primitives in message"
+                     : "only {" + support::join(names, ", ") +
+                           "} present; no valid composition";
+      out.push_back(std::move(r));
+    }
+
+    // Hard-coded credential tracking.
+    for (const ReconstructedField& f : msg.fields) {
+      const bool credential = f.semantics == fw::Primitive::DevSecret ||
+                              f.semantics == fw::Primitive::BindToken;
+      if (!credential) continue;
+      if (f.hardcoded && f.source == FieldValueSource::StringConst) {
+        FlawReport r;
+        r.message_index = i;
+        r.delivery_address = msg.delivery_address;
+        r.kind = FlawKind::HardcodedSecret;
+        r.present = {present.begin(), present.end()};
+        r.detail = support::format(
+            "%s value hard-coded in binary: \"%s\"",
+            fw::primitive_name(f.semantics), f.const_value.c_str());
+        out.push_back(std::move(r));
+      } else if (f.source == FieldValueSource::FileRead &&
+                 files.contains(f.source_detail)) {
+        FlawReport r;
+        r.message_index = i;
+        r.delivery_address = msg.delivery_address;
+        r.kind = FlawKind::HardcodedSecret;
+        r.present = {present.begin(), present.end()};
+        r.detail = support::format(
+            "%s read from firmware file %s (<Variable = Function(Constant)>)",
+            fw::primitive_name(f.semantics), f.source_detail.c_str());
+        out.push_back(std::move(r));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace firmres::core

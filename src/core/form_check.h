@@ -1,0 +1,54 @@
+// Message form check (§IV-E, automatic half).
+//
+// Flags reconstructed messages whose semantic annotations match none of the
+// §II-B access-control compositions:
+//   binding:   Dev-Identifier + Dev-Secret + User-Cred
+//   business ① Dev-Identifier + Bind-Token
+//   business ② Dev-Identifier + Signature
+//   business ③ Dev-Identifier + Dev-Secret + User-Cred
+// and, separately, tracks hard-coded Dev-Secret / Bind-Token values —
+// pattern (1) <Variable = Constant> and pattern (2)
+// <Variable = Function(Constant)> (credential read from a file shipped in
+// the image).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/reconstructor.h"
+
+namespace firmres::core {
+
+enum class FlawKind {
+  MissingPrimitives,  ///< no valid composition present
+  HardcodedSecret,    ///< Dev-Secret/Bind-Token burned into binary or file
+};
+
+const char* flaw_kind_name(FlawKind kind);
+
+struct FlawReport {
+  /// Index into the checked message vector.
+  std::size_t message_index = 0;
+  std::uint64_t delivery_address = 0;
+  FlawKind kind = FlawKind::MissingPrimitives;
+  std::string detail;
+  /// Primitives the message does carry (for the report).
+  std::vector<fw::Primitive> present;
+};
+
+class FormChecker {
+ public:
+  /// Check every message; multiple flaws per message possible.
+  /// `image_files` lists the paths present in the firmware image: a
+  /// credential read from a file is only a leak when the file actually
+  /// ships in the image ("we try to read the file from the firmware
+  /// system", §IV-E) — factory-provisioned per-device key files do not.
+  std::vector<FlawReport> check(
+      const std::vector<ReconstructedMessage>& messages,
+      const std::vector<std::string>& image_files = {}) const;
+
+  /// Does the message satisfy any §II-B composition?
+  static bool satisfies_any_form(const ReconstructedMessage& msg);
+};
+
+}  // namespace firmres::core

@@ -1,0 +1,63 @@
+// End-to-end FIRMRES pipeline (Fig. 3).
+//
+// firmware image → pinpoint device-cloud executables → backward taint /
+// MFTs → slices + semantics → message reconstruction → form check.
+// Phase wall-clock times are recorded for the §V-E performance breakdown.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/exec_identifier.h"
+#include "core/form_check.h"
+#include "core/taint.h"
+#include "core/reconstructor.h"
+#include "core/semantics.h"
+#include "firmware/firmware_image.h"
+
+namespace firmres::core {
+
+struct PhaseTimings {
+  double pinpoint_s = 0.0;   ///< device-cloud executable identification
+  double fields_s = 0.0;     ///< taint analysis / MFT construction
+  double semantics_s = 0.0;  ///< slice classification
+  double concat_s = 0.0;     ///< grouping, ordering, format inference
+  double check_s = 0.0;      ///< message form check
+  double total_s() const {
+    return pinpoint_s + fields_s + semantics_s + concat_s + check_s;
+  }
+};
+
+struct DeviceAnalysis {
+  int device_id = 0;
+  /// Path of the identified device-cloud executable; empty when none found
+  /// (script-based devices 21/22).
+  std::string device_cloud_executable;
+  /// Reconstructed (non-LAN) messages in delivery-callsite order.
+  std::vector<ReconstructedMessage> messages;
+  int discarded_lan = 0;
+  std::vector<FlawReport> flaws;
+  PhaseTimings timings;
+};
+
+class Pipeline {
+ public:
+  struct Options {
+    ExecutableIdentifier::Options identifier;
+    MftBuilder::Options taint;
+  };
+
+  /// `model` must outlive the pipeline.
+  explicit Pipeline(const SemanticsModel& model)
+      : model_(model), options_() {}
+  Pipeline(const SemanticsModel& model, Options options)
+      : model_(model), options_(options) {}
+
+  DeviceAnalysis analyze(const fw::FirmwareImage& image) const;
+
+ private:
+  const SemanticsModel& model_;
+  Options options_;
+};
+
+}  // namespace firmres::core

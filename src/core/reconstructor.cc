@@ -1,0 +1,302 @@
+#include "core/reconstructor.h"
+
+#include <algorithm>
+#include <map>
+
+#include "ir/library.h"
+#include "support/strings.h"
+
+namespace firmres::core {
+
+const char* field_value_source_name(FieldValueSource s) {
+  switch (s) {
+    case FieldValueSource::Nvram: return "nvram";
+    case FieldValueSource::Config: return "config";
+    case FieldValueSource::Env: return "env";
+    case FieldValueSource::Frontend: return "frontend";
+    case FieldValueSource::DevInfo: return "devinfo";
+    case FieldValueSource::StringConst: return "string-const";
+    case FieldValueSource::NumConst: return "num-const";
+    case FieldValueSource::FileRead: return "file";
+    case FieldValueSource::Derived: return "derived";
+    case FieldValueSource::Opaque: return "opaque";
+  }
+  return "?";
+}
+
+bool ReconstructedMessage::has_primitive(fw::Primitive p) const {
+  for (const ReconstructedField& f : fields)
+    if (f.semantics == p) return true;
+  return false;
+}
+
+namespace {
+
+bool numeric_dotted(const std::string& s, int parts[4]) {
+  const auto pieces = support::split(s, '.');
+  if (pieces.size() != 4) return false;
+  for (int i = 0; i < 4; ++i) {
+    const std::string& p = pieces[static_cast<std::size_t>(i)];
+    if (p.empty() || p.size() > 3) return false;
+    for (const char c : p)
+      if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+    parts[i] = std::atoi(p.c_str());
+    if (parts[i] > 255) return false;
+  }
+  return true;
+}
+
+FieldValueSource source_of_leaf(const MftNode& leaf, const MftNode* parent) {
+  switch (leaf.kind) {
+    case MftNodeKind::LeafSource: {
+      const ir::LibFunction* lib =
+          ir::LibraryModel::instance().find(leaf.source_callee);
+      if (lib == nullptr) return FieldValueSource::Opaque;
+      switch (lib->kind) {
+        case ir::LibKind::SourceNvram: return FieldValueSource::Nvram;
+        case ir::LibKind::SourceConfig: return FieldValueSource::Config;
+        case ir::LibKind::SourceEnv: return FieldValueSource::Env;
+        case ir::LibKind::SourceFrontend: return FieldValueSource::Frontend;
+        case ir::LibKind::SourceDevInfo: return FieldValueSource::DevInfo;
+        default: return FieldValueSource::Opaque;
+      }
+    }
+    case MftNodeKind::LeafString: {
+      if (parent != nullptr && parent->op != nullptr &&
+          parent->op->opcode == ir::OpCode::Call &&
+          ir::LibraryModel::instance().is_kind(parent->op->callee,
+                                               ir::LibKind::FileOp)) {
+        return FieldValueSource::FileRead;
+      }
+      return FieldValueSource::StringConst;
+    }
+    case MftNodeKind::LeafConst:
+      return FieldValueSource::NumConst;
+    default:
+      return FieldValueSource::Opaque;
+  }
+}
+
+/// Is this field's value produced by a crypto derivation somewhere on its
+/// path (Signature = f(Dev-Secret))?
+bool derived_on_path(const std::vector<const MftNode*>& path) {
+  for (const MftNode* node : path) {
+    if (node->op != nullptr && node->op->opcode == ir::OpCode::Call &&
+        ir::LibraryModel::instance().is_kind(node->op->callee,
+                                             ir::LibKind::Crypto))
+      return true;
+  }
+  return false;
+}
+
+/// DNS-name shape: dotted labels with an alphabetic TLD. Rejects firmware
+/// version strings ("a01.04.05.…") and dotted quads.
+bool looks_like_hostname(const std::string& s) {
+  const auto labels = support::split(s, '.');
+  if (labels.size() < 2) return false;
+  for (const std::string& label : labels) {
+    if (label.empty()) return false;
+    for (const char c : label) {
+      if (!std::isalnum(static_cast<unsigned char>(c)) && c != '-')
+        return false;
+    }
+  }
+  const std::string& tld = labels.back();
+  if (tld.size() < 2) return false;
+  for (const char c : tld)
+    if (!std::isalpha(static_cast<unsigned char>(c))) return false;
+  return true;
+}
+
+/// Collect the ordered leaf ids of the simplified + inverted tree.
+void ordered_leaf_ids(const MftNode& node, std::vector<int>& out) {
+  if (node.is_leaf()) {
+    out.push_back(node.leaf_id);
+    return;
+  }
+  for (const auto& c : node.children) ordered_leaf_ids(*c, out);
+}
+
+}  // namespace
+
+bool Reconstructor::is_lan_address(const std::string& text) {
+  // IPv6 link-local.
+  if (support::to_lower(text).rfind("fe80", 0) == 0) return true;
+  // Extract a dotted quad embedded anywhere in the text.
+  int parts[4];
+  if (!numeric_dotted(text, parts)) return false;
+  if (parts[0] == 10) return true;
+  if (parts[0] == 172 && parts[1] >= 16 && parts[1] <= 31) return true;
+  if (parts[0] == 192 && parts[1] == 168) return true;
+  if (parts[0] >= 224 && parts[0] <= 239) return true;  // multicast
+  if (parts[0] == 255 && parts[1] == 255) return true;  // broadcast
+  return false;
+}
+
+std::optional<ReconstructedMessage> Reconstructor::reconstruct_one(
+    const Mft& mft, const std::string& executable) const {
+  const SliceGenerator slicer(mft);
+  const auto& slices = slicer.slices();
+
+  // --- semantics per slice -------------------------------------------------
+  std::map<int, fw::Primitive> semantics;  // leaf_id → label
+  for (const FieldSlice& s : slices) {
+    if (s.role != LeafRole::Field) continue;
+    semantics[s.leaf->leaf_id] = model_.classify(s.slice_text);
+  }
+
+  // --- §IV-D field grouping + LAN filter -----------------------------------
+  // The group is the MFT itself (slices were generated from its paths; path
+  // hashes give each slice a stable identity). Any Address-classified slice
+  // (or host-looking constant) naming a LAN destination kills the group.
+  std::string host;
+  std::string endpoint;
+  for (const FieldSlice& s : slices) {
+    const bool address_like =
+        (s.role == LeafRole::Field &&
+         semantics[s.leaf->leaf_id] == fw::Primitive::Address) ||
+        s.role == LeafRole::PathConst;
+    if (s.role == LeafRole::Field || address_like) {
+      // Check string constants on Address slices for LAN IPs.
+      if (s.leaf->kind == MftNodeKind::LeafString &&
+          is_lan_address(s.leaf->detail))
+        return std::nullopt;
+    }
+    if (s.role == LeafRole::PathConst && endpoint.empty()) {
+      std::string text = s.leaf->detail;
+      // Full URLs split into host + path.
+      for (const char* scheme : {"https://", "http://"}) {
+        if (text.rfind(scheme, 0) == 0) {
+          text = text.substr(std::string(scheme).size());
+          const auto slash = text.find('/');
+          if (slash != std::string::npos) {
+            if (host.empty()) host = text.substr(0, slash);
+            text = text.substr(slash);
+          }
+          break;
+        }
+      }
+      if (!text.empty() && (text[0] == '/' || text[0] == '?'))
+        endpoint = text;
+    }
+    // Query-style assembly embeds the path in the format string itself.
+    if (s.role == LeafRole::FormatString && endpoint.empty()) {
+      const std::string prefix = SliceGenerator::path_prefix(s.leaf->detail);
+      if (!prefix.empty()) endpoint = prefix;
+    }
+    if (host.empty() && s.role == LeafRole::Field &&
+        semantics[s.leaf->leaf_id] == fw::Primitive::Address) {
+      host = s.leaf->detail;
+    }
+    // Hard-coded endpoints: a hostname-shaped string constant names the
+    // cloud even when the model misses the Address label.
+    if (host.empty() && s.role == LeafRole::Field &&
+        s.leaf->kind == MftNodeKind::LeafString &&
+        looks_like_hostname(s.leaf->detail)) {
+      host = s.leaf->detail;
+    }
+  }
+
+  // --- format inference -----------------------------------------------------
+  fw::WireFormat format = fw::WireFormat::KeyValue;
+  bool saw_json = false, saw_query = false;
+  for (const FieldSlice& s : slices) {
+    if (s.role == LeafRole::JsonKey) saw_json = true;
+    if (s.role == LeafRole::FormatString) {
+      if (s.leaf->detail.find('{') != std::string::npos ||
+          s.leaf->detail.find("\":") != std::string::npos)
+        saw_json = true;
+      else if (s.leaf->detail.find('=') != std::string::npos)
+        saw_query = true;
+    }
+    if (s.role == LeafRole::PathConst &&
+        s.leaf->detail.find('?') != std::string::npos)
+      saw_query = true;
+  }
+  if (saw_json)
+    format = fw::WireFormat::Json;
+  else if (saw_query)
+    format = fw::WireFormat::Query;
+
+  // --- field ordering via simplify + invert ---------------------------------
+  std::vector<int> order;
+  for (const auto& root : mft.roots) {
+    auto simplified = simplify(*root);
+    invert(*simplified);
+    ordered_leaf_ids(*simplified, order);
+  }
+  std::map<int, int> rank;
+  for (std::size_t i = 0; i < order.size(); ++i)
+    rank.emplace(order[i], static_cast<int>(i));
+
+  std::vector<const FieldSlice*> field_slices;
+  for (const FieldSlice& s : slices)
+    if (s.role == LeafRole::Field) field_slices.push_back(&s);
+  std::sort(field_slices.begin(), field_slices.end(),
+            [&rank](const FieldSlice* a, const FieldSlice* b) {
+              const auto ra = rank.find(a->leaf->leaf_id);
+              const auto rb = rank.find(b->leaf->leaf_id);
+              const int ia = ra == rank.end() ? 1 << 20 : ra->second;
+              const int ib = rb == rank.end() ? 1 << 20 : rb->second;
+              return ia < ib;
+            });
+
+  // --- assemble -------------------------------------------------------------
+  ReconstructedMessage msg;
+  msg.executable = executable;
+  msg.delivery_address = mft.delivery_op->address;
+  msg.delivery_callee = mft.delivery_callee;
+  msg.endpoint_path = endpoint;
+  msg.host = host;
+  msg.format = format;
+  msg.multi_field_formats = slicer.multi_field_formats();
+
+  for (const FieldSlice* s : field_slices) {
+    const MftNode* leaf = s->leaf;
+    const auto path = mft.path_to(leaf);
+    const MftNode* parent = path.size() >= 2 ? path[path.size() - 2] : nullptr;
+
+    ReconstructedField field;
+    field.key = s->recovered_key;
+    field.semantics = semantics[leaf->leaf_id];
+    field.source = source_of_leaf(*leaf, parent);
+    if (field.source == FieldValueSource::Opaque && derived_on_path(path))
+      field.source = FieldValueSource::Derived;
+    // A crypto step above a store-sourced leaf means the *wire value* is
+    // derived, even though the taint sink is the secret's store.
+    if ((field.source == FieldValueSource::Nvram ||
+         field.source == FieldValueSource::Config) &&
+        derived_on_path(path))
+      field.source = FieldValueSource::Derived;
+    field.source_detail = leaf->detail;
+    if (leaf->kind == MftNodeKind::LeafString ||
+        leaf->kind == MftNodeKind::LeafConst) {
+      field.const_value = leaf->detail;
+      field.hardcoded = field.source != FieldValueSource::FileRead;
+    }
+    field.slice_text = s->slice_text;
+    field.leaf_id = leaf->leaf_id;
+
+    // Fall back to the source key as the wire-name hint for keyless fields.
+    if (field.key.empty() && leaf->kind == MftNodeKind::LeafSource)
+      field.key = leaf->detail;
+
+    msg.fields.push_back(std::move(field));
+  }
+  return msg;
+}
+
+ReconstructionResult Reconstructor::reconstruct(
+    const std::vector<Mft>& mfts, const std::string& executable) const {
+  ReconstructionResult out;
+  for (const Mft& mft : mfts) {
+    auto msg = reconstruct_one(mft, executable);
+    if (msg.has_value())
+      out.messages.push_back(std::move(*msg));
+    else
+      ++out.discarded_lan;
+  }
+  return out;
+}
+
+}  // namespace firmres::core

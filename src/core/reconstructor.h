@@ -1,0 +1,99 @@
+// Message reconstruction: concatenating identified fields (§IV-D).
+//
+// Groups field slices per MFT (path-hash matching), discards MFTs whose
+// Address slices expose LAN destinations, simplifies + inverts the MFT to
+// recover field order, infers the wire format, and emits the reconstructed
+// device-cloud messages with semantic annotations attached — the testing
+// cues the analyst forges messages from (§IV-E).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/mft.h"
+#include "core/semantics.h"
+#include "core/slices.h"
+#include "firmware/message_spec.h"
+
+namespace firmres::core {
+
+/// How a reconstructed field's value is obtained on the device.
+enum class FieldValueSource {
+  Nvram,
+  Config,
+  Env,
+  Frontend,
+  DevInfo,
+  StringConst,
+  NumConst,
+  FileRead,
+  Derived,    ///< crypto-derived (hmac/md5 over another value)
+  Opaque,     ///< time()/rand()/unresolved
+};
+
+const char* field_value_source_name(FieldValueSource s);
+
+struct ReconstructedField {
+  /// Recovered wire key (format piece / cJSON key); may be empty for
+  /// concat-style assembly.
+  std::string key;
+  /// Model-recovered semantics.
+  fw::Primitive semantics = fw::Primitive::None;
+  FieldValueSource source = FieldValueSource::Opaque;
+  /// NVRAM/config key, getter/crypto callee, file path, or constant value.
+  std::string source_detail;
+  /// For StringConst/NumConst: the hard-coded value itself.
+  std::string const_value;
+  /// The enriched code slice this field was classified from.
+  std::string slice_text;
+  int leaf_id = -1;
+  bool hardcoded = false;  ///< value burned into the binary (§IV-E tracking)
+};
+
+struct ReconstructedMessage {
+  std::string executable;
+  std::uint64_t delivery_address = 0;
+  std::string delivery_callee;
+  /// Recovered request path or MQTT topic (empty when not evident).
+  std::string endpoint_path;
+  /// Recovered Address (host) — constant value or source detail; empty when
+  /// "not directly evident in the firmware image" (§V-C).
+  std::string host;
+  fw::WireFormat format = fw::WireFormat::KeyValue;
+  /// Fields in recovered concatenation order.
+  std::vector<ReconstructedField> fields;
+  /// Multi-conversion sprintf format strings seen while reconstructing this
+  /// message (drives the Table II clustering-threshold statistics).
+  std::vector<std::string> multi_field_formats;
+
+  bool has_primitive(fw::Primitive p) const;
+};
+
+struct ReconstructionResult {
+  std::vector<ReconstructedMessage> messages;
+  /// MFTs discarded by the LAN-address filter.
+  int discarded_lan = 0;
+};
+
+class Reconstructor {
+ public:
+  explicit Reconstructor(const SemanticsModel& model) : model_(model) {}
+
+  /// Reconstruct all messages of one program's MFTs.
+  ReconstructionResult reconstruct(const std::vector<Mft>& mfts,
+                                   const std::string& executable) const;
+
+  /// One MFT → one message (or nullopt when LAN-filtered).
+  std::optional<ReconstructedMessage> reconstruct_one(
+      const Mft& mft, const std::string& executable) const;
+
+  /// §IV-D LAN predicate: 10.*, 172.16-31.*, 192.168.*, FE80-prefixed IPv6,
+  /// multicast (224-239.*), broadcast.
+  static bool is_lan_address(const std::string& text);
+
+ private:
+  const SemanticsModel& model_;
+};
+
+}  // namespace firmres::core

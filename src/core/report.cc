@@ -1,0 +1,76 @@
+#include "core/report.h"
+
+#include "support/strings.h"
+
+namespace firmres::core {
+
+namespace {
+using support::Json;
+using support::JsonArray;
+using support::JsonObject;
+}  // namespace
+
+support::Json message_to_json(const ReconstructedMessage& message) {
+  Json m{JsonObject{}};
+  m.set("executable", message.executable);
+  m.set("delivery_address",
+        support::format("0x%llx",
+                        static_cast<unsigned long long>(
+                            message.delivery_address)));
+  m.set("delivery_callee", message.delivery_callee);
+  m.set("endpoint_path", message.endpoint_path);
+  m.set("host", message.host);
+  m.set("format", std::string(fw::wire_format_name(message.format)));
+  JsonArray fields;
+  for (const ReconstructedField& f : message.fields) {
+    Json fo{JsonObject{}};
+    fo.set("key", f.key);
+    fo.set("semantics", std::string(fw::primitive_name(f.semantics)));
+    fo.set("source", std::string(field_value_source_name(f.source)));
+    fo.set("source_detail", f.source_detail);
+    if (!f.const_value.empty()) fo.set("const_value", f.const_value);
+    fo.set("hardcoded", f.hardcoded);
+    fields.push_back(std::move(fo));
+  }
+  m.set("fields", Json(std::move(fields)));
+  return m;
+}
+
+support::Json analysis_to_json(const DeviceAnalysis& analysis) {
+  Json doc{JsonObject{}};
+  doc.set("format", "firmres-report");
+  doc.set("device_id", analysis.device_id);
+  doc.set("device_cloud_executable", analysis.device_cloud_executable);
+  doc.set("discarded_lan_messages", analysis.discarded_lan);
+
+  JsonArray messages;
+  for (const ReconstructedMessage& m : analysis.messages)
+    messages.push_back(message_to_json(m));
+  doc.set("messages", Json(std::move(messages)));
+
+  JsonArray alarms;
+  for (const FlawReport& flaw : analysis.flaws) {
+    Json a{JsonObject{}};
+    a.set("message_index", static_cast<double>(flaw.message_index));
+    a.set("kind", std::string(flaw_kind_name(flaw.kind)));
+    a.set("detail", flaw.detail);
+    JsonArray present;
+    for (const fw::Primitive p : flaw.present)
+      present.emplace_back(std::string(fw::primitive_name(p)));
+    a.set("primitives_present", Json(std::move(present)));
+    alarms.push_back(std::move(a));
+  }
+  doc.set("alarms", Json(std::move(alarms)));
+
+  Json timings{JsonObject{}};
+  timings.set("pinpoint_s", analysis.timings.pinpoint_s);
+  timings.set("fields_s", analysis.timings.fields_s);
+  timings.set("semantics_s", analysis.timings.semantics_s);
+  timings.set("concat_s", analysis.timings.concat_s);
+  timings.set("check_s", analysis.timings.check_s);
+  timings.set("total_s", analysis.timings.total_s());
+  doc.set("timings", std::move(timings));
+  return doc;
+}
+
+}  // namespace firmres::core

@@ -1,0 +1,23 @@
+// Machine-readable analysis reports.
+//
+// FIRMRES's output is "testing cues and alarms of incorrect device-cloud
+// messages" (§IV, Fig. 3). This module renders a DeviceAnalysis — the
+// reconstructed messages with their semantic annotations plus the form-check
+// alarms — as a JSON document an analyst's tooling (or the bundled prober)
+// can consume.
+#pragma once
+
+#include "core/pipeline.h"
+#include "support/json.h"
+
+namespace firmres::core {
+
+/// One reconstructed message (fields in recovered order, semantics, value
+/// sources, hard-coded markers).
+support::Json message_to_json(const ReconstructedMessage& message);
+
+/// The full report: executable verdict, messages, LAN-discard count,
+/// flaw alarms, and phase timings.
+support::Json analysis_to_json(const DeviceAnalysis& analysis);
+
+}  // namespace firmres::core

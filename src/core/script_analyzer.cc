@@ -1,0 +1,225 @@
+#include "core/script_analyzer.h"
+
+#include <map>
+
+#include "support/hash.h"
+#include "support/strings.h"
+
+namespace firmres::core {
+
+namespace {
+
+/// Join backslash-continued lines ("curl … \\\n  -d …").
+std::vector<std::string> logical_lines(const std::string& text) {
+  std::vector<std::string> out;
+  std::string current;
+  for (const std::string& raw : support::split(text, '\n')) {
+    std::string line(support::trim(raw));
+    if (!line.empty() && line.back() == '\\') {
+      line.pop_back();
+      current += line + " ";
+      continue;
+    }
+    current += line;
+    if (!current.empty()) out.push_back(current);
+    current.clear();
+  }
+  if (!current.empty()) out.push_back(current);
+  return out;
+}
+
+/// First "-quoted or '-quoted span after position `from`.
+std::optional<std::string> quoted_after(const std::string& line,
+                                        std::size_t from) {
+  for (std::size_t i = from; i < line.size(); ++i) {
+    if (line[i] != '"' && line[i] != '\'') continue;
+    const char quote = line[i];
+    const auto end = line.find(quote, i + 1);
+    if (end == std::string::npos) return std::nullopt;
+    return line.substr(i + 1, end - i - 1);
+  }
+  return std::nullopt;
+}
+
+struct VarDef {
+  FieldValueSource source = FieldValueSource::Opaque;
+  std::string detail;  // nvram key / file path
+};
+
+/// "nvram get KEY" / "cat FILE" command substitution bodies.
+std::optional<VarDef> parse_command(const std::string& cmd) {
+  const auto tokens = support::split_any(cmd, " \t");
+  if (tokens.size() >= 3 && tokens[0] == "nvram" && tokens[1] == "get")
+    return VarDef{FieldValueSource::Nvram, tokens[2]};
+  if (tokens.size() >= 2 && tokens[0] == "cat")
+    return VarDef{FieldValueSource::FileRead, tokens[1]};
+  return std::nullopt;
+}
+
+/// Shell `NAME=$(cmd)` definitions.
+void collect_shell_vars(const std::string& line,
+                        std::map<std::string, VarDef>& vars) {
+  const auto eq = line.find("=$(");
+  if (eq == std::string::npos) return;
+  const std::string name = line.substr(0, eq);
+  if (name.empty() || name.find(' ') != std::string::npos) return;
+  const auto close = line.rfind(')');
+  if (close == std::string::npos || close < eq + 3) return;
+  if (const auto def = parse_command(line.substr(eq + 3, close - eq - 3)))
+    vars["$" + name] = *def;
+}
+
+/// PHP `$name = shell_exec('cmd');` definitions.
+void collect_php_vars(const std::string& line,
+                      std::map<std::string, VarDef>& vars) {
+  if (line.empty() || line[0] != '$') return;
+  const auto eq = line.find('=');
+  const auto exec = line.find("shell_exec(");
+  if (eq == std::string::npos || exec == std::string::npos) return;
+  const std::string name(support::trim(line.substr(0, eq)));
+  const auto cmd = quoted_after(line, exec);
+  if (!cmd.has_value()) return;
+  if (const auto def = parse_command(*cmd)) vars[name] = *def;
+}
+
+/// Split a URL into host and path ("https://h/p" → h, /p).
+bool split_url(const std::string& url, std::string& host, std::string& path) {
+  for (const char* scheme : {"https://", "http://"}) {
+    if (url.rfind(scheme, 0) != 0) continue;
+    const std::string rest = url.substr(std::string(scheme).size());
+    const auto slash = rest.find('/');
+    host = slash == std::string::npos ? rest : rest.substr(0, slash);
+    path = slash == std::string::npos ? "/" : rest.substr(slash);
+    return true;
+  }
+  return false;
+}
+
+ReconstructedField make_field(const std::string& key, const VarDef& def,
+                              const SemanticsModel& model,
+                              const std::string& context) {
+  ReconstructedField field;
+  field.key = key;
+  field.source = def.source;
+  field.source_detail = def.detail;
+  // Pseudo-slice: the script evidence in the enriched-token idiom so the
+  // same classifier serves binaries and scripts.
+  field.slice_text = support::format(
+      "SCRIPT %s ; FIELD (Cons, \"%s\") ; SOURCE (Fun, %s) (Cons, \"%s\")",
+      context.c_str(), key.c_str(),
+      def.source == FieldValueSource::Nvram ? "nvram_get" : "read_file",
+      def.detail.c_str());
+  field.semantics = model.classify(field.slice_text);
+  return field;
+}
+
+}  // namespace
+
+std::vector<ReconstructedMessage> ScriptAnalyzer::analyze_script(
+    const fw::FirmwareFile& file) const {
+  std::vector<ReconstructedMessage> out;
+  std::map<std::string, VarDef> vars;
+  const bool php = file.path.find(".php") != std::string::npos;
+
+  // PHP array('k' => $v, …) field templates seen since the last delivery.
+  std::vector<std::pair<std::string, std::string>> pending;
+
+  int message_index = 0;
+  for (const std::string& line : logical_lines(file.text)) {
+    collect_shell_vars(line, vars);
+    collect_php_vars(line, vars);
+
+    if (php && line.find("array(") != std::string::npos) {
+      pending.clear();
+      std::string body = line.substr(line.find("array(") + 6);
+      for (const std::string& piece : support::split(body, ',')) {
+        const auto arrow = piece.find("=>");
+        if (arrow == std::string::npos) continue;
+        const auto key = quoted_after(piece, 0);
+        if (!key.has_value()) continue;
+        pending.emplace_back(
+            *key, std::string(support::trim(piece.substr(arrow + 2))));
+      }
+    }
+
+    // Delivery lines.
+    const bool is_curl = line.find("curl ") != std::string::npos;
+    const bool is_fgc = line.find("file_get_contents(") != std::string::npos;
+    if (!is_curl && !is_fgc) continue;
+
+    const auto url = quoted_after(
+        line, is_curl ? line.find("curl ") : line.find("file_get_contents("));
+    if (!url.has_value()) continue;
+    ReconstructedMessage msg;
+    if (!split_url(*url, msg.host, msg.endpoint_path)) continue;
+    if (Reconstructor::is_lan_address(msg.host)) continue;  // §IV-D filter
+    msg.executable = file.path;
+    msg.delivery_callee = is_curl ? "curl" : "file_get_contents";
+    msg.delivery_address =
+        support::hash_combine(support::fnv1a64(file.path),
+                              static_cast<std::uint64_t>(++message_index));
+    msg.format = fw::WireFormat::Query;
+
+    if (is_curl) {
+      // Body template: -d "k=$VAR&k2=$(cmd)".
+      const auto dpos = line.find("-d ");
+      if (dpos != std::string::npos) {
+        const auto body = quoted_after(line, dpos);
+        if (body.has_value()) {
+          for (const std::string& piece : support::split(*body, '&')) {
+            const auto eq = piece.find('=');
+            if (eq == std::string::npos) continue;
+            const std::string key = piece.substr(0, eq);
+            const std::string value = piece.substr(eq + 1);
+            VarDef def{FieldValueSource::Opaque, value};
+            if (const auto it = vars.find(value); it != vars.end())
+              def = it->second;
+            else if (value.rfind("$(", 0) == 0) {
+              const auto inner = parse_command(
+                  value.substr(2, value.rfind(')') - 2));
+              if (inner.has_value()) def = *inner;
+            }
+            msg.fields.push_back(make_field(key, def, model_, line));
+          }
+        }
+      }
+    } else {
+      msg.format = fw::WireFormat::Json;
+      for (const auto& [key, raw_value] : pending) {
+        std::string value = raw_value;
+        while (!value.empty() &&
+               (value.back() == ')' || value.back() == ';' ||
+                value.back() == ' '))
+          value.pop_back();
+        VarDef def{FieldValueSource::Opaque, value};
+        if (const auto it = vars.find(value); it != vars.end())
+          def = it->second;
+        else if (!value.empty() && (value[0] == '\'' || value[0] == '"'))
+          def = VarDef{FieldValueSource::StringConst,
+                       value.substr(1, value.size() - 2)};
+        ReconstructedField field = make_field(key, def, model_, line);
+        if (def.source == FieldValueSource::StringConst) {
+          field.const_value = def.detail;
+          field.hardcoded = true;
+        }
+        msg.fields.push_back(std::move(field));
+      }
+      pending.clear();
+    }
+    if (!msg.fields.empty()) out.push_back(std::move(msg));
+  }
+  return out;
+}
+
+std::vector<ReconstructedMessage> ScriptAnalyzer::analyze_image(
+    const fw::FirmwareImage& image) const {
+  std::vector<ReconstructedMessage> out;
+  for (const fw::FirmwareFile& file : image.files) {
+    if (file.kind != fw::FirmwareFile::Kind::Script) continue;
+    for (ReconstructedMessage& msg : analyze_script(file))
+      out.push_back(std::move(msg));
+  }
+  return out;
+}
+
+}  // namespace firmres::core

@@ -1,0 +1,49 @@
+// Script-based device-cloud extraction — an EXTENSION beyond the paper.
+//
+// §V-B: "the device-cloud interaction for the remaining two devices is
+// handled by shell scripts and php files. At the current stage, FIRMRES can
+// only deal with binary executables but not scripts." This module closes
+// that gap for the two script shapes the corpus exhibits:
+//
+//   shell:  VAR=$(nvram get key) ... curl -X POST "https://host/path" (with
+//           backslash line continuations)
+//             -d "key=$VAR&…"
+//   PHP:    $var = shell_exec('nvram get key');
+//           $payload = array('key' => $var, …);
+//           file_get_contents('https://host/path', …)
+//
+// Extraction is pattern-based (no shell/PHP interpreter): resolve simple
+// variable definitions, find the HTTP call, parse its URL and body
+// template, and emit ReconstructedMessages compatible with the rest of the
+// pipeline (form check, probing, reporting). Fields sourced from
+// `nvram get` carry the same source metadata binary taint produces, so the
+// prober fills them identically.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/reconstructor.h"
+#include "firmware/firmware_image.h"
+
+namespace firmres::core {
+
+class ScriptAnalyzer {
+ public:
+  explicit ScriptAnalyzer(const SemanticsModel& model) : model_(model) {}
+
+  /// Extract device-cloud messages from one script file. Returns nothing
+  /// when the script does not talk to a cloud endpoint.
+  std::vector<ReconstructedMessage> analyze_script(
+      const fw::FirmwareFile& file) const;
+
+  /// Run over every script in an image.
+  std::vector<ReconstructedMessage> analyze_image(
+      const fw::FirmwareImage& image) const;
+
+ private:
+  const SemanticsModel& model_;
+};
+
+}  // namespace firmres::core

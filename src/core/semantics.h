@@ -1,0 +1,36 @@
+// Field-semantics recovery interface (§IV-C).
+//
+// FIRMRES classifies each field's code slice into one of the seven labels
+// {Dev-Identifier, Dev-Secret, User-Cred, Bind-Token, Signature, Address,
+// None}. The production model is the neural classifier in src/nlp (the
+// paper's BERT-TextCNN stand-in); `KeywordModel` is the dictionary matcher
+// the paper uses for dataset auto-labeling, doubling as a fast baseline and
+// the ablation comparator.
+#pragma once
+
+#include <string>
+
+#include "firmware/field_dictionary.h"
+#include "firmware/primitives.h"
+
+namespace firmres::core {
+
+class SemanticsModel {
+ public:
+  virtual ~SemanticsModel() = default;
+  /// Classify one enriched code slice.
+  virtual fw::Primitive classify(const std::string& slice_text) const = 0;
+  /// Display name for reports/benches.
+  virtual std::string name() const = 0;
+};
+
+/// Dictionary keyword matcher (the paper's auto-labeling rule).
+class KeywordModel final : public SemanticsModel {
+ public:
+  fw::Primitive classify(const std::string& slice_text) const override {
+    return fw::keyword_label(slice_text);
+  }
+  std::string name() const override { return "keyword-dictionary"; }
+};
+
+}  // namespace firmres::core

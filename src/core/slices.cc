@@ -1,0 +1,398 @@
+#include "core/slices.h"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+
+#include "ir/library.h"
+#include "ir/printer.h"
+#include "support/strings.h"
+
+namespace firmres::core {
+
+const char* leaf_role_name(LeafRole role) {
+  switch (role) {
+    case LeafRole::Field: return "Field";
+    case LeafRole::FormatString: return "FormatString";
+    case LeafRole::JsonKey: return "JsonKey";
+    case LeafRole::Delimiter: return "Delimiter";
+    case LeafRole::PathConst: return "PathConst";
+    case LeafRole::Structural: return "Structural";
+  }
+  return "?";
+}
+
+namespace {
+
+bool is_sprintf_like(const ir::PcodeOp* op) {
+  return op != nullptr && op->opcode == ir::OpCode::Call &&
+         (op->callee == "sprintf" || op->callee == "snprintf");
+}
+
+int format_arg_index(const ir::PcodeOp* op) {
+  return op->callee == "snprintf" ? 2 : 1;
+}
+
+bool parent_is_json_add(const MftNode* parent) {
+  return parent != nullptr && parent->op != nullptr &&
+         parent->op->opcode == ir::OpCode::Call &&
+         parent->op->callee.rfind("cJSON_Add", 0) == 0;
+}
+
+bool parent_is_file_read(const MftNode* parent) {
+  if (parent == nullptr || parent->op == nullptr ||
+      parent->op->opcode != ir::OpCode::Call)
+    return false;
+  return ir::LibraryModel::instance().is_kind(parent->op->callee,
+                                              ir::LibKind::FileOp);
+}
+
+bool looks_like_path(const std::string& s) {
+  if (s.empty()) return false;
+  if (s[0] == '/' || s[0] == '?') return true;
+  return s.rfind("http://", 0) == 0 || s.rfind("https://", 0) == 0;
+}
+
+bool looks_like_delimiter(const std::string& s) {
+  if (s.empty() || s.size() > 2) return false;
+  for (const char c : s)
+    if (std::isalnum(static_cast<unsigned char>(c))) return false;
+  return true;
+}
+
+/// Count '%'-conversions in a format string.
+int conversion_count(const std::string& fmt) {
+  int n = 0;
+  for (std::size_t i = 0; i + 1 < fmt.size(); ++i) {
+    if (fmt[i] == '%' && fmt[i + 1] != '%') ++n;
+  }
+  return n;
+}
+
+/// Parse the wire key out of a one-field format piece:
+/// "uid=%s" → "uid";  "\"mac\":\"%s\"" → "mac". Empty when unparsable or
+/// the piece holds several conversions.
+std::string key_of_piece(std::string piece) {
+  if (conversion_count(piece) != 1) return {};
+  // Strip a leading "/path?" fused onto the first query piece.
+  if (!piece.empty() && piece[0] == '/') {
+    const auto q = piece.find('?');
+    if (q != std::string::npos) piece.erase(0, q + 1);
+  }
+  // Strip surrounding JSON braces that ride along on first/last chunks.
+  while (!piece.empty() && (piece.front() == '{' || piece.front() == '?' ||
+                            piece.front() == '&'))
+    piece.erase(piece.begin());
+  while (!piece.empty() && piece.back() == '}') piece.pop_back();
+  if (const auto colon = piece.find("\":"); colon != std::string::npos) {
+    // "key":"%s"
+    std::string key = piece.substr(0, colon);
+    while (!key.empty() && key.front() == '"') key.erase(key.begin());
+    return key;
+  }
+  if (const auto eq = piece.find('='); eq != std::string::npos) {
+    const std::string key = piece.substr(0, eq);
+    // Query pieces may carry a path prefix on the first chunk
+    // ("?m=cloud&a=q&uid=%s" splits fine; a residual "/path?uid" does not).
+    if (key.find('/') == std::string::npos &&
+        key.find('%') == std::string::npos)
+      return key;
+  }
+  return {};
+}
+
+}  // namespace
+
+std::vector<std::string> SliceGenerator::split_format(const std::string& fmt,
+                                                      char delimiter) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (const char c : fmt) {
+    if (c == delimiter) {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+char SliceGenerator::identify_delimiter(const std::string& fmt) {
+  static constexpr char kCandidates[] = {'&', ',', ';', '|', ' '};
+  char best = '\0';
+  double best_score = 0.0;
+  for (const char cand : kCandidates) {
+    const auto pieces = split_format(fmt, cand);
+    if (pieces.size() < 2) continue;
+    // Cohesion: mean pairwise similarity of the '%'-bearing pieces. A true
+    // field delimiter yields many small look-alike "key=%s" pieces.
+    std::vector<std::string> with_pct;
+    for (const std::string& p : pieces)
+      if (p.find('%') != std::string::npos) with_pct.push_back(p);
+    if (with_pct.size() < 2) continue;
+    double total = 0.0;
+    int pairs = 0;
+    for (std::size_t i = 0; i < with_pct.size(); ++i) {
+      for (std::size_t j = i + 1; j < with_pct.size(); ++j) {
+        total += support::lcs_similarity(with_pct[i], with_pct[j]);
+        ++pairs;
+      }
+    }
+    const double score =
+        (total / pairs) * static_cast<double>(with_pct.size());
+    if (score > best_score) {
+      best_score = score;
+      best = cand;
+    }
+  }
+  return best;
+}
+
+std::vector<std::vector<std::string>> SliceGenerator::cluster_pieces(
+    const std::vector<std::string>& pieces, double threshold) {
+  // Greedy average-link agglomeration: each piece joins the cluster whose
+  // members are, on average, most similar to it, provided that average
+  // clears the threshold. Average linkage avoids both the chaining
+  // collapse of single-link (everything transitively merging through
+  // medium-length keys at low thresholds) and the over-fragmentation of
+  // complete-link (one long outlier key blocking an otherwise coherent
+  // cluster).
+  std::vector<std::vector<std::string>> clusters;
+  for (const std::string& piece : pieces) {
+    int best = -1;
+    double best_avg = 0.0;
+    for (std::size_t c = 0; c < clusters.size(); ++c) {
+      double total = 0.0;
+      for (const std::string& member : clusters[c])
+        total += support::lcs_similarity(piece, member);
+      const double avg = total / static_cast<double>(clusters[c].size());
+      if (avg >= threshold && avg > best_avg) {
+        best_avg = avg;
+        best = static_cast<int>(c);
+      }
+    }
+    if (best >= 0)
+      clusters[static_cast<std::size_t>(best)].push_back(piece);
+    else
+      clusters.push_back({piece});
+  }
+  return clusters;
+}
+
+std::vector<std::string> SliceGenerator::field_pieces(
+    const std::string& fmt) {
+  char delim = identify_delimiter(fmt);
+  if (delim == '\0') {
+    // Single-field formats still need splitting so the key parser sees
+    // "uid=%s" rather than "?m=cloud&a=q&uid=%s".
+    for (const char cand : {'&', ','}) {
+      if (split_format(fmt, cand).size() > 1) {
+        delim = cand;
+        break;
+      }
+    }
+  }
+  std::vector<std::string> out;
+  if (delim == '\0') {
+    if (fmt.find('%') != std::string::npos) out.push_back(fmt);
+    return out;
+  }
+  for (const std::string& p : split_format(fmt, delim))
+    if (p.find('%') != std::string::npos) out.push_back(p);
+  return out;
+}
+
+std::string SliceGenerator::path_prefix(const std::string& fmt) {
+  if (fmt.empty() || (fmt[0] != '/' && fmt[0] != '?')) return {};
+  char delim = '&';
+  if (split_format(fmt, '&').size() < 2) delim = ',';
+  std::string prefix;
+  for (const std::string& piece : split_format(fmt, delim)) {
+    if (piece.find('%') != std::string::npos) {
+      // "/path?key=%s": the path rides on the first conversion piece.
+      if (prefix.empty() && piece[0] == '/') {
+        const auto q = piece.find('?');
+        if (q != std::string::npos) prefix = piece.substr(0, q);
+      }
+      break;
+    }
+    if (!prefix.empty()) prefix += delim;
+    prefix += piece;
+  }
+  return prefix;
+}
+
+SliceGenerator::SliceGenerator(const Mft& mft, Options options)
+    : options_(options) {
+  std::set<std::string> seen_formats;
+  for (const MftNode* leaf : mft.leaves()) {
+    process_leaf(mft, leaf);
+  }
+  for (const FieldSlice& s : slices_) {
+    if (s.role == LeafRole::FormatString && conversion_count(s.leaf->detail) > 1 &&
+        seen_formats.insert(s.leaf->detail).second) {
+      multi_field_formats_.push_back(s.leaf->detail);
+    }
+  }
+}
+
+void SliceGenerator::process_leaf(const Mft& mft, const MftNode* leaf) {
+  const auto path = mft.path_to(leaf);
+  const MftNode* parent = path.size() >= 2 ? path[path.size() - 2] : nullptr;
+
+  FieldSlice slice;
+  slice.leaf = leaf;
+
+  // ---- Role classification -----------------------------------------------
+  switch (leaf->kind) {
+    case MftNodeKind::LeafSource:
+      slice.role = LeafRole::Field;
+      break;
+    case MftNodeKind::LeafConst:
+      slice.role = LeafRole::Field;  // incl. disassembly-noise constants
+      break;
+    case MftNodeKind::LeafParam:
+      slice.role = leaf->detail == "undef" ? LeafRole::Structural
+                                           : LeafRole::Field;
+      break;
+    case MftNodeKind::LeafOpaque: {
+      const ir::LibFunction* lib =
+          ir::LibraryModel::instance().find(leaf->detail);
+      const bool structural =
+          lib != nullptr && (lib->kind == ir::LibKind::JsonOp ||
+                             lib->kind == ir::LibKind::Alloc ||
+                             lib->kind == ir::LibKind::Other);
+      // time()/rand() are LibKind::Other too, but their results genuinely
+      // reach the message; the distinguishing property is whether the call
+      // result carries request payload, which we approximate by whitelist.
+      const bool payload_call =
+          leaf->detail == "time" || leaf->detail == "rand";
+      slice.role = (structural && !payload_call) ? LeafRole::Structural
+                                                 : LeafRole::Field;
+      break;
+    }
+    case MftNodeKind::LeafString: {
+      const std::string& text = leaf->detail;
+      if (parent_is_file_read(parent)) {
+        slice.role = LeafRole::Field;  // <Variable = Function(Constant)>
+      } else if (is_sprintf_like(parent != nullptr ? parent->op : nullptr) &&
+                 leaf->src_index == format_arg_index(parent->op)) {
+        slice.role = LeafRole::FormatString;
+      } else if (parent_is_json_add(parent) && leaf->src_index == 1) {
+        slice.role = LeafRole::JsonKey;
+      } else if (looks_like_delimiter(text)) {
+        slice.role = LeafRole::Delimiter;
+      } else if (looks_like_path(text)) {
+        slice.role = LeafRole::PathConst;
+      } else {
+        slice.role = LeafRole::Field;  // hardcoded value constants
+      }
+      break;
+    }
+    default:
+      slice.role = LeafRole::Structural;
+      break;
+  }
+
+  // ---- Key recovery -------------------------------------------------------
+  // The assembling op (cJSON_Add / sprintf) may sit several path steps above
+  // the leaf when the value is produced by a local accessor function, so we
+  // scan the path for the nearest such ancestor; the node *below* it on the
+  // path carries the argument-slot index.
+  if (slice.role == LeafRole::Field) {
+    for (std::size_t k = 0; k + 1 < path.size(); ++k) {
+      const MftNode* assembler = path[k];
+      const MftNode* slot = path[k + 1];
+      if (assembler->op == nullptr) continue;
+      if (parent_is_json_add(assembler)) {
+        if (slot->src_index != 2) continue;  // only the value argument
+        for (const auto& sib : assembler->children) {
+          if (sib->src_index == 1 && sib->kind == MftNodeKind::LeafString) {
+            slice.recovered_key = sib->detail;
+            break;
+          }
+        }
+        break;
+      }
+      if (is_sprintf_like(assembler->op)) {
+        // Map the slot to the matching '%'-piece of the (split) format.
+        const int fmt_index = format_arg_index(assembler->op);
+        std::string fmt;
+        for (const auto& sib : assembler->children) {
+          if (sib->src_index == fmt_index &&
+              sib->kind == MftNodeKind::LeafString) {
+            fmt = sib->detail;
+            break;
+          }
+        }
+        if (fmt.empty()) continue;  // joining sprintf ("%s%s"): keep walking
+        const std::vector<std::string> with_pct = field_pieces(fmt);
+        const int position = slot->src_index - fmt_index - 1;
+        if (position >= 0 &&
+            static_cast<std::size_t>(position) < with_pct.size()) {
+          const std::string piece =
+              with_pct[static_cast<std::size_t>(position)];
+          const std::string key = key_of_piece(piece);
+          if (!key.empty() || conversion_count(piece) == 1) {
+            slice.recovered_key = key;
+            // The §IV-C separation step; disabled in the ablation, leaving
+            // the full multi-field format in every value slice.
+            if (options_.split_formats) slice.format_piece = piece;
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  // ---- Slice text ---------------------------------------------------------
+  // A slice contains, per op on the path: the opcode/callee, the output,
+  // the input the path flows through, and constant operands. Variable
+  // operands of *other* fields (sibling arguments of the same sprintf) are
+  // elided — they belong to other fields' slices and would leak their
+  // keywords into this one (the noise problem §IV-C's separation step
+  // addresses).
+  std::vector<std::string> tokens;
+  for (std::size_t pi = 0; pi < path.size(); ++pi) {
+    const MftNode* node = path[pi];
+    if (node->op == nullptr) continue;
+    const MftNode* next = pi + 1 < path.size() ? path[pi + 1] : nullptr;
+    std::string rendered;
+    rendered += ir::opcode_name(node->op->opcode);
+    if (node->op->opcode == ir::OpCode::Call)
+      rendered += " (Fun, " + node->op->callee + ")";
+    if (node->op->output.has_value()) {
+      rendered +=
+          " " + ir::render_enriched(*node->op->output, *node->fn) + " =";
+    }
+    for (std::size_t i = 0; i < node->op->inputs.size(); ++i) {
+      const ir::VarNode& input = node->op->inputs[i];
+      const bool relevant =
+          next != nullptr && (input == next->var ||
+                              static_cast<int>(i) == next->src_index);
+      const bool constant = input.is_constant() || input.is_ram();
+      if (!relevant && !constant) continue;
+      std::string tok = ir::render_enriched(input, *node->fn);
+      // §IV-C separation: substitute the field's own piece for the full
+      // multi-field format string.
+      if (!slice.format_piece.empty() && is_sprintf_like(node->op) &&
+          static_cast<int>(i) == format_arg_index(node->op) &&
+          input.is_ram()) {
+        const auto text = mft.program->data().string_at(input.offset);
+        if (text.has_value())
+          tok = support::replace_all(tok, std::string(*text),
+                                     slice.format_piece);
+      }
+      rendered += " " + tok;
+    }
+    if (tokens.empty() || tokens.back() != rendered)
+      tokens.push_back(std::move(rendered));
+  }
+  slice.slice_text = support::join(tokens, " ; ");
+
+  slices_.push_back(std::move(slice));
+}
+
+}  // namespace firmres::core

@@ -1,0 +1,99 @@
+// Code-slice generation from MFT paths (§IV-C).
+//
+// For every leaf of an MFT we compute the slice of construction ops along
+// its root-to-leaf path, rendered in the semantically enriched P-Code form
+// ("CALL (Fun, sprintf) (Local, finalBuf, v_1357) (Cons, …)").
+//
+// Formatted-output assembly needs the extra separation step of §IV-C: a
+// sprintf format string covering several fields would put every field's
+// keyword into every field's slice. We identify the delimiter by splitting
+// candidate delimiters and clustering the resulting substrings by LCS
+// similarity, then substitute each value argument's own piece for the full
+// format string in its slice (Listing 3).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/mft.h"
+
+namespace firmres::core {
+
+/// What a leaf contributes to the message.
+enum class LeafRole {
+  Field,         ///< an actual message field (what Table II counts)
+  FormatString,  ///< sprintf/snprintf format operand
+  JsonKey,       ///< cJSON_Add* key operand
+  Delimiter,     ///< separator literal in concat assembly
+  PathConst,     ///< request path / MQTT topic literal
+  Structural,    ///< other non-field plumbing (object creation, undef, …)
+};
+
+const char* leaf_role_name(LeafRole role);
+
+struct FieldSlice {
+  const MftNode* leaf = nullptr;
+  LeafRole role = LeafRole::Structural;
+  /// Enriched token stream for the classifier.
+  std::string slice_text;
+  /// For sprintf value arguments: the per-field format piece ("uid=%s").
+  std::string format_piece;
+  /// Wire key recovered from the format piece or the cJSON key sibling.
+  std::string recovered_key;
+};
+
+class SliceGenerator {
+ public:
+  struct Options {
+    /// Ablation: disable the §IV-C partial-message separation — value
+    /// arguments keep the full multi-field format string in their slices.
+    bool split_formats = true;
+  };
+
+  explicit SliceGenerator(const Mft& mft) : SliceGenerator(mft, Options{}) {}
+  SliceGenerator(const Mft& mft, Options options);
+
+  /// One FieldSlice per leaf, in tree order.
+  const std::vector<FieldSlice>& slices() const { return slices_; }
+
+  /// The multi-field format strings encountered (for the thd clustering
+  /// statistics of Table II).
+  const std::vector<std::string>& multi_field_formats() const {
+    return multi_field_formats_;
+  }
+
+  // --- splitting machinery (exposed for tests and the ablation bench) -----
+
+  /// Split a format string on one delimiter, keeping non-empty pieces.
+  static std::vector<std::string> split_format(const std::string& fmt,
+                                               char delimiter);
+
+  /// Identify the most plausible field delimiter of a format string by
+  /// trying candidates and scoring piece cohesion (mean pairwise LCS
+  /// similarity of '%'-bearing pieces). Returns '\0' when no candidate
+  /// yields a multi-piece split.
+  static char identify_delimiter(const std::string& fmt);
+
+  /// Single-link agglomerative clustering of substrings with
+  /// Similarity(a,b) = 2·LCS/(|a|+|b|) ≥ threshold.
+  static std::vector<std::vector<std::string>> cluster_pieces(
+      const std::vector<std::string>& pieces, double threshold);
+
+  /// The '%'-bearing pieces of a format string, using the identified
+  /// delimiter (relaxed: falls back to '&'/',' splits for single-field
+  /// formats so key recovery still works).
+  static std::vector<std::string> field_pieces(const std::string& fmt);
+
+  /// Leading request path embedded in a query-style format string
+  /// ("?m=cloud&a=q&uid=%s" → "?m=cloud&a=q"); empty when absent.
+  static std::string path_prefix(const std::string& fmt);
+
+ private:
+  void process_leaf(const Mft& mft, const MftNode* leaf);
+
+  Options options_;
+  std::vector<FieldSlice> slices_;
+  std::vector<std::string> multi_field_formats_;
+};
+
+}  // namespace firmres::core

@@ -1,0 +1,320 @@
+#include "core/taint.h"
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+
+#include "analysis/flow.h"
+#include "ir/library.h"
+#include "support/error.h"
+#include "support/strings.h"
+
+namespace firmres::core {
+
+namespace {
+
+using analysis::FlowEdge;
+using analysis::FlowKind;
+
+struct BuildCtx {
+  const ir::Program& program;
+  const analysis::CallGraph& call_graph;
+  const MftBuilder::Options& options;
+  std::size_t nodes = 0;
+  int next_leaf_id = 0;
+  /// (function, varnode, bound) triples on the current recursion path —
+  /// guards against strongly-connected construction patterns.
+  std::set<std::tuple<const ir::Function*, ir::VarNode, std::uint64_t>> stack;
+};
+
+std::unique_ptr<MftNode> make_node(BuildCtx& ctx, MftNodeKind kind) {
+  ++ctx.nodes;
+  auto node = std::make_unique<MftNode>();
+  node->kind = kind;
+  if (node->is_leaf()) node->leaf_id = ctx.next_leaf_id++;
+  return node;
+}
+
+std::unique_ptr<MftNode> const_leaf(BuildCtx& ctx, const ir::Function& fn,
+                                    const ir::VarNode& var, int src_index) {
+  if (var.is_ram()) {
+    auto leaf = make_node(ctx, MftNodeKind::LeafString);
+    leaf->fn = &fn;
+    leaf->var = var;
+    leaf->src_index = src_index;
+    const auto text = ctx.program.data().string_at(var.offset);
+    leaf->detail = text.has_value() ? std::string(*text)
+                                    : support::format("<ram:0x%llx>",
+                                                      static_cast<unsigned long long>(var.offset));
+    return leaf;
+  }
+  auto leaf = make_node(ctx, MftNodeKind::LeafConst);
+  leaf->fn = &fn;
+  leaf->var = var;
+  leaf->src_index = src_index;
+  leaf->detail = std::to_string(var.offset);
+  return leaf;
+}
+
+/// Forward declaration: expand a varnode into the def-op nodes feeding it.
+std::vector<std::unique_ptr<MftNode>> expand_var(BuildCtx& ctx,
+                                                 const ir::Function& fn,
+                                                 const ir::VarNode& var,
+                                                 std::uint64_t before_addr,
+                                                 int src_index, int depth);
+
+/// Leaf for a field-source library call (§IV-B taint sinks).
+std::unique_ptr<MftNode> source_leaf(BuildCtx& ctx, const ir::Function& fn,
+                                     const FlowEdge& edge, int src_index) {
+  auto leaf = make_node(ctx, MftNodeKind::LeafSource);
+  leaf->fn = &fn;
+  leaf->op = edge.op;
+  leaf->var = edge.dst;
+  leaf->src_index = src_index;
+  leaf->source_callee = edge.op->callee;
+  const ir::LibFunction* lib = ir::LibraryModel::instance().find(edge.op->callee);
+  if (lib != nullptr && lib->key_arg >= 0 &&
+      static_cast<std::size_t>(lib->key_arg) < edge.op->inputs.size()) {
+    const ir::VarNode& key = edge.op->inputs[static_cast<std::size_t>(lib->key_arg)];
+    if (key.is_ram()) {
+      const auto text = ctx.program.data().string_at(key.offset);
+      if (text.has_value()) leaf->detail = std::string(*text);
+    }
+  }
+  if (leaf->detail.empty()) leaf->detail = edge.op->callee;
+  return leaf;
+}
+
+std::unique_ptr<MftNode> opaque_leaf(BuildCtx& ctx, const ir::Function& fn,
+                                     const ir::PcodeOp& op,
+                                     const ir::VarNode& var, int src_index) {
+  auto leaf = make_node(ctx, MftNodeKind::LeafOpaque);
+  leaf->fn = &fn;
+  leaf->op = &op;
+  leaf->var = var;
+  leaf->src_index = src_index;
+  leaf->detail = op.opcode == ir::OpCode::Call ? op.callee
+                                               : ir::opcode_name(op.opcode);
+  return leaf;
+}
+
+std::unique_ptr<MftNode> param_leaf(BuildCtx& ctx, const ir::Function& fn,
+                                    const ir::VarNode& var, int src_index) {
+  auto leaf = make_node(ctx, MftNodeKind::LeafParam);
+  leaf->fn = &fn;
+  leaf->var = var;
+  leaf->src_index = src_index;
+  const ir::VarInfo* info = fn.var_info(var);
+  leaf->detail = info != nullptr ? info->name : var.to_string();
+  return leaf;
+}
+
+/// Expand one source slot of an op: constants become leaves directly,
+/// other varnodes expand into their def-op nodes.
+void expand_src(BuildCtx& ctx, const ir::Function& fn, MftNode& parent,
+                const ir::VarNode& src, std::uint64_t before_addr,
+                int src_index, int depth) {
+  if (ctx.nodes >= ctx.options.max_nodes) return;
+  if (src.is_constant() || src.is_ram()) {
+    parent.children.push_back(const_leaf(ctx, fn, src, src_index));
+    return;
+  }
+  auto defs = expand_var(ctx, fn, src, before_addr, src_index, depth);
+  for (auto& d : defs) parent.children.push_back(std::move(d));
+}
+
+/// Node for one defining op of a varnode.
+std::unique_ptr<MftNode> def_node(BuildCtx& ctx, const ir::Function& fn,
+                                  const FlowEdge& edge, int src_index,
+                                  int depth) {
+  if (edge.kind == FlowKind::FieldSource)
+    return source_leaf(ctx, fn, edge, src_index);
+
+  auto node = make_node(ctx, MftNodeKind::Op);
+  node->fn = &fn;
+  node->op = edge.op;
+  node->var = edge.dst;
+  node->src_index = src_index;
+
+  if (edge.kind == FlowKind::LocalCall) {
+    // Descend into the callee's returned values.
+    const ir::Function* callee = ctx.program.function(edge.op->callee);
+    if (callee != nullptr && !callee->is_import() &&
+        !ctx.stack.contains({callee, ir::VarNode{}, 0})) {
+      ctx.stack.insert({callee, ir::VarNode{}, 0});
+      callee->for_each_op([&](const ir::PcodeOp& op) {
+        if (op.opcode != ir::OpCode::Return) return;
+        for (const ir::VarNode& rv : op.inputs) {
+          expand_src(ctx, *callee, *node, rv, UINT64_MAX, 0, depth + 1);
+        }
+      });
+      ctx.stack.erase({callee, ir::VarNode{}, 0});
+    }
+    return node;
+  }
+
+  // Summary / Direct / Overtaint: expand each source slot. The slot index
+  // recorded on children distinguishes format strings (sprintf input 1) and
+  // JSON keys (cJSON_Add input 1) from value arguments.
+  for (std::size_t i = 0; i < edge.op->inputs.size(); ++i) {
+    const ir::VarNode& input = edge.op->inputs[i];
+    if (input == edge.dst) continue;  // append semantics: siblings carry it
+    const bool is_src =
+        std::find(edge.srcs.begin(), edge.srcs.end(), input) != edge.srcs.end();
+    if (!is_src) continue;
+    expand_src(ctx, fn, *node, input, edge.op->address, static_cast<int>(i),
+               depth + 1);
+  }
+  return node;
+}
+
+std::vector<std::unique_ptr<MftNode>> expand_var(BuildCtx& ctx,
+                                                 const ir::Function& fn,
+                                                 const ir::VarNode& var,
+                                                 std::uint64_t before_addr,
+                                                 int src_index, int depth) {
+  std::vector<std::unique_ptr<MftNode>> out;
+  if (ctx.nodes >= ctx.options.max_nodes || depth > ctx.options.max_depth)
+    return out;
+  const auto stack_key = std::make_tuple(&fn, var, before_addr);
+  if (ctx.stack.contains(stack_key)) return out;
+  ctx.stack.insert(stack_key);
+
+  // Scan for defining ops before the use point, in layout order; emit them
+  // in reverse (backward-discovery) order — §IV-D's inversion step later
+  // restores concatenation order.
+  struct Def {
+    FlowEdge edge;
+    bool opaque = false;
+    const ir::PcodeOp* op = nullptr;
+  };
+  std::vector<Def> defs;
+  for (const ir::PcodeOp* op : fn.ops_in_order()) {
+    if (op->address >= before_addr) break;
+    bool matched = false;
+    for (const FlowEdge& edge : analysis::flow_edges(*op, ctx.program)) {
+      if (edge.dst == var) {
+        defs.push_back(Def{.edge = edge, .opaque = false, .op = op});
+        matched = true;
+      }
+    }
+    if (!matched && op->output.has_value() && *op->output == var) {
+      defs.push_back(Def{.edge = {}, .opaque = true, .op = op});
+    }
+  }
+
+  if (!defs.empty()) {
+    for (auto it = defs.rbegin(); it != defs.rend(); ++it) {
+      if (ctx.nodes >= ctx.options.max_nodes) break;
+      if (it->opaque) {
+        out.push_back(opaque_leaf(ctx, fn, *it->op, var, src_index));
+      } else {
+        out.push_back(def_node(ctx, fn, it->edge, src_index, depth));
+      }
+    }
+    ctx.stack.erase(stack_key);
+    return out;
+  }
+
+  // No local definition. Parameter? Trace every callsite of this function.
+  const auto& params = fn.params();
+  const auto param_it = std::find(params.begin(), params.end(), var);
+  if (param_it != params.end()) {
+    const auto arg_index =
+        static_cast<std::size_t>(param_it - params.begin());
+    const auto sites = ctx.call_graph.callsites_of(fn.name());
+    int expanded = 0;
+    for (const analysis::CallSite& site : sites) {
+      if (expanded >= ctx.options.max_callsites) break;
+      if (arg_index >= site.op->inputs.size()) continue;
+      const ir::VarNode& arg = site.op->inputs[arg_index];
+      if (arg.is_constant() || arg.is_ram()) {
+        out.push_back(const_leaf(ctx, *site.caller, arg, src_index));
+      } else {
+        auto defs_up = expand_var(ctx, *site.caller, arg, site.op->address,
+                                  src_index, depth + 1);
+        for (auto& d : defs_up) out.push_back(std::move(d));
+      }
+      ++expanded;
+    }
+    if (out.empty()) out.push_back(param_leaf(ctx, fn, var, src_index));
+    ctx.stack.erase(stack_key);
+    return out;
+  }
+
+  // Undefined local / register: terminal unknown.
+  out.push_back(param_leaf(ctx, fn, var, src_index));
+  ctx.stack.erase(stack_key);
+  return out;
+}
+
+}  // namespace
+
+MftBuilder::MftBuilder(const ir::Program& program,
+                       const analysis::CallGraph& call_graph)
+    : MftBuilder(program, call_graph, Options{}) {}
+
+MftBuilder::MftBuilder(const ir::Program& program,
+                       const analysis::CallGraph& call_graph, Options options)
+    : program_(program), call_graph_(call_graph), options_(options) {}
+
+Mft MftBuilder::build(const analysis::CallSite& delivery) const {
+  FIRMRES_CHECK(delivery.op != nullptr && delivery.caller != nullptr);
+  Mft mft;
+  mft.program = &program_;
+  mft.delivery_fn = delivery.caller;
+  mft.delivery_op = delivery.op;
+  mft.delivery_callee = delivery.op->callee;
+
+  const ir::LibFunction* lib =
+      ir::LibraryModel::instance().find(delivery.op->callee);
+  std::vector<int> msg_args;
+  if (lib != nullptr && !lib->msg_args.empty()) {
+    msg_args = lib->msg_args;
+  } else if (!delivery.op->inputs.empty()) {
+    msg_args = {0};
+  }
+
+  BuildCtx ctx{.program = program_,
+               .call_graph = call_graph_,
+               .options = options_,
+               .nodes = 0,
+               .next_leaf_id = 0,
+               .stack = {}};
+
+  for (const int arg : msg_args) {
+    if (arg < 0 ||
+        static_cast<std::size_t>(arg) >= delivery.op->inputs.size())
+      continue;
+    auto root = make_node(ctx, MftNodeKind::Root);
+    root->fn = delivery.caller;
+    root->op = delivery.op;
+    root->var = delivery.op->inputs[static_cast<std::size_t>(arg)];
+    root->src_index = arg;
+    expand_src(ctx, *delivery.caller, *root, root->var, delivery.op->address,
+               arg, 0);
+    // expand_src would have added the root's var as a const leaf child when
+    // the argument itself is a constant (an MQTT topic literal).
+    mft.roots.push_back(std::move(root));
+  }
+  return mft;
+}
+
+std::vector<Mft> MftBuilder::build_all() const {
+  std::vector<analysis::CallSite> sites;
+  for (const std::string& name :
+       ir::LibraryModel::instance().names_of_kind(ir::LibKind::MsgDeliver)) {
+    for (const analysis::CallSite& site : call_graph_.callsites_of(name))
+      sites.push_back(site);
+  }
+  std::sort(sites.begin(), sites.end(),
+            [](const analysis::CallSite& a, const analysis::CallSite& b) {
+              return a.op->address < b.op->address;
+            });
+  std::vector<Mft> out;
+  out.reserve(sites.size());
+  for (const analysis::CallSite& site : sites) out.push_back(build(site));
+  return out;
+}
+
+}  // namespace firmres::core

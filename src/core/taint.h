@@ -1,0 +1,48 @@
+// Backward static taint analysis — the MFT builder (§IV-B).
+//
+// Taint sources are the message-bearing arguments of delivery callsites
+// (SSL_write, http_post, mqtt_publish, …); taint sinks are the
+// single-information-source values the backward walk terminates at:
+// constants, NVRAM/config/env/front-end reads, device-info getters, and
+// opaque call results. Propagation is inter-procedural: parameters are
+// traced to every callsite of their function ("all possible callsites of
+// the caller would be analyzed"), and values returned by local calls are
+// traced through the callee's RETURN inputs. Library calls use
+// LibraryModel summaries; unknown imports overtaint (§V-C).
+#pragma once
+
+#include <vector>
+
+#include "analysis/call_graph.h"
+#include "core/mft.h"
+#include "ir/program.h"
+
+namespace firmres::core {
+
+class MftBuilder {
+ public:
+  struct Options {
+    int max_depth = 32;          ///< recursion bound on one path
+    std::size_t max_nodes = 8192;  ///< per-MFT node budget
+    int max_callsites = 4;       ///< parameter fanout bound
+  };
+
+  MftBuilder(const ir::Program& program,
+             const analysis::CallGraph& call_graph);
+  MftBuilder(const ir::Program& program, const analysis::CallGraph& call_graph,
+             Options options);
+
+  /// One MFT per message-delivery callsite in the program, in callsite
+  /// address order.
+  std::vector<Mft> build_all() const;
+
+  /// Build the MFT rooted at one delivery callsite.
+  Mft build(const analysis::CallSite& delivery) const;
+
+ private:
+  const ir::Program& program_;
+  const analysis::CallGraph& call_graph_;
+  Options options_;
+};
+
+}  // namespace firmres::core

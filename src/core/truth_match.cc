@@ -1,0 +1,48 @@
+#include "core/truth_match.h"
+
+#include "support/strings.h"
+
+namespace firmres::core {
+
+bool field_matches_spec(const ReconstructedField& field,
+                        const fw::FieldSpec& spec) {
+  // Wire-key agreement.
+  if (!field.key.empty() &&
+      support::to_lower(field.key) == support::to_lower(spec.key))
+    return true;
+  // Source-key agreement (nvram key, getter name, file path, env name).
+  if (!field.source_detail.empty()) {
+    if (field.source_detail == spec.source_key) return true;
+    // Config leaves carry only the key part of "<file>:<key>".
+    const auto colon = spec.source_key.rfind(':');
+    if (colon != std::string::npos &&
+        field.source_detail == spec.source_key.substr(colon + 1))
+      return true;
+  }
+  // Hard-coded value agreement.
+  if (!field.const_value.empty() && field.const_value == spec.value)
+    return true;
+  // Derived (signature) fields: the taint sink is the secret's store, but
+  // the spec field is the derived value.
+  if (field.source == FieldValueSource::Derived &&
+      spec.origin == fw::FieldOrigin::Derived)
+    return true;
+  // time()/rand() metadata.
+  if (field.source == FieldValueSource::Opaque &&
+      (spec.origin == fw::FieldOrigin::Timestamp ||
+       spec.origin == fw::FieldOrigin::Counter) &&
+      (field.source_detail == "time") ==
+          (spec.origin == fw::FieldOrigin::Timestamp))
+    return true;
+  return false;
+}
+
+fw::Primitive truth_primitive(const ReconstructedField& field,
+                              const fw::MessageSpec& spec) {
+  for (const fw::FieldSpec& f : spec.fields) {
+    if (field_matches_spec(field, f)) return f.primitive;
+  }
+  return fw::Primitive::None;
+}
+
+}  // namespace firmres::core

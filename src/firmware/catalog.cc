@@ -1,0 +1,654 @@
+#include "firmware/catalog.h"
+
+#include <algorithm>
+#include <set>
+
+#include "firmware/crypto_sim.h"
+#include "firmware/field_dictionary.h"
+#include "support/error.h"
+#include "support/strings.h"
+
+namespace firmres::fw {
+
+namespace {
+
+using Phase = MessageSpec::Phase;
+
+// ---------------------------------------------------------------------------
+// Field construction
+// ---------------------------------------------------------------------------
+
+/// Pick how the firmware obtains a value with the given logical name.
+FieldOrigin pick_origin(const std::string& logical, support::Rng& rng) {
+  if (logical == "mac" || logical == "serial")
+    return rng.chance(0.4) ? FieldOrigin::DevInfoCall : FieldOrigin::Nvram;
+  if (logical == "device_id" || logical == "uid" || logical == "uuid")
+    return rng.chance(0.5) ? FieldOrigin::Nvram : FieldOrigin::Config;
+  if (logical == "model_number" || logical == "hardware_version" ||
+      logical == "firmware_version")
+    return rng.chance(0.5) ? FieldOrigin::HardcodedStr
+                           : FieldOrigin::DevInfoCall;
+  if (logical == "manufacturing_date") return FieldOrigin::Nvram;
+  if (logical == "dev_secret")
+    return rng.chance(0.5) ? FieldOrigin::Nvram
+           : rng.chance(0.5) ? FieldOrigin::Config
+                             : FieldOrigin::FileRead;
+  if (logical == "certificate") return FieldOrigin::FileRead;
+  if (logical == "cloud_username" || logical == "cloud_password")
+    return rng.chance(0.5) ? FieldOrigin::Config
+           : rng.chance(0.5) ? FieldOrigin::Nvram
+                             : FieldOrigin::Frontend;
+  if (logical == "bind_token") return FieldOrigin::Nvram;
+  if (logical == "cloud_host")
+    return rng.chance(0.5) ? FieldOrigin::HardcodedStr : FieldOrigin::Config;
+  return FieldOrigin::Nvram;
+}
+
+/// NVRAM/config key, getter name, or file path feeding a logical value.
+std::string source_key_for(FieldOrigin origin, const std::string& logical,
+                           support::Rng& rng) {
+  switch (origin) {
+    case FieldOrigin::Nvram: {
+      if (logical == "mac")
+        return rng.chance(0.5) ? "lan_hwaddr" : "et0macaddr";
+      if (logical == "serial") return "serial_no";
+      if (logical == "manufacturing_date") return "mfg_date";
+      if (logical == "bind_token") return "cloud_token";
+      if (logical == "cloud_username") return "cloud_user";
+      if (logical == "cloud_password") return "cloud_pass";
+      return logical;  // device_id, uid, uuid, dev_secret, cloud_host
+    }
+    case FieldOrigin::Config: {
+      const std::string file = "/etc/cloud.conf";
+      if (logical == "cloud_username") return file + ":username";
+      if (logical == "cloud_password") return file + ":password";
+      if (logical == "dev_secret") return file + ":secret";
+      if (logical == "cloud_host") return file + ":server";
+      return file + ":" + logical;
+    }
+    case FieldOrigin::DevInfoCall: {
+      if (logical == "mac") return "get_mac_address";
+      if (logical == "serial") return "get_serial_number";
+      if (logical == "device_id") return "get_device_id";
+      if (logical == "uuid") return "get_uuid";
+      if (logical == "model_number") return "get_model_name";
+      if (logical == "hardware_version") return "get_hw_version";
+      if (logical == "firmware_version") return "get_fw_version";
+      return "get_device_id";
+    }
+    case FieldOrigin::FileRead: {
+      if (logical == "certificate") return "/etc/ssl/device.crt";
+      return "/etc/device.key";
+    }
+    case FieldOrigin::Frontend: {
+      if (logical == "cloud_username") return "username";
+      if (logical == "cloud_password") return "password";
+      return logical;
+    }
+    case FieldOrigin::Env:
+      return "CLOUD_" + support::to_lower(logical);
+    default:
+      return logical;
+  }
+}
+
+/// Build a FieldSpec from a dictionary template.
+FieldSpec field_from_template(const FieldTemplate& t,
+                              const DeviceIdentity& id, support::Rng& rng) {
+  FieldSpec f;
+  f.key = t.key;
+  f.primitive = t.primitive;
+  if (t.primitive == Primitive::Signature) {
+    // Signature = f(Dev-Secret) (§II-B form ②). Unary derivation keeps the
+    // field single-information-source: one taint leaf (the secret's store).
+    f.origin = FieldOrigin::Derived;
+    f.source_key = rng.chance(0.5) ? "md5_hex" : "sha256_hex";
+    f.value = pseudo_hmac(id.dev_secret, id.device_id);
+    return f;
+  }
+  const std::string logical = t.logical.empty() ? "device_id" : t.logical;
+  f.origin = pick_origin(logical, rng);
+  f.source_key = source_key_for(f.origin, logical, rng);
+  f.value = id.value_of(logical);
+  return f;
+}
+
+/// Field for a given primitive, random template.
+FieldSpec primitive_field(Primitive p, const DeviceIdentity& id,
+                          support::Rng& rng) {
+  const auto& templates = templates_for(p);
+  return field_from_template(rng.pick(templates), id, rng);
+}
+
+/// Field for a specific wire key (handcrafted Table III params). Falls back
+/// to a metadata field when the key is not in any dictionary.
+FieldSpec named_field(const std::string& key, const DeviceIdentity& id,
+                      support::Rng& rng);
+
+std::string metadata_value(const std::string& key, const DeviceIdentity& id,
+                           support::Rng& rng) {
+  if (key == "timestamp" || key == "time" || key == "ts" ||
+      key == "alarm_time" || key == "start_time")
+    return std::to_string(1719800000 + rng.uniform(0, 999999));
+  if (key == "seq" || key == "count")
+    return std::to_string(rng.uniform(1, 9999));
+  if (key == "lang") return "en";
+  if (key == "version" || key == "fwVer" || key == "firmwareVersion") {
+    // Avoid dotted-quad-shaped versions (e.g. device 19's "10.194.161.48"):
+    // hard-coded in .rodata they would trip the §IV-D LAN-address filter.
+    if (support::split(id.firmware_version, '.').size() == 4)
+      return "v" + id.firmware_version;
+    return id.firmware_version;
+  }
+  if (key == "hardwareVersion") return id.hardware_version;
+  if (key == "manufacturingDate") return id.manufacturing_date;
+  if (key == "img" || key == "snapshot")
+    return support::format("alarm_%04lld.jpg",
+                           static_cast<long long>(rng.uniform(0, 9999)));
+  if (key == "channel" || key == "stream")
+    return std::to_string(rng.uniform(0, 3));
+  if (key == "date") return "2024-03-11";
+  if (key == "begin" || key == "end")
+    return std::to_string(1719800000 + rng.uniform(0, 99999));
+  if (key == "status") return "online";
+  if (key == "uploadType") return "crashlog";
+  if (key == "uploadSubType") return "watchdog";
+  if (key == "type") return "motion";
+  if (key == "sdkver") return "2.4.1";
+  if (key == "code") return std::to_string(rng.uniform(1000, 9999));
+  if (key == "cluster") return support::format("c%lld", static_cast<long long>(rng.uniform(1, 8)));
+  return support::format("v%lld", static_cast<long long>(rng.uniform(0, 999)));
+}
+
+FieldSpec metadata_field(const std::string& key, const DeviceIdentity& id,
+                         support::Rng& rng) {
+  FieldSpec f;
+  f.key = key;
+  f.primitive = Primitive::None;
+  if (key == "timestamp" || key == "time" || key == "ts" ||
+      key == "alarm_time" || key == "start_time") {
+    f.origin = FieldOrigin::Timestamp;
+    f.source_key = "time";
+  } else if (key == "signal" || key == "snapshot" || key == "certlevel" ||
+             key == "macfilter") {
+    // Confusable keys stay non-hardcoded: their purpose is a semantics
+    // error (Table II #Accurate), not a spurious hardcoded-credential flaw.
+    f.origin = FieldOrigin::Counter;
+    f.source_key = "seq";
+  } else if (key == "seq" || key == "count") {
+    f.origin = FieldOrigin::Counter;
+    f.source_key = "seq";
+  } else if (key == "img" || key == "payload" || key == "msg") {
+    f.origin = FieldOrigin::Frontend;
+    f.source_key = key;
+  } else {
+    f.origin = FieldOrigin::HardcodedStr;
+    f.source_key = key;
+  }
+  f.value = metadata_value(key, id, rng);
+  return f;
+}
+
+FieldSpec named_field(const std::string& key, const DeviceIdentity& id,
+                      support::Rng& rng) {
+  const auto prim = primitive_of_key(key);
+  if (prim.has_value() && *prim != Primitive::None) {
+    for (const FieldTemplate& t : templates_for(*prim)) {
+      if (support::to_lower(t.key) == support::to_lower(key)) {
+        FieldSpec f = field_from_template(t, id, rng);
+        f.key = key;  // preserve exact requested spelling
+        return f;
+      }
+    }
+  }
+  return metadata_field(key, id, rng);
+}
+
+/// The Address "field": the endpoint host the firmware embeds in the URL /
+/// broker address. LAN variants carry a private IP (§IV-D filter bait).
+FieldSpec host_field(const DeviceIdentity& id, support::Rng& rng,
+                     bool lan = false) {
+  FieldSpec f;
+  f.key = "host";
+  f.primitive = Primitive::Address;
+  if (lan) {
+    f.origin = FieldOrigin::HardcodedStr;
+    f.source_key = "host";
+    f.value = support::format("192.168.%lld.%lld",
+                              static_cast<long long>(rng.uniform(0, 3)),
+                              static_cast<long long>(rng.uniform(2, 254)));
+    return f;
+  }
+  f.origin = pick_origin("cloud_host", rng);
+  f.source_key = source_key_for(f.origin, "cloud_host", rng);
+  f.value = id.cloud_host;
+  return f;
+}
+
+/// Append unique metadata fields until `spec` has `target` fields.
+void pad_with_metadata(MessageSpec& spec, std::size_t target,
+                       const DeviceProfile& profile, const DeviceIdentity& id,
+                       support::Rng& rng) {
+  std::set<std::string> used;
+  for (const FieldSpec& f : spec.fields) used.insert(f.key);
+  const auto& meta = metadata_keys();
+  const auto& custom = vendor_custom_keys();
+  int attempts = 0;
+  while (spec.fields.size() < target && attempts++ < 200) {
+    std::string key;
+    bool is_custom = false;
+    if (rng.chance(profile.custom_key_rate)) {
+      key = rng.pick(custom);
+      is_custom = true;
+    } else {
+      key = rng.pick(meta);
+    }
+    if (!used.insert(key).second) continue;
+    FieldSpec f = metadata_field(key, id, rng);
+    f.vendor_custom = is_custom;
+    spec.fields.push_back(std::move(f));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Generic business/binding templates
+// ---------------------------------------------------------------------------
+
+struct Generic {
+  const char* name;
+  const char* functionality;
+  const char* path;
+  Phase phase;
+};
+
+constexpr Generic kGenerics[] = {
+    {"register", "Registering the device to the cloud",
+     "/api/v1/devices/register", Phase::Binding},
+    {"bind", "Binding the device to a user account", "/api/v1/devices/bind",
+     Phase::Binding},
+    {"activate", "Activating the device", "/api/v1/devices/activate",
+     Phase::Binding},
+    {"heartbeat", "Reporting liveness", "/api/v1/heartbeat", Phase::Business},
+    {"status_report", "Reporting device status", "/api/v1/status",
+     Phase::Business},
+    {"sensor_upload", "Uploading sensor data", "/api/v1/data/sensor",
+     Phase::Business},
+    {"log_upload", "Uploading device logs", "/api/v1/logs", Phase::Business},
+    {"alarm_push", "Pushing alarm events", "/api/v1/alarm", Phase::Business},
+    {"ota_check", "Checking for firmware updates", "/api/v1/ota/check",
+     Phase::Business},
+    {"config_sync", "Synchronizing configuration", "/api/v1/config/sync",
+     Phase::Business},
+    {"time_sync", "Synchronizing wall-clock time", "/api/v1/time",
+     Phase::Business},
+    {"stats_report", "Reporting traffic statistics", "/api/v1/stats",
+     Phase::Business},
+    {"video_meta", "Uploading video metadata", "/api/v1/video/meta",
+     Phase::Business},
+    {"storage_query", "Querying cloud storage", "/api/v1/storage/query",
+     Phase::Business},
+    {"event_report", "Reporting system events", "/api/v1/events",
+     Phase::Business},
+    {"diag_upload", "Uploading diagnostics", "/api/v1/diagnostics",
+     Phase::Business},
+    {"wifi_report", "Reporting Wi-Fi neighborhood", "/api/v1/wifi/neighbors",
+     Phase::Business},
+    {"topology_report", "Reporting network topology", "/api/v1/topology",
+     Phase::Business},
+    {"speedtest_report", "Reporting link speed tests", "/api/v1/speedtest",
+     Phase::Business},
+    // Named "key_rotation" rather than "cert_renew": message names become
+    // buffer names in the binary, and a "cert" substring in every slice of
+    // the message would drag the whole message into the Dev-Secret class.
+    {"key_rotation", "Rotating the device key material", "/api/v1/keys/rotate",
+     Phase::Business},
+    {"shadow_update", "Updating the device shadow", "/api/v1/shadow/update",
+     Phase::Business},
+    {"property_report", "Reporting device properties",
+     "/api/v1/properties/report", Phase::Business},
+    {"fw_report", "Reporting firmware inventory", "/api/v1/firmware/report",
+     Phase::Business},
+    {"dns_report", "Reporting DNS health", "/api/v1/dns/report",
+     Phase::Business},
+    {"session_refresh", "Refreshing the cloud session",
+     "/api/v1/session/refresh", Phase::Business},
+    {"notify_ack", "Acknowledging push notifications", "/api/v1/notify/ack",
+     Phase::Business},
+    {"schedule_sync", "Synchronizing schedules", "/api/v1/schedule/sync",
+     Phase::Business},
+    {"user_pref_sync", "Synchronizing user preferences",
+     "/api/v1/preferences/sync", Phase::Business},
+    {"power_report", "Reporting power state", "/api/v1/power/report",
+     Phase::Business},
+    {"energy_stats", "Reporting energy statistics", "/api/v1/energy/stats",
+     Phase::Business},
+};
+
+/// Secure primitive composition for a generic message (§II-B forms).
+void add_secure_primitives(MessageSpec& spec, const DeviceIdentity& id,
+                           support::Rng& rng) {
+  spec.fields.push_back(primitive_field(Primitive::DevIdentifier, id, rng));
+  if (spec.phase == Phase::Binding) {
+    spec.fields.push_back(primitive_field(Primitive::DevSecret, id, rng));
+    spec.fields.push_back(primitive_field(Primitive::UserCred, id, rng));
+    return;
+  }
+  switch (rng.uniform(0, 2)) {
+    case 0:  // ① Dev-Identifier + Bind-Token
+      spec.fields.push_back(primitive_field(Primitive::BindToken, id, rng));
+      break;
+    case 1:  // ② Dev-Identifier + Signature
+      spec.fields.push_back(primitive_field(Primitive::Signature, id, rng));
+      break;
+    default:  // ③ Dev-Identifier + Dev-Secret + User-Cred
+      spec.fields.push_back(primitive_field(Primitive::DevSecret, id, rng));
+      spec.fields.push_back(primitive_field(Primitive::UserCred, id, rng));
+      break;
+  }
+}
+
+MessageSpec start_spec(const DeviceProfile& profile, const Generic& g,
+                       const DeviceIdentity& id, support::Rng& rng) {
+  MessageSpec spec;
+  spec.name = g.name;
+  spec.functionality = g.functionality;
+  spec.protocol = profile.primary_protocol;
+  spec.format = profile.assembly == AssemblyStyle::Sprintf
+                    ? (rng.chance(0.5) ? WireFormat::Query : WireFormat::Json)
+                    : WireFormat::Json;
+  spec.assembly = profile.assembly;
+  spec.phase = g.phase;
+  if (spec.protocol == Protocol::Mqtt) {
+    spec.endpoint_path = support::format("/sys/device/%s", g.name);
+    spec.format = spec.assembly == AssemblyStyle::Sprintf && rng.chance(0.3)
+                      ? WireFormat::KeyValue
+                      : WireFormat::Json;
+  } else {
+    spec.endpoint_path = g.path;
+  }
+  spec.fields.push_back(host_field(id, rng));
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+// Handcrafted Table III specs
+// ---------------------------------------------------------------------------
+
+MessageSpec vuln_spec(const DeviceProfile& profile, const DeviceIdentity& id,
+                      support::Rng& rng, const std::string& name,
+                      const std::string& functionality,
+                      const std::string& path, Phase phase,
+                      const std::vector<std::string>& params,
+                      const std::string& consequence,
+                      WireFormat format = WireFormat::Json) {
+  MessageSpec spec;
+  spec.name = name;
+  spec.functionality = functionality;
+  spec.endpoint_path = path;
+  spec.protocol = profile.primary_protocol;
+  spec.format = format;
+  spec.assembly = profile.assembly;
+  spec.phase = phase;
+  spec.vulnerable = true;
+  spec.consequence = consequence;
+  spec.fields.push_back(host_field(id, rng));
+  for (const std::string& p : params)
+    spec.fields.push_back(named_field(p, id, rng));
+  return spec;
+}
+
+}  // namespace
+
+const std::vector<int>& vulnerable_device_ids() {
+  static const std::vector<int> kIds = {2, 3, 5, 11, 17, 18, 19, 20};
+  return kIds;
+}
+
+const std::vector<int>& false_positive_device_ids() {
+  // 11 bait messages across the corpus → §V-D's 26 reported / 15 confirmed.
+  static const std::vector<int> kIds = {1, 2, 4, 5, 6, 7, 9, 12, 13, 14, 16};
+  return kIds;
+}
+
+std::vector<MessageSpec> vulnerable_specs(const DeviceProfile& profile,
+                                          const DeviceIdentity& id) {
+  support::Rng rng(profile.seed ^ 0x7ab1e3ULL);
+  std::vector<MessageSpec> out;
+  switch (profile.id) {
+    case 2:
+      // Binding with no Dev-Secret: anyone knowing the deviceID can bind it
+      // to their own account.
+      out.push_back(vuln_spec(
+          profile, id, rng, "bind_device",
+          "Binding the device to the cloud user", "/api/bindDevice",
+          Phase::Binding, {"deviceID", "cloudusername", "cloudpassword"},
+          "Attackers can bind the device to their accounts by sending a fake "
+          "binding request."));
+      break;
+    case 3:
+      out.push_back(vuln_spec(
+          profile, id, rng, "share_ids",
+          "Acquiring the shareID list of the device", "/api/getShareIds",
+          Phase::Business, {"deviceID"},
+          "ShareID list can be used to obtain the shared information about "
+          "the device."));
+      break;
+    case 5: {
+      out.push_back(vuln_spec(
+          profile, id, rng, "registrations",
+          "Registering device to the cloud", "/cloud/registrations",
+          Phase::Binding,
+          {"serialNumber", "macAddress", "modelNumber", "uuid",
+           "hardwareVersion", "firmwareVersion", "manufacturingDate"},
+          "It returns a fixed device token, which can be used to upload "
+          "tampered system information and crash logs to the cloud."));
+      MessageSpec logs = vuln_spec(
+          profile, id, rng, "crash_logs", "Uploading crash logs",
+          "/cloud/device-info?uploadType=crashlog", Phase::Business,
+          {"uploadSubType", "firmwareVersion", "serialNo", "macAddress",
+           "hardwareVersion", "uploadType"},
+          "Attackers upload fake crash logs to trick users.");
+      // The "deviceToken" is the fixed vendor-wide token — a hard-coded
+      // Bind-Token, the §IV-E hard-coded-credential pattern.
+      FieldSpec token;
+      token.key = "deviceToken";
+      token.primitive = Primitive::BindToken;
+      token.origin = FieldOrigin::HardcodedStr;
+      token.source_key = "deviceToken";
+      token.value = "FIXED-TOKEN-8f2a11c09d";
+      logs.fields.push_back(std::move(token));
+      out.push_back(std::move(logs));
+      break;
+    }
+    case 11: {
+      // CVE-2023-2586 (the §III-A running example): registration with only
+      // serial + MAC; the cloud hands back the device certificate.
+      MessageSpec rms = vuln_spec(
+          profile, id, rng, "rms_register",
+          "Authenticating the device to the remote management system",
+          "/rms/register", Phase::Binding, {"sn", "mac"},
+          "The cloud returns the private key and certificate; attackers "
+          "knowing serial+MAC can impersonate the device over MQTT.",
+          WireFormat::KeyValue);
+      // Known vulnerability, not a new find.
+      rms.name = "rms_register_cve_2023_2586";
+      out.push_back(std::move(rms));
+      break;
+    }
+    case 17:
+      out.push_back(vuln_spec(
+          profile, id, rng, "query_services",
+          "Checking the availability of the cloud storage service",
+          "?m=cloud&a=queryServices", Phase::Business, {"uid"},
+          "Privacy information leakage.", WireFormat::Query));
+      out.push_back(vuln_spec(
+          profile, id, rng, "crash_report", "Uploading crash logs",
+          "?m=camera&a=crash_report", Phase::Business, {"uid", "version"},
+          "After a successful upload, the device crashes and loses its "
+          "connection.",
+          WireFormat::Query));
+      out.push_back(vuln_spec(
+          profile, id, rng, "pic_alarm", "Pushing monitor alert",
+          "?m=camera_alarm&a=camera_pic_alarm", Phase::Business,
+          {"uid", "alarm_time", "lang", "img"},
+          "Attackers push false alerts to victim users.", WireFormat::Query));
+      break;
+    case 18:
+      out.push_back(vuln_spec(
+          profile, id, rng, "get_bind_params",
+          "Obtaining binding information", "/auth/get_bind_params",
+          Phase::Business, {"userid", "mac", "sdkver"},
+          "Privacy information leakage.", WireFormat::Query));
+      out.push_back(vuln_spec(
+          profile, id, rng, "save_video_report",
+          "Retrieving stored video records", "/app/device/save_video/report",
+          Phase::Business, {"start_time", "code", "userid", "mac", "sdkver"},
+          "Privacy information leakage.", WireFormat::Query));
+      break;
+    case 19:
+      out.push_back(vuln_spec(
+          profile, id, rng, "change_device_id", "Changing the device ID",
+          "/change", Phase::Business, {"vuid", "code", "cluster"},
+          "Information tampering.", WireFormat::Query));
+      break;
+    case 20:
+      out.push_back(vuln_spec(
+          profile, id, rng, "storage_status",
+          "Querying the cloud storage services of the device",
+          "/store-server/api/v1/storages/status", Phase::Business,
+          {"deviceId", "channel"}, "Privacy information leakage."));
+      out.push_back(vuln_spec(
+          profile, id, rng, "storage_auth",
+          "Authenticating the device to the cloud storage server",
+          "/store-server/api/v1/storages/auth", Phase::Business, {"deviceId"},
+          "The cloud returns access-key and secret-key used to upload videos "
+          "to the cloud."));
+      out.push_back(vuln_spec(
+          profile, id, rng, "storage_files",
+          "Querying the videos stored on the cloud",
+          "/store-server/api/v1/storages/files", Phase::Business,
+          {"deviceId", "channel", "stream", "type", "date", "begin", "end"},
+          "The cloud returns video information and download paths for the "
+          "queried time period."));
+      break;
+    default:
+      break;
+  }
+  return out;
+}
+
+std::vector<MessageSpec> build_message_specs(const DeviceProfile& profile,
+                                             const DeviceIdentity& identity,
+                                             support::Rng& rng) {
+  if (profile.script_based) return {};
+  std::vector<MessageSpec> specs = vulnerable_specs(profile, identity);
+
+  // False-positive bait (§V-D): one per designated device.
+  const auto& fp_ids = false_positive_device_ids();
+  if (std::find(fp_ids.begin(), fp_ids.end(), profile.id) != fp_ids.end()) {
+    if (profile.id % 2 == 1) {
+      // Custom-primitive bait: business form ③ where the User-Cred is a
+      // vendor-specific verification code the model cannot recognize.
+      MessageSpec spec;
+      spec.name = "remote_cmd_ack";
+      spec.functionality = "Acknowledging a user-issued remote command";
+      spec.endpoint_path = "/api/v1/cmd/ack";
+      spec.protocol = profile.primary_protocol;
+      spec.format = WireFormat::Json;
+      spec.assembly = profile.assembly;
+      spec.phase = Phase::Business;
+      spec.fields.push_back(host_field(identity, rng));
+      spec.fields.push_back(
+          primitive_field(Primitive::DevIdentifier, identity, rng));
+      spec.fields.push_back(
+          primitive_field(Primitive::DevSecret, identity, rng));
+      FieldSpec vcode;
+      vcode.key = "verify_code";
+      vcode.primitive = Primitive::UserCred;  // ground truth: it IS User-Cred
+      vcode.origin = FieldOrigin::Frontend;   // collected from the web UI
+      vcode.source_key = "verify_code";
+      vcode.value = std::to_string(rng.uniform(100000, 999999));
+      vcode.vendor_custom = true;
+      spec.fields.push_back(std::move(vcode));
+      specs.push_back(std::move(spec));
+    } else {
+      // Anonymous-telemetry bait: genuinely lacks primitives, by design.
+      MessageSpec spec;
+      spec.name = "anon_telemetry";
+      spec.functionality = "Uploading anonymous usage statistics";
+      spec.endpoint_path = "/api/v1/telemetry/anon";
+      spec.protocol = profile.primary_protocol;
+      spec.format = WireFormat::Json;
+      spec.assembly = profile.assembly;
+      spec.phase = Phase::Business;
+      spec.benign_no_auth = true;
+      spec.fields.push_back(host_field(identity, rng));
+      for (const char* key : {"eventType", "pluginId"}) {
+        FieldSpec f = metadata_field(key, identity, rng);
+        f.vendor_custom = true;
+        f.value = key == std::string("eventType") ? "usage" : "core";
+        spec.fields.push_back(std::move(f));
+      }
+      specs.push_back(std::move(spec));
+    }
+  }
+
+  // Generic messages up to the target count.
+  const int target = std::max<int>(profile.num_messages,
+                                   static_cast<int>(specs.size()));
+  std::vector<const Generic*> pool;
+  for (const Generic& g : kGenerics) pool.push_back(&g);
+  rng.shuffle(pool);
+  std::size_t next = 0;
+  int suffix = 2;
+  while (static_cast<int>(specs.size()) < target) {
+    const Generic* g = pool[next % pool.size()];
+    MessageSpec spec = start_spec(profile, *g, identity, rng);
+    if (next >= pool.size()) {
+      // Second pass over the pool: create "_v2" variants.
+      spec.name += support::format("_v%d", suffix);
+      spec.endpoint_path += support::format("/v%d", suffix);
+    }
+    ++next;
+    if (next % pool.size() == 0) ++suffix;
+    add_secure_primitives(spec, identity, rng);
+    const auto target_fields = static_cast<std::size_t>(
+        rng.uniform(profile.min_fields, profile.max_fields));
+    pad_with_metadata(spec, target_fields, profile, identity, rng);
+    specs.push_back(std::move(spec));
+  }
+
+  // Mark the last `num_retired` generic messages as retired endpoints:
+  // still reconstructed (they are real message-construction code) but the
+  // cloud answers "Path Not Exists" → invalid (§V-C validity check).
+  int retired = 0;
+  for (auto it = specs.rbegin();
+       it != specs.rend() && retired < profile.num_retired; ++it) {
+    if (it->vulnerable || it->benign_no_auth) continue;
+    it->endpoint_retired = true;
+    it->endpoint_path = "/legacy" + it->endpoint_path;
+    ++retired;
+  }
+
+  // LAN-destination messages, discarded by §IV-D's address filter.
+  for (int i = 0; i < profile.num_lan_messages; ++i) {
+    MessageSpec spec;
+    spec.name = support::format("lan_sync_%d", i + 1);
+    spec.functionality = "Synchronizing state with a LAN peer";
+    spec.endpoint_path = "/local/sync";
+    spec.protocol = Protocol::Http;
+    spec.format = WireFormat::Json;
+    spec.assembly = profile.assembly;
+    spec.phase = Phase::Business;
+    spec.lan_destination = true;
+    spec.fields.push_back(host_field(identity, rng, /*lan=*/true));
+    spec.fields.push_back(
+        primitive_field(Primitive::DevIdentifier, identity, rng));
+    pad_with_metadata(spec, 4, profile, identity, rng);
+    specs.push_back(std::move(spec));
+  }
+
+  return specs;
+}
+
+}  // namespace firmres::fw

@@ -1,0 +1,41 @@
+// Message catalogue: produces the MessageSpec set for one device.
+//
+// Two sources:
+//  - handcrafted vulnerable specs mirroring Table III (device ids 2, 3, 5,
+//    11, 17, 18, 19, 20 — 14 flawed interfaces, device 11 being the known
+//    CVE-2023-2586 running example of §III-A);
+//  - generic templates by functionality (register/heartbeat/upload/…) with
+//    secure primitive compositions drawn from §II-B, filled with metadata
+//    fields, plus the retired-endpoint, LAN-destination, and
+//    false-positive-bait messages that give Table II its #Identified vs
+//    #Valid gap and §V-D its 26-reported/15-confirmed split.
+#pragma once
+
+#include <vector>
+
+#include "firmware/device_profile.h"
+#include "firmware/identity.h"
+#include "firmware/message_spec.h"
+#include "support/rng.h"
+
+namespace firmres::fw {
+
+/// Build the full message-spec list for a device. Order: vulnerable specs
+/// first, then generic (including retired), then LAN-destination specs.
+std::vector<MessageSpec> build_message_specs(const DeviceProfile& profile,
+                                             const DeviceIdentity& identity,
+                                             support::Rng& rng);
+
+/// Just the Table III specs of a device (empty for non-vulnerable devices).
+/// Exposed for tests and the Table III bench.
+std::vector<MessageSpec> vulnerable_specs(const DeviceProfile& profile,
+                                          const DeviceIdentity& identity);
+
+/// Device ids that carry Table III flaws.
+const std::vector<int>& vulnerable_device_ids();
+
+/// Device ids seeded with one false-positive-bait message each (§V-D's
+/// 11 unconfirmed reports).
+const std::vector<int>& false_positive_device_ids();
+
+}  // namespace firmres::fw

@@ -1,0 +1,32 @@
+// Simulated cryptographic derivations.
+//
+// The paper's business form ② uses Signature = f(Dev-Secret) (§II-B). Real
+// HMACs are irrelevant to the reproduction — what matters is that (a) the
+// device and the cloud compute the same value from the shared secret and
+// (b) an attacker without the secret cannot. A keyed FNV construction gives
+// both properties within the simulation. Not cryptography; do not reuse.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "support/hash.h"
+#include "support/strings.h"
+
+namespace firmres::fw {
+
+/// Keyed pseudo-MAC: hex(fnv1a(key || 0x1f || data) ⊕ fnv1a(data)).
+inline std::string pseudo_hmac(std::string_view key, std::string_view data) {
+  const std::uint64_t inner =
+      support::fnv1a64(std::string(key) + '\x1f' + std::string(data));
+  const std::uint64_t outer = support::hash_combine(inner, support::fnv1a64(data));
+  return support::format("%016llx", static_cast<unsigned long long>(outer));
+}
+
+/// Unkeyed pseudo-hash for token derivations.
+inline std::string pseudo_hash(std::string_view data) {
+  return support::format(
+      "%016llx", static_cast<unsigned long long>(support::fnv1a64(data)));
+}
+
+}  // namespace firmres::fw

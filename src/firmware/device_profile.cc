@@ -1,0 +1,116 @@
+#include "firmware/device_profile.h"
+
+#include "support/error.h"
+
+namespace firmres::fw {
+
+namespace {
+
+struct Row {
+  int id;
+  const char* vendor;
+  const char* model;
+  const char* type;
+  const char* version;
+  bool script;
+  Protocol proto;
+  AssemblyStyle assembly;
+  int msgs;          // target #Identified messages (Table II shape)
+  int retired;       // #Identified − #Valid
+  int min_f, max_f;  // per-message field range
+  double noise;      // expected disassembly-noise fields per message
+  double custom;     // vendor-custom key probability per metadata field
+};
+
+// One row per Table I device. Message counts / noise follow each device's
+// Table II row; assembly style follows whether its thd columns are "-".
+constexpr Row kRows[] = {
+    {1, "InRouter", "InRouter302", "Industrial Router", "V1.0.52", false,
+     Protocol::Mqtt, AssemblyStyle::JsonLib, 21, 4, 3, 6, 0.62, 0.07},
+    {2, "TP-Link", "***", "Smart Camera", "***", false, Protocol::Https,
+     AssemblyStyle::JsonLib, 16, 2, 3, 7, 0.44, 0.10},
+    {3, "TP-Link", "***", "Industrial Router", "***", false, Protocol::Https,
+     AssemblyStyle::JsonLib, 18, 2, 4, 8, 0.50, 0.09},
+    {4, "TP-Link", "TL-TR960G", "4G Router",
+     "0.1.0.5_Build_211202_Rel.47739n", false, Protocol::Https,
+     AssemblyStyle::JsonLib, 17, 3, 4, 8, 0.65, 0.08},
+    {5, "Linksys", "***", "Wi-Fi Router", "***", false, Protocol::Https,
+     AssemblyStyle::JsonLib, 8, 1, 5, 8, 0.50, 0.10},
+    {6, "Netgear", "GC110", "Smart Switch", "V1.0.5.36", false,
+     Protocol::Https, AssemblyStyle::JsonLib, 14, 1, 4, 8, 0.29, 0.09},
+    {7, "Netgear", "R8500", "Wi-Fi Router", "V1.0.2.160_1.0.107", false,
+     Protocol::Https, AssemblyStyle::JsonLib, 18, 2, 4, 7, 0.94, 0.09},
+    {8, "Netgear", "WAC720", "Wireless Access Point", "V3.1.1.0", false,
+     Protocol::Https, AssemblyStyle::Sprintf, 13, 0, 6, 9, 0.69, 0.07},
+    {9, "Araknis", "AN-100FCC", "Wireless Access Point", "V1.3.02", false,
+     Protocol::Https, AssemblyStyle::JsonLib, 15, 1, 5, 8, 0.53, 0.09},
+    {10, "TENDA", "AC6", "Wi-Fi Router", "V02.03.01.114", false,
+     Protocol::Https, AssemblyStyle::Sprintf, 7, 1, 6, 10, 0.71, 0.05},
+    {11, "Teltonika", "RUT241", "4G-LTE Wi-Fi router", "RUT2M_R_00.07.01.3",
+     false, Protocol::Mqtt, AssemblyStyle::Sprintf, 13, 2, 4, 7, 1.85, 0.10},
+    {12, "360", "C5S", "Wi-Fi Router", "V3.1.2.5552", false, Protocol::Https,
+     AssemblyStyle::Sprintf, 15, 4, 4, 8, 0.93, 0.08},
+    {13, "Tenvis", "319W", "Smart Camera", "V3.7.25", false, Protocol::Http,
+     AssemblyStyle::Sprintf, 17, 0, 7, 11, 0.88, 0.08},
+    {14, "Western Digital", "My cloud", "NAS", "V5.25.124", false,
+     Protocol::Https, AssemblyStyle::Sprintf, 30, 4, 8, 13, 1.07, 0.04},
+    {15, "Mindor", "ZCZ001", "Smart Plug", "V1.0.7", false, Protocol::Mqtt,
+     AssemblyStyle::Sprintf, 5, 1, 9, 13, 1.00, 0.08},
+    {16, "Mank", "WF-CT-10X", "Smart Plug", "V1.1.2", false, Protocol::Mqtt,
+     AssemblyStyle::Sprintf, 7, 2, 7, 12, 1.00, 0.11},
+    {17, "Cubetoou", "T9", "Smart Camera", "a01.04.05.0020.5591a.190822",
+     false, Protocol::Http, AssemblyStyle::Sprintf, 9, 0, 8, 13, 1.44, 0.15},
+    {18, "DF-iCam", "QC061", "Smart Camera", "2.3.04.25.1", false,
+     Protocol::Http, AssemblyStyle::Sprintf, 13, 2, 6, 11, 2.00, 0.09},
+    {19, "VStarcam", "BMW1", "Smart Camera", "10.194.161.48", false,
+     Protocol::Http, AssemblyStyle::Sprintf, 13, 1, 5, 9, 0.46, 0.08},
+    {20, "RUISION", "S4D5620PHR", "Smart Camera", "1.4.0-20230705Z1s", false,
+     Protocol::Https, AssemblyStyle::Sprintf, 12, 2, 5, 9, 0.42, 0.07},
+    {21, "MOFI", "MOFI4500", "4GXeLTE Router", "2_3_5std", true,
+     Protocol::Https, AssemblyStyle::JsonLib, 0, 0, 0, 0, 0.0, 0.0},
+    {22, "D-LINK", "DAP1160L", "Wireless Access Point", "FW101WWb04", true,
+     Protocol::Https, AssemblyStyle::JsonLib, 0, 0, 0, 0, 0.0, 0.0},
+};
+
+DeviceProfile from_row(const Row& r) {
+  DeviceProfile p;
+  p.id = r.id;
+  p.vendor = r.vendor;
+  p.model = r.model;
+  p.device_type = r.type;
+  p.firmware_version = r.version;
+  p.script_based = r.script;
+  p.primary_protocol = r.proto;
+  p.assembly = r.assembly;
+  p.num_messages = r.msgs;
+  p.num_retired = r.retired;
+  p.num_lan_messages = r.script ? 0 : 1 + (r.id % 2);
+  p.min_fields = r.min_f;
+  p.max_fields = r.max_f;
+  p.noise_field_rate = r.noise;
+  p.custom_key_rate = r.custom;
+  p.num_noise_execs = r.script ? 2 : 3 + (r.id % 3);
+  p.single_field_formats = (r.id == 11);
+  // Per-device deterministic seed; the constant offsets decorrelate streams.
+  p.seed = 0xF1A3000000000000ULL + static_cast<std::uint64_t>(r.id) * 0x9E37ULL;
+  return p;
+}
+
+}  // namespace
+
+std::vector<DeviceProfile> standard_corpus() {
+  std::vector<DeviceProfile> out;
+  out.reserve(std::size(kRows));
+  for (const Row& r : kRows) out.push_back(from_row(r));
+  return out;
+}
+
+DeviceProfile profile_by_id(int id) {
+  for (const Row& r : kRows) {
+    if (r.id == id) return from_row(r);
+  }
+  FIRMRES_CHECK_MSG(false, "no device profile with id " + std::to_string(id));
+  return {};
+}
+
+}  // namespace firmres::fw

@@ -1,0 +1,62 @@
+// DeviceProfile: synthesis parameters for one evaluated device.
+//
+// `standard_corpus()` returns the 22 devices of Table I with knobs chosen so
+// the synthesized firmware reproduces each device's *shape* in Table II —
+// how many device-cloud messages it builds, how message bodies are
+// assembled (cJSON vs sprintf), how much disassembly noise the binary
+// carries, and which access-control flaws its cloud has (Table III).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "firmware/message_spec.h"
+
+namespace firmres::fw {
+
+struct DeviceProfile {
+  int id = 0;                    ///< Table I device id (1-22)
+  std::string vendor;
+  std::string model;             ///< "***" where the paper redacts
+  std::string device_type;       ///< Table I "Device Type" column text
+  std::string firmware_version;
+
+  /// Devices 21/22: device-cloud interaction in shell/PHP scripts — FIRMRES
+  /// must fail to find a device-cloud *binary* (§V-B).
+  bool script_based = false;
+
+  Protocol primary_protocol = Protocol::Https;
+  /// How this vendor's firmware assembles message bodies. Sprintf devices
+  /// populate the thd=0.5/0.6/0.7 columns of Table II; JsonLib devices show
+  /// "-".
+  AssemblyStyle assembly = AssemblyStyle::JsonLib;
+
+  int num_messages = 12;        ///< device-cloud messages to synthesize
+  int num_retired = 2;          ///< subset targeting retired endpoints (invalid)
+  int num_lan_messages = 1;     ///< LAN-destination messages (must be discarded)
+  int min_fields = 3;           ///< per-message field count range
+  int max_fields = 9;
+  /// Probability that a message gains a disassembly-noise pseudo-field (the
+  /// stray numeric constant of §V-C, e.g. 0x5353414d) — drives the
+  /// #Identified vs #Confirmed field gap.
+  double noise_field_rate = 0.6;
+  /// Probability that a metadata field uses a vendor-custom key the
+  /// classifier has never seen — drives semantics errors and the
+  /// false-positive flawed messages of §V-D.
+  double custom_key_rate = 0.08;
+  int num_noise_execs = 4;      ///< IPC daemons / utilities per image
+  /// Sprintf devices whose format strings carry a single field each
+  /// (strcpy/strcat-style assembly): the §IV-C delimiter splitter finds no
+  /// multi-field formats, so the Table II thd columns read 0 (device 11).
+  bool single_field_formats = false;
+  std::uint64_t seed = 0;       ///< per-device RNG stream
+};
+
+/// The 22-device corpus of Table I.
+std::vector<DeviceProfile> standard_corpus();
+
+/// Convenience: the profile with a given Table I id. Aborts if absent.
+DeviceProfile profile_by_id(int id);
+
+}  // namespace firmres::fw

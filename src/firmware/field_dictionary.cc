@@ -1,0 +1,201 @@
+#include "firmware/field_dictionary.h"
+
+#include "support/strings.h"
+
+namespace firmres::fw {
+
+namespace {
+
+std::vector<FieldTemplate> make_identifier_templates() {
+  return {
+      {"mac", Primitive::DevIdentifier, "mac"},
+      {"macAddress", Primitive::DevIdentifier, "mac"},
+      {"mac_addr", Primitive::DevIdentifier, "mac"},
+      {"sn", Primitive::DevIdentifier, "serial"},
+      {"serialNo", Primitive::DevIdentifier, "serial"},
+      {"serialNumber", Primitive::DevIdentifier, "serial"},
+      {"serial_number", Primitive::DevIdentifier, "serial"},
+      {"deviceId", Primitive::DevIdentifier, "device_id"},
+      {"deviceID", Primitive::DevIdentifier, "device_id"},
+      {"device_id", Primitive::DevIdentifier, "device_id"},
+      {"devId", Primitive::DevIdentifier, "device_id"},
+      {"uid", Primitive::DevIdentifier, "uid"},
+      {"vuid", Primitive::DevIdentifier, "uid"},
+      {"userid", Primitive::DevIdentifier, "device_id"},
+      {"uuid", Primitive::DevIdentifier, "uuid"},
+      {"productId", Primitive::DevIdentifier, "model_number"},
+      {"modelId", Primitive::DevIdentifier, "model_number"},
+      {"modelNumber", Primitive::DevIdentifier, "model_number"},
+      {"clientId", Primitive::DevIdentifier, "device_id"},
+  };
+}
+
+std::vector<FieldTemplate> make_secret_templates() {
+  return {
+      {"deviceSecret", Primitive::DevSecret, "dev_secret"},
+      {"dev_secret", Primitive::DevSecret, "dev_secret"},
+      {"secretKey", Primitive::DevSecret, "dev_secret"},
+      {"secret_key", Primitive::DevSecret, "dev_secret"},
+      {"deviceKey", Primitive::DevSecret, "dev_secret"},
+      {"device_key", Primitive::DevSecret, "dev_secret"},
+      {"devKey", Primitive::DevSecret, "dev_secret"},
+      {"productSecret", Primitive::DevSecret, "dev_secret"},
+      {"cert", Primitive::DevSecret, "certificate"},
+      {"certificate", Primitive::DevSecret, "certificate"},
+      {"devCert", Primitive::DevSecret, "certificate"},
+  };
+}
+
+std::vector<FieldTemplate> make_user_cred_templates() {
+  return {
+      {"username", Primitive::UserCred, "cloud_username"},
+      {"user_name", Primitive::UserCred, "cloud_username"},
+      {"cloudusername", Primitive::UserCred, "cloud_username"},
+      {"account", Primitive::UserCred, "cloud_username"},
+      {"login", Primitive::UserCred, "cloud_username"},
+      {"password", Primitive::UserCred, "cloud_password"},
+      {"passwd", Primitive::UserCred, "cloud_password"},
+      {"cloudpassword", Primitive::UserCred, "cloud_password"},
+      {"userPassword", Primitive::UserCred, "cloud_password"},
+  };
+}
+
+std::vector<FieldTemplate> make_bind_token_templates() {
+  return {
+      {"token", Primitive::BindToken, "bind_token"},
+      {"accessToken", Primitive::BindToken, "bind_token"},
+      {"access_token", Primitive::BindToken, "bind_token"},
+      {"sessionToken", Primitive::BindToken, "bind_token"},
+      {"session_key", Primitive::BindToken, "bind_token"},
+      {"bindToken", Primitive::BindToken, "bind_token"},
+      {"deviceToken", Primitive::BindToken, "bind_token"},
+      {"accessKey", Primitive::BindToken, "bind_token"},
+  };
+}
+
+std::vector<FieldTemplate> make_signature_templates() {
+  return {
+      {"sign", Primitive::Signature, "dev_secret"},
+      {"signature", Primitive::Signature, "dev_secret"},
+      {"tmpKey", Primitive::Signature, "dev_secret"},
+      {"tempSecret", Primitive::Signature, "dev_secret"},
+      {"hmac", Primitive::Signature, "dev_secret"},
+      {"digest", Primitive::Signature, "dev_secret"},
+      {"authCode", Primitive::Signature, "dev_secret"},
+  };
+}
+
+std::vector<FieldTemplate> make_address_templates() {
+  return {
+      {"host", Primitive::Address, "cloud_host"},
+      {"server", Primitive::Address, "cloud_host"},
+      {"serverUrl", Primitive::Address, "cloud_host"},
+      {"endpoint", Primitive::Address, "cloud_host"},
+      {"serverIp", Primitive::Address, "cloud_host"},
+      {"broker", Primitive::Address, "cloud_host"},
+  };
+}
+
+std::vector<FieldTemplate> make_metadata_templates() {
+  std::vector<FieldTemplate> out;
+  for (const char* key :
+       {"timestamp", "time", "ts", "seq", "lang", "version", "fwVer",
+        "status", "uptime", "rssi", "payload", "temperature", "power",
+        "alarm_time", "img", "channel", "stream", "type", "date", "begin",
+        "end", "reason", "level", "msg", "count", "interval", "mode", "zone",
+        "format", "quality", "cpu", "mem", "ssid", "bitrate", "duration",
+        "start_time", "sdkver", "code", "cluster", "uploadType",
+        "uploadSubType", "manufacturingDate", "hardwareVersion",
+        "firmwareVersion",
+        // Confusable keys: each embeds a dictionary keyword ("sign", "sn",
+        // "cert", "mac"), so keyword labeling — and the model trained on it —
+        // misclassifies them. This reproduces the paper's residual semantics
+        // error (~8%, Table II #Accurate column).
+        "signal", "snapshot", "certlevel", "macfilter"}) {
+    out.push_back({key, Primitive::None, ""});
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::vector<FieldTemplate>& templates_for(Primitive p) {
+  static const std::vector<FieldTemplate> kId = make_identifier_templates();
+  static const std::vector<FieldTemplate> kSecret = make_secret_templates();
+  static const std::vector<FieldTemplate> kUser = make_user_cred_templates();
+  static const std::vector<FieldTemplate> kToken = make_bind_token_templates();
+  static const std::vector<FieldTemplate> kSig = make_signature_templates();
+  static const std::vector<FieldTemplate> kAddr = make_address_templates();
+  static const std::vector<FieldTemplate> kMeta = make_metadata_templates();
+  switch (p) {
+    case Primitive::DevIdentifier: return kId;
+    case Primitive::DevSecret: return kSecret;
+    case Primitive::UserCred: return kUser;
+    case Primitive::BindToken: return kToken;
+    case Primitive::Signature: return kSig;
+    case Primitive::Address: return kAddr;
+    case Primitive::None: return kMeta;
+  }
+  return kMeta;
+}
+
+Primitive keyword_label(std::string_view text) {
+  // Specific classes first: a slice mentioning both "deviceId" and
+  // "timestamp" is about the identifier. Signature precedes DevSecret
+  // because a derived credential's slice shows both the derivation ("sign",
+  // "hmac") and the secret it reads ("dev_secret") — the wire field is the
+  // signature (§II-B form ②). None last by construction.
+  static const Primitive kOrder[] = {
+      Primitive::Signature,   Primitive::BindToken, Primitive::DevSecret,
+      Primitive::UserCred,    Primitive::DevIdentifier,
+      Primitive::Address,
+  };
+  for (const Primitive p : kOrder) {
+    for (const FieldTemplate& t : templates_for(p)) {
+      if (support::icontains(text, t.key)) return p;
+    }
+  }
+  return Primitive::None;
+}
+
+std::optional<Primitive> primitive_of_key(std::string_view key) {
+  const std::string lowered = support::to_lower(key);
+  for (const Primitive p : all_primitives()) {
+    for (const FieldTemplate& t : templates_for(p)) {
+      if (support::to_lower(t.key) == lowered) return p;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> logical_of_key(std::string_view key) {
+  const std::string lowered = support::to_lower(key);
+  for (const Primitive p : all_primitives()) {
+    for (const FieldTemplate& t : templates_for(p)) {
+      if (support::to_lower(t.key) == lowered && !t.logical.empty())
+        return t.logical;
+    }
+  }
+  return std::nullopt;
+}
+
+const std::vector<std::string>& metadata_keys() {
+  static const std::vector<std::string> kKeys = [] {
+    std::vector<std::string> out;
+    for (const FieldTemplate& t : templates_for(Primitive::None))
+      out.push_back(t.key);
+    return out;
+  }();
+  return kKeys;
+}
+
+const std::vector<std::string>& vendor_custom_keys() {
+  static const std::vector<std::string> kKeys = {
+      "verify_code", "vcode",     "eventType",  "pluginId", "nonceStr",
+      "apphash",     "regmagic",  "xtkn",       "binddata", "ckey",
+      "devparam",    "cloudmark", "relaycode",
+  };
+  return kKeys;
+}
+
+}  // namespace firmres::fw

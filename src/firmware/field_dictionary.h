@@ -1,0 +1,54 @@
+// Field-name dictionaries.
+//
+// Two consumers:
+//  - the synthesizer draws realistic wire keys for each primitive class;
+//  - the dataset auto-labeler reimplements the paper's keyword labeling
+//    (§V-C: "We define a simple dictionary for each primitive for regular
+//    matching of keywords. For instance, Dev-Identifier's keywords include
+//    'MAC', 'deviceId', 'modelId', and so on.").
+// Both use the same vocabulary on purpose: the labels the model learns are
+// exactly the labels keyword matching would assign, noise included.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "firmware/primitives.h"
+
+namespace firmres::fw {
+
+/// A wire-key template: the key string, its primitive class, and the
+/// DeviceIdentity attribute ("logical name") supplying its value.
+struct FieldTemplate {
+  std::string key;
+  Primitive primitive = Primitive::None;
+  std::string logical;  ///< DeviceIdentity::value_of() name; empty for metadata
+};
+
+/// All key templates of a primitive class.
+const std::vector<FieldTemplate>& templates_for(Primitive p);
+
+/// Keyword labeling à la the paper's labeling script: substring-match `text`
+/// (case-insensitive) against every dictionary; returns the primitive of the
+/// first dictionary with a hit, preferring more specific classes. Returns
+/// None when nothing matches.
+Primitive keyword_label(std::string_view text);
+
+/// Lookup of a single key: exact (case-insensitive) dictionary membership.
+std::optional<Primitive> primitive_of_key(std::string_view key);
+
+/// The DeviceIdentity attribute feeding a known key; nullopt for metadata or
+/// unknown keys.
+std::optional<std::string> logical_of_key(std::string_view key);
+
+/// Metadata (None-class) keys the synthesizer uses for filler fields.
+const std::vector<std::string>& metadata_keys();
+
+/// Vendor-custom key pool: names outside every dictionary (the classifier's
+/// blind spot, §V-D false-positive cause (1)/(2): verification codes,
+/// eventType, pluginId).
+const std::vector<std::string>& vendor_custom_keys();
+
+}  // namespace firmres::fw

@@ -1,0 +1,72 @@
+#include "firmware/firmware_image.h"
+
+#include "support/strings.h"
+
+namespace firmres::fw {
+
+const char* file_kind_name(FirmwareFile::Kind kind) {
+  switch (kind) {
+    case FirmwareFile::Kind::Executable: return "executable";
+    case FirmwareFile::Kind::Script: return "script";
+    case FirmwareFile::Kind::Config: return "config";
+    case FirmwareFile::Kind::Certificate: return "certificate";
+    case FirmwareFile::Kind::Data: return "data";
+  }
+  return "?";
+}
+
+const MessageTruth* GroundTruth::message_at(
+    std::uint64_t delivery_address) const {
+  for (const MessageTruth& m : messages) {
+    if (m.delivery_address == delivery_address) return &m;
+  }
+  return nullptr;
+}
+
+const FirmwareFile* FirmwareImage::file(std::string_view path) const {
+  for (const FirmwareFile& f : files) {
+    if (f.path == path) return &f;
+  }
+  return nullptr;
+}
+
+std::vector<const ir::Program*> FirmwareImage::executables() const {
+  std::vector<const ir::Program*> out;
+  for (const FirmwareFile& f : files) {
+    if (f.kind == FirmwareFile::Kind::Executable && f.program != nullptr)
+      out.push_back(f.program.get());
+  }
+  return out;
+}
+
+std::optional<std::string> FirmwareImage::nvram_value(
+    std::string_view key) const {
+  const auto it = nvram.find(std::string(key));
+  if (it == nvram.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<std::string> FirmwareImage::config_value(
+    std::string_view key) const {
+  // "<path>:<key>" addresses one file; a bare key searches every config.
+  std::string_view path, bare = key;
+  if (const auto colon = key.rfind(':'); colon != std::string_view::npos &&
+                                         key.substr(0, colon).find('/') !=
+                                             std::string_view::npos) {
+    path = key.substr(0, colon);
+    bare = key.substr(colon + 1);
+  }
+  for (const FirmwareFile& f : files) {
+    if (f.kind != FirmwareFile::Kind::Config) continue;
+    if (!path.empty() && f.path != path) continue;
+    for (const std::string& line : support::split(f.text, '\n')) {
+      const auto eq = line.find('=');
+      if (eq == std::string::npos) continue;
+      if (support::trim(line.substr(0, eq)) == bare)
+        return std::string(support::trim(line.substr(eq + 1)));
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace firmres::fw

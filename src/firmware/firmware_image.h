@@ -1,0 +1,83 @@
+// FirmwareImage: an unpacked firmware filesystem plus evaluation ground
+// truth.
+//
+// Mirrors what binwalk-style extraction of a real image yields: executables
+// (here, P-Code Programs), scripts, configuration files, certificates, and
+// an NVRAM snapshot. The GroundTruth section records what the synthesizer
+// actually put in — the oracle that replaces the paper's manual
+// verification when computing #Confirmed / #Accurate / confirmed-flaw
+// columns.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "firmware/device_profile.h"
+#include "firmware/identity.h"
+#include "firmware/message_spec.h"
+#include "ir/program.h"
+
+namespace firmres::fw {
+
+struct FirmwareFile {
+  enum class Kind { Executable, Script, Config, Certificate, Data };
+
+  std::string path;  ///< filesystem path inside the image ("/usr/bin/…")
+  Kind kind = Kind::Data;
+  /// Text content for non-executables (config bodies, scripts, certs).
+  std::string text;
+  /// Lowered code for executables; null otherwise.
+  std::unique_ptr<ir::Program> program;
+};
+
+const char* file_kind_name(FirmwareFile::Kind kind);
+
+/// Ground truth for one synthesized device-cloud message.
+struct MessageTruth {
+  MessageSpec spec;
+  std::string executable;            ///< path of the emitting executable
+  std::uint64_t delivery_address = 0;  ///< op address of the delivery callsite
+  int noise_fields = 0;              ///< injected disassembly-noise fields
+};
+
+struct GroundTruth {
+  /// Path of the genuine device-cloud executable; empty for script devices.
+  std::string device_cloud_executable;
+  std::vector<MessageTruth> messages;
+
+  const MessageTruth* message_at(std::uint64_t delivery_address) const;
+};
+
+class FirmwareImage {
+ public:
+  FirmwareImage() = default;
+  FirmwareImage(const FirmwareImage&) = delete;
+  FirmwareImage& operator=(const FirmwareImage&) = delete;
+  FirmwareImage(FirmwareImage&&) = default;
+  FirmwareImage& operator=(FirmwareImage&&) = default;
+
+  DeviceProfile profile;
+  DeviceIdentity identity;
+  std::vector<FirmwareFile> files;
+  /// NVRAM snapshot (key → value); nvram_get reads resolve against this.
+  std::map<std::string, std::string> nvram;
+  GroundTruth truth;
+
+  const FirmwareFile* file(std::string_view path) const;
+
+  /// All executable programs in the image.
+  std::vector<const ir::Program*> executables() const;
+
+  /// Value of an NVRAM key, if present.
+  std::optional<std::string> nvram_value(std::string_view key) const;
+
+  /// Resolve a config key ("<file-path>:<key>" or bare key searched across
+  /// config files). Config files use "key=value" lines.
+  std::optional<std::string> config_value(std::string_view key) const;
+};
+
+}  // namespace firmres::fw

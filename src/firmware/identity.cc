@@ -1,0 +1,105 @@
+#include "firmware/identity.h"
+
+#include "support/strings.h"
+
+namespace firmres::fw {
+
+namespace {
+
+std::string random_hex(support::Rng& rng, int bytes) {
+  std::string raw;
+  raw.reserve(static_cast<std::size_t>(bytes));
+  for (int i = 0; i < bytes; ++i)
+    raw.push_back(static_cast<char>(rng.uniform(0, 255)));
+  return support::to_hex(raw);
+}
+
+std::string random_mac(support::Rng& rng, std::uint64_t vendor_oui) {
+  // First 3 bytes: vendor OUI (the inferable part, §III-B); last 3: device.
+  return support::format(
+      "%02x:%02x:%02x:%02x:%02x:%02x",
+      static_cast<unsigned>((vendor_oui >> 16) & 0xff),
+      static_cast<unsigned>((vendor_oui >> 8) & 0xff),
+      static_cast<unsigned>(vendor_oui & 0xff),
+      static_cast<unsigned>(rng.uniform(0, 255)),
+      static_cast<unsigned>(rng.uniform(0, 255)),
+      static_cast<unsigned>(rng.uniform(0, 255)));
+}
+
+}  // namespace
+
+std::string DeviceIdentity::value_of(const std::string& logical_name) const {
+  const auto m = as_map();
+  const auto it = m.find(logical_name);
+  return it == m.end() ? std::string{} : it->second;
+}
+
+std::map<std::string, std::string> DeviceIdentity::as_map() const {
+  return {
+      {"mac", mac},
+      {"serial", serial},
+      {"device_id", device_id},
+      {"uid", uid},
+      {"uuid", uuid},
+      {"model_number", model_number},
+      {"hardware_version", hardware_version},
+      {"firmware_version", firmware_version},
+      {"manufacturing_date", manufacturing_date},
+      {"dev_secret", dev_secret},
+      {"certificate", certificate},
+      {"cloud_username", cloud_username},
+      {"cloud_password", cloud_password},
+      {"bind_token", bind_token},
+      {"cloud_host", cloud_host},
+  };
+}
+
+DeviceIdentity make_identity(const std::string& vendor,
+                             const std::string& model,
+                             const std::string& firmware_version,
+                             support::Rng& rng) {
+  DeviceIdentity id;
+  const std::uint64_t oui = rng.next_u64() & 0xffffff;
+  id.mac = random_mac(rng, oui);
+  id.serial = support::format("%c%c%s",
+                              static_cast<char>('A' + rng.uniform(0, 25)),
+                              static_cast<char>('A' + rng.uniform(0, 25)),
+                              support::zero_pad(
+                                  static_cast<std::uint64_t>(
+                                      rng.uniform(100000000, 999999999)),
+                                  10)
+                                  .c_str());
+  id.device_id = support::zero_pad(
+      static_cast<std::uint64_t>(rng.uniform(10000000, 99999999)), 8);
+  id.uid = support::format("UID-%s-%s", random_hex(rng, 3).c_str(),
+                           random_hex(rng, 3).c_str());
+  id.uuid = support::format("%s-%s-%s-%s-%s", random_hex(rng, 4).c_str(),
+                            random_hex(rng, 2).c_str(),
+                            random_hex(rng, 2).c_str(),
+                            random_hex(rng, 2).c_str(),
+                            random_hex(rng, 6).c_str());
+  id.model_number = model;
+  id.hardware_version = support::format("V%lld.%lld",
+                                        static_cast<long long>(rng.uniform(1, 3)),
+                                        static_cast<long long>(rng.uniform(0, 9)));
+  id.firmware_version = firmware_version;
+  id.manufacturing_date = support::format(
+      "20%02lld-%02lld-%02lld", static_cast<long long>(rng.uniform(18, 23)),
+      static_cast<long long>(rng.uniform(1, 12)),
+      static_cast<long long>(rng.uniform(1, 28)));
+  id.dev_secret = random_hex(rng, 16);
+  id.certificate =
+      "-----BEGIN CERTIFICATE-----\n" + random_hex(rng, 24) + "\n" +
+      random_hex(rng, 24) + "\n-----END CERTIFICATE-----";
+  id.cloud_username = support::format("user_%s", random_hex(rng, 4).c_str());
+  id.cloud_password = random_hex(rng, 8);
+  id.bind_token = random_hex(rng, 20);
+  std::string host_vendor = support::to_lower(vendor);
+  for (char& c : host_vendor)
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '-';
+  id.cloud_host = support::format("iot.%s-cloud.example.com",
+                                  host_vendor.c_str());
+  return id;
+}
+
+}  // namespace firmres::fw

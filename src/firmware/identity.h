@@ -1,0 +1,57 @@
+// DeviceIdentity: the concrete credentials of one synthesized device.
+//
+// Stands in for the identifiers the paper recovers via Shodan/SNMP queries,
+// brute forcing, or physical access (§IV-E "Manual Verification"). The
+// attacker-knowledge tiers mirror the threat model (§III-B): public
+// identifiers are obtainable; secrets are not — unless hard-coded in
+// firmware, which is exactly the flaw class FIRMRES exposes.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "support/rng.h"
+
+namespace firmres::fw {
+
+struct DeviceIdentity {
+  // --- Dev-Identifier values (weak, attacker-obtainable) -----------------
+  std::string mac;               ///< "a4:2b:b0:xx:xx:xx"
+  std::string serial;            ///< vendor-format serial number
+  std::string device_id;         ///< cloud-side device id
+  std::string uid;               ///< camera-style uid ("VSTC-…")
+  std::string uuid;
+  std::string model_number;
+  std::string hardware_version;
+  std::string firmware_version;
+  std::string manufacturing_date;
+
+  // --- Dev-Secret values (strong unless leaked) ---------------------------
+  std::string dev_secret;        ///< device key
+  std::string certificate;       ///< device certificate body
+
+  // --- User-Cred values ----------------------------------------------------
+  std::string cloud_username;
+  std::string cloud_password;
+
+  // --- Session material ----------------------------------------------------
+  std::string bind_token;        ///< issued by the cloud at binding
+
+  // --- Communication endpoint ---------------------------------------------
+  std::string cloud_host;        ///< e.g. "iot.vendor-cloud.example.com"
+
+  /// Field lookup by the logical names the synthesizer/cloud use
+  /// ("mac", "serial", "device_id", …). Empty string when unknown.
+  std::string value_of(const std::string& logical_name) const;
+
+  /// Key/value view of every identity attribute.
+  std::map<std::string, std::string> as_map() const;
+};
+
+/// Deterministically derive an identity from a vendor/model and RNG stream.
+DeviceIdentity make_identity(const std::string& vendor,
+                             const std::string& model,
+                             const std::string& firmware_version,
+                             support::Rng& rng);
+
+}  // namespace firmres::fw

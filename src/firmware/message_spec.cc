@@ -1,0 +1,59 @@
+#include "firmware/message_spec.h"
+
+#include <set>
+
+namespace firmres::fw {
+
+const char* protocol_name(Protocol p) {
+  switch (p) {
+    case Protocol::Https: return "HTTPS";
+    case Protocol::Http: return "HTTP";
+    case Protocol::Mqtt: return "MQTT";
+  }
+  return "?";
+}
+
+const char* field_origin_name(FieldOrigin o) {
+  switch (o) {
+    case FieldOrigin::Nvram: return "nvram";
+    case FieldOrigin::Config: return "config";
+    case FieldOrigin::Env: return "env";
+    case FieldOrigin::Frontend: return "frontend";
+    case FieldOrigin::DevInfoCall: return "devinfo";
+    case FieldOrigin::HardcodedStr: return "hardcoded";
+    case FieldOrigin::FileRead: return "file";
+    case FieldOrigin::Derived: return "derived";
+    case FieldOrigin::Timestamp: return "timestamp";
+    case FieldOrigin::Counter: return "counter";
+  }
+  return "?";
+}
+
+const char* wire_format_name(WireFormat f) {
+  switch (f) {
+    case WireFormat::Json: return "json";
+    case WireFormat::Query: return "query";
+    case WireFormat::KeyValue: return "kv";
+  }
+  return "?";
+}
+
+bool MessageSpec::has_sufficient_primitives() const {
+  std::set<Primitive> present;
+  for (const FieldSpec& f : fields) present.insert(f.primitive);
+  const bool has_id = present.contains(Primitive::DevIdentifier);
+  if (phase == Phase::Binding) {
+    // Binding requires identity + authenticity + the user (§II-B).
+    return has_id && present.contains(Primitive::DevSecret) &&
+           present.contains(Primitive::UserCred);
+  }
+  // Business forms ①②③.
+  if (has_id && present.contains(Primitive::BindToken)) return true;
+  if (has_id && present.contains(Primitive::Signature)) return true;
+  if (has_id && present.contains(Primitive::DevSecret) &&
+      present.contains(Primitive::UserCred))
+    return true;
+  return false;
+}
+
+}  // namespace firmres::fw

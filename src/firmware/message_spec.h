@@ -1,0 +1,92 @@
+// MessageSpec: the ground-truth description of one device-cloud message.
+//
+// The synthesizer lowers MessageSpecs into P-Code message-construction code;
+// the cloud simulator derives its endpoint behaviour from the same specs; and
+// the evaluation harness uses them as the oracle that the paper obtained by
+// manual verification (#Confirmed fields, #Accurate semantics, flawed-message
+// confirmation).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "firmware/primitives.h"
+
+namespace firmres::fw {
+
+/// Application-layer protocol of a message (§II-A).
+enum class Protocol { Https, Http, Mqtt };
+const char* protocol_name(Protocol p);
+
+/// Where the field's value comes from in the firmware — decides which
+/// library call the synthesizer emits and which taint-sink class FIRMRES
+/// should report (§IV-B taint sinks).
+enum class FieldOrigin {
+  Nvram,         ///< nvram_get("<source_key>")
+  Config,        ///< config_get/uci_get/ini_read from a config file
+  Env,           ///< getenv
+  Frontend,      ///< web_get_param / cgi_get_input (user-provided)
+  DevInfoCall,   ///< get_mac_address(buf)-style getter
+  HardcodedStr,  ///< string literal in .rodata
+  FileRead,      ///< read_file("<source_key>") — certificate/secret files
+  Derived,       ///< crypto derivation (Signature = f(Dev-Secret))
+  Timestamp,     ///< time()-based metadata
+  Counter,       ///< sequence numbers and similar metadata
+};
+const char* field_origin_name(FieldOrigin o);
+
+struct FieldSpec {
+  std::string key;          ///< wire name ("macAddress", "serialNo", …)
+  Primitive primitive = Primitive::None;  ///< ground-truth semantics
+  FieldOrigin origin = FieldOrigin::Nvram;
+  std::string source_key;   ///< nvram/config key, env name, or file path
+  std::string value;        ///< concrete wire value for this device
+  /// Marks fields whose key is vendor-custom (the paper's false-positive
+  /// cause (1): "customized primitives defined by vendors" the model cannot
+  /// recognize — e.g. a verification code that is really User-Cred).
+  bool vendor_custom = false;
+};
+
+/// Message body encoding (§IV-D format inference).
+enum class WireFormat { Json, Query, KeyValue };
+const char* wire_format_name(WireFormat f);
+
+/// How the firmware assembles the body (§IV-C): piecewise via cJSON-style
+/// helpers, or via formatted output (sprintf) that needs delimiter-based
+/// separation before slicing.
+enum class AssemblyStyle { JsonLib, Sprintf };
+
+struct MessageSpec {
+  std::string name;           ///< synthesizer-internal id ("register", …)
+  std::string functionality;  ///< human description (Table III wording)
+  std::string endpoint_path;  ///< request path or MQTT topic
+  Protocol protocol = Protocol::Https;
+  WireFormat format = WireFormat::Json;
+  AssemblyStyle assembly = AssemblyStyle::JsonLib;
+  enum class Phase { Binding, Business } phase = Phase::Business;
+  std::vector<FieldSpec> fields;  ///< wire order
+
+  /// Cloud-side ground truth: the endpoint accepts the message even though
+  /// its primitives are insufficient — a real access-control flaw.
+  bool vulnerable = false;
+  /// Consequence text (Table III column) for vulnerable endpoints.
+  std::string consequence;
+  /// The endpoint is retired/unknown to the cloud; probing yields
+  /// "Path Not Exists" → the reconstructed message counts as invalid
+  /// (the paper's #Identified vs #Valid gap).
+  bool endpoint_retired = false;
+  /// Message is destined to a LAN peer, not the cloud; FIRMRES must discard
+  /// the MFT at the field-grouping stage (§IV-D LAN filter).
+  bool lan_destination = false;
+  /// Endpoint intentionally requires no authentication (anonymous
+  /// telemetry). The form checker flags the message as primitive-lacking,
+  /// but manual verification finds no sensitive resource behind it — the
+  /// paper's §V-D false-positive cause (2).
+  bool benign_no_auth = false;
+
+  /// Does the field list satisfy the §II-B composition for its phase?
+  /// (Used by tests to cross-check the synthesizer against the form rules.)
+  bool has_sufficient_primitives() const;
+};
+
+}  // namespace firmres::fw

@@ -1,0 +1,34 @@
+#include "firmware/primitives.h"
+
+namespace firmres::fw {
+
+const char* primitive_name(Primitive p) {
+  switch (p) {
+    case Primitive::DevIdentifier: return "Dev-Identifier";
+    case Primitive::DevSecret: return "Dev-Secret";
+    case Primitive::UserCred: return "User-Cred";
+    case Primitive::BindToken: return "Bind-Token";
+    case Primitive::Signature: return "Signature";
+    case Primitive::Address: return "Address";
+    case Primitive::None: return "None";
+  }
+  return "?";
+}
+
+std::optional<Primitive> parse_primitive(std::string_view name) {
+  for (const Primitive p : all_primitives()) {
+    if (name == primitive_name(p)) return p;
+  }
+  return std::nullopt;
+}
+
+const std::vector<Primitive>& all_primitives() {
+  static const std::vector<Primitive> kAll = {
+      Primitive::DevIdentifier, Primitive::DevSecret, Primitive::UserCred,
+      Primitive::BindToken,     Primitive::Signature, Primitive::Address,
+      Primitive::None,
+  };
+  return kAll;
+}
+
+}  // namespace firmres::fw

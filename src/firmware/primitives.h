@@ -1,0 +1,43 @@
+// Access-control primitives (§II-B).
+//
+// "The message could contain a variety of fields, but only a few are used
+// for access control. … They are Dev-Identifier, Dev-Secret, User-Cred,
+// Bind-Token, and Signature." Plus the two auxiliary labels the classifier
+// emits (§IV-C): Address (the communication endpoint) and None.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace firmres::fw {
+
+enum class Primitive : int {
+  DevIdentifier = 0,  ///< MAC, serial number, device ID, product ID, uid, …
+  DevSecret = 1,      ///< secret key / device key / device certificate
+  UserCred = 2,       ///< user login credential
+  BindToken = 3,      ///< access/session token issued at binding
+  Signature = 4,      ///< temporary key derived from Dev-Secret
+  Address = 5,        ///< communication endpoint (IP/host/URL)
+  None = 6,           ///< metadata (timestamps, event types, payload data)
+};
+
+inline constexpr int kPrimitiveCount = 7;
+
+const char* primitive_name(Primitive p);
+std::optional<Primitive> parse_primitive(std::string_view name);
+
+/// All seven labels in enum order (classifier output layout).
+const std::vector<Primitive>& all_primitives();
+
+/// The business-phase request forms of §II-B. A business message passes the
+/// form check iff its primitive multiset covers one of these compositions;
+/// a binding message requires {DevIdentifier, DevSecret, UserCred}.
+enum class BusinessForm {
+  IdPlusToken,        ///< ① Dev-Identifier + Bind-Token
+  IdPlusSignature,    ///< ② Dev-Identifier + Signature
+  IdSecretUserCred,   ///< ③ Dev-Identifier + Dev-Secret + User-Cred
+};
+
+}  // namespace firmres::fw

@@ -1,0 +1,34 @@
+// FirmwareImage (de)serialization — the on-disk image format the CLI
+// consumes.
+//
+// Layout of a saved image directory:
+//   <dir>/manifest.json      profile, identity, NVRAM, ground truth, and
+//                            the contents of every non-executable file
+//   <dir>/programs/NNN.json  one lifted executable per file (ir::serializer)
+//
+// Ground truth ships with the image because it is the evaluation oracle
+// (the stand-in for the paper's manual confirmation); `load_image` works
+// equally for images whose truth section is absent — analysis needs none
+// of it.
+#pragma once
+
+#include <filesystem>
+
+#include "firmware/firmware_image.h"
+#include "support/json.h"
+
+namespace firmres::fw {
+
+/// Serialize everything except the programs into one document (exposed for
+/// tests and in-memory round trips).
+support::Json manifest_to_json(const FirmwareImage& image);
+
+/// Write the image directory. Creates `dir` (and parents); overwrites
+/// existing manifest/program files.
+void save_image(const FirmwareImage& image, const std::filesystem::path& dir);
+
+/// Read an image directory back. Throws support::ParseError on malformed
+/// documents and std::filesystem errors on missing files.
+FirmwareImage load_image(const std::filesystem::path& dir);
+
+}  // namespace firmres::fw

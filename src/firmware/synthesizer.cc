@@ -1,0 +1,779 @@
+#include "firmware/synthesizer.h"
+
+#include <algorithm>
+#include <memory>
+#include <set>
+
+#include "firmware/catalog.h"
+#include "ir/builder.h"
+#include "support/error.h"
+#include "support/strings.h"
+
+namespace firmres::fw {
+
+namespace {
+
+using ir::FunctionBuilder;
+using ir::IRBuilder;
+using ir::Program;
+using ir::VarNode;
+using support::Rng;
+
+/// Draw an integer with expectation `rate` (floor + Bernoulli remainder).
+int draw_count(double rate, Rng& rng) {
+  const int base = static_cast<int>(rate);
+  return base + (rng.chance(rate - base) ? 1 : 0);
+}
+
+/// Sanitized lowercase vendor token for paths/program names.
+std::string vendor_token(const std::string& vendor) {
+  std::string out = support::to_lower(vendor);
+  for (char& c : out)
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  return out;
+}
+
+class DeviceSynthesizer {
+ public:
+  explicit DeviceSynthesizer(const DeviceProfile& profile)
+      : profile_(profile), rng_(profile.seed) {}
+
+  FirmwareImage run();
+
+ private:
+  // --- device-cloud executable --------------------------------------------
+  std::unique_ptr<Program> build_device_cloud_program(
+      const std::vector<MessageSpec>& specs,
+      std::vector<std::uint64_t>& delivery_addresses,
+      std::vector<int>& noise_counts);
+  void emit_message_builder(IRBuilder& b, const MessageSpec& spec,
+                            const std::string& fn_name,
+                            std::uint64_t& delivery_address, int& noise_count);
+  VarNode emit_field_value(FunctionBuilder& f, const FieldSpec& field);
+  VarNode emit_body(FunctionBuilder& f, const MessageSpec& spec,
+                    const std::vector<std::pair<const FieldSpec*, VarNode>>&
+                        vals);
+  void emit_parse_function(IRBuilder& b);
+  void emit_handler(IRBuilder& b, const std::vector<std::string>& dispatch);
+  void emit_periodic(IRBuilder& b, const std::vector<std::string>& periodic);
+  void emit_main(IRBuilder& b);
+
+  // --- noise executables ---------------------------------------------------
+  std::unique_ptr<Program> build_webserver();
+  std::unique_ptr<Program> build_ipc_daemon();
+  std::unique_ptr<Program> build_utility(int index);
+  std::unique_ptr<Program> build_watchdog();
+
+  // --- supporting files ----------------------------------------------------
+  void populate_storage(FirmwareImage& image,
+                        const std::vector<MessageSpec>& specs);
+  void add_scripts(FirmwareImage& image);
+
+  /// Lazily create (once per program) a parameter-less local helper that
+  /// fetches a store value — `fetch_<key>()` — and return its name. Real
+  /// firmware routes many field reads through such accessors; the MFT
+  /// builder must descend through the call (FlowKind::LocalCall).
+  std::string ensure_helper(ir::IRBuilder& b, const std::string& getter,
+                            const std::string& source_key);
+
+  const DeviceProfile& profile_;
+  Rng rng_;
+  /// Decisions that must not perturb the main stream (helper indirection).
+  Rng aux_rng_{0};
+  DeviceIdentity identity_;
+  ir::IRBuilder* current_builder_ = nullptr;
+  std::map<std::string, std::string> helper_names_;
+};
+
+// ---------------------------------------------------------------------------
+// Field value emission
+// ---------------------------------------------------------------------------
+
+std::string DeviceSynthesizer::ensure_helper(ir::IRBuilder& b,
+                                              const std::string& getter,
+                                              const std::string& source_key) {
+  const std::string key = getter + ":" + source_key;
+  const auto it = helper_names_.find(key);
+  if (it != helper_names_.end()) return it->second;
+  std::string name = "fetch_" + source_key;
+  for (char& c : name)
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  if (b.program().function(name) != nullptr)
+    name += support::format("_%zu", helper_names_.size());
+  FunctionBuilder h = b.function(name);
+  const VarNode value = h.call(getter, {h.cstr(source_key)}, "value");
+  h.ret(value);
+  helper_names_.emplace(key, name);
+  return name;
+}
+
+VarNode DeviceSynthesizer::emit_field_value(FunctionBuilder& f,
+                                            const FieldSpec& field) {
+  const std::string val_name = field.key + "_val";
+  switch (field.origin) {
+    case FieldOrigin::Nvram: {
+      const char* getter = rng_.chance(0.3) ? "nvram_safe_get" : "nvram_get";
+      // A third of store reads go through a local accessor function, as in
+      // real firmware — the backward taint descends through the call.
+      if (current_builder_ != nullptr && aux_rng_.chance(0.33)) {
+        const std::string helper =
+            ensure_helper(*current_builder_, getter, field.source_key);
+        return f.call(helper, {}, val_name);
+      }
+      return f.call(getter, {f.cstr(field.source_key)}, val_name);
+    }
+    case FieldOrigin::Config: {
+      // source_key is "<file>:<key>".
+      const auto colon = field.source_key.rfind(':');
+      if (colon != std::string::npos) {
+        return f.call("ini_read",
+                      {f.cstr(field.source_key.substr(0, colon)),
+                       f.cstr(field.source_key.substr(colon + 1))},
+                      val_name);
+      }
+      return f.call("config_get", {f.cstr(field.source_key)}, val_name);
+    }
+    case FieldOrigin::Env:
+      return f.call("getenv", {f.cstr(field.source_key)}, val_name);
+    case FieldOrigin::Frontend:
+      return f.call("cgi_get_input", {f.cstr(field.source_key)}, val_name);
+    case FieldOrigin::DevInfoCall: {
+      const VarNode buf = f.local(field.key + "_buf", 32);
+      f.callv(field.source_key, {buf});
+      return buf;
+    }
+    case FieldOrigin::HardcodedStr:
+      return f.cstr(field.value);
+    case FieldOrigin::FileRead: {
+      const char* reader =
+          field.source_key.find(".crt") != std::string::npos
+              ? "load_cert_file"
+              : "read_file";
+      return f.call(reader, {f.cstr(field.source_key)}, val_name);
+    }
+    case FieldOrigin::Derived: {
+      const VarNode secret =
+          f.call("nvram_get", {f.cstr("dev_secret")}, "secret_" + val_name);
+      return f.call(field.source_key, {secret}, val_name);
+    }
+    case FieldOrigin::Timestamp:
+      return f.call("time", {f.cnum(0)}, val_name);
+    case FieldOrigin::Counter:
+      return f.call("rand", {}, val_name);
+  }
+  return f.cstr(field.value);
+}
+
+// ---------------------------------------------------------------------------
+// Body assembly
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Query/JSON piece for one field within a format string.
+std::string format_piece(const MessageSpec& spec, const FieldSpec& field) {
+  if (spec.format == WireFormat::Json)
+    return support::format("\"%s\":\"%%s\"", field.key.c_str());
+  return support::format("%s=%%s", field.key.c_str());
+}
+
+}  // namespace
+
+VarNode DeviceSynthesizer::emit_body(
+    FunctionBuilder& f, const MessageSpec& spec,
+    const std::vector<std::pair<const FieldSpec*, VarNode>>& vals) {
+  // cJSON assembly (§IV-C way (1)): preserves per-field context naturally.
+  if (spec.assembly == AssemblyStyle::JsonLib) {
+    const VarNode obj = f.call("cJSON_CreateObject", {}, "root_obj");
+    for (const auto& [fs, v] : vals) {
+      const char* adder = fs->origin == FieldOrigin::Timestamp ||
+                                  fs->origin == FieldOrigin::Counter
+                              ? "cJSON_AddNumberToObject"
+                              : "cJSON_AddStringToObject";
+      f.callv(adder, {obj, f.cstr(fs->key), v});
+    }
+    return f.call("cJSON_PrintUnformatted", {obj}, spec.name + "_body");
+  }
+
+  // strcpy/strcat concatenation: single-field "formats" — the splitter
+  // finds nothing to cluster (device 11's 0/0/0 thd row).
+  if (profile_.single_field_formats || spec.format == WireFormat::KeyValue) {
+    const VarNode buf = f.local(spec.name + "_buf", 256);
+    f.callv("strcpy", {buf, f.cstr(spec.endpoint_path)});
+    for (const auto& [fs, v] : vals) {
+      f.callv("strcat", {buf, f.cstr("|")});
+      (void)fs;
+      f.callv("strcat", {buf, v});
+    }
+    return buf;
+  }
+
+  // sprintf assembly (§IV-C way (2)): partial messages built by multiple
+  // formatted writes, then joined — the case needing delimiter separation.
+  const std::size_t chunk = 3;
+  std::vector<VarNode> parts;
+  std::size_t i = 0;
+  int part_index = 0;
+  const bool query = spec.format == WireFormat::Query;
+  while (i < vals.size()) {
+    const std::size_t end = std::min(vals.size(), i + chunk);
+    std::string fmt;
+    std::vector<VarNode> args;
+    for (std::size_t j = i; j < end; ++j) {
+      if (!fmt.empty()) fmt += query ? "&" : ",";
+      fmt += format_piece(spec, *vals[j].first);
+      args.push_back(vals[j].second);
+    }
+    if (part_index == 0) {
+      if (query) {
+        const bool has_q = spec.endpoint_path.find('?') != std::string::npos;
+        fmt = spec.endpoint_path + (has_q ? "&" : "?") + fmt;
+      } else {
+        fmt = "{" + fmt;
+      }
+    }
+    if (end == vals.size() && !query) fmt += "}";
+    const VarNode part =
+        f.local(support::format("%s_part%d", spec.name.c_str(), part_index),
+                128);
+    std::vector<VarNode> call_args{part, f.cstr(fmt)};
+    call_args.insert(call_args.end(), args.begin(), args.end());
+    f.callv("sprintf", call_args);
+    parts.push_back(part);
+    i = end;
+    ++part_index;
+  }
+  FIRMRES_CHECK(!parts.empty());
+  if (parts.size() == 1) return parts[0];
+  const VarNode final_buf = f.local(spec.name + "_final", 512);
+  std::string join_fmt = "%s";
+  for (std::size_t j = 1; j < parts.size(); ++j)
+    join_fmt += query ? "&%s" : "%s";
+  std::vector<VarNode> join_args{final_buf, f.cstr(join_fmt)};
+  join_args.insert(join_args.end(), parts.begin(), parts.end());
+  f.callv("sprintf", join_args);
+  return final_buf;
+}
+
+// ---------------------------------------------------------------------------
+// Message builder functions
+// ---------------------------------------------------------------------------
+
+void DeviceSynthesizer::emit_message_builder(IRBuilder& b,
+                                             const MessageSpec& spec,
+                                             const std::string& fn_name,
+                                             std::uint64_t& delivery_address,
+                                             int& noise_count) {
+  FunctionBuilder f = b.function(fn_name);
+
+  // Gather field values; the host/Address field routes into the URL.
+  std::vector<std::pair<const FieldSpec*, VarNode>> vals;
+  const FieldSpec* host_field = nullptr;
+  VarNode host_var{};
+  for (const FieldSpec& field : spec.fields) {
+    if (field.primitive == Primitive::Address && host_field == nullptr) {
+      host_field = &field;
+      host_var = emit_field_value(f, field);
+      continue;
+    }
+    vals.emplace_back(&field, emit_field_value(f, field));
+  }
+
+  VarNode body = emit_body(f, spec, vals);
+
+  // Disassembly-noise pseudo-fields (§V-C false positives): stray numeric
+  // constants written straight into the message buffer, as a mis-decompiled
+  // register shift would appear.
+  noise_count = draw_count(profile_.noise_field_rate, rng_);
+  for (int n = 0; n < noise_count; ++n) {
+    f.copy(body, f.cnum(0x40000000ULL + static_cast<std::uint64_t>(
+                                            rng_.uniform(0x1000, 0xfffffff))));
+  }
+
+  // Delivery.
+  const bool concat_style =
+      profile_.single_field_formats || spec.format == WireFormat::KeyValue;
+  switch (spec.protocol) {
+    case Protocol::Mqtt: {
+      if (concat_style) {
+        // Raw TLS channel (the CVE-2023-2586 rms_connect shape).
+        const VarNode ssl = f.call("SSL_new", {}, "ssl_ctx");
+        const VarNode len = f.call("strlen", {body});
+        f.callv("SSL_write", {ssl, body, len});
+      } else {
+        const VarNode cli = f.call("mosquitto_new", {}, "mqtt_cli");
+        const VarNode topic = f.cstr(spec.endpoint_path);
+        f.callv("mqtt_publish", {cli, topic, body});
+      }
+      break;
+    }
+    case Protocol::Https:
+    case Protocol::Http: {
+      const char* scheme =
+          spec.protocol == Protocol::Https ? "https://%s%s" : "http://%s%s";
+      const VarNode url = f.local(spec.name + "_url", 256);
+      if (host_field == nullptr) host_var = f.cstr(identity_.cloud_host);
+      if (spec.format == WireFormat::Query) {
+        // Path+params already in the body; URL = scheme + host + body.
+        f.callv("sprintf", {url, f.cstr(scheme), host_var, body});
+        f.callv("http_get", {url});
+      } else {
+        f.callv("sprintf",
+                {url, f.cstr(scheme), host_var, f.cstr(spec.endpoint_path)});
+        const VarNode len = f.call("strlen", {body});
+        f.callv("http_post", {url, body, len});
+      }
+      break;
+    }
+  }
+  delivery_address = f.last_op_address();
+  f.ret();
+}
+
+// ---------------------------------------------------------------------------
+// Handler scaffolding
+// ---------------------------------------------------------------------------
+
+void DeviceSynthesizer::emit_parse_function(IRBuilder& b) {
+  FunctionBuilder f = b.function("parse_request");
+  const VarNode req = f.param("request");
+  const VarNode cmd = f.local("cmd", 8);
+  f.copy(cmd, f.load(req));
+
+  // Request-derived predicates (high string-parsing factor).
+  const int request_preds = static_cast<int>(rng_.uniform(6, 9));
+  for (int i = 0; i < request_preds; ++i) {
+    const VarNode byte = f.load(req);
+    const VarNode c = f.cmp_eq(byte, f.cnum(static_cast<std::uint64_t>('A') +
+                                            static_cast<std::uint64_t>(i)));
+    const int tb = f.new_block();
+    const int fb = f.new_block();
+    f.cbranch(c, tb, fb);
+    f.set_block(tb);
+    f.callv("syslog", {f.cnum(6), f.cstr("request opcode matched")});
+    f.branch(fb);
+    f.set_block(fb);
+  }
+
+  // A couple of housekeeping predicates on non-request state.
+  for (int i = 0; i < 2; ++i) {
+    const VarNode retries = f.local(support::format("retries_%d", i), 4);
+    const VarNode c = f.cmp_lt(retries, f.cnum(3));
+    const int tb = f.new_block();
+    const int fb = f.new_block();
+    f.cbranch(c, tb, fb);
+    f.set_block(tb);
+    f.callv("sleep", {f.cnum(1)});
+    f.branch(fb);
+    f.set_block(fb);
+  }
+  f.ret(cmd);
+}
+
+void DeviceSynthesizer::emit_handler(IRBuilder& b,
+                                     const std::vector<std::string>& dispatch) {
+  FunctionBuilder f = b.function("on_cloud_request");
+  const VarNode sock = f.param("sock");
+  const VarNode buf = f.local("req_buf", 512);
+  const char* recv_fn =
+      profile_.primary_protocol == Protocol::Mqtt ? "mqtt_recv_message"
+                                                  : "recv";
+  f.callv(recv_fn, {sock, buf, f.cnum(512), f.cnum(0)});
+  const VarNode cmd = f.call("parse_request", {buf}, "cmd_code");
+
+  int idx = 0;
+  for (const std::string& builder : dispatch) {
+    const VarNode c = f.cmp_eq(cmd, f.cnum(static_cast<std::uint64_t>(idx++)));
+    const int tb = f.new_block();
+    const int fb = f.new_block();
+    f.cbranch(c, tb, fb);
+    f.set_block(tb);
+    f.callv(builder, {});
+    f.branch(fb);
+    f.set_block(fb);
+  }
+
+  const VarNode resp = f.local("resp_buf", 64);
+  f.callv("sprintf",
+          {resp, f.cstr("{\"code\":0,\"result\":\"%s\"}"), f.cstr("ok")});
+  const VarNode len = f.call("strlen", {resp});
+  f.callv("send", {sock, resp, len, f.cnum(0)});
+  f.ret();
+}
+
+void DeviceSynthesizer::emit_periodic(IRBuilder& b,
+                                      const std::vector<std::string>& periodic) {
+  FunctionBuilder f = b.function("periodic_report");
+  const VarNode elapsed = f.local("elapsed", 4);
+  const VarNode due = f.cmp_lt(f.cnum(30), elapsed);
+  const int tb = f.new_block();
+  const int fb = f.new_block();
+  f.cbranch(due, tb, fb);
+  f.set_block(tb);
+  for (const std::string& builder : periodic) f.callv(builder, {});
+  f.branch(fb);
+  f.set_block(fb);
+  f.ret();
+}
+
+void DeviceSynthesizer::emit_main(IRBuilder& b) {
+  FunctionBuilder f = b.function("main");
+  const VarNode loop = f.local("ev_loop", 8);
+  if (profile_.primary_protocol == Protocol::Mqtt) {
+    const VarNode cli = f.call("mosquitto_new", {}, "client");
+    f.callv("mosquitto_connect",
+            {cli, f.cstr(identity_.cloud_host), f.cnum(8883)});
+    f.callv("mosquitto_message_callback_set",
+            {cli, f.func_addr("on_cloud_request")});
+  } else {
+    const VarNode sock = f.call("socket", {f.cnum(2), f.cnum(1), f.cnum(0)},
+                                "cloud_sock");
+    f.callv("connect", {sock, f.cstr(identity_.cloud_host), f.cnum(443)});
+    f.callv("event_loop_register", {loop, f.func_addr("on_cloud_request")});
+  }
+  f.callv("timer_register", {loop, f.func_addr("periodic_report"),
+                             f.cnum(30)});
+  f.ret(f.cnum(0));
+}
+
+std::unique_ptr<Program> DeviceSynthesizer::build_device_cloud_program(
+    const std::vector<MessageSpec>& specs,
+    std::vector<std::uint64_t>& delivery_addresses,
+    std::vector<int>& noise_counts) {
+  const std::string prog_name =
+      profile_.id == 11 ? "rms_connect"
+                        : vendor_token(profile_.vendor) + "_cloudd";
+  auto program = std::make_unique<Program>(prog_name);
+  IRBuilder b(*program);
+  current_builder_ = &b;
+  aux_rng_ = Rng(profile_.seed ^ 0xA0C0FFEEULL);
+
+  std::vector<std::string> builder_names;
+  delivery_addresses.resize(specs.size(), 0);
+  noise_counts.resize(specs.size(), 0);
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const std::string fn_name =
+        support::format("build_%s_msg", specs[i].name.c_str());
+    emit_message_builder(b, specs[i], fn_name, delivery_addresses[i],
+                         noise_counts[i]);
+    builder_names.push_back(fn_name);
+  }
+
+  emit_parse_function(b);
+
+  // Roughly a third of the builders fire from the request handler (command
+  // responses), the rest from the periodic reporter.
+  std::vector<std::string> dispatch, periodic;
+  for (std::size_t i = 0; i < builder_names.size(); ++i) {
+    (i % 3 == 0 ? dispatch : periodic).push_back(builder_names[i]);
+  }
+  emit_handler(b, dispatch);
+  emit_periodic(b, periodic);
+  emit_main(b);
+  current_builder_ = nullptr;
+  helper_names_.clear();
+  return program;
+}
+
+// ---------------------------------------------------------------------------
+// Noise executables
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<Program> DeviceSynthesizer::build_webserver() {
+  // LAN web UI: request handler with a HIGH string-parsing factor but a
+  // direct invocation from main — §IV-A's synchronous rejection case.
+  auto program = std::make_unique<Program>("httpd");
+  IRBuilder b(*program);
+
+  {
+    FunctionBuilder f = b.function("handle_http");
+    const VarNode conn = f.param("conn");
+    const VarNode buf = f.local("http_buf", 1024);
+    f.callv("recv", {conn, buf, f.cnum(1024), f.cnum(0)});
+    for (int i = 0; i < 6; ++i) {
+      const VarNode byte = f.load(buf);
+      const VarNode c = f.cmp_eq(byte, f.cnum(static_cast<std::uint64_t>('G') +
+                                              static_cast<std::uint64_t>(i)));
+      const int tb = f.new_block();
+      const int fb = f.new_block();
+      f.cbranch(c, tb, fb);
+      f.set_block(tb);
+      f.callv("syslog", {f.cnum(6), f.cstr("http method")});
+      f.branch(fb);
+      f.set_block(fb);
+    }
+    const VarNode resp = f.local("http_resp", 128);
+    f.callv("sprintf", {resp, f.cstr("HTTP/1.1 200 OK\r\n\r\n%s"),
+                        f.cstr("<html>status</html>")});
+    const VarNode len = f.call("strlen", {resp});
+    f.callv("send", {conn, resp, len, f.cnum(0)});
+    f.ret();
+  }
+  {
+    FunctionBuilder f = b.function("main");
+    const VarNode sock =
+        f.call("socket", {f.cnum(2), f.cnum(1), f.cnum(0)}, "listen_sock");
+    f.callv("handle_http", {sock});  // direct (synchronous) invocation
+    f.ret(f.cnum(0));
+  }
+  return program;
+}
+
+std::unique_ptr<Program> DeviceSynthesizer::build_ipc_daemon() {
+  // Event-registered (asynchronous) but with a LOW string-parsing factor:
+  // most predicates inspect local bookkeeping, not the request. §IV-A's
+  // "IPC handlers are not request handlers" rejection case.
+  auto program = std::make_unique<Program>("ipcd");
+  IRBuilder b(*program);
+
+  {
+    FunctionBuilder f = b.function("ipc_loop");
+    const VarNode fd = f.param("fd");
+    const VarNode buf = f.local("ipc_buf", 256);
+    f.callv("recv", {fd, buf, f.cnum(256), f.cnum(0)});
+    // One request-derived predicate…
+    {
+      const VarNode byte = f.load(buf);
+      const VarNode c = f.cmp_eq(byte, f.cnum(1));
+      const int tb = f.new_block();
+      const int fb = f.new_block();
+      f.cbranch(c, tb, fb);
+      f.set_block(tb);
+      f.callv("syslog", {f.cnum(7), f.cstr("ipc ping")});
+      f.branch(fb);
+      f.set_block(fb);
+    }
+    // …and many predicates over local state.
+    for (int i = 0; i < 7; ++i) {
+      const VarNode counter = f.local(support::format("stat_%d", i), 4);
+      const VarNode c = f.cmp_lt(counter, f.cnum(static_cast<std::uint64_t>(
+                                     10 + i)));
+      const int tb = f.new_block();
+      const int fb = f.new_block();
+      f.cbranch(c, tb, fb);
+      f.set_block(tb);
+      f.callv("sleep", {f.cnum(1)});
+      f.branch(fb);
+      f.set_block(fb);
+    }
+    const VarNode ack = f.local("ack_buf", 16);
+    f.callv("sprintf", {ack, f.cstr("ack %d"), f.cnum(0)});
+    const VarNode len = f.call("strlen", {ack});
+    f.callv("send", {fd, ack, len, f.cnum(0)});
+    f.ret();
+  }
+  {
+    FunctionBuilder f = b.function("main");
+    const VarNode loop = f.local("loop", 8);
+    f.callv("event_loop_register", {loop, f.func_addr("ipc_loop")});
+    f.ret(f.cnum(0));
+  }
+  return program;
+}
+
+std::unique_ptr<Program> DeviceSynthesizer::build_utility(int index) {
+  // No network anchors at all (busybox-style helper).
+  auto program =
+      std::make_unique<Program>(support::format("util_%d", index));
+  IRBuilder b(*program);
+  {
+    FunctionBuilder f = b.function("compute_checksum");
+    const VarNode data = f.param("data");
+    VarNode acc = f.local("acc", 8);
+    for (int i = 0; i < 4; ++i) {
+      const VarNode x = f.load(data);
+      acc = f.binop(ir::OpCode::IntXor, acc, x);
+      acc = f.binop(ir::OpCode::IntLeft, acc, f.cnum(1));
+    }
+    f.ret(acc);
+  }
+  {
+    FunctionBuilder f = b.function("main");
+    const VarNode cfg = f.call("nvram_get", {f.cstr("boot_count")}, "boots");
+    const VarNode sum = f.call("compute_checksum", {cfg}, "csum");
+    f.callv("printf", {f.cstr("boot checksum %x"), sum});
+    f.ret(f.cnum(0));
+  }
+  return program;
+}
+
+std::unique_ptr<Program> DeviceSynthesizer::build_watchdog() {
+  // Asynchronous (timer-registered) but no recv/send anchors.
+  auto program = std::make_unique<Program>("watchdogd");
+  IRBuilder b(*program);
+  {
+    FunctionBuilder f = b.function("kick_watchdog");
+    const VarNode uptime = f.call("time", {f.cnum(0)}, "uptime");
+    const VarNode c = f.cmp_lt(uptime, f.cnum(60));
+    const int tb = f.new_block();
+    const int fb = f.new_block();
+    f.cbranch(c, tb, fb);
+    f.set_block(tb);
+    f.callv("syslog", {f.cnum(4), f.cstr("watchdog kick")});
+    f.branch(fb);
+    f.set_block(fb);
+    f.ret();
+  }
+  {
+    FunctionBuilder f = b.function("main");
+    const VarNode loop = f.local("loop", 8);
+    f.callv("timer_register", {loop, f.func_addr("kick_watchdog"), f.cnum(5)});
+    f.ret(f.cnum(0));
+  }
+  return program;
+}
+
+// ---------------------------------------------------------------------------
+// Storage & scripts
+// ---------------------------------------------------------------------------
+
+void DeviceSynthesizer::populate_storage(FirmwareImage& image,
+                                         const std::vector<MessageSpec>& specs) {
+  auto& nvram = image.nvram;
+  nvram["lan_hwaddr"] = identity_.mac;
+  nvram["et0macaddr"] = identity_.mac;
+  nvram["serial_no"] = identity_.serial;
+  nvram["device_id"] = identity_.device_id;
+  nvram["uid"] = identity_.uid;
+  nvram["uuid"] = identity_.uuid;
+  nvram["mfg_date"] = identity_.manufacturing_date;
+  nvram["cloud_token"] = identity_.bind_token;
+  nvram["cloud_user"] = identity_.cloud_username;
+  nvram["cloud_pass"] = identity_.cloud_password;
+  nvram["cloud_host"] = identity_.cloud_host;
+  nvram["dev_secret"] = identity_.dev_secret;
+  nvram["boot_count"] = "17";
+
+  std::vector<std::string> cloud_conf = {
+      "username=" + identity_.cloud_username,
+      "password=" + identity_.cloud_password,
+      "secret=" + identity_.dev_secret,
+      "server=" + identity_.cloud_host,
+      "device_id=" + identity_.device_id,
+      "uid=" + identity_.uid,
+      "uuid=" + identity_.uuid,
+      "serial=" + identity_.serial,
+      "mac=" + identity_.mac,
+      "model_number=" + identity_.model_number,
+      "bind_token=" + identity_.bind_token,
+      "manufacturing_date=" + identity_.manufacturing_date,
+      "hardware_version=" + identity_.hardware_version,
+      "firmware_version=" + identity_.firmware_version,
+  };
+  image.files.push_back(FirmwareFile{.path = "/etc/cloud.conf",
+                                     .kind = FirmwareFile::Kind::Config,
+                                     .text = support::join(cloud_conf, "\n"),
+                                     .program = nullptr});
+
+  // Deliberately NOT shipped: /etc/device.key and /etc/ssl/device.crt.
+  // The firmware references them (FieldOrigin::FileRead), but the files are
+  // factory-provisioned per device — they exist on flash, never in the
+  // public image. The §IV-E hard-coded-credential tracker must therefore
+  // not flag these reads; only binaries/images that actually carry the
+  // credential (string constants, vendor-wide fixed tokens) are flaws.
+  (void)specs;
+}
+
+void DeviceSynthesizer::add_scripts(FirmwareImage& image) {
+  // Devices 21/22: device-cloud interaction handled by scripts, which
+  // FIRMRES's binary pipeline cannot analyze (§V-B).
+  const std::string sh = support::format(
+      "#!/bin/sh\n"
+      "# cloud reporter\n"
+      "MAC=$(nvram get lan_hwaddr)\n"
+      "SN=$(nvram get serial_no)\n"
+      "curl -s -X POST \"https://%s/api/v1/status\" \\\n"
+      "  -d \"mac=$MAC&sn=$SN&uptime=$(cat /proc/uptime)\"\n",
+      identity_.cloud_host.c_str());
+  image.files.push_back(FirmwareFile{.path = "/usr/sbin/cloud_report.sh",
+                                     .kind = FirmwareFile::Kind::Script,
+                                     .text = sh,
+                                     .program = nullptr});
+  const std::string php = support::format(
+      "<?php\n"
+      "$mac = shell_exec('nvram get lan_hwaddr');\n"
+      "$payload = array('mac' => $mac, 'fw' => '%s');\n"
+      "file_get_contents('https://%s/api/v1/register', false,\n"
+      "  stream_context_create(array('http' => array('method' => 'POST',\n"
+      "    'content' => http_build_query($payload)))));\n"
+      "?>\n",
+      profile_.firmware_version.c_str(), identity_.cloud_host.c_str());
+  image.files.push_back(FirmwareFile{.path = "/www/cgi-bin/cloud.php",
+                                     .kind = FirmwareFile::Kind::Script,
+                                     .text = php,
+                                     .program = nullptr});
+}
+
+// ---------------------------------------------------------------------------
+// Top level
+// ---------------------------------------------------------------------------
+
+FirmwareImage DeviceSynthesizer::run() {
+  FirmwareImage image;
+  image.profile = profile_;
+  Rng id_rng = rng_.fork("identity");
+  identity_ = make_identity(profile_.vendor, profile_.model,
+                            profile_.firmware_version, id_rng);
+  image.identity = identity_;
+
+  Rng spec_rng = rng_.fork("specs");
+  const std::vector<MessageSpec> specs =
+      build_message_specs(profile_, identity_, spec_rng);
+
+  if (!profile_.script_based) {
+    std::vector<std::uint64_t> delivery_addresses;
+    std::vector<int> noise_counts;
+    auto program =
+        build_device_cloud_program(specs, delivery_addresses, noise_counts);
+    const std::string path = "/usr/bin/" + program->name();
+    image.truth.device_cloud_executable = path;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      image.truth.messages.push_back(MessageTruth{
+          .spec = specs[i],
+          .executable = path,
+          .delivery_address = delivery_addresses[i],
+          .noise_fields = noise_counts[i]});
+    }
+    image.files.push_back(FirmwareFile{.path = path,
+                                       .kind = FirmwareFile::Kind::Executable,
+                                       .text = {},
+                                       .program = std::move(program)});
+  } else {
+    add_scripts(image);
+  }
+
+  // Noise executables: one of each rejection archetype, then utilities.
+  std::vector<std::unique_ptr<Program>> noise;
+  noise.push_back(build_webserver());
+  noise.push_back(build_ipc_daemon());
+  noise.push_back(build_watchdog());
+  for (int i = 0;
+       static_cast<int>(noise.size()) < profile_.num_noise_execs; ++i) {
+    noise.push_back(build_utility(i + 1));
+  }
+  for (auto& prog : noise) {
+    const std::string path = "/usr/sbin/" + prog->name();
+    image.files.push_back(FirmwareFile{.path = path,
+                                       .kind = FirmwareFile::Kind::Executable,
+                                       .text = {},
+                                       .program = std::move(prog)});
+  }
+
+  populate_storage(image, specs);
+  return image;
+}
+
+}  // namespace
+
+FirmwareImage synthesize(const DeviceProfile& profile) {
+  return DeviceSynthesizer(profile).run();
+}
+
+std::vector<FirmwareImage> synthesize_corpus() {
+  std::vector<FirmwareImage> out;
+  for (const DeviceProfile& profile : standard_corpus())
+    out.push_back(synthesize(profile));
+  return out;
+}
+
+}  // namespace firmres::fw

@@ -1,0 +1,31 @@
+// Firmware synthesizer: lowers a DeviceProfile into a FirmwareImage whose
+// executables are P-Code programs with realistic device-cloud behaviour.
+//
+// Substitution note (see DESIGN.md §2): this module replaces the 22 real
+// firmware images the paper purchased. It generates, per device:
+//   - one device-cloud executable: an event-registered (asynchronous)
+//     request handler with request-parsing predicates (high P_f), plus one
+//     message-construction routine per MessageSpec ending in a delivery
+//     call (SSL_write / http_post / mqtt_publish …) — complete with
+//     disassembly-noise pseudo-fields and, where the profile says so,
+//     sprintf-assembled partial messages;
+//   - noise executables exercising every §IV-A rejection path: a LAN web
+//     server (synchronous handler), an IPC daemon (low string-parsing
+//     factor), a utility (no anchors), and a watchdog (async, no anchors);
+//   - the NVRAM snapshot, config files, key/cert files, and — for devices
+//     21/22 — shell/PHP scripts instead of binaries;
+//   - ground truth linking every delivery callsite to its MessageSpec.
+#pragma once
+
+#include "firmware/device_profile.h"
+#include "firmware/firmware_image.h"
+
+namespace firmres::fw {
+
+/// Synthesize one device's firmware image. Deterministic in profile.seed.
+FirmwareImage synthesize(const DeviceProfile& profile);
+
+/// Synthesize the full Table I corpus (22 images).
+std::vector<FirmwareImage> synthesize_corpus();
+
+}  // namespace firmres::fw

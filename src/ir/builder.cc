@@ -1,0 +1,185 @@
+#include "ir/builder.h"
+
+#include "support/error.h"
+
+namespace firmres::ir {
+
+FunctionBuilder::FunctionBuilder(Program& program, Function& fn)
+    : program_(program), fn_(fn) {
+  if (fn_.blocks().empty()) fn_.add_block();
+}
+
+VarNode FunctionBuilder::param(std::string_view name) {
+  // Parameters occupy consecutive register slots (a0, a1, … convention).
+  const VarNode v{.space = Space::Register,
+                  .offset = 0x1000 + fn_.params().size() * 8,
+                  .size = 8};
+  fn_.add_param(v);
+  fn_.set_var_info(v, VarInfo{.type = DataType::Param,
+                              .name = std::string(name),
+                              .node_id = program_.alloc_node_id()});
+  return v;
+}
+
+VarNode FunctionBuilder::local(std::string_view name, std::uint32_t size) {
+  const VarNode v{.space = Space::Stack, .offset = next_stack_, .size = size};
+  next_stack_ += std::max<std::uint64_t>(size, 8);
+  fn_.set_var_info(v, VarInfo{.type = DataType::Local,
+                              .name = std::string(name),
+                              .node_id = program_.alloc_node_id()});
+  return v;
+}
+
+VarNode FunctionBuilder::cstr(std::string_view text) {
+  const std::uint64_t offset = program_.data().intern(text);
+  const VarNode v{.space = Space::Ram, .offset = offset, .size = 8};
+  fn_.set_var_info(v, VarInfo{.type = DataType::Constant,
+                              .name = std::string(text),
+                              .node_id = 0});
+  return v;
+}
+
+VarNode FunctionBuilder::cnum(std::uint64_t value, std::uint32_t size) {
+  const VarNode v{.space = Space::Const, .offset = value, .size = size};
+  fn_.set_var_info(v, VarInfo{.type = DataType::Constant,
+                              .name = std::to_string(value),
+                              .node_id = 0});
+  return v;
+}
+
+VarNode FunctionBuilder::func_addr(std::string_view function_name) {
+  const Function* target = program_.function(function_name);
+  FIRMRES_CHECK_MSG(target != nullptr,
+                    "func_addr of unknown function: " +
+                        std::string(function_name));
+  const VarNode v{.space = Space::Const,
+                  .offset = target->entry_address(),
+                  .size = 8};
+  fn_.set_var_info(v, VarInfo{.type = DataType::Function,
+                              .name = std::string(function_name),
+                              .node_id = 0});
+  return v;
+}
+
+VarNode FunctionBuilder::temp(std::uint32_t size) {
+  return VarNode{.space = Space::Unique, .offset = next_unique_ += 0x10,
+                 .size = size};
+}
+
+PcodeOp& FunctionBuilder::emit(OpCode opcode) {
+  BasicBlock& b = fn_.block(current_);
+  last_address_ = program_.alloc_op_address();
+  b.ops.push_back(PcodeOp{.address = last_address_,
+                          .opcode = opcode,
+                          .output = std::nullopt,
+                          .inputs = {},
+                          .callee = {}});
+  return b.ops.back();
+}
+
+void FunctionBuilder::ensure_callee(std::string_view name) {
+  if (program_.function(name) != nullptr) return;
+  // Unknown callee: auto-register as an import (the loader of a real binary
+  // would have created a thunk for every PLT entry).
+  Function& imp = program_.add_function(name, /*is_import=*/true);
+  (void)imp;
+}
+
+VarNode FunctionBuilder::call(std::string_view callee,
+                              std::vector<VarNode> args,
+                              std::string_view ret_name) {
+  ensure_callee(callee);
+  VarNode out = ret_name.empty() ? temp() : local(ret_name);
+  PcodeOp& op = emit(OpCode::Call);
+  op.callee = std::string(callee);
+  op.inputs = std::move(args);
+  op.output = out;
+  return out;
+}
+
+void FunctionBuilder::callv(std::string_view callee,
+                            std::vector<VarNode> args) {
+  ensure_callee(callee);
+  PcodeOp& op = emit(OpCode::Call);
+  op.callee = std::string(callee);
+  op.inputs = std::move(args);
+}
+
+void FunctionBuilder::call_indirect(VarNode target,
+                                    std::vector<VarNode> args) {
+  PcodeOp& op = emit(OpCode::CallInd);
+  op.inputs.push_back(target);
+  op.inputs.insert(op.inputs.end(), args.begin(), args.end());
+}
+
+VarNode FunctionBuilder::binop(OpCode opcode, VarNode a, VarNode b) {
+  VarNode out = temp(is_comparison(opcode) ? 1 : a.size);
+  PcodeOp& op = emit(opcode);
+  op.inputs = {a, b};
+  op.output = out;
+  return out;
+}
+
+VarNode FunctionBuilder::unop(OpCode opcode, VarNode a) {
+  VarNode out = temp(a.size);
+  PcodeOp& op = emit(opcode);
+  op.inputs = {a};
+  op.output = out;
+  return out;
+}
+
+void FunctionBuilder::copy(VarNode dst, VarNode src) {
+  PcodeOp& op = emit(OpCode::Copy);
+  op.inputs = {src};
+  op.output = dst;
+}
+
+VarNode FunctionBuilder::load(VarNode addr) {
+  VarNode out = temp();
+  PcodeOp& op = emit(OpCode::Load);
+  op.inputs = {addr};
+  op.output = out;
+  return out;
+}
+
+void FunctionBuilder::store(VarNode addr, VarNode value) {
+  PcodeOp& op = emit(OpCode::Store);
+  op.inputs = {addr, value};
+}
+
+int FunctionBuilder::new_block() { return fn_.add_block(); }
+
+void FunctionBuilder::set_block(int id) {
+  FIRMRES_CHECK(id >= 0 &&
+                static_cast<std::size_t>(id) < fn_.blocks().size());
+  current_ = id;
+}
+
+void FunctionBuilder::branch(int target_block) {
+  PcodeOp& op = emit(OpCode::Branch);
+  op.inputs = {VarNode{.space = Space::Const,
+                       .offset = static_cast<std::uint64_t>(target_block),
+                       .size = 4}};
+  fn_.block(current_).successors = {target_block};
+}
+
+void FunctionBuilder::cbranch(VarNode cond, int true_block, int false_block) {
+  PcodeOp& op = emit(OpCode::CBranch);
+  op.inputs = {cond,
+               VarNode{.space = Space::Const,
+                       .offset = static_cast<std::uint64_t>(true_block),
+                       .size = 4}};
+  fn_.block(current_).successors = {true_block, false_block};
+}
+
+void FunctionBuilder::ret(std::optional<VarNode> value) {
+  PcodeOp& op = emit(OpCode::Return);
+  if (value.has_value()) op.inputs = {*value};
+}
+
+FunctionBuilder IRBuilder::function(std::string_view name) {
+  Function& fn = program_.add_function(name, /*is_import=*/false);
+  return FunctionBuilder(program_, fn);
+}
+
+}  // namespace firmres::ir

@@ -1,0 +1,113 @@
+// IRBuilder / FunctionBuilder: fluent construction of P-Code programs.
+//
+// Used by the firmware synthesizer to emit realistic message-construction
+// code, and by tests to hand-craft minimal programs. The builder keeps the
+// VarInfo symbol table in sync as it allocates operands, so slices rendered
+// from built programs carry the (DataType, Name/Constant, NodeID) enrichment
+// of §IV-C without a separate pass.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ir/library.h"
+#include "ir/program.h"
+
+namespace firmres::ir {
+
+class FunctionBuilder {
+ public:
+  FunctionBuilder(Program& program, Function& fn);
+
+  Function& fn() { return fn_; }
+
+  /// Declare a named parameter; returns its VarNode (register space).
+  VarNode param(std::string_view name);
+
+  /// Declare a named stack local (scalar or buffer — size is cosmetic).
+  VarNode local(std::string_view name, std::uint32_t size = 8);
+
+  /// Interned string constant; VarNode in Ram space pointing at the data
+  /// segment. Symbolized as (Cons, "<content>").
+  VarNode cstr(std::string_view text);
+
+  /// Numeric constant in Const space.
+  VarNode cnum(std::uint64_t value, std::uint32_t size = 4);
+
+  /// Const-space VarNode holding a function's entry address, symbolized as
+  /// (Fun, name). Used for callback registration.
+  VarNode func_addr(std::string_view function_name);
+
+  /// Anonymous temporary in Unique space.
+  VarNode temp(std::uint32_t size = 8);
+
+  /// Emit CALL with a result. If `ret_name` is non-empty, the result is a
+  /// named local; otherwise an anonymous unique.
+  VarNode call(std::string_view callee, std::vector<VarNode> args,
+               std::string_view ret_name = "");
+
+  /// Emit CALL discarding the result.
+  void callv(std::string_view callee, std::vector<VarNode> args);
+
+  /// Emit CALLIND through a function-pointer operand.
+  void call_indirect(VarNode target, std::vector<VarNode> args);
+
+  VarNode binop(OpCode op, VarNode a, VarNode b);
+  VarNode unop(OpCode op, VarNode a);
+  void copy(VarNode dst, VarNode src);
+  VarNode load(VarNode addr);
+  void store(VarNode addr, VarNode value);
+
+  VarNode cmp_eq(VarNode a, VarNode b) { return binop(OpCode::IntEqual, a, b); }
+  VarNode cmp_ne(VarNode a, VarNode b) {
+    return binop(OpCode::IntNotEqual, a, b);
+  }
+  VarNode cmp_lt(VarNode a, VarNode b) { return binop(OpCode::IntLess, a, b); }
+
+  // --- Control flow -------------------------------------------------------
+  /// Create a new (empty) basic block; does not switch to it.
+  int new_block();
+  /// Redirect subsequent emission into block `id`.
+  void set_block(int id);
+  int current_block() const { return current_; }
+  /// Unconditional branch; records the CFG edge.
+  void branch(int target_block);
+  /// Conditional branch on `cond`; true edge first.
+  void cbranch(VarNode cond, int true_block, int false_block);
+  void ret(std::optional<VarNode> value = std::nullopt);
+
+  /// Address of the most recently emitted op (0 before the first emission).
+  /// The synthesizer records delivery-callsite addresses in ground truth
+  /// through this.
+  std::uint64_t last_op_address() const { return last_address_; }
+
+ private:
+  PcodeOp& emit(OpCode opcode);
+  void ensure_callee(std::string_view name);
+
+  Program& program_;
+  Function& fn_;
+  int current_ = 0;
+  std::uint64_t next_stack_ = 0x100;
+  std::uint64_t next_unique_ = 0x10000000;
+  std::uint64_t last_address_ = 0;
+};
+
+/// Top-level builder: creates functions within a Program.
+class IRBuilder {
+ public:
+  explicit IRBuilder(Program& program) : program_(program) {}
+
+  /// Start building a local function. The Function gets one entry block.
+  FunctionBuilder function(std::string_view name);
+
+  Program& program() { return program_; }
+
+ private:
+  Program& program_;
+};
+
+}  // namespace firmres::ir

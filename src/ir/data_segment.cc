@@ -1,0 +1,30 @@
+#include "ir/data_segment.h"
+
+namespace firmres::ir {
+
+std::uint64_t DataSegment::intern(std::string_view text) {
+  if (const auto it = offsets_.find(text); it != offsets_.end()) {
+    return it->second;
+  }
+  const std::uint64_t offset = next_offset_;
+  next_offset_ += text.size() + 1;  // NUL terminator, like real .rodata
+  by_offset_.emplace(offset, std::string(text));
+  offsets_.emplace(std::string(text), offset);
+  return offset;
+}
+
+void DataSegment::intern_at(std::uint64_t offset, std::string_view text) {
+  by_offset_[offset] = std::string(text);
+  offsets_[std::string(text)] = offset;
+  if (offset + text.size() + 1 > next_offset_)
+    next_offset_ = offset + text.size() + 1;
+}
+
+std::optional<std::string_view> DataSegment::string_at(
+    std::uint64_t offset) const {
+  const auto it = by_offset_.find(offset);
+  if (it == by_offset_.end()) return std::nullopt;
+  return std::string_view(it->second);
+}
+
+}  // namespace firmres::ir

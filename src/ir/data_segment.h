@@ -1,0 +1,44 @@
+// DataSegment: the read-only data of an executable.
+//
+// String constants (format strings, request paths, JSON keys, hard-coded
+// secrets) live here; Ram-space VarNodes reference them by offset. The taint
+// engine treats a Ram VarNode that resolves to a string as a terminal field
+// source, and the Dev-Secret tracker (§IV-E) reads hard-coded values out of
+// this table.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace firmres::ir {
+
+class DataSegment {
+ public:
+  /// Intern a string, returning its offset. Identical strings share storage
+  /// (like a real .rodata string pool after deduplication).
+  std::uint64_t intern(std::string_view text);
+
+  /// Place a string at an explicit offset (deserialization). Offsets must
+  /// not overlap previously placed strings with different content.
+  void intern_at(std::uint64_t offset, std::string_view text);
+
+  /// The string at `offset`, or nullopt if the offset is not a string.
+  std::optional<std::string_view> string_at(std::uint64_t offset) const;
+
+  std::size_t string_count() const { return by_offset_.size(); }
+
+  /// Iterate all (offset, string) pairs in address order.
+  const std::map<std::uint64_t, std::string>& strings() const {
+    return by_offset_;
+  }
+
+ private:
+  std::map<std::uint64_t, std::string> by_offset_;
+  std::map<std::string, std::uint64_t, std::less<>> offsets_;
+  std::uint64_t next_offset_ = 0x400000;  // conventional .rodata base
+};
+
+}  // namespace firmres::ir

@@ -1,0 +1,94 @@
+// Function and BasicBlock: the unit of P-Code code.
+//
+// Imported library functions (recv, SSL_write, sprintf, …) are represented
+// as body-less Functions flagged `is_import`; their dataflow behaviour comes
+// from LibraryModel summaries, mirroring how FIRMRES "write[s] function
+// summaries for commonly invoked system calls and library calls" (§IV-B).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ir/pcode.h"
+#include "ir/varnode.h"
+#include "support/error.h"
+
+namespace firmres::ir {
+
+struct BasicBlock {
+  int id = 0;
+  std::vector<PcodeOp> ops;
+  std::vector<int> successors;  ///< block ids; fallthrough first
+};
+
+class Function {
+ public:
+  Function(std::string name, std::uint64_t entry, bool is_import)
+      : name_(std::move(name)), entry_(entry), is_import_(is_import) {}
+
+  const std::string& name() const { return name_; }
+  std::uint64_t entry_address() const { return entry_; }
+  bool is_import() const { return is_import_; }
+
+  const std::vector<VarNode>& params() const { return params_; }
+  void add_param(VarNode v) { params_.push_back(v); }
+
+  std::vector<BasicBlock>& blocks() { return blocks_; }
+  const std::vector<BasicBlock>& blocks() const { return blocks_; }
+
+  BasicBlock& block(int id) {
+    FIRMRES_CHECK(id >= 0 && static_cast<std::size_t>(id) < blocks_.size());
+    return blocks_[static_cast<std::size_t>(id)];
+  }
+
+  /// Append a new empty block, returning its id.
+  int add_block() {
+    const int id = static_cast<int>(blocks_.size());
+    blocks_.push_back(BasicBlock{.id = id, .ops = {}, .successors = {}});
+    return id;
+  }
+
+  /// Symbol information for a VarNode in this function's scope.
+  const VarInfo* var_info(const VarNode& v) const {
+    const auto it = var_info_.find(v);
+    return it == var_info_.end() ? nullptr : &it->second;
+  }
+  void set_var_info(const VarNode& v, VarInfo info) {
+    var_info_[v] = std::move(info);
+  }
+  const std::map<VarNode, VarInfo>& var_table() const { return var_info_; }
+
+  /// Visit every op in layout order (block order, op order within block).
+  void for_each_op(const std::function<void(const PcodeOp&)>& fn) const {
+    for (const auto& b : blocks_)
+      for (const auto& op : b.ops) fn(op);
+  }
+
+  /// All ops in layout order, flattened. Convenience for analyses that are
+  /// control-flow-insensitive (the backward taint of §IV-B).
+  std::vector<const PcodeOp*> ops_in_order() const {
+    std::vector<const PcodeOp*> out;
+    for (const auto& b : blocks_)
+      for (const auto& op : b.ops) out.push_back(&op);
+    return out;
+  }
+
+  std::size_t op_count() const {
+    std::size_t n = 0;
+    for (const auto& b : blocks_) n += b.ops.size();
+    return n;
+  }
+
+ private:
+  std::string name_;
+  std::uint64_t entry_;
+  bool is_import_;
+  std::vector<VarNode> params_;
+  std::vector<BasicBlock> blocks_;
+  std::map<VarNode, VarInfo> var_info_;
+};
+
+}  // namespace firmres::ir

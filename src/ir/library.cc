@@ -1,0 +1,280 @@
+#include "ir/library.h"
+
+namespace firmres::ir {
+
+const char* lib_kind_name(LibKind kind) {
+  switch (kind) {
+    case LibKind::RecvFn: return "RecvFn";
+    case LibKind::SendFn: return "SendFn";
+    case LibKind::MsgDeliver: return "MsgDeliver";
+    case LibKind::SourceNvram: return "SourceNvram";
+    case LibKind::SourceConfig: return "SourceConfig";
+    case LibKind::SourceEnv: return "SourceEnv";
+    case LibKind::SourceFrontend: return "SourceFrontend";
+    case LibKind::SourceDevInfo: return "SourceDevInfo";
+    case LibKind::StringOp: return "StringOp";
+    case LibKind::JsonOp: return "JsonOp";
+    case LibKind::Crypto: return "Crypto";
+    case LibKind::FileOp: return "FileOp";
+    case LibKind::EventReg: return "EventReg";
+    case LibKind::Ipc: return "Ipc";
+    case LibKind::Alloc: return "Alloc";
+    case LibKind::Other: return "Other";
+  }
+  return "?";
+}
+
+namespace {
+
+LibFunction make(std::string name, LibKind kind, DataflowSummary summary = {},
+                 std::vector<int> msg_args = {}, int recv_buf_arg = -1,
+                 int callback_arg = -1, int key_arg = -1) {
+  LibFunction f;
+  f.name = std::move(name);
+  f.kind = kind;
+  f.summary = std::move(summary);
+  f.msg_args = std::move(msg_args);
+  f.recv_buf_arg = recv_buf_arg;
+  f.callback_arg = callback_arg;
+  f.key_arg = key_arg;
+  return f;
+}
+
+}  // namespace
+
+LibraryModel::LibraryModel() {
+  auto add = [this](LibFunction f) {
+    index_.emplace(f.name, functions_.size());
+    functions_.push_back(std::move(f));
+  };
+
+  // ---- fun_in anchors (request reception). Buffer argument receives data.
+  add(make("recv", LibKind::RecvFn, {}, {}, /*recv_buf_arg=*/1));
+  add(make("recvfrom", LibKind::RecvFn, {}, {}, 1));
+  add(make("recvmsg", LibKind::RecvFn, {}, {}, 1));
+  add(make("read", LibKind::RecvFn, {}, {}, 1));
+  add(make("SSL_read", LibKind::RecvFn, {}, {}, 1));
+  add(make("CyaSSL_read", LibKind::RecvFn, {}, {}, 1));
+  add(make("mqtt_recv_message", LibKind::RecvFn, {}, {}, 1));
+  add(make("websocket_recv", LibKind::RecvFn, {}, {}, 1));
+
+  // ---- fun_out anchors (response transmission).
+  add(make("send", LibKind::SendFn, {}, /*msg_args=*/{1}));
+  add(make("sendto", LibKind::SendFn, {}, {1}));
+  add(make("sendmsg", LibKind::SendFn, {}, {1}));
+  add(make("write", LibKind::SendFn, {}, {1}));
+
+  // ---- Device-cloud message delivery (taint sources of §IV-B). The paper
+  // names SSL/CyaSSL writes, curl, and mosquitto explicitly.
+  add(make("SSL_write", LibKind::MsgDeliver, {}, {1}));
+  add(make("CyaSSL_write", LibKind::MsgDeliver, {}, {1}));
+  add(make("wolfSSL_write", LibKind::MsgDeliver, {}, {1}));
+  add(make("mbedtls_ssl_write", LibKind::MsgDeliver, {}, {1}));
+  add(make("curl_easy_perform", LibKind::MsgDeliver, {}, {1}));
+  add(make("http_post", LibKind::MsgDeliver, {}, {0, 1}));
+  add(make("http_get", LibKind::MsgDeliver, {}, {0}));
+  add(make("https_request", LibKind::MsgDeliver, {}, {0, 1}));
+  add(make("mosquitto_publish", LibKind::MsgDeliver, {}, {2, 4}));
+  add(make("mqtt_publish", LibKind::MsgDeliver, {}, {1, 2}));
+  add(make("MQTTClient_publishMessage", LibKind::MsgDeliver, {}, {1, 2}));
+  add(make("coap_send", LibKind::MsgDeliver, {}, {1}));
+
+  // ---- Field sources. Their results terminate backward taint (§IV-B).
+  const DataflowSummary ret_source{.dst = -1, .srcs = {}, .srcs_from = -1,
+                                   .dst_also_src = false,
+                                   .is_field_source = true};
+  add(make("nvram_get", LibKind::SourceNvram, ret_source, {}, -1, -1, /*key_arg=*/0));
+  add(make("nvram_safe_get", LibKind::SourceNvram, ret_source, {}, -1, -1, 0));
+  add(make("nvram_bufget", LibKind::SourceNvram, ret_source, {}, -1, -1, 1));
+  add(make("config_get", LibKind::SourceConfig, ret_source, {}, -1, -1, 0));
+  add(make("uci_get", LibKind::SourceConfig, ret_source, {}, -1, -1, 0));
+  add(make("ini_read", LibKind::SourceConfig, ret_source, {}, -1, -1, 1));
+  add(make("cfg_lookup", LibKind::SourceConfig, ret_source, {}, -1, -1, 1));
+  add(make("getenv", LibKind::SourceEnv, ret_source, {}, -1, -1, 0));
+  add(make("web_get_param", LibKind::SourceFrontend, ret_source, {}, -1, -1, 1));
+  add(make("cgi_get_input", LibKind::SourceFrontend, ret_source, {}, -1, -1, 0));
+  add(make("ui_get_field", LibKind::SourceFrontend, ret_source, {}, -1, -1, 1));
+
+  // Device-info getters writing through their first argument.
+  const DataflowSummary arg0_source{.dst = 0, .srcs = {}, .srcs_from = -1,
+                                    .dst_also_src = false,
+                                    .is_field_source = true};
+  add(make("get_mac_address", LibKind::SourceDevInfo, arg0_source));
+  add(make("get_serial_number", LibKind::SourceDevInfo, arg0_source));
+  add(make("get_device_id", LibKind::SourceDevInfo, arg0_source));
+  add(make("get_hw_version", LibKind::SourceDevInfo, arg0_source));
+  add(make("get_fw_version", LibKind::SourceDevInfo, arg0_source));
+  add(make("get_model_name", LibKind::SourceDevInfo, arg0_source));
+  add(make("get_uuid", LibKind::SourceDevInfo, arg0_source));
+
+  // ---- String operations (message assembly via formatted output, §IV-C
+  // way (2)).
+  add(make("sprintf", LibKind::StringOp,
+           {.dst = 0, .srcs = {1}, .srcs_from = 2, .dst_also_src = false,
+            .is_field_source = false}));
+  add(make("snprintf", LibKind::StringOp,
+           {.dst = 0, .srcs = {2}, .srcs_from = 3, .dst_also_src = false,
+            .is_field_source = false}));
+  add(make("strcpy", LibKind::StringOp,
+           {.dst = 0, .srcs = {1}, .srcs_from = -1, .dst_also_src = false,
+            .is_field_source = false}));
+  add(make("strncpy", LibKind::StringOp,
+           {.dst = 0, .srcs = {1}, .srcs_from = -1, .dst_also_src = false,
+            .is_field_source = false}));
+  add(make("strcat", LibKind::StringOp,
+           {.dst = 0, .srcs = {1}, .srcs_from = -1, .dst_also_src = true,
+            .is_field_source = false}));
+  add(make("strncat", LibKind::StringOp,
+           {.dst = 0, .srcs = {1}, .srcs_from = -1, .dst_also_src = true,
+            .is_field_source = false}));
+  add(make("memcpy", LibKind::StringOp,
+           {.dst = 0, .srcs = {1}, .srcs_from = -1, .dst_also_src = false,
+            .is_field_source = false}));
+  add(make("strdup", LibKind::StringOp,
+           {.dst = -1, .srcs = {0}, .srcs_from = -1, .dst_also_src = false,
+            .is_field_source = false}));
+  add(make("strtok", LibKind::StringOp,
+           {.dst = -1, .srcs = {0}, .srcs_from = -1, .dst_also_src = false,
+            .is_field_source = false}));
+  add(make("strstr", LibKind::StringOp,
+           {.dst = -1, .srcs = {0}, .srcs_from = -1, .dst_also_src = false,
+            .is_field_source = false}));
+  add(make("strlen", LibKind::StringOp, {}));
+  add(make("strcmp", LibKind::StringOp, {}));
+  add(make("strncmp", LibKind::StringOp, {}));
+  add(make("atoi", LibKind::StringOp,
+           {.dst = -1, .srcs = {0}, .srcs_from = -1, .dst_also_src = false,
+            .is_field_source = false}));
+
+  // ---- cJSON-style message assembly (§IV-C way (1)).
+  add(make("cJSON_CreateObject", LibKind::JsonOp, {}));
+  add(make("cJSON_AddStringToObject", LibKind::JsonOp,
+           {.dst = 0, .srcs = {1, 2}, .srcs_from = -1, .dst_also_src = true,
+            .is_field_source = false}));
+  add(make("cJSON_AddNumberToObject", LibKind::JsonOp,
+           {.dst = 0, .srcs = {1, 2}, .srcs_from = -1, .dst_also_src = true,
+            .is_field_source = false}));
+  add(make("cJSON_AddItemToObject", LibKind::JsonOp,
+           {.dst = 0, .srcs = {1, 2}, .srcs_from = -1, .dst_also_src = true,
+            .is_field_source = false}));
+  add(make("cJSON_Print", LibKind::JsonOp,
+           {.dst = -1, .srcs = {0}, .srcs_from = -1, .dst_also_src = false,
+            .is_field_source = false}));
+  add(make("cJSON_PrintUnformatted", LibKind::JsonOp,
+           {.dst = -1, .srcs = {0}, .srcs_from = -1, .dst_also_src = false,
+            .is_field_source = false}));
+  add(make("cJSON_Parse", LibKind::JsonOp,
+           {.dst = -1, .srcs = {0}, .srcs_from = -1, .dst_also_src = false,
+            .is_field_source = false}));
+  add(make("cJSON_GetObjectItem", LibKind::JsonOp,
+           {.dst = -1, .srcs = {0}, .srcs_from = -1, .dst_also_src = false,
+            .is_field_source = false}));
+  add(make("cJSON_Delete", LibKind::JsonOp, {}));
+
+  // ---- Crypto / encoding (Signature derivation: Signature = f(Dev-Secret),
+  // §II-B business form ②).
+  const auto ret_from = [](std::vector<int> srcs) {
+    return DataflowSummary{.dst = -1, .srcs = std::move(srcs),
+                           .srcs_from = -1, .dst_also_src = false,
+                           .is_field_source = false};
+  };
+  add(make("md5_hex", LibKind::Crypto, ret_from({0})));
+  add(make("sha1_hex", LibKind::Crypto, ret_from({0})));
+  add(make("sha256_hex", LibKind::Crypto, ret_from({0})));
+  add(make("hmac_sha1", LibKind::Crypto, ret_from({0, 1})));
+  add(make("hmac_sha256", LibKind::Crypto, ret_from({0, 1})));
+  add(make("hmac_md5", LibKind::Crypto, ret_from({0, 1})));
+  add(make("aes_cbc_encrypt", LibKind::Crypto, ret_from({0, 1})));
+  add(make("base64_encode", LibKind::Crypto, ret_from({0})));
+  add(make("url_encode", LibKind::Crypto, ret_from({0})));
+  add(make("sign_request", LibKind::Crypto, ret_from({0, 1})));
+
+  // ---- File reads (hard-coded Dev-Secret pattern (2) of §IV-E:
+  // <Variable = Function(Constant)>).
+  add(make("read_file", LibKind::FileOp, ret_from({0})));
+  add(make("fopen", LibKind::FileOp, ret_from({0})));
+  add(make("fread", LibKind::FileOp,
+           {.dst = 0, .srcs = {3}, .srcs_from = -1, .dst_also_src = false,
+            .is_field_source = false}));
+  add(make("fgets", LibKind::FileOp,
+           {.dst = 0, .srcs = {2}, .srcs_from = -1, .dst_also_src = false,
+            .is_field_source = false}));
+  add(make("load_cert_file", LibKind::FileOp, ret_from({0})));
+
+  // ---- Event registration (asynchronous dispatch, §IV-A).
+  add(make("event_loop_register", LibKind::EventReg, {}, {}, -1,
+           /*callback_arg=*/1));
+  add(make("uloop_fd_add", LibKind::EventReg, {}, {}, -1, 1));
+  add(make("mqtt_set_message_callback", LibKind::EventReg, {}, {}, -1, 1));
+  add(make("mosquitto_message_callback_set", LibKind::EventReg, {}, {}, -1,
+           1));
+  add(make("timer_register", LibKind::EventReg, {}, {}, -1, 1));
+  add(make("register_signal_handler", LibKind::EventReg, {}, {}, -1, 1));
+
+  // ---- Local IPC (noise handlers that must NOT be classified as
+  // device-cloud, §IV-A "IPC handlers are not request handlers").
+  add(make("unix_socket_recv", LibKind::Ipc, {}, {}, 1));
+  add(make("unix_socket_send", LibKind::Ipc, {}, {1}));
+  add(make("msgrcv", LibKind::Ipc, {}, {}, 1));
+  add(make("msgsnd", LibKind::Ipc, {}, {1}));
+  add(make("ubus_invoke", LibKind::Ipc, {}, {1}));
+
+  // ---- Misc.
+  add(make("malloc", LibKind::Alloc, {}));
+  add(make("calloc", LibKind::Alloc, {}));
+  add(make("free", LibKind::Alloc, {}));
+  add(make("memset", LibKind::Other, {}));
+  add(make("socket", LibKind::Other, {}));
+  add(make("connect", LibKind::Other, {}));
+  add(make("close", LibKind::Other, {}));
+  add(make("sleep", LibKind::Other, {}));
+  add(make("time", LibKind::Other, {}));
+  add(make("rand", LibKind::Other, {}));
+  add(make("printf", LibKind::Other, {}));
+  add(make("syslog", LibKind::Other, {}));
+  add(make("SSL_new", LibKind::Other, {}));
+  add(make("SSL_connect", LibKind::Other, {}));
+  add(make("curl_easy_init", LibKind::Other, {}));
+  add(make("curl_easy_setopt", LibKind::Other, {}));
+  add(make("mosquitto_new", LibKind::Other, {}));
+  add(make("mosquitto_connect", LibKind::Other, {}));
+}
+
+const LibraryModel& LibraryModel::instance() {
+  static const LibraryModel model;
+  return model;
+}
+
+const LibFunction* LibraryModel::find(std::string_view name) const {
+  const auto it = index_.find(name);
+  return it == index_.end() ? nullptr : &functions_[it->second];
+}
+
+bool LibraryModel::is_kind(std::string_view name, LibKind kind) const {
+  const LibFunction* f = find(name);
+  return f != nullptr && f->kind == kind;
+}
+
+bool LibraryModel::is_field_source(std::string_view name) const {
+  const LibFunction* f = find(name);
+  if (f == nullptr) return false;
+  switch (f->kind) {
+    case LibKind::SourceNvram:
+    case LibKind::SourceConfig:
+    case LibKind::SourceEnv:
+    case LibKind::SourceFrontend:
+    case LibKind::SourceDevInfo:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::vector<std::string> LibraryModel::names_of_kind(LibKind kind) const {
+  std::vector<std::string> out;
+  for (const auto& f : functions_)
+    if (f.kind == kind) out.push_back(f.name);
+  return out;
+}
+
+}  // namespace firmres::ir

@@ -1,0 +1,102 @@
+// LibraryModel: the catalogue of known library/system functions.
+//
+// FIRMRES's analyses need three things from library calls:
+//   1. anchors — which functions receive requests (fun_in) and send
+//      responses/messages (fun_out / message delivery, §IV-A/§IV-B);
+//   2. field sources — which functions terminate backward taint because
+//      their result is a single-information-source value (NVRAM reads,
+//      config reads, environment/front-end inputs, device-info getters);
+//   3. dataflow summaries — how data moves through string/JSON/crypto
+//      helpers without descending into (nonexistent) bodies (§IV-B
+//      "we write function summaries for commonly invoked system calls and
+//      library calls").
+// The roster is drawn from the functions the paper names (SSL_write,
+// CyaSSL_write, curl_easy_perform, mosquitto_publish, recv/recvfrom/recvmsg,
+// send/sendto/sendmsg, sprintf, cJSON) plus the surrounding families found
+// in real firmware.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace firmres::ir {
+
+enum class LibKind : std::uint8_t {
+  RecvFn,          ///< fun_in anchors: recv, recvfrom, SSL_read, …
+  SendFn,          ///< fun_out anchors: send, sendto, sendmsg
+  MsgDeliver,      ///< device-cloud delivery (taint sources of §IV-B)
+  SourceNvram,     ///< NVRAM getters — field sources
+  SourceConfig,    ///< config-file getters — field sources
+  SourceEnv,       ///< environment variables — field sources
+  SourceFrontend,  ///< values from the device's web/app front end
+  SourceDevInfo,   ///< device information getters (MAC, serial, …)
+  StringOp,        ///< sprintf/strcpy/strcat/memcpy family
+  JsonOp,          ///< cJSON-style message assembly
+  Crypto,          ///< hashing/signing/encoding
+  FileOp,          ///< file reads (config / certificate loading)
+  EventReg,        ///< event-loop callback registration (async dispatch)
+  Ipc,             ///< local IPC endpoints (noise handlers)
+  Alloc,
+  Other,
+};
+
+const char* lib_kind_name(LibKind kind);
+
+/// How data flows through a library call, abstractly.
+struct DataflowSummary {
+  /// Destination of the flow: an argument index, or -1 for the return value.
+  int dst = -1;
+  /// Explicit source argument indices.
+  std::vector<int> srcs;
+  /// If >= 0, every argument from this index onward is also a source
+  /// (variadic formatters: sprintf's value arguments).
+  int srcs_from = -1;
+  /// strcat-like: the destination's previous contents are preserved, so the
+  /// destination itself also feeds the flow.
+  bool dst_also_src = false;
+  /// The call's result is a terminal single-information-source value — a
+  /// taint *sink* in the paper's inverted terminology (§IV-B).
+  bool is_field_source = false;
+};
+
+struct LibFunction {
+  std::string name;
+  LibKind kind = LibKind::Other;
+  DataflowSummary summary;
+  /// For MsgDeliver/SendFn: which arguments carry outgoing message content
+  /// (URL, topic, body). Each becomes a backward-taint root (§IV-B sources).
+  std::vector<int> msg_args;
+  /// For RecvFn: which argument receives incoming bytes (-1 = return value).
+  int recv_buf_arg = -1;
+  /// For EventReg: which argument is the callback function pointer.
+  int callback_arg = -1;
+  /// For field sources taking a key/name argument (nvram_get("mac")): its
+  /// index, used to name the field after the key string.
+  int key_arg = -1;
+};
+
+/// Immutable singleton catalogue.
+class LibraryModel {
+ public:
+  static const LibraryModel& instance();
+
+  const LibFunction* find(std::string_view name) const;
+  bool is_kind(std::string_view name, LibKind kind) const;
+
+  /// True for any of the Source* kinds.
+  bool is_field_source(std::string_view name) const;
+
+  std::vector<std::string> names_of_kind(LibKind kind) const;
+  const std::vector<LibFunction>& all() const { return functions_; }
+
+ private:
+  LibraryModel();
+  std::vector<LibFunction> functions_;
+  std::map<std::string, std::size_t, std::less<>> index_;
+};
+
+}  // namespace firmres::ir

@@ -1,0 +1,69 @@
+#include "ir/opcodes.h"
+
+namespace firmres::ir {
+
+const char* opcode_name(OpCode op) {
+  switch (op) {
+    case OpCode::Copy: return "COPY";
+    case OpCode::Load: return "LOAD";
+    case OpCode::Store: return "STORE";
+    case OpCode::IntAdd: return "INT_ADD";
+    case OpCode::IntSub: return "INT_SUB";
+    case OpCode::IntMult: return "INT_MULT";
+    case OpCode::IntDiv: return "INT_DIV";
+    case OpCode::IntAnd: return "INT_AND";
+    case OpCode::IntOr: return "INT_OR";
+    case OpCode::IntXor: return "INT_XOR";
+    case OpCode::IntLeft: return "INT_LEFT";
+    case OpCode::IntRight: return "INT_RIGHT";
+    case OpCode::IntNegate: return "INT_NEGATE";
+    case OpCode::IntEqual: return "INT_EQUAL";
+    case OpCode::IntNotEqual: return "INT_NOTEQUAL";
+    case OpCode::IntLess: return "INT_LESS";
+    case OpCode::IntSLess: return "INT_SLESS";
+    case OpCode::IntLessEqual: return "INT_LESSEQUAL";
+    case OpCode::BoolAnd: return "BOOL_AND";
+    case OpCode::BoolOr: return "BOOL_OR";
+    case OpCode::BoolNegate: return "BOOL_NEGATE";
+    case OpCode::Branch: return "BRANCH";
+    case OpCode::CBranch: return "CBRANCH";
+    case OpCode::BranchInd: return "BRANCHIND";
+    case OpCode::Call: return "CALL";
+    case OpCode::CallInd: return "CALLIND";
+    case OpCode::Return: return "RETURN";
+    case OpCode::Piece: return "PIECE";
+    case OpCode::SubPiece: return "SUBPIECE";
+    case OpCode::PtrAdd: return "PTRADD";
+    case OpCode::PtrSub: return "PTRSUB";
+    case OpCode::Cast: return "CAST";
+  }
+  return "?";
+}
+
+bool is_comparison(OpCode op) {
+  switch (op) {
+    case OpCode::IntEqual:
+    case OpCode::IntNotEqual:
+    case OpCode::IntLess:
+    case OpCode::IntSLess:
+    case OpCode::IntLessEqual:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_call(OpCode op) { return op == OpCode::Call || op == OpCode::CallInd; }
+
+bool is_branch(OpCode op) {
+  switch (op) {
+    case OpCode::Branch:
+    case OpCode::CBranch:
+    case OpCode::BranchInd:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace firmres::ir

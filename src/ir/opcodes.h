@@ -1,0 +1,64 @@
+// P-Code operation set.
+//
+// A pragmatic subset of Ghidra's P-Code opcodes — every operation FIRMRES's
+// analyses inspect (calls, branches, copies, loads/stores, arithmetic,
+// comparisons, concatenation) plus enough arithmetic variety for the
+// synthesizer to generate realistic instruction mixes.
+#pragma once
+
+#include <cstdint>
+
+namespace firmres::ir {
+
+enum class OpCode : std::uint8_t {
+  // Data movement
+  Copy,
+  Load,
+  Store,
+  // Integer arithmetic / bitwise
+  IntAdd,
+  IntSub,
+  IntMult,
+  IntDiv,
+  IntAnd,
+  IntOr,
+  IntXor,
+  IntLeft,
+  IntRight,
+  IntNegate,
+  // Comparisons (produce a 1-byte boolean)
+  IntEqual,
+  IntNotEqual,
+  IntLess,
+  IntSLess,
+  IntLessEqual,
+  // Boolean
+  BoolAnd,
+  BoolOr,
+  BoolNegate,
+  // Control flow
+  Branch,
+  CBranch,
+  BranchInd,
+  Call,
+  CallInd,
+  Return,
+  // Bit-string composition
+  Piece,
+  SubPiece,
+  // Pointer arithmetic / typing
+  PtrAdd,
+  PtrSub,
+  Cast,
+};
+
+const char* opcode_name(OpCode op);
+
+/// True for the comparison opcodes whose results feed CBRANCH conditions —
+/// the "predicates" of §IV-A whose operands are counted in P_f.
+bool is_comparison(OpCode op);
+
+bool is_call(OpCode op);
+bool is_branch(OpCode op);
+
+}  // namespace firmres::ir

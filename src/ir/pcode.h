@@ -1,0 +1,34 @@
+// PcodeOp: one P-Code operation.
+//
+// Basic form per the paper (§IV-C): <Address : Output OP Input1, Input2, …>.
+// Direct calls carry the resolved callee symbol so call-graph construction
+// does not need a relocation pass; indirect calls (CallInd) carry the
+// function-pointer operand only — this asymmetry is what makes asynchronous
+// (event-registered) handlers invisible to direct control flow, the property
+// §IV-A's identification step keys on.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/opcodes.h"
+#include "ir/varnode.h"
+
+namespace firmres::ir {
+
+struct PcodeOp {
+  std::uint64_t address = 0;  ///< program-unique op address
+  OpCode opcode = OpCode::Copy;
+  std::optional<VarNode> output;
+  std::vector<VarNode> inputs;
+  /// For OpCode::Call: resolved callee symbol name. Empty otherwise.
+  std::string callee;
+
+  bool is_call_to(std::string_view name) const {
+    return opcode == OpCode::Call && callee == name;
+  }
+};
+
+}  // namespace firmres::ir

@@ -1,0 +1,107 @@
+#include "ir/printer.h"
+
+#include <sstream>
+
+#include "support/strings.h"
+
+namespace firmres::ir {
+
+std::string render_raw(const VarNode& v) { return v.to_string(); }
+
+std::string render_enriched(const VarNode& v, const Function& fn) {
+  const VarInfo* info = fn.var_info(v);
+  if (info == nullptr) {
+    // Anonymous temporary: type-only tag keeps the token stream stable.
+    if (v.space == Space::Unique) return "(Tmp)";
+    if (v.space == Space::Const)
+      return support::format("(Cons, %llu)",
+                             static_cast<unsigned long long>(v.offset));
+    return render_raw(v);
+  }
+  switch (info->type) {
+    case DataType::Function:
+      return support::format("(Fun, %s)", info->name.c_str());
+    case DataType::Constant:
+      if (v.space == Space::Ram) {
+        return support::format("(Cons, \"%s\")", info->name.c_str());
+      }
+      return support::format("(Cons, %s)", info->name.c_str());
+    case DataType::Local:
+      return support::format("(Local, %s, v_%u)", info->name.c_str(),
+                             info->node_id);
+    case DataType::Param:
+      return support::format("(Param, %s, v_%u)", info->name.c_str(),
+                             info->node_id);
+    case DataType::DataPtr:
+      return support::format("(DataPtr, %s, v_%u)", info->name.c_str(),
+                             info->node_id);
+    case DataType::Global:
+      return support::format("(Global, %s, v_%u)", info->name.c_str(),
+                             info->node_id);
+    case DataType::Unknown:
+      return render_raw(v);
+  }
+  return render_raw(v);
+}
+
+namespace {
+
+std::string render_op(const PcodeOp& op, const Function* fn) {
+  auto render = [fn](const VarNode& v) {
+    return fn != nullptr ? render_enriched(v, *fn) : render_raw(v);
+  };
+  std::ostringstream os;
+  os << opcode_name(op.opcode);
+  if (op.opcode == OpCode::Call) {
+    os << " (Fun, " << op.callee << ")";
+  }
+  if (op.output.has_value()) {
+    os << " " << render(*op.output) << " =";
+  }
+  for (std::size_t i = 0; i < op.inputs.size(); ++i) {
+    os << (i == 0 ? " " : ", ") << render(op.inputs[i]);
+  }
+  return os.str();
+}
+
+}  // namespace
+
+std::string render_op_raw(const PcodeOp& op) { return render_op(op, nullptr); }
+
+std::string render_op_enriched(const PcodeOp& op, const Function& fn) {
+  return render_op(op, &fn);
+}
+
+std::string render_function(const Function& fn) {
+  std::ostringstream os;
+  os << (fn.is_import() ? "import " : "function ") << fn.name() << " @0x"
+     << std::hex << fn.entry_address() << std::dec << "\n";
+  for (const auto& block : fn.blocks()) {
+    os << "  block " << block.id;
+    if (!block.successors.empty()) {
+      os << " ->";
+      for (int s : block.successors) os << " " << s;
+    }
+    os << "\n";
+    for (const auto& op : block.ops) {
+      os << "    0x" << std::hex << op.address << std::dec << ": "
+         << render_op_enriched(op, fn) << "\n";
+    }
+  }
+  return os.str();
+}
+
+std::string render_program(const Program& program) {
+  std::ostringstream os;
+  os << "program " << program.name() << " ("
+     << program.local_functions().size() << " local functions, "
+     << program.total_op_count() << " ops, " << program.data().string_count()
+     << " strings)\n";
+  for (const Function* fn : program.functions()) {
+    if (fn->is_import()) continue;
+    os << render_function(*fn);
+  }
+  return os.str();
+}
+
+}  // namespace firmres::ir

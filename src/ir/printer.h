@@ -1,0 +1,36 @@
+// Textual rendering of P-Code — both raw form and the semantically enriched
+// form of §IV-C that the NLP pipeline consumes:
+//
+//   raw:      CALL (ram, 0x12bd4, 8), (unique, 0x1000024e, 4), …
+//   enriched: CALL (Fun, printf), (Cons, "posting data of is %s"),
+//             (Local, finalBuf, v_1357)
+#pragma once
+
+#include <string>
+
+#include "ir/function.h"
+#include "ir/program.h"
+
+namespace firmres::ir {
+
+/// Raw operand rendering: "(space, 0xoffset, size)".
+std::string render_raw(const VarNode& v);
+
+/// Enriched operand rendering using the function's VarInfo table, e.g.
+/// "(Local, finalBuf, v_1357)" / "(Cons, \"…\")" / "(Fun, sprintf)".
+/// Falls back to the raw form when no symbol information exists.
+std::string render_enriched(const VarNode& v, const Function& fn);
+
+/// One op, raw operands.
+std::string render_op_raw(const PcodeOp& op);
+
+/// One op, enriched operands — the slice-token form fed to the classifier.
+std::string render_op_enriched(const PcodeOp& op, const Function& fn);
+
+/// Whole function listing (enriched), for debugging and examples.
+std::string render_function(const Function& fn);
+
+/// Whole program listing.
+std::string render_program(const Program& program);
+
+}  // namespace firmres::ir

@@ -1,0 +1,42 @@
+#include "ir/program.h"
+
+#include "support/error.h"
+
+namespace firmres::ir {
+
+Function& Program::add_function(std::string_view name, bool is_import) {
+  FIRMRES_CHECK_MSG(functions_.find(name) == functions_.end(),
+                    "duplicate function: " + std::string(name));
+  next_func_address_ += 0x100;
+  auto fn = std::make_unique<Function>(std::string(name), next_func_address_,
+                                       is_import);
+  Function* raw = fn.get();
+  functions_.emplace(std::string(name), std::move(fn));
+  order_.push_back(raw);
+  return *raw;
+}
+
+Function* Program::function(std::string_view name) {
+  const auto it = functions_.find(name);
+  return it == functions_.end() ? nullptr : it->second.get();
+}
+
+const Function* Program::function(std::string_view name) const {
+  const auto it = functions_.find(name);
+  return it == functions_.end() ? nullptr : it->second.get();
+}
+
+std::vector<Function*> Program::local_functions() const {
+  std::vector<Function*> out;
+  for (Function* f : order_)
+    if (!f->is_import()) out.push_back(f);
+  return out;
+}
+
+std::size_t Program::total_op_count() const {
+  std::size_t n = 0;
+  for (const Function* f : order_) n += f->op_count();
+  return n;
+}
+
+}  // namespace firmres::ir

@@ -1,0 +1,66 @@
+// Program: one executable lowered to P-Code.
+//
+// The analogue of a Ghidra program database: functions (local + imported),
+// a read-only data segment, and stable op/function addressing. Programs are
+// what the firmware synthesizer produces and what every FIRMRES analysis
+// consumes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ir/data_segment.h"
+#include "ir/function.h"
+
+namespace firmres::ir {
+
+class Program {
+ public:
+  explicit Program(std::string name) : name_(std::move(name)) {}
+
+  Program(const Program&) = delete;
+  Program& operator=(const Program&) = delete;
+  Program(Program&&) = default;
+  Program& operator=(Program&&) = default;
+
+  const std::string& name() const { return name_; }
+
+  DataSegment& data() { return data_; }
+  const DataSegment& data() const { return data_; }
+
+  /// Create a function. Names are unique within a program.
+  Function& add_function(std::string_view name, bool is_import = false);
+
+  /// Look up by name; nullptr when absent.
+  Function* function(std::string_view name);
+  const Function* function(std::string_view name) const;
+
+  /// All functions in creation order (imports included).
+  const std::vector<Function*>& functions() const { return order_; }
+
+  /// Local (non-import) functions only.
+  std::vector<Function*> local_functions() const;
+
+  /// Program-unique address allocator for ops.
+  std::uint64_t alloc_op_address() { return next_op_address_ += 4; }
+
+  /// Fresh node id for VarInfo disambiguation.
+  std::uint32_t alloc_node_id() { return ++next_node_id_; }
+
+  std::size_t total_op_count() const;
+
+ private:
+  std::string name_;
+  DataSegment data_;
+  std::map<std::string, std::unique_ptr<Function>, std::less<>> functions_;
+  std::vector<Function*> order_;
+  std::uint64_t next_op_address_ = 0x10000;
+  std::uint64_t next_func_address_ = 0x1000;
+  std::uint32_t next_node_id_ = 1000;
+};
+
+}  // namespace firmres::ir

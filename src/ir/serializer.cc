@@ -1,0 +1,216 @@
+#include "ir/serializer.h"
+
+#include "support/strings.h"
+
+namespace firmres::ir {
+
+namespace {
+
+using support::Json;
+using support::JsonArray;
+using support::JsonObject;
+using support::ParseError;
+
+// --- encoding ----------------------------------------------------------------
+
+Json varnode_to_json(const VarNode& v) {
+  JsonArray arr;
+  arr.emplace_back(std::string(space_name(v.space)));
+  arr.emplace_back(static_cast<double>(v.offset));
+  arr.emplace_back(static_cast<double>(v.size));
+  return Json(std::move(arr));
+}
+
+Json op_to_json(const PcodeOp& op) {
+  Json o{JsonObject{}};
+  o.set("addr", static_cast<double>(op.address));
+  o.set("op", std::string(opcode_name(op.opcode)));
+  if (op.output.has_value()) o.set("out", varnode_to_json(*op.output));
+  JsonArray inputs;
+  for (const VarNode& in : op.inputs) inputs.push_back(varnode_to_json(in));
+  o.set("in", Json(std::move(inputs)));
+  if (!op.callee.empty()) o.set("callee", op.callee);
+  return o;
+}
+
+Json function_to_json(const Function& fn) {
+  Json f{JsonObject{}};
+  f.set("name", fn.name());
+  f.set("entry", static_cast<double>(fn.entry_address()));
+  f.set("import", fn.is_import());
+
+  JsonArray params;
+  for (const VarNode& p : fn.params()) params.push_back(varnode_to_json(p));
+  f.set("params", Json(std::move(params)));
+
+  JsonArray symbols;
+  for (const auto& [var, info] : fn.var_table()) {
+    Json s{JsonObject{}};
+    s.set("var", varnode_to_json(var));
+    s.set("type", std::string(data_type_name(info.type)));
+    s.set("name", info.name);
+    s.set("id", static_cast<double>(info.node_id));
+    symbols.push_back(std::move(s));
+  }
+  f.set("symbols", Json(std::move(symbols)));
+
+  JsonArray blocks;
+  for (const BasicBlock& b : fn.blocks()) {
+    Json blk{JsonObject{}};
+    blk.set("id", b.id);
+    JsonArray succ;
+    for (const int s : b.successors) succ.emplace_back(s);
+    blk.set("succ", Json(std::move(succ)));
+    JsonArray ops;
+    for (const PcodeOp& op : b.ops) ops.push_back(op_to_json(op));
+    blk.set("ops", Json(std::move(ops)));
+    blocks.push_back(std::move(blk));
+  }
+  f.set("blocks", Json(std::move(blocks)));
+  return f;
+}
+
+// --- decoding ----------------------------------------------------------------
+
+[[noreturn]] void malformed(const std::string& what) {
+  throw ParseError("program document: " + what);
+}
+
+const Json& field(const Json& obj, const char* key) {
+  const Json* v = obj.find(key);
+  if (v == nullptr) malformed(std::string("missing field '") + key + "'");
+  return *v;
+}
+
+Space space_from_name(const std::string& name) {
+  for (const Space s : {Space::Const, Space::Register, Space::Unique,
+                        Space::Stack, Space::Ram}) {
+    if (name == space_name(s)) return s;
+  }
+  malformed("unknown address space '" + name + "'");
+}
+
+OpCode opcode_from_name(const std::string& name) {
+  // The opcode set is small; a linear scan over the enum keeps the decoder
+  // free of a hand-maintained reverse table.
+  for (int i = 0; i <= static_cast<int>(OpCode::Cast); ++i) {
+    const auto code = static_cast<OpCode>(i);
+    if (name == opcode_name(code)) return code;
+  }
+  malformed("unknown opcode '" + name + "'");
+}
+
+DataType data_type_from_name(const std::string& name) {
+  for (const DataType t :
+       {DataType::Unknown, DataType::Function, DataType::Local,
+        DataType::Param, DataType::Constant, DataType::DataPtr,
+        DataType::Global}) {
+    if (name == data_type_name(t)) return t;
+  }
+  malformed("unknown data type '" + name + "'");
+}
+
+VarNode varnode_from_json(const Json& v) {
+  if (!v.is_array() || v.size() != 3) malformed("varnode must be [space, offset, size]");
+  const auto& arr = v.as_array();
+  return VarNode{.space = space_from_name(arr[0].as_string()),
+                 .offset = static_cast<std::uint64_t>(arr[1].as_number()),
+                 .size = static_cast<std::uint32_t>(arr[2].as_number())};
+}
+
+PcodeOp op_from_json(const Json& o) {
+  PcodeOp op;
+  op.address = static_cast<std::uint64_t>(field(o, "addr").as_number());
+  op.opcode = opcode_from_name(field(o, "op").as_string());
+  if (const Json* out = o.find("out"); out != nullptr)
+    op.output = varnode_from_json(*out);
+  for (const Json& in : field(o, "in").as_array())
+    op.inputs.push_back(varnode_from_json(in));
+  if (const Json* callee = o.find("callee"); callee != nullptr)
+    op.callee = callee->as_string();
+  return op;
+}
+
+}  // namespace
+
+support::Json program_to_json(const Program& program) {
+  Json doc{JsonObject{}};
+  doc.set("format", "firmres-program");
+  doc.set("version", 1);
+  doc.set("name", program.name());
+
+  JsonArray strings;
+  for (const auto& [offset, text] : program.data().strings()) {
+    JsonArray entry;
+    entry.emplace_back(static_cast<double>(offset));
+    entry.emplace_back(text);
+    strings.push_back(Json(std::move(entry)));
+  }
+  doc.set("strings", Json(std::move(strings)));
+
+  JsonArray functions;
+  for (const Function* fn : program.functions())
+    functions.push_back(function_to_json(*fn));
+  doc.set("functions", Json(std::move(functions)));
+  return doc;
+}
+
+std::unique_ptr<Program> program_from_json(const support::Json& doc) {
+  if (!doc.is_object()) malformed("document is not an object");
+  if (const Json* fmt = doc.find("format");
+      fmt == nullptr || !fmt->is_string() ||
+      fmt->as_string() != "firmres-program")
+    malformed("not a firmres-program document");
+
+  auto program = std::make_unique<Program>(field(doc, "name").as_string());
+
+  for (const Json& entry : field(doc, "strings").as_array()) {
+    if (!entry.is_array() || entry.size() != 2)
+      malformed("string entry must be [offset, text]");
+    program->data().intern_at(
+        static_cast<std::uint64_t>(entry.as_array()[0].as_number()),
+        entry.as_array()[1].as_string());
+  }
+
+  // Functions are created in document order so deterministic entry
+  // addresses reproduce and func_addr constants stay valid.
+  for (const Json& fdoc : field(doc, "functions").as_array()) {
+    Function& fn = program->add_function(field(fdoc, "name").as_string(),
+                                         field(fdoc, "import").as_bool());
+    const auto expected_entry =
+        static_cast<std::uint64_t>(field(fdoc, "entry").as_number());
+    if (fn.entry_address() != expected_entry)
+      malformed(support::format(
+          "entry address mismatch for %s: document 0x%llx, assigned 0x%llx "
+          "(functions out of creation order?)",
+          fn.name().c_str(),
+          static_cast<unsigned long long>(expected_entry),
+          static_cast<unsigned long long>(fn.entry_address())));
+
+    for (const Json& p : field(fdoc, "params").as_array())
+      fn.add_param(varnode_from_json(p));
+
+    for (const Json& s : field(fdoc, "symbols").as_array()) {
+      fn.set_var_info(
+          varnode_from_json(field(s, "var")),
+          VarInfo{.type = data_type_from_name(field(s, "type").as_string()),
+                  .name = field(s, "name").as_string(),
+                  .node_id = static_cast<std::uint32_t>(
+                      field(s, "id").as_number())});
+    }
+
+    for (const Json& bdoc : field(fdoc, "blocks").as_array()) {
+      const int id = fn.add_block();
+      if (id != static_cast<int>(field(bdoc, "id").as_number()))
+        malformed("block ids must be dense and in order");
+      BasicBlock& block = fn.block(id);
+      for (const Json& s : field(bdoc, "succ").as_array())
+        block.successors.push_back(static_cast<int>(s.as_number()));
+      for (const Json& o : field(bdoc, "ops").as_array())
+        block.ops.push_back(op_from_json(o));
+    }
+  }
+  return program;
+}
+
+}  // namespace firmres::ir

@@ -1,0 +1,23 @@
+// Program (de)serialization.
+//
+// A Program round-trips through a JSON document — the on-disk form of a
+// "lifted executable" in this substrate, playing the role Ghidra project
+// databases play for the paper. The format is self-contained: string pool,
+// functions (imports included, in creation order so entry addresses
+// reproduce exactly), per-function symbol tables, blocks and ops.
+#pragma once
+
+#include <memory>
+
+#include "ir/program.h"
+#include "support/json.h"
+
+namespace firmres::ir {
+
+/// Serialize a program (functions, blocks, ops, symbols, string pool).
+support::Json program_to_json(const Program& program);
+
+/// Reconstruct a program. Throws support::ParseError on malformed input.
+std::unique_ptr<Program> program_from_json(const support::Json& doc);
+
+}  // namespace firmres::ir

@@ -1,0 +1,36 @@
+#include "ir/varnode.h"
+
+#include "support/strings.h"
+
+namespace firmres::ir {
+
+const char* space_name(Space space) {
+  switch (space) {
+    case Space::Const: return "const";
+    case Space::Register: return "register";
+    case Space::Unique: return "unique";
+    case Space::Stack: return "stack";
+    case Space::Ram: return "ram";
+  }
+  return "?";
+}
+
+std::string VarNode::to_string() const {
+  return support::format("(%s, 0x%llx, %u)", space_name(space),
+                         static_cast<unsigned long long>(offset), size);
+}
+
+const char* data_type_name(DataType type) {
+  switch (type) {
+    case DataType::Unknown: return "Unknown";
+    case DataType::Function: return "Fun";
+    case DataType::Local: return "Local";
+    case DataType::Param: return "Param";
+    case DataType::Constant: return "Cons";
+    case DataType::DataPtr: return "DataPtr";
+    case DataType::Global: return "Global";
+  }
+  return "?";
+}
+
+}  // namespace firmres::ir

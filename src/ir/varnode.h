@@ -1,0 +1,68 @@
+// VarNode: the P-Code operand model.
+//
+// Mirrors Ghidra's Varnode (§V-A: "static taint analysis is implemented with
+// Ghidra's representation Varnode based on the P-Code"): a triple of
+// (address space, offset, size). FIRMRES's analyses treat VarNodes as the
+// unit of dataflow; symbol information (names, recovered data types) is kept
+// out-of-line in per-function VarInfo tables, exactly as a decompiler
+// recovers it separately from the raw operands.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace firmres::ir {
+
+/// Address spaces, following the P-Code model.
+enum class Space : std::uint8_t {
+  Const,     ///< numeric constants; `offset` is the value itself
+  Register,  ///< general-purpose registers
+  Unique,    ///< compiler/decompiler temporaries
+  Stack,     ///< function-local storage (locals, buffers)
+  Ram,       ///< global data; `offset` indexes the program's DataSegment
+};
+
+const char* space_name(Space space);
+
+/// A storage location or constant operand. Value type, totally ordered so it
+/// can key maps in the dataflow engines.
+struct VarNode {
+  Space space = Space::Unique;
+  std::uint64_t offset = 0;
+  std::uint32_t size = 4;
+
+  friend auto operator<=>(const VarNode&, const VarNode&) = default;
+
+  bool is_constant() const { return space == Space::Const; }
+  bool is_ram() const { return space == Space::Ram; }
+
+  /// Raw rendering, e.g. "(unique, 0x1000024e, 4)".
+  std::string to_string() const;
+};
+
+/// Recovered data type of a VarNode — drives the semantic enrichment of
+/// P-Code slices (§IV-C: "function, local variable, parameter, constant, and
+/// data pointer").
+enum class DataType : std::uint8_t {
+  Unknown,
+  Function,
+  Local,
+  Param,
+  Constant,
+  DataPtr,
+  Global,
+};
+
+const char* data_type_name(DataType type);
+
+/// Symbol-table entry for a VarNode: its recovered type and name. `node_id`
+/// disambiguates same-named variables across functions (§IV-C "we randomly
+/// generate Node IDs for them to differentiate them").
+struct VarInfo {
+  DataType type = DataType::Unknown;
+  std::string name;
+  std::uint32_t node_id = 0;
+};
+
+}  // namespace firmres::ir

@@ -1,0 +1,293 @@
+#include "nlp/autograd.h"
+
+#include <cmath>
+
+namespace firmres::nlp {
+
+ValueId Graph::push(Mat value) {
+  Node n;
+  n.grad = Mat(value.rows, value.cols);
+  n.value = std::move(value);
+  nodes_.push_back(std::move(n));
+  return static_cast<ValueId>(nodes_.size() - 1);
+}
+
+ValueId Graph::input(Mat value) { return push(std::move(value)); }
+
+ValueId Graph::param(Param& p) {
+  const ValueId id = push(p.value);
+  node(id).bound_param = &p;
+  node(id).backprop = [id](Graph& g) {
+    Node& n = g.node(id);
+    for (std::size_t i = 0; i < n.grad.data.size(); ++i)
+      n.bound_param->grad.data[i] += n.grad.data[i];
+  };
+  return id;
+}
+
+ValueId Graph::embed(Param& table, const std::vector<int>& ids) {
+  Mat out(static_cast<int>(ids.size()), table.value.cols);
+  for (std::size_t r = 0; r < ids.size(); ++r) {
+    FIRMRES_CHECK(ids[r] >= 0 && ids[r] < table.value.rows);
+    for (int c = 0; c < table.value.cols; ++c)
+      out.at(static_cast<int>(r), c) = table.value.at(ids[r], c);
+  }
+  const ValueId id = push(std::move(out));
+  Param* tp = &table;
+  const std::vector<int> rows = ids;
+  node(id).backprop = [id, tp, rows](Graph& g) {
+    const Mat& go = g.node(id).grad;
+    for (std::size_t r = 0; r < rows.size(); ++r)
+      for (int c = 0; c < go.cols; ++c)
+        tp->grad.at(rows[r], c) += go.at(static_cast<int>(r), c);
+  };
+  return id;
+}
+
+ValueId Graph::matmul(ValueId a, ValueId b) {
+  const ValueId out = push(nlp::matmul(node(a).value, node(b).value));
+  node(out).backprop = [a, b, out](Graph& g) {
+    const Mat& go = g.node(out).grad;
+    // dA = gO · Bᵀ ; dB = Aᵀ · gO
+    const Mat da = nlp::matmul(go, transpose(g.node(b).value));
+    const Mat db = nlp::matmul(transpose(g.node(a).value), go);
+    for (std::size_t i = 0; i < da.data.size(); ++i)
+      g.node(a).grad.data[i] += da.data[i];
+    for (std::size_t i = 0; i < db.data.size(); ++i)
+      g.node(b).grad.data[i] += db.data[i];
+  };
+  return out;
+}
+
+ValueId Graph::add(ValueId a, ValueId b) {
+  const Mat& va = node(a).value;
+  const Mat& vb = node(b).value;
+  FIRMRES_CHECK(va.rows == vb.rows && va.cols == vb.cols);
+  Mat out = va;
+  for (std::size_t i = 0; i < out.data.size(); ++i) out.data[i] += vb.data[i];
+  const ValueId id = push(std::move(out));
+  node(id).backprop = [a, b, id](Graph& g) {
+    const Mat& go = g.node(id).grad;
+    for (std::size_t i = 0; i < go.data.size(); ++i) {
+      g.node(a).grad.data[i] += go.data[i];
+      g.node(b).grad.data[i] += go.data[i];
+    }
+  };
+  return id;
+}
+
+ValueId Graph::add_rowvec(ValueId a, ValueId b) {
+  const Mat& va = node(a).value;
+  const Mat& vb = node(b).value;
+  FIRMRES_CHECK(vb.rows == 1 && vb.cols == va.cols);
+  Mat out = va;
+  for (int r = 0; r < out.rows; ++r)
+    for (int c = 0; c < out.cols; ++c) out.at(r, c) += vb.at(0, c);
+  const ValueId id = push(std::move(out));
+  node(id).backprop = [a, b, id](Graph& g) {
+    const Mat& go = g.node(id).grad;
+    for (std::size_t i = 0; i < go.data.size(); ++i)
+      g.node(a).grad.data[i] += go.data[i];
+    Mat& gb = g.node(b).grad;
+    for (int r = 0; r < go.rows; ++r)
+      for (int c = 0; c < go.cols; ++c) gb.at(0, c) += go.at(r, c);
+  };
+  return id;
+}
+
+ValueId Graph::scale(ValueId a, float factor) {
+  Mat out = node(a).value;
+  for (float& v : out.data) v *= factor;
+  const ValueId id = push(std::move(out));
+  node(id).backprop = [a, id, factor](Graph& g) {
+    const Mat& go = g.node(id).grad;
+    for (std::size_t i = 0; i < go.data.size(); ++i)
+      g.node(a).grad.data[i] += factor * go.data[i];
+  };
+  return id;
+}
+
+ValueId Graph::relu(ValueId a) {
+  Mat out = node(a).value;
+  for (float& v : out.data) v = v > 0.0f ? v : 0.0f;
+  const ValueId id = push(std::move(out));
+  node(id).backprop = [a, id](Graph& g) {
+    const Mat& go = g.node(id).grad;
+    const Mat& va = g.node(a).value;
+    for (std::size_t i = 0; i < go.data.size(); ++i)
+      if (va.data[i] > 0.0f) g.node(a).grad.data[i] += go.data[i];
+  };
+  return id;
+}
+
+ValueId Graph::tanh_op(ValueId a) {
+  Mat out = node(a).value;
+  for (float& v : out.data) v = std::tanh(v);
+  const ValueId id = push(std::move(out));
+  node(id).backprop = [a, id](Graph& g) {
+    const Mat& go = g.node(id).grad;
+    const Mat& vo = g.node(id).value;
+    for (std::size_t i = 0; i < go.data.size(); ++i)
+      g.node(a).grad.data[i] += go.data[i] * (1.0f - vo.data[i] * vo.data[i]);
+  };
+  return id;
+}
+
+ValueId Graph::softmax_rows(ValueId a) {
+  Mat out = node(a).value;
+  for (int r = 0; r < out.rows; ++r) {
+    float mx = out.at(r, 0);
+    for (int c = 1; c < out.cols; ++c) mx = std::max(mx, out.at(r, c));
+    float sum = 0.0f;
+    for (int c = 0; c < out.cols; ++c) {
+      out.at(r, c) = std::exp(out.at(r, c) - mx);
+      sum += out.at(r, c);
+    }
+    for (int c = 0; c < out.cols; ++c) out.at(r, c) /= sum;
+  }
+  const ValueId id = push(std::move(out));
+  node(id).backprop = [a, id](Graph& g) {
+    const Mat& go = g.node(id).grad;
+    const Mat& so = g.node(id).value;
+    // dx_rc = s_rc * (g_rc - Σ_j g_rj s_rj)
+    for (int r = 0; r < so.rows; ++r) {
+      float dot = 0.0f;
+      for (int c = 0; c < so.cols; ++c) dot += go.at(r, c) * so.at(r, c);
+      for (int c = 0; c < so.cols; ++c)
+        g.node(a).grad.at(r, c) += so.at(r, c) * (go.at(r, c) - dot);
+    }
+  };
+  return id;
+}
+
+ValueId Graph::transpose_op(ValueId a) {
+  const ValueId id = push(transpose(node(a).value));
+  node(id).backprop = [a, id](Graph& g) {
+    const Mat gt = transpose(g.node(id).grad);
+    for (std::size_t i = 0; i < gt.data.size(); ++i)
+      g.node(a).grad.data[i] += gt.data[i];
+  };
+  return id;
+}
+
+ValueId Graph::concat_cols(ValueId a, ValueId b) {
+  const Mat& va = node(a).value;
+  const Mat& vb = node(b).value;
+  FIRMRES_CHECK(va.rows == vb.rows);
+  // Capture before push(): growing nodes_ invalidates va/vb.
+  const int split = va.cols;
+  Mat out(va.rows, va.cols + vb.cols);
+  for (int r = 0; r < va.rows; ++r) {
+    for (int c = 0; c < va.cols; ++c) out.at(r, c) = va.at(r, c);
+    for (int c = 0; c < vb.cols; ++c) out.at(r, va.cols + c) = vb.at(r, c);
+  }
+  const ValueId id = push(std::move(out));
+  node(id).backprop = [a, b, id, split](Graph& g) {
+    const Mat& go = g.node(id).grad;
+    for (int r = 0; r < go.rows; ++r) {
+      for (int c = 0; c < split; ++c) g.node(a).grad.at(r, c) += go.at(r, c);
+      for (int c = split; c < go.cols; ++c)
+        g.node(b).grad.at(r, c - split) += go.at(r, c);
+    }
+  };
+  return id;
+}
+
+ValueId Graph::max_over_rows(ValueId a) {
+  const Mat& va = node(a).value;
+  FIRMRES_CHECK(va.rows >= 1);
+  Mat out(1, va.cols);
+  std::vector<int> argmax(static_cast<std::size_t>(va.cols), 0);
+  for (int c = 0; c < va.cols; ++c) {
+    float mx = va.at(0, c);
+    for (int r = 1; r < va.rows; ++r) {
+      if (va.at(r, c) > mx) {
+        mx = va.at(r, c);
+        argmax[static_cast<std::size_t>(c)] = r;
+      }
+    }
+    out.at(0, c) = mx;
+  }
+  const ValueId id = push(std::move(out));
+  node(id).backprop = [a, id, argmax](Graph& g) {
+    const Mat& go = g.node(id).grad;
+    for (int c = 0; c < go.cols; ++c)
+      g.node(a).grad.at(argmax[static_cast<std::size_t>(c)], c) += go.at(0, c);
+  };
+  return id;
+}
+
+ValueId Graph::windows(ValueId x, int k) {
+  const Mat& vx = node(x).value;
+  FIRMRES_CHECK_MSG(vx.rows >= k, "sequence shorter than kernel");
+  // Capture before push(): growing nodes_ invalidates vx.
+  const int cols = vx.cols;
+  const int out_rows = vx.rows - k + 1;
+  Mat out(out_rows, k * cols);
+  for (int r = 0; r < out_rows; ++r)
+    for (int w = 0; w < k; ++w)
+      for (int c = 0; c < cols; ++c)
+        out.at(r, w * cols + c) = vx.at(r + w, c);
+  const ValueId id = push(std::move(out));
+  node(id).backprop = [x, id, k, cols](Graph& g) {
+    const Mat& go = g.node(id).grad;
+    for (int r = 0; r < go.rows; ++r)
+      for (int w = 0; w < k; ++w)
+        for (int c = 0; c < cols; ++c)
+          g.node(x).grad.at(r + w, c) += go.at(r, w * cols + c);
+  };
+  return id;
+}
+
+Mat Graph::softmax_of(ValueId logits) const {
+  const Mat& v = nodes_[static_cast<std::size_t>(logits)].value;
+  Mat out = v;
+  float mx = out.at(0, 0);
+  for (int c = 1; c < out.cols; ++c) mx = std::max(mx, out.at(0, c));
+  float sum = 0.0f;
+  for (int c = 0; c < out.cols; ++c) {
+    out.at(0, c) = std::exp(out.at(0, c) - mx);
+    sum += out.at(0, c);
+  }
+  for (int c = 0; c < out.cols; ++c) out.at(0, c) /= sum;
+  return out;
+}
+
+float Graph::cross_entropy(ValueId logits, int label) {
+  const Mat probs = softmax_of(logits);
+  FIRMRES_CHECK(label >= 0 && label < probs.cols);
+  const float p = std::max(probs.at(0, label), 1e-12f);
+  loss_node_ = logits;
+  loss_grad_seed_ = probs;
+  loss_grad_seed_.at(0, label) -= 1.0f;  // d(loss)/d(logits) = p - onehot
+  return -std::log(p);
+}
+
+void Graph::backward() {
+  FIRMRES_CHECK_MSG(loss_node_ >= 0, "backward without cross_entropy");
+  Node& loss = node(loss_node_);
+  for (std::size_t i = 0; i < loss.grad.data.size(); ++i)
+    loss.grad.data[i] += loss_grad_seed_.data[i];
+  for (auto it = nodes_.rbegin(); it != nodes_.rend(); ++it) {
+    if (it->backprop) it->backprop(*this);
+  }
+}
+
+void adam_step(std::vector<Param*>& params, float lr, int step, float beta1,
+               float beta2, float eps) {
+  const float bc1 = 1.0f - std::pow(beta1, static_cast<float>(step));
+  const float bc2 = 1.0f - std::pow(beta2, static_cast<float>(step));
+  for (Param* p : params) {
+    for (std::size_t i = 0; i < p->value.data.size(); ++i) {
+      const float g = p->grad.data[i];
+      p->adam_m.data[i] = beta1 * p->adam_m.data[i] + (1.0f - beta1) * g;
+      p->adam_v.data[i] = beta2 * p->adam_v.data[i] + (1.0f - beta2) * g * g;
+      const float mhat = p->adam_m.data[i] / bc1;
+      const float vhat = p->adam_v.data[i] / bc2;
+      p->value.data[i] -= lr * mhat / (std::sqrt(vhat) + eps);
+    }
+    p->grad.zero();
+  }
+}
+
+}  // namespace firmres::nlp

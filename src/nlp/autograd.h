@@ -1,0 +1,101 @@
+// Tape-based reverse-mode automatic differentiation over Mat.
+//
+// A Graph is built per example, nodes hold forward values, and backward()
+// replays the tape in reverse applying each node's gradient closure. The
+// op set is exactly what the BERT-TextCNN stand-in needs: matmul, add,
+// row-broadcast add, scale, relu/tanh, row-softmax (attention weights),
+// column concat, max-over-rows pooling (TextCNN), 1-D convolution windows,
+// and softmax-cross-entropy loss. Gradients are verified against finite
+// differences in tests/test_autograd.cc.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "nlp/tensor.h"
+
+namespace firmres::nlp {
+
+using ValueId = int;
+
+/// A parameter tensor with persistent gradient and Adam state.
+struct Param {
+  Mat value;
+  Mat grad;
+  Mat adam_m;
+  Mat adam_v;
+
+  explicit Param(Mat v)
+      : value(std::move(v)),
+        grad(value.rows, value.cols),
+        adam_m(value.rows, value.cols),
+        adam_v(value.rows, value.cols) {}
+};
+
+class Graph {
+ public:
+  /// Constant input (no gradient tracking).
+  ValueId input(Mat value);
+
+  /// Model parameter: gradients accumulate into param.grad on backward().
+  ValueId param(Param& param);
+
+  /// Embedding lookup: gathers rows `ids` of `table` into a (T×D) matrix;
+  /// gradients flow back into exactly those rows. Avoids materializing the
+  /// whole vocabulary matrix per example.
+  ValueId embed(Param& table, const std::vector<int>& ids);
+
+  ValueId matmul(ValueId a, ValueId b);
+  ValueId add(ValueId a, ValueId b);
+  /// A (T×C) + row vector b (1×C) broadcast over rows.
+  ValueId add_rowvec(ValueId a, ValueId b);
+  ValueId scale(ValueId a, float factor);
+  ValueId relu(ValueId a);
+  ValueId tanh_op(ValueId a);
+  /// Row-wise softmax (attention weights).
+  ValueId softmax_rows(ValueId a);
+  /// Matrix transpose (for Q·Kᵀ).
+  ValueId transpose_op(ValueId a);
+  /// Horizontal concatenation [A | B] (equal row counts).
+  ValueId concat_cols(ValueId a, ValueId b);
+  /// Column-wise max over rows: (T×C) → (1×C). Max-pooling over time.
+  ValueId max_over_rows(ValueId a);
+  /// 1-D convolution as im2col: x is (T×D); returns (T-k+1 × k·D) windows.
+  /// Follow with matmul against a (k·D × F) filter bank.
+  ValueId windows(ValueId x, int k);
+
+  /// Softmax + cross-entropy against an integer label; logits are (1×C).
+  /// Returns the scalar loss and records the gradient seed.
+  float cross_entropy(ValueId logits, int label);
+
+  /// Predicted probabilities of the last cross_entropy/predict call.
+  const Mat& value(ValueId id) const { return nodes_[static_cast<std::size_t>(id)].value; }
+
+  /// Softmax probabilities of a (1×C) logits node (inference helper).
+  Mat softmax_of(ValueId logits) const;
+
+  /// Run reverse-mode accumulation from the recorded loss.
+  void backward();
+
+ private:
+  struct Node {
+    Mat value;
+    Mat grad;
+    /// Propagate this node's grad into its inputs.
+    std::function<void(Graph&)> backprop;
+    Param* bound_param = nullptr;
+  };
+
+  Node& node(ValueId id) { return nodes_[static_cast<std::size_t>(id)]; }
+  ValueId push(Mat value);
+
+  std::vector<Node> nodes_;
+  ValueId loss_node_ = -1;
+  Mat loss_grad_seed_;
+};
+
+/// One Adam update over a parameter set; `step` starts at 1.
+void adam_step(std::vector<Param*>& params, float lr, int step,
+               float beta1 = 0.9f, float beta2 = 0.999f, float eps = 1e-8f);
+
+}  // namespace firmres::nlp

@@ -1,0 +1,158 @@
+#include "nlp/dataset.h"
+
+#include "analysis/call_graph.h"
+#include "core/reconstructor.h"
+#include "core/semantics.h"
+#include "core/taint.h"
+#include "core/truth_match.h"
+#include "firmware/synthesizer.h"
+#include "ir/library.h"
+#include "support/strings.h"
+
+namespace firmres::nlp {
+
+namespace {
+
+/// A pseudo-device profile for dataset harvesting. Seeds are disjoint from
+/// the Table I corpus (0xF1A3… prefix there, 0xDA7A… here), so training
+/// firmware never coincides with evaluation firmware.
+fw::DeviceProfile pseudo_profile(int index, support::Rng& rng) {
+  static const std::vector<std::string> kVendors = {
+      "Acme",    "Borel",  "Cypher", "Dorne",  "Ersatz", "Fjord",
+      "Glimmer", "Hearth", "Ion",    "Juno",   "Krill",  "Lumen",
+      "Mistral", "Nadir",  "Orchid", "Pylon",  "Quartz", "Rook",
+      "Sable",   "Tundra", "Umbra",  "Vesper", "Wren",   "Xenia",
+  };
+  static const std::vector<std::string> kTypes = {
+      "Wi-Fi Router", "Smart Camera", "Smart Plug", "Smart Switch",
+      "Wireless Access Point", "NAS", "Industrial Router",
+  };
+  fw::DeviceProfile p;
+  p.id = 100 + index;
+  p.vendor = kVendors[static_cast<std::size_t>(index) % kVendors.size()] +
+             support::format("-%d", index / static_cast<int>(kVendors.size()));
+  p.model = support::format("M%03d", index);
+  p.device_type = rng.pick(kTypes);
+  p.firmware_version = support::format("V%lld.%lld.%lld",
+                                       static_cast<long long>(rng.uniform(1, 5)),
+                                       static_cast<long long>(rng.uniform(0, 9)),
+                                       static_cast<long long>(rng.uniform(0, 30)));
+  p.script_based = false;
+  p.primary_protocol = rng.chance(0.3)   ? fw::Protocol::Mqtt
+                       : rng.chance(0.5) ? fw::Protocol::Http
+                                         : fw::Protocol::Https;
+  p.assembly = rng.chance(0.5) ? fw::AssemblyStyle::Sprintf
+                               : fw::AssemblyStyle::JsonLib;
+  p.num_messages = static_cast<int>(rng.uniform(5, 18));
+  p.num_retired = static_cast<int>(rng.uniform(0, 2));
+  p.num_lan_messages = static_cast<int>(rng.uniform(0, 2));
+  p.min_fields = static_cast<int>(rng.uniform(3, 6));
+  p.max_fields = p.min_fields + static_cast<int>(rng.uniform(2, 6));
+  p.noise_field_rate = rng.uniform_real(0.2, 1.5);
+  p.custom_key_rate = rng.uniform_real(0.02, 0.15);
+  p.num_noise_execs = static_cast<int>(rng.uniform(2, 5));
+  p.single_field_formats = rng.chance(0.08);
+  p.seed = 0xDA7A000000000000ULL + static_cast<std::uint64_t>(index) * 0x51CEULL;
+  return p;
+}
+
+/// Harvest labeled slices from one image.
+void harvest(const fw::FirmwareImage& image, const DatasetConfig& config,
+             support::Rng& rng, std::vector<LabeledSlice>& out) {
+  const core::KeywordModel keyword_model;
+  const core::Reconstructor reconstructor(keyword_model);
+
+  for (const fw::FirmwareFile& file : image.files) {
+    if (file.kind != fw::FirmwareFile::Kind::Executable ||
+        file.program == nullptr)
+      continue;
+    const bool is_device_cloud =
+        file.path == image.truth.device_cloud_executable;
+    if (!is_device_cloud && !config.include_noise_executables) continue;
+
+    const analysis::CallGraph cg(*file.program);
+    const core::MftBuilder builder(*file.program, cg);
+
+    // Device-cloud executables: message-delivery roots. Noise executables:
+    // ordinary send() roots (the paper's non-device-cloud 27 %).
+    std::vector<analysis::CallSite> sites;
+    const auto& lib = ir::LibraryModel::instance();
+    const auto kinds = is_device_cloud
+                           ? std::vector<ir::LibKind>{ir::LibKind::MsgDeliver}
+                           : std::vector<ir::LibKind>{ir::LibKind::SendFn,
+                                                      ir::LibKind::Ipc};
+    for (const ir::LibKind kind : kinds) {
+      for (const std::string& name : lib.names_of_kind(kind)) {
+        for (const analysis::CallSite& site : cg.callsites_of(name)) {
+          if (kind == ir::LibKind::Ipc &&
+              (lib.find(name) == nullptr || lib.find(name)->msg_args.empty()))
+            continue;  // recv-side IPC entries carry no outgoing message
+          sites.push_back(site);
+        }
+      }
+    }
+
+    for (const analysis::CallSite& site : sites) {
+      const core::Mft mft = builder.build(site);
+      const auto message = reconstructor.reconstruct_one(mft, file.path);
+      if (!message.has_value()) continue;
+      const fw::MessageTruth* truth =
+          image.truth.message_at(message->delivery_address);
+
+      for (const core::ReconstructedField& field : message->fields) {
+        LabeledSlice slice;
+        slice.text = field.slice_text;
+        slice.from_device_cloud = is_device_cloud;
+        slice.truth = truth != nullptr
+                          ? core::truth_primitive(field, truth->spec)
+                          : fw::Primitive::None;
+        // Auto-label by keyword dictionary, then "review": a fraction of
+        // labeling errors gets corrected against ground truth.
+        slice.label = fw::keyword_label(slice.text);
+        if (slice.label != slice.truth &&
+            rng.chance(config.correction_rate)) {
+          slice.label = slice.truth;
+        }
+        out.push_back(std::move(slice));
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Dataset build_dataset(const DatasetConfig& config) {
+  support::Rng rng(config.seed);
+  std::vector<LabeledSlice> all;
+  for (int i = 0; i < config.num_devices; ++i) {
+    support::Rng profile_rng = rng.fork(support::format("profile%d", i));
+    const fw::DeviceProfile profile = pseudo_profile(i, profile_rng);
+    const fw::FirmwareImage image = fw::synthesize(profile);
+    harvest(image, config, rng, all);
+  }
+  rng.shuffle(all);
+
+  Dataset dataset;
+  const std::size_t n = all.size();
+  const std::size_t train_end = n * 7 / 10;
+  const std::size_t val_end = n * 9 / 10;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i < train_end)
+      dataset.train.push_back(std::move(all[i]));
+    else if (i < val_end)
+      dataset.val.push_back(std::move(all[i]));
+    else
+      dataset.test.push_back(std::move(all[i]));
+  }
+  return dataset;
+}
+
+double label_agreement(const std::vector<LabeledSlice>& slices) {
+  if (slices.empty()) return 0.0;
+  std::size_t agree = 0;
+  for (const LabeledSlice& s : slices)
+    if (s.label == s.truth) ++agree;
+  return static_cast<double>(agree) / static_cast<double>(slices.size());
+}
+
+}  // namespace firmres::nlp

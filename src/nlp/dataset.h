@@ -1,0 +1,55 @@
+// Training-dataset construction (§V-C "Field Semantic Recovery").
+//
+// The paper harvests ~31k code slices from 547 executables drawn from a
+// 147k-image crawl, auto-labels them by keyword dictionaries, and reviews
+// the labels in Doccano. We reproduce the procedure against synthesized
+// firmware: a pool of pseudo-devices (disjoint seeds from the evaluation
+// corpus) is synthesized, sliced through the real pipeline (device-cloud
+// executables AND ordinary send() paths of noise executables — the paper's
+// 73 % / 27 % mix), keyword-labeled, and partially "reviewed" (a fraction
+// of the keyword labeling errors is corrected against ground truth,
+// modelling imperfect manual review). 7:2:1 train/val/test split.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "firmware/primitives.h"
+#include "support/rng.h"
+
+namespace firmres::nlp {
+
+struct LabeledSlice {
+  std::string text;
+  fw::Primitive label = fw::Primitive::None;  ///< training label
+  fw::Primitive truth = fw::Primitive::None;  ///< synthesizer ground truth
+  bool from_device_cloud = true;
+};
+
+struct Dataset {
+  std::vector<LabeledSlice> train;
+  std::vector<LabeledSlice> val;
+  std::vector<LabeledSlice> test;
+
+  std::size_t total() const {
+    return train.size() + val.size() + test.size();
+  }
+};
+
+struct DatasetConfig {
+  /// Pseudo-devices to synthesize for slice harvesting.
+  int num_devices = 60;
+  /// Fraction of keyword-labeling errors fixed during label review.
+  double correction_rate = 0.7;
+  /// Include slices from non-device-cloud executables' send() paths.
+  bool include_noise_executables = true;
+  std::uint64_t seed = 0xDA7A5E7;
+};
+
+Dataset build_dataset(const DatasetConfig& config);
+
+/// Label-quality statistic: fraction of training labels equal to ground
+/// truth (how good the "reviewed" keyword labeling is).
+double label_agreement(const std::vector<LabeledSlice>& slices);
+
+}  // namespace firmres::nlp

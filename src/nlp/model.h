@@ -1,0 +1,87 @@
+// The neural slice classifier — the paper's BERT-TextCNN stand-in (§IV-C).
+//
+// Architecture (DESIGN.md §2 documents the substitution):
+//   token ids → embedding (D)
+//             → multi-head self-attention block with residual (global
+//               context — the role BERT plays in the paper)
+//             → parallel 1-D convolutions, kernel sizes {2,3,4,5}, F filters
+//               each, ReLU, max-over-time pooling (the TextCNN)
+//             → fully-connected → 7-way softmax
+// Trained with Adam on auto-labeled slices. Deterministic in its seed.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/semantics.h"
+#include "nlp/autograd.h"
+#include "support/json.h"
+#include "nlp/tokenizer.h"
+
+namespace firmres::nlp {
+
+struct ModelConfig {
+  int embed_dim = 24;
+  int heads = 4;
+  int conv_filters = 12;
+  std::vector<int> kernel_sizes = {2, 3, 4, 5};
+  int max_len = 48;
+  int num_classes = fw::kPrimitiveCount;
+  /// Ablation: drop the self-attention block (plain TextCNN).
+  bool use_attention = true;
+  std::uint64_t seed = 0xF17A11;
+};
+
+class SliceClassifier final : public core::SemanticsModel {
+ public:
+  SliceClassifier(Vocab vocab, ModelConfig config = {});
+
+  // --- training ------------------------------------------------------------
+  /// Forward + backward on one example; returns the loss. Gradients
+  /// accumulate until apply_gradients().
+  float train_example(const std::string& slice_text, fw::Primitive label);
+  /// Adam step over everything accumulated since the last call.
+  void apply_gradients(float lr);
+
+  // --- inference -------------------------------------------------------------
+  /// Class probabilities for a slice (size kPrimitiveCount).
+  std::vector<float> predict(const std::string& slice_text) const;
+
+  // --- SemanticsModel --------------------------------------------------------
+  fw::Primitive classify(const std::string& slice_text) const override;
+  std::string name() const override { return "attn-textcnn"; }
+
+  const Vocab& vocab() const { return vocab_; }
+  const ModelConfig& config() const { return config_; }
+  std::size_t parameter_count() const;
+
+  // --- persistence -----------------------------------------------------------
+  /// Serialize config, vocabulary, and every weight matrix.
+  support::Json to_json() const;
+  /// Restore a trained classifier. Throws support::ParseError on malformed
+  /// documents.
+  static std::unique_ptr<SliceClassifier> from_json(const support::Json& doc);
+  /// Convenience file wrappers.
+  void save(const std::string& path) const;
+  static std::unique_ptr<SliceClassifier> load(const std::string& path);
+
+ private:
+  ValueId forward(Graph& graph, const std::vector<int>& ids) const;
+  std::vector<Param*> params();
+
+  Vocab vocab_;
+  ModelConfig config_;
+
+  // Parameters (mutable so const inference can bind them into a Graph —
+  // inference never writes them).
+  mutable Param embedding_;
+  mutable Param pos_;                       ///< learned positional encoding
+  mutable std::vector<Param> wq_, wk_, wv_;  ///< per-head projections
+  mutable Param wo_;                        ///< attention output projection
+  mutable std::vector<Param> conv_w_, conv_b_;
+  mutable Param fc_w_, fc_b_;
+  int adam_step_ = 0;
+};
+
+}  // namespace firmres::nlp

@@ -1,0 +1,37 @@
+#include "nlp/tensor.h"
+
+#include <cmath>
+
+namespace firmres::nlp {
+
+Mat matmul(const Mat& a, const Mat& b) {
+  FIRMRES_CHECK_MSG(a.cols == b.rows, "matmul shape mismatch");
+  Mat c(a.rows, b.cols);
+  for (int i = 0; i < a.rows; ++i) {
+    for (int k = 0; k < a.cols; ++k) {
+      const float aik = a.at(i, k);
+      if (aik == 0.0f) continue;
+      for (int j = 0; j < b.cols; ++j) {
+        c.at(i, j) += aik * b.at(k, j);
+      }
+    }
+  }
+  return c;
+}
+
+Mat transpose(const Mat& a) {
+  Mat t(a.cols, a.rows);
+  for (int i = 0; i < a.rows; ++i)
+    for (int j = 0; j < a.cols; ++j) t.at(j, i) = a.at(i, j);
+  return t;
+}
+
+Mat glorot(int rows, int cols, support::Rng& rng) {
+  Mat m(rows, cols);
+  const double bound = std::sqrt(6.0 / (rows + cols));
+  for (float& v : m.data)
+    v = static_cast<float>(rng.uniform_real(-bound, bound));
+  return m;
+}
+
+}  // namespace firmres::nlp

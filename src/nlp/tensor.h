@@ -1,0 +1,46 @@
+// Minimal dense float matrix used by the classifier.
+//
+// Row-major, value-semantic. This is deliberately simple: the classifier's
+// layers are small (embedding dim ≤ 64) and determinism matters more than
+// peak FLOPs — every table regenerates bit-identically on any host.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "support/error.h"
+#include "support/rng.h"
+
+namespace firmres::nlp {
+
+struct Mat {
+  int rows = 0;
+  int cols = 0;
+  std::vector<float> data;
+
+  Mat() = default;
+  Mat(int r, int c) : rows(r), cols(c), data(static_cast<std::size_t>(r) * static_cast<std::size_t>(c), 0.0f) {
+    FIRMRES_CHECK(r >= 0 && c >= 0);
+  }
+
+  float& at(int r, int c) {
+    return data[static_cast<std::size_t>(r) * static_cast<std::size_t>(cols) + static_cast<std::size_t>(c)];
+  }
+  float at(int r, int c) const {
+    return data[static_cast<std::size_t>(r) * static_cast<std::size_t>(cols) + static_cast<std::size_t>(c)];
+  }
+
+  std::size_t size() const { return data.size(); }
+  void zero() { std::fill(data.begin(), data.end(), 0.0f); }
+};
+
+/// C = A·B.
+Mat matmul(const Mat& a, const Mat& b);
+
+/// C = Aᵀ.
+Mat transpose(const Mat& a);
+
+/// Xavier/Glorot-style uniform initialization, deterministic in `rng`.
+Mat glorot(int rows, int cols, support::Rng& rng);
+
+}  // namespace firmres::nlp

@@ -1,0 +1,110 @@
+#include "nlp/tokenizer.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "support/error.h"
+
+namespace firmres::nlp {
+
+namespace {
+
+bool is_word_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0;
+}
+
+bool all_digits(std::string_view s) {
+  for (const char c : s)
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+  return !s.empty();
+}
+
+void flush(std::string& cur, std::vector<std::string>& out) {
+  if (cur.empty()) return;
+  // Drop pure numbers (addresses, noise constants' digits) and the v_NNNN
+  // node-id remnants; both are function-local accidents.
+  if (!all_digits(cur) && !(cur.size() == 1 && cur[0] == 'v')) {
+    out.push_back(cur);
+  }
+  cur.clear();
+}
+
+}  // namespace
+
+std::vector<std::string> tokenize(std::string_view text) {
+  std::vector<std::string> out;
+  std::string cur;
+  char prev = '\0';
+  for (const char c : text) {
+    if (!is_word_char(c)) {
+      flush(cur, out);
+      prev = c;
+      continue;
+    }
+    // camelCase boundary: lower→Upper starts a new token.
+    if (std::isupper(static_cast<unsigned char>(c)) &&
+        std::islower(static_cast<unsigned char>(prev))) {
+      flush(cur, out);
+    }
+    cur.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    prev = c;
+  }
+  flush(cur, out);
+  return out;
+}
+
+Vocab Vocab::build(const std::vector<std::string>& texts, int min_count,
+                   int max_size) {
+  std::map<std::string, int> counts;
+  for (const std::string& text : texts) {
+    for (const std::string& token : tokenize(text)) ++counts[token];
+  }
+  std::vector<std::pair<int, std::string>> ranked;
+  for (auto& [token, count] : counts) {
+    if (count >= min_count) ranked.emplace_back(count, token);
+  }
+  // Most frequent first; ties alphabetical for determinism.
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return a.second < b.second;
+            });
+  Vocab vocab;
+  vocab.tokens_ = {"<pad>", "<unk>"};
+  for (const auto& [count, token] : ranked) {
+    (void)count;
+    if (vocab.size() >= max_size) break;
+    vocab.ids_.emplace(token, vocab.size());
+    vocab.tokens_.push_back(token);
+  }
+  return vocab;
+}
+
+Vocab Vocab::from_tokens(std::vector<std::string> tokens) {
+  FIRMRES_CHECK_MSG(tokens.size() >= 2 && tokens[0] == "<pad>" &&
+                        tokens[1] == "<unk>",
+                    "persisted vocabulary missing sentinel tokens");
+  Vocab vocab;
+  vocab.tokens_ = std::move(tokens);
+  for (std::size_t i = 2; i < vocab.tokens_.size(); ++i)
+    vocab.ids_.emplace(vocab.tokens_[i], static_cast<int>(i));
+  return vocab;
+}
+
+int Vocab::id_of(std::string_view token) const {
+  const auto it = ids_.find(token);
+  return it == ids_.end() ? kUnk : it->second;
+}
+
+std::vector<int> Vocab::encode(std::string_view text, int max_len) const {
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(max_len));
+  for (const std::string& token : tokenize(text)) {
+    if (static_cast<int>(out.size()) >= max_len) break;
+    out.push_back(id_of(token));
+  }
+  while (static_cast<int>(out.size()) < max_len) out.push_back(kPad);
+  return out;
+}
+
+}  // namespace firmres::nlp

@@ -1,0 +1,51 @@
+// Slice tokenizer and vocabulary.
+//
+// Enriched P-Code slices are token streams like
+//   CALL (Fun, sprintf) (Local, finalBuf, v_1357) (Cons, "uid=%s")
+// Tokenization lowercases, splits on non-alphanumerics AND camelCase
+// boundaries ("finalBuf" → "final", "buf"), and drops pure numbers and
+// node-id tokens (v_1357) — the per-function disambiguators carry no
+// transferable meaning. The vocabulary maps frequent tokens to ids;
+// everything else goes to <unk>.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace firmres::nlp {
+
+/// Break a slice into normalized tokens.
+std::vector<std::string> tokenize(std::string_view text);
+
+class Vocab {
+ public:
+  static constexpr int kPad = 0;
+  static constexpr int kUnk = 1;
+
+  /// Build from a corpus, keeping tokens with at least `min_count`
+  /// occurrences, capped at `max_size` (most frequent first).
+  static Vocab build(const std::vector<std::string>& texts, int min_count = 2,
+                     int max_size = 20000);
+
+  int id_of(std::string_view token) const;
+  int size() const { return static_cast<int>(tokens_.size()); }
+  const std::string& token(int id) const { return tokens_[static_cast<std::size_t>(id)]; }
+
+  /// Tokenize + map to ids, truncated/padded to `max_len`.
+  std::vector<int> encode(std::string_view text, int max_len) const;
+
+  /// Full id→token table (persistence).
+  const std::vector<std::string>& tokens() const { return tokens_; }
+
+  /// Rebuild from a persisted token table (element 0 must be "<pad>",
+  /// element 1 "<unk>").
+  static Vocab from_tokens(std::vector<std::string> tokens);
+
+ private:
+  std::vector<std::string> tokens_;  // id → token; [0]=<pad>, [1]=<unk>
+  std::map<std::string, int, std::less<>> ids_;
+};
+
+}  // namespace firmres::nlp

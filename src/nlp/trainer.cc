@@ -1,0 +1,74 @@
+#include "nlp/trainer.h"
+
+#include <numeric>
+
+#include "support/logging.h"
+
+namespace firmres::nlp {
+
+std::unique_ptr<SliceClassifier> train_classifier(const Dataset& dataset,
+                                                  ModelConfig model_config,
+                                                  const TrainConfig& config) {
+  std::vector<std::string> texts;
+  texts.reserve(dataset.train.size());
+  for (const LabeledSlice& s : dataset.train) texts.push_back(s.text);
+  Vocab vocab = Vocab::build(texts);
+  auto model =
+      std::make_unique<SliceClassifier>(std::move(vocab), std::move(model_config));
+
+  support::Rng rng(config.shuffle_seed);
+  std::vector<std::size_t> order(dataset.train.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    rng.shuffle(order);
+    std::size_t limit = order.size();
+    if (config.max_examples > 0)
+      limit = std::min(limit, static_cast<std::size_t>(config.max_examples));
+    double epoch_loss = 0.0;
+    int in_batch = 0;
+    for (std::size_t i = 0; i < limit; ++i) {
+      const LabeledSlice& example = dataset.train[order[i]];
+      epoch_loss += model->train_example(example.text, example.label);
+      if (++in_batch == config.batch_size) {
+        model->apply_gradients(config.lr);
+        in_batch = 0;
+      }
+    }
+    if (in_batch > 0) model->apply_gradients(config.lr);
+    if (config.verbose) {
+      const EvalResult val = evaluate_labels(*model, dataset.val);
+      FIRMRES_LOG(Info) << "epoch " << (epoch + 1) << "/" << config.epochs
+                        << " loss=" << epoch_loss / static_cast<double>(limit)
+                        << " val-acc=" << val.accuracy();
+    }
+  }
+  return model;
+}
+
+namespace {
+EvalResult evaluate(const SliceClassifier& model,
+                    const std::vector<LabeledSlice>& slices,
+                    bool against_truth) {
+  EvalResult result;
+  for (const LabeledSlice& s : slices) {
+    const fw::Primitive predicted = model.classify(s.text);
+    const fw::Primitive expected = against_truth ? s.truth : s.label;
+    if (predicted == expected) ++result.correct;
+    ++result.total;
+  }
+  return result;
+}
+}  // namespace
+
+EvalResult evaluate_labels(const SliceClassifier& model,
+                           const std::vector<LabeledSlice>& slices) {
+  return evaluate(model, slices, /*against_truth=*/false);
+}
+
+EvalResult evaluate_truth(const SliceClassifier& model,
+                          const std::vector<LabeledSlice>& slices) {
+  return evaluate(model, slices, /*against_truth=*/true);
+}
+
+}  // namespace firmres::nlp

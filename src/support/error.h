@@ -1,0 +1,56 @@
+// Error handling primitives shared across FIRMRES modules.
+//
+// The library follows a simple policy: programming errors (violated
+// preconditions) are reported with FIRMRES_CHECK which throws
+// `firmres::support::InternalError`; recoverable conditions (e.g. a firmware
+// image without any device-cloud executable) are represented in return types
+// (std::optional / result structs), never with exceptions.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace firmres::support {
+
+/// Thrown when an internal invariant is violated. Catching this is only
+/// appropriate at tool boundaries (main functions, test harnesses).
+class InternalError : public std::logic_error {
+ public:
+  explicit InternalError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Thrown when user-provided input (a serialized firmware image, a JSON
+/// document, a configuration file) is malformed.
+class ParseError : public std::runtime_error {
+ public:
+  explicit ParseError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "FIRMRES_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InternalError(os.str());
+}
+}  // namespace detail
+
+}  // namespace firmres::support
+
+/// Precondition / invariant check. Always enabled (analysis correctness
+/// matters more than the nanoseconds saved by compiling checks out).
+#define FIRMRES_CHECK(expr)                                                 \
+  do {                                                                      \
+    if (!(expr))                                                            \
+      ::firmres::support::detail::check_failed(#expr, __FILE__, __LINE__,   \
+                                               "");                         \
+  } while (0)
+
+#define FIRMRES_CHECK_MSG(expr, msg)                                        \
+  do {                                                                      \
+    if (!(expr))                                                            \
+      ::firmres::support::detail::check_failed(#expr, __FILE__, __LINE__,   \
+                                               (msg));                      \
+  } while (0)

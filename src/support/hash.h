@@ -1,0 +1,27 @@
+// Small non-cryptographic hashing helpers (FNV-1a, hash combining).
+//
+// Used for MFT path hashing (§IV-D "assigns a hash value to each path for
+// efficient matching"), RNG stream derivation, and vocabulary bucketing.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace firmres::support {
+
+/// 64-bit FNV-1a over a byte string.
+constexpr std::uint64_t fnv1a64(std::string_view data) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : data) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Boost-style hash combine for building composite keys.
+constexpr std::uint64_t hash_combine(std::uint64_t seed, std::uint64_t v) {
+  return seed ^ (v + 0x9e3779b97f4a7c15ULL + (seed << 12) + (seed >> 4));
+}
+
+}  // namespace firmres::support

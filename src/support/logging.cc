@@ -1,0 +1,33 @@
+#include "support/logging.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace firmres::support {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::Info};
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+LogLevel log_level() { return g_level.load(); }
+
+namespace detail {
+void emit(LogLevel level, const std::string& message) {
+  std::fprintf(stderr, "[firmres %s] %s\n", level_name(level),
+               message.c_str());
+}
+}  // namespace detail
+
+}  // namespace firmres::support

@@ -1,0 +1,46 @@
+// Leveled stderr logging.
+//
+// Benchmarks and example binaries raise the level to Warn so their stdout
+// stays machine-readable; tests leave it at Info.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace firmres::support {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Global minimum level; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void emit(LogLevel level, const std::string& message);
+}
+
+/// RAII-style one-shot log statement: FIRMRES_LOG(Info) << "x=" << x;
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() {
+    if (level_ >= log_level()) detail::emit(level_, stream_.str());
+  }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    if (level_ >= log_level()) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace firmres::support
+
+#define FIRMRES_LOG(level) \
+  ::firmres::support::LogLine(::firmres::support::LogLevel::level)

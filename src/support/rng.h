@@ -1,0 +1,67 @@
+// Deterministic pseudo-random number generation.
+//
+// Everything in this repository that involves randomness — firmware
+// synthesis, dataset shuffling, neural-network initialization — goes through
+// `Rng` seeded explicitly, so that every table and figure regenerates
+// bit-identically across runs and platforms. The generator is SplitMix64
+// (fast, tiny state, excellent statistical quality for simulation purposes).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "support/error.h"
+
+namespace firmres::support {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value (SplitMix64 step).
+  std::uint64_t next_u64();
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Uniform double in [lo, hi).
+  double uniform_real(double lo, double hi);
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool chance(double p);
+
+  /// Standard normal via Box–Muller (no cached second value; simplicity over
+  /// the one extra transcendental call).
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Uniformly pick an element of a non-empty vector.
+  template <typename T>
+  const T& pick(const std::vector<T>& items) {
+    FIRMRES_CHECK_MSG(!items.empty(), "pick from empty vector");
+    return items[static_cast<std::size_t>(
+        uniform(0, static_cast<std::int64_t>(items.size()) - 1))];
+  }
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(
+          uniform(0, static_cast<std::int64_t>(i) - 1));
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Derive a child generator from this one plus a label; used to give each
+  /// synthesized device/executable an independent but reproducible stream.
+  Rng fork(std::string_view label);
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace firmres::support

@@ -1,0 +1,54 @@
+// String utilities used throughout FIRMRES.
+//
+// Includes the longest-common-subsequence similarity from §IV-C:
+//   Similarity(a, b) = 2 * L_common / (L_a + L_b)
+// which drives the clustering of format-string substrings when separating
+// sprintf-assembled partial messages into fields.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace firmres::support {
+
+/// Split `s` on a single character. Keeps empty pieces ("a,,b" -> 3 pieces).
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// Split `s` on any character in `seps`. Drops empty pieces.
+std::vector<std::string> split_any(std::string_view s, std::string_view seps);
+
+/// Join pieces with a separator.
+std::string join(const std::vector<std::string>& pieces,
+                 std::string_view sep);
+
+/// Remove leading/trailing ASCII whitespace.
+std::string_view trim(std::string_view s);
+
+/// ASCII lowercase copy.
+std::string to_lower(std::string_view s);
+
+/// True if `haystack` contains `needle` ignoring ASCII case.
+bool icontains(std::string_view haystack, std::string_view needle);
+
+/// Replace every occurrence of `from` with `to`.
+std::string replace_all(std::string_view s, std::string_view from,
+                        std::string_view to);
+
+/// Length of the longest common subsequence of `a` and `b` (O(|a|·|b|) DP).
+std::size_t lcs_length(std::string_view a, std::string_view b);
+
+/// §IV-C similarity: 2·L_common / (L_a + L_b). Returns 1.0 for two empty
+/// strings (identical), else in [0, 1].
+double lcs_similarity(std::string_view a, std::string_view b);
+
+/// Render bytes as lowercase hex.
+std::string to_hex(std::string_view bytes);
+
+/// Zero-padded decimal rendering (for synthesized serial numbers etc.).
+std::string zero_pad(std::uint64_t value, int width);
+
+/// printf-style formatting into a std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace firmres::support

@@ -1,0 +1,168 @@
+// Call-graph tests: edges, distances, paths, callsite indexing, and
+// event-registration discovery (the asynchronous-dispatch signal of §IV-A).
+#include "analysis/call_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+
+namespace firmres::analysis {
+namespace {
+
+/// main → a → b → c, with d isolated and `handler` event-registered.
+struct Fixture {
+  ir::Program prog{"cg"};
+
+  Fixture() {
+    ir::IRBuilder b(prog);
+    {
+      ir::FunctionBuilder f = b.function("c");
+      f.callv("printf", {f.cstr("leaf")});
+      f.ret();
+    }
+    {
+      ir::FunctionBuilder f = b.function("b");
+      f.callv("c", {});
+      f.ret();
+    }
+    {
+      ir::FunctionBuilder f = b.function("a");
+      f.callv("b", {});
+      f.ret();
+    }
+    {
+      ir::FunctionBuilder f = b.function("d");
+      f.ret();
+    }
+    {
+      ir::FunctionBuilder f = b.function("handler");
+      f.ret();
+    }
+    {
+      ir::FunctionBuilder f = b.function("main");
+      f.callv("a", {});
+      f.callv("event_loop_register",
+              {f.local("loop"), f.func_addr("handler")});
+      f.ret(f.cnum(0));
+    }
+  }
+
+  const ir::Function* fn(const char* name) { return prog.function(name); }
+};
+
+TEST(CallGraph, DirectEdges) {
+  Fixture fx;
+  CallGraph cg(fx.prog);
+  EXPECT_EQ(cg.callees(fx.fn("main")),
+            (std::vector<const ir::Function*>{fx.fn("a")}));
+  EXPECT_EQ(cg.callers(fx.fn("b")),
+            (std::vector<const ir::Function*>{fx.fn("a")}));
+  EXPECT_TRUE(cg.callees(fx.fn("d")).empty());
+  EXPECT_TRUE(cg.callers(fx.fn("main")).empty());
+}
+
+TEST(CallGraph, ImportsAreNotGraphNodes) {
+  Fixture fx;
+  CallGraph cg(fx.prog);
+  for (const ir::Function* callee : cg.callees(fx.fn("c")))
+    EXPECT_FALSE(callee->is_import());
+}
+
+TEST(CallGraph, DistanceAndPath) {
+  Fixture fx;
+  CallGraph cg(fx.prog);
+  EXPECT_EQ(cg.distance(fx.fn("main"), fx.fn("c")), 3);
+  EXPECT_EQ(cg.distance(fx.fn("c"), fx.fn("main")), 3);  // undirected
+  EXPECT_EQ(cg.distance(fx.fn("a"), fx.fn("a")), 0);
+  EXPECT_EQ(cg.distance(fx.fn("main"), fx.fn("d")), -1);
+
+  const auto path = cg.path(fx.fn("main"), fx.fn("c"));
+  ASSERT_EQ(path.size(), 4u);
+  EXPECT_EQ(path.front(), fx.fn("main"));
+  EXPECT_EQ(path.back(), fx.fn("c"));
+}
+
+TEST(CallGraph, CallsitesOf) {
+  Fixture fx;
+  CallGraph cg(fx.prog);
+  const auto sites = cg.callsites_of("printf");
+  ASSERT_EQ(sites.size(), 1u);
+  EXPECT_EQ(sites[0].caller, fx.fn("c"));
+  EXPECT_TRUE(sites[0].op->is_call_to("printf"));
+  EXPECT_TRUE(cg.callsites_of("missing").empty());
+}
+
+TEST(CallGraph, CallsitesIn) {
+  Fixture fx;
+  CallGraph cg(fx.prog);
+  EXPECT_EQ(cg.callsites_in(fx.fn("main")).size(), 2u);
+  EXPECT_EQ(cg.callsites_in(fx.fn("d")).size(), 0u);
+}
+
+TEST(CallGraph, DirectCallers) {
+  Fixture fx;
+  CallGraph cg(fx.prog);
+  EXPECT_TRUE(cg.has_direct_callers(fx.fn("a")));
+  EXPECT_FALSE(cg.has_direct_callers(fx.fn("handler")));
+  EXPECT_FALSE(cg.has_direct_callers(fx.fn("main")));
+}
+
+TEST(CallGraph, EventRegistration) {
+  Fixture fx;
+  CallGraph cg(fx.prog);
+  EXPECT_TRUE(cg.is_event_registered(fx.fn("handler")));
+  EXPECT_FALSE(cg.is_event_registered(fx.fn("a")));
+}
+
+TEST(CallGraph, FunctionAtEntry) {
+  Fixture fx;
+  CallGraph cg(fx.prog);
+  const ir::Function* h = fx.fn("handler");
+  EXPECT_EQ(cg.function_at(h->entry_address()), h);
+  EXPECT_EQ(cg.function_at(0xdeadbeef), nullptr);
+}
+
+TEST(CallGraph, RecursiveProgramTerminates) {
+  ir::Program prog("rec");
+  ir::IRBuilder b(prog);
+  // f and g mutually recursive.
+  {
+    ir::FunctionBuilder f = b.function("f");
+    f.ret();
+  }
+  {
+    ir::FunctionBuilder g = b.function("g");
+    g.callv("f", {});
+    g.ret();
+  }
+  // Rewire: f calls g (appended after g exists).
+  {
+    ir::Function* f = prog.function("f");
+    ir::FunctionBuilder fb(prog, *f);
+    fb.callv("g", {});
+    fb.ret();
+  }
+  CallGraph cg(prog);
+  EXPECT_EQ(cg.distance(prog.function("f"), prog.function("g")), 1);
+}
+
+TEST(CallGraph, DuplicateCallsDeduplicatedInEdges) {
+  ir::Program prog("dup");
+  ir::IRBuilder b(prog);
+  {
+    ir::FunctionBuilder g = b.function("g");
+    g.ret();
+  }
+  {
+    ir::FunctionBuilder f = b.function("f");
+    f.callv("g", {});
+    f.callv("g", {});
+    f.ret();
+  }
+  CallGraph cg(prog);
+  EXPECT_EQ(cg.callees(prog.function("f")).size(), 1u);
+  EXPECT_EQ(cg.callsites_of("g").size(), 2u);
+}
+
+}  // namespace
+}  // namespace firmres::analysis

@@ -1,0 +1,197 @@
+// Flow-edge modelling tests: every op shape, library summaries, the
+// overtaint rule for unknown imports, and written-varnode accounting.
+#include "analysis/flow.h"
+
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+
+namespace firmres::analysis {
+namespace {
+
+struct Builder {
+  ir::Program prog{"flow"};
+  ir::IRBuilder irb{prog};
+};
+
+TEST(FlowEdges, DirectArithmetic) {
+  Builder b;
+  ir::FunctionBuilder f = b.irb.function("f");
+  const ir::VarNode x = f.local("x");
+  const ir::VarNode y = f.local("y");
+  const ir::VarNode sum = f.binop(ir::OpCode::IntAdd, x, y);
+  f.ret(sum);
+  const auto ops = b.prog.function("f")->ops_in_order();
+  const auto edges = flow_edges(*ops[0], b.prog);
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_EQ(edges[0].kind, FlowKind::Direct);
+  EXPECT_EQ(edges[0].dst, sum);
+  EXPECT_EQ(edges[0].srcs, (std::vector<ir::VarNode>{x, y}));
+  EXPECT_FALSE(edges[0].dst_also_src);
+}
+
+TEST(FlowEdges, CopyAndLoad) {
+  Builder b;
+  ir::FunctionBuilder f = b.irb.function("f");
+  const ir::VarNode x = f.local("x");
+  const ir::VarNode y = f.local("y");
+  f.copy(y, x);
+  const ir::VarNode loaded = f.load(y);
+  f.ret(loaded);
+  const auto ops = b.prog.function("f")->ops_in_order();
+  const auto copy_edges = flow_edges(*ops[0], b.prog);
+  ASSERT_EQ(copy_edges.size(), 1u);
+  EXPECT_EQ(copy_edges[0].dst, y);
+  const auto load_edges = flow_edges(*ops[1], b.prog);
+  ASSERT_EQ(load_edges.size(), 1u);
+  EXPECT_EQ(load_edges[0].srcs, (std::vector<ir::VarNode>{y}));
+}
+
+TEST(FlowEdges, StoreModelsPointedAtCell) {
+  Builder b;
+  ir::FunctionBuilder f = b.irb.function("f");
+  const ir::VarNode addr = f.local("addr");
+  const ir::VarNode value = f.local("value");
+  f.store(addr, value);
+  f.ret();
+  const auto ops = b.prog.function("f")->ops_in_order();
+  const auto edges = flow_edges(*ops[0], b.prog);
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_EQ(edges[0].dst, addr);
+  EXPECT_EQ(edges[0].srcs, (std::vector<ir::VarNode>{value}));
+}
+
+TEST(FlowEdges, BranchesAndReturnsHaveNone) {
+  Builder b;
+  ir::FunctionBuilder f = b.irb.function("f");
+  const ir::VarNode c = f.cmp_eq(f.cnum(1), f.cnum(1));
+  const int tb = f.new_block();
+  const int fb = f.new_block();
+  f.cbranch(c, tb, fb);
+  f.set_block(fb);
+  f.ret(c);
+  for (const ir::PcodeOp* op : b.prog.function("f")->ops_in_order()) {
+    if (op->opcode == ir::OpCode::CBranch ||
+        op->opcode == ir::OpCode::Return) {
+      EXPECT_TRUE(flow_edges(*op, b.prog).empty());
+    }
+  }
+}
+
+TEST(FlowEdges, SprintfSummary) {
+  Builder b;
+  ir::FunctionBuilder f = b.irb.function("f");
+  const ir::VarNode dst = f.local("buf");
+  const ir::VarNode fmt = f.cstr("%s-%s");
+  const ir::VarNode v1 = f.local("v1");
+  const ir::VarNode v2 = f.local("v2");
+  f.callv("sprintf", {dst, fmt, v1, v2});
+  f.ret();
+  const auto ops = b.prog.function("f")->ops_in_order();
+  const auto edges = flow_edges(*ops[0], b.prog);
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_EQ(edges[0].kind, FlowKind::Summary);
+  EXPECT_EQ(edges[0].dst, dst);
+  EXPECT_EQ(edges[0].srcs, (std::vector<ir::VarNode>{fmt, v1, v2}));
+}
+
+TEST(FlowEdges, StrcatAppendSemantics) {
+  Builder b;
+  ir::FunctionBuilder f = b.irb.function("f");
+  const ir::VarNode dst = f.local("buf");
+  const ir::VarNode src = f.local("piece");
+  f.callv("strcat", {dst, src});
+  f.ret();
+  const auto edges =
+      flow_edges(*b.prog.function("f")->ops_in_order()[0], b.prog);
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_TRUE(edges[0].dst_also_src);
+  EXPECT_EQ(edges[0].dst, dst);
+}
+
+TEST(FlowEdges, FieldSourceReturnsFreshData) {
+  Builder b;
+  ir::FunctionBuilder f = b.irb.function("f");
+  const ir::VarNode out = f.call("nvram_get", {f.cstr("mac")}, "mac_val");
+  f.ret(out);
+  const auto edges =
+      flow_edges(*b.prog.function("f")->ops_in_order()[0], b.prog);
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_EQ(edges[0].kind, FlowKind::FieldSource);
+  EXPECT_EQ(edges[0].dst, out);
+  EXPECT_TRUE(edges[0].srcs.empty());
+}
+
+TEST(FlowEdges, DevInfoWritesThroughArg0) {
+  Builder b;
+  ir::FunctionBuilder f = b.irb.function("f");
+  const ir::VarNode buf = f.local("mac_buf");
+  f.callv("get_mac_address", {buf});
+  f.ret();
+  const auto edges =
+      flow_edges(*b.prog.function("f")->ops_in_order()[0], b.prog);
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_EQ(edges[0].kind, FlowKind::FieldSource);
+  EXPECT_EQ(edges[0].dst, buf);
+}
+
+TEST(FlowEdges, LocalCall) {
+  Builder b;
+  {
+    ir::FunctionBuilder g = b.irb.function("helper");
+    g.ret(g.cnum(1));
+  }
+  ir::FunctionBuilder f = b.irb.function("f");
+  const ir::VarNode arg = f.local("arg");
+  const ir::VarNode out = f.call("helper", {arg});
+  f.ret(out);
+  const auto edges =
+      flow_edges(*b.prog.function("f")->ops_in_order()[0], b.prog);
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_EQ(edges[0].kind, FlowKind::LocalCall);
+  EXPECT_EQ(edges[0].dst, out);
+}
+
+TEST(FlowEdges, UnknownImportOvertaints) {
+  Builder b;
+  ir::FunctionBuilder f = b.irb.function("f");
+  const ir::VarNode a = f.local("a");
+  const ir::VarNode out = f.call("mystery_transform", {a, f.cnum(3)});
+  f.ret(out);
+  const auto edges =
+      flow_edges(*b.prog.function("f")->ops_in_order()[0], b.prog);
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_EQ(edges[0].kind, FlowKind::Overtaint);
+  EXPECT_EQ(edges[0].dst, out);
+  EXPECT_EQ(edges[0].srcs.size(), 2u);
+}
+
+TEST(FlowEdges, FlowFreeSummariesYieldNothing) {
+  Builder b;
+  ir::FunctionBuilder f = b.irb.function("f");
+  const ir::VarNode buf = f.local("buf");
+  f.call("strlen", {buf});
+  f.callv("memset", {buf, f.cnum(0), f.cnum(64)});
+  f.ret();
+  const auto ops = b.prog.function("f")->ops_in_order();
+  EXPECT_TRUE(flow_edges(*ops[0], b.prog).empty());  // strlen
+  EXPECT_TRUE(flow_edges(*ops[1], b.prog).empty());  // memset
+}
+
+TEST(WrittenVarnodes, IncludesRawCallOutput) {
+  Builder b;
+  ir::FunctionBuilder f = b.irb.function("f");
+  const ir::VarNode dst = f.local("buf");
+  // sprintf routes flow into arg0, but its int return value also counts as
+  // written.
+  const ir::VarNode ret = f.call("sprintf", {dst, f.cstr("%d"), f.cnum(1)});
+  f.ret();
+  const auto written =
+      written_varnodes(*b.prog.function("f")->ops_in_order()[0], b.prog);
+  EXPECT_EQ(written.size(), 2u);
+  EXPECT_NE(std::find(written.begin(), written.end(), dst), written.end());
+  EXPECT_NE(std::find(written.begin(), written.end(), ret), written.end());
+}
+
+}  // namespace
+}  // namespace firmres::analysis

@@ -1,0 +1,198 @@
+// Forward request-taint tests (§IV-A P_f machinery): intra-procedural
+// spread, parameter binding into callees, return-value propagation, and
+// field-source barriers.
+#include "analysis/forward_taint.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/predicates.h"
+#include "ir/builder.h"
+
+namespace firmres::analysis {
+namespace {
+
+TEST(ForwardTaint, IntraProceduralSpread) {
+  ir::Program prog("t");
+  ir::IRBuilder b(prog);
+  ir::FunctionBuilder f = b.function("handler");
+  const ir::VarNode sock = f.param("sock");
+  const ir::VarNode buf = f.local("buf", 256);
+  f.callv("recv", {sock, buf, f.cnum(256), f.cnum(0)});
+  const ir::VarNode first = f.load(buf);
+  const ir::VarNode shifted = f.binop(ir::OpCode::IntLeft, first, f.cnum(1));
+  const ir::VarNode clean = f.local("counter");
+  f.ret();
+
+  const CallGraph cg(prog);
+  const ir::Function* fn = prog.function("handler");
+  ForwardTaint taint(prog, cg, *fn, {buf});
+  EXPECT_TRUE(taint.is_tainted(fn, buf));
+  EXPECT_TRUE(taint.is_tainted(fn, first));
+  EXPECT_TRUE(taint.is_tainted(fn, shifted));
+  EXPECT_FALSE(taint.is_tainted(fn, clean));
+  EXPECT_FALSE(taint.is_tainted(fn, sock));
+}
+
+TEST(ForwardTaint, ThroughStringSummaries) {
+  ir::Program prog("t");
+  ir::IRBuilder b(prog);
+  ir::FunctionBuilder f = b.function("handler");
+  const ir::VarNode buf = f.local("buf", 256);
+  const ir::VarNode copy = f.local("copy", 256);
+  f.callv("strcpy", {copy, buf});
+  const ir::VarNode token = f.call("strtok", {copy, f.cstr(":")});
+  f.ret();
+
+  const CallGraph cg(prog);
+  const ir::Function* fn = prog.function("handler");
+  ForwardTaint taint(prog, cg, *fn, {buf});
+  EXPECT_TRUE(taint.is_tainted(fn, copy));
+  EXPECT_TRUE(taint.is_tainted(fn, token));
+}
+
+TEST(ForwardTaint, ParameterBindingIntoCallee) {
+  ir::Program prog("t");
+  ir::IRBuilder b(prog);
+  ir::VarNode parsed_in_callee;
+  {
+    ir::FunctionBuilder p = b.function("parse");
+    const ir::VarNode req = p.param("request");
+    parsed_in_callee = p.load(req);
+    p.ret(parsed_in_callee);
+  }
+  ir::FunctionBuilder f = b.function("handler");
+  const ir::VarNode buf = f.local("buf", 256);
+  const ir::VarNode cmd = f.call("parse", {buf}, "cmd");
+  f.ret();
+
+  const CallGraph cg(prog);
+  const ir::Function* handler = prog.function("handler");
+  const ir::Function* parse = prog.function("parse");
+  ForwardTaint taint(prog, cg, *handler, {buf});
+  EXPECT_TRUE(taint.is_tainted(parse, parse->params()[0]));
+  EXPECT_TRUE(taint.is_tainted(parse, parsed_in_callee));
+  // Return value flows back into the call output.
+  EXPECT_TRUE(taint.is_tainted(handler, cmd));
+}
+
+TEST(ForwardTaint, UntaintedArgDoesNotTaintCallee) {
+  ir::Program prog("t");
+  ir::IRBuilder b(prog);
+  {
+    ir::FunctionBuilder p = b.function("helper");
+    p.param("x");
+    p.ret();
+  }
+  ir::FunctionBuilder f = b.function("handler");
+  const ir::VarNode buf = f.local("buf", 256);
+  const ir::VarNode other = f.local("other");
+  f.callv("helper", {other});
+  f.ret();
+  (void)buf;
+
+  const CallGraph cg(prog);
+  const ir::Function* handler = prog.function("handler");
+  const ir::Function* helper = prog.function("helper");
+  ForwardTaint taint(prog, cg, *handler, {buf});
+  EXPECT_FALSE(taint.is_tainted(helper, helper->params()[0]));
+}
+
+TEST(ForwardTaint, FieldSourcesBlockTaint) {
+  // Data fetched from NVRAM is fresh even if the key expression were
+  // tainted — the FieldSource edge severs inflow.
+  ir::Program prog("t");
+  ir::IRBuilder b(prog);
+  ir::FunctionBuilder f = b.function("handler");
+  const ir::VarNode buf = f.local("buf", 256);
+  const ir::VarNode fresh = f.call("nvram_get", {buf}, "fresh");
+  f.ret();
+
+  const CallGraph cg(prog);
+  const ir::Function* fn = prog.function("handler");
+  ForwardTaint taint(prog, cg, *fn, {buf});
+  EXPECT_FALSE(taint.is_tainted(fn, fresh));
+}
+
+TEST(ForwardTaint, TaintedInEnumerates) {
+  ir::Program prog("t");
+  ir::IRBuilder b(prog);
+  ir::FunctionBuilder f = b.function("handler");
+  const ir::VarNode buf = f.local("buf");
+  const ir::VarNode x = f.load(buf);
+  (void)x;
+  f.ret();
+  const CallGraph cg(prog);
+  const ir::Function* fn = prog.function("handler");
+  ForwardTaint taint(prog, cg, *fn, {buf});
+  EXPECT_EQ(taint.tainted_in(fn).size(), 2u);
+  EXPECT_TRUE(taint.tainted_in(prog.function("nonexistent") /*nullptr*/).empty());
+}
+
+// --- Predicates --------------------------------------------------------------
+
+TEST(Predicates, ExtractsComparisonOperands) {
+  ir::Program prog("t");
+  ir::IRBuilder b(prog);
+  ir::FunctionBuilder f = b.function("f");
+  const ir::VarNode x = f.local("x");
+  const ir::VarNode c = f.cmp_eq(x, f.cnum(65));
+  const int tb = f.new_block();
+  const int fb = f.new_block();
+  f.cbranch(c, tb, fb);
+  f.set_block(fb);
+  f.ret();
+
+  const auto preds = predicates_of(*prog.function("f"));
+  ASSERT_EQ(preds.size(), 1u);
+  ASSERT_NE(preds[0].condition_def, nullptr);
+  EXPECT_EQ(preds[0].operands.size(), 2u);
+  EXPECT_EQ(preds[0].operands[0], x);
+}
+
+TEST(Predicates, CallConditionUsesCallArguments) {
+  ir::Program prog("t");
+  ir::IRBuilder b(prog);
+  ir::FunctionBuilder f = b.function("f");
+  const ir::VarNode s = f.local("s");
+  const ir::VarNode cmp = f.call("strcmp", {s, f.cstr("GET")});
+  const int tb = f.new_block();
+  const int fb = f.new_block();
+  f.cbranch(cmp, tb, fb);
+  f.set_block(fb);
+  f.ret();
+
+  const auto preds = predicates_of(*prog.function("f"));
+  ASSERT_EQ(preds.size(), 1u);
+  EXPECT_EQ(preds[0].operands.size(), 2u);
+  EXPECT_EQ(preds[0].operands[0], s);
+}
+
+TEST(Predicates, NoPredicatesInStraightLineCode) {
+  ir::Program prog("t");
+  ir::IRBuilder b(prog);
+  ir::FunctionBuilder f = b.function("f");
+  f.callv("printf", {f.cstr("x")});
+  f.ret();
+  EXPECT_TRUE(predicates_of(*prog.function("f")).empty());
+}
+
+TEST(Predicates, MultiplePredicatesCounted) {
+  ir::Program prog("t");
+  ir::IRBuilder b(prog);
+  ir::FunctionBuilder f = b.function("f");
+  const ir::VarNode x = f.local("x");
+  for (int i = 0; i < 3; ++i) {
+    const ir::VarNode c = f.cmp_lt(x, f.cnum(static_cast<std::uint64_t>(i)));
+    const int tb = f.new_block();
+    const int fb = f.new_block();
+    f.cbranch(c, tb, fb);
+    f.set_block(tb);
+    f.branch(fb);
+    f.set_block(fb);
+  }
+  f.ret();
+  EXPECT_EQ(predicates_of(*prog.function("f")).size(), 3u);
+}
+
+}  // namespace
+}  // namespace firmres::analysis

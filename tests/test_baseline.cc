@@ -1,0 +1,115 @@
+// Baseline-analogue tests (Table IV): synthetic corpora, LeakScope's exact
+// recovery, and APIScanner's documented-API enumeration.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baseline/apiscanner.h"
+#include "baseline/leakscope.h"
+#include "baseline/mobile_corpus.h"
+
+namespace firmres::baseline {
+namespace {
+
+TEST(MobileCorpus, AppCountAndCallTotal) {
+  support::Rng rng(1);
+  const auto apps = synthesize_app_corpus(8, 32, rng);
+  ASSERT_EQ(apps.size(), 8u);
+  int calls = 0;
+  for (const MobileApp& app : apps) {
+    calls += static_cast<int>(app.truth.size());
+    EXPECT_FALSE(app.package.empty());
+    EXPECT_GT(app.strings.size(), app.truth.size());  // noise strings exist
+  }
+  EXPECT_EQ(calls, 32);
+}
+
+TEST(MobileCorpus, EvidenceInStringTable) {
+  support::Rng rng(2);
+  const auto apps = synthesize_app_corpus(4, 12, rng);
+  for (const MobileApp& app : apps) {
+    for (const SdkCall& call : app.truth) {
+      EXPECT_NE(std::find(app.strings.begin(), app.strings.end(),
+                          call.credential),
+                app.strings.end());
+      EXPECT_NE(std::find(app.strings.begin(), app.strings.end(),
+                          call.endpoint),
+                app.strings.end());
+    }
+  }
+}
+
+TEST(MobileCorpus, PlatformDocs) {
+  support::Rng rng(3);
+  const auto docs = synthesize_platform_docs(5, 157, rng);
+  EXPECT_EQ(docs.size(), 157u);
+  std::set<std::string> platforms;
+  for (const ApiDoc& doc : docs) {
+    platforms.insert(doc.platform);
+    EXPECT_NE(doc.path.find("/openapi/"), std::string::npos);
+    if (doc.broken_auth) {
+      EXPECT_TRUE(doc.requires_auth);
+    }
+  }
+  EXPECT_EQ(platforms.size(), 5u);
+}
+
+TEST(LeakScope, RecoversEveryCallExactly) {
+  support::Rng rng(4);
+  const auto apps = synthesize_app_corpus(8, 32, rng);
+  const LeakScopeResult result = run_leakscope(apps);
+  EXPECT_EQ(result.interfaces_recovered, 32);
+  EXPECT_EQ(result.interfaces_correct, 32);
+  EXPECT_DOUBLE_EQ(result.accuracy(), 1.0);
+}
+
+TEST(LeakScope, FindsMisconfigurations) {
+  support::Rng rng(5);
+  const auto apps = synthesize_app_corpus(8, 40, rng);
+  int truth_misconfigs = 0;
+  for (const MobileApp& app : apps)
+    for (const SdkCall& c : app.truth) truth_misconfigs += c.misconfigured;
+  const LeakScopeResult result = run_leakscope(apps);
+  EXPECT_EQ(result.misconfigurations(), truth_misconfigs);
+}
+
+TEST(LeakScope, IgnoresNoiseStrings) {
+  MobileApp app;
+  app.package = "com.noise.app";
+  app.strings = {"res/layout/main", "https://nothing.example/x", "hello"};
+  const LeakScopeResult result = run_leakscope({app});
+  EXPECT_EQ(result.interfaces_recovered, 0);
+}
+
+TEST(LeakScope, EmptyCorpus) {
+  const LeakScopeResult result = run_leakscope({});
+  EXPECT_EQ(result.interfaces_recovered, 0);
+  EXPECT_DOUBLE_EQ(result.accuracy(), 0.0);
+}
+
+TEST(ApiScanner, TestsEveryDocumentedApi) {
+  support::Rng rng(6);
+  const auto docs = synthesize_platform_docs(5, 157, rng);
+  const ApiScannerResult result = run_apiscanner(docs);
+  EXPECT_EQ(result.interfaces_tested, 157);
+  EXPECT_DOUBLE_EQ(result.accuracy(), 1.0);
+}
+
+TEST(ApiScanner, FlagsExactlyBrokenAuthApis) {
+  support::Rng rng(7);
+  const auto docs = synthesize_platform_docs(3, 60, rng);
+  int broken = 0;
+  for (const ApiDoc& doc : docs) broken += doc.broken_auth ? 1 : 0;
+  const ApiScannerResult result = run_apiscanner(docs);
+  EXPECT_EQ(static_cast<int>(result.unauthorized.size()), broken);
+  EXPECT_GT(broken, 0);
+}
+
+TEST(ApiScanner, EmptyDocs) {
+  const ApiScannerResult result = run_apiscanner({});
+  EXPECT_EQ(result.interfaces_tested, 0);
+  EXPECT_DOUBLE_EQ(result.accuracy(), 0.0);
+}
+
+}  // namespace
+}  // namespace firmres::baseline

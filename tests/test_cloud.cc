@@ -1,0 +1,245 @@
+// Cloud-simulator tests: endpoint tables, credential verification against
+// the §II-B compositions, verdict phrasing, and multi-device enrollment.
+#include "cloud/cloud.h"
+
+#include <gtest/gtest.h>
+
+#include "firmware/crypto_sim.h"
+#include "firmware/synthesizer.h"
+
+namespace firmres::cloudsim {
+namespace {
+
+struct Fixture {
+  fw::FirmwareImage image = fw::synthesize(fw::profile_by_id(6));
+  CloudNetwork net;
+  Fixture() { net.enroll(image); }
+
+  /// A request to the first secure business endpoint, with chosen fields.
+  Request base_request(std::map<std::string, std::string> fields) {
+    Request r;
+    r.host = image.identity.cloud_host;
+    for (const fw::MessageTruth& t : image.truth.messages) {
+      if (t.spec.phase == fw::MessageSpec::Phase::Business &&
+          !t.spec.endpoint_retired && !t.spec.lan_destination &&
+          !t.spec.vulnerable && !t.spec.benign_no_auth) {
+        r.path = t.spec.endpoint_path;
+        break;
+      }
+    }
+    r.fields = std::move(fields);
+    return r;
+  }
+};
+
+TEST(VendorCloud, UnknownPathIs404) {
+  Fixture fx;
+  Request r = fx.base_request({{"deviceId", fx.image.identity.device_id}});
+  r.path = "/definitely/not/there";
+  const Response resp = fx.net.send(r);
+  EXPECT_EQ(resp.verdict, Verdict::PathNotExists);
+  EXPECT_EQ(resp.code, 404);
+  EXPECT_FALSE(resp.indicates_valid_message());
+}
+
+TEST(VendorCloud, UnknownHostIs404) {
+  Fixture fx;
+  Request r = fx.base_request({});
+  r.host = "nowhere.example.com";
+  EXPECT_EQ(fx.net.send(r).verdict, Verdict::PathNotExists);
+}
+
+TEST(VendorCloud, EmptyRequestIsBadRequest) {
+  Fixture fx;
+  const Response resp = fx.net.send(fx.base_request({}));
+  EXPECT_EQ(resp.verdict, Verdict::BadRequest);
+  EXPECT_FALSE(resp.indicates_valid_message());
+}
+
+TEST(VendorCloud, IdPlusTokenAccepted) {
+  Fixture fx;
+  const Response resp = fx.net.send(fx.base_request(
+      {{"deviceId", fx.image.identity.device_id},
+       {"token", fx.image.identity.bind_token}}));
+  EXPECT_EQ(resp.verdict, Verdict::Ok);
+  EXPECT_EQ(resp.code, 200);
+}
+
+TEST(VendorCloud, IdPlusSignatureAccepted) {
+  Fixture fx;
+  const std::string sig = fw::pseudo_hmac(fx.image.identity.dev_secret,
+                                          fx.image.identity.device_id);
+  const Response resp = fx.net.send(fx.base_request(
+      {{"mac", fx.image.identity.mac}, {"sign", sig}}));
+  EXPECT_EQ(resp.verdict, Verdict::Ok);
+}
+
+TEST(VendorCloud, IdSecretUserCredAccepted) {
+  Fixture fx;
+  const Response resp = fx.net.send(fx.base_request(
+      {{"sn", fx.image.identity.serial},
+       {"secret", fx.image.identity.dev_secret},
+       {"user", fx.image.identity.cloud_username},
+       {"pass", fx.image.identity.cloud_password}}));
+  EXPECT_EQ(resp.verdict, Verdict::Ok);
+}
+
+TEST(VendorCloud, FieldNamesIrrelevantValuesDecide) {
+  Fixture fx;
+  // Misnamed but correct values still authenticate (real backends bind by
+  // value lookups too; the prober may recover different key spellings).
+  const Response resp = fx.net.send(fx.base_request(
+      {{"field_0", fx.image.identity.device_id},
+       {"field_1", fx.image.identity.bind_token}}));
+  EXPECT_EQ(resp.verdict, Verdict::Ok);
+}
+
+TEST(VendorCloud, IdOnlyRejectedOnSecureEndpoint) {
+  Fixture fx;
+  const Response resp = fx.net.send(
+      fx.base_request({{"deviceId", fx.image.identity.device_id}}));
+  EXPECT_EQ(resp.verdict, Verdict::NoPermission);
+  EXPECT_TRUE(resp.indicates_valid_message());  // endpoint understood it
+}
+
+TEST(VendorCloud, GarbageRejectedWithAccessDenied) {
+  Fixture fx;
+  const Response resp =
+      fx.net.send(fx.base_request({{"deviceId", "forged"},
+                                   {"token", "forged-token"}}));
+  EXPECT_EQ(resp.verdict, Verdict::AccessDenied);
+}
+
+TEST(VendorCloud, WrongSecretRejected) {
+  Fixture fx;
+  const Response resp = fx.net.send(fx.base_request(
+      {{"deviceId", fx.image.identity.device_id},
+       {"secret", "not-the-secret"},
+       {"user", fx.image.identity.cloud_username},
+       {"pass", "wrong-password"}}));
+  EXPECT_NE(resp.verdict, Verdict::Ok);
+}
+
+TEST(VendorCloud, VulnerableEndpointAcceptsIdOnly) {
+  const fw::FirmwareImage image = fw::synthesize(fw::profile_by_id(20));
+  CloudNetwork net;
+  net.enroll(image);
+  Request r;
+  r.host = image.identity.cloud_host;
+  r.path = "/store-server/api/v1/storages/auth";
+  r.fields = {{"deviceId", image.identity.device_id}};
+  const Response resp = net.send(r);
+  EXPECT_EQ(resp.verdict, Verdict::Ok);
+  EXPECT_TRUE(resp.sensitive);  // returns access-key/secret-key material
+}
+
+TEST(VendorCloud, RetiredEndpointsAbsent) {
+  Fixture fx;
+  for (const fw::MessageTruth& t : fx.image.truth.messages) {
+    if (!t.spec.endpoint_retired) continue;
+    const VendorCloud* cloud = fx.net.cloud_for(fx.image.identity.cloud_host);
+    ASSERT_NE(cloud, nullptr);
+    EXPECT_EQ(cloud->endpoint(t.spec.endpoint_path), nullptr)
+        << t.spec.endpoint_path;
+  }
+}
+
+TEST(VendorCloud, AnonymousTelemetryAcceptsEmpty) {
+  // Device 6 is in the FP-bait list with even id → anonymous telemetry.
+  Fixture fx;
+  Request r;
+  r.host = fx.image.identity.cloud_host;
+  r.path = "/api/v1/telemetry/anon";
+  const Response resp = fx.net.send(r);
+  EXPECT_EQ(resp.verdict, Verdict::Ok);
+  EXPECT_FALSE(resp.sensitive);
+}
+
+TEST(VendorCloud, FixedVendorTokenAccepted) {
+  const fw::FirmwareImage image = fw::synthesize(fw::profile_by_id(5));
+  CloudNetwork net;
+  net.enroll(image);
+  Request r;
+  r.host = image.identity.cloud_host;
+  r.path = "/cloud/device-info?uploadType=crashlog";
+  r.fields = {{"serialNo", image.identity.serial},
+              {"deviceToken", "FIXED-TOKEN-8f2a11c09d"}};
+  EXPECT_EQ(net.send(r).verdict, Verdict::Ok);
+}
+
+TEST(VendorCloud, BindingEndpointsIssueCredentials) {
+  const fw::FirmwareImage image = fw::synthesize(fw::profile_by_id(11));
+  CloudNetwork net;
+  net.enroll(image);
+  Request r;
+  r.host = image.identity.cloud_host;
+  r.path = "/rms/register";
+  r.protocol = image.profile.primary_protocol;  // MQTT-side endpoint
+  r.fields = {{"sn", image.identity.serial}, {"mac", image.identity.mac}};
+  const Response resp = net.send(r);
+  ASSERT_EQ(resp.verdict, Verdict::Ok);
+  EXPECT_TRUE(resp.sensitive);
+  ASSERT_NE(resp.body.find("certificate"), nullptr);
+  EXPECT_EQ(resp.body.find("certificate")->as_string(),
+            image.identity.certificate);
+}
+
+TEST(CloudNetwork, SharedVendorCloudEnrollsMultipleDevices) {
+  // TP-Link devices 2, 3, 4 share one cloud host.
+  const fw::FirmwareImage d2 = fw::synthesize(fw::profile_by_id(2));
+  const fw::FirmwareImage d3 = fw::synthesize(fw::profile_by_id(3));
+  ASSERT_EQ(d2.identity.cloud_host, d3.identity.cloud_host);
+  CloudNetwork net;
+  net.enroll(d2);
+  net.enroll(d3);
+  EXPECT_EQ(net.cloud_count(), 1u);
+
+  // Device 3's vulnerable endpoint must answer for device 3's identity.
+  Request r;
+  r.host = d3.identity.cloud_host;
+  r.path = "/api/getShareIds";
+  r.fields = {{"deviceID", d3.identity.device_id}};
+  EXPECT_EQ(net.send(r).verdict, Verdict::Ok);
+
+  // …but device 2's identity must not unlock secure endpoints with
+  // device 3's token (identities are checked per enrolled device).
+  Request cross;
+  cross.host = d3.identity.cloud_host;
+  cross.path = "/api/getShareIds";
+  cross.fields = {{"deviceID", "00000000"}};
+  EXPECT_NE(net.send(cross).verdict, Verdict::Ok);
+}
+
+TEST(VendorCloud, ProtocolMismatchNotSupported) {
+  // An MQTT device's topic does not answer HTTP probes.
+  const fw::FirmwareImage image = fw::synthesize(fw::profile_by_id(1));
+  ASSERT_EQ(image.profile.primary_protocol, fw::Protocol::Mqtt);
+  CloudNetwork net;
+  net.enroll(image);
+  Request r;
+  r.host = image.identity.cloud_host;
+  r.protocol = fw::Protocol::Http;  // wrong transport
+  for (const fw::MessageTruth& t : image.truth.messages) {
+    if (t.spec.endpoint_retired || t.spec.lan_destination ||
+        t.spec.protocol != fw::Protocol::Mqtt)
+      continue;
+    r.path = t.spec.endpoint_path;
+    r.fields = {{"deviceId", image.identity.device_id}};
+    const Response resp = net.send(r);
+    EXPECT_EQ(resp.verdict, Verdict::NotSupported);
+    EXPECT_FALSE(resp.indicates_valid_message());
+    break;
+  }
+}
+
+TEST(Verdicts, PaperPhrasing) {
+  EXPECT_STREQ(verdict_text(Verdict::Ok), "Request OK");
+  EXPECT_STREQ(verdict_text(Verdict::NoPermission), "No Permission");
+  EXPECT_STREQ(verdict_text(Verdict::AccessDenied), "Access Denied");
+  EXPECT_STREQ(verdict_text(Verdict::BadRequest), "Bad Request");
+  EXPECT_STREQ(verdict_text(Verdict::PathNotExists), "Path Not Exists");
+  EXPECT_STREQ(verdict_text(Verdict::NotSupported), "Request Not Supported");
+}
+
+}  // namespace
+}  // namespace firmres::cloudsim

@@ -1,0 +1,179 @@
+// Evaluation-harness tests: ground-truth field matching, Table II row
+// computation, totals arithmetic, and the thd-clustering columns.
+#include "cloud/evaluation.h"
+
+#include <gtest/gtest.h>
+
+#include "core/truth_match.h"
+#include "firmware/synthesizer.h"
+
+namespace firmres::cloudsim {
+namespace {
+
+core::ReconstructedField make_field(std::string key, std::string source_detail,
+                                    core::FieldValueSource source,
+                                    std::string const_value = "") {
+  core::ReconstructedField f;
+  f.key = std::move(key);
+  f.source_detail = std::move(source_detail);
+  f.source = source;
+  f.const_value = std::move(const_value);
+  return f;
+}
+
+fw::FieldSpec make_spec(std::string key, fw::FieldOrigin origin,
+                        std::string source_key, std::string value = "") {
+  fw::FieldSpec s;
+  s.key = std::move(key);
+  s.origin = origin;
+  s.source_key = std::move(source_key);
+  s.value = std::move(value);
+  return s;
+}
+
+TEST(FieldMatch, ByWireKeyCaseInsensitive) {
+  EXPECT_TRUE(core::field_matches_spec(
+      make_field("MACADDRESS", "", core::FieldValueSource::Nvram),
+      make_spec("macAddress", fw::FieldOrigin::Nvram, "lan_hwaddr")));
+}
+
+TEST(FieldMatch, BySourceKey) {
+  EXPECT_TRUE(core::field_matches_spec(
+      make_field("", "lan_hwaddr", core::FieldValueSource::Nvram),
+      make_spec("mac", fw::FieldOrigin::Nvram, "lan_hwaddr")));
+}
+
+TEST(FieldMatch, ByConfigKeyPart) {
+  EXPECT_TRUE(core::field_matches_spec(
+      make_field("", "username", core::FieldValueSource::Config),
+      make_spec("username", fw::FieldOrigin::Config,
+                "/etc/cloud.conf:username")));
+}
+
+TEST(FieldMatch, ByHardcodedValue) {
+  EXPECT_TRUE(core::field_matches_spec(
+      make_field("", "V2.3", core::FieldValueSource::StringConst, "V2.3"),
+      make_spec("hardwareVersion", fw::FieldOrigin::HardcodedStr,
+                "hardwareVersion", "V2.3")));
+}
+
+TEST(FieldMatch, DerivedMatchesDerived) {
+  EXPECT_TRUE(core::field_matches_spec(
+      make_field("", "dev_secret", core::FieldValueSource::Derived),
+      make_spec("sign", fw::FieldOrigin::Derived, "md5_hex")));
+}
+
+TEST(FieldMatch, OpaqueTimeVsCounter) {
+  const auto time_field =
+      make_field("", "time", core::FieldValueSource::Opaque);
+  const auto rand_field =
+      make_field("", "rand", core::FieldValueSource::Opaque);
+  const auto ts_spec =
+      make_spec("ts", fw::FieldOrigin::Timestamp, "time");
+  const auto seq_spec = make_spec("seq", fw::FieldOrigin::Counter, "seq");
+  EXPECT_TRUE(core::field_matches_spec(time_field, ts_spec));
+  EXPECT_FALSE(core::field_matches_spec(time_field, seq_spec));
+  EXPECT_TRUE(core::field_matches_spec(rand_field, seq_spec));
+}
+
+TEST(FieldMatch, NoiseConstantsMatchNothing) {
+  const auto noise = make_field("", "1094871234",
+                                core::FieldValueSource::NumConst,
+                                "1094871234");
+  EXPECT_FALSE(core::field_matches_spec(
+      noise, make_spec("mac", fw::FieldOrigin::Nvram, "lan_hwaddr")));
+}
+
+TEST(TruthPrimitive, FirstMatchWins) {
+  fw::MessageSpec spec;
+  auto s = make_spec("deviceId", fw::FieldOrigin::Nvram, "device_id");
+  s.primitive = fw::Primitive::DevIdentifier;
+  spec.fields.push_back(s);
+  const auto field =
+      make_field("deviceId", "device_id", core::FieldValueSource::Nvram);
+  EXPECT_EQ(core::truth_primitive(field, spec), fw::Primitive::DevIdentifier);
+  const auto unknown =
+      make_field("zzz", "zzz", core::FieldValueSource::Nvram);
+  EXPECT_EQ(core::truth_primitive(unknown, spec), fw::Primitive::None);
+}
+
+TEST(Evaluation, DeviceRowInvariants) {
+  const fw::FirmwareImage image = fw::synthesize(fw::profile_by_id(8));
+  CloudNetwork net;
+  net.enroll(image);
+  core::KeywordModel model;
+  const core::DeviceAnalysis analysis = core::Pipeline(model).analyze(image);
+  const Table2Row row = evaluate_device(analysis, image, net);
+
+  EXPECT_EQ(row.device_id, 8);
+  EXPECT_EQ(row.identified_msgs,
+            static_cast<int>(analysis.messages.size()));
+  EXPECT_LE(row.valid_msgs, row.identified_msgs);
+  EXPECT_LE(row.confirmed_fields, row.identified_fields);
+  EXPECT_LE(row.accurate_semantics, row.confirmed_fields);
+  EXPECT_GT(row.confirmed_fields, 0);
+  // Device 8 assembles with sprintf: thd columns populated & nondecreasing.
+  for (int t = 0; t < 3; ++t) ASSERT_TRUE(row.clusters[t].has_value());
+  EXPECT_LE(*row.clusters[0], *row.clusters[1]);
+  EXPECT_LE(*row.clusters[1], *row.clusters[2]);
+}
+
+TEST(Evaluation, JsonLibDeviceHasDashClusters) {
+  const fw::FirmwareImage image = fw::synthesize(fw::profile_by_id(2));
+  CloudNetwork net;
+  net.enroll(image);
+  core::KeywordModel model;
+  const core::DeviceAnalysis analysis = core::Pipeline(model).analyze(image);
+  const Table2Row row = evaluate_device(analysis, image, net);
+  for (int t = 0; t < 3; ++t) EXPECT_FALSE(row.clusters[t].has_value());
+}
+
+TEST(Evaluation, Device11ClustersAreZeroNotDash) {
+  const fw::FirmwareImage image = fw::synthesize(fw::profile_by_id(11));
+  CloudNetwork net;
+  net.enroll(image);
+  core::KeywordModel model;
+  const core::DeviceAnalysis analysis = core::Pipeline(model).analyze(image);
+  const Table2Row row = evaluate_device(analysis, image, net);
+  for (int t = 0; t < 3; ++t) {
+    ASSERT_TRUE(row.clusters[t].has_value());
+    EXPECT_EQ(*row.clusters[t], 0);
+  }
+}
+
+TEST(Evaluation, TotalsArithmetic) {
+  Table2Row a;
+  a.identified_msgs = 10;
+  a.valid_msgs = 8;
+  a.identified_fields = 100;
+  a.confirmed_fields = 90;
+  a.accurate_semantics = 81;
+  a.clusters[0] = 5;
+  Table2Row b;
+  b.identified_msgs = 20;
+  b.valid_msgs = 18;
+  b.identified_fields = 100;
+  b.confirmed_fields = 86;
+  b.accurate_semantics = 80;
+
+  const Table2Totals totals = total_rows({a, b});
+  EXPECT_EQ(totals.sum.identified_msgs, 30);
+  EXPECT_EQ(totals.sum.valid_msgs, 26);
+  EXPECT_EQ(totals.sum.identified_fields, 200);
+  EXPECT_EQ(totals.sum.confirmed_fields, 176);
+  EXPECT_DOUBLE_EQ(totals.field_accuracy, 176.0 / 200.0);
+  EXPECT_DOUBLE_EQ(totals.semantics_accuracy, 161.0 / 176.0);
+  ASSERT_TRUE(totals.sum.clusters[0].has_value());
+  EXPECT_EQ(*totals.sum.clusters[0], 5);
+  EXPECT_FALSE(totals.sum.clusters[1].has_value());
+}
+
+TEST(Evaluation, EmptyTotals) {
+  const Table2Totals totals = total_rows({});
+  EXPECT_EQ(totals.sum.identified_msgs, 0);
+  EXPECT_DOUBLE_EQ(totals.field_accuracy, 0.0);
+  EXPECT_DOUBLE_EQ(totals.semantics_accuracy, 0.0);
+}
+
+}  // namespace
+}  // namespace firmres::cloudsim

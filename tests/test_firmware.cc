@@ -1,0 +1,354 @@
+// Firmware-substrate tests: identities, Table I profiles, the message
+// catalogue (including every Table III flaw), and dictionary labeling.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "firmware/catalog.h"
+#include "firmware/crypto_sim.h"
+#include "firmware/device_profile.h"
+#include "firmware/field_dictionary.h"
+#include "firmware/identity.h"
+
+namespace firmres::fw {
+namespace {
+
+TEST(Identity, DeterministicInSeed) {
+  support::Rng a(99), b(99);
+  const DeviceIdentity ia = make_identity("Acme", "M1", "V1", a);
+  const DeviceIdentity ib = make_identity("Acme", "M1", "V1", b);
+  EXPECT_EQ(ia.mac, ib.mac);
+  EXPECT_EQ(ia.serial, ib.serial);
+  EXPECT_EQ(ia.dev_secret, ib.dev_secret);
+}
+
+TEST(Identity, FieldsAreWellFormed) {
+  support::Rng rng(1);
+  const DeviceIdentity id = make_identity("Acme", "M1", "V1.2", rng);
+  EXPECT_EQ(id.mac.size(), 17u);  // aa:bb:cc:dd:ee:ff
+  EXPECT_EQ(std::count(id.mac.begin(), id.mac.end(), ':'), 5);
+  EXPECT_EQ(id.serial.size(), 12u);  // two letters + 10 digits
+  EXPECT_EQ(id.device_id.size(), 8u);
+  EXPECT_NE(id.cloud_host.find("acme"), std::string::npos);
+  EXPECT_NE(id.certificate.find("BEGIN CERTIFICATE"), std::string::npos);
+  EXPECT_EQ(id.firmware_version, "V1.2");
+}
+
+TEST(Identity, ValueOfRoundTrip) {
+  support::Rng rng(2);
+  const DeviceIdentity id = make_identity("Acme", "M1", "V1", rng);
+  EXPECT_EQ(id.value_of("mac"), id.mac);
+  EXPECT_EQ(id.value_of("dev_secret"), id.dev_secret);
+  EXPECT_EQ(id.value_of("nonexistent"), "");
+  EXPECT_EQ(id.as_map().size(), 15u);
+}
+
+TEST(Profiles, TableOneShape) {
+  const auto corpus = standard_corpus();
+  ASSERT_EQ(corpus.size(), 22u);
+  // Ids are 1..22 in order.
+  for (int i = 0; i < 22; ++i)
+    EXPECT_EQ(corpus[static_cast<std::size_t>(i)].id, i + 1);
+  // Devices 21/22 are script-based; the rest binary.
+  int script = 0;
+  for (const auto& p : corpus) script += p.script_based ? 1 : 0;
+  EXPECT_EQ(script, 2);
+  EXPECT_TRUE(corpus[20].script_based);
+  EXPECT_TRUE(corpus[21].script_based);
+  // Known models from Table I.
+  EXPECT_EQ(corpus[10].vendor, "Teltonika");
+  EXPECT_EQ(corpus[10].model, "RUT241");
+  EXPECT_EQ(corpus[13].vendor, "Western Digital");
+  EXPECT_EQ(corpus[3].model, "TL-TR960G");
+}
+
+TEST(Profiles, SeedsDistinct) {
+  std::set<std::uint64_t> seeds;
+  for (const auto& p : standard_corpus()) EXPECT_TRUE(seeds.insert(p.seed).second);
+}
+
+TEST(Profiles, ProfileByIdMatchesCorpus) {
+  const DeviceProfile p11 = profile_by_id(11);
+  EXPECT_EQ(p11.vendor, "Teltonika");
+  EXPECT_TRUE(p11.single_field_formats);
+  EXPECT_THROW(profile_by_id(99), support::InternalError);
+}
+
+TEST(Profiles, AssemblyStyleSplit) {
+  // Devices 1-7 and 9 assemble via cJSON ("-" in Table II); 8 and 10-20 via
+  // sprintf.
+  for (const auto& p : standard_corpus()) {
+    if (p.script_based) continue;
+    const bool sprintf_style = p.assembly == AssemblyStyle::Sprintf;
+    const bool expected = p.id == 8 || p.id >= 10;
+    EXPECT_EQ(sprintf_style, expected) << "device " << p.id;
+  }
+}
+
+// --- catalogue ---------------------------------------------------------------
+
+TEST(Catalog, VulnerableDeviceIds) {
+  EXPECT_EQ(vulnerable_device_ids(),
+            (std::vector<int>{2, 3, 5, 11, 17, 18, 19, 20}));
+}
+
+TEST(Catalog, TableThreeCounts) {
+  // 14 flawed interfaces over 8 devices: 1+1+2+1+3+2+1+3.
+  int total = 0;
+  for (const int id : vulnerable_device_ids()) {
+    const DeviceProfile profile = profile_by_id(id);
+    support::Rng rng(profile.seed);
+    const DeviceIdentity identity =
+        make_identity(profile.vendor, profile.model, profile.firmware_version,
+                      rng);
+    const auto specs = vulnerable_specs(profile, identity);
+    total += static_cast<int>(specs.size());
+    for (const MessageSpec& spec : specs) {
+      EXPECT_TRUE(spec.vulnerable);
+      EXPECT_FALSE(spec.consequence.empty());
+    }
+  }
+  EXPECT_EQ(total, 14);
+}
+
+TEST(Catalog, Device11IsTheKnownCve) {
+  const DeviceProfile profile = profile_by_id(11);
+  support::Rng rng(profile.seed);
+  const DeviceIdentity identity = make_identity(
+      profile.vendor, profile.model, profile.firmware_version, rng);
+  const auto specs = vulnerable_specs(profile, identity);
+  ASSERT_EQ(specs.size(), 1u);
+  EXPECT_NE(specs[0].name.find("cve_2023_2586"), std::string::npos);
+  EXPECT_EQ(specs[0].endpoint_path, "/rms/register");
+  // Only serial + MAC (+ host) — the running example's weak identification.
+  EXPECT_FALSE(specs[0].has_sufficient_primitives());
+}
+
+TEST(Catalog, Device5FixedToken) {
+  const DeviceProfile profile = profile_by_id(5);
+  support::Rng rng(profile.seed);
+  const DeviceIdentity identity = make_identity(
+      profile.vendor, profile.model, profile.firmware_version, rng);
+  const auto specs = vulnerable_specs(profile, identity);
+  ASSERT_EQ(specs.size(), 2u);
+  bool found_fixed = false;
+  for (const FieldSpec& f : specs[1].fields) {
+    if (f.key == "deviceToken") {
+      EXPECT_EQ(f.origin, FieldOrigin::HardcodedStr);
+      EXPECT_EQ(f.primitive, Primitive::BindToken);
+      found_fixed = true;
+    }
+  }
+  EXPECT_TRUE(found_fixed);
+}
+
+TEST(Catalog, VulnerableSpecsLackPrimitivesOrHardcode) {
+  for (const int id : vulnerable_device_ids()) {
+    const DeviceProfile profile = profile_by_id(id);
+    support::Rng rng(profile.seed);
+    const DeviceIdentity identity = make_identity(
+        profile.vendor, profile.model, profile.firmware_version, rng);
+    for (const MessageSpec& spec : vulnerable_specs(profile, identity)) {
+      bool hardcoded_credential = false;
+      for (const FieldSpec& f : spec.fields) {
+        if ((f.primitive == Primitive::BindToken ||
+             f.primitive == Primitive::DevSecret) &&
+            f.origin == FieldOrigin::HardcodedStr)
+          hardcoded_credential = true;
+      }
+      EXPECT_TRUE(!spec.has_sufficient_primitives() || hardcoded_credential)
+          << spec.name;
+    }
+  }
+}
+
+TEST(Catalog, BuildSpecsRespectsProfileCounts) {
+  const DeviceProfile profile = profile_by_id(14);
+  support::Rng rng(profile.seed);
+  const DeviceIdentity identity = make_identity(
+      profile.vendor, profile.model, profile.firmware_version, rng);
+  support::Rng spec_rng(profile.seed ^ 1);
+  const auto specs = build_message_specs(profile, identity, spec_rng);
+  int lan = 0, retired = 0;
+  for (const MessageSpec& spec : specs) {
+    lan += spec.lan_destination ? 1 : 0;
+    retired += spec.endpoint_retired ? 1 : 0;
+  }
+  EXPECT_EQ(static_cast<int>(specs.size()),
+            profile.num_messages + profile.num_lan_messages);
+  EXPECT_EQ(lan, profile.num_lan_messages);
+  EXPECT_EQ(retired, profile.num_retired);
+}
+
+TEST(Catalog, ScriptDevicesHaveNoSpecs) {
+  const DeviceProfile profile = profile_by_id(21);
+  support::Rng rng(profile.seed);
+  const DeviceIdentity identity = make_identity(
+      profile.vendor, profile.model, profile.firmware_version, rng);
+  support::Rng spec_rng(profile.seed ^ 1);
+  EXPECT_TRUE(build_message_specs(profile, identity, spec_rng).empty());
+}
+
+TEST(Catalog, SecureGenericsHaveSufficientPrimitives) {
+  const DeviceProfile profile = profile_by_id(6);  // no Table III flaws
+  support::Rng rng(profile.seed);
+  const DeviceIdentity identity = make_identity(
+      profile.vendor, profile.model, profile.firmware_version, rng);
+  support::Rng spec_rng(profile.seed ^ 1);
+  for (const MessageSpec& spec : build_message_specs(profile, identity,
+                                                     spec_rng)) {
+    if (spec.lan_destination || spec.benign_no_auth) continue;
+    EXPECT_TRUE(spec.has_sufficient_primitives()) << spec.name;
+  }
+}
+
+TEST(Catalog, BusinessFormsAllRepresented) {
+  // The secure generics draw compositions ①/②/③ (§II-B); over the corpus,
+  // every form must actually occur.
+  int form1 = 0, form2 = 0, form3 = 0;
+  for (const DeviceProfile& profile : standard_corpus()) {
+    if (profile.script_based) continue;
+    support::Rng rng(profile.seed);
+    const DeviceIdentity identity = make_identity(
+        profile.vendor, profile.model, profile.firmware_version, rng);
+    support::Rng spec_rng(profile.seed ^ 1);
+    for (const MessageSpec& spec :
+         build_message_specs(profile, identity, spec_rng)) {
+      if (spec.phase != MessageSpec::Phase::Business ||
+          !spec.has_sufficient_primitives())
+        continue;
+      bool token = false, sig = false, cred = false;
+      for (const FieldSpec& f : spec.fields) {
+        token |= f.primitive == Primitive::BindToken;
+        sig |= f.primitive == Primitive::Signature;
+        cred |= f.primitive == Primitive::UserCred;
+      }
+      form1 += token ? 1 : 0;
+      form2 += sig ? 1 : 0;
+      form3 += cred ? 1 : 0;
+    }
+  }
+  EXPECT_GT(form1, 10);
+  EXPECT_GT(form2, 10);
+  EXPECT_GT(form3, 10);
+}
+
+TEST(Catalog, FieldOriginDiversity) {
+  // The taint sinks of §IV-B: constants, NVRAM, config files, front-end
+  // inputs — the corpus must exercise all of them.
+  std::set<FieldOrigin> seen;
+  for (const DeviceProfile& profile : standard_corpus()) {
+    if (profile.script_based) continue;
+    support::Rng rng(profile.seed);
+    const DeviceIdentity identity = make_identity(
+        profile.vendor, profile.model, profile.firmware_version, rng);
+    support::Rng spec_rng(profile.seed ^ 1);
+    for (const MessageSpec& spec :
+         build_message_specs(profile, identity, spec_rng))
+      for (const FieldSpec& f : spec.fields) seen.insert(f.origin);
+  }
+  for (const FieldOrigin origin :
+       {FieldOrigin::Nvram, FieldOrigin::Config, FieldOrigin::Frontend,
+        FieldOrigin::DevInfoCall, FieldOrigin::HardcodedStr,
+        FieldOrigin::FileRead, FieldOrigin::Derived, FieldOrigin::Timestamp,
+        FieldOrigin::Counter}) {
+    EXPECT_TRUE(seen.contains(origin)) << field_origin_name(origin);
+  }
+}
+
+// --- dictionaries --------------------------------------------------------------
+
+TEST(FieldDictionary, KeywordLabelBasics) {
+  EXPECT_EQ(keyword_label("nvram_get macAddress_val"),
+            Primitive::DevIdentifier);
+  EXPECT_EQ(keyword_label("deviceSecret_val"), Primitive::DevSecret);
+  EXPECT_EQ(keyword_label("cloudpassword input"), Primitive::UserCred);
+  EXPECT_EQ(keyword_label("accessToken_val"), Primitive::BindToken);
+  EXPECT_EQ(keyword_label("hmac output sign_val"), Primitive::Signature);
+  EXPECT_EQ(keyword_label("serverUrl lookup"), Primitive::Address);
+  EXPECT_EQ(keyword_label("timestamp counter lang"), Primitive::None);
+  EXPECT_EQ(keyword_label(""), Primitive::None);
+}
+
+TEST(FieldDictionary, SignaturePrecedesSecret) {
+  // A derived credential's slice mentions both; the wire field is the
+  // signature (§II-B form ②).
+  EXPECT_EQ(keyword_label("md5_hex sign_val nvram_get dev_secret"),
+            Primitive::Signature);
+}
+
+TEST(FieldDictionary, ConfusablesMislabelByDesign) {
+  EXPECT_EQ(keyword_label("signal_val"), Primitive::Signature);
+  EXPECT_EQ(keyword_label("snapshot_val"), Primitive::DevIdentifier);
+  EXPECT_EQ(keyword_label("certlevel_val"), Primitive::DevSecret);
+  EXPECT_EQ(keyword_label("macfilter_val"), Primitive::DevIdentifier);
+}
+
+TEST(FieldDictionary, VendorCustomKeysAreInvisible) {
+  for (const std::string& key : vendor_custom_keys())
+    EXPECT_EQ(keyword_label(key + "_val"), Primitive::None) << key;
+}
+
+TEST(FieldDictionary, PrimitiveOfKeyExactMatch) {
+  EXPECT_EQ(primitive_of_key("macAddress"), Primitive::DevIdentifier);
+  EXPECT_EQ(primitive_of_key("MACADDRESS"), Primitive::DevIdentifier);
+  EXPECT_EQ(primitive_of_key("timestamp"), Primitive::None);
+  EXPECT_FALSE(primitive_of_key("not_a_key").has_value());
+}
+
+TEST(FieldDictionary, LogicalOfKey) {
+  EXPECT_EQ(logical_of_key("serialNumber").value(), "serial");
+  EXPECT_EQ(logical_of_key("cloudpassword").value(), "cloud_password");
+  EXPECT_FALSE(logical_of_key("timestamp").has_value());
+}
+
+TEST(FieldDictionary, TemplatesNonEmptyPerPrimitive) {
+  for (const Primitive p : all_primitives())
+    EXPECT_FALSE(templates_for(p).empty());
+}
+
+TEST(PrimitiveNames, RoundTrip) {
+  for (const Primitive p : all_primitives()) {
+    EXPECT_EQ(parse_primitive(primitive_name(p)), p);
+  }
+  EXPECT_FALSE(parse_primitive("bogus").has_value());
+}
+
+// --- crypto sim ----------------------------------------------------------------
+
+TEST(CryptoSim, DeterministicAndKeyed) {
+  EXPECT_EQ(pseudo_hmac("k", "d"), pseudo_hmac("k", "d"));
+  EXPECT_NE(pseudo_hmac("k1", "d"), pseudo_hmac("k2", "d"));
+  EXPECT_NE(pseudo_hmac("k", "d1"), pseudo_hmac("k", "d2"));
+  EXPECT_EQ(pseudo_hmac("k", "d").size(), 16u);
+  EXPECT_EQ(pseudo_hash("x"), pseudo_hash("x"));
+}
+
+TEST(MessageSpec, SufficiencyRules) {
+  MessageSpec spec;
+  spec.phase = MessageSpec::Phase::Binding;
+  auto add = [&spec](Primitive p) {
+    FieldSpec f;
+    f.primitive = p;
+    spec.fields.push_back(f);
+  };
+  add(Primitive::DevIdentifier);
+  EXPECT_FALSE(spec.has_sufficient_primitives());
+  add(Primitive::DevSecret);
+  EXPECT_FALSE(spec.has_sufficient_primitives());
+  add(Primitive::UserCred);
+  EXPECT_TRUE(spec.has_sufficient_primitives());
+
+  MessageSpec biz;
+  biz.phase = MessageSpec::Phase::Business;
+  FieldSpec id;
+  id.primitive = Primitive::DevIdentifier;
+  biz.fields.push_back(id);
+  FieldSpec sig;
+  sig.primitive = Primitive::Signature;
+  biz.fields.push_back(sig);
+  EXPECT_TRUE(biz.has_sufficient_primitives());
+}
+
+}  // namespace
+}  // namespace firmres::fw

@@ -1,0 +1,136 @@
+// End-to-end corpus integration: the headline numbers of the paper's
+// evaluation, asserted as invariants of the reproduction.
+//
+//   §V-B  device-cloud executables identified in 20 of 22 devices
+//   §V-C  281 identified / 246 valid messages; field identification
+//         accuracy ≈ 88 %; semantics recovery ≈ 90 % (keyword model)
+//   §V-D  14 confirmed vulnerabilities (13 new + CVE-2023-2586) across 8
+//         devices; ~26 reported messages, ~11 false alarms
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cloud/evaluation.h"
+#include "cloud/vuln_hunter.h"
+#include "firmware/synthesizer.h"
+
+namespace firmres {
+namespace {
+
+struct CorpusRun {
+  std::vector<fw::FirmwareImage> corpus;
+  cloudsim::CloudNetwork net;
+  std::vector<core::DeviceAnalysis> analyses;  // index = device id - 1
+
+  CorpusRun() {
+    corpus = fw::synthesize_corpus();
+    for (const auto& image : corpus) net.enroll(image);
+    static const core::KeywordModel model;
+    const core::Pipeline pipeline(model);
+    for (const auto& image : corpus) analyses.push_back(pipeline.analyze(image));
+  }
+};
+
+const CorpusRun& run() {
+  static const CorpusRun instance;
+  return instance;
+}
+
+TEST(Integration, TwentyOfTwentyTwoIdentified) {
+  int found = 0;
+  for (const auto& a : run().analyses)
+    found += a.device_cloud_executable.empty() ? 0 : 1;
+  EXPECT_EQ(found, 20);
+  EXPECT_TRUE(run().analyses[20].device_cloud_executable.empty());
+  EXPECT_TRUE(run().analyses[21].device_cloud_executable.empty());
+}
+
+TEST(Integration, MessageTotalsMatchPaper) {
+  int identified = 0, valid = 0;
+  for (std::size_t i = 0; i < run().corpus.size(); ++i) {
+    if (run().corpus[i].profile.script_based) continue;
+    const auto row = cloudsim::evaluate_device(run().analyses[i],
+                                               run().corpus[i], run().net);
+    identified += row.identified_msgs;
+    valid += row.valid_msgs;
+  }
+  // Paper Table II totals: 281 identified, 246 valid.
+  EXPECT_EQ(identified, 281);
+  EXPECT_EQ(valid, 246);
+}
+
+TEST(Integration, FieldAccuracyNearPaper) {
+  std::vector<cloudsim::Table2Row> rows;
+  for (std::size_t i = 0; i < run().corpus.size(); ++i) {
+    if (run().corpus[i].profile.script_based) continue;
+    rows.push_back(cloudsim::evaluate_device(run().analyses[i],
+                                             run().corpus[i], run().net));
+  }
+  const auto totals = cloudsim::total_rows(rows);
+  // Paper: 2019 identified / 1785 confirmed → 88.41 %. Shape: high 80s.
+  EXPECT_NEAR(totals.field_accuracy, 0.884, 0.03);
+  EXPECT_GT(totals.sum.identified_fields, 1800);
+  EXPECT_LT(totals.sum.identified_fields, 2400);
+  // Paper: 91.93 % semantics accuracy; the dictionary matcher lands close.
+  EXPECT_NEAR(totals.semantics_accuracy, 0.90, 0.04);
+}
+
+TEST(Integration, LanMessagesDiscardedEverywhere) {
+  for (std::size_t i = 0; i < run().corpus.size(); ++i) {
+    const auto& image = run().corpus[i];
+    if (image.profile.script_based) continue;
+    EXPECT_EQ(run().analyses[i].discarded_lan,
+              image.profile.num_lan_messages)
+        << "device " << image.profile.id;
+  }
+}
+
+TEST(Integration, VulnerabilityTotalsMatchPaper) {
+  int reported = 0, confirmed = 0, known = 0;
+  std::set<int> devices;
+  for (std::size_t i = 0; i < run().corpus.size(); ++i) {
+    if (run().corpus[i].profile.script_based) continue;
+    const auto result = cloudsim::VulnHunter(run().net)
+                            .hunt(run().analyses[i], run().corpus[i]);
+    reported += result.reported_messages;
+    for (const auto& f : result.confirmed) {
+      ++confirmed;
+      known += f.previously_known ? 1 : 0;
+      devices.insert(f.device_id);
+    }
+  }
+  EXPECT_EQ(confirmed, 14);  // 13 previously unknown + CVE-2023-2586
+  EXPECT_EQ(known, 1);
+  EXPECT_EQ(devices.size(), 8u);
+  EXPECT_NEAR(reported, 26, 4);
+}
+
+TEST(Integration, PerDeviceMessageCountsFollowProfiles) {
+  for (std::size_t i = 0; i < run().corpus.size(); ++i) {
+    const auto& image = run().corpus[i];
+    if (image.profile.script_based) continue;
+    EXPECT_EQ(static_cast<int>(run().analyses[i].messages.size()),
+              image.profile.num_messages)
+        << "device " << image.profile.id;
+  }
+}
+
+TEST(Integration, PhaseTimingsConsistent) {
+  // §V-E reports a per-phase breakdown measured on Ghidra-scale binaries;
+  // our substrate shifts the ratios (see EXPERIMENTS.md), so here we only
+  // assert internal consistency: every phase ran, and phases sum to total.
+  for (const auto& a : run().analyses) {
+    if (a.device_cloud_executable.empty()) continue;
+    EXPECT_GT(a.timings.pinpoint_s, 0.0);
+    EXPECT_GT(a.timings.fields_s, 0.0);
+    EXPECT_GT(a.timings.semantics_s, 0.0);
+    EXPECT_NEAR(a.timings.total_s(),
+                a.timings.pinpoint_s + a.timings.fields_s +
+                    a.timings.semantics_s + a.timings.concat_s +
+                    a.timings.check_s,
+                1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace firmres

@@ -1,0 +1,257 @@
+// Unit tests for the P-Code IR substrate: builder, program, data segment,
+// printer, and the library model.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ir/builder.h"
+#include "ir/library.h"
+#include "ir/printer.h"
+#include "ir/program.h"
+
+namespace firmres::ir {
+namespace {
+
+TEST(DataSegment, InternsAndDeduplicates) {
+  DataSegment seg;
+  const auto a = seg.intern("hello");
+  const auto b = seg.intern("world");
+  const auto c = seg.intern("hello");
+  EXPECT_EQ(a, c);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(seg.string_at(a).value(), "hello");
+  EXPECT_EQ(seg.string_at(b).value(), "world");
+  EXPECT_FALSE(seg.string_at(a + 1).has_value());
+  EXPECT_EQ(seg.string_count(), 2u);
+}
+
+TEST(Program, FunctionLookup) {
+  Program prog("test");
+  Function& f = prog.add_function("main");
+  EXPECT_EQ(prog.function("main"), &f);
+  EXPECT_EQ(prog.function("missing"), nullptr);
+  EXPECT_FALSE(f.is_import());
+  EXPECT_EQ(prog.local_functions().size(), 1u);
+}
+
+TEST(Program, DuplicateFunctionRejected) {
+  Program prog("test");
+  prog.add_function("f");
+  EXPECT_THROW(prog.add_function("f"), support::InternalError);
+}
+
+TEST(Program, OpAddressesAreUnique) {
+  Program prog("test");
+  IRBuilder b(prog);
+  FunctionBuilder f = b.function("f");
+  f.callv("printf", {f.cstr("a")});
+  f.callv("printf", {f.cstr("b")});
+  f.ret();
+  std::set<std::uint64_t> addrs;
+  prog.function("f")->for_each_op(
+      [&](const PcodeOp& op) { addrs.insert(op.address); });
+  EXPECT_EQ(addrs.size(), 3u);
+}
+
+TEST(Builder, CallAutoRegistersImports) {
+  Program prog("test");
+  IRBuilder b(prog);
+  FunctionBuilder f = b.function("main");
+  f.callv("nvram_get", {f.cstr("mac")});
+  f.ret();
+  const Function* import = prog.function("nvram_get");
+  ASSERT_NE(import, nullptr);
+  EXPECT_TRUE(import->is_import());
+}
+
+TEST(Builder, CallRecordsCalleeAndArgs) {
+  Program prog("test");
+  IRBuilder b(prog);
+  FunctionBuilder f = b.function("main");
+  const VarNode key = f.cstr("serial_no");
+  const VarNode out = f.call("nvram_get", {key}, "sn_val");
+  f.ret(out);
+  const Function* fn = prog.function("main");
+  const auto ops = fn->ops_in_order();
+  ASSERT_EQ(ops.size(), 2u);
+  EXPECT_TRUE(ops[0]->is_call_to("nvram_get"));
+  ASSERT_EQ(ops[0]->inputs.size(), 1u);
+  EXPECT_EQ(ops[0]->inputs[0], key);
+  EXPECT_EQ(*ops[0]->output, out);
+  const VarInfo* info = fn->var_info(out);
+  ASSERT_NE(info, nullptr);
+  EXPECT_EQ(info->name, "sn_val");
+  EXPECT_EQ(info->type, DataType::Local);
+}
+
+TEST(Builder, ParamsRegisterInOrder) {
+  Program prog("test");
+  IRBuilder b(prog);
+  FunctionBuilder f = b.function("handler");
+  const VarNode p0 = f.param("sock");
+  const VarNode p1 = f.param("flags");
+  f.ret();
+  const auto& params = prog.function("handler")->params();
+  ASSERT_EQ(params.size(), 2u);
+  EXPECT_EQ(params[0], p0);
+  EXPECT_EQ(params[1], p1);
+  EXPECT_NE(p0, p1);
+}
+
+TEST(Builder, ControlFlowEdges) {
+  Program prog("test");
+  IRBuilder b(prog);
+  FunctionBuilder f = b.function("f");
+  const VarNode c = f.cmp_eq(f.cnum(1), f.cnum(2));
+  const int tb = f.new_block();
+  const int fb = f.new_block();
+  f.cbranch(c, tb, fb);
+  f.set_block(tb);
+  f.branch(fb);
+  f.set_block(fb);
+  f.ret();
+  const Function* fn = prog.function("f");
+  ASSERT_EQ(fn->blocks().size(), 3u);
+  EXPECT_EQ(fn->blocks()[0].successors, (std::vector<int>{tb, fb}));
+  EXPECT_EQ(fn->blocks()[1].successors, (std::vector<int>{fb}));
+}
+
+TEST(Builder, FuncAddrResolvesEntry) {
+  Program prog("test");
+  IRBuilder b(prog);
+  {
+    FunctionBuilder h = b.function("handler");
+    h.ret();
+  }
+  FunctionBuilder m = b.function("main");
+  const VarNode addr = m.func_addr("handler");
+  m.callv("event_loop_register", {m.local("loop"), addr});
+  m.ret();
+  EXPECT_EQ(addr.offset, prog.function("handler")->entry_address());
+  const VarInfo* info = prog.function("main")->var_info(addr);
+  ASSERT_NE(info, nullptr);
+  EXPECT_EQ(info->type, DataType::Function);
+  EXPECT_EQ(info->name, "handler");
+}
+
+TEST(Builder, FuncAddrUnknownTargetChecks) {
+  Program prog("test");
+  IRBuilder b(prog);
+  FunctionBuilder m = b.function("main");
+  EXPECT_THROW(m.func_addr("nope"), support::InternalError);
+}
+
+TEST(Builder, CstrSharesStorage) {
+  Program prog("test");
+  IRBuilder b(prog);
+  FunctionBuilder f = b.function("f");
+  const VarNode a = f.cstr("same");
+  const VarNode c = f.cstr("same");
+  EXPECT_EQ(a.offset, c.offset);
+  EXPECT_EQ(a.space, Space::Ram);
+}
+
+TEST(Printer, EnrichedRendering) {
+  Program prog("test");
+  IRBuilder b(prog);
+  FunctionBuilder f = b.function("f");
+  const VarNode buf = f.local("finalBuf");
+  f.callv("sprintf", {buf, f.cstr("posting data of is %s"), buf});
+  f.ret();
+  const Function* fn = prog.function("f");
+  const auto ops = fn->ops_in_order();
+  const std::string text = render_op_enriched(*ops[0], *fn);
+  EXPECT_NE(text.find("CALL (Fun, sprintf)"), std::string::npos);
+  EXPECT_NE(text.find("(Cons, \"posting data of is %s\")"), std::string::npos);
+  EXPECT_NE(text.find("(Local, finalBuf, v_"), std::string::npos);
+}
+
+TEST(Printer, RawRendering) {
+  const VarNode v{.space = Space::Unique, .offset = 0x1000024e, .size = 4};
+  EXPECT_EQ(v.to_string(), "(unique, 0x1000024e, 4)");
+}
+
+TEST(Printer, ProgramListingMentionsEveryLocalFunction) {
+  Program prog("demo");
+  IRBuilder b(prog);
+  {
+    FunctionBuilder f = b.function("alpha");
+    f.ret();
+  }
+  {
+    FunctionBuilder f = b.function("beta");
+    f.callv("printf", {f.cstr("x")});
+    f.ret();
+  }
+  const std::string listing = render_program(prog);
+  EXPECT_NE(listing.find("alpha"), std::string::npos);
+  EXPECT_NE(listing.find("beta"), std::string::npos);
+  // imports are not listed as bodies
+  EXPECT_EQ(listing.find("import printf\n"), std::string::npos);
+}
+
+// --- LibraryModel ----------------------------------------------------------
+
+TEST(LibraryModel, PaperNamedFunctionsPresent) {
+  const auto& lib = LibraryModel::instance();
+  for (const char* name : {"SSL_write", "CyaSSL_write", "curl_easy_perform",
+                           "mosquitto_publish", "recv", "recvfrom", "recvmsg",
+                           "send", "sendto", "sendmsg", "sprintf"}) {
+    EXPECT_NE(lib.find(name), nullptr) << name;
+  }
+}
+
+TEST(LibraryModel, KindsAreConsistent) {
+  const auto& lib = LibraryModel::instance();
+  EXPECT_TRUE(lib.is_kind("SSL_write", LibKind::MsgDeliver));
+  EXPECT_TRUE(lib.is_kind("recv", LibKind::RecvFn));
+  EXPECT_TRUE(lib.is_kind("send", LibKind::SendFn));
+  EXPECT_TRUE(lib.is_kind("nvram_get", LibKind::SourceNvram));
+  EXPECT_FALSE(lib.is_kind("send", LibKind::RecvFn));
+  EXPECT_EQ(lib.find("no_such_function"), nullptr);
+}
+
+TEST(LibraryModel, FieldSourceClassification) {
+  const auto& lib = LibraryModel::instance();
+  EXPECT_TRUE(lib.is_field_source("nvram_get"));
+  EXPECT_TRUE(lib.is_field_source("getenv"));
+  EXPECT_TRUE(lib.is_field_source("get_mac_address"));
+  EXPECT_TRUE(lib.is_field_source("cgi_get_input"));
+  EXPECT_FALSE(lib.is_field_source("sprintf"));
+  EXPECT_FALSE(lib.is_field_source("SSL_write"));
+  EXPECT_FALSE(lib.is_field_source("unknown"));
+}
+
+TEST(LibraryModel, SummaryShapes) {
+  const auto& lib = LibraryModel::instance();
+  const LibFunction* sprintf_fn = lib.find("sprintf");
+  ASSERT_NE(sprintf_fn, nullptr);
+  EXPECT_EQ(sprintf_fn->summary.dst, 0);
+  EXPECT_EQ(sprintf_fn->summary.srcs_from, 2);
+  const LibFunction* strcat_fn = lib.find("strcat");
+  ASSERT_NE(strcat_fn, nullptr);
+  EXPECT_TRUE(strcat_fn->summary.dst_also_src);
+  const LibFunction* nvram = lib.find("nvram_get");
+  ASSERT_NE(nvram, nullptr);
+  EXPECT_TRUE(nvram->summary.is_field_source);
+  EXPECT_EQ(nvram->key_arg, 0);
+}
+
+TEST(LibraryModel, DeliveryMessageArgs) {
+  const auto& lib = LibraryModel::instance();
+  EXPECT_EQ(lib.find("SSL_write")->msg_args, (std::vector<int>{1}));
+  EXPECT_EQ(lib.find("http_post")->msg_args, (std::vector<int>{0, 1}));
+  EXPECT_EQ(lib.find("mqtt_publish")->msg_args, (std::vector<int>{1, 2}));
+  EXPECT_EQ(lib.find("mosquitto_publish")->msg_args, (std::vector<int>{2, 4}));
+}
+
+TEST(LibraryModel, NamesOfKind) {
+  const auto& lib = LibraryModel::instance();
+  const auto recvs = lib.names_of_kind(LibKind::RecvFn);
+  EXPECT_GE(recvs.size(), 5u);
+  for (const std::string& name : recvs)
+    EXPECT_TRUE(lib.is_kind(name, LibKind::RecvFn));
+}
+
+}  // namespace
+}  // namespace firmres::ir

@@ -1,0 +1,266 @@
+// Autograd correctness: every op's analytic gradient is verified against
+// central finite differences, plus Adam behaviour and tensor basics.
+#include "nlp/autograd.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+namespace firmres::nlp {
+namespace {
+
+Mat random_mat(int r, int c, std::uint64_t seed) {
+  support::Rng rng(seed);
+  Mat m(r, c);
+  for (float& v : m.data)
+    v = static_cast<float>(rng.uniform_real(-1.0, 1.0));
+  return m;
+}
+
+/// Finite-difference check: loss as a function of one parameter matrix.
+/// `build` runs forward from a Graph and the Param, returning the loss.
+void check_gradient(Param& param,
+                    const std::function<float(Graph&, Param&)>& build,
+                    float tolerance = 2e-2f) {
+  // Analytic gradient.
+  param.grad.zero();
+  {
+    Graph g;
+    build(g, param);
+    g.backward();
+  }
+  const Mat analytic = param.grad;
+
+  // Central differences on a few entries (all entries for small mats).
+  const float eps = 1e-3f;
+  const std::size_t n = param.value.size();
+  const std::size_t stride = n <= 16 ? 1 : n / 16;
+  for (std::size_t i = 0; i < n; i += stride) {
+    const float saved = param.value.data[i];
+    param.value.data[i] = saved + eps;
+    Graph gp;
+    const float up = build(gp, param);
+    param.value.data[i] = saved - eps;
+    Graph gm;
+    const float down = build(gm, param);
+    param.value.data[i] = saved;
+    const float numeric = (up - down) / (2 * eps);
+    EXPECT_NEAR(analytic.data[i], numeric,
+                tolerance * std::max(1.0f, std::abs(numeric)))
+        << "entry " << i;
+  }
+}
+
+TEST(Autograd, MatmulGradient) {
+  Param w(random_mat(3, 4, 1));
+  const Mat x = random_mat(2, 3, 2);
+  check_gradient(w, [&x](Graph& g, Param& p) {
+    const ValueId logits =
+        g.max_over_rows(g.matmul(g.input(x), g.param(p)));
+    return g.cross_entropy(logits, 1);
+  });
+}
+
+TEST(Autograd, AddAndRowvecGradient) {
+  Param b(random_mat(1, 4, 3));
+  const Mat x = random_mat(2, 4, 4);
+  check_gradient(b, [&x](Graph& g, Param& p) {
+    const ValueId out = g.add_rowvec(g.input(x), g.param(p));
+    return g.cross_entropy(g.max_over_rows(out), 0);
+  });
+}
+
+TEST(Autograd, ReluGradient) {
+  Param w(random_mat(2, 4, 5));
+  check_gradient(w, [](Graph& g, Param& p) {
+    return g.cross_entropy(g.max_over_rows(g.relu(g.param(p))), 2);
+  });
+}
+
+TEST(Autograd, TanhGradient) {
+  Param w(random_mat(2, 4, 6));
+  check_gradient(w, [](Graph& g, Param& p) {
+    return g.cross_entropy(g.max_over_rows(g.tanh_op(g.param(p))), 3);
+  });
+}
+
+TEST(Autograd, SoftmaxRowsGradient) {
+  Param w(random_mat(3, 4, 7));
+  const Mat v = random_mat(3, 4, 8);
+  check_gradient(w, [&v](Graph& g, Param& p) {
+    // attention-like: softmax(P) · V
+    const ValueId attn = g.softmax_rows(g.param(p));
+    const ValueId out = g.matmul(attn, g.transpose_op(g.input(v)));
+    return g.cross_entropy(g.max_over_rows(out), 1);
+  });
+}
+
+TEST(Autograd, TransposeGradient) {
+  Param w(random_mat(3, 2, 9));
+  check_gradient(w, [](Graph& g, Param& p) {
+    return g.cross_entropy(g.max_over_rows(g.transpose_op(g.param(p))), 0);
+  });
+}
+
+TEST(Autograd, ConcatColsGradient) {
+  Param w(random_mat(2, 3, 10));
+  const Mat x = random_mat(2, 2, 11);
+  check_gradient(w, [&x](Graph& g, Param& p) {
+    const ValueId cat = g.concat_cols(g.input(x), g.param(p));
+    return g.cross_entropy(g.max_over_rows(cat), 4);
+  });
+}
+
+TEST(Autograd, WindowsGradient) {
+  // Full-width window: a pure gather with a (1 × k·D) result, so the loss
+  // depends on every entry exactly once and no max-pool kinks perturb the
+  // finite differences.
+  Param w(random_mat(5, 3, 12));
+  check_gradient(w, [](Graph& g, Param& p) {
+    const ValueId win = g.windows(g.param(p), 5);  // 1×15
+    return g.cross_entropy(win, 2);
+  });
+}
+
+TEST(Autograd, WindowsShapes) {
+  Graph g;
+  Mat x(5, 3);
+  for (std::size_t i = 0; i < x.data.size(); ++i)
+    x.data[i] = static_cast<float>(i);
+  const ValueId win = g.windows(g.input(x), 2);
+  const Mat& v = g.value(win);
+  EXPECT_EQ(v.rows, 4);
+  EXPECT_EQ(v.cols, 6);
+  // Row r = [x[r], x[r+1]] flattened.
+  EXPECT_EQ(v.at(0, 0), x.at(0, 0));
+  EXPECT_EQ(v.at(0, 3), x.at(1, 0));
+  EXPECT_EQ(v.at(3, 5), x.at(4, 2));
+}
+
+TEST(Autograd, ScaleGradient) {
+  Param w(random_mat(2, 4, 13));
+  check_gradient(w, [](Graph& g, Param& p) {
+    return g.cross_entropy(g.max_over_rows(g.scale(g.param(p), 0.37f)), 1);
+  });
+}
+
+TEST(Autograd, EmbeddingGradientHitsOnlyLookedUpRows) {
+  Param table(random_mat(6, 4, 14));
+  table.grad.zero();
+  Graph g;
+  const ValueId emb = g.embed(table, {1, 3, 3});
+  const float loss = g.cross_entropy(g.max_over_rows(emb), 0);
+  EXPECT_GT(loss, 0.0f);
+  g.backward();
+  // Rows 0, 2, 4, 5 untouched.
+  for (const int row : {0, 2, 4, 5}) {
+    for (int c = 0; c < 4; ++c) EXPECT_EQ(table.grad.at(row, c), 0.0f);
+  }
+  // Rows 1 and 3 received gradient somewhere.
+  float sum = 0.0f;
+  for (int c = 0; c < 4; ++c)
+    sum += std::abs(table.grad.at(1, c)) + std::abs(table.grad.at(3, c));
+  EXPECT_GT(sum, 0.0f);
+}
+
+TEST(Autograd, CrossEntropyMatchesManualSoftmax) {
+  Graph g;
+  Mat logits(1, 3);
+  logits.at(0, 0) = 1.0f;
+  logits.at(0, 1) = 2.0f;
+  logits.at(0, 2) = 3.0f;
+  const ValueId id = g.input(logits);
+  const float loss = g.cross_entropy(id, 2);
+  const double denom = std::exp(1.0) + std::exp(2.0) + std::exp(3.0);
+  EXPECT_NEAR(loss, -std::log(std::exp(3.0) / denom), 1e-5);
+  const Mat probs = g.softmax_of(id);
+  EXPECT_NEAR(probs.at(0, 0) + probs.at(0, 1) + probs.at(0, 2), 1.0f, 1e-5);
+}
+
+TEST(Autograd, GradientsAccumulateAcrossExamples) {
+  Param w(random_mat(1, 3, 15));
+  w.grad.zero();
+  for (int i = 0; i < 2; ++i) {
+    Graph g;
+    g.cross_entropy(g.param(w), 0);
+    g.backward();
+  }
+  Param w2(w.value);
+  w2.grad.zero();
+  {
+    Graph g;
+    g.cross_entropy(g.param(w2), 0);
+    g.backward();
+  }
+  for (std::size_t i = 0; i < w.grad.data.size(); ++i)
+    EXPECT_NEAR(w.grad.data[i], 2 * w2.grad.data[i], 1e-6);
+}
+
+TEST(Adam, StepsTowardLowerLoss) {
+  Param w(random_mat(1, 4, 16));
+  std::vector<Param*> params = {&w};
+  float first_loss = 0.0f, last_loss = 0.0f;
+  for (int step = 1; step <= 50; ++step) {
+    Graph g;
+    const float loss = g.cross_entropy(g.param(w), 2);
+    if (step == 1) first_loss = loss;
+    last_loss = loss;
+    g.backward();
+    adam_step(params, 0.05f, step);
+  }
+  EXPECT_LT(last_loss, first_loss);
+  EXPECT_LT(last_loss, 0.1f);
+}
+
+TEST(Adam, ZeroesGradAfterStep) {
+  Param w(random_mat(2, 2, 17));
+  Graph g;
+  g.cross_entropy(g.max_over_rows(g.param(w)), 0);
+  g.backward();
+  std::vector<Param*> params = {&w};
+  adam_step(params, 0.01f, 1);
+  for (const float v : w.grad.data) EXPECT_EQ(v, 0.0f);
+}
+
+// --- tensor basics -----------------------------------------------------------
+
+TEST(Tensor, MatmulKnownValues) {
+  Mat a(2, 2), b(2, 2);
+  a.at(0, 0) = 1;
+  a.at(0, 1) = 2;
+  a.at(1, 0) = 3;
+  a.at(1, 1) = 4;
+  b.at(0, 0) = 5;
+  b.at(0, 1) = 6;
+  b.at(1, 0) = 7;
+  b.at(1, 1) = 8;
+  const Mat c = matmul(a, b);
+  EXPECT_EQ(c.at(0, 0), 19);
+  EXPECT_EQ(c.at(0, 1), 22);
+  EXPECT_EQ(c.at(1, 0), 43);
+  EXPECT_EQ(c.at(1, 1), 50);
+}
+
+TEST(Tensor, MatmulShapeCheck) {
+  EXPECT_THROW(matmul(Mat(2, 3), Mat(2, 3)), support::InternalError);
+}
+
+TEST(Tensor, TransposeRoundTrip) {
+  const Mat m = random_mat(3, 5, 18);
+  const Mat t = transpose(transpose(m));
+  EXPECT_EQ(t.data, m.data);
+}
+
+TEST(Tensor, GlorotBounds) {
+  support::Rng rng(19);
+  const Mat m = glorot(10, 10, rng);
+  const double bound = std::sqrt(6.0 / 20);
+  for (const float v : m.data) {
+    EXPECT_GE(v, -bound);
+    EXPECT_LE(v, bound);
+  }
+}
+
+}  // namespace
+}  // namespace firmres::nlp

@@ -1,0 +1,98 @@
+// Dataset-builder tests: split ratios, label review behaviour, and the
+// device-cloud / noise-executable mix.
+#include "nlp/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace firmres::nlp {
+namespace {
+
+DatasetConfig small_config() {
+  DatasetConfig c;
+  c.num_devices = 8;
+  return c;
+}
+
+TEST(Dataset, SplitRoughly721) {
+  const Dataset ds = build_dataset(small_config());
+  ASSERT_GT(ds.total(), 100u);
+  const double train = static_cast<double>(ds.train.size()) /
+                       static_cast<double>(ds.total());
+  const double val =
+      static_cast<double>(ds.val.size()) / static_cast<double>(ds.total());
+  const double test =
+      static_cast<double>(ds.test.size()) / static_cast<double>(ds.total());
+  EXPECT_NEAR(train, 0.7, 0.02);
+  EXPECT_NEAR(val, 0.2, 0.02);
+  EXPECT_NEAR(test, 0.1, 0.02);
+}
+
+TEST(Dataset, DeterministicInSeed) {
+  const Dataset a = build_dataset(small_config());
+  const Dataset b = build_dataset(small_config());
+  ASSERT_EQ(a.total(), b.total());
+  ASSERT_EQ(a.train.size(), b.train.size());
+  for (std::size_t i = 0; i < std::min<std::size_t>(50, a.train.size()); ++i) {
+    EXPECT_EQ(a.train[i].text, b.train[i].text);
+    EXPECT_EQ(a.train[i].label, b.train[i].label);
+  }
+}
+
+TEST(Dataset, ContainsBothExecutableKinds) {
+  const Dataset ds = build_dataset(small_config());
+  int device_cloud = 0, noise = 0;
+  for (const auto* split : {&ds.train, &ds.val, &ds.test}) {
+    for (const LabeledSlice& s : *split) {
+      (s.from_device_cloud ? device_cloud : noise) += 1;
+    }
+  }
+  EXPECT_GT(device_cloud, 0);
+  EXPECT_GT(noise, 0);
+  // The paper's mix is 73 % / 27 %; ours is dominated by device-cloud
+  // slices too.
+  EXPECT_GT(device_cloud, noise);
+}
+
+TEST(Dataset, CoversMultiplePrimitives) {
+  const Dataset ds = build_dataset(small_config());
+  std::set<fw::Primitive> labels;
+  for (const LabeledSlice& s : ds.train) labels.insert(s.label);
+  EXPECT_GE(labels.size(), 5u);
+}
+
+TEST(Dataset, FullCorrectionAlignsLabelsWithTruth) {
+  DatasetConfig c = small_config();
+  c.correction_rate = 1.0;
+  const Dataset ds = build_dataset(c);
+  EXPECT_DOUBLE_EQ(label_agreement(ds.train), 1.0);
+}
+
+TEST(Dataset, NoCorrectionLeavesKeywordErrors) {
+  DatasetConfig c = small_config();
+  c.correction_rate = 0.0;
+  const Dataset ds = build_dataset(c);
+  const double agreement = label_agreement(ds.train);
+  EXPECT_LT(agreement, 1.0);
+  EXPECT_GT(agreement, 0.8);  // keyword labeling is decent, not perfect
+}
+
+TEST(Dataset, CorrectionRateMonotone) {
+  DatasetConfig lo = small_config();
+  lo.correction_rate = 0.0;
+  DatasetConfig hi = small_config();
+  hi.correction_rate = 0.9;
+  EXPECT_LT(label_agreement(build_dataset(lo).train),
+            label_agreement(build_dataset(hi).train));
+}
+
+TEST(Dataset, ExcludingNoiseExecutablesShrinksCorpus) {
+  DatasetConfig with = small_config();
+  DatasetConfig without = small_config();
+  without.include_noise_executables = false;
+  EXPECT_GT(build_dataset(with).total(), build_dataset(without).total());
+}
+
+TEST(LabelAgreement, EmptyIsZero) { EXPECT_EQ(label_agreement({}), 0.0); }
+
+}  // namespace
+}  // namespace firmres::nlp

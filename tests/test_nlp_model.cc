@@ -1,0 +1,128 @@
+// Classifier tests: architecture sanity, determinism, overfitting a tiny
+// labeled set, and end-to-end classification of realistic slices.
+#include "nlp/model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace firmres::nlp {
+namespace {
+
+ModelConfig tiny_config() {
+  ModelConfig c;
+  c.embed_dim = 16;
+  c.heads = 2;
+  c.conv_filters = 8;
+  c.kernel_sizes = {2, 3};
+  c.max_len = 16;
+  return c;
+}
+
+Vocab tiny_vocab() {
+  return Vocab::build(
+      {"call fun nvram get cons mac address local val sprintf secret token "
+       "sign password time rand device id serial"},
+      1);
+}
+
+TEST(Model, PredictIsADistribution) {
+  SliceClassifier model(tiny_vocab(), tiny_config());
+  const auto probs = model.predict("CALL nvram_get mac address");
+  ASSERT_EQ(probs.size(), static_cast<std::size_t>(fw::kPrimitiveCount));
+  float sum = 0.0f;
+  for (const float p : probs) {
+    EXPECT_GE(p, 0.0f);
+    EXPECT_LE(p, 1.0f);
+    sum += p;
+  }
+  EXPECT_NEAR(sum, 1.0f, 1e-4);
+}
+
+TEST(Model, DeterministicInSeed) {
+  SliceClassifier a(tiny_vocab(), tiny_config());
+  SliceClassifier b(tiny_vocab(), tiny_config());
+  const auto pa = a.predict("mac address val");
+  const auto pb = b.predict("mac address val");
+  EXPECT_EQ(pa, pb);
+}
+
+TEST(Model, ParameterCountMatchesArchitecture) {
+  const ModelConfig c = tiny_config();
+  const Vocab v = tiny_vocab();
+  SliceClassifier model(v, c);
+  std::size_t expected = 0;
+  expected += static_cast<std::size_t>(v.size()) * c.embed_dim;  // embedding
+  expected += static_cast<std::size_t>(c.max_len) * c.embed_dim; // positions
+  const int head_dim = c.embed_dim / c.heads;
+  expected += 3u * c.heads * c.embed_dim * head_dim;  // wq/wk/wv
+  expected += static_cast<std::size_t>(c.embed_dim) * c.embed_dim;  // wo
+  std::size_t pooled = 0;
+  for (const int k : c.kernel_sizes) {
+    expected += static_cast<std::size_t>(k) * c.embed_dim * c.conv_filters;
+    expected += static_cast<std::size_t>(c.conv_filters);
+    pooled += static_cast<std::size_t>(c.conv_filters);
+  }
+  expected += pooled * c.num_classes + c.num_classes;  // fc
+  EXPECT_EQ(model.parameter_count(), expected);
+}
+
+TEST(Model, OverfitsTinyDataset) {
+  // Four distinguishable patterns, four labels: the model must drive
+  // training loss down and classify its own training set.
+  const std::vector<std::pair<std::string, fw::Primitive>> data = {
+      {"call nvram_get cons mac local mac_val", fw::Primitive::DevIdentifier},
+      {"call nvram_get cons dev_secret local secret_val",
+       fw::Primitive::DevSecret},
+      {"call nvram_get cons cloud_token local token_val",
+       fw::Primitive::BindToken},
+      {"call time local ts_val", fw::Primitive::None},
+  };
+  std::vector<std::string> texts;
+  for (const auto& [t, l] : data) {
+    (void)l;
+    texts.push_back(t);
+  }
+  SliceClassifier model(Vocab::build(texts, 1), tiny_config());
+  for (int epoch = 0; epoch < 60; ++epoch) {
+    for (const auto& [text, label] : data)
+      model.train_example(text, label);
+    model.apply_gradients(0.01f);
+  }
+  for (const auto& [text, label] : data) {
+    EXPECT_EQ(model.classify(text), label) << text;
+  }
+}
+
+TEST(Model, TrainExampleReturnsFiniteLoss) {
+  SliceClassifier model(tiny_vocab(), tiny_config());
+  const float loss =
+      model.train_example("call sprintf local val", fw::Primitive::None);
+  EXPECT_TRUE(std::isfinite(loss));
+  EXPECT_GT(loss, 0.0f);
+  model.apply_gradients(1e-3f);
+}
+
+TEST(Model, HandlesEmptyAndLongInput) {
+  SliceClassifier model(tiny_vocab(), tiny_config());
+  EXPECT_NO_THROW(model.classify(""));
+  std::string long_text;
+  for (int i = 0; i < 500; ++i) long_text += "mac ";
+  EXPECT_NO_THROW(model.classify(long_text));
+}
+
+TEST(Model, RejectsIndivisibleHeadConfig) {
+  ModelConfig c = tiny_config();
+  c.embed_dim = 15;  // not divisible by 2 heads
+  EXPECT_THROW(SliceClassifier(tiny_vocab(), c), support::InternalError);
+}
+
+TEST(Model, NameAndConfigAccessors) {
+  SliceClassifier model(tiny_vocab(), tiny_config());
+  EXPECT_EQ(model.name(), "attn-textcnn");
+  EXPECT_EQ(model.config().heads, 2);
+  EXPECT_GT(model.vocab().size(), 2);
+}
+
+}  // namespace
+}  // namespace firmres::nlp

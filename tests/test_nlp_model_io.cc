@@ -1,0 +1,81 @@
+// Model-persistence tests: a trained classifier round-trips through its
+// JSON document and a file, predicting identically afterwards.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "nlp/trainer.h"
+
+namespace firmres::nlp {
+namespace {
+
+std::unique_ptr<SliceClassifier> small_trained_model() {
+  DatasetConfig dc;
+  dc.num_devices = 4;
+  const Dataset ds = build_dataset(dc);
+  ModelConfig mc;
+  mc.embed_dim = 16;
+  mc.heads = 2;
+  mc.conv_filters = 6;
+  mc.kernel_sizes = {2, 3};
+  mc.max_len = 24;
+  TrainConfig tc;
+  tc.epochs = 1;
+  return train_classifier(ds, mc, tc);
+}
+
+TEST(ModelIo, JsonRoundTripPredictsIdentically) {
+  const auto model = small_trained_model();
+  const auto restored = SliceClassifier::from_json(model->to_json());
+  EXPECT_EQ(restored->parameter_count(), model->parameter_count());
+  EXPECT_EQ(restored->vocab().size(), model->vocab().size());
+  for (const char* slice :
+       {"CALL (Fun, nvram_get) (Cons, \"lan_hwaddr\") (Local, macAddress_val)",
+        "CALL (Fun, nvram_get) (Cons, \"cloud_token\") (Local, token_val)",
+        "CALL (Fun, time) (Local, ts_val)", ""}) {
+    EXPECT_EQ(model->predict(slice), restored->predict(slice)) << slice;
+  }
+}
+
+TEST(ModelIo, FileRoundTrip) {
+  const auto model = small_trained_model();
+  const auto path = std::filesystem::temp_directory_path() /
+                    ("firmres-model-" + std::to_string(::getpid()) + ".json");
+  model->save(path.string());
+  const auto restored = SliceClassifier::load(path.string());
+  EXPECT_EQ(model->predict("mac address"), restored->predict("mac address"));
+  std::filesystem::remove(path);
+}
+
+TEST(ModelIo, RejectsMalformedDocuments) {
+  using support::Json;
+  using support::ParseError;
+  EXPECT_THROW(SliceClassifier::from_json(Json::parse("{}")), ParseError);
+  EXPECT_THROW(SliceClassifier::from_json(
+                   Json::parse(R"({"format":"firmres-model"})")),
+               ParseError);
+  EXPECT_THROW(SliceClassifier::load("/nonexistent/model.json"), ParseError);
+}
+
+TEST(ModelIo, RejectsShapeMismatch) {
+  const auto model = small_trained_model();
+  support::Json doc = model->to_json();
+  // Corrupt the first parameter's shape.
+  auto& params = doc.find("weights")->as_object();
+  (void)params;
+  support::Json& mats = *const_cast<support::Json*>(
+      doc.find("weights")->find("params"));
+  mats.as_array()[0].set("rows", 1);
+  EXPECT_THROW(SliceClassifier::from_json(doc), support::ParseError);
+}
+
+TEST(VocabFromTokens, RejectsMissingSentinels) {
+  EXPECT_THROW(Vocab::from_tokens({"a", "b"}), support::InternalError);
+  const Vocab v = Vocab::from_tokens({"<pad>", "<unk>", "mac"});
+  EXPECT_EQ(v.id_of("mac"), 2);
+  EXPECT_EQ(v.id_of("unknown"), Vocab::kUnk);
+}
+
+}  // namespace
+}  // namespace firmres::nlp

@@ -1,0 +1,91 @@
+// Tokenizer/vocabulary tests: normalization, camelCase splitting, node-id
+// filtering, vocab construction, and encoding.
+#include "nlp/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace firmres::nlp {
+namespace {
+
+TEST(Tokenize, BasicSplitAndLowercase) {
+  const auto tokens = tokenize("CALL (Fun, sprintf)");
+  EXPECT_EQ(tokens, (std::vector<std::string>{"call", "fun", "sprintf"}));
+}
+
+TEST(Tokenize, CamelCaseBoundary) {
+  const auto tokens = tokenize("finalBuf macAddress");
+  EXPECT_EQ(tokens,
+            (std::vector<std::string>{"final", "buf", "mac", "address"}));
+}
+
+TEST(Tokenize, DropsPureNumbersAndNodeIds) {
+  const auto tokens = tokenize("(Local, buf, v_1357) 42 0x10");
+  // "0x10" → "0x10" is alnum run "0x10" → not pure digits… it contains 'x'.
+  EXPECT_EQ(std::count(tokens.begin(), tokens.end(), "1357"), 0);
+  EXPECT_EQ(std::count(tokens.begin(), tokens.end(), "42"), 0);
+  EXPECT_EQ(std::count(tokens.begin(), tokens.end(), "v"), 0);
+  EXPECT_NE(std::find(tokens.begin(), tokens.end(), "buf"), tokens.end());
+}
+
+TEST(Tokenize, SnakeCaseSplits) {
+  const auto tokens = tokenize("serial_no dev_secret");
+  EXPECT_EQ(tokens,
+            (std::vector<std::string>{"serial", "no", "dev", "secret"}));
+}
+
+TEST(Tokenize, EmptyInput) { EXPECT_TRUE(tokenize("").empty()); }
+
+TEST(Vocab, BuildRanksByFrequency) {
+  const std::vector<std::string> corpus = {
+      "alpha beta", "alpha beta", "alpha gamma", "alpha"};
+  const Vocab vocab = Vocab::build(corpus, /*min_count=*/1);
+  // ids: 0=<pad>, 1=<unk>, then by frequency: alpha(4), beta(2), gamma(1).
+  EXPECT_EQ(vocab.id_of("alpha"), 2);
+  EXPECT_EQ(vocab.id_of("beta"), 3);
+  EXPECT_EQ(vocab.id_of("gamma"), 4);
+  EXPECT_EQ(vocab.token(2), "alpha");
+}
+
+TEST(Vocab, MinCountFiltersRareTokens) {
+  const std::vector<std::string> corpus = {"common common rare"};
+  const Vocab vocab = Vocab::build(corpus, /*min_count=*/2);
+  EXPECT_NE(vocab.id_of("common"), Vocab::kUnk);
+  EXPECT_EQ(vocab.id_of("rare"), Vocab::kUnk);
+}
+
+TEST(Vocab, MaxSizeCaps) {
+  std::vector<std::string> corpus;
+  for (int i = 0; i < 100; ++i)
+    corpus.push_back("tok" + std::to_string(i));
+  const Vocab vocab = Vocab::build(corpus, 1, /*max_size=*/10);
+  EXPECT_EQ(vocab.size(), 10);
+}
+
+TEST(Vocab, EncodePadsAndTruncates) {
+  const Vocab vocab = Vocab::build({"a b c"}, 1);
+  const auto short_ids = vocab.encode("a b", 5);
+  ASSERT_EQ(short_ids.size(), 5u);
+  EXPECT_EQ(short_ids[2], Vocab::kPad);
+  EXPECT_EQ(short_ids[4], Vocab::kPad);
+  const auto long_ids = vocab.encode("a b c a b c a b c", 4);
+  EXPECT_EQ(long_ids.size(), 4u);
+}
+
+TEST(Vocab, UnknownTokensMapToUnk) {
+  const Vocab vocab = Vocab::build({"known"}, 1);
+  const auto ids = vocab.encode("mystery", 2);
+  EXPECT_EQ(ids[0], Vocab::kUnk);
+}
+
+TEST(Vocab, DeterministicTieBreak) {
+  const Vocab a = Vocab::build({"zeta alpha"}, 1);
+  const Vocab b = Vocab::build({"zeta alpha"}, 1);
+  EXPECT_EQ(a.id_of("alpha"), b.id_of("alpha"));
+  // Equal counts break alphabetically.
+  EXPECT_LT(a.id_of("alpha"), a.id_of("zeta"));
+}
+
+}  // namespace
+}  // namespace firmres::nlp

@@ -1,0 +1,98 @@
+// Pipeline-driver tests: per-device end-to-end behaviour, phase timings,
+// and option plumbing.
+#include "core/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include "firmware/synthesizer.h"
+
+namespace firmres::core {
+namespace {
+
+const KeywordModel kModel;
+
+TEST(Pipeline, BinaryDeviceAnalyzed) {
+  const fw::FirmwareImage image = fw::synthesize(fw::profile_by_id(1));
+  const DeviceAnalysis a = Pipeline(kModel).analyze(image);
+  EXPECT_EQ(a.device_id, 1);
+  EXPECT_EQ(a.device_cloud_executable, image.truth.device_cloud_executable);
+  EXPECT_EQ(static_cast<int>(a.messages.size()), image.profile.num_messages);
+  EXPECT_EQ(a.discarded_lan, image.profile.num_lan_messages);
+}
+
+TEST(Pipeline, ScriptDeviceYieldsNothing) {
+  const fw::FirmwareImage image = fw::synthesize(fw::profile_by_id(21));
+  const DeviceAnalysis a = Pipeline(kModel).analyze(image);
+  EXPECT_TRUE(a.device_cloud_executable.empty());
+  EXPECT_TRUE(a.messages.empty());
+  EXPECT_TRUE(a.flaws.empty());
+}
+
+TEST(Pipeline, EveryMessageMapsToGroundTruth) {
+  const fw::FirmwareImage image = fw::synthesize(fw::profile_by_id(7));
+  const DeviceAnalysis a = Pipeline(kModel).analyze(image);
+  for (const ReconstructedMessage& m : a.messages) {
+    const fw::MessageTruth* t = image.truth.message_at(m.delivery_address);
+    ASSERT_NE(t, nullptr);
+    EXPECT_FALSE(t->spec.lan_destination);
+  }
+}
+
+TEST(Pipeline, MessagesInDeliveryOrder) {
+  const fw::FirmwareImage image = fw::synthesize(fw::profile_by_id(7));
+  const DeviceAnalysis a = Pipeline(kModel).analyze(image);
+  for (std::size_t i = 1; i < a.messages.size(); ++i)
+    EXPECT_LT(a.messages[i - 1].delivery_address,
+              a.messages[i].delivery_address);
+}
+
+TEST(Pipeline, TimingsPopulated) {
+  const fw::FirmwareImage image = fw::synthesize(fw::profile_by_id(14));
+  const DeviceAnalysis a = Pipeline(kModel).analyze(image);
+  EXPECT_GT(a.timings.pinpoint_s, 0.0);
+  EXPECT_GT(a.timings.fields_s, 0.0);
+  EXPECT_GT(a.timings.semantics_s, 0.0);
+  EXPECT_GT(a.timings.total_s(), 0.0);
+  EXPECT_NEAR(a.timings.total_s(),
+              a.timings.pinpoint_s + a.timings.fields_s +
+                  a.timings.semantics_s + a.timings.concat_s +
+                  a.timings.check_s,
+              1e-9);
+}
+
+TEST(Pipeline, NaiveIdentifierOptionsChangeBehaviour) {
+  const fw::FirmwareImage image = fw::synthesize(fw::profile_by_id(4));
+  Pipeline::Options opts;
+  opts.identifier.use_pf_scoring = false;
+  opts.identifier.require_async = false;
+  const DeviceAnalysis naive = Pipeline(kModel, opts).analyze(image);
+  const DeviceAnalysis standard = Pipeline(kModel).analyze(image);
+  // The naive configuration accepts noise executables too; it must still
+  // find at least the true device-cloud executable's messages.
+  EXPECT_GE(naive.messages.size(), standard.messages.size());
+}
+
+TEST(Pipeline, FlawsReferenceValidMessageIndices) {
+  const fw::FirmwareImage image = fw::synthesize(fw::profile_by_id(17));
+  const DeviceAnalysis a = Pipeline(kModel).analyze(image);
+  EXPECT_FALSE(a.flaws.empty());
+  for (const FlawReport& flaw : a.flaws) {
+    ASSERT_LT(flaw.message_index, a.messages.size());
+    EXPECT_EQ(flaw.delivery_address,
+              a.messages[flaw.message_index].delivery_address);
+  }
+}
+
+TEST(Pipeline, VulnerableMessagesFlagged) {
+  const fw::FirmwareImage image = fw::synthesize(fw::profile_by_id(19));
+  const DeviceAnalysis a = Pipeline(kModel).analyze(image);
+  bool vulnerable_flagged = false;
+  for (const FlawReport& flaw : a.flaws) {
+    const fw::MessageTruth* t = image.truth.message_at(flaw.delivery_address);
+    if (t != nullptr && t->spec.vulnerable) vulnerable_flagged = true;
+  }
+  EXPECT_TRUE(vulnerable_flagged);
+}
+
+}  // namespace
+}  // namespace firmres::core

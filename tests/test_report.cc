@@ -1,0 +1,63 @@
+// Report tests: the JSON testing-cue document renders every analysis
+// artifact and parses back cleanly.
+#include "core/report.h"
+
+#include <gtest/gtest.h>
+
+#include "firmware/synthesizer.h"
+
+namespace firmres::core {
+namespace {
+
+TEST(Report, StructureAndRoundTrip) {
+  const fw::FirmwareImage image = fw::synthesize(fw::profile_by_id(17));
+  const KeywordModel model;
+  const DeviceAnalysis analysis = Pipeline(model).analyze(image);
+  const support::Json doc = analysis_to_json(analysis);
+
+  // Parse back the serialized form (validates JSON well-formedness).
+  const support::Json again = support::Json::parse(doc.dump(true));
+  EXPECT_EQ(again.find("format")->as_string(), "firmres-report");
+  EXPECT_EQ(static_cast<int>(again.find("device_id")->as_number()), 17);
+  EXPECT_EQ(again.find("messages")->size(), analysis.messages.size());
+  EXPECT_EQ(again.find("alarms")->size(), analysis.flaws.size());
+  EXPECT_GT(again.find("timings")->find("total_s")->as_number(), 0.0);
+}
+
+TEST(Report, MessageFieldsSerialized) {
+  const fw::FirmwareImage image = fw::synthesize(fw::profile_by_id(5));
+  const KeywordModel model;
+  const DeviceAnalysis analysis = Pipeline(model).analyze(image);
+  ASSERT_FALSE(analysis.messages.empty());
+  const support::Json m = message_to_json(analysis.messages.front());
+  EXPECT_EQ(m.find("fields")->size(), analysis.messages.front().fields.size());
+  const auto& first_field = m.find("fields")->as_array().front();
+  EXPECT_NE(first_field.find("semantics"), nullptr);
+  EXPECT_NE(first_field.find("source"), nullptr);
+  // Addresses render as hex strings for human diffability.
+  EXPECT_EQ(m.find("delivery_address")->as_string().rfind("0x", 0), 0u);
+}
+
+TEST(Report, AlarmsCarryPrimitiveLists) {
+  const fw::FirmwareImage image = fw::synthesize(fw::profile_by_id(19));
+  const KeywordModel model;
+  const DeviceAnalysis analysis = Pipeline(model).analyze(image);
+  const support::Json doc = analysis_to_json(analysis);
+  ASSERT_GT(doc.find("alarms")->size(), 0u);
+  for (const support::Json& alarm : doc.find("alarms")->as_array()) {
+    EXPECT_NE(alarm.find("kind"), nullptr);
+    EXPECT_NE(alarm.find("detail"), nullptr);
+    EXPECT_NE(alarm.find("primitives_present"), nullptr);
+  }
+}
+
+TEST(Report, EmptyAnalysis) {
+  DeviceAnalysis analysis;
+  analysis.device_id = 21;
+  const support::Json doc = analysis_to_json(analysis);
+  EXPECT_EQ(doc.find("messages")->size(), 0u);
+  EXPECT_EQ(doc.find("device_cloud_executable")->as_string(), "");
+}
+
+}  // namespace
+}  // namespace firmres::core

@@ -1,0 +1,129 @@
+// Script-analyzer tests (the beyond-the-paper extension covering §V-B's
+// stated limitation): shell and PHP device-cloud extraction.
+#include "core/script_analyzer.h"
+
+#include <gtest/gtest.h>
+
+#include "core/form_check.h"
+#include "firmware/synthesizer.h"
+
+namespace firmres::core {
+namespace {
+
+const KeywordModel kModel;
+
+fw::FirmwareFile make_script(std::string path, std::string text) {
+  fw::FirmwareFile f;
+  f.path = std::move(path);
+  f.kind = fw::FirmwareFile::Kind::Script;
+  f.text = std::move(text);
+  return f;
+}
+
+TEST(ScriptAnalyzer, ShellCurlExtraction) {
+  const fw::FirmwareFile script = make_script(
+      "/usr/sbin/report.sh",
+      "#!/bin/sh\n"
+      "MAC=$(nvram get lan_hwaddr)\n"
+      "SN=$(nvram get serial_no)\n"
+      "curl -s -X POST \"https://iot.vendor.example.com/api/v1/status\" \\\n"
+      "  -d \"mac=$MAC&sn=$SN&uptime=$(cat /proc/uptime)\"\n");
+  const ScriptAnalyzer analyzer(kModel);
+  const auto messages = analyzer.analyze_script(script);
+  ASSERT_EQ(messages.size(), 1u);
+  const ReconstructedMessage& m = messages[0];
+  EXPECT_EQ(m.host, "iot.vendor.example.com");
+  EXPECT_EQ(m.endpoint_path, "/api/v1/status");
+  EXPECT_EQ(m.delivery_callee, "curl");
+  ASSERT_EQ(m.fields.size(), 3u);
+  EXPECT_EQ(m.fields[0].key, "mac");
+  EXPECT_EQ(m.fields[0].source, FieldValueSource::Nvram);
+  EXPECT_EQ(m.fields[0].source_detail, "lan_hwaddr");
+  EXPECT_EQ(m.fields[0].semantics, fw::Primitive::DevIdentifier);
+  EXPECT_EQ(m.fields[1].key, "sn");
+  EXPECT_EQ(m.fields[1].source_detail, "serial_no");
+  EXPECT_EQ(m.fields[2].key, "uptime");
+  EXPECT_EQ(m.fields[2].source, FieldValueSource::FileRead);
+  EXPECT_EQ(m.fields[2].source_detail, "/proc/uptime");
+}
+
+TEST(ScriptAnalyzer, PhpExtraction) {
+  const fw::FirmwareFile script = make_script(
+      "/www/cgi-bin/cloud.php",
+      "<?php\n"
+      "$mac = shell_exec('nvram get lan_hwaddr');\n"
+      "$payload = array('mac' => $mac, 'fw' => 'V9.9');\n"
+      "file_get_contents('https://iot.vendor.example.com/api/v1/register', "
+      "false, $ctx);\n"
+      "?>\n");
+  const ScriptAnalyzer analyzer(kModel);
+  const auto messages = analyzer.analyze_script(script);
+  ASSERT_EQ(messages.size(), 1u);
+  const ReconstructedMessage& m = messages[0];
+  EXPECT_EQ(m.endpoint_path, "/api/v1/register");
+  EXPECT_EQ(m.delivery_callee, "file_get_contents");
+  ASSERT_EQ(m.fields.size(), 2u);
+  EXPECT_EQ(m.fields[0].key, "mac");
+  EXPECT_EQ(m.fields[0].source, FieldValueSource::Nvram);
+  EXPECT_EQ(m.fields[0].semantics, fw::Primitive::DevIdentifier);
+  EXPECT_EQ(m.fields[1].key, "fw");
+  EXPECT_EQ(m.fields[1].source, FieldValueSource::StringConst);
+  EXPECT_EQ(m.fields[1].const_value, "V9.9");
+  EXPECT_TRUE(m.fields[1].hardcoded);
+}
+
+TEST(ScriptAnalyzer, LanDestinationsFiltered) {
+  const fw::FirmwareFile script = make_script(
+      "/usr/sbin/lan.sh",
+      "curl -s \"http://192.168.1.1/status\" -d \"x=1\"\n");
+  EXPECT_TRUE(ScriptAnalyzer(kModel).analyze_script(script).empty());
+}
+
+TEST(ScriptAnalyzer, NonCloudScriptsYieldNothing) {
+  const fw::FirmwareFile script = make_script(
+      "/etc/init.d/boot", "#!/bin/sh\nmount -a\nsleep 5\n");
+  EXPECT_TRUE(ScriptAnalyzer(kModel).analyze_script(script).empty());
+}
+
+TEST(ScriptAnalyzer, CoversTheCorpusScriptDevices) {
+  // Devices 21/22 — the two the paper's binary-only pipeline cannot handle
+  // (§V-B). The extension recovers their messages.
+  for (const int id : {21, 22}) {
+    const fw::FirmwareImage image = fw::synthesize(fw::profile_by_id(id));
+    const auto messages = ScriptAnalyzer(kModel).analyze_image(image);
+    EXPECT_GE(messages.size(), 2u) << "device " << id;
+    bool saw_identifier = false;
+    for (const ReconstructedMessage& m : messages) {
+      EXPECT_FALSE(m.endpoint_path.empty());
+      EXPECT_FALSE(m.host.empty());
+      saw_identifier =
+          saw_identifier || m.has_primitive(fw::Primitive::DevIdentifier);
+    }
+    EXPECT_TRUE(saw_identifier) << "device " << id;
+  }
+}
+
+TEST(ScriptAnalyzer, MessagesFeedTheFormChecker) {
+  const fw::FirmwareImage image = fw::synthesize(fw::profile_by_id(21));
+  const auto messages = ScriptAnalyzer(kModel).analyze_image(image);
+  const auto flaws = FormChecker().check(messages);
+  // The shell reporter sends identifiers only — flagged like a binary
+  // message would be.
+  EXPECT_FALSE(flaws.empty());
+}
+
+TEST(ScriptAnalyzer, DeliveryAddressesDistinct) {
+  const fw::FirmwareFile script = make_script(
+      "/usr/sbin/two.sh",
+      "A=$(nvram get device_id)\n"
+      "curl -s \"https://c.example.com/one\" -d \"deviceId=$A\"\n"
+      "curl -s \"https://c.example.com/two\" -d \"deviceId=$A\"\n");
+  const auto messages = ScriptAnalyzer(kModel).analyze_script(script);
+  ASSERT_EQ(messages.size(), 2u);
+  EXPECT_NE(messages[0].delivery_address, messages[1].delivery_address);
+  EXPECT_EQ(messages[0].endpoint_path, "/one");
+  EXPECT_EQ(messages[1].endpoint_path, "/two");
+}
+
+}  // namespace
+}  // namespace firmres::core

@@ -1,0 +1,204 @@
+// Serialization tests: program JSON round trips, firmware-image directory
+// round trips (including analysis equivalence), and malformed-input
+// failure injection.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+#include "core/pipeline.h"
+#include "firmware/serializer.h"
+#include "firmware/synthesizer.h"
+#include "ir/serializer.h"
+
+namespace firmres {
+namespace {
+
+namespace fsys = std::filesystem;
+
+class TempDir {
+ public:
+  TempDir() {
+    path_ = fsys::temp_directory_path() /
+            ("firmres-test-" + std::to_string(::getpid()) + "-" +
+             std::to_string(counter_++));
+    fsys::create_directories(path_);
+  }
+  ~TempDir() { fsys::remove_all(path_); }
+  const fsys::path& path() const { return path_; }
+
+ private:
+  static inline int counter_ = 0;
+  fsys::path path_;
+};
+
+TEST(ProgramSerializer, RoundTripIsStable) {
+  const fw::FirmwareImage image = fw::synthesize(fw::profile_by_id(11));
+  const auto* exec = image.file(image.truth.device_cloud_executable);
+  const support::Json doc = ir::program_to_json(*exec->program);
+  const auto restored = ir::program_from_json(doc);
+  // Re-serializing the restored program must yield the identical document.
+  EXPECT_EQ(ir::program_to_json(*restored).dump(), doc.dump());
+}
+
+TEST(ProgramSerializer, PreservesStructure) {
+  const fw::FirmwareImage image = fw::synthesize(fw::profile_by_id(5));
+  const auto* exec = image.file(image.truth.device_cloud_executable);
+  const auto restored =
+      ir::program_from_json(ir::program_to_json(*exec->program));
+  EXPECT_EQ(restored->name(), exec->program->name());
+  EXPECT_EQ(restored->total_op_count(), exec->program->total_op_count());
+  EXPECT_EQ(restored->local_functions().size(),
+            exec->program->local_functions().size());
+  EXPECT_EQ(restored->data().string_count(),
+            exec->program->data().string_count());
+  // Entry addresses (referenced by func_addr constants) reproduce exactly.
+  for (const ir::Function* fn : exec->program->functions()) {
+    const ir::Function* rfn = restored->function(fn->name());
+    ASSERT_NE(rfn, nullptr);
+    EXPECT_EQ(rfn->entry_address(), fn->entry_address());
+    EXPECT_EQ(rfn->is_import(), fn->is_import());
+    EXPECT_EQ(rfn->op_count(), fn->op_count());
+  }
+}
+
+TEST(ProgramSerializer, RejectsMalformedDocuments) {
+  using support::Json;
+  using support::ParseError;
+  EXPECT_THROW(ir::program_from_json(Json::parse("[]")), ParseError);
+  EXPECT_THROW(ir::program_from_json(Json::parse("{\"format\":\"x\"}")),
+               ParseError);
+  EXPECT_THROW(ir::program_from_json(Json::parse(
+                   R"({"format":"firmres-program","name":"p"})")),
+               ParseError);  // missing strings/functions
+  EXPECT_THROW(
+      ir::program_from_json(Json::parse(
+          R"({"format":"firmres-program","name":"p","strings":[["x"]],"functions":[]})")),
+      ParseError);  // bad string entry
+}
+
+TEST(ProgramSerializer, RejectsUnknownOpcodeAndSpace) {
+  using support::Json;
+  const char* doc = R"({
+    "format":"firmres-program","name":"p","strings":[],
+    "functions":[{"name":"f","entry":256,"import":false,"params":[],
+      "symbols":[],"blocks":[{"id":0,"succ":[],
+        "ops":[{"addr":1,"op":"NOT_AN_OP","in":[]}]}]}]})";
+  EXPECT_THROW(ir::program_from_json(Json::parse(doc)), support::ParseError);
+}
+
+TEST(DataSegment, InternAtRestoresOffsets) {
+  ir::DataSegment seg;
+  seg.intern_at(0x400010, "hello");
+  EXPECT_EQ(seg.string_at(0x400010).value(), "hello");
+  // Subsequent interning continues past the restored region.
+  const auto next = seg.intern("world");
+  EXPECT_GT(next, 0x400010u);
+}
+
+TEST(ImageSerializer, ManifestRoundTripsProfileIdentityTruth) {
+  const fw::FirmwareImage image = fw::synthesize(fw::profile_by_id(17));
+  TempDir dir;
+  fw::save_image(image, dir.path());
+  const fw::FirmwareImage restored = fw::load_image(dir.path());
+
+  EXPECT_EQ(restored.profile.id, image.profile.id);
+  EXPECT_EQ(restored.profile.vendor, image.profile.vendor);
+  EXPECT_EQ(restored.profile.seed, image.profile.seed);
+  EXPECT_EQ(restored.identity.mac, image.identity.mac);
+  EXPECT_EQ(restored.identity.dev_secret, image.identity.dev_secret);
+  EXPECT_EQ(restored.nvram, image.nvram);
+  ASSERT_EQ(restored.truth.messages.size(), image.truth.messages.size());
+  for (std::size_t i = 0; i < image.truth.messages.size(); ++i) {
+    const fw::MessageTruth& a = image.truth.messages[i];
+    const fw::MessageTruth& b = restored.truth.messages[i];
+    EXPECT_EQ(a.spec.name, b.spec.name);
+    EXPECT_EQ(a.spec.endpoint_path, b.spec.endpoint_path);
+    EXPECT_EQ(a.spec.vulnerable, b.spec.vulnerable);
+    EXPECT_EQ(a.delivery_address, b.delivery_address);
+    EXPECT_EQ(a.noise_fields, b.noise_fields);
+    ASSERT_EQ(a.spec.fields.size(), b.spec.fields.size());
+    for (std::size_t j = 0; j < a.spec.fields.size(); ++j) {
+      EXPECT_EQ(a.spec.fields[j].key, b.spec.fields[j].key);
+      EXPECT_EQ(a.spec.fields[j].primitive, b.spec.fields[j].primitive);
+      EXPECT_EQ(a.spec.fields[j].value, b.spec.fields[j].value);
+    }
+  }
+}
+
+TEST(ImageSerializer, AnalysisEquivalentAfterRoundTrip) {
+  const fw::FirmwareImage image = fw::synthesize(fw::profile_by_id(19));
+  TempDir dir;
+  fw::save_image(image, dir.path());
+  const fw::FirmwareImage restored = fw::load_image(dir.path());
+
+  const core::KeywordModel model;
+  const core::Pipeline pipeline(model);
+  const core::DeviceAnalysis a = pipeline.analyze(image);
+  const core::DeviceAnalysis b = pipeline.analyze(restored);
+  EXPECT_EQ(a.device_cloud_executable, b.device_cloud_executable);
+  ASSERT_EQ(a.messages.size(), b.messages.size());
+  for (std::size_t i = 0; i < a.messages.size(); ++i) {
+    EXPECT_EQ(a.messages[i].delivery_address,
+              b.messages[i].delivery_address);
+    EXPECT_EQ(a.messages[i].endpoint_path, b.messages[i].endpoint_path);
+    ASSERT_EQ(a.messages[i].fields.size(), b.messages[i].fields.size());
+    for (std::size_t j = 0; j < a.messages[i].fields.size(); ++j) {
+      EXPECT_EQ(a.messages[i].fields[j].semantics,
+                b.messages[i].fields[j].semantics);
+      EXPECT_EQ(a.messages[i].fields[j].key, b.messages[i].fields[j].key);
+    }
+  }
+  EXPECT_EQ(a.flaws.size(), b.flaws.size());
+}
+
+TEST(ImageSerializer, ScriptDeviceRoundTrip) {
+  const fw::FirmwareImage image = fw::synthesize(fw::profile_by_id(21));
+  TempDir dir;
+  fw::save_image(image, dir.path());
+  const fw::FirmwareImage restored = fw::load_image(dir.path());
+  EXPECT_TRUE(restored.truth.device_cloud_executable.empty());
+  const fw::FirmwareFile* sh = restored.file("/usr/sbin/cloud_report.sh");
+  ASSERT_NE(sh, nullptr);
+  EXPECT_EQ(sh->text, image.file("/usr/sbin/cloud_report.sh")->text);
+}
+
+TEST(ImageSerializer, TruthSectionOptional) {
+  const fw::FirmwareImage image = fw::synthesize(fw::profile_by_id(6));
+  support::Json manifest = fw::manifest_to_json(image);
+  // A real unpacked image carries no oracle: strip it and reload.
+  TempDir dir;
+  fw::save_image(image, dir.path());
+  auto& obj = manifest.as_object();
+  obj.erase(std::remove_if(obj.begin(), obj.end(),
+                           [](const auto& kv) { return kv.first == "truth"; }),
+            obj.end());
+  {
+    std::ofstream out(dir.path() / "manifest.json");
+    out << manifest.dump(true);
+  }
+  const fw::FirmwareImage restored = fw::load_image(dir.path());
+  EXPECT_TRUE(restored.truth.messages.empty());
+  // Analysis still runs.
+  const core::KeywordModel model;
+  const core::DeviceAnalysis analysis = core::Pipeline(model).analyze(restored);
+  EXPECT_FALSE(analysis.messages.empty());
+}
+
+TEST(ImageSerializer, MissingManifestThrows) {
+  TempDir dir;
+  EXPECT_THROW(fw::load_image(dir.path()), support::ParseError);
+}
+
+TEST(ImageSerializer, CorruptManifestThrows) {
+  TempDir dir;
+  {
+    std::ofstream out(dir.path() / "manifest.json");
+    out << "{\"format\":\"something-else\"}";
+  }
+  EXPECT_THROW(fw::load_image(dir.path()), support::ParseError);
+}
+
+}  // namespace
+}  // namespace firmres

@@ -1,0 +1,125 @@
+// Unit tests for the JSON model: parsing, serialization, ordering (field
+// order is load-bearing for §IV-D), and error handling.
+#include "support/json.h"
+
+#include <gtest/gtest.h>
+
+namespace firmres::support {
+namespace {
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_EQ(Json::parse("true").as_bool(), true);
+  EXPECT_EQ(Json::parse("false").as_bool(), false);
+  EXPECT_DOUBLE_EQ(Json::parse("42").as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(Json::parse("-3.5e2").as_number(), -350.0);
+  EXPECT_EQ(Json::parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(JsonParse, NestedStructure) {
+  const Json v = Json::parse(R"({"a":[1,2,{"b":null}],"c":"x"})");
+  ASSERT_TRUE(v.is_object());
+  const Json* a = v.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  EXPECT_EQ(a->size(), 3u);
+  EXPECT_TRUE(a->as_array()[2].find("b")->is_null());
+  EXPECT_EQ(v.find("c")->as_string(), "x");
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(JsonParse, PreservesKeyOrder) {
+  const Json v = Json::parse(R"({"z":1,"a":2,"m":3})");
+  const auto& obj = v.as_object();
+  ASSERT_EQ(obj.size(), 3u);
+  EXPECT_EQ(obj[0].first, "z");
+  EXPECT_EQ(obj[1].first, "a");
+  EXPECT_EQ(obj[2].first, "m");
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(Json::parse(R"("a\"b\\c\nd\te")").as_string(), "a\"b\\c\nd\te");
+  EXPECT_EQ(Json::parse(R"("A")").as_string(), "A");
+  EXPECT_EQ(Json::parse(R"("é")").as_string(), "\xc3\xa9");
+}
+
+TEST(JsonParse, Whitespace) {
+  const Json v = Json::parse("  { \"a\" :\n[ 1 , 2 ]\t}  ");
+  EXPECT_EQ(v.find("a")->size(), 2u);
+}
+
+class JsonBadInput : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(JsonBadInput, Throws) {
+  EXPECT_THROW(Json::parse(GetParam()), ParseError);
+  EXPECT_FALSE(Json::try_parse(GetParam()).has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(Malformed, JsonBadInput,
+                         ::testing::Values("", "{", "[1,", "{\"a\"}",
+                                           "{\"a\":}", "tru", "\"unterminated",
+                                           "{\"a\":1}x", "nul", "[1 2]",
+                                           "{'a':1}", "+5"));
+
+TEST(JsonDump, RoundTrip) {
+  const char* doc =
+      R"({"mac":"a4:2b:b0:11:22:33","sn":"AB123","nested":{"x":[1,2.5,true,null]}})";
+  const Json v = Json::parse(doc);
+  const Json again = Json::parse(v.dump());
+  EXPECT_EQ(v, again);
+}
+
+TEST(JsonDump, EscapesSpecials) {
+  const Json v{std::string("a\"b\nc")};
+  EXPECT_EQ(v.dump(), "\"a\\\"b\\nc\"");
+}
+
+TEST(JsonDump, IntegersRenderWithoutDecimal) {
+  EXPECT_EQ(Json(42).dump(), "42");
+  EXPECT_EQ(Json(-7).dump(), "-7");
+  EXPECT_EQ(Json(2.5).dump(), "2.5");
+}
+
+TEST(JsonDump, Pretty) {
+  JsonObject obj;
+  obj.emplace_back("a", Json(1));
+  const std::string text = Json(std::move(obj)).dump(/*pretty=*/true);
+  EXPECT_NE(text.find("\n"), std::string::npos);
+  EXPECT_EQ(Json::parse(text).find("a")->as_number(), 1.0);
+}
+
+TEST(JsonSet, InsertAndOverwrite) {
+  Json v{JsonObject{}};
+  v.set("a", Json(1));
+  v.set("b", Json(2));
+  v.set("a", Json(3));  // overwrite keeps position
+  const auto& obj = v.as_object();
+  ASSERT_EQ(obj.size(), 2u);
+  EXPECT_EQ(obj[0].first, "a");
+  EXPECT_DOUBLE_EQ(obj[0].second.as_number(), 3.0);
+}
+
+TEST(JsonSet, OnNonObjectResets) {
+  Json v(5);
+  v.set("k", Json("v"));
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.find("k")->as_string(), "v");
+}
+
+TEST(JsonAccessors, TypeMismatchChecks) {
+  const Json v(5);
+  EXPECT_THROW(v.as_string(), InternalError);
+  EXPECT_THROW(v.as_array(), InternalError);
+  EXPECT_THROW(v.as_object(), InternalError);
+  EXPECT_THROW(v.as_bool(), InternalError);
+}
+
+TEST(JsonEmpty, Containers) {
+  EXPECT_EQ(Json::parse("[]").size(), 0u);
+  EXPECT_EQ(Json::parse("{}").size(), 0u);
+  EXPECT_EQ(Json::parse("[]").dump(), "[]");
+  EXPECT_EQ(Json::parse("{}").dump(), "{}");
+}
+
+}  // namespace
+}  // namespace firmres::support

@@ -1,0 +1,83 @@
+// Remaining support coverage: logging levels, check macros, hashing, and
+// the cloud transcript (the §IV-E response-review surface).
+#include <gtest/gtest.h>
+
+#include "cloud/prober.h"
+#include "firmware/synthesizer.h"
+#include "support/error.h"
+#include "support/hash.h"
+#include "support/logging.h"
+
+namespace firmres {
+namespace {
+
+TEST(Logging, LevelGateIsGlobal) {
+  const auto saved = support::log_level();
+  support::set_log_level(support::LogLevel::Error);
+  EXPECT_EQ(support::log_level(), support::LogLevel::Error);
+  // Below-threshold lines are discarded without side effects.
+  FIRMRES_LOG(Debug) << "suppressed " << 42;
+  FIRMRES_LOG(Info) << "suppressed too";
+  support::set_log_level(saved);
+}
+
+TEST(CheckMacro, ThrowsInternalErrorWithContext) {
+  try {
+    FIRMRES_CHECK_MSG(1 == 2, "the message");
+    FAIL() << "expected InternalError";
+  } catch (const support::InternalError& e) {
+    EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("the message"), std::string::npos);
+  }
+  EXPECT_NO_THROW(FIRMRES_CHECK(true));
+}
+
+TEST(Hashing, Fnv1aIsStableAndDiscriminates) {
+  EXPECT_EQ(support::fnv1a64("abc"), support::fnv1a64("abc"));
+  EXPECT_NE(support::fnv1a64("abc"), support::fnv1a64("abd"));
+  EXPECT_NE(support::fnv1a64(""),
+            support::fnv1a64(std::string_view("\0", 1)));
+  EXPECT_NE(support::hash_combine(1, 2), support::hash_combine(2, 1));
+}
+
+TEST(CloudTranscript, RecordsEveryExchange) {
+  const fw::FirmwareImage image = fw::synthesize(fw::profile_by_id(20));
+  cloudsim::CloudNetwork net;
+  net.enroll(image);
+
+  cloudsim::Request r;
+  r.host = image.identity.cloud_host;
+  r.path = "/store-server/api/v1/storages/auth";
+  r.fields = {{"deviceId", image.identity.device_id}};
+  net.send(r);
+  r.path = "/nope";
+  net.send(r);
+
+  ASSERT_EQ(net.transcript().size(), 2u);
+  EXPECT_EQ(net.transcript()[0].response.verdict, cloudsim::Verdict::Ok);
+  EXPECT_EQ(net.transcript()[1].response.verdict,
+            cloudsim::Verdict::PathNotExists);
+
+  // The §IV-E review: the storage-auth endpoint leaked key material.
+  const auto sensitive = net.sensitive_exchanges();
+  ASSERT_EQ(sensitive.size(), 1u);
+  EXPECT_EQ(sensitive[0]->request.path,
+            "/store-server/api/v1/storages/auth");
+
+  net.clear_transcript();
+  EXPECT_TRUE(net.transcript().empty());
+}
+
+TEST(CloudTranscript, CapBounds) {
+  const fw::FirmwareImage image = fw::synthesize(fw::profile_by_id(6));
+  cloudsim::CloudNetwork net;
+  net.enroll(image);
+  cloudsim::Request r;
+  r.host = image.identity.cloud_host;
+  r.path = "/nope";
+  for (int i = 0; i < 5000; ++i) net.send(r);
+  EXPECT_LE(net.transcript().size(), 4096u);
+}
+
+}  // namespace
+}  // namespace firmres

@@ -1,0 +1,167 @@
+// Synthesizer tests: the generated firmware must carry exactly the
+// structures every pipeline stage consumes.
+#include "firmware/synthesizer.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ir/library.h"
+
+namespace firmres::fw {
+namespace {
+
+TEST(Synthesizer, DeterministicInProfileSeed) {
+  const FirmwareImage a = synthesize(profile_by_id(5));
+  const FirmwareImage b = synthesize(profile_by_id(5));
+  EXPECT_EQ(a.identity.mac, b.identity.mac);
+  ASSERT_EQ(a.truth.messages.size(), b.truth.messages.size());
+  for (std::size_t i = 0; i < a.truth.messages.size(); ++i) {
+    EXPECT_EQ(a.truth.messages[i].delivery_address,
+              b.truth.messages[i].delivery_address);
+    EXPECT_EQ(a.truth.messages[i].spec.name, b.truth.messages[i].spec.name);
+  }
+}
+
+TEST(Synthesizer, BinaryDeviceLayout) {
+  const FirmwareImage image = synthesize(profile_by_id(1));
+  EXPECT_FALSE(image.truth.device_cloud_executable.empty());
+  ASSERT_NE(image.file(image.truth.device_cloud_executable), nullptr);
+  EXPECT_EQ(image.file(image.truth.device_cloud_executable)->kind,
+            FirmwareFile::Kind::Executable);
+  // Noise executables: webserver, ipc daemon, watchdog at minimum.
+  EXPECT_GE(image.executables().size(), 4u);
+  ASSERT_NE(image.file("/etc/cloud.conf"), nullptr);
+  EXPECT_FALSE(image.nvram.empty());
+}
+
+TEST(Synthesizer, ScriptDevicesHaveNoDeviceCloudBinary) {
+  for (const int id : {21, 22}) {
+    const FirmwareImage image = synthesize(profile_by_id(id));
+    EXPECT_TRUE(image.truth.device_cloud_executable.empty());
+    EXPECT_TRUE(image.truth.messages.empty());
+    int scripts = 0;
+    for (const FirmwareFile& f : image.files)
+      scripts += f.kind == FirmwareFile::Kind::Script ? 1 : 0;
+    EXPECT_GE(scripts, 2) << "device " << id;
+    // Scripts mention the cloud interaction FIRMRES cannot analyze.
+    const FirmwareFile* sh = image.file("/usr/sbin/cloud_report.sh");
+    ASSERT_NE(sh, nullptr);
+    EXPECT_NE(sh->text.find("curl"), std::string::npos);
+  }
+}
+
+TEST(Synthesizer, EveryTruthMessageHasADeliveryCallsite) {
+  const FirmwareImage image = synthesize(profile_by_id(13));
+  const FirmwareFile* exec = image.file(image.truth.device_cloud_executable);
+  ASSERT_NE(exec, nullptr);
+  std::set<std::uint64_t> delivery_addresses;
+  const auto& lib = ir::LibraryModel::instance();
+  for (const ir::Function* fn : exec->program->local_functions()) {
+    fn->for_each_op([&](const ir::PcodeOp& op) {
+      if (op.opcode == ir::OpCode::Call &&
+          lib.is_kind(op.callee, ir::LibKind::MsgDeliver))
+        delivery_addresses.insert(op.address);
+    });
+  }
+  EXPECT_EQ(delivery_addresses.size(), image.truth.messages.size());
+  for (const MessageTruth& truth : image.truth.messages) {
+    EXPECT_TRUE(delivery_addresses.contains(truth.delivery_address))
+        << truth.spec.name;
+  }
+}
+
+TEST(Synthesizer, NvramBacksEveryNvramField) {
+  const FirmwareImage image = synthesize(profile_by_id(9));
+  for (const MessageTruth& truth : image.truth.messages) {
+    for (const FieldSpec& field : truth.spec.fields) {
+      if (field.origin != FieldOrigin::Nvram) continue;
+      const auto value = image.nvram_value(field.source_key);
+      ASSERT_TRUE(value.has_value()) << field.source_key;
+      EXPECT_EQ(*value, field.value) << field.source_key;
+    }
+  }
+}
+
+TEST(Synthesizer, ConfigBacksEveryConfigField) {
+  const FirmwareImage image = synthesize(profile_by_id(9));
+  for (const MessageTruth& truth : image.truth.messages) {
+    for (const FieldSpec& field : truth.spec.fields) {
+      if (field.origin != FieldOrigin::Config) continue;
+      const auto value = image.config_value(field.source_key);
+      ASSERT_TRUE(value.has_value()) << field.source_key;
+      EXPECT_EQ(*value, field.value) << field.source_key;
+    }
+  }
+}
+
+TEST(Synthesizer, SecretFilesNotShipped) {
+  // Factory-provisioned credentials must not be in the public image
+  // (otherwise every FileRead secret would be a spurious §IV-E flaw).
+  for (const int id : {6, 9, 14}) {
+    const FirmwareImage image = synthesize(profile_by_id(id));
+    EXPECT_EQ(image.file("/etc/device.key"), nullptr);
+    EXPECT_EQ(image.file("/etc/ssl/device.crt"), nullptr);
+  }
+}
+
+TEST(Synthesizer, Device11IsRmsConnect) {
+  const FirmwareImage image = synthesize(profile_by_id(11));
+  EXPECT_EQ(image.truth.device_cloud_executable, "/usr/bin/rms_connect");
+  // The CVE message ships serial+MAC over a raw TLS write (Listing 1).
+  const MessageTruth* cve = nullptr;
+  for (const MessageTruth& t : image.truth.messages)
+    if (t.spec.name.find("cve") != std::string::npos) cve = &t;
+  ASSERT_NE(cve, nullptr);
+  const FirmwareFile* exec = image.file(image.truth.device_cloud_executable);
+  bool found_ssl_write = false;
+  for (const ir::Function* fn : exec->program->local_functions()) {
+    fn->for_each_op([&](const ir::PcodeOp& op) {
+      if (op.address == cve->delivery_address)
+        found_ssl_write = op.is_call_to("SSL_write");
+    });
+  }
+  EXPECT_TRUE(found_ssl_write);
+}
+
+TEST(Synthesizer, NoiseExecutableArchetypesPresent) {
+  const FirmwareImage image = synthesize(profile_by_id(4));
+  ASSERT_NE(image.file("/usr/sbin/httpd"), nullptr);
+  ASSERT_NE(image.file("/usr/sbin/ipcd"), nullptr);
+  ASSERT_NE(image.file("/usr/sbin/watchdogd"), nullptr);
+}
+
+TEST(Synthesizer, NoiseCountsRecorded) {
+  const FirmwareImage image = synthesize(profile_by_id(18));  // high noise
+  int total_noise = 0;
+  for (const MessageTruth& truth : image.truth.messages)
+    total_noise += truth.noise_fields;
+  EXPECT_GT(total_noise, 0);
+}
+
+TEST(Synthesizer, CorpusCoversAllDevices) {
+  const auto corpus = synthesize_corpus();
+  ASSERT_EQ(corpus.size(), 22u);
+  for (std::size_t i = 0; i < corpus.size(); ++i)
+    EXPECT_EQ(corpus[i].profile.id, static_cast<int>(i) + 1);
+}
+
+TEST(Synthesizer, LanMessagesCarryPrivateAddresses) {
+  const FirmwareImage image = synthesize(profile_by_id(3));
+  int lan = 0;
+  for (const MessageTruth& truth : image.truth.messages) {
+    if (!truth.spec.lan_destination) continue;
+    ++lan;
+    bool has_lan_host = false;
+    for (const FieldSpec& f : truth.spec.fields) {
+      if (f.primitive == Primitive::Address &&
+          f.value.rfind("192.168.", 0) == 0)
+        has_lan_host = true;
+    }
+    EXPECT_TRUE(has_lan_host) << truth.spec.name;
+  }
+  EXPECT_EQ(lan, image.profile.num_lan_messages);
+}
+
+}  // namespace
+}  // namespace firmres::fw

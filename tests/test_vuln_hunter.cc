@@ -1,0 +1,118 @@
+// Vulnerability-confirmation tests (§IV-E → Table III): attacker probing of
+// flagged messages, false-alarm rejection, and the corpus-level counts.
+#include "cloud/vuln_hunter.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "firmware/catalog.h"
+#include "firmware/synthesizer.h"
+
+namespace firmres::cloudsim {
+namespace {
+
+HuntResult hunt_device(int id, const CloudNetwork& net,
+                       const fw::FirmwareImage& image) {
+  (void)id;
+  core::KeywordModel model;
+  const core::DeviceAnalysis analysis = core::Pipeline(model).analyze(image);
+  return VulnHunter(net).hunt(analysis, image);
+}
+
+TEST(VulnHunter, Device17FindsAllThreeFlaws) {
+  const fw::FirmwareImage image = fw::synthesize(fw::profile_by_id(17));
+  CloudNetwork net;
+  net.enroll(image);
+  const HuntResult result = hunt_device(17, net, image);
+  ASSERT_EQ(result.confirmed.size(), 3u);
+  std::set<std::string> paths;
+  for (const VulnFinding& f : result.confirmed) {
+    EXPECT_EQ(f.device_id, 17);
+    EXPECT_FALSE(f.previously_known);
+    EXPECT_FALSE(f.consequence.empty());
+    paths.insert(f.path);
+  }
+  EXPECT_TRUE(paths.contains("?m=cloud&a=queryServices"));
+  EXPECT_TRUE(paths.contains("?m=camera&a=crash_report"));
+  EXPECT_TRUE(paths.contains("?m=camera_alarm&a=camera_pic_alarm"));
+}
+
+TEST(VulnHunter, Device11IsPreviouslyKnown) {
+  const fw::FirmwareImage image = fw::synthesize(fw::profile_by_id(11));
+  CloudNetwork net;
+  net.enroll(image);
+  const HuntResult result = hunt_device(11, net, image);
+  ASSERT_EQ(result.confirmed.size(), 1u);
+  EXPECT_TRUE(result.confirmed[0].previously_known);
+  EXPECT_EQ(result.confirmed[0].path, "/rms/register");
+}
+
+TEST(VulnHunter, Device5FixedTokenConfirmedAsHardcoded) {
+  const fw::FirmwareImage image = fw::synthesize(fw::profile_by_id(5));
+  CloudNetwork net;
+  net.enroll(image);
+  const HuntResult result = hunt_device(5, net, image);
+  ASSERT_EQ(result.confirmed.size(), 2u);
+  bool hardcoded_seen = false;
+  for (const VulnFinding& f : result.confirmed)
+    hardcoded_seen |= f.flaw_kind == core::FlawKind::HardcodedSecret;
+  EXPECT_TRUE(hardcoded_seen);
+}
+
+TEST(VulnHunter, CleanDeviceOnlyFalseAlarms) {
+  // Device 6: not in Table III, but carries the anonymous-telemetry bait —
+  // flagged by the form check, rejected during verification.
+  const fw::FirmwareImage image = fw::synthesize(fw::profile_by_id(6));
+  CloudNetwork net;
+  net.enroll(image);
+  const HuntResult result = hunt_device(6, net, image);
+  EXPECT_TRUE(result.confirmed.empty());
+  EXPECT_GE(result.false_alarms, 1);
+  EXPECT_EQ(result.reported_messages, result.false_alarms);
+}
+
+TEST(VulnHunter, CustomPrimitiveBaitRejected) {
+  // Device 13 (odd id in the FP list): verify_code is really a User-Cred;
+  // the attacker cannot supply it, so the probe is rejected.
+  const fw::FirmwareImage image = fw::synthesize(fw::profile_by_id(13));
+  CloudNetwork net;
+  net.enroll(image);
+  const HuntResult result = hunt_device(13, net, image);
+  EXPECT_TRUE(result.confirmed.empty());
+  EXPECT_GE(result.false_alarms, 1);
+}
+
+TEST(VulnHunter, CorpusTotalsMatchPaperShape) {
+  const auto corpus = fw::synthesize_corpus();
+  CloudNetwork net;
+  for (const auto& image : corpus) net.enroll(image);
+
+  int reported = 0, confirmed = 0, known = 0, false_alarms = 0;
+  std::set<int> vulnerable_devices;
+  core::KeywordModel model;
+  const core::Pipeline pipeline(model);
+  for (const auto& image : corpus) {
+    if (image.profile.script_based) continue;
+    const core::DeviceAnalysis analysis = pipeline.analyze(image);
+    const HuntResult result = VulnHunter(net).hunt(analysis, image);
+    reported += result.reported_messages;
+    false_alarms += result.false_alarms;
+    for (const VulnFinding& f : result.confirmed) {
+      ++confirmed;
+      known += f.previously_known ? 1 : 0;
+      vulnerable_devices.insert(f.device_id);
+    }
+  }
+  // Paper: 26 reported / 15 confirmed / 14 vulns in 8 devices / 1 known.
+  EXPECT_EQ(confirmed, 14);
+  EXPECT_EQ(known, 1);
+  EXPECT_EQ(vulnerable_devices.size(), 8u);
+  EXPECT_NEAR(reported, 26, 4);
+  EXPECT_NEAR(false_alarms, 11, 4);
+  for (const int id : fw::vulnerable_device_ids())
+    EXPECT_TRUE(vulnerable_devices.contains(id)) << id;
+}
+
+}  // namespace
+}  // namespace firmres::cloudsim

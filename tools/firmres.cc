@@ -1,0 +1,215 @@
+// firmres — command-line front end.
+//
+//   firmres synth <dir> [--device N]      synthesize corpus/device image(s)
+//   firmres analyze <image-dir> [--json]  run the pipeline on a saved image
+//   firmres hunt <image-dir>...           probe clouds, report vulnerabilities
+//   firmres ir <image-dir> <exec-path>    print a lifted executable
+//   firmres train <model.json> [devices] [epochs]
+//                                         train + save the neural classifier
+//   firmres corpus                        list the Table I device profiles
+//
+// Images use the directory format of firmware/serializer.h. `analyze`
+// prints the human report by default and the JSON report with --json.
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <memory>
+
+#include "cloud/vuln_hunter.h"
+#include "core/pipeline.h"
+#include "core/report.h"
+#include "firmware/serializer.h"
+#include "firmware/synthesizer.h"
+#include "nlp/trainer.h"
+#include "ir/printer.h"
+#include "support/logging.h"
+#include "support/strings.h"
+
+namespace {
+
+namespace fsys = std::filesystem;
+using namespace firmres;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  firmres synth <dir> [--device N]\n"
+               "  firmres analyze <image-dir> [--json]\n"
+               "  firmres hunt <image-dir>...\n"
+               "  firmres ir <image-dir> <exec-path>\n"
+               "  firmres corpus\n");
+  return 2;
+}
+
+int cmd_corpus() {
+  std::printf("%-4s %-18s %-24s %-22s %-7s\n", "ID", "Vendor", "Model",
+              "Type", "Kind");
+  for (const fw::DeviceProfile& p : fw::standard_corpus()) {
+    std::printf("%-4d %-18s %-24s %-22s %-7s\n", p.id, p.vendor.c_str(),
+                p.model.c_str(), p.device_type.c_str(),
+                p.script_based ? "script" : "binary");
+  }
+  return 0;
+}
+
+int cmd_synth(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  const fsys::path base = args[0];
+  int only_device = 0;
+  for (std::size_t i = 1; i + 1 < args.size() + 1; ++i) {
+    if (args[i] == "--device" && i + 1 < args.size())
+      only_device = std::atoi(args[i + 1].c_str());
+  }
+  int written = 0;
+  for (const fw::DeviceProfile& profile : fw::standard_corpus()) {
+    if (only_device != 0 && profile.id != only_device) continue;
+    const fw::FirmwareImage image = fw::synthesize(profile);
+    const fsys::path dir =
+        only_device != 0 ? base
+                         : base / support::format("device%02d", profile.id);
+    fw::save_image(image, dir);
+    std::printf("wrote %s (%zu files, %zu messages)\n", dir.string().c_str(),
+                image.files.size(), image.truth.messages.size());
+    ++written;
+  }
+  if (written == 0) {
+    std::fprintf(stderr, "no such device id\n");
+    return 1;
+  }
+  return 0;
+}
+
+int cmd_analyze(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  bool json = false;
+  std::string model_path;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "--json") json = true;
+    if (args[i] == "--model" && i + 1 < args.size()) model_path = args[i + 1];
+  }
+
+  const fw::FirmwareImage image = fw::load_image(args[0]);
+  // Dictionary matcher by default; a trained classifier with --model.
+  const core::KeywordModel keyword_model;
+  std::unique_ptr<nlp::SliceClassifier> neural;
+  if (!model_path.empty()) neural = nlp::SliceClassifier::load(model_path);
+  const core::SemanticsModel& model =
+      neural != nullptr ? static_cast<const core::SemanticsModel&>(*neural)
+                        : keyword_model;
+  const core::DeviceAnalysis analysis = core::Pipeline(model).analyze(image);
+
+  if (json) {
+    std::printf("%s\n", core::analysis_to_json(analysis).dump(true).c_str());
+    return 0;
+  }
+
+  std::printf("image: %s %s (device %d)\n", image.profile.vendor.c_str(),
+              image.profile.model.c_str(), image.profile.id);
+  if (analysis.device_cloud_executable.empty()) {
+    std::printf("no device-cloud executable identified\n");
+    return 0;
+  }
+  std::printf("device-cloud executable: %s\n",
+              analysis.device_cloud_executable.c_str());
+  std::printf("%zu messages reconstructed, %d LAN-destined discarded, %zu "
+              "alarms\n\n",
+              analysis.messages.size(), analysis.discarded_lan,
+              analysis.flaws.size());
+  for (std::size_t i = 0; i < analysis.messages.size(); ++i) {
+    const core::ReconstructedMessage& m = analysis.messages[i];
+    std::printf("[%2zu] %-38s %-10s %zu fields\n", i,
+                m.endpoint_path.empty() ? "(endpoint not evident)"
+                                        : m.endpoint_path.c_str(),
+                fw::wire_format_name(m.format), m.fields.size());
+  }
+  std::printf("\nalarms:\n");
+  for (const core::FlawReport& flaw : analysis.flaws)
+    std::printf("  message #%zu [%s]: %s\n", flaw.message_index,
+                core::flaw_kind_name(flaw.kind), flaw.detail.c_str());
+  return 0;
+}
+
+int cmd_hunt(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  std::vector<fw::FirmwareImage> images;
+  cloudsim::CloudNetwork net;
+  for (const std::string& dir : args) {
+    images.push_back(fw::load_image(dir));
+    net.enroll(images.back());
+  }
+  const core::KeywordModel model;
+  const core::Pipeline pipeline(model);
+  int confirmed = 0;
+  for (const fw::FirmwareImage& image : images) {
+    const core::DeviceAnalysis analysis = pipeline.analyze(image);
+    const cloudsim::HuntResult result =
+        cloudsim::VulnHunter(net).hunt(analysis, image);
+    for (const cloudsim::VulnFinding& f : result.confirmed) {
+      ++confirmed;
+      std::printf("device %d: %s\n    %s [%s]\n    → %s%s\n", f.device_id,
+                  f.functionality.c_str(), f.path.c_str(), f.params.c_str(),
+                  f.consequence.c_str(),
+                  f.previously_known ? " (previously known)" : "");
+    }
+  }
+  std::printf("%d confirmed vulnerabilities\n", confirmed);
+  return confirmed > 0 ? 0 : 1;
+}
+
+int cmd_train(const std::vector<std::string>& args) {
+  if (args.empty()) return usage();
+  nlp::DatasetConfig dc;
+  if (args.size() > 1) dc.num_devices = std::atoi(args[1].c_str());
+  nlp::TrainConfig tc;
+  if (args.size() > 2) tc.epochs = std::atoi(args[2].c_str());
+  tc.verbose = true;
+  support::set_log_level(support::LogLevel::Info);
+  const nlp::Dataset dataset = nlp::build_dataset(dc);
+  std::printf("dataset: %zu slices from %d pseudo-devices\n", dataset.total(),
+              dc.num_devices);
+  const auto model = nlp::train_classifier(dataset, nlp::ModelConfig{}, tc);
+  const auto val = nlp::evaluate_labels(*model, dataset.val);
+  const auto test = nlp::evaluate_labels(*model, dataset.test);
+  std::printf("val %.2f%%  test %.2f%%\n", 100 * val.accuracy(),
+              100 * test.accuracy());
+  model->save(args[0]);
+  std::printf("saved %s (%zu parameters)\n", args[0].c_str(),
+              model->parameter_count());
+  return 0;
+}
+
+int cmd_ir(const std::vector<std::string>& args) {
+  if (args.size() < 2) return usage();
+  const fw::FirmwareImage image = fw::load_image(args[0]);
+  const fw::FirmwareFile* file = image.file(args[1]);
+  if (file == nullptr || file->program == nullptr) {
+    std::fprintf(stderr, "no executable at %s\n", args[1].c_str());
+    return 1;
+  }
+  std::printf("%s", ir::render_program(*file->program).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  support::set_log_level(support::LogLevel::Warn);
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  try {
+    if (cmd == "corpus") return cmd_corpus();
+    if (cmd == "synth") return cmd_synth(args);
+    if (cmd == "analyze") return cmd_analyze(args);
+    if (cmd == "hunt") return cmd_hunt(args);
+    if (cmd == "ir") return cmd_ir(args);
+    if (cmd == "train") return cmd_train(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
