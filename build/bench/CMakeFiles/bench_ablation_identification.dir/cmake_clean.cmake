@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_identification.dir/bench_ablation_identification.cc.o"
+  "CMakeFiles/bench_ablation_identification.dir/bench_ablation_identification.cc.o.d"
+  "bench_ablation_identification"
+  "bench_ablation_identification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_identification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

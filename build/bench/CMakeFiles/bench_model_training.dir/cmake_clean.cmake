@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_model_training.dir/bench_model_training.cc.o"
+  "CMakeFiles/bench_model_training.dir/bench_model_training.cc.o.d"
+  "bench_model_training"
+  "bench_model_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_model_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perf_phases.dir/bench_perf_phases.cc.o"
+  "CMakeFiles/bench_perf_phases.dir/bench_perf_phases.cc.o.d"
+  "bench_perf_phases"
+  "bench_perf_phases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_phases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

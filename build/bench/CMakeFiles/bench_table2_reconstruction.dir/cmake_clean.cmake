@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_reconstruction.dir/bench_table2_reconstruction.cc.o"
+  "CMakeFiles/bench_table2_reconstruction.dir/bench_table2_reconstruction.cc.o.d"
+  "bench_table2_reconstruction"
+  "bench_table2_reconstruction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_reconstruction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_vulns.dir/bench_table3_vulns.cc.o"
+  "CMakeFiles/bench_table3_vulns.dir/bench_table3_vulns.cc.o.d"
+  "bench_table3_vulns"
+  "bench_table3_vulns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_vulns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cve_2023_2586.dir/cve_2023_2586.cpp.o"
+  "CMakeFiles/cve_2023_2586.dir/cve_2023_2586.cpp.o.d"
+  "cve_2023_2586"
+  "cve_2023_2586.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cve_2023_2586.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for cve_2023_2586.
+# This may be replaced when dependencies are built.

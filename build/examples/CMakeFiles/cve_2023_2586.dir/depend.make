@@ -1,0 +1,2 @@
+# Empty dependencies file for cve_2023_2586.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mft_transformation.dir/mft_transformation.cpp.o"
+  "CMakeFiles/mft_transformation.dir/mft_transformation.cpp.o.d"
+  "mft_transformation"
+  "mft_transformation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mft_transformation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mft_transformation.
+# This may be replaced when dependencies are built.

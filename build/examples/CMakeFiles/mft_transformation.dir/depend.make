@@ -1,0 +1,2 @@
+# Empty dependencies file for mft_transformation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vuln_hunt.dir/vuln_hunt.cpp.o"
+  "CMakeFiles/vuln_hunt.dir/vuln_hunt.cpp.o.d"
+  "vuln_hunt"
+  "vuln_hunt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vuln_hunt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

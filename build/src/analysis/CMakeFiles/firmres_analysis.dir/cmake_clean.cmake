@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/firmres_analysis.dir/call_graph.cc.o"
+  "CMakeFiles/firmres_analysis.dir/call_graph.cc.o.d"
+  "CMakeFiles/firmres_analysis.dir/flow.cc.o"
+  "CMakeFiles/firmres_analysis.dir/flow.cc.o.d"
+  "CMakeFiles/firmres_analysis.dir/forward_taint.cc.o"
+  "CMakeFiles/firmres_analysis.dir/forward_taint.cc.o.d"
+  "CMakeFiles/firmres_analysis.dir/predicates.cc.o"
+  "CMakeFiles/firmres_analysis.dir/predicates.cc.o.d"
+  "libfirmres_analysis.a"
+  "libfirmres_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firmres_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

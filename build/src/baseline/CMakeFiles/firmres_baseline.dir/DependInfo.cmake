@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/apiscanner.cc" "src/baseline/CMakeFiles/firmres_baseline.dir/apiscanner.cc.o" "gcc" "src/baseline/CMakeFiles/firmres_baseline.dir/apiscanner.cc.o.d"
+  "/root/repo/src/baseline/leakscope.cc" "src/baseline/CMakeFiles/firmres_baseline.dir/leakscope.cc.o" "gcc" "src/baseline/CMakeFiles/firmres_baseline.dir/leakscope.cc.o.d"
+  "/root/repo/src/baseline/mobile_corpus.cc" "src/baseline/CMakeFiles/firmres_baseline.dir/mobile_corpus.cc.o" "gcc" "src/baseline/CMakeFiles/firmres_baseline.dir/mobile_corpus.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/firmres_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

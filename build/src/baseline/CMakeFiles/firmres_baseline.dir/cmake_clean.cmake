@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/firmres_baseline.dir/apiscanner.cc.o"
+  "CMakeFiles/firmres_baseline.dir/apiscanner.cc.o.d"
+  "CMakeFiles/firmres_baseline.dir/leakscope.cc.o"
+  "CMakeFiles/firmres_baseline.dir/leakscope.cc.o.d"
+  "CMakeFiles/firmres_baseline.dir/mobile_corpus.cc.o"
+  "CMakeFiles/firmres_baseline.dir/mobile_corpus.cc.o.d"
+  "libfirmres_baseline.a"
+  "libfirmres_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firmres_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cloud/cloud.cc" "src/cloud/CMakeFiles/firmres_cloud.dir/cloud.cc.o" "gcc" "src/cloud/CMakeFiles/firmres_cloud.dir/cloud.cc.o.d"
+  "/root/repo/src/cloud/evaluation.cc" "src/cloud/CMakeFiles/firmres_cloud.dir/evaluation.cc.o" "gcc" "src/cloud/CMakeFiles/firmres_cloud.dir/evaluation.cc.o.d"
+  "/root/repo/src/cloud/prober.cc" "src/cloud/CMakeFiles/firmres_cloud.dir/prober.cc.o" "gcc" "src/cloud/CMakeFiles/firmres_cloud.dir/prober.cc.o.d"
+  "/root/repo/src/cloud/vuln_hunter.cc" "src/cloud/CMakeFiles/firmres_cloud.dir/vuln_hunter.cc.o" "gcc" "src/cloud/CMakeFiles/firmres_cloud.dir/vuln_hunter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/firmres_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/firmware/CMakeFiles/firmres_firmware.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/firmres_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/firmres_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/firmres_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

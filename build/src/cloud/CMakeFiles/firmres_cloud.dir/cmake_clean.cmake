@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/firmres_cloud.dir/cloud.cc.o"
+  "CMakeFiles/firmres_cloud.dir/cloud.cc.o.d"
+  "CMakeFiles/firmres_cloud.dir/evaluation.cc.o"
+  "CMakeFiles/firmres_cloud.dir/evaluation.cc.o.d"
+  "CMakeFiles/firmres_cloud.dir/prober.cc.o"
+  "CMakeFiles/firmres_cloud.dir/prober.cc.o.d"
+  "CMakeFiles/firmres_cloud.dir/vuln_hunter.cc.o"
+  "CMakeFiles/firmres_cloud.dir/vuln_hunter.cc.o.d"
+  "libfirmres_cloud.a"
+  "libfirmres_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firmres_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

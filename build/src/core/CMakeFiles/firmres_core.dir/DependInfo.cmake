@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/exec_identifier.cc" "src/core/CMakeFiles/firmres_core.dir/exec_identifier.cc.o" "gcc" "src/core/CMakeFiles/firmres_core.dir/exec_identifier.cc.o.d"
+  "/root/repo/src/core/form_check.cc" "src/core/CMakeFiles/firmres_core.dir/form_check.cc.o" "gcc" "src/core/CMakeFiles/firmres_core.dir/form_check.cc.o.d"
+  "/root/repo/src/core/mft.cc" "src/core/CMakeFiles/firmres_core.dir/mft.cc.o" "gcc" "src/core/CMakeFiles/firmres_core.dir/mft.cc.o.d"
+  "/root/repo/src/core/pipeline.cc" "src/core/CMakeFiles/firmres_core.dir/pipeline.cc.o" "gcc" "src/core/CMakeFiles/firmres_core.dir/pipeline.cc.o.d"
+  "/root/repo/src/core/reconstructor.cc" "src/core/CMakeFiles/firmres_core.dir/reconstructor.cc.o" "gcc" "src/core/CMakeFiles/firmres_core.dir/reconstructor.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/core/CMakeFiles/firmres_core.dir/report.cc.o" "gcc" "src/core/CMakeFiles/firmres_core.dir/report.cc.o.d"
+  "/root/repo/src/core/script_analyzer.cc" "src/core/CMakeFiles/firmres_core.dir/script_analyzer.cc.o" "gcc" "src/core/CMakeFiles/firmres_core.dir/script_analyzer.cc.o.d"
+  "/root/repo/src/core/slices.cc" "src/core/CMakeFiles/firmres_core.dir/slices.cc.o" "gcc" "src/core/CMakeFiles/firmres_core.dir/slices.cc.o.d"
+  "/root/repo/src/core/taint.cc" "src/core/CMakeFiles/firmres_core.dir/taint.cc.o" "gcc" "src/core/CMakeFiles/firmres_core.dir/taint.cc.o.d"
+  "/root/repo/src/core/truth_match.cc" "src/core/CMakeFiles/firmres_core.dir/truth_match.cc.o" "gcc" "src/core/CMakeFiles/firmres_core.dir/truth_match.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/firmres_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/firmware/CMakeFiles/firmres_firmware.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/firmres_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/firmres_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/firmres_core.dir/exec_identifier.cc.o"
+  "CMakeFiles/firmres_core.dir/exec_identifier.cc.o.d"
+  "CMakeFiles/firmres_core.dir/form_check.cc.o"
+  "CMakeFiles/firmres_core.dir/form_check.cc.o.d"
+  "CMakeFiles/firmres_core.dir/mft.cc.o"
+  "CMakeFiles/firmres_core.dir/mft.cc.o.d"
+  "CMakeFiles/firmres_core.dir/pipeline.cc.o"
+  "CMakeFiles/firmres_core.dir/pipeline.cc.o.d"
+  "CMakeFiles/firmres_core.dir/reconstructor.cc.o"
+  "CMakeFiles/firmres_core.dir/reconstructor.cc.o.d"
+  "CMakeFiles/firmres_core.dir/report.cc.o"
+  "CMakeFiles/firmres_core.dir/report.cc.o.d"
+  "CMakeFiles/firmres_core.dir/script_analyzer.cc.o"
+  "CMakeFiles/firmres_core.dir/script_analyzer.cc.o.d"
+  "CMakeFiles/firmres_core.dir/slices.cc.o"
+  "CMakeFiles/firmres_core.dir/slices.cc.o.d"
+  "CMakeFiles/firmres_core.dir/taint.cc.o"
+  "CMakeFiles/firmres_core.dir/taint.cc.o.d"
+  "CMakeFiles/firmres_core.dir/truth_match.cc.o"
+  "CMakeFiles/firmres_core.dir/truth_match.cc.o.d"
+  "libfirmres_core.a"
+  "libfirmres_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firmres_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

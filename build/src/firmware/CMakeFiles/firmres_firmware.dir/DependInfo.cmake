@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/firmware/catalog.cc" "src/firmware/CMakeFiles/firmres_firmware.dir/catalog.cc.o" "gcc" "src/firmware/CMakeFiles/firmres_firmware.dir/catalog.cc.o.d"
+  "/root/repo/src/firmware/device_profile.cc" "src/firmware/CMakeFiles/firmres_firmware.dir/device_profile.cc.o" "gcc" "src/firmware/CMakeFiles/firmres_firmware.dir/device_profile.cc.o.d"
+  "/root/repo/src/firmware/field_dictionary.cc" "src/firmware/CMakeFiles/firmres_firmware.dir/field_dictionary.cc.o" "gcc" "src/firmware/CMakeFiles/firmres_firmware.dir/field_dictionary.cc.o.d"
+  "/root/repo/src/firmware/firmware_image.cc" "src/firmware/CMakeFiles/firmres_firmware.dir/firmware_image.cc.o" "gcc" "src/firmware/CMakeFiles/firmres_firmware.dir/firmware_image.cc.o.d"
+  "/root/repo/src/firmware/identity.cc" "src/firmware/CMakeFiles/firmres_firmware.dir/identity.cc.o" "gcc" "src/firmware/CMakeFiles/firmres_firmware.dir/identity.cc.o.d"
+  "/root/repo/src/firmware/message_spec.cc" "src/firmware/CMakeFiles/firmres_firmware.dir/message_spec.cc.o" "gcc" "src/firmware/CMakeFiles/firmres_firmware.dir/message_spec.cc.o.d"
+  "/root/repo/src/firmware/primitives.cc" "src/firmware/CMakeFiles/firmres_firmware.dir/primitives.cc.o" "gcc" "src/firmware/CMakeFiles/firmres_firmware.dir/primitives.cc.o.d"
+  "/root/repo/src/firmware/serializer.cc" "src/firmware/CMakeFiles/firmres_firmware.dir/serializer.cc.o" "gcc" "src/firmware/CMakeFiles/firmres_firmware.dir/serializer.cc.o.d"
+  "/root/repo/src/firmware/synthesizer.cc" "src/firmware/CMakeFiles/firmres_firmware.dir/synthesizer.cc.o" "gcc" "src/firmware/CMakeFiles/firmres_firmware.dir/synthesizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/firmres_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/firmres_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/firmres_firmware.dir/catalog.cc.o"
+  "CMakeFiles/firmres_firmware.dir/catalog.cc.o.d"
+  "CMakeFiles/firmres_firmware.dir/device_profile.cc.o"
+  "CMakeFiles/firmres_firmware.dir/device_profile.cc.o.d"
+  "CMakeFiles/firmres_firmware.dir/field_dictionary.cc.o"
+  "CMakeFiles/firmres_firmware.dir/field_dictionary.cc.o.d"
+  "CMakeFiles/firmres_firmware.dir/firmware_image.cc.o"
+  "CMakeFiles/firmres_firmware.dir/firmware_image.cc.o.d"
+  "CMakeFiles/firmres_firmware.dir/identity.cc.o"
+  "CMakeFiles/firmres_firmware.dir/identity.cc.o.d"
+  "CMakeFiles/firmres_firmware.dir/message_spec.cc.o"
+  "CMakeFiles/firmres_firmware.dir/message_spec.cc.o.d"
+  "CMakeFiles/firmres_firmware.dir/primitives.cc.o"
+  "CMakeFiles/firmres_firmware.dir/primitives.cc.o.d"
+  "CMakeFiles/firmres_firmware.dir/serializer.cc.o"
+  "CMakeFiles/firmres_firmware.dir/serializer.cc.o.d"
+  "CMakeFiles/firmres_firmware.dir/synthesizer.cc.o"
+  "CMakeFiles/firmres_firmware.dir/synthesizer.cc.o.d"
+  "libfirmres_firmware.a"
+  "libfirmres_firmware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firmres_firmware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/builder.cc" "src/ir/CMakeFiles/firmres_ir.dir/builder.cc.o" "gcc" "src/ir/CMakeFiles/firmres_ir.dir/builder.cc.o.d"
+  "/root/repo/src/ir/data_segment.cc" "src/ir/CMakeFiles/firmres_ir.dir/data_segment.cc.o" "gcc" "src/ir/CMakeFiles/firmres_ir.dir/data_segment.cc.o.d"
+  "/root/repo/src/ir/library.cc" "src/ir/CMakeFiles/firmres_ir.dir/library.cc.o" "gcc" "src/ir/CMakeFiles/firmres_ir.dir/library.cc.o.d"
+  "/root/repo/src/ir/opcodes.cc" "src/ir/CMakeFiles/firmres_ir.dir/opcodes.cc.o" "gcc" "src/ir/CMakeFiles/firmres_ir.dir/opcodes.cc.o.d"
+  "/root/repo/src/ir/printer.cc" "src/ir/CMakeFiles/firmres_ir.dir/printer.cc.o" "gcc" "src/ir/CMakeFiles/firmres_ir.dir/printer.cc.o.d"
+  "/root/repo/src/ir/program.cc" "src/ir/CMakeFiles/firmres_ir.dir/program.cc.o" "gcc" "src/ir/CMakeFiles/firmres_ir.dir/program.cc.o.d"
+  "/root/repo/src/ir/serializer.cc" "src/ir/CMakeFiles/firmres_ir.dir/serializer.cc.o" "gcc" "src/ir/CMakeFiles/firmres_ir.dir/serializer.cc.o.d"
+  "/root/repo/src/ir/varnode.cc" "src/ir/CMakeFiles/firmres_ir.dir/varnode.cc.o" "gcc" "src/ir/CMakeFiles/firmres_ir.dir/varnode.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/firmres_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

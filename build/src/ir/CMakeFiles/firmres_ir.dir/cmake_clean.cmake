@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/firmres_ir.dir/builder.cc.o"
+  "CMakeFiles/firmres_ir.dir/builder.cc.o.d"
+  "CMakeFiles/firmres_ir.dir/data_segment.cc.o"
+  "CMakeFiles/firmres_ir.dir/data_segment.cc.o.d"
+  "CMakeFiles/firmres_ir.dir/library.cc.o"
+  "CMakeFiles/firmres_ir.dir/library.cc.o.d"
+  "CMakeFiles/firmres_ir.dir/opcodes.cc.o"
+  "CMakeFiles/firmres_ir.dir/opcodes.cc.o.d"
+  "CMakeFiles/firmres_ir.dir/printer.cc.o"
+  "CMakeFiles/firmres_ir.dir/printer.cc.o.d"
+  "CMakeFiles/firmres_ir.dir/program.cc.o"
+  "CMakeFiles/firmres_ir.dir/program.cc.o.d"
+  "CMakeFiles/firmres_ir.dir/serializer.cc.o"
+  "CMakeFiles/firmres_ir.dir/serializer.cc.o.d"
+  "CMakeFiles/firmres_ir.dir/varnode.cc.o"
+  "CMakeFiles/firmres_ir.dir/varnode.cc.o.d"
+  "libfirmres_ir.a"
+  "libfirmres_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firmres_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfirmres_ir.a"
+)

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nlp/autograd.cc" "src/nlp/CMakeFiles/firmres_nlp.dir/autograd.cc.o" "gcc" "src/nlp/CMakeFiles/firmres_nlp.dir/autograd.cc.o.d"
+  "/root/repo/src/nlp/dataset.cc" "src/nlp/CMakeFiles/firmres_nlp.dir/dataset.cc.o" "gcc" "src/nlp/CMakeFiles/firmres_nlp.dir/dataset.cc.o.d"
+  "/root/repo/src/nlp/model.cc" "src/nlp/CMakeFiles/firmres_nlp.dir/model.cc.o" "gcc" "src/nlp/CMakeFiles/firmres_nlp.dir/model.cc.o.d"
+  "/root/repo/src/nlp/tensor.cc" "src/nlp/CMakeFiles/firmres_nlp.dir/tensor.cc.o" "gcc" "src/nlp/CMakeFiles/firmres_nlp.dir/tensor.cc.o.d"
+  "/root/repo/src/nlp/tokenizer.cc" "src/nlp/CMakeFiles/firmres_nlp.dir/tokenizer.cc.o" "gcc" "src/nlp/CMakeFiles/firmres_nlp.dir/tokenizer.cc.o.d"
+  "/root/repo/src/nlp/trainer.cc" "src/nlp/CMakeFiles/firmres_nlp.dir/trainer.cc.o" "gcc" "src/nlp/CMakeFiles/firmres_nlp.dir/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/firmres_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/firmware/CMakeFiles/firmres_firmware.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/firmres_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/firmres_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/firmres_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/firmres_nlp.dir/autograd.cc.o"
+  "CMakeFiles/firmres_nlp.dir/autograd.cc.o.d"
+  "CMakeFiles/firmres_nlp.dir/dataset.cc.o"
+  "CMakeFiles/firmres_nlp.dir/dataset.cc.o.d"
+  "CMakeFiles/firmres_nlp.dir/model.cc.o"
+  "CMakeFiles/firmres_nlp.dir/model.cc.o.d"
+  "CMakeFiles/firmres_nlp.dir/tensor.cc.o"
+  "CMakeFiles/firmres_nlp.dir/tensor.cc.o.d"
+  "CMakeFiles/firmres_nlp.dir/tokenizer.cc.o"
+  "CMakeFiles/firmres_nlp.dir/tokenizer.cc.o.d"
+  "CMakeFiles/firmres_nlp.dir/trainer.cc.o"
+  "CMakeFiles/firmres_nlp.dir/trainer.cc.o.d"
+  "libfirmres_nlp.a"
+  "libfirmres_nlp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firmres_nlp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

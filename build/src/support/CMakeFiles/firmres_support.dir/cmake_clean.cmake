@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/firmres_support.dir/json.cc.o"
+  "CMakeFiles/firmres_support.dir/json.cc.o.d"
+  "CMakeFiles/firmres_support.dir/logging.cc.o"
+  "CMakeFiles/firmres_support.dir/logging.cc.o.d"
+  "CMakeFiles/firmres_support.dir/rng.cc.o"
+  "CMakeFiles/firmres_support.dir/rng.cc.o.d"
+  "CMakeFiles/firmres_support.dir/strings.cc.o"
+  "CMakeFiles/firmres_support.dir/strings.cc.o.d"
+  "libfirmres_support.a"
+  "libfirmres_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firmres_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

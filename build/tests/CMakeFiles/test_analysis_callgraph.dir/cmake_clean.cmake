@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analysis_callgraph.dir/test_analysis_callgraph.cc.o"
+  "CMakeFiles/test_analysis_callgraph.dir/test_analysis_callgraph.cc.o.d"
+  "test_analysis_callgraph"
+  "test_analysis_callgraph.pdb"
+  "test_analysis_callgraph[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analysis_callgraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

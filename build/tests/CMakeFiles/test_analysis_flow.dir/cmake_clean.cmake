@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analysis_flow.dir/test_analysis_flow.cc.o"
+  "CMakeFiles/test_analysis_flow.dir/test_analysis_flow.cc.o.d"
+  "test_analysis_flow"
+  "test_analysis_flow.pdb"
+  "test_analysis_flow[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analysis_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analysis_forward_taint.dir/test_analysis_forward_taint.cc.o"
+  "CMakeFiles/test_analysis_forward_taint.dir/test_analysis_forward_taint.cc.o.d"
+  "test_analysis_forward_taint"
+  "test_analysis_forward_taint.pdb"
+  "test_analysis_forward_taint[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analysis_forward_taint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_exec_identifier.dir/test_exec_identifier.cc.o"
+  "CMakeFiles/test_exec_identifier.dir/test_exec_identifier.cc.o.d"
+  "test_exec_identifier"
+  "test_exec_identifier.pdb"
+  "test_exec_identifier[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_exec_identifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_form_check.dir/test_form_check.cc.o"
+  "CMakeFiles/test_form_check.dir/test_form_check.cc.o.d"
+  "test_form_check"
+  "test_form_check.pdb"
+  "test_form_check[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_form_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

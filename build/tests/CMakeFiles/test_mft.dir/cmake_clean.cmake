@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mft.dir/test_mft.cc.o"
+  "CMakeFiles/test_mft.dir/test_mft.cc.o.d"
+  "test_mft"
+  "test_mft.pdb"
+  "test_mft[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

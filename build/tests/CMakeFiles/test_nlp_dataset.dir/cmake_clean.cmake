@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nlp_dataset.dir/test_nlp_dataset.cc.o"
+  "CMakeFiles/test_nlp_dataset.dir/test_nlp_dataset.cc.o.d"
+  "test_nlp_dataset"
+  "test_nlp_dataset.pdb"
+  "test_nlp_dataset[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nlp_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nlp_model.dir/test_nlp_model.cc.o"
+  "CMakeFiles/test_nlp_model.dir/test_nlp_model.cc.o.d"
+  "test_nlp_model"
+  "test_nlp_model.pdb"
+  "test_nlp_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nlp_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

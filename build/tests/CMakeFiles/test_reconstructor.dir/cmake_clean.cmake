@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reconstructor.dir/test_reconstructor.cc.o"
+  "CMakeFiles/test_reconstructor.dir/test_reconstructor.cc.o.d"
+  "test_reconstructor"
+  "test_reconstructor.pdb"
+  "test_reconstructor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reconstructor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_script_analyzer.dir/test_script_analyzer.cc.o"
+  "CMakeFiles/test_script_analyzer.dir/test_script_analyzer.cc.o.d"
+  "test_script_analyzer"
+  "test_script_analyzer.pdb"
+  "test_script_analyzer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_script_analyzer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_support_strings.dir/test_support_strings.cc.o"
+  "CMakeFiles/test_support_strings.dir/test_support_strings.cc.o.d"
+  "test_support_strings"
+  "test_support_strings.pdb"
+  "test_support_strings[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_support_strings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

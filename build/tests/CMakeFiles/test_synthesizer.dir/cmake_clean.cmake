@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_synthesizer.dir/test_synthesizer.cc.o"
+  "CMakeFiles/test_synthesizer.dir/test_synthesizer.cc.o.d"
+  "test_synthesizer"
+  "test_synthesizer.pdb"
+  "test_synthesizer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_synthesizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vuln_hunter.dir/test_vuln_hunter.cc.o"
+  "CMakeFiles/test_vuln_hunter.dir/test_vuln_hunter.cc.o.d"
+  "test_vuln_hunter"
+  "test_vuln_hunter.pdb"
+  "test_vuln_hunter[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vuln_hunter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/firmres.dir/firmres.cc.o"
+  "CMakeFiles/firmres.dir/firmres.cc.o.d"
+  "firmres"
+  "firmres.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firmres.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
