@@ -10,6 +10,7 @@
 #include <algorithm>
 
 #include "bench_util.h"
+#include "support/strings.h"
 
 namespace {
 
@@ -59,6 +60,35 @@ void print_perf() {
       "3.71%%  concat 9.96%%  check 4.81%%\n\n");
 }
 
+// Corpus-level parallel fan-out: wall clock vs. CPU time per job count.
+// The analyses are bit-identical across job counts (CorpusRunner's
+// determinism guarantee); only the wall clock should move. Speedup is
+// bounded by the machine — on a single hardware thread the jobs>1 rows
+// show overhead, not gains.
+void print_parallel_speedup() {
+  const core::KeywordModel model;
+  const auto corpus = fw::synthesize_corpus();
+  const core::Pipeline pipeline(model);
+
+  std::printf("PARALLEL CORPUS ANALYSIS (%zu images, %zu hardware threads)\n",
+              corpus.size(), support::ThreadPool::default_parallelism());
+  bench::print_rule();
+  std::printf("%-6s %-12s %-12s %-10s %-12s\n", "jobs", "wall(ms)", "cpu(ms)",
+              "cpu/wall", "vs jobs=1");
+  bench::print_rule();
+  double wall1 = 0.0;
+  for (const int jobs : {1, 2, 4}) {
+    const core::CorpusRunner runner(pipeline, {.jobs = jobs});
+    const core::CorpusResult result = runner.run(corpus);
+    if (jobs == 1) wall1 = result.wall_s;
+    std::printf("%-6d %-12.2f %-12.2f %-10.2f %-12s\n", jobs,
+                1e3 * result.wall_s, 1e3 * result.cpu_s, result.speedup(),
+                support::format("%.2fx", wall1 / result.wall_s).c_str());
+  }
+  bench::print_rule();
+  std::putchar('\n');
+}
+
 void BM_PhasePinpoint(benchmark::State& state) {
   const auto image = fw::synthesize(fw::profile_by_id(14));
   const core::ExecutableIdentifier identifier;
@@ -95,11 +125,26 @@ void BM_PhaseReconstruct(benchmark::State& state) {
 }
 BENCHMARK(BM_PhaseReconstruct);
 
+// Whole-corpus analysis per job count — the parallel-speedup series for
+// BENCH JSON output (--benchmark_format=json); real time is the metric.
+void BM_CorpusAnalyze(benchmark::State& state) {
+  static const core::KeywordModel model;
+  static const auto corpus = fw::synthesize_corpus();
+  const core::Pipeline pipeline(model);
+  const core::CorpusRunner runner(
+      pipeline, {.jobs = static_cast<int>(state.range(0))});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runner.run(corpus));
+  }
+}
+BENCHMARK(BM_CorpusAnalyze)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
 }  // namespace
 
 int main(int argc, char** argv) {
   firmres::support::set_log_level(firmres::support::LogLevel::Warn);
   print_perf();
+  print_parallel_speedup();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -18,7 +18,10 @@ using namespace firmres;
 
 void print_table2() {
   const core::KeywordModel model;
-  const bench::CorpusRun run = bench::run_corpus(model);
+  support::set_log_level(support::LogLevel::Warn);
+  const auto corpus = fw::synthesize_corpus();
+  cloudsim::CloudNetwork net;
+  for (const auto& image : corpus) net.enroll(image);
 
   std::printf("TABLE II: OVERALL RESULTS OF MESSAGE RECONSTRUCTION\n");
   bench::print_rule();
@@ -27,12 +30,11 @@ void print_table2() {
               "thd=0.5", "thd=0.6", "thd=0.7", "#Accurate");
   bench::print_rule();
 
-  std::vector<cloudsim::Table2Row> rows;
-  for (std::size_t i = 0; i < run.corpus.size(); ++i) {
-    if (run.corpus[i].profile.script_based) continue;
-    rows.push_back(
-        cloudsim::evaluate_device(run.analyses[i], run.corpus[i], run.net));
-    const auto& r = rows.back();
+  // Parallel corpus run with deterministic device-id aggregation — the
+  // rows print identically for any job count.
+  const std::vector<cloudsim::Table2Row> rows =
+      cloudsim::evaluate_corpus(corpus, net, model, {.jobs = 0});
+  for (const auto& r : rows) {
     std::printf("%-6d | %-11d %-6d | %-11d %-10d | %-7s %-7s %-7s | %-9d\n",
                 r.device_id, r.identified_msgs, r.valid_msgs,
                 r.identified_fields, r.confirmed_fields,
@@ -69,13 +71,11 @@ void maybe_neural_pass() {
   nlp::TrainConfig tc;
   tc.epochs = 3;
   const auto model = nlp::train_classifier(dataset, nlp::ModelConfig{}, tc);
-  const bench::CorpusRun run = bench::run_corpus(*model);
-  std::vector<cloudsim::Table2Row> rows;
-  for (std::size_t i = 0; i < run.corpus.size(); ++i) {
-    if (run.corpus[i].profile.script_based) continue;
-    rows.push_back(
-        cloudsim::evaluate_device(run.analyses[i], run.corpus[i], run.net));
-  }
+  const auto corpus = fw::synthesize_corpus();
+  cloudsim::CloudNetwork net;
+  for (const auto& image : corpus) net.enroll(image);
+  const std::vector<cloudsim::Table2Row> rows =
+      cloudsim::evaluate_corpus(corpus, net, *model, {.jobs = 0});
   const auto totals = cloudsim::total_rows(rows);
   std::printf(
       "with trained neural model: semantics accuracy %.2f%% over %d "

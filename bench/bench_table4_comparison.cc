@@ -20,13 +20,12 @@ void print_table4() {
   // --- FIRMRES column: interfaces = valid messages; accuracy = valid /
   // identified (the §V-F "accuracy of recovery").
   const core::KeywordModel model;
-  const bench::CorpusRun run = bench::run_corpus(model);
-  std::vector<cloudsim::Table2Row> rows;
-  for (std::size_t i = 0; i < run.corpus.size(); ++i) {
-    if (run.corpus[i].profile.script_based) continue;
-    rows.push_back(
-        cloudsim::evaluate_device(run.analyses[i], run.corpus[i], run.net));
-  }
+  support::set_log_level(support::LogLevel::Warn);
+  const auto corpus = fw::synthesize_corpus();
+  cloudsim::CloudNetwork net;
+  for (const auto& image : corpus) net.enroll(image);
+  const std::vector<cloudsim::Table2Row> rows =
+      cloudsim::evaluate_corpus(corpus, net, model, {.jobs = 0});
   const auto totals = cloudsim::total_rows(rows);
 
   // --- Baseline columns on their synthetic inputs (paper-sized corpora).

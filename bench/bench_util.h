@@ -10,6 +10,7 @@
 
 #include "cloud/evaluation.h"
 #include "cloud/vuln_hunter.h"
+#include "core/corpus_runner.h"
 #include "core/pipeline.h"
 #include "firmware/synthesizer.h"
 #include "support/logging.h"
@@ -19,18 +20,24 @@ namespace firmres::bench {
 struct CorpusRun {
   std::vector<fw::FirmwareImage> corpus;
   cloudsim::CloudNetwork net;
+  /// Device-id order; index-aligned with `corpus` (ids ascend in Table I).
   std::vector<core::DeviceAnalysis> analyses;
+  /// Wall/cpu split and aggregate phase timings of the analysis run.
+  core::CorpusResult result;
 };
 
 /// Synthesize + analyze the full Table I corpus with the given model.
-inline CorpusRun run_corpus(const core::SemanticsModel& model) {
+/// `jobs` as in CorpusRunner::Options (default: all hardware threads); the
+/// analyses are deterministic regardless of the job count.
+inline CorpusRun run_corpus(const core::SemanticsModel& model, int jobs = 0) {
   support::set_log_level(support::LogLevel::Warn);
   CorpusRun run;
   run.corpus = fw::synthesize_corpus();
   for (const auto& image : run.corpus) run.net.enroll(image);
   const core::Pipeline pipeline(model);
-  for (const auto& image : run.corpus)
-    run.analyses.push_back(pipeline.analyze(image));
+  const core::CorpusRunner runner(pipeline, {.jobs = jobs});
+  run.result = runner.run(run.corpus);
+  run.analyses = run.result.analyses;
   return run;
 }
 

@@ -237,5 +237,19 @@ bench/CMakeFiles/bench_ablation_identification.dir/bench_ablation_identification
  /root/repo/src/cloud/vuln_hunter.h /root/repo/src/core/pipeline.h \
  /root/repo/src/core/exec_identifier.h \
  /root/repo/src/analysis/call_graph.h /root/repo/src/core/form_check.h \
- /root/repo/src/core/taint.h /root/repo/src/firmware/synthesizer.h \
- /root/repo/src/support/logging.h
+ /root/repo/src/core/taint.h /root/repo/src/support/thread_pool.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/future /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/atomic_futex.h /usr/include/c++/12/thread \
+ /root/repo/src/core/corpus_runner.h \
+ /root/repo/src/firmware/synthesizer.h /root/repo/src/support/logging.h

@@ -226,10 +226,25 @@ examples/CMakeFiles/train_classifier.dir/train_classifier.cpp.o: \
  /root/repo/src/firmware/firmware_image.h \
  /root/repo/src/firmware/device_profile.h \
  /root/repo/src/firmware/identity.h /root/repo/src/support/rng.h \
+ /root/repo/src/support/thread_pool.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /usr/include/c++/12/cstddef /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/future /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/atomic_futex.h /usr/include/c++/12/thread \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/firmware/synthesizer.h /root/repo/src/nlp/trainer.h \
  /root/repo/src/nlp/dataset.h /root/repo/src/nlp/model.h \
  /root/repo/src/nlp/autograd.h /root/repo/src/nlp/tensor.h \
- /usr/include/c++/12/cstddef /root/repo/src/support/json.h \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
+ /root/repo/src/support/json.h /usr/include/c++/12/variant \
  /root/repo/src/nlp/tokenizer.h /root/repo/src/support/logging.h

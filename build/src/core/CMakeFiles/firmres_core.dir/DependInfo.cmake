@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/corpus_runner.cc" "src/core/CMakeFiles/firmres_core.dir/corpus_runner.cc.o" "gcc" "src/core/CMakeFiles/firmres_core.dir/corpus_runner.cc.o.d"
   "/root/repo/src/core/exec_identifier.cc" "src/core/CMakeFiles/firmres_core.dir/exec_identifier.cc.o" "gcc" "src/core/CMakeFiles/firmres_core.dir/exec_identifier.cc.o.d"
   "/root/repo/src/core/form_check.cc" "src/core/CMakeFiles/firmres_core.dir/form_check.cc.o" "gcc" "src/core/CMakeFiles/firmres_core.dir/form_check.cc.o.d"
   "/root/repo/src/core/mft.cc" "src/core/CMakeFiles/firmres_core.dir/mft.cc.o" "gcc" "src/core/CMakeFiles/firmres_core.dir/mft.cc.o.d"

@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/firmres_core.dir/corpus_runner.cc.o"
+  "CMakeFiles/firmres_core.dir/corpus_runner.cc.o.d"
   "CMakeFiles/firmres_core.dir/exec_identifier.cc.o"
   "CMakeFiles/firmres_core.dir/exec_identifier.cc.o.d"
   "CMakeFiles/firmres_core.dir/form_check.cc.o"

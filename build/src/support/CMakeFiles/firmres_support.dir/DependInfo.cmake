@@ -12,6 +12,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/support/logging.cc" "src/support/CMakeFiles/firmres_support.dir/logging.cc.o" "gcc" "src/support/CMakeFiles/firmres_support.dir/logging.cc.o.d"
   "/root/repo/src/support/rng.cc" "src/support/CMakeFiles/firmres_support.dir/rng.cc.o" "gcc" "src/support/CMakeFiles/firmres_support.dir/rng.cc.o.d"
   "/root/repo/src/support/strings.cc" "src/support/CMakeFiles/firmres_support.dir/strings.cc.o" "gcc" "src/support/CMakeFiles/firmres_support.dir/strings.cc.o.d"
+  "/root/repo/src/support/thread_pool.cc" "src/support/CMakeFiles/firmres_support.dir/thread_pool.cc.o" "gcc" "src/support/CMakeFiles/firmres_support.dir/thread_pool.cc.o.d"
   )
 
 # Targets to which this target links.

@@ -7,6 +7,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/firmres_support.dir/rng.cc.o.d"
   "CMakeFiles/firmres_support.dir/strings.cc.o"
   "CMakeFiles/firmres_support.dir/strings.cc.o.d"
+  "CMakeFiles/firmres_support.dir/thread_pool.cc.o"
+  "CMakeFiles/firmres_support.dir/thread_pool.cc.o.d"
   "libfirmres_support.a"
   "libfirmres_support.pdb"
 )

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_corpus_runner.cc" "tests/CMakeFiles/test_corpus_runner.dir/test_corpus_runner.cc.o" "gcc" "tests/CMakeFiles/test_corpus_runner.dir/test_corpus_runner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nlp/CMakeFiles/firmres_nlp.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/firmres_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/firmres_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/firmres_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/firmres_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/firmware/CMakeFiles/firmres_firmware.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/firmres_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/firmres_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

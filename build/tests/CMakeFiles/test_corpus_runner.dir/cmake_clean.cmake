@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_corpus_runner.dir/test_corpus_runner.cc.o"
+  "CMakeFiles/test_corpus_runner.dir/test_corpus_runner.cc.o.d"
+  "test_corpus_runner"
+  "test_corpus_runner.pdb"
+  "test_corpus_runner[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_corpus_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

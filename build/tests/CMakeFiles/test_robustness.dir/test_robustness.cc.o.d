@@ -297,11 +297,28 @@ tests/CMakeFiles/test_robustness.dir/test_robustness.cc.o: \
  /root/repo/src/ir/data_segment.h /root/repo/src/ir/function.h \
  /root/repo/src/ir/pcode.h /root/repo/src/ir/opcodes.h \
  /root/repo/src/ir/varnode.h /root/repo/src/support/error.h \
- /root/repo/src/core/exec_identifier.h \
+ /root/repo/src/core/corpus_runner.h /root/repo/src/core/pipeline.h \
+ /root/repo/src/core/exec_identifier.h /root/repo/src/core/form_check.h \
  /root/repo/src/core/reconstructor.h /root/repo/src/core/mft.h \
  /root/repo/src/core/semantics.h \
  /root/repo/src/firmware/field_dictionary.h \
  /root/repo/src/firmware/primitives.h /root/repo/src/core/slices.h \
  /root/repo/src/firmware/message_spec.h /root/repo/src/core/taint.h \
- /root/repo/src/ir/builder.h /root/repo/src/ir/library.h \
- /root/repo/src/support/rng.h
+ /root/repo/src/firmware/firmware_image.h \
+ /root/repo/src/firmware/device_profile.h \
+ /root/repo/src/firmware/identity.h /root/repo/src/support/rng.h \
+ /root/repo/src/support/thread_pool.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/future /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/atomic_futex.h /usr/include/c++/12/thread \
+ /root/repo/src/firmware/synthesizer.h /root/repo/src/ir/builder.h \
+ /root/repo/src/ir/library.h

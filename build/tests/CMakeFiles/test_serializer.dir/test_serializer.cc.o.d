@@ -317,5 +317,17 @@ tests/CMakeFiles/test_serializer.dir/test_serializer.cc.o: \
  /root/repo/src/firmware/firmware_image.h \
  /root/repo/src/firmware/device_profile.h \
  /root/repo/src/firmware/identity.h /root/repo/src/support/rng.h \
+ /root/repo/src/support/thread_pool.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/future /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/atomic_futex.h /usr/include/c++/12/thread \
  /root/repo/src/firmware/serializer.h /root/repo/src/support/json.h \
  /root/repo/src/firmware/synthesizer.h /root/repo/src/ir/serializer.h

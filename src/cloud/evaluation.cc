@@ -75,6 +75,32 @@ Table2Row evaluate_device(const core::DeviceAnalysis& analysis,
   return row;
 }
 
+std::vector<Table2Row> evaluate_corpus(
+    const std::vector<fw::FirmwareImage>& corpus, const CloudNetwork& network,
+    const core::SemanticsModel& model, core::CorpusRunner::Options options,
+    core::CorpusResult* result) {
+  const core::Pipeline pipeline(model);
+  const core::CorpusRunner runner(pipeline, options);
+  core::CorpusResult run = runner.run(corpus);
+
+  // Analyses come back in device-id order; pair each with its image by id
+  // (robust to failures thinning the list) and evaluate the binary devices.
+  std::vector<Table2Row> rows;
+  for (const core::DeviceAnalysis& analysis : run.analyses) {
+    const fw::FirmwareImage* image = nullptr;
+    for (const fw::FirmwareImage& candidate : corpus) {
+      if (candidate.profile.id == analysis.device_id) {
+        image = &candidate;
+        break;
+      }
+    }
+    if (image == nullptr || image->profile.script_based) continue;
+    rows.push_back(evaluate_device(analysis, *image, network));
+  }
+  if (result != nullptr) *result = std::move(run);
+  return rows;
+}
+
 Table2Totals total_rows(const std::vector<Table2Row>& rows) {
   Table2Totals totals;
   for (const Table2Row& row : rows) {

@@ -9,6 +9,7 @@
 
 #include "cloud/prober.h"
 #include "cloud/vuln_hunter.h"
+#include "core/corpus_runner.h"
 #include "core/pipeline.h"
 
 namespace firmres::cloudsim {
@@ -38,5 +39,16 @@ Table2Row evaluate_device(const core::DeviceAnalysis& analysis,
 
 /// Column sums + the two accuracy ratios of §V-C.
 Table2Totals total_rows(const std::vector<Table2Row>& rows);
+
+/// Corpus-level Table II evaluation: analyze every image through a
+/// CorpusRunner (parallel fan-out, deterministic device-id aggregation),
+/// then evaluate the binary devices against `network`. `result` (optional)
+/// receives the underlying run — analyses, failures, wall/cpu split — for
+/// performance reporting.
+std::vector<Table2Row> evaluate_corpus(
+    const std::vector<fw::FirmwareImage>& corpus, const CloudNetwork& network,
+    const core::SemanticsModel& model,
+    core::CorpusRunner::Options options = {},
+    core::CorpusResult* result = nullptr);
 
 }  // namespace firmres::cloudsim

@@ -1,0 +1,87 @@
+#include "core/corpus_runner.h"
+
+#include <algorithm>
+#include <numeric>
+#include <optional>
+
+#include "support/timing.h"
+
+namespace firmres::core {
+
+CorpusResult CorpusRunner::run(
+    const std::vector<fw::FirmwareImage>& images) const {
+  std::vector<const fw::FirmwareImage*> pointers;
+  pointers.reserve(images.size());
+  for (const fw::FirmwareImage& image : images) pointers.push_back(&image);
+  return run(pointers);
+}
+
+CorpusResult CorpusRunner::run(
+    const std::vector<const fw::FirmwareImage*>& images) const {
+  std::vector<CorpusTask> tasks;
+  tasks.reserve(images.size());
+  for (const fw::FirmwareImage* image : images) {
+    tasks.push_back(CorpusTask{
+        image->profile.id, [this, image](support::ThreadPool* pool) {
+          return pipeline_.analyze(*image, pool);
+        }});
+  }
+  return run_tasks(tasks);
+}
+
+CorpusResult CorpusRunner::run_tasks(
+    const std::vector<CorpusTask>& tasks) const {
+  const support::WallTimer wall;
+  CorpusResult result;
+
+  // Completion order is whatever the scheduler produces; each task writes
+  // its own slot and aggregation below re-imposes device-id order.
+  std::vector<std::optional<DeviceAnalysis>> analyses(tasks.size());
+  std::vector<std::optional<DeviceFailure>> failures(tasks.size());
+  const auto run_one = [&](std::size_t i, support::ThreadPool* pool) {
+    try {
+      analyses[i] = tasks[i].run(pool);
+    } catch (const std::exception& e) {
+      failures[i] = DeviceFailure{tasks[i].device_id, e.what()};
+    } catch (...) {
+      failures[i] = DeviceFailure{tasks[i].device_id, "unknown error"};
+    }
+  };
+
+  const int jobs = options_.jobs == 0
+                       ? static_cast<int>(support::ThreadPool::default_parallelism())
+                       : options_.jobs;
+  if (jobs <= 1 || tasks.size() <= 1) {
+    for (std::size_t i = 0; i < tasks.size(); ++i) run_one(i, nullptr);
+  } else {
+    support::ThreadPool pool(static_cast<std::size_t>(jobs));
+    support::parallel_for(pool, tasks.size(), [&](std::size_t i) {
+      run_one(i, options_.parallel_programs ? &pool : nullptr);
+    });
+  }
+
+  std::vector<std::size_t> order(tasks.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return tasks[a].device_id < tasks[b].device_id;
+  });
+  for (const std::size_t i : order) {
+    if (analyses[i].has_value()) {
+      const PhaseTimings& t = analyses[i]->timings;
+      result.aggregate.pinpoint_s += t.pinpoint_s;
+      result.aggregate.fields_s += t.fields_s;
+      result.aggregate.semantics_s += t.semantics_s;
+      result.aggregate.concat_s += t.concat_s;
+      result.aggregate.check_s += t.check_s;
+      result.aggregate.cpu_total_s += t.cpu_total_s;
+      result.cpu_s += t.cpu_total_s;
+      result.analyses.push_back(std::move(*analyses[i]));
+    } else if (failures[i].has_value()) {
+      result.failures.push_back(std::move(*failures[i]));
+    }
+  }
+  result.wall_s = wall.elapsed_s();
+  return result;
+}
+
+}  // namespace firmres::core

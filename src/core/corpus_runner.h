@@ -1,0 +1,86 @@
+// Parallel corpus analysis engine.
+//
+// FIRMRES's evaluation (§V) runs the pipeline over a 23-device corpus;
+// per-image analysis is embarrassingly parallel. CorpusRunner fans
+// Pipeline::analyze out across firmware images on a work-stealing
+// ThreadPool — and, within one image, across device-cloud programs in
+// Phase 2 — then aggregates results in ascending device-id order
+// regardless of completion order. The aggregated output is therefore
+// bit-identical for jobs=1 and jobs=N (per-device timings excepted; report
+// serialization can omit them, see report.h).
+//
+// A device whose task throws (corrupt image, analysis bug) is recorded as a
+// DeviceFailure instead of aborting the run; the remaining images complete.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "support/thread_pool.h"
+
+namespace firmres::core {
+
+/// One unit of corpus work. `run` may throw; it receives the shared pool
+/// (nullptr when the run is sequential) for intra-image parallelism.
+struct CorpusTask {
+  int device_id = 0;
+  std::function<DeviceAnalysis(support::ThreadPool*)> run;
+};
+
+/// A device whose analysis threw instead of completing.
+struct DeviceFailure {
+  int device_id = 0;
+  std::string error;
+};
+
+struct CorpusResult {
+  /// Completed analyses, ascending device id (ties keep submission order).
+  std::vector<DeviceAnalysis> analyses;
+  /// Failed devices, same ordering.
+  std::vector<DeviceFailure> failures;
+  /// Per-phase sums over `analyses`, accumulated in device-id order (the
+  /// floating-point addition order is fixed, so the sums are deterministic
+  /// given deterministic inputs).
+  PhaseTimings aggregate;
+  /// End-to-end wall clock of the run.
+  double wall_s = 0.0;
+  /// Total CPU time the analyses consumed (sum of per-device cpu_total_s).
+  double cpu_s = 0.0;
+  /// Observed parallel speedup: CPU seconds delivered per wall second.
+  double speedup() const { return wall_s > 0.0 ? cpu_s / wall_s : 0.0; }
+};
+
+class CorpusRunner {
+ public:
+  struct Options {
+    /// Worker threads; 1 runs inline on the calling thread (the exact
+    /// sequential path), 0 means ThreadPool::default_parallelism().
+    int jobs = 1;
+    /// Also fan Phase 2 out across device-cloud programs within one image.
+    bool parallel_programs = true;
+  };
+
+  /// `pipeline` must outlive the runner.
+  explicit CorpusRunner(const Pipeline& pipeline)
+      : CorpusRunner(pipeline, Options{}) {}
+  CorpusRunner(const Pipeline& pipeline, Options options)
+      : pipeline_(pipeline), options_(options) {}
+
+  /// Analyze every image. Images are not copied; they must outlive the call.
+  CorpusResult run(const std::vector<fw::FirmwareImage>& images) const;
+  CorpusResult run(const std::vector<const fw::FirmwareImage*>& images) const;
+
+  /// Generic driver: run arbitrary per-device tasks (e.g. load-then-analyze
+  /// closures whose load may throw).
+  CorpusResult run_tasks(const std::vector<CorpusTask>& tasks) const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  const Pipeline& pipeline_;
+  Options options_;
+};
+
+}  // namespace firmres::core

@@ -4,6 +4,7 @@
 
 #include "core/taint.h"
 #include "support/logging.h"
+#include "support/timing.h"
 
 namespace firmres::core {
 
@@ -28,9 +29,29 @@ class PhaseTimer {
 
 }  // namespace
 
-DeviceAnalysis Pipeline::analyze(const fw::FirmwareImage& image) const {
+namespace {
+
+/// Accumulates the analyzing thread's CPU time into a PhaseTimings slot.
+class CpuTimer {
+ public:
+  explicit CpuTimer(double& slot)
+      : slot_(slot), start_(support::thread_cpu_seconds()) {}
+  ~CpuTimer() { slot_ += support::thread_cpu_seconds() - start_; }
+  CpuTimer(const CpuTimer&) = delete;
+  CpuTimer& operator=(const CpuTimer&) = delete;
+
+ private:
+  double& slot_;
+  double start_;
+};
+
+}  // namespace
+
+DeviceAnalysis Pipeline::analyze(const fw::FirmwareImage& image,
+                                 support::ThreadPool* pool) const {
   DeviceAnalysis out;
   out.device_id = image.profile.id;
+  const CpuTimer cpu_timer(out.timings.cpu_total_s);
 
   // --- Phase 1: pinpoint device-cloud executables (§IV-A) ------------------
   std::vector<const ir::Program*> device_cloud;
@@ -56,14 +77,28 @@ DeviceAnalysis Pipeline::analyze(const fw::FirmwareImage& image) const {
   }
 
   // --- Phase 2: message-field identification via backward taint (§IV-B) ----
+  // Each device-cloud program's MFTs are independent; with a pool they are
+  // built concurrently, then concatenated in program order so the result is
+  // identical to the sequential loop.
   std::vector<Mft> mfts;
   {
     PhaseTimer timer(out.timings.fields_s);
-    for (const ir::Program* program : device_cloud) {
-      const analysis::CallGraph cg(*program);
-      const MftBuilder builder(*program, cg, options_.taint);
-      for (Mft& mft : builder.build_all()) mfts.push_back(std::move(mft));
+    const auto build_program = [&](const ir::Program& program) {
+      const analysis::CallGraph cg(program);
+      const MftBuilder builder(program, cg, options_.taint);
+      return builder.build_all();
+    };
+    std::vector<std::vector<Mft>> per_program(device_cloud.size());
+    if (pool != nullptr && device_cloud.size() > 1) {
+      support::parallel_for(*pool, device_cloud.size(), [&](std::size_t i) {
+        per_program[i] = build_program(*device_cloud[i]);
+      });
+    } else {
+      for (std::size_t i = 0; i < device_cloud.size(); ++i)
+        per_program[i] = build_program(*device_cloud[i]);
     }
+    for (std::vector<Mft>& built : per_program)
+      for (Mft& mft : built) mfts.push_back(std::move(mft));
   }
 
   // --- Phases 3+4: semantics recovery & field concatenation (§IV-C/D) ------

@@ -14,6 +14,7 @@
 #include "core/reconstructor.h"
 #include "core/semantics.h"
 #include "firmware/firmware_image.h"
+#include "support/thread_pool.h"
 
 namespace firmres::core {
 
@@ -23,6 +24,12 @@ struct PhaseTimings {
   double semantics_s = 0.0;  ///< slice classification
   double concat_s = 0.0;     ///< grouping, ordering, format inference
   double check_s = 0.0;      ///< message form check
+  /// CPU time the analyzing thread consumed over the whole run. Under
+  /// intra-image parallelism worker-thread cycles are not attributed here,
+  /// so cpu_total_s ≤ total_s per device; corpus-level cpu/wall ratios come
+  /// from CorpusResult.
+  double cpu_total_s = 0.0;
+  /// Wall-clock total: the sum of the five phase slots.
   double total_s() const {
     return pinpoint_s + fields_s + semantics_s + concat_s + check_s;
   }
@@ -53,7 +60,16 @@ class Pipeline {
   Pipeline(const SemanticsModel& model, Options options)
       : model_(model), options_(options) {}
 
-  DeviceAnalysis analyze(const fw::FirmwareImage& image) const;
+  DeviceAnalysis analyze(const fw::FirmwareImage& image) const {
+    return analyze(image, nullptr);
+  }
+
+  /// As above, but Phase 2 (MFT construction) fans out across the image's
+  /// device-cloud programs on `pool` when one is given. Results are
+  /// aggregated in program order, so the analysis is bit-identical to the
+  /// sequential path (timings aside).
+  DeviceAnalysis analyze(const fw::FirmwareImage& image,
+                         support::ThreadPool* pool) const;
 
  private:
   const SemanticsModel& model_;

@@ -36,7 +36,8 @@ support::Json message_to_json(const ReconstructedMessage& message) {
   return m;
 }
 
-support::Json analysis_to_json(const DeviceAnalysis& analysis) {
+support::Json analysis_to_json(const DeviceAnalysis& analysis,
+                               bool include_timings) {
   Json doc{JsonObject{}};
   doc.set("format", "firmres-report");
   doc.set("device_id", analysis.device_id);
@@ -62,14 +63,17 @@ support::Json analysis_to_json(const DeviceAnalysis& analysis) {
   }
   doc.set("alarms", Json(std::move(alarms)));
 
-  Json timings{JsonObject{}};
-  timings.set("pinpoint_s", analysis.timings.pinpoint_s);
-  timings.set("fields_s", analysis.timings.fields_s);
-  timings.set("semantics_s", analysis.timings.semantics_s);
-  timings.set("concat_s", analysis.timings.concat_s);
-  timings.set("check_s", analysis.timings.check_s);
-  timings.set("total_s", analysis.timings.total_s());
-  doc.set("timings", std::move(timings));
+  if (include_timings) {
+    Json timings{JsonObject{}};
+    timings.set("pinpoint_s", analysis.timings.pinpoint_s);
+    timings.set("fields_s", analysis.timings.fields_s);
+    timings.set("semantics_s", analysis.timings.semantics_s);
+    timings.set("concat_s", analysis.timings.concat_s);
+    timings.set("check_s", analysis.timings.check_s);
+    timings.set("total_s", analysis.timings.total_s());
+    timings.set("cpu_total_s", analysis.timings.cpu_total_s);
+    doc.set("timings", std::move(timings));
+  }
   return doc;
 }
 

@@ -17,7 +17,11 @@ namespace firmres::core {
 support::Json message_to_json(const ReconstructedMessage& message);
 
 /// The full report: executable verdict, messages, LAN-discard count,
-/// flaw alarms, and phase timings.
-support::Json analysis_to_json(const DeviceAnalysis& analysis);
+/// flaw alarms, and phase timings. `include_timings = false` omits the
+/// timings block — the only run-to-run varying part — yielding a document
+/// that is byte-identical across repeated and parallel runs (the
+/// CorpusRunner determinism guarantee).
+support::Json analysis_to_json(const DeviceAnalysis& analysis,
+                               bool include_timings = true);
 
 }  // namespace firmres::core

@@ -1,0 +1,133 @@
+#include "support/thread_pool.h"
+
+#include "support/error.h"
+
+namespace firmres::support {
+
+namespace {
+// Lets enqueue() route a worker's nested submits to its own queue, and
+// try_run_one() know it was called from outside the pool.
+thread_local const ThreadPool* tl_pool = nullptr;
+thread_local std::size_t tl_worker_index = 0;
+}  // namespace
+
+std::size_t ThreadPool::default_parallelism() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+ThreadPool::ThreadPool(Options options) : options_(options) {
+  const std::size_t n =
+      options_.num_threads == 0 ? default_parallelism() : options_.num_threads;
+  queues_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    workers_.emplace_back([this, i] { worker_loop(i); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(sync_mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  idle_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::enqueue(Task task) {
+  {
+    std::unique_lock<std::mutex> lock(sync_mutex_);
+    if (options_.max_queued > 0) {
+      idle_cv_.wait(lock,
+                    [&] { return queued_ < options_.max_queued || stop_; });
+    }
+    FIRMRES_CHECK_MSG(!stop_, "submit on a stopping ThreadPool");
+  }
+  std::size_t home;
+  if (tl_pool == this) {
+    home = tl_worker_index;
+  } else {
+    std::lock_guard<std::mutex> lock(sync_mutex_);
+    home = next_queue_++ % queues_.size();
+  }
+  {
+    std::lock_guard<std::mutex> qlock(queues_[home]->mutex);
+    queues_[home]->tasks.push_back(std::move(task));
+  }
+  {
+    std::lock_guard<std::mutex> lock(sync_mutex_);
+    ++queued_;
+  }
+  work_cv_.notify_one();
+}
+
+bool ThreadPool::pop_task(std::size_t preferred, Task& out) {
+  const std::size_t n = queues_.size();
+  // Own queue back first (most recently pushed, cache-warm), then steal the
+  // oldest task of each other queue.
+  if (preferred < n) {
+    std::lock_guard<std::mutex> qlock(queues_[preferred]->mutex);
+    if (!queues_[preferred]->tasks.empty()) {
+      out = std::move(queues_[preferred]->tasks.back());
+      queues_[preferred]->tasks.pop_back();
+    }
+  }
+  for (std::size_t k = 0; !out && k < n; ++k) {
+    const std::size_t victim = (preferred + 1 + k) % n;
+    std::lock_guard<std::mutex> qlock(queues_[victim]->mutex);
+    if (!queues_[victim]->tasks.empty()) {
+      out = std::move(queues_[victim]->tasks.front());
+      queues_[victim]->tasks.pop_front();
+    }
+  }
+  if (!out) return false;
+  {
+    std::lock_guard<std::mutex> lock(sync_mutex_);
+    --queued_;
+    ++active_;
+  }
+  if (options_.max_queued > 0) idle_cv_.notify_all();
+  return true;
+}
+
+void ThreadPool::run_popped(Task& task) {
+  task();  // packaged_task: exceptions land in the future, never escape
+  std::lock_guard<std::mutex> lock(sync_mutex_);
+  --active_;
+  if (queued_ == 0 && active_ == 0) idle_cv_.notify_all();
+}
+
+bool ThreadPool::try_run_one() {
+  Task task;
+  const std::size_t preferred =
+      tl_pool == this ? tl_worker_index : queues_.size();
+  if (!pop_task(preferred, task)) return false;
+  run_popped(task);
+  return true;
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(sync_mutex_);
+  idle_cv_.wait(lock, [&] { return queued_ == 0 && active_ == 0; });
+}
+
+void ThreadPool::worker_loop(std::size_t index) {
+  tl_pool = this;
+  tl_worker_index = index;
+  for (;;) {
+    Task task;
+    if (pop_task(index, task)) {
+      run_popped(task);
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(sync_mutex_);
+    if (stop_ && queued_ == 0) return;  // drain before exiting
+    work_cv_.wait(lock, [&] { return stop_ || queued_ > 0; });
+    if (stop_ && queued_ == 0) return;
+  }
+}
+
+}  // namespace firmres::support

@@ -1,0 +1,142 @@
+// Work-stealing thread pool for corpus-scale analysis fan-out.
+//
+// Each worker owns a deque: it pops its own queue LIFO (cache locality for
+// nested submits) and steals FIFO from the others when empty. Exceptions
+// thrown by tasks are captured into the returned std::future. The submitting
+// thread can assist via try_run_one(), which is what parallel_for() does
+// while waiting — nested parallel sections therefore never deadlock, even on
+// a single-thread pool. An optional bound on the number of queued tasks
+// turns submit() into back-pressure for producers that outrun the workers.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace firmres::support {
+
+class ThreadPool {
+ public:
+  struct Options {
+    /// Worker-thread count; 0 means default_parallelism().
+    std::size_t num_threads = 0;
+    /// Maximum tasks waiting in the queues; 0 means unbounded. When the
+    /// bound is reached submit() blocks until a worker dequeues.
+    std::size_t max_queued = 0;
+  };
+
+  ThreadPool() : ThreadPool(Options{}) {}
+  explicit ThreadPool(Options options);
+  explicit ThreadPool(std::size_t num_threads)
+      : ThreadPool(Options{num_threads, 0}) {}
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue `fn` and return a future for its result. The future observes
+  /// the task's return value or the exception it threw.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    std::packaged_task<R()> task(std::forward<F>(fn));
+    std::future<R> future = task.get_future();
+    enqueue(Task(std::move(task)));
+    return future;
+  }
+
+  /// Block until no task is queued or executing. Tasks submitted while
+  /// waiting extend the wait.
+  void wait_idle();
+
+  /// Dequeue and execute one pending task on the calling thread. Returns
+  /// false when every queue is empty. Lets waiters lend a hand instead of
+  /// blocking (see parallel_for).
+  bool try_run_one();
+
+  std::size_t num_threads() const { return workers_.size(); }
+
+  /// std::thread::hardware_concurrency, but never 0.
+  static std::size_t default_parallelism();
+
+ private:
+  /// Move-only type-erased callable (std::function requires copyability,
+  /// which std::packaged_task lacks).
+  class Task {
+   public:
+    Task() = default;
+    template <typename F>
+    explicit Task(F&& fn)
+        : impl_(std::make_unique<Model<std::decay_t<F>>>(
+              std::forward<F>(fn))) {}
+    void operator()() { impl_->run(); }
+    explicit operator bool() const { return impl_ != nullptr; }
+
+   private:
+    struct Concept {
+      virtual ~Concept() = default;
+      virtual void run() = 0;
+    };
+    template <typename F>
+    struct Model final : Concept {
+      explicit Model(F fn) : fn(std::move(fn)) {}
+      void run() override { fn(); }
+      F fn;
+    };
+    std::unique_ptr<Concept> impl_;
+  };
+
+  struct WorkerQueue {
+    std::mutex mutex;
+    std::deque<Task> tasks;
+  };
+
+  void enqueue(Task task);
+  bool pop_task(std::size_t preferred, Task& out);
+  void run_popped(Task& task);
+  void worker_loop(std::size_t index);
+
+  Options options_;
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> workers_;
+
+  std::mutex sync_mutex_;
+  std::condition_variable work_cv_;   ///< wakes sleeping workers
+  std::condition_variable idle_cv_;   ///< wakes wait_idle / bounded submit
+  std::size_t queued_ = 0;            ///< pushed, not yet popped
+  std::size_t active_ = 0;            ///< currently executing
+  bool stop_ = false;
+  std::size_t next_queue_ = 0;        ///< round-robin slot for outsiders
+};
+
+/// Run fn(0) … fn(n-1) on the pool and wait for all of them; the calling
+/// thread executes queued tasks while waiting. If any invocation threw, the
+/// lowest-index exception is rethrown after every task finished.
+template <typename F>
+void parallel_for(ThreadPool& pool, std::size_t n, F&& fn) {
+  if (n == 0) return;
+  if (n == 1) {
+    fn(std::size_t{0});
+    return;
+  }
+  std::vector<std::future<void>> futures;
+  futures.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    futures.push_back(pool.submit([&fn, i] { fn(i); }));
+  for (std::future<void>& future : futures) {
+    while (future.wait_for(std::chrono::seconds(0)) !=
+           std::future_status::ready) {
+      if (!pool.try_run_one()) std::this_thread::yield();
+    }
+  }
+  for (std::future<void>& future : futures) future.get();
+}
+
+}  // namespace firmres::support

@@ -1,0 +1,36 @@
+// Wall-clock vs. CPU-time measurement helpers for the §V-E performance
+// breakdown. Wall time uses steady_clock; CPU time is the calling thread's
+// consumed processor time, so (sum of per-device cpu) / (corpus wall) is the
+// observed parallel speedup.
+#pragma once
+
+#include <chrono>
+#include <ctime>
+
+namespace firmres::support {
+
+/// Seconds of CPU time consumed by the calling thread.
+inline double thread_cpu_seconds() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0)
+    return static_cast<double>(ts.tv_sec) + 1e-9 * ts.tv_nsec;
+#endif
+  return static_cast<double>(std::clock()) / CLOCKS_PER_SEC;
+}
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double elapsed_s() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace firmres::support

@@ -1,0 +1,144 @@
+// CorpusRunner tests, centred on the determinism property the parallel
+// engine guarantees: for any job count, the aggregated analyses are
+// byte-identical after report serialization (timings omitted — the only
+// run-to-run varying block).
+#include "core/corpus_runner.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "core/report.h"
+#include "firmware/synthesizer.h"
+
+namespace firmres::core {
+namespace {
+
+const KeywordModel kModel;
+
+/// The multi-device corpus under test: eight binary devices plus one
+/// script device (id 21) so the no-executable path is aggregated too.
+std::vector<fw::FirmwareImage> test_corpus() {
+  std::vector<fw::FirmwareImage> images;
+  for (const int id : {1, 2, 3, 4, 5, 6, 7, 8, 21})
+    images.push_back(fw::synthesize(fw::profile_by_id(id)));
+  return images;
+}
+
+/// Canonical corpus fingerprint: every report, timings excluded, in
+/// aggregation order.
+std::string serialize_reports(const CorpusResult& result) {
+  std::string out;
+  for (const DeviceAnalysis& analysis : result.analyses) {
+    out += analysis_to_json(analysis, /*include_timings=*/false).dump(true);
+    out += '\n';
+  }
+  return out;
+}
+
+TEST(CorpusRunner, ParallelRunsAreByteIdenticalToSequential) {
+  const std::vector<fw::FirmwareImage> corpus = test_corpus();
+  const Pipeline pipeline(kModel);
+
+  const CorpusRunner sequential(pipeline, {.jobs = 1});
+  const std::string baseline = serialize_reports(sequential.run(corpus));
+  EXPECT_FALSE(baseline.empty());
+
+  const int hw =
+      static_cast<int>(support::ThreadPool::default_parallelism());
+  for (const int jobs : {2, hw, hw + 3}) {
+    const CorpusRunner parallel(pipeline, {.jobs = jobs});
+    const CorpusResult result = parallel.run(corpus);
+    EXPECT_TRUE(result.failures.empty());
+    EXPECT_EQ(serialize_reports(result), baseline) << "jobs=" << jobs;
+  }
+}
+
+TEST(CorpusRunner, AnalysesComeBackInDeviceIdOrder) {
+  // Submit in descending id order; aggregation must re-impose ascending.
+  std::vector<fw::FirmwareImage> images;
+  for (const int id : {8, 5, 3, 1})
+    images.push_back(fw::synthesize(fw::profile_by_id(id)));
+  const Pipeline pipeline(kModel);
+  const CorpusRunner runner(pipeline, {.jobs = 2});
+  const CorpusResult result = runner.run(images);
+  ASSERT_EQ(result.analyses.size(), 4u);
+  for (std::size_t i = 1; i < result.analyses.size(); ++i)
+    EXPECT_LT(result.analyses[i - 1].device_id,
+              result.analyses[i].device_id);
+}
+
+TEST(CorpusRunner, AggregatedTimingSumsArePositive) {
+  const std::vector<fw::FirmwareImage> corpus = test_corpus();
+  const Pipeline pipeline(kModel);
+  const CorpusRunner runner(pipeline, {.jobs = 2});
+  const CorpusResult result = runner.run(corpus);
+
+  EXPECT_GT(result.aggregate.pinpoint_s, 0.0);
+  EXPECT_GT(result.aggregate.fields_s, 0.0);
+  EXPECT_GT(result.aggregate.semantics_s, 0.0);
+  EXPECT_GT(result.aggregate.concat_s, 0.0);
+  EXPECT_GT(result.aggregate.check_s, 0.0);
+  EXPECT_GT(result.aggregate.total_s(), 0.0);
+  EXPECT_GT(result.wall_s, 0.0);
+  EXPECT_GT(result.cpu_s, 0.0);
+  EXPECT_GE(result.speedup(), 0.0);
+
+  // The aggregate is the per-device sum, accumulated in device-id order.
+  PhaseTimings manual;
+  for (const DeviceAnalysis& a : result.analyses) {
+    manual.pinpoint_s += a.timings.pinpoint_s;
+    manual.fields_s += a.timings.fields_s;
+    manual.semantics_s += a.timings.semantics_s;
+    manual.concat_s += a.timings.concat_s;
+    manual.check_s += a.timings.check_s;
+  }
+  EXPECT_DOUBLE_EQ(result.aggregate.total_s(), manual.total_s());
+}
+
+TEST(CorpusRunner, JobsZeroMeansHardwareConcurrency) {
+  std::vector<fw::FirmwareImage> images;
+  images.push_back(fw::synthesize(fw::profile_by_id(1)));
+  images.push_back(fw::synthesize(fw::profile_by_id(2)));
+  const Pipeline pipeline(kModel);
+  const CorpusRunner runner(pipeline, {.jobs = 0});
+  const CorpusResult result = runner.run(images);
+  EXPECT_EQ(result.analyses.size(), 2u);
+  EXPECT_TRUE(result.failures.empty());
+}
+
+TEST(CorpusRunner, EmptyCorpusYieldsEmptyResult) {
+  const Pipeline pipeline(kModel);
+  const CorpusRunner runner(pipeline, {.jobs = 4});
+  const CorpusResult result = runner.run(std::vector<fw::FirmwareImage>{});
+  EXPECT_TRUE(result.analyses.empty());
+  EXPECT_TRUE(result.failures.empty());
+  EXPECT_EQ(result.aggregate.total_s(), 0.0);
+}
+
+TEST(CorpusRunner, RunTasksPassesSharedPoolWhenParallel) {
+  const Pipeline pipeline(kModel);
+  std::vector<CorpusTask> tasks;
+  std::atomic<int> pools_seen{0};
+  for (const int id : {1, 2}) {
+    tasks.push_back(CorpusTask{id, [&pools_seen](support::ThreadPool* pool) {
+                                 if (pool != nullptr) pools_seen.fetch_add(1);
+                                 return DeviceAnalysis{};
+                               }});
+  }
+  CorpusRunner::Options options;
+  options.jobs = 2;
+  EXPECT_EQ(CorpusRunner(pipeline, options).run_tasks(tasks).analyses.size(),
+            2u);
+  EXPECT_EQ(pools_seen.load(), 2);
+
+  pools_seen = 0;
+  options.parallel_programs = false;
+  CorpusRunner(pipeline, options).run_tasks(tasks);
+  EXPECT_EQ(pools_seen.load(), 0);
+}
+
+}  // namespace
+}  // namespace firmres::core

@@ -60,6 +60,43 @@ TEST(Pipeline, TimingsPopulated) {
               1e-9);
 }
 
+TEST(Pipeline, TimingAttributionCoversEveryPhase) {
+  // Device 17 reaches Phase 5 (it raises form-check alarms), so every
+  // phase slot must have received wall time, and the wall total must be
+  // exactly the slot sum.
+  const fw::FirmwareImage image = fw::synthesize(fw::profile_by_id(17));
+  const DeviceAnalysis a = Pipeline(kModel).analyze(image);
+  ASSERT_FALSE(a.messages.empty());
+  ASSERT_FALSE(a.flaws.empty());
+  EXPECT_GT(a.timings.pinpoint_s, 0.0);
+  EXPECT_GT(a.timings.fields_s, 0.0);
+  EXPECT_GT(a.timings.semantics_s, 0.0);
+  EXPECT_GT(a.timings.concat_s, 0.0);
+  EXPECT_GT(a.timings.check_s, 0.0);
+  EXPECT_DOUBLE_EQ(a.timings.total_s(),
+                   a.timings.pinpoint_s + a.timings.fields_s +
+                       a.timings.semantics_s + a.timings.concat_s +
+                       a.timings.check_s);
+  // The wall/cpu split: thread CPU time is recorded alongside.
+  EXPECT_GT(a.timings.cpu_total_s, 0.0);
+}
+
+TEST(Pipeline, PoolAnalyzeMatchesSequential) {
+  const fw::FirmwareImage image = fw::synthesize(fw::profile_by_id(7));
+  const Pipeline pipeline(kModel);
+  const DeviceAnalysis sequential = pipeline.analyze(image);
+  support::ThreadPool pool(2);
+  const DeviceAnalysis parallel = pipeline.analyze(image, &pool);
+  EXPECT_EQ(parallel.device_cloud_executable,
+            sequential.device_cloud_executable);
+  ASSERT_EQ(parallel.messages.size(), sequential.messages.size());
+  for (std::size_t i = 0; i < parallel.messages.size(); ++i)
+    EXPECT_EQ(parallel.messages[i].delivery_address,
+              sequential.messages[i].delivery_address);
+  EXPECT_EQ(parallel.discarded_lan, sequential.discarded_lan);
+  EXPECT_EQ(parallel.flaws.size(), sequential.flaws.size());
+}
+
 TEST(Pipeline, NaiveIdentifierOptionsChangeBehaviour) {
   const fw::FirmwareImage image = fw::synthesize(fw::profile_by_id(4));
   Pipeline::Options opts;

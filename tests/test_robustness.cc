@@ -7,10 +7,13 @@
 #include <set>
 
 #include "analysis/call_graph.h"
+#include "core/corpus_runner.h"
 #include "core/exec_identifier.h"
 #include "core/reconstructor.h"
 #include "core/taint.h"
+#include "firmware/synthesizer.h"
 #include "ir/builder.h"
+#include "support/error.h"
 #include "support/rng.h"
 
 namespace firmres {
@@ -168,6 +171,35 @@ TEST(Robustness, SelfReferentialAppendTerminates) {
   const auto mfts = core::MftBuilder(prog, cg).build_all();
   ASSERT_EQ(mfts.size(), 1u);
   EXPECT_GE(mfts[0].leaf_count(), 1u);
+}
+
+TEST(Robustness, CorpusRunnerIsolatesThrowingDevices) {
+  // One image whose load/analyze throws must not abort the corpus run:
+  // the failure is recorded per device and the other images complete.
+  const core::KeywordModel model;
+  const core::Pipeline pipeline(model);
+  std::vector<core::CorpusTask> tasks;
+  for (const int id : {1, 3, 5, 7}) {
+    tasks.push_back(core::CorpusTask{
+        id, [id, &pipeline](support::ThreadPool* pool) {
+          if (id == 3)
+            throw support::ParseError("device 3: corrupt image directory");
+          return pipeline.analyze(fw::synthesize(fw::profile_by_id(id)),
+                                  pool);
+        }});
+  }
+  for (const int jobs : {1, 2}) {
+    const core::CorpusRunner runner(pipeline, {.jobs = jobs});
+    const core::CorpusResult result = runner.run_tasks(tasks);
+    ASSERT_EQ(result.analyses.size(), 3u) << "jobs=" << jobs;
+    EXPECT_EQ(result.analyses[0].device_id, 1);
+    EXPECT_EQ(result.analyses[1].device_id, 5);
+    EXPECT_EQ(result.analyses[2].device_id, 7);
+    ASSERT_EQ(result.failures.size(), 1u);
+    EXPECT_EQ(result.failures[0].device_id, 3);
+    EXPECT_NE(result.failures[0].error.find("corrupt image"),
+              std::string::npos);
+  }
 }
 
 TEST(Robustness, MutuallyRecursiveLocalCallsTerminate) {

@@ -1,0 +1,202 @@
+// ThreadPool unit tests: submit/wait semantics, exception propagation,
+// reuse across batches, oversubscription, bounded-queue back-pressure, and
+// nested parallel sections (the deadlock case caller-helping prevents).
+#include "support/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace firmres::support {
+namespace {
+
+TEST(ThreadPool, SubmitReturnsTaskResults) {
+  ThreadPool pool(4);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 100; ++i)
+    futures.push_back(pool.submit([i] { return i * i; }));
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(futures[i].get(), i * i);
+}
+
+TEST(ThreadPool, WaitIdleObservesAllSideEffects) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 64; ++i)
+    pool.submit([&counter] { counter.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 64);
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  std::future<int> bad =
+      pool.submit([]() -> int { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(
+      {
+        try {
+          bad.get();
+        } catch (const std::runtime_error& e) {
+          EXPECT_STREQ(e.what(), "task failed");
+          throw;
+        }
+      },
+      std::runtime_error);
+  // A throwing task must not take its worker down with it.
+  EXPECT_EQ(pool.submit([] { return 7; }).get(), 7);
+}
+
+TEST(ThreadPool, ManyFailuresLeavePoolUsable) {
+  ThreadPool pool(2);
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 50; ++i)
+    futures.push_back(pool.submit([] { throw std::logic_error("boom"); }));
+  for (auto& f : futures) EXPECT_THROW(f.get(), std::logic_error);
+  std::atomic<int> ok{0};
+  for (int i = 0; i < 50; ++i) pool.submit([&ok] { ok.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(ok.load(), 50);
+}
+
+TEST(ThreadPool, ReusableAcrossBatches) {
+  ThreadPool pool(2);
+  for (int batch = 0; batch < 5; ++batch) {
+    std::atomic<long> sum{0};
+    for (int i = 0; i < 40; ++i)
+      pool.submit([&sum, i] { sum.fetch_add(i); });
+    pool.wait_idle();
+    EXPECT_EQ(sum.load(), 40 * 39 / 2);
+  }
+}
+
+TEST(ThreadPool, OversubscriptionCompletesEveryTask) {
+  // Far more tasks than threads: everything still runs exactly once.
+  ThreadPool pool(2);
+  constexpr int kTasks = 500;
+  std::vector<std::atomic<int>> ran(kTasks);
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < kTasks; ++i)
+    futures.push_back(pool.submit([&ran, i] { ran[i].fetch_add(1); }));
+  for (auto& f : futures) f.get();
+  for (int i = 0; i < kTasks; ++i) EXPECT_EQ(ran[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, BoundedQueueAppliesBackPressure) {
+  ThreadPool::Options options;
+  options.num_threads = 1;
+  options.max_queued = 2;
+  ThreadPool pool(options);
+
+  // Park the single worker so submissions pile up against the bound.
+  std::promise<void> gate;
+  std::shared_future<void> opened = gate.get_future().share();
+  pool.submit([opened] { opened.wait(); });
+
+  std::atomic<bool> producer_done{false};
+  std::thread producer([&] {
+    for (int i = 0; i < 8; ++i) pool.submit([opened] { opened.wait(); });
+    producer_done.store(true);
+  });
+  // The producer needs 8 slots but only 2 may queue: it must still be
+  // blocked in submit() while the gate is closed.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_FALSE(producer_done.load());
+
+  gate.set_value();
+  producer.join();
+  EXPECT_TRUE(producer_done.load());
+  pool.wait_idle();
+}
+
+TEST(ThreadPool, TryRunOneDrainsFromOutside) {
+  // A paused pool: the only worker is parked, so the caller must drain.
+  ThreadPool pool(1);
+  std::promise<void> gate;
+  std::shared_future<void> opened = gate.get_future().share();
+  std::atomic<bool> worker_parked{false};
+  pool.submit([&worker_parked, opened] {
+    worker_parked.store(true);
+    opened.wait();
+  });
+  while (!worker_parked.load()) std::this_thread::yield();
+
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 10; ++i) pool.submit([&counter] { ++counter; });
+  int drained = 0;
+  while (pool.try_run_one()) ++drained;
+  EXPECT_EQ(drained, 10);
+  EXPECT_EQ(counter.load(), 10);
+  gate.set_value();
+  pool.wait_idle();
+}
+
+TEST(ThreadPool, ParallelForComputesEveryIndex) {
+  ThreadPool pool(4);
+  std::vector<int> out(257, 0);
+  parallel_for(pool, out.size(), [&](std::size_t i) {
+    out[i] = static_cast<int>(2 * i);
+  });
+  for (std::size_t i = 0; i < out.size(); ++i)
+    EXPECT_EQ(out[i], static_cast<int>(2 * i));
+}
+
+TEST(ThreadPool, ParallelForHandlesEdgeSizes) {
+  ThreadPool pool(2);
+  int calls = 0;
+  parallel_for(pool, 0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  parallel_for(pool, 1, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, ParallelForRethrowsLowestIndexFailure) {
+  ThreadPool pool(3);
+  EXPECT_THROW(parallel_for(pool, 16,
+                            [](std::size_t i) {
+                              if (i % 2 == 1)
+                                throw std::runtime_error("odd index");
+                            }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  // Every worker is busy with an outer task that opens an inner parallel
+  // section on the same pool; caller-helping must make progress anyway.
+  ThreadPool pool(2);
+  std::atomic<int> inner_runs{0};
+  parallel_for(pool, 4, [&](std::size_t) {
+    parallel_for(pool, 8, [&](std::size_t) { inner_runs.fetch_add(1); });
+  });
+  EXPECT_EQ(inner_runs.load(), 4 * 8);
+}
+
+TEST(ThreadPool, SingleThreadPoolRunsNestedSections) {
+  ThreadPool pool(1);
+  std::atomic<int> runs{0};
+  parallel_for(pool, 3, [&](std::size_t) {
+    parallel_for(pool, 3, [&](std::size_t) { runs.fetch_add(1); });
+  });
+  EXPECT_EQ(runs.load(), 9);
+}
+
+TEST(ThreadPool, DefaultParallelismIsPositive) {
+  EXPECT_GE(ThreadPool::default_parallelism(), 1u);
+  ThreadPool pool;  // default options resolve to that count
+  EXPECT_EQ(pool.num_threads(), ThreadPool::default_parallelism());
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 100; ++i)
+      pool.submit([&counter] { counter.fetch_add(1); });
+    // No wait: destruction must run the backlog, not drop it.
+  }
+  EXPECT_EQ(counter.load(), 100);
+}
+
+}  // namespace
+}  // namespace firmres::support

@@ -19,12 +19,14 @@
 #include <memory>
 
 #include "cloud/vuln_hunter.h"
+#include "core/corpus_runner.h"
 #include "core/pipeline.h"
 #include "core/report.h"
 #include "firmware/serializer.h"
 #include "firmware/synthesizer.h"
 #include "nlp/trainer.h"
 #include "ir/printer.h"
+#include "support/error.h"
 #include "support/logging.h"
 #include "support/strings.h"
 
@@ -37,11 +39,38 @@ int usage() {
   std::fprintf(stderr,
                "usage:\n"
                "  firmres synth <dir> [--device N]\n"
-               "  firmres analyze <image-dir> [--json]\n"
-               "  firmres hunt <image-dir>...\n"
+               "  firmres analyze <image-dir> [--json] [--jobs N]\n"
+               "  firmres hunt <image-dir>... [--jobs N]\n"
                "  firmres ir <image-dir> <exec-path>\n"
                "  firmres corpus\n");
   return 2;
+}
+
+/// Consume a `--jobs N` pair from `args` (any position). Returns the thread
+/// count: 1 by default (sequential), 0 maps to the hardware concurrency.
+int take_jobs_flag(std::vector<std::string>& args) {
+  int jobs = 1;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] != "--jobs") continue;
+    if (i + 1 >= args.size())
+      throw support::ParseError("--jobs requires a value (0 = all hardware threads)");
+    const std::string& value = args[i + 1];
+    std::size_t consumed = 0;
+    try {
+      jobs = std::stoi(value, &consumed);
+    } catch (const std::exception&) {
+      consumed = 0;
+    }
+    if (consumed != value.size() || jobs < 0)
+      throw support::ParseError("invalid --jobs value '" + value +
+                                "' (expected a non-negative integer)");
+    args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+               args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+    --i;  // repeated --jobs: keep scanning, last occurrence wins
+  }
+  if (jobs == 0)
+    jobs = static_cast<int>(support::ThreadPool::default_parallelism());
+  return jobs < 1 ? 1 : jobs;
 }
 
 int cmd_corpus() {
@@ -82,7 +111,8 @@ int cmd_synth(const std::vector<std::string>& args) {
   return 0;
 }
 
-int cmd_analyze(const std::vector<std::string>& args) {
+int cmd_analyze(std::vector<std::string> args) {
+  const int jobs = take_jobs_flag(args);
   if (args.empty()) return usage();
   bool json = false;
   std::string model_path;
@@ -99,7 +129,16 @@ int cmd_analyze(const std::vector<std::string>& args) {
   const core::SemanticsModel& model =
       neural != nullptr ? static_cast<const core::SemanticsModel&>(*neural)
                         : keyword_model;
-  const core::DeviceAnalysis analysis = core::Pipeline(model).analyze(image);
+  const core::Pipeline pipeline(model);
+  core::DeviceAnalysis analysis;
+  if (jobs > 1) {
+    // Phase 2 fans out across the image's device-cloud programs; the
+    // report is identical to the sequential run (timings aside).
+    support::ThreadPool pool(static_cast<std::size_t>(jobs));
+    analysis = pipeline.analyze(image, &pool);
+  } else {
+    analysis = pipeline.analyze(image);
+  }
 
   if (json) {
     std::printf("%s\n", core::analysis_to_json(analysis).dump(true).c_str());
@@ -132,21 +171,35 @@ int cmd_analyze(const std::vector<std::string>& args) {
   return 0;
 }
 
-int cmd_hunt(const std::vector<std::string>& args) {
+int cmd_hunt(std::vector<std::string> args) {
+  const int jobs = take_jobs_flag(args);
   if (args.empty()) return usage();
   std::vector<fw::FirmwareImage> images;
   cloudsim::CloudNetwork net;
   for (const std::string& dir : args) {
-    images.push_back(fw::load_image(dir));
-    net.enroll(images.back());
+    // A broken image directory skips that device, not the whole hunt.
+    try {
+      images.push_back(fw::load_image(dir));
+      net.enroll(images.back());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "skipping %s: %s\n", dir.c_str(), e.what());
+    }
   }
   const core::KeywordModel model;
   const core::Pipeline pipeline(model);
+  const core::CorpusRunner runner(pipeline, {.jobs = jobs});
+  const core::CorpusResult run = runner.run(images);
+  for (const core::DeviceFailure& failure : run.failures)
+    std::fprintf(stderr, "device %d failed: %s\n", failure.device_id,
+                 failure.error.c_str());
   int confirmed = 0;
-  for (const fw::FirmwareImage& image : images) {
-    const core::DeviceAnalysis analysis = pipeline.analyze(image);
+  for (const core::DeviceAnalysis& analysis : run.analyses) {
+    const fw::FirmwareImage* image = nullptr;
+    for (const fw::FirmwareImage& candidate : images)
+      if (candidate.profile.id == analysis.device_id) image = &candidate;
+    if (image == nullptr) continue;
     const cloudsim::HuntResult result =
-        cloudsim::VulnHunter(net).hunt(analysis, image);
+        cloudsim::VulnHunter(net).hunt(analysis, *image);
     for (const cloudsim::VulnFinding& f : result.confirmed) {
       ++confirmed;
       std::printf("device %d: %s\n    %s [%s]\n    → %s%s\n", f.device_id,
