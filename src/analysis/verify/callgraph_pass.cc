@@ -1,0 +1,120 @@
+// Call-graph lints: dangling call targets and asynchrony violations.
+//
+// Per function: direct calls must name a function that exists in the
+// program (the loader/builder auto-registers imports, so a missing symbol
+// means a broken deserialization or hand-built program), indirect calls
+// through a constant must hit a real function entry, and event registrations
+// must pass a resolvable callback. Whole-program: an event-registered
+// handler that is *also* invoked directly — or that can recurse into itself —
+// breaks the asynchrony property §IV-A keys on (a handler with direct
+// callers no longer looks asynchronous, so the executable silently stops
+// being identified as device-cloud).
+#include <set>
+#include <vector>
+
+#include "analysis/verify/pass.h"
+#include "ir/library.h"
+#include "support/strings.h"
+
+namespace firmres::analysis::verify {
+
+namespace {
+
+bool reaches_itself(const CallGraph& cg, const ir::Function* fn) {
+  std::vector<const ir::Function*> stack(cg.callees(fn));
+  std::set<const ir::Function*> visited;
+  while (!stack.empty()) {
+    const ir::Function* cur = stack.back();
+    stack.pop_back();
+    if (cur == fn) return true;
+    if (!visited.insert(cur).second) continue;
+    for (const ir::Function* next : cg.callees(cur)) stack.push_back(next);
+  }
+  return false;
+}
+
+class CallGraphPass final : public Pass {
+ public:
+  const char* name() const override { return "callgraph"; }
+
+  void check_function(const PassContext& ctx, const ir::Function& fn,
+                      DiagnosticSink& sink) const override {
+    if (fn.is_import()) return;
+    const ir::LibraryModel& lib = ir::LibraryModel::instance();
+    for (const ir::BasicBlock& b : fn.blocks()) {
+      for (std::size_t oi = 0; oi < b.ops.size(); ++oi) {
+        const ir::PcodeOp& op = b.ops[oi];
+        if (op.opcode == ir::OpCode::Call && !op.callee.empty()) {
+          const ir::Function* target = ctx.program.function(op.callee);
+          const ir::LibFunction* libfn = lib.find(op.callee);
+          if (target == nullptr) {
+            sink.error(fn, b.id, static_cast<int>(oi),
+                       support::format("call to unknown function '%s'",
+                                       op.callee.c_str()));
+          } else if (target->is_import() && libfn == nullptr) {
+            sink.note(fn, b.id, static_cast<int>(oi),
+                      support::format("import '%s' has no library summary; "
+                                      "dataflow will overtaint through it",
+                                      op.callee.c_str()));
+          }
+          if (libfn != nullptr && libfn->kind == ir::LibKind::EventReg &&
+              libfn->callback_arg >= 0) {
+            check_callback(ctx, fn, b, op, static_cast<int>(oi),
+                           libfn->callback_arg, sink);
+          }
+        } else if (op.opcode == ir::OpCode::CallInd &&
+                   !op.inputs.empty() &&
+                   op.inputs[0].space == ir::Space::Const) {
+          if (ctx.call_graph.function_at(op.inputs[0].offset) == nullptr)
+            sink.error(fn, b.id, static_cast<int>(oi),
+                       support::format("indirect call through 0x%llx, which "
+                                       "is no function entry",
+                                       static_cast<unsigned long long>(
+                                           op.inputs[0].offset)));
+        }
+      }
+    }
+  }
+
+  void check_program(const PassContext& ctx,
+                     DiagnosticSink& sink) const override {
+    for (const ir::Function* fn : ctx.program.local_functions()) {
+      if (!ctx.call_graph.is_event_registered(fn)) continue;
+      if (ctx.call_graph.has_direct_callers(fn))
+        sink.warning(*fn, -1, -1,
+                     "event-registered handler is also invoked directly "
+                     "(breaks the asynchrony assumption of §IV-A)");
+      if (reaches_itself(ctx.call_graph, fn))
+        sink.warning(*fn, -1, -1,
+                     "event-registered handler can recurse into itself");
+    }
+  }
+
+ private:
+  void check_callback(const PassContext& ctx, const ir::Function& fn,
+                      const ir::BasicBlock& b, const ir::PcodeOp& op,
+                      int oi, int callback_arg, DiagnosticSink& sink) const {
+    if (static_cast<std::size_t>(callback_arg) >= op.inputs.size()) {
+      sink.error(fn, b.id, oi,
+                 support::format("event registration '%s' is missing its "
+                                 "callback argument (index %d)",
+                                 op.callee.c_str(), callback_arg));
+      return;
+    }
+    const ir::VarNode& cb = op.inputs[static_cast<std::size_t>(callback_arg)];
+    if (cb.space == ir::Space::Const &&
+        ctx.call_graph.function_at(cb.offset) == nullptr)
+      sink.warning(fn, b.id, oi,
+                   support::format("event callback 0x%llx does not resolve "
+                                   "to a function",
+                                   static_cast<unsigned long long>(cb.offset)));
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> make_callgraph_pass() {
+  return std::make_unique<CallGraphPass>();
+}
+
+}  // namespace firmres::analysis::verify

@@ -1,0 +1,77 @@
+// CFG diagnostics: reachability and termination shape.
+//
+// Flags blocks no path from the entry reaches, blocks that fall off the end
+// (no successors, not closed by a RETURN), and call-free self-loops (a block
+// whose only successor is itself and that performs no calls can neither
+// terminate nor make progress — a while(1) event pump, by contrast, calls
+// into handlers and is left alone). These are Warnings: the program is
+// analyzable, but slices through such regions are suspect.
+#include <vector>
+
+#include "analysis/verify/pass.h"
+#include "ir/opcodes.h"
+#include "support/strings.h"
+
+namespace firmres::analysis::verify {
+
+namespace {
+
+class CfgPass final : public Pass {
+ public:
+  const char* name() const override { return "cfg"; }
+
+  void check_function(const PassContext& ctx, const ir::Function& fn,
+                      DiagnosticSink& sink) const override {
+    (void)ctx;
+    if (fn.is_import() || fn.blocks().empty()) return;
+    const std::size_t nblocks = fn.blocks().size();
+
+    std::vector<bool> reachable(nblocks, false);
+    std::vector<int> worklist{0};
+    reachable[0] = true;
+    while (!worklist.empty()) {
+      const int id = worklist.back();
+      worklist.pop_back();
+      for (const int s : fn.blocks()[static_cast<std::size_t>(id)].successors) {
+        if (s < 0 || static_cast<std::size_t>(s) >= nblocks) continue;
+        if (!reachable[static_cast<std::size_t>(s)]) {
+          reachable[static_cast<std::size_t>(s)] = true;
+          worklist.push_back(s);
+        }
+      }
+    }
+
+    // Index and report by block *position*, not by the stored id — a
+    // corrupted id is exactly the kind of input this subsystem must survive
+    // (the structure pass reports the id/position mismatch itself).
+    for (std::size_t bi = 0; bi < nblocks; ++bi) {
+      const ir::BasicBlock& b = fn.blocks()[bi];
+      const int bid = static_cast<int>(bi);
+      if (!reachable[bi]) {
+        sink.warning(fn, bid, -1, "block is unreachable from the entry");
+        continue;  // one root cause per block
+      }
+      if (b.successors.empty()) {
+        const bool closed =
+            !b.ops.empty() && b.ops.back().opcode == ir::OpCode::Return;
+        if (!closed)
+          sink.warning(fn, bid, -1, "control falls off the end of the block");
+      } else {
+        bool only_self = true;
+        for (const int s : b.successors) only_self = only_self && s == bid;
+        bool has_call = false;
+        for (const ir::PcodeOp& op : b.ops)
+          has_call = has_call || ir::is_call(op.opcode);
+        if (only_self && !has_call)
+          sink.warning(fn, bid, -1,
+                       "block loops on itself with no exit and no calls");
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> make_cfg_pass() { return std::make_unique<CfgPass>(); }
+
+}  // namespace firmres::analysis::verify

@@ -1,0 +1,303 @@
+// Dataflow lints: use-before-def, dead temporaries, and the FIRMRES
+// format-string check.
+//
+// Use-before-def runs a must-defined forward analysis over the CFG (entry
+// seeded with the parameters, intersection at joins) for the SSA-like
+// operand spaces — Unique temporaries and registers. Stack and Ram operands
+// are exempt: they are address-taken storage, routinely passed to library
+// calls that fill them (sprintf's destination buffer, get_mac_address's out
+// argument). A use with no reaching definition on *any* path is an Error; a
+// use undefined on only *some* path is a Warning.
+//
+// The format-string lint checks sprintf/snprintf callsites — the exact ops
+// §IV-C's field splitting slices through — for conversion-count versus
+// argument-count mismatches: too few value arguments is an Error (field
+// splitting reads nonexistent operands), surplus arguments a Warning.
+#include <map>
+#include <set>
+#include <vector>
+
+#include "analysis/flow.h"
+#include "analysis/verify/pass.h"
+#include "ir/library.h"
+#include "ir/opcodes.h"
+#include "support/strings.h"
+
+namespace firmres::analysis::verify {
+
+namespace {
+
+bool tracked(const ir::VarNode& v) {
+  return v.space == ir::Space::Unique || v.space == ir::Space::Register;
+}
+
+/// Human-readable operand reference: raw triple plus the recovered symbol
+/// name when the function's VarInfo table has one.
+std::string describe(const ir::Function& fn, const ir::VarNode& v) {
+  const ir::VarInfo* info = fn.var_info(v);
+  if (info != nullptr && !info->name.empty())
+    return support::format("%s '%s'", v.to_string().c_str(),
+                           info->name.c_str());
+  return v.to_string();
+}
+
+/// Inputs this op *reads*. All inputs count except a library summary's pure
+/// destination argument (sprintf's dst buffer receives, it is not read).
+std::vector<ir::VarNode> op_uses(const ir::PcodeOp& op,
+                                 const ir::Program& program) {
+  int pure_dst_arg = -1;
+  if (op.opcode == ir::OpCode::Call) {
+    const ir::Function* target = program.function(op.callee);
+    const bool local = target != nullptr && !target->is_import();
+    if (!local) {
+      const ir::LibFunction* libfn =
+          ir::LibraryModel::instance().find(op.callee);
+      if (libfn != nullptr && libfn->summary.dst >= 0 &&
+          !libfn->summary.dst_also_src)
+        pure_dst_arg = libfn->summary.dst;
+    }
+  }
+  std::vector<ir::VarNode> uses;
+  for (std::size_t i = 0; i < op.inputs.size(); ++i) {
+    if (static_cast<int>(i) == pure_dst_arg) continue;
+    uses.push_back(op.inputs[i]);
+  }
+  return uses;
+}
+
+/// Count printf conversions ("%d", "%s", …; "%%" is a literal) plus the
+/// extra value argument each '*' width/precision consumes.
+int format_value_args(std::string_view fmt) {
+  int n = 0;
+  for (std::size_t i = 0; i < fmt.size(); ++i) {
+    if (fmt[i] != '%' || i + 1 >= fmt.size()) continue;
+    if (fmt[i + 1] == '%') {
+      ++i;
+      continue;
+    }
+    ++n;
+    std::size_t j = i + 1;
+    while (j < fmt.size() &&
+           std::string_view("-+ #0123456789.*lhzjt").find(fmt[j]) !=
+               std::string_view::npos) {
+      if (fmt[j] == '*') ++n;
+      ++j;
+    }
+    i = j;
+  }
+  return n;
+}
+
+bool is_sprintf_like(const ir::PcodeOp& op) {
+  return op.opcode == ir::OpCode::Call &&
+         (op.callee == "sprintf" || op.callee == "snprintf");
+}
+
+class DataflowPass final : public Pass {
+ public:
+  const char* name() const override { return "dataflow"; }
+
+  void check_function(const PassContext& ctx, const ir::Function& fn,
+                      DiagnosticSink& sink) const override {
+    if (fn.is_import() || fn.blocks().empty()) return;
+    check_use_before_def(ctx, fn, sink);
+    check_dead_temps(ctx, fn, sink);
+    check_format_strings(ctx, fn, sink);
+  }
+
+ private:
+  using VarSet = std::set<ir::VarNode>;
+
+  static VarSet tracked_defs(const ir::PcodeOp& op,
+                             const ir::Program& program) {
+    VarSet defs;
+    for (const ir::VarNode& v : written_varnodes(op, program))
+      if (tracked(v)) defs.insert(v);
+    return defs;
+  }
+
+  void check_use_before_def(const PassContext& ctx, const ir::Function& fn,
+                            DiagnosticSink& sink) const {
+    const std::size_t nblocks = fn.blocks().size();
+    VarSet params;
+    for (const ir::VarNode& p : fn.params())
+      if (tracked(p)) params.insert(p);
+
+    // Universe of tracked varnodes; TOP for the must-analysis.
+    VarSet universe = params;
+    for (const ir::BasicBlock& b : fn.blocks()) {
+      for (const ir::PcodeOp& op : b.ops) {
+        if (op.output.has_value() && tracked(*op.output))
+          universe.insert(*op.output);
+        for (const ir::VarNode& v : op.inputs)
+          if (tracked(v)) universe.insert(v);
+      }
+    }
+
+    // Predecessors by block *position*; stored ids may be corrupt and the
+    // structure pass already reports id/position mismatches.
+    std::vector<std::vector<int>> preds(nblocks);
+    for (std::size_t bi = 0; bi < nblocks; ++bi)
+      for (const int s : fn.blocks()[bi].successors)
+        if (s >= 0 && static_cast<std::size_t>(s) < nblocks)
+          preds[static_cast<std::size_t>(s)].push_back(static_cast<int>(bi));
+
+    const auto block_exit = [&](const VarSet& entry,
+                                const ir::BasicBlock& b) {
+      VarSet out = entry;
+      for (const ir::PcodeOp& op : b.ops)
+        for (const ir::VarNode& d : tracked_defs(op, ctx.program))
+          out.insert(d);
+      return out;
+    };
+
+    // must_entry: intersection over predecessors, entry seeded with params,
+    // all other blocks start at TOP. may_entry: union, starting at bottom.
+    std::vector<VarSet> must_entry(nblocks, universe);
+    std::vector<VarSet> may_entry(nblocks);
+    must_entry[0] = params;
+    may_entry[0] = params;
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (std::size_t bi = 1; bi < nblocks; ++bi) {
+        if (preds[bi].empty()) continue;  // unreachable; stays at TOP/bottom
+        VarSet must = universe;
+        VarSet may;
+        for (const int p : preds[bi]) {
+          const ir::BasicBlock& pb = fn.blocks()[static_cast<std::size_t>(p)];
+          const VarSet pm = block_exit(must_entry[static_cast<std::size_t>(p)],
+                                       pb);
+          VarSet inter;
+          for (const ir::VarNode& v : pm)
+            if (must.count(v) != 0) inter.insert(v);
+          must = std::move(inter);
+          for (const ir::VarNode& v :
+               block_exit(may_entry[static_cast<std::size_t>(p)], pb))
+            may.insert(v);
+        }
+        if (must != must_entry[bi]) {
+          must_entry[bi] = std::move(must);
+          changed = true;
+        }
+        if (may != may_entry[bi]) {
+          may_entry[bi] = std::move(may);
+          changed = true;
+        }
+      }
+    }
+
+    for (std::size_t bi = 0; bi < nblocks; ++bi) {
+      const ir::BasicBlock& b = fn.blocks()[bi];
+      const int bid = static_cast<int>(bi);
+      VarSet must = must_entry[bi];
+      VarSet may = may_entry[bi];
+      std::set<ir::VarNode> reported;
+      for (std::size_t oi = 0; oi < b.ops.size(); ++oi) {
+        const ir::PcodeOp& op = b.ops[oi];
+        for (const ir::VarNode& u : op_uses(op, ctx.program)) {
+          if (!tracked(u) || must.count(u) != 0 ||
+              !reported.insert(u).second)
+            continue;
+          if (may.count(u) == 0)
+            sink.error(fn, bid, static_cast<int>(oi),
+                       support::format("%s is used before any definition",
+                                       describe(fn, u).c_str()));
+          else
+            sink.warning(fn, bid, static_cast<int>(oi),
+                         support::format("%s may be used before definition "
+                                         "(undefined on some path)",
+                                         describe(fn, u).c_str()));
+        }
+        for (const ir::VarNode& d : tracked_defs(op, ctx.program)) {
+          must.insert(d);
+          may.insert(d);
+        }
+      }
+    }
+  }
+
+  /// A pure (non-call) op computing into a Unique temporary that no op ever
+  /// reads is a dead store — typically a slip in lifted or hand-built code.
+  void check_dead_temps(const PassContext& ctx, const ir::Function& fn,
+                        DiagnosticSink& sink) const {
+    VarSet used;
+    for (const ir::BasicBlock& b : fn.blocks())
+      for (const ir::PcodeOp& op : b.ops)
+        for (const ir::VarNode& u : op_uses(op, ctx.program)) used.insert(u);
+    for (const ir::BasicBlock& b : fn.blocks()) {
+      for (std::size_t oi = 0; oi < b.ops.size(); ++oi) {
+        const ir::PcodeOp& op = b.ops[oi];
+        if (ir::is_call(op.opcode)) continue;  // calls have side effects
+        if (!op.output.has_value() ||
+            op.output->space != ir::Space::Unique)
+          continue;
+        if (used.count(*op.output) == 0)
+          sink.warning(fn, b.id, static_cast<int>(oi),
+                       support::format("dead store: result %s of %s is "
+                                       "never used",
+                                       describe(fn, *op.output).c_str(),
+                                       ir::opcode_name(op.opcode)));
+      }
+    }
+  }
+
+  void check_format_strings(const PassContext& ctx, const ir::Function& fn,
+                            DiagnosticSink& sink) const {
+    for (const ir::BasicBlock& b : fn.blocks()) {
+      for (std::size_t oi = 0; oi < b.ops.size(); ++oi) {
+        const ir::PcodeOp& op = b.ops[oi];
+        if (!is_sprintf_like(op)) continue;
+        const std::size_t fmt_idx = op.callee == "snprintf" ? 2 : 1;
+        if (op.inputs.size() <= fmt_idx) {
+          sink.error(fn, b.id, static_cast<int>(oi),
+                     support::format("%s callsite is missing its format "
+                                     "argument (needs %zu inputs, has %zu)",
+                                     op.callee.c_str(), fmt_idx + 1,
+                                     op.inputs.size()));
+          continue;
+        }
+        const ir::VarNode& fmt = op.inputs[fmt_idx];
+        if (fmt.space != ir::Space::Ram) {
+          sink.note(fn, b.id, static_cast<int>(oi),
+                    support::format("%s format operand is not a string "
+                                    "constant; field splitting cannot see it",
+                                    op.callee.c_str()));
+          continue;
+        }
+        const auto text = ctx.program.data().string_at(fmt.offset);
+        if (!text.has_value()) {
+          sink.warning(fn, b.id, static_cast<int>(oi),
+                       support::format("%s format operand does not resolve "
+                                       "to a data-segment string",
+                                       op.callee.c_str()));
+          continue;
+        }
+        const int need = format_value_args(*text);
+        const int given =
+            static_cast<int>(op.inputs.size() - fmt_idx - 1);
+        if (given < need)
+          sink.error(fn, b.id, static_cast<int>(oi),
+                     support::format("format string \"%s\" consumes %d value "
+                                     "argument(s), callsite passes %d",
+                                     std::string(*text).c_str(), need, given));
+        else if (given > need)
+          sink.warning(fn, b.id, static_cast<int>(oi),
+                       support::format("format string \"%s\" consumes %d "
+                                       "value argument(s), callsite passes "
+                                       "%d — surplus arguments corrupt "
+                                       "field splitting",
+                                       std::string(*text).c_str(), need,
+                                       given));
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> make_dataflow_pass() {
+  return std::make_unique<DataflowPass>();
+}
+
+}  // namespace firmres::analysis::verify

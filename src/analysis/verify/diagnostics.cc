@@ -1,0 +1,70 @@
+#include "analysis/verify/diagnostics.h"
+
+#include <tuple>
+
+#include "support/strings.h"
+
+namespace firmres::analysis::verify {
+
+const char* severity_name(Severity severity) {
+  switch (severity) {
+    case Severity::Note: return "note";
+    case Severity::Warning: return "warning";
+    case Severity::Error: return "error";
+  }
+  return "?";
+}
+
+std::string Diagnostic::to_string() const {
+  std::string loc = function.empty() ? std::string("<program>") : function;
+  if (block >= 0) loc += support::format(":b%d", block);
+  if (op_index >= 0) loc += support::format(":op%d", op_index);
+  return support::format("%s[%s] %s: %s", severity_name(severity),
+                         pass.c_str(), loc.c_str(), message.c_str());
+}
+
+bool diagnostic_before(const Diagnostic& a, const Diagnostic& b) {
+  return std::tie(a.function, a.block, a.op_index, a.pass, a.severity,
+                  a.message) < std::tie(b.function, b.block, b.op_index,
+                                        b.pass, b.severity, b.message);
+}
+
+support::Json diagnostic_to_json(const Diagnostic& d) {
+  support::JsonObject obj;
+  obj.emplace_back("severity", severity_name(d.severity));
+  obj.emplace_back("pass", d.pass);
+  obj.emplace_back("function", d.function);
+  obj.emplace_back("block", d.block);
+  obj.emplace_back("op", d.op_index);
+  obj.emplace_back("message", d.message);
+  return support::Json(std::move(obj));
+}
+
+std::size_t LintReport::count(Severity severity) const {
+  std::size_t n = 0;
+  for (const Diagnostic& d : diagnostics)
+    if (d.severity == severity) ++n;
+  return n;
+}
+
+std::string LintReport::summary() const {
+  const auto plural = [](std::size_t n) { return n == 1 ? "" : "s"; };
+  const std::size_t e = errors(), w = warnings(), n = notes();
+  return support::format("%zu error%s, %zu warning%s, %zu note%s", e,
+                         plural(e), w, plural(w), n, plural(n));
+}
+
+support::Json report_to_json(const LintReport& report) {
+  support::JsonArray diags;
+  for (const Diagnostic& d : report.diagnostics)
+    diags.push_back(diagnostic_to_json(d));
+  support::JsonObject obj;
+  obj.emplace_back("program", report.program);
+  obj.emplace_back("errors", static_cast<std::int64_t>(report.errors()));
+  obj.emplace_back("warnings", static_cast<std::int64_t>(report.warnings()));
+  obj.emplace_back("notes", static_cast<std::int64_t>(report.notes()));
+  obj.emplace_back("diagnostics", support::Json(std::move(diags)));
+  return support::Json(std::move(obj));
+}
+
+}  // namespace firmres::analysis::verify

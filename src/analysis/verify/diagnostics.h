@@ -1,0 +1,69 @@
+// Lint diagnostics for the IR verifier (docs/LINT.md).
+//
+// A Diagnostic pinpoints one defect: the pass that found it, its severity,
+// and its location (function, basic-block id, op index — each -1 when the
+// finding is coarser than that granularity). LintReports keep diagnostics in
+// a deterministic (function, block, op, pass, message) order, so verifying a
+// program yields byte-identical output at any --jobs level.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/json.h"
+
+namespace firmres::analysis::verify {
+
+enum class Severity : std::uint8_t {
+  Note,     ///< informational; never gates
+  Warning,  ///< suspicious but analyzable; gates only under --werror
+  Error,    ///< malformed IR; analyses may crash or silently mis-report
+};
+
+const char* severity_name(Severity severity);
+
+struct Diagnostic {
+  Severity severity = Severity::Error;
+  std::string pass;      ///< emitting pass ("structure", "cfg", …)
+  std::string function;  ///< enclosing function; empty = program level
+  int block = -1;        ///< basic-block id; -1 = function level
+  int op_index = -1;     ///< op index within the block; -1 = block level
+  std::string message;
+
+  friend bool operator==(const Diagnostic&, const Diagnostic&) = default;
+
+  /// "error[structure] handler:b2:op3: <message>" — location segments are
+  /// present only at the granularity the finding carries.
+  std::string to_string() const;
+};
+
+/// Deterministic report order: location first (function, block, op), then
+/// pass, severity, and message text.
+bool diagnostic_before(const Diagnostic& a, const Diagnostic& b);
+
+support::Json diagnostic_to_json(const Diagnostic& d);
+
+/// Verification outcome for one ir::Program.
+struct LintReport {
+  std::string program;                  ///< Program::name()
+  std::vector<Diagnostic> diagnostics;  ///< sorted by diagnostic_before
+
+  std::size_t count(Severity severity) const;
+  std::size_t errors() const { return count(Severity::Error); }
+  std::size_t warnings() const { return count(Severity::Warning); }
+  std::size_t notes() const { return count(Severity::Note); }
+
+  /// No errors — and, when `werror`, no warnings either. Notes never gate.
+  bool clean(bool werror = false) const {
+    return errors() == 0 && (!werror || warnings() == 0);
+  }
+
+  /// "2 errors, 1 warning, 0 notes"
+  std::string summary() const;
+};
+
+support::Json report_to_json(const LintReport& report);
+
+}  // namespace firmres::analysis::verify

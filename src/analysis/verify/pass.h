@@ -1,0 +1,87 @@
+// Lint pass framework: how verification passes see a program and report.
+//
+// A Pass makes two kinds of checks: per-function (check_function — the
+// Verifier fans these out across functions on a ThreadPool, so they must be
+// const and touch only the shared read-only PassContext) and whole-program
+// (check_program — run once on the collecting thread, for checks that need
+// the call graph's global view). Each worker owns its own DiagnosticSink;
+// the Verifier merges and sorts afterwards, so no locking is needed.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/call_graph.h"
+#include "analysis/verify/diagnostics.h"
+#include "ir/program.h"
+
+namespace firmres::analysis::verify {
+
+/// Everything a pass may consult. Built once per program by the Verifier and
+/// shared read-only across worker threads.
+struct PassContext {
+  const ir::Program& program;
+  const CallGraph& call_graph;
+};
+
+/// Appends diagnostics to a caller-owned vector, stamping the emitting
+/// pass's name on each one.
+class DiagnosticSink {
+ public:
+  DiagnosticSink(std::string_view pass, std::vector<Diagnostic>& out)
+      : pass_(pass), out_(out) {}
+
+  void report(Severity severity, const ir::Function* fn, int block,
+              int op_index, std::string message) {
+    out_.push_back(Diagnostic{
+        .severity = severity,
+        .pass = std::string(pass_),
+        .function = fn != nullptr ? fn->name() : std::string(),
+        .block = block,
+        .op_index = op_index,
+        .message = std::move(message)});
+  }
+
+  void error(const ir::Function& fn, int block, int op, std::string msg) {
+    report(Severity::Error, &fn, block, op, std::move(msg));
+  }
+  void warning(const ir::Function& fn, int block, int op, std::string msg) {
+    report(Severity::Warning, &fn, block, op, std::move(msg));
+  }
+  void note(const ir::Function& fn, int block, int op, std::string msg) {
+    report(Severity::Note, &fn, block, op, std::move(msg));
+  }
+
+ private:
+  std::string_view pass_;
+  std::vector<Diagnostic>& out_;
+};
+
+/// One verification/lint pass. Stateless: check_function runs concurrently
+/// for different functions of the same program.
+class Pass {
+ public:
+  virtual ~Pass() = default;
+  virtual const char* name() const = 0;
+
+  /// Per-function checks; called for every function, imports included.
+  virtual void check_function(const PassContext& ctx, const ir::Function& fn,
+                              DiagnosticSink& sink) const = 0;
+
+  /// Whole-program checks; runs once, after the per-function fan-out.
+  virtual void check_program(const PassContext& ctx,
+                             DiagnosticSink& sink) const {
+    (void)ctx;
+    (void)sink;
+  }
+};
+
+// Built-in pass factories (one translation unit each; see docs/LINT.md).
+std::unique_ptr<Pass> make_structure_pass();
+std::unique_ptr<Pass> make_cfg_pass();
+std::unique_ptr<Pass> make_dataflow_pass();
+std::unique_ptr<Pass> make_callgraph_pass();
+
+}  // namespace firmres::analysis::verify

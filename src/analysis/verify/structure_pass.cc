@@ -1,0 +1,298 @@
+// Structural verifier: the "is this even P-Code" pass.
+//
+// Checks the local shape every downstream analysis assumes: opcode arity and
+// output rules, callee-symbol placement, VarNode sanity (non-zero sizes, no
+// writes into the constant space, consistent sizes per storage location),
+// block-id/position agreement, successor-id validity, terminator/successor
+// consistency, and body-less imports. Violations are Errors: FIRMRES's
+// engines index operands by position (flow.h summaries, slices.cc sprintf
+// splitting), so an arity violation corrupts analyses silently.
+#include <map>
+#include <set>
+#include <utility>
+
+#include "analysis/verify/pass.h"
+#include "ir/opcodes.h"
+#include "support/strings.h"
+
+namespace firmres::analysis::verify {
+
+namespace {
+
+struct OpRule {
+  int min_inputs = 0;
+  int max_inputs = -1;  ///< -1 = unbounded
+  enum class Out { Required, Forbidden, Optional } out = Out::Optional;
+};
+
+OpRule rule_for(ir::OpCode op) {
+  using ir::OpCode;
+  using Out = OpRule::Out;
+  switch (op) {
+    case OpCode::Copy:
+    case OpCode::Load:
+    case OpCode::IntNegate:
+    case OpCode::BoolNegate:
+    case OpCode::Cast:
+      return {1, 1, Out::Required};
+    case OpCode::IntAdd:
+    case OpCode::IntSub:
+    case OpCode::IntMult:
+    case OpCode::IntDiv:
+    case OpCode::IntAnd:
+    case OpCode::IntOr:
+    case OpCode::IntXor:
+    case OpCode::IntLeft:
+    case OpCode::IntRight:
+    case OpCode::IntEqual:
+    case OpCode::IntNotEqual:
+    case OpCode::IntLess:
+    case OpCode::IntSLess:
+    case OpCode::IntLessEqual:
+    case OpCode::BoolAnd:
+    case OpCode::BoolOr:
+    case OpCode::Piece:
+    case OpCode::SubPiece:
+    case OpCode::PtrAdd:
+    case OpCode::PtrSub:
+      return {2, 2, Out::Required};
+    case OpCode::Store:
+      return {2, 2, Out::Forbidden};
+    case OpCode::Branch:
+      return {1, 1, Out::Forbidden};
+    case OpCode::CBranch:
+      return {2, 2, Out::Forbidden};
+    case OpCode::BranchInd:
+      return {1, 1, Out::Forbidden};
+    case OpCode::Call:
+      return {0, -1, Out::Optional};
+    case OpCode::CallInd:
+      return {1, -1, Out::Optional};
+    case OpCode::Return:
+      return {0, 1, Out::Forbidden};
+  }
+  return {};
+}
+
+bool is_terminator(const ir::PcodeOp& op) {
+  return ir::is_branch(op.opcode) || op.opcode == ir::OpCode::Return;
+}
+
+bool succ_contains(const ir::BasicBlock& b, std::uint64_t target) {
+  for (const int s : b.successors)
+    if (static_cast<std::uint64_t>(s) == target) return true;
+  return false;
+}
+
+class StructurePass final : public Pass {
+ public:
+  const char* name() const override { return "structure"; }
+
+  void check_function(const PassContext& ctx, const ir::Function& fn,
+                      DiagnosticSink& sink) const override {
+    (void)ctx;
+    if (fn.is_import()) {
+      if (!fn.blocks().empty())
+        sink.error(fn, -1, -1,
+                   support::format("import function has a body (%zu blocks)",
+                                   fn.blocks().size()));
+      return;
+    }
+    if (fn.blocks().empty()) {
+      sink.error(fn, -1, -1, "local function has no basic blocks");
+      return;
+    }
+
+    const std::size_t nblocks = fn.blocks().size();
+    for (std::size_t bi = 0; bi < nblocks; ++bi) {
+      const ir::BasicBlock& b = fn.blocks()[bi];
+      if (b.id != static_cast<int>(bi))
+        sink.error(fn, static_cast<int>(bi), -1,
+                   support::format("block id %d does not match its position %zu",
+                                   b.id, bi));
+      check_successors(fn, b, nblocks, sink);
+      check_terminator(fn, b, sink);
+      for (std::size_t oi = 0; oi < b.ops.size(); ++oi)
+        check_op(fn, b, b.ops[oi], static_cast<int>(oi), sink);
+    }
+    check_size_consistency(fn, sink);
+  }
+
+ private:
+  void check_successors(const ir::Function& fn, const ir::BasicBlock& b,
+                        std::size_t nblocks, DiagnosticSink& sink) const {
+    std::set<int> seen;
+    for (const int s : b.successors) {
+      if (s < 0 || static_cast<std::size_t>(s) >= nblocks)
+        sink.error(fn, b.id, -1,
+                   support::format("successor b%d is out of range "
+                                   "(function has %zu blocks)",
+                                   s, nblocks));
+      if (!seen.insert(s).second)
+        sink.error(fn, b.id, -1,
+                   support::format("duplicate successor b%d", s));
+    }
+  }
+
+  void check_terminator(const ir::Function& fn, const ir::BasicBlock& b,
+                        DiagnosticSink& sink) const {
+    // Mid-block terminators: everything after them is dead by construction.
+    for (std::size_t oi = 0; oi + 1 < b.ops.size(); ++oi) {
+      if (is_terminator(b.ops[oi]))
+        sink.error(fn, b.id, static_cast<int>(oi),
+                   support::format("%s terminator in the middle of a block",
+                                   ir::opcode_name(b.ops[oi].opcode)));
+    }
+    const std::size_t nsucc = b.successors.size();
+    const ir::PcodeOp* last = b.ops.empty() ? nullptr : &b.ops.back();
+    const int last_index = static_cast<int>(b.ops.size()) - 1;
+    if (last == nullptr || !is_terminator(*last)) {
+      // Implicit fallthrough is fine with at most one successor; two or more
+      // require a conditional terminator to pick between them.
+      if (nsucc >= 2)
+        sink.error(fn, b.id, -1,
+                   support::format("block has %zu successors but does not "
+                                   "end in a conditional branch",
+                                   nsucc));
+      return;
+    }
+    switch (last->opcode) {
+      case ir::OpCode::Branch:
+        if (nsucc != 1)
+          sink.error(fn, b.id, last_index,
+                     support::format("BRANCH block must have exactly 1 "
+                                     "successor, has %zu",
+                                     nsucc));
+        if (!last->inputs.empty() &&
+            last->inputs[0].space == ir::Space::Const &&
+            !succ_contains(b, last->inputs[0].offset))
+          sink.error(fn, b.id, last_index,
+                     support::format("BRANCH target b%llu is not recorded as "
+                                     "a successor",
+                                     static_cast<unsigned long long>(
+                                         last->inputs[0].offset)));
+        break;
+      case ir::OpCode::CBranch:
+        if (nsucc != 2)
+          sink.error(fn, b.id, last_index,
+                     support::format("CBRANCH block must have exactly 2 "
+                                     "successors, has %zu",
+                                     nsucc));
+        if (last->inputs.size() >= 2 &&
+            last->inputs[1].space == ir::Space::Const &&
+            !succ_contains(b, last->inputs[1].offset))
+          sink.error(fn, b.id, last_index,
+                     support::format("CBRANCH target b%llu is not recorded "
+                                     "as a successor",
+                                     static_cast<unsigned long long>(
+                                         last->inputs[1].offset)));
+        break;
+      case ir::OpCode::BranchInd:
+        if (nsucc == 0)
+          sink.error(fn, b.id, last_index,
+                     "BRANCHIND block has no successors");
+        break;
+      case ir::OpCode::Return:
+        if (nsucc != 0)
+          sink.error(fn, b.id, last_index,
+                     support::format("RETURN block must have 0 successors, "
+                                     "has %zu",
+                                     nsucc));
+        break;
+      default:
+        break;
+    }
+  }
+
+  void check_op(const ir::Function& fn, const ir::BasicBlock& b,
+                const ir::PcodeOp& op, int oi, DiagnosticSink& sink) const {
+    const OpRule rule = rule_for(op.opcode);
+    const char* opname = ir::opcode_name(op.opcode);
+    const std::size_t nin = op.inputs.size();
+    if (static_cast<int>(nin) < rule.min_inputs ||
+        (rule.max_inputs >= 0 && static_cast<int>(nin) > rule.max_inputs)) {
+      const std::string expect =
+          rule.max_inputs < 0
+              ? support::format("at least %d", rule.min_inputs)
+              : rule.min_inputs == rule.max_inputs
+                    ? support::format("%d", rule.min_inputs)
+                    : support::format("%d to %d", rule.min_inputs,
+                                      rule.max_inputs);
+      sink.error(fn, b.id, oi,
+                 support::format("%s expects %s input(s), has %zu", opname,
+                                 expect.c_str(), nin));
+    }
+    if (rule.out == OpRule::Out::Required && !op.output.has_value())
+      sink.error(fn, b.id, oi,
+                 support::format("%s requires an output", opname));
+    if (rule.out == OpRule::Out::Forbidden && op.output.has_value())
+      sink.error(fn, b.id, oi,
+                 support::format("%s must not have an output", opname));
+
+    if (op.opcode == ir::OpCode::Call && op.callee.empty())
+      sink.error(fn, b.id, oi, "CALL without a callee symbol");
+    if (op.opcode != ir::OpCode::Call && !op.callee.empty())
+      sink.error(fn, b.id, oi,
+                 support::format("callee symbol '%s' on a %s op",
+                                 op.callee.c_str(), opname));
+
+    if (op.output.has_value()) {
+      if (op.output->size == 0)
+        sink.error(fn, b.id, oi, "zero-sized output varnode");
+      if (op.output->space == ir::Space::Const)
+        sink.error(fn, b.id, oi,
+                   "output written into the constant space");
+      if (ir::is_comparison(op.opcode) && op.output->size != 1)
+        sink.error(fn, b.id, oi,
+                   support::format("%s output must be a 1-byte boolean, "
+                                   "size is %u",
+                                   opname, op.output->size));
+    }
+    for (const ir::VarNode& in : op.inputs) {
+      if (in.size == 0) {
+        sink.error(fn, b.id, oi, "zero-sized input varnode");
+        break;  // one report per op is enough
+      }
+    }
+  }
+
+  /// Same storage location (space, offset) viewed with different sizes
+  /// within one function: def/use size inconsistency, usually a lifting or
+  /// hand-construction slip.
+  void check_size_consistency(const ir::Function& fn,
+                              DiagnosticSink& sink) const {
+    std::map<std::pair<ir::Space, std::uint64_t>, std::set<std::uint32_t>>
+        views;
+    const auto record = [&views](const ir::VarNode& v) {
+      if (v.space == ir::Space::Const || v.space == ir::Space::Ram) return;
+      views[{v.space, v.offset}].insert(v.size);
+    };
+    for (const ir::VarNode& p : fn.params()) record(p);
+    for (const ir::BasicBlock& b : fn.blocks()) {
+      for (const ir::PcodeOp& op : b.ops) {
+        if (op.output.has_value()) record(*op.output);
+        for (const ir::VarNode& in : op.inputs) record(in);
+      }
+    }
+    for (const auto& [loc, sizes] : views) {
+      if (sizes.size() < 2) continue;
+      std::string list;
+      for (const std::uint32_t s : sizes)
+        list += support::format(list.empty() ? "%u" : ", %u", s);
+      sink.warning(fn, -1, -1,
+                   support::format("varnode (%s, 0x%llx) accessed with "
+                                   "inconsistent sizes {%s}",
+                                   ir::space_name(loc.first),
+                                   static_cast<unsigned long long>(loc.second),
+                                   list.c_str()));
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> make_structure_pass() {
+  return std::make_unique<StructurePass>();
+}
+
+}  // namespace firmres::analysis::verify

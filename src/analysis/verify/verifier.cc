@@ -1,0 +1,68 @@
+#include "analysis/verify/verifier.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "support/strings.h"
+
+namespace firmres::analysis::verify {
+
+Verifier::Verifier(Options options) : options_(options) {
+  if (options_.structure) passes_.push_back(make_structure_pass());
+  if (options_.cfg) passes_.push_back(make_cfg_pass());
+  if (options_.dataflow) passes_.push_back(make_dataflow_pass());
+  if (options_.call_graph) passes_.push_back(make_callgraph_pass());
+}
+
+LintReport Verifier::run(const ir::Program& program,
+                         support::ThreadPool* pool) const {
+  const CallGraph call_graph(program);
+  const PassContext ctx{program, call_graph};
+  const std::vector<ir::Function*>& fns = program.functions();
+
+  // Per-function fan-out: worker i owns per_fn[i], so no synchronization is
+  // needed; the final sort makes the merge order irrelevant.
+  std::vector<std::vector<Diagnostic>> per_fn(fns.size());
+  const auto check_one = [&](std::size_t i) {
+    for (const std::unique_ptr<Pass>& pass : passes_) {
+      DiagnosticSink sink(pass->name(), per_fn[i]);
+      pass->check_function(ctx, *fns[i], sink);
+    }
+  };
+  if (pool != nullptr && fns.size() > 1) {
+    support::parallel_for(*pool, fns.size(), check_one);
+  } else {
+    for (std::size_t i = 0; i < fns.size(); ++i) check_one(i);
+  }
+
+  LintReport report;
+  report.program = program.name();
+  for (std::vector<Diagnostic>& batch : per_fn)
+    for (Diagnostic& d : batch) report.diagnostics.push_back(std::move(d));
+  for (const std::unique_ptr<Pass>& pass : passes_) {
+    DiagnosticSink sink(pass->name(), report.diagnostics);
+    pass->check_program(ctx, sink);
+  }
+  std::sort(report.diagnostics.begin(), report.diagnostics.end(),
+            diagnostic_before);
+  return report;
+}
+
+std::string gate_message(const LintReport& report, std::size_t max_shown) {
+  std::string msg = support::format(
+      "IR verification failed for '%s' (%s)", report.program.c_str(),
+      report.summary().c_str());
+  std::size_t shown = 0;
+  for (const Diagnostic& d : report.diagnostics) {
+    if (d.severity != Severity::Error) continue;
+    if (shown == max_shown) {
+      msg += support::format("; … %zu more", report.errors() - shown);
+      break;
+    }
+    msg += (shown == 0 ? ": " : "; ") + d.to_string();
+    ++shown;
+  }
+  return msg;
+}
+
+}  // namespace firmres::analysis::verify

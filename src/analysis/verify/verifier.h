@@ -1,0 +1,58 @@
+// Verifier: pass manager for IR verification and linting (docs/LINT.md).
+//
+// Runs the registered passes over an ir::Program, fanning the per-function
+// checks out across a support::ThreadPool when one is given, then merges
+// and sorts the diagnostics into (function, block, op) order — the report is
+// byte-identical at any jobs level. The Pipeline's opt-in lint gate and the
+// `firmres lint` subcommand sit on top of this; tests use it to assert every
+// synthesized corpus program is lint-clean.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "analysis/verify/pass.h"
+#include "ir/program.h"
+#include "support/thread_pool.h"
+
+namespace firmres::analysis::verify {
+
+/// Thrown by verification gates (Pipeline's lint_gate) when a program fails
+/// verification. Catching it at corpus level isolates the device, like any
+/// other per-device failure.
+class VerifyError : public std::runtime_error {
+ public:
+  explicit VerifyError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class Verifier {
+ public:
+  struct Options {
+    bool structure = true;   ///< opcode arity / block shape verifier
+    bool cfg = true;         ///< reachability / termination diagnostics
+    bool dataflow = true;    ///< use-before-def, dead temps, format strings
+    bool call_graph = true;  ///< dangling targets, asynchrony violations
+  };
+
+  Verifier() : Verifier(Options{}) {}
+  explicit Verifier(Options options);
+
+  /// Verify one program. With a pool, per-function checks run concurrently;
+  /// the report is identical to the sequential run.
+  LintReport run(const ir::Program& program,
+                 support::ThreadPool* pool = nullptr) const;
+
+  const std::vector<std::unique_ptr<Pass>>& passes() const { return passes_; }
+
+ private:
+  Options options_;
+  std::vector<std::unique_ptr<Pass>> passes_;
+};
+
+/// One-line gate failure text: error count plus the first few diagnostics.
+std::string gate_message(const LintReport& report, std::size_t max_shown = 3);
+
+}  // namespace firmres::analysis::verify

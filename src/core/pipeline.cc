@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "analysis/verify/verifier.h"
 #include "core/taint.h"
 #include "support/logging.h"
 #include "support/timing.h"
@@ -52,6 +53,26 @@ DeviceAnalysis Pipeline::analyze(const fw::FirmwareImage& image,
   DeviceAnalysis out;
   out.device_id = image.profile.id;
   const CpuTimer cpu_timer(out.timings.cpu_total_s);
+
+  // --- Phase 0 (opt-in): reject malformed programs up front ----------------
+  // A lint error deep in one executable would otherwise surface as a
+  // FIRMRES_CHECK abort inside some analysis with no indication of which
+  // function or op is broken.
+  if (options_.lint_gate) {
+    const analysis::verify::Verifier verifier;
+    std::string failures;
+    for (const fw::FirmwareFile& file : image.files) {
+      if (file.kind != fw::FirmwareFile::Kind::Executable ||
+          file.program == nullptr)
+        continue;
+      const analysis::verify::LintReport report =
+          verifier.run(*file.program, pool);
+      if (report.errors() == 0) continue;
+      if (!failures.empty()) failures += "; ";
+      failures += file.path + ": " + analysis::verify::gate_message(report);
+    }
+    if (!failures.empty()) throw analysis::verify::VerifyError(failures);
+  }
 
   // --- Phase 1: pinpoint device-cloud executables (§IV-A) ------------------
   std::vector<const ir::Program*> device_cloud;

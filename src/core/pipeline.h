@@ -52,6 +52,11 @@ class Pipeline {
   struct Options {
     ExecutableIdentifier::Options identifier;
     MftBuilder::Options taint;
+    /// Run the IR verifier over every executable before Phase 1 and throw
+    /// analysis::verify::VerifyError when one has lint errors. Under
+    /// CorpusRunner the exception isolates the device (a DeviceFailure)
+    /// instead of aborting the run.
+    bool lint_gate = false;
   };
 
   /// `model` must outlive the pipeline.

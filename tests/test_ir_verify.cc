@@ -1,0 +1,537 @@
+// IR verifier / lint framework tests (docs/LINT.md).
+//
+// Hand-built malformed programs must yield their exact diagnostics; every
+// synthesized corpus program must be lint-clean (the gate later PRs build
+// on); reports must be identical at any jobs level; and the Pipeline's
+// opt-in lint gate must isolate a malformed device like any other corpus
+// failure instead of aborting the run.
+#include "analysis/verify/verifier.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/corpus_runner.h"
+#include "core/pipeline.h"
+#include "core/semantics.h"
+#include "firmware/synthesizer.h"
+#include "ir/builder.h"
+#include "support/thread_pool.h"
+
+namespace firmres::analysis::verify {
+namespace {
+
+LintReport lint(const ir::Program& prog,
+                Verifier::Options options = Verifier::Options{}) {
+  return Verifier(options).run(prog);
+}
+
+bool has_diagnostic(const LintReport& report, Severity severity,
+                    std::string_view pass, std::string_view function,
+                    int block, int op, std::string_view message) {
+  return std::any_of(
+      report.diagnostics.begin(), report.diagnostics.end(),
+      [&](const Diagnostic& d) {
+        return d.severity == severity && d.pass == pass &&
+               d.function == function && d.block == block &&
+               d.op_index == op && d.message == message;
+      });
+}
+
+std::string all_text(const LintReport& report) {
+  std::string out;
+  for (const Diagnostic& d : report.diagnostics) out += d.to_string() + "\n";
+  return out;
+}
+
+// Builds a PcodeOp directly, bypassing the builder's invariants — the whole
+// point here is to construct ops the builder would refuse to emit.
+ir::PcodeOp raw_op(ir::Program& prog, ir::OpCode opcode,
+                   std::optional<ir::VarNode> output = std::nullopt,
+                   std::vector<ir::VarNode> inputs = {},
+                   std::string callee = {}) {
+  ir::PcodeOp op;
+  op.address = prog.alloc_op_address();
+  op.opcode = opcode;
+  op.output = std::move(output);
+  op.inputs = std::move(inputs);
+  op.callee = std::move(callee);
+  return op;
+}
+
+// ---------------------------------------------------------------------------
+// Structural verifier
+// ---------------------------------------------------------------------------
+
+TEST(Structure, DanglingSuccessorId) {
+  ir::Program prog("p");
+  ir::IRBuilder b(prog);
+  {
+    ir::FunctionBuilder f = b.function("f");
+    f.ret();
+  }
+  prog.function("f")->blocks()[0].successors = {5};
+
+  const LintReport report = lint(prog);
+  EXPECT_TRUE(has_diagnostic(
+      report, Severity::Error, "structure", "f", 0, -1,
+      "successor b5 is out of range (function has 1 blocks)"))
+      << all_text(report);
+  EXPECT_TRUE(has_diagnostic(report, Severity::Error, "structure", "f", 0, 0,
+                             "RETURN block must have 0 successors, has 1"))
+      << all_text(report);
+}
+
+TEST(Structure, ArityAndOutputRules) {
+  ir::Program prog("p");
+  ir::Function& fn = prog.add_function("f");
+  const int b0 = fn.add_block();
+  const ir::VarNode c1{.space = ir::Space::Const, .offset = 1, .size = 4};
+  const ir::VarNode c2{.space = ir::Space::Const, .offset = 2, .size = 4};
+  const ir::VarNode t{.space = ir::Space::Unique, .offset = 0x10, .size = 4};
+  // COPY with two inputs.
+  fn.block(b0).ops.push_back(raw_op(prog, ir::OpCode::Copy, t, {c1, c2}));
+  // STORE with an output.
+  fn.block(b0).ops.push_back(raw_op(prog, ir::OpCode::Store, t, {c1, c2}));
+  // IntAdd missing its output.
+  fn.block(b0).ops.push_back(
+      raw_op(prog, ir::OpCode::IntAdd, std::nullopt, {c1, c2}));
+  fn.block(b0).ops.push_back(raw_op(prog, ir::OpCode::Return));
+
+  const LintReport report = lint(prog);
+  EXPECT_TRUE(has_diagnostic(report, Severity::Error, "structure", "f", 0, 0,
+                             "COPY expects 1 input(s), has 2"))
+      << all_text(report);
+  EXPECT_TRUE(has_diagnostic(report, Severity::Error, "structure", "f", 0, 1,
+                             "STORE must not have an output"))
+      << all_text(report);
+  EXPECT_TRUE(has_diagnostic(report, Severity::Error, "structure", "f", 0, 2,
+                             "INT_ADD requires an output"))
+      << all_text(report);
+}
+
+TEST(Structure, ImportWithBodyAndBlockIdMismatch) {
+  ir::Program prog("p");
+  ir::Function& imp = prog.add_function("recv", /*is_import=*/true);
+  imp.add_block();
+  ir::IRBuilder b(prog);
+  {
+    ir::FunctionBuilder f = b.function("f");
+    f.ret();
+  }
+  prog.function("f")->blocks()[0].id = 7;
+
+  const LintReport report = lint(prog);
+  EXPECT_TRUE(has_diagnostic(report, Severity::Error, "structure", "recv", -1,
+                             -1, "import function has a body (1 blocks)"))
+      << all_text(report);
+  EXPECT_TRUE(has_diagnostic(report, Severity::Error, "structure", "f", 0, -1,
+                             "block id 7 does not match its position 0"))
+      << all_text(report);
+}
+
+TEST(Structure, SizeInconsistentViews) {
+  ir::Program prog("p");
+  ir::Function& fn = prog.add_function("f");
+  const int b0 = fn.add_block();
+  const ir::VarNode v4{.space = ir::Space::Stack, .offset = 0x100, .size = 4};
+  const ir::VarNode v8{.space = ir::Space::Stack, .offset = 0x100, .size = 8};
+  const ir::VarNode t{.space = ir::Space::Unique, .offset = 0x10, .size = 8};
+  fn.block(b0).ops.push_back(raw_op(prog, ir::OpCode::Copy, t, {v4}));
+  fn.block(b0).ops.push_back(raw_op(prog, ir::OpCode::Copy, v8, {t}));
+  fn.block(b0).ops.push_back(raw_op(prog, ir::OpCode::Return));
+
+  const LintReport report = lint(prog);
+  EXPECT_TRUE(has_diagnostic(
+      report, Severity::Warning, "structure", "f", -1, -1,
+      "varnode (stack, 0x100) accessed with inconsistent sizes {4, 8}"))
+      << all_text(report);
+}
+
+// ---------------------------------------------------------------------------
+// CFG diagnostics
+// ---------------------------------------------------------------------------
+
+TEST(Cfg, UnreachableFallOffAndSelfLoop) {
+  ir::Program prog("p");
+  ir::IRBuilder b(prog);
+  {
+    // Entry falls off the end; b1 unreachable; b2 a call-free self-loop.
+    ir::FunctionBuilder f = b.function("f");
+    f.copy(f.local("x"), f.cnum(1));
+    const int b1 = f.new_block();
+    f.set_block(b1);
+    f.ret();
+    const int b2 = f.new_block();
+    f.set_block(b2);
+    f.branch(b2);
+  }
+  // Make the self-loop reachable: entry → b2 (entry keeps no terminator,
+  // one successor = legal implicit fallthrough).
+  prog.function("f")->blocks()[0].successors = {2};
+
+  const LintReport report = lint(prog);
+  EXPECT_TRUE(has_diagnostic(report, Severity::Warning, "cfg", "f", 1, -1,
+                             "block is unreachable from the entry"))
+      << all_text(report);
+  EXPECT_TRUE(has_diagnostic(report, Severity::Warning, "cfg", "f", 2, -1,
+                             "block loops on itself with no exit and no calls"))
+      << all_text(report);
+
+  // Drop the edge again: now the entry falls off the end.
+  prog.function("f")->blocks()[0].successors = {};
+  const LintReport report2 = lint(prog);
+  EXPECT_TRUE(has_diagnostic(report2, Severity::Warning, "cfg", "f", 0, -1,
+                             "control falls off the end of the block"))
+      << all_text(report2);
+}
+
+// ---------------------------------------------------------------------------
+// Dataflow lints
+// ---------------------------------------------------------------------------
+
+TEST(Dataflow, UseBeforeAnyDefinitionIsError) {
+  ir::Program prog("p");
+  ir::Function& fn = prog.add_function("f");
+  const int b0 = fn.add_block();
+  const ir::VarNode undef{.space = ir::Space::Unique, .offset = 0x40,
+                          .size = 8};
+  const ir::VarNode t{.space = ir::Space::Unique, .offset = 0x50, .size = 8};
+  fn.block(b0).ops.push_back(raw_op(prog, ir::OpCode::Copy, t, {undef}));
+  fn.block(b0).ops.push_back(
+      raw_op(prog, ir::OpCode::Return, std::nullopt, {t}));
+
+  const LintReport report = lint(prog);
+  EXPECT_TRUE(has_diagnostic(
+      report, Severity::Error, "dataflow", "f", 0, 0,
+      "(unique, 0x40, 8) is used before any definition"))
+      << all_text(report);
+}
+
+TEST(Dataflow, DefinedOnOnePathOnlyIsWarning) {
+  ir::Program prog("p");
+  ir::IRBuilder b(prog);
+  {
+    // t is assigned only on the true branch, then used at the join.
+    ir::FunctionBuilder f = b.function("f");
+    const ir::VarNode p = f.param("flag");
+    const ir::VarNode t = f.temp();
+    const int tb = f.new_block();
+    const int join = f.new_block();
+    f.cbranch(f.cmp_eq(p, f.cnum(0)), tb, join);
+    f.set_block(tb);
+    ir::PcodeOp& def = prog.function("f")->block(tb).ops.emplace_back();
+    def.address = prog.alloc_op_address();
+    def.opcode = ir::OpCode::Copy;
+    def.output = t;
+    def.inputs = {f.cnum(1)};
+    f.branch(join);
+    f.set_block(join);
+    f.ret(t);
+  }
+
+  const LintReport report = lint(prog);
+  const std::string msg =
+      prog.function("f")->blocks()[2].ops.back().inputs[0].to_string() +
+      " may be used before definition (undefined on some path)";
+  EXPECT_TRUE(has_diagnostic(report, Severity::Warning, "dataflow", "f", 2, 0,
+                             msg))
+      << all_text(report);
+}
+
+TEST(Dataflow, ParametersAndStackLocalsAreNotFlagged) {
+  ir::Program prog("p");
+  ir::IRBuilder b(prog);
+  {
+    ir::FunctionBuilder f = b.function("f");
+    const ir::VarNode p = f.param("arg");
+    const ir::VarNode buf = f.local("buf", 64);
+    // The uninitialized stack buffer is sprintf's destination — a write,
+    // not a read; the parameter is pre-defined.
+    f.callv("sprintf", {buf, f.cstr("v=%s"), p});
+    f.callv("send", {f.cnum(3), buf, f.cnum(64), f.cnum(0)});
+    f.ret();
+  }
+  const LintReport report = lint(prog);
+  EXPECT_TRUE(report.clean(/*werror=*/true)) << all_text(report);
+}
+
+TEST(Dataflow, DeadTemporaryIsWarning) {
+  ir::Program prog("p");
+  ir::IRBuilder b(prog);
+  ir::VarNode dead;
+  {
+    ir::FunctionBuilder f = b.function("f");
+    dead = f.binop(ir::OpCode::IntAdd, f.cnum(1), f.cnum(2));
+    f.ret();
+  }
+  const LintReport report = lint(prog);
+  EXPECT_TRUE(has_diagnostic(
+      report, Severity::Warning, "dataflow", "f", 0, 0,
+      "dead store: result " + dead.to_string() + " of INT_ADD is never used"))
+      << all_text(report);
+}
+
+TEST(Dataflow, SprintfConversionCountMismatch) {
+  ir::Program prog("p");
+  ir::IRBuilder b(prog);
+  {
+    ir::FunctionBuilder f = b.function("f");
+    const ir::VarNode buf = f.local("buf", 64);
+    // Two conversions, one value argument: field splitting would read a
+    // nonexistent operand.
+    f.callv("sprintf", {buf, f.cstr("%s-%s"), f.cstr("only")});
+    // Surplus argument on a snprintf.
+    f.callv("snprintf", {buf, f.cnum(64), f.cstr("id=%d"), f.cnum(1),
+                         f.cnum(2)});
+    f.ret();
+  }
+  const LintReport report = lint(prog);
+  EXPECT_TRUE(has_diagnostic(
+      report, Severity::Error, "dataflow", "f", 0, 0,
+      "format string \"%s-%s\" consumes 2 value argument(s), callsite "
+      "passes 1"))
+      << all_text(report);
+  EXPECT_TRUE(has_diagnostic(
+      report, Severity::Warning, "dataflow", "f", 0, 1,
+      "format string \"id=%d\" consumes 1 value argument(s), callsite "
+      "passes 2 — surplus arguments corrupt field splitting"))
+      << all_text(report);
+}
+
+TEST(Dataflow, MatchingSprintfIsClean) {
+  ir::Program prog("p");
+  ir::IRBuilder b(prog);
+  {
+    ir::FunctionBuilder f = b.function("f");
+    const ir::VarNode buf = f.local("buf", 64);
+    f.callv("snprintf",
+            {buf, f.cnum(64), f.cstr("mac=%s&rssi=%d 100%%"),
+             f.cstr("aa:bb"), f.cnum(40)});
+    f.callv("send", {f.cnum(3), buf, f.cnum(64), f.cnum(0)});
+    f.ret();
+  }
+  EXPECT_TRUE(lint(prog).clean(/*werror=*/true));
+}
+
+// ---------------------------------------------------------------------------
+// Call-graph lints
+// ---------------------------------------------------------------------------
+
+TEST(CallGraphLint, UnknownCallTarget) {
+  ir::Program prog("p");
+  ir::Function& fn = prog.add_function("f");
+  const int b0 = fn.add_block();
+  fn.block(b0).ops.push_back(
+      raw_op(prog, ir::OpCode::Call, std::nullopt, {}, "nowhere"));
+  fn.block(b0).ops.push_back(raw_op(prog, ir::OpCode::Return));
+
+  const LintReport report = lint(prog);
+  EXPECT_TRUE(has_diagnostic(report, Severity::Error, "callgraph", "f", 0, 0,
+                             "call to unknown function 'nowhere'"))
+      << all_text(report);
+}
+
+TEST(CallGraphLint, DirectCallIntoEventRegisteredHandler) {
+  ir::Program prog("p");
+  ir::IRBuilder b(prog);
+  {
+    ir::FunctionBuilder f = b.function("handler");
+    f.ret();
+  }
+  {
+    ir::FunctionBuilder f = b.function("main");
+    f.callv("event_loop_register", {f.cnum(0), f.func_addr("handler")});
+    f.callv("handler", {});  // breaks the asynchrony assumption
+    f.ret();
+  }
+  const LintReport report = lint(prog);
+  EXPECT_TRUE(has_diagnostic(
+      report, Severity::Warning, "callgraph", "handler", -1, -1,
+      "event-registered handler is also invoked directly (breaks the "
+      "asynchrony assumption of §IV-A)"))
+      << all_text(report);
+}
+
+TEST(CallGraphLint, IndirectCallToNonFunctionConstant) {
+  ir::Program prog("p");
+  ir::IRBuilder b(prog);
+  {
+    ir::FunctionBuilder f = b.function("f");
+    f.call_indirect(f.cnum(0xdead, 8), {});
+    f.ret();
+  }
+  const LintReport report = lint(prog);
+  EXPECT_TRUE(has_diagnostic(
+      report, Severity::Error, "callgraph", "f", 0, 0,
+      "indirect call through 0xdead, which is no function entry"))
+      << all_text(report);
+}
+
+// ---------------------------------------------------------------------------
+// Pass manager / report mechanics
+// ---------------------------------------------------------------------------
+
+TEST(Verifier, OptionsDisablePasses) {
+  ir::Program prog("p");
+  ir::IRBuilder b(prog);
+  {
+    ir::FunctionBuilder f = b.function("f");
+    ir::VarNode unused = f.binop(ir::OpCode::IntAdd, f.cnum(1), f.cnum(2));
+    (void)unused;
+    f.ret();
+  }
+  Verifier::Options only_structure;
+  only_structure.cfg = false;
+  only_structure.dataflow = false;
+  only_structure.call_graph = false;
+  EXPECT_TRUE(lint(prog, only_structure).clean(/*werror=*/true));
+  EXPECT_FALSE(lint(prog).clean(/*werror=*/true));  // dead-temp warning
+}
+
+TEST(Verifier, ReportOrderingAndRendering) {
+  Diagnostic d{.severity = Severity::Error,
+               .pass = "structure",
+               .function = "handler",
+               .block = 2,
+               .op_index = 3,
+               .message = "boom"};
+  EXPECT_EQ(d.to_string(), "error[structure] handler:b2:op3: boom");
+
+  LintReport report;
+  report.program = "p";
+  report.diagnostics = {d};
+  EXPECT_EQ(report.summary(), "1 error, 0 warnings, 0 notes");
+  EXPECT_FALSE(report.clean());
+  const support::Json json = report_to_json(report);
+  EXPECT_EQ(json.find("errors")->as_number(), 1.0);
+  EXPECT_EQ(json.find("diagnostics")->as_array().size(), 1u);
+  EXPECT_EQ(
+      json.find("diagnostics")->as_array()[0].find("pass")->as_string(),
+      "structure");
+}
+
+TEST(Verifier, DiagnosticsAreIdenticalAtAnyJobsLevel) {
+  // A program with defects across several functions: order must not depend
+  // on worker interleaving.
+  ir::Program prog("p");
+  ir::IRBuilder b(prog);
+  for (const char* name : {"zeta", "alpha", "mid"}) {
+    ir::FunctionBuilder f = b.function(name);
+    const ir::VarNode buf = f.local("buf", 32);
+    f.callv("sprintf", {buf, f.cstr("%s/%s"), f.cstr("x")});
+    ir::VarNode unused = f.binop(ir::OpCode::IntAdd, f.cnum(1), f.cnum(2));
+    (void)unused;
+    f.ret();
+  }
+  const Verifier verifier;
+  const LintReport sequential = verifier.run(prog);
+  EXPECT_FALSE(sequential.diagnostics.empty());
+  for (const std::size_t jobs : {2u, 4u}) {
+    support::ThreadPool pool(jobs);
+    for (int round = 0; round < 3; ++round) {
+      const LintReport parallel = verifier.run(prog, &pool);
+      EXPECT_EQ(sequential.diagnostics, parallel.diagnostics)
+          << "jobs=" << jobs;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Corpus gate: every synthesized program is lint-clean
+// ---------------------------------------------------------------------------
+
+TEST(CorpusLint, EverySynthesizedProgramIsCleanUnderWerror) {
+  const Verifier verifier;
+  support::ThreadPool pool(support::ThreadPool::default_parallelism());
+  for (const fw::FirmwareImage& image : fw::synthesize_corpus()) {
+    for (const fw::FirmwareFile& file : image.files) {
+      if (file.kind != fw::FirmwareFile::Kind::Executable ||
+          file.program == nullptr)
+        continue;
+      const LintReport report = verifier.run(*file.program, &pool);
+      EXPECT_TRUE(report.clean(/*werror=*/true))
+          << "device " << image.profile.id << " " << file.path << ":\n"
+          << all_text(report);
+      EXPECT_TRUE(report.diagnostics.empty())
+          << "device " << image.profile.id << " " << file.path << ":\n"
+          << all_text(report);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline pre-gate
+// ---------------------------------------------------------------------------
+
+/// Synthesize device `id` and plant a dangling successor in its first
+/// executable.
+fw::FirmwareImage corrupted_image(int id) {
+  fw::FirmwareImage image = fw::synthesize(fw::standard_corpus()[
+      static_cast<std::size_t>(id - 1)]);
+  for (fw::FirmwareFile& file : image.files) {
+    if (file.kind != fw::FirmwareFile::Kind::Executable ||
+        file.program == nullptr)
+      continue;
+    for (ir::Function* fn : file.program->local_functions()) {
+      fn->blocks()[0].successors = {999};
+      return image;
+    }
+  }
+  ADD_FAILURE() << "no executable to corrupt";
+  return image;
+}
+
+TEST(PipelineGate, MalformedProgramIsRejectedWithDiagnostics) {
+  const fw::FirmwareImage image = corrupted_image(1);
+  const core::KeywordModel model;
+  core::Pipeline::Options options;
+  options.lint_gate = true;
+  const core::Pipeline pipeline(model, options);
+  try {
+    pipeline.analyze(image);
+    FAIL() << "expected VerifyError";
+  } catch (const VerifyError& e) {
+    EXPECT_NE(std::string(e.what()).find("IR verification failed"),
+              std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("successor b999 is out of range"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(PipelineGate, CorpusRunIsolatesTheMalformedDevice) {
+  std::vector<fw::FirmwareImage> images;
+  images.push_back(corrupted_image(1));
+  images.push_back(fw::synthesize(fw::standard_corpus()[1]));
+
+  const core::KeywordModel model;
+  core::Pipeline::Options options;
+  options.lint_gate = true;
+  const core::Pipeline pipeline(model, options);
+  const core::CorpusRunner runner(pipeline, {.jobs = 2});
+  const core::CorpusResult run = runner.run(images);
+
+  ASSERT_EQ(run.failures.size(), 1u);
+  EXPECT_EQ(run.failures[0].device_id, 1);
+  EXPECT_NE(run.failures[0].error.find("IR verification failed"),
+            std::string::npos)
+      << run.failures[0].error;
+  ASSERT_EQ(run.analyses.size(), 1u);
+  EXPECT_EQ(run.analyses[0].device_id, 2);
+  EXPECT_FALSE(run.analyses[0].messages.empty());
+}
+
+TEST(PipelineGate, CleanImagePassesTheGate) {
+  const fw::FirmwareImage image = fw::synthesize(fw::standard_corpus()[0]);
+  const core::KeywordModel model;
+  core::Pipeline::Options options;
+  options.lint_gate = true;
+  const core::Pipeline pipeline(model, options);
+  const core::DeviceAnalysis analysis = pipeline.analyze(image);
+  EXPECT_FALSE(analysis.device_cloud_executable.empty());
+}
+
+}  // namespace
+}  // namespace firmres::analysis::verify

@@ -2,6 +2,8 @@
 //
 //   firmres synth <dir> [--device N]      synthesize corpus/device image(s)
 //   firmres analyze <image-dir> [--json]  run the pipeline on a saved image
+//   firmres lint <image-dir>... [--json] [--werror]
+//                                         verify/lint the lifted executables
 //   firmres hunt <image-dir>...           probe clouds, report vulnerabilities
 //   firmres ir <image-dir> <exec-path>    print a lifted executable
 //   firmres train <model.json> [devices] [epochs]
@@ -10,14 +12,20 @@
 //
 // Images use the directory format of firmware/serializer.h. `analyze`
 // prints the human report by default and the JSON report with --json.
+//
+// Exit codes: 0 success, 1 runtime failure (or findings for hunt/lint),
+// 2 usage / unknown subcommand, 3 unknown flag.
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include <memory>
 
+#include "analysis/verify/verifier.h"
 #include "cloud/vuln_hunter.h"
 #include "core/corpus_runner.h"
 #include "core/pipeline.h"
@@ -27,6 +35,7 @@
 #include "nlp/trainer.h"
 #include "ir/printer.h"
 #include "support/error.h"
+#include "support/json.h"
 #include "support/logging.h"
 #include "support/strings.h"
 
@@ -35,15 +44,66 @@ namespace {
 namespace fsys = std::filesystem;
 using namespace firmres;
 
+constexpr int kExitUsage = 2;
+constexpr int kExitUnknownFlag = 3;
+
 int usage() {
   std::fprintf(stderr,
                "usage:\n"
                "  firmres synth <dir> [--device N]\n"
-               "  firmres analyze <image-dir> [--json] [--jobs N]\n"
+               "  firmres analyze <image-dir> [--json] [--model <path>] "
+               "[--jobs N]\n"
+               "  firmres lint <image-dir>... [--json] [--werror] [--jobs N]\n"
                "  firmres hunt <image-dir>... [--jobs N]\n"
                "  firmres ir <image-dir> <exec-path>\n"
+               "  firmres train <model.json> [devices] [epochs]\n"
                "  firmres corpus\n");
-  return 2;
+  return kExitUsage;
+}
+
+/// Consume a boolean switch from `args`; true if it was present.
+bool take_flag(std::vector<std::string>& args, std::string_view name) {
+  bool found = false;
+  for (std::size_t i = 0; i < args.size();) {
+    if (args[i] == name) {
+      found = true;
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+  return found;
+}
+
+/// Consume a `--name <value>` pair from `args` (last occurrence wins).
+std::optional<std::string> take_value_flag(std::vector<std::string>& args,
+                                           std::string_view name) {
+  std::optional<std::string> value;
+  for (std::size_t i = 0; i < args.size();) {
+    if (args[i] != name) {
+      ++i;
+      continue;
+    }
+    if (i + 1 >= args.size())
+      throw support::ParseError(std::string(name) + " requires a value");
+    value = args[i + 1];
+    args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+               args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+  }
+  return value;
+}
+
+/// After a command consumed every flag it knows, any residual "-…" token is
+/// an unknown flag — report it (distinct exit code from usage errors).
+bool reject_unknown_flags(const char* cmd,
+                          const std::vector<std::string>& args) {
+  for (const std::string& a : args) {
+    if (!a.empty() && a[0] == '-') {
+      std::fprintf(stderr, "firmres %s: unknown flag '%s'\n", cmd, a.c_str());
+      return false;
+    }
+  }
+  return true;
 }
 
 /// Consume a `--jobs N` pair from `args` (any position). Returns the thread
@@ -84,14 +144,13 @@ int cmd_corpus() {
   return 0;
 }
 
-int cmd_synth(const std::vector<std::string>& args) {
+int cmd_synth(std::vector<std::string> args) {
+  int only_device = 0;
+  if (const auto device = take_value_flag(args, "--device"))
+    only_device = std::atoi(device->c_str());
+  if (!reject_unknown_flags("synth", args)) return kExitUnknownFlag;
   if (args.empty()) return usage();
   const fsys::path base = args[0];
-  int only_device = 0;
-  for (std::size_t i = 1; i + 1 < args.size() + 1; ++i) {
-    if (args[i] == "--device" && i + 1 < args.size())
-      only_device = std::atoi(args[i + 1].c_str());
-  }
   int written = 0;
   for (const fw::DeviceProfile& profile : fw::standard_corpus()) {
     if (only_device != 0 && profile.id != only_device) continue;
@@ -113,13 +172,11 @@ int cmd_synth(const std::vector<std::string>& args) {
 
 int cmd_analyze(std::vector<std::string> args) {
   const int jobs = take_jobs_flag(args);
+  const bool json = take_flag(args, "--json");
+  const std::string model_path =
+      take_value_flag(args, "--model").value_or("");
+  if (!reject_unknown_flags("analyze", args)) return kExitUnknownFlag;
   if (args.empty()) return usage();
-  bool json = false;
-  std::string model_path;
-  for (std::size_t i = 1; i < args.size(); ++i) {
-    if (args[i] == "--json") json = true;
-    if (args[i] == "--model" && i + 1 < args.size()) model_path = args[i + 1];
-  }
 
   const fw::FirmwareImage image = fw::load_image(args[0]);
   // Dictionary matcher by default; a trained classifier with --model.
@@ -173,6 +230,7 @@ int cmd_analyze(std::vector<std::string> args) {
 
 int cmd_hunt(std::vector<std::string> args) {
   const int jobs = take_jobs_flag(args);
+  if (!reject_unknown_flags("hunt", args)) return kExitUnknownFlag;
   if (args.empty()) return usage();
   std::vector<fw::FirmwareImage> images;
   cloudsim::CloudNetwork net;
@@ -212,7 +270,69 @@ int cmd_hunt(std::vector<std::string> args) {
   return confirmed > 0 ? 0 : 1;
 }
 
+/// Lint every lifted executable of the given image directories with the IR
+/// verifier. Exit 0 when clean: no errors, and no warnings under --werror.
+int cmd_lint(std::vector<std::string> args) {
+  const int jobs = take_jobs_flag(args);
+  const bool json = take_flag(args, "--json");
+  const bool werror = take_flag(args, "--werror");
+  if (!reject_unknown_flags("lint", args)) return kExitUnknownFlag;
+  if (args.empty()) return usage();
+
+  std::unique_ptr<support::ThreadPool> pool;
+  if (jobs > 1)
+    pool = std::make_unique<support::ThreadPool>(
+        static_cast<std::size_t>(jobs));
+  const analysis::verify::Verifier verifier;
+
+  bool all_clean = true;
+  std::size_t errors = 0, warnings = 0, notes = 0, programs = 0;
+  support::JsonArray json_images;
+  for (const std::string& dir : args) {
+    const fw::FirmwareImage image = fw::load_image(dir);
+    support::JsonArray json_programs;
+    for (const fw::FirmwareFile& file : image.files) {
+      if (file.kind != fw::FirmwareFile::Kind::Executable ||
+          file.program == nullptr)
+        continue;
+      const analysis::verify::LintReport report =
+          verifier.run(*file.program, pool.get());
+      ++programs;
+      errors += report.errors();
+      warnings += report.warnings();
+      notes += report.notes();
+      all_clean = all_clean && report.clean(werror);
+      if (json) {
+        support::Json entry = analysis::verify::report_to_json(report);
+        entry.set("path", file.path);
+        json_programs.push_back(std::move(entry));
+      } else {
+        for (const analysis::verify::Diagnostic& d : report.diagnostics)
+          std::printf("%s: %s\n", file.path.c_str(),
+                      d.to_string().c_str());
+      }
+    }
+    if (json) {
+      support::JsonObject obj;
+      obj.emplace_back("image", dir);
+      obj.emplace_back("device", image.profile.id);
+      obj.emplace_back("programs", support::Json(std::move(json_programs)));
+      json_images.push_back(support::Json(std::move(obj)));
+    }
+  }
+  if (json) {
+    std::printf("%s\n",
+                support::Json(std::move(json_images)).dump(true).c_str());
+  } else {
+    std::printf("%zu program(s): %zu error(s), %zu warning(s), %zu note(s)%s\n",
+                programs, errors, warnings, notes,
+                werror ? " [--werror]" : "");
+  }
+  return all_clean ? 0 : 1;
+}
+
 int cmd_train(const std::vector<std::string>& args) {
+  if (!reject_unknown_flags("train", args)) return kExitUnknownFlag;
   if (args.empty()) return usage();
   nlp::DatasetConfig dc;
   if (args.size() > 1) dc.num_devices = std::atoi(args[1].c_str());
@@ -235,6 +355,7 @@ int cmd_train(const std::vector<std::string>& args) {
 }
 
 int cmd_ir(const std::vector<std::string>& args) {
+  if (!reject_unknown_flags("ir", args)) return kExitUnknownFlag;
   if (args.size() < 2) return usage();
   const fw::FirmwareImage image = fw::load_image(args[0]);
   const fw::FirmwareFile* file = image.file(args[1]);
@@ -257,6 +378,7 @@ int main(int argc, char** argv) {
     if (cmd == "corpus") return cmd_corpus();
     if (cmd == "synth") return cmd_synth(args);
     if (cmd == "analyze") return cmd_analyze(args);
+    if (cmd == "lint") return cmd_lint(args);
     if (cmd == "hunt") return cmd_hunt(args);
     if (cmd == "ir") return cmd_ir(args);
     if (cmd == "train") return cmd_train(args);
@@ -264,5 +386,6 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
+  std::fprintf(stderr, "firmres: unknown subcommand '%s'\n", cmd.c_str());
   return usage();
 }

@@ -1,0 +1,33 @@
+# ctest driver for the lint_examples gate (see tools/CMakeLists.txt).
+#
+# Synthesizes the standard corpus into WORKDIR with FIRMRES_BIN, then lints
+# every image directory under --werror. Split out as a -P script because the
+# gate needs two process invocations and a glob over the synthesized
+# device directories.
+if(NOT DEFINED FIRMRES_BIN OR NOT DEFINED WORKDIR)
+  message(FATAL_ERROR "lint_gate.cmake needs -DFIRMRES_BIN=... -DWORKDIR=...")
+endif()
+
+file(REMOVE_RECURSE "${WORKDIR}")
+file(MAKE_DIRECTORY "${WORKDIR}")
+
+execute_process(
+  COMMAND "${FIRMRES_BIN}" synth "${WORKDIR}"
+  RESULT_VARIABLE synth_rc
+  OUTPUT_QUIET)
+if(NOT synth_rc EQUAL 0)
+  message(FATAL_ERROR "firmres synth failed (exit ${synth_rc})")
+endif()
+
+file(GLOB image_dirs LIST_DIRECTORIES true "${WORKDIR}/device*")
+list(LENGTH image_dirs n_images)
+if(n_images EQUAL 0)
+  message(FATAL_ERROR "synth produced no device directories in ${WORKDIR}")
+endif()
+
+execute_process(
+  COMMAND "${FIRMRES_BIN}" lint --werror ${image_dirs}
+  RESULT_VARIABLE lint_rc)
+if(NOT lint_rc EQUAL 0)
+  message(FATAL_ERROR "firmres lint --werror failed (exit ${lint_rc})")
+endif()

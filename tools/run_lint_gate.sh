@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Lint gate over the example corpus (docs/LINT.md).
+#
+# Synthesizes every standard-corpus firmware image into a scratch directory
+# and runs `firmres lint --werror` over all of them: any verifier error OR
+# warning fails the gate. This is the executable form of the invariant the
+# analyses rely on — every program the synthesizer emits is well-formed IR.
+#
+#   tools/run_lint_gate.sh [firmres-binary] [workdir]
+#
+# Defaults: binary build/tools/firmres, workdir a fresh mktemp -d (removed
+# on exit; a caller-supplied workdir is left in place for inspection).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+FIRMRES=${1:-build/tools/firmres}
+if [[ ! -x "$FIRMRES" ]]; then
+  echo "run_lint_gate: firmres binary not found at $FIRMRES" >&2
+  echo "  build it first: cmake -B build -S . && cmake --build build -j" >&2
+  exit 1
+fi
+
+if [[ $# -ge 2 ]]; then
+  WORKDIR=$2
+  mkdir -p "$WORKDIR"
+else
+  WORKDIR=$(mktemp -d)
+  trap 'rm -rf "$WORKDIR"' EXIT
+fi
+
+"$FIRMRES" synth "$WORKDIR" >/dev/null
+"$FIRMRES" lint --werror "$WORKDIR"/device*

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Sanitizer gates for the analysis and concurrency layers.
+#
+# Drives one dedicated build tree per sanitizer configuration:
+#
+#   thread            -DFIRMRES_SANITIZE=thread, runs the `concurrency`-
+#                     labeled ctest suites (test_thread_pool,
+#                     test_corpus_runner) under TSan — the CI step guarding
+#                     the parallel corpus engine and the verifier fan-out.
+#   address,undefined -DFIRMRES_SANITIZE=address,undefined, runs the full
+#                     ctest suite under ASan+UBSan.
+#
+#   tools/run_sanitizers.sh [thread|asan|all] [extra cmake args...]
+#
+# Default mode is `all`. Build trees default to build-tsan/ and build-asan/
+# (override with FIRMRES_TSAN_BUILD_DIR / FIRMRES_ASAN_BUILD_DIR); extra
+# arguments are forwarded to both cmake configures.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+MODE=${1:-all}
+case "$MODE" in
+  thread|asan|all) shift || true ;;
+  *) MODE=all ;;
+esac
+
+run_tree() {
+  local build_dir=$1 sanitize=$2 label_args=$3
+  shift 3
+  cmake -B "$build_dir" -S . -DFIRMRES_SANITIZE="$sanitize" "$@"
+  cmake --build "$build_dir" -j
+  # shellcheck disable=SC2086 — label_args is intentionally word-split.
+  ctest --test-dir "$build_dir" $label_args --output-on-failure -j
+}
+
+if [[ "$MODE" == thread || "$MODE" == all ]]; then
+  run_tree "${FIRMRES_TSAN_BUILD_DIR:-build-tsan}" thread "-L concurrency" "$@"
+fi
+if [[ "$MODE" == asan || "$MODE" == all ]]; then
+  run_tree "${FIRMRES_ASAN_BUILD_DIR:-build-asan}" address,undefined "" "$@"
+fi

@@ -1,17 +1,9 @@
 #!/usr/bin/env bash
-# ThreadSanitizer gate for the concurrency layer.
+# ThreadSanitizer gate — compatibility wrapper.
 #
-# Configures a dedicated build tree with -DFIRMRES_SANITIZE=thread and runs
-# the `concurrency`-labeled ctest suites (test_thread_pool,
-# test_corpus_runner) under TSan. Intended as the CI step guarding the
-# parallel corpus engine; extra arguments are forwarded to cmake configure.
+# Kept for existing CI wiring; the sanitizer matrix lives in
+# tools/run_sanitizers.sh. Extra arguments are forwarded to cmake configure.
 #
 #   tools/run_tsan.sh [extra cmake args...]
 set -euo pipefail
-
-cd "$(dirname "$0")/.."
-BUILD_DIR=${FIRMRES_TSAN_BUILD_DIR:-build-tsan}
-
-cmake -B "$BUILD_DIR" -S . -DFIRMRES_SANITIZE=thread "$@"
-cmake --build "$BUILD_DIR" -j
-ctest --test-dir "$BUILD_DIR" -L concurrency --output-on-failure -j
+exec "$(dirname "$0")/run_sanitizers.sh" thread "$@"
