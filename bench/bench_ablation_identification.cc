@@ -52,6 +52,8 @@ void print_ablation() {
   core::ExecutableIdentifier::Options naive = full;
   naive.use_pf_scoring = false;
   naive.require_async = false;
+  core::ExecutableIdentifier::Options no_devirt = full;
+  no_devirt.devirtualize = false;
 
   std::printf("ABLATION: DEVICE-CLOUD EXECUTABLE IDENTIFICATION (§IV-A)\n");
   bench::print_rule();
@@ -66,6 +68,7 @@ void print_ablation() {
       {"no async filter", no_async},
       {"no P_f scoring", no_pf},
       {"naive (any recv+send pair)", naive},
+      {"no devirtualization", no_devirt},
   };
   for (const auto& [name, options] : configs) {
     const IdentStats s = evaluate(options, corpus);
@@ -77,7 +80,9 @@ void print_ablation() {
   std::printf(
       "The async filter removes directly-invoked LAN servers; P_f scoring "
       "removes event-driven IPC daemons.\nOnly the combination isolates the "
-      "device-cloud executables (paper §IV-A, Fig. 4).\n\n");
+      "device-cloud executables (paper §IV-A, Fig. 4).\nWithout "
+      "devirtualization, handlers sending through function pointers lose "
+      "their recv→send path (missed devices).\n\n");
 }
 
 void BM_IdentifyExecutable(benchmark::State& state) {

@@ -4,25 +4,63 @@
 #include <deque>
 #include <set>
 
+#include "analysis/valueflow/valueflow.h"
 #include "ir/library.h"
 
 namespace firmres::analysis {
 
 CallGraph::CallGraph(const ir::Program& program) : program_(program) {
+  build(nullptr);
+}
+
+CallGraph::CallGraph(const ir::Program& program, const ValueFlow& valueflow)
+    : program_(program) {
+  build(&valueflow);
+}
+
+void CallGraph::build(const ValueFlow* valueflow) {
   const auto& lib = ir::LibraryModel::instance();
 
-  for (const ir::Function* fn : program.functions()) by_entry_[fn->entry_address()] = fn;
+  for (const ir::Function* fn : program_.functions()) by_entry_[fn->entry_address()] = fn;
 
-  for (const ir::Function* fn : program.local_functions()) {
+  for (const ir::Function* fn : program_.local_functions()) {
     std::set<const ir::Function*> seen_callees;
     for (const ir::BasicBlock& b : fn->blocks()) {
       for (const ir::PcodeOp& op : b.ops) {
+        if (op.opcode == ir::OpCode::CallInd) {
+          // Surfaced whether or not the target resolves. Without value
+          // flow, only a constant-space pointer operand resolves.
+          const ir::Function* target = nullptr;
+          if (valueflow != nullptr) {
+            target = valueflow->resolved_target(&op);
+          } else if (!op.inputs.empty() && op.inputs[0].is_constant()) {
+            const auto it = by_entry_.find(op.inputs[0].offset);
+            if (it != by_entry_.end() && !it->second->is_import())
+              target = it->second;
+          }
+          indirect_callsites_.push_back(
+              IndirectCallSite{.caller = fn, .op = &op, .target = target});
+          if (target != nullptr) {
+            ++indirect_resolved_;
+            if (valueflow != nullptr) {
+              // Devirtualized edge: undirected adjacency (distance/path)
+              // and the resolved-callsite index only — direct-call views
+              // (`callers`/`callees`) are left untouched so §IV-A's
+              // asynchrony test still sees event handlers as uncalled.
+              devirt_sites_by_callee_[target->name()].push_back(
+                  CallSite{.caller = fn, .op = &op, .arg_offset = 1});
+              undirected_[fn].push_back(target);
+              undirected_[target].push_back(fn);
+            }
+          }
+          continue;
+        }
         if (op.opcode != ir::OpCode::Call) continue;
-        const CallSite site{.caller = fn, .op = &op};
+        const CallSite site{.caller = fn, .op = &op, .arg_offset = 0};
         sites_by_callee_[op.callee].push_back(site);
         sites_by_caller_[fn].push_back(site);
 
-        const ir::Function* target = program.function(op.callee);
+        const ir::Function* target = program_.function(op.callee);
         if (target != nullptr && !target->is_import() &&
             seen_callees.insert(target).second) {
           callees_[fn].push_back(target);
@@ -44,6 +82,11 @@ CallGraph::CallGraph(const ir::Program& program) : program_(program) {
       }
     }
   }
+
+  // Callbacks whose registration operand only folds under value flow.
+  if (valueflow != nullptr)
+    for (const ir::Function* cb : valueflow->folded_event_callbacks())
+      event_registered_[cb] = true;
 
   // Undirected adjacency for distance/path queries.
   for (const auto& [fn, outs] : callees_) {
@@ -78,6 +121,21 @@ std::vector<CallSite> CallGraph::callsites_of(
     std::string_view callee_name) const {
   const auto it = sites_by_callee_.find(callee_name);
   return it == sites_by_callee_.end() ? std::vector<CallSite>{} : it->second;
+}
+
+const ir::Function* CallGraph::indirect_target(const ir::PcodeOp* op) const {
+  for (const IndirectCallSite& site : indirect_callsites_)
+    if (site.op == op) return site.target;
+  return nullptr;
+}
+
+std::vector<CallSite> CallGraph::resolved_callsites_of(
+    std::string_view callee_name) const {
+  std::vector<CallSite> out = callsites_of(callee_name);
+  const auto it = devirt_sites_by_callee_.find(callee_name);
+  if (it != devirt_sites_by_callee_.end())
+    out.insert(out.end(), it->second.begin(), it->second.end());
+  return out;
 }
 
 std::vector<CallSite> CallGraph::callsites_in(const ir::Function* fn) const {

@@ -20,15 +20,36 @@
 
 namespace firmres::analysis {
 
-/// A concrete call instruction within a function.
+class ValueFlow;
+
+/// A concrete call instruction within a function. `arg_offset` is the input
+/// index of the call's first argument: 0 for a direct Call, 1 for a
+/// devirtualized CallInd (whose inputs[0] is the function-pointer operand).
 struct CallSite {
   const ir::Function* caller = nullptr;
   const ir::PcodeOp* op = nullptr;
+  std::size_t arg_offset = 0;
+};
+
+/// A CallInd instruction, resolved or not. `target` is the devirtualized
+/// callee (nullptr when the pointer operand never folds to a function).
+struct IndirectCallSite {
+  const ir::Function* caller = nullptr;
+  const ir::PcodeOp* op = nullptr;
+  const ir::Function* target = nullptr;
 };
 
 class CallGraph {
  public:
   explicit CallGraph(const ir::Program& program);
+
+  /// Value-flow-augmented graph: CallInd sites whose pointer operand folds
+  /// to a local function become devirtualized edges in the *undirected*
+  /// adjacency (distance/path) and in `resolved_callsites_of`, and event
+  /// callbacks registered through folded (non-constant) operands extend
+  /// `is_event_registered`. `callers`/`callees`/`callsites_of` stay
+  /// direct-Call-only — §IV-A's asynchrony test keys on direct edges.
+  CallGraph(const ir::Program& program, const ValueFlow& valueflow);
 
   const ir::Program& program() const { return program_; }
 
@@ -42,6 +63,27 @@ class CallGraph {
 
   /// All direct callsites targeting `callee_name` anywhere in the program.
   std::vector<CallSite> callsites_of(std::string_view callee_name) const;
+
+  /// Direct callsites of `callee_name` plus devirtualized CallInd sites
+  /// resolved to it (value-flow constructor only; equals `callsites_of`
+  /// otherwise). Devirtualized sites carry arg_offset = 1.
+  std::vector<CallSite> resolved_callsites_of(
+      std::string_view callee_name) const;
+
+  /// Every CallInd site in the program, in function-creation/layout order,
+  /// whether or not its target was resolved. The plain constructor resolves
+  /// only constant-space pointer operands; the value-flow constructor also
+  /// folds copied/computed ones.
+  const std::vector<IndirectCallSite>& indirect_callsites() const {
+    return indirect_callsites_;
+  }
+
+  /// Devirtualization counters: total CallInd sites / sites with a target.
+  std::size_t indirect_total() const { return indirect_callsites_.size(); }
+  std::size_t indirect_resolved() const { return indirect_resolved_; }
+
+  /// Resolved target of one CallInd op; nullptr when unresolved.
+  const ir::Function* indirect_target(const ir::PcodeOp* op) const;
 
   /// All direct callsites whose caller is `fn`.
   std::vector<CallSite> callsites_in(const ir::Function* fn) const;
@@ -68,6 +110,8 @@ class CallGraph {
   const ir::Function* function_at(std::uint64_t entry_address) const;
 
  private:
+  void build(const ValueFlow* valueflow);
+
   const ir::Program& program_;
   std::map<const ir::Function*, std::vector<const ir::Function*>> callers_;
   std::map<const ir::Function*, std::vector<const ir::Function*>> callees_;
@@ -76,6 +120,11 @@ class CallGraph {
   std::map<const ir::Function*, std::vector<CallSite>> sites_by_caller_;
   std::map<std::uint64_t, const ir::Function*> by_entry_;
   std::map<const ir::Function*, bool> event_registered_;
+  std::vector<IndirectCallSite> indirect_callsites_;
+  /// Devirtualized sites per target name (value-flow constructor).
+  std::map<std::string, std::vector<CallSite>, std::less<>>
+      devirt_sites_by_callee_;
+  std::size_t indirect_resolved_ = 0;
   std::vector<const ir::Function*> empty_;
 };
 

@@ -1,0 +1,22 @@
+#include "analysis/valueflow/lattice.h"
+
+#include "support/strings.h"
+
+namespace firmres::analysis::valueflow {
+
+std::string Value::to_string() const {
+  switch (kind_) {
+    case Kind::Top:
+      return "⊤";
+    case Kind::Bottom:
+      return "⊥";
+    case Kind::Const:
+      return support::format("0x%llx",
+                             static_cast<unsigned long long>(const_));
+    case Kind::Str:
+      return "\"" + str_ + "\"";
+  }
+  return "⊥";
+}
+
+}  // namespace firmres::analysis::valueflow

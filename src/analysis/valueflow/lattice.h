@@ -1,0 +1,84 @@
+// Value lattice for the SCCP-style value-flow analysis (docs/VALUEFLOW.md).
+//
+// Four levels: ⊤ (optimistically unknown — no evidence yet), a known numeric
+// constant, known string content (byte-exact, e.g. a format string whose
+// bytes live in the DataSegment or were assembled by modelled strcpy/strcat/
+// sprintf calls), and ⊥ (overdefined — conflicting or unanalyzable defs).
+// `meet` only descends, and every chain has length ≤ 2, so any monotone
+// fixpoint over this lattice terminates.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace firmres::analysis::valueflow {
+
+class Value {
+ public:
+  enum class Kind : std::uint8_t { Top, Const, Str, Bottom };
+
+  /// Strings longer than this are widened to ⊥; bounds the lattice (strcat
+  /// in a loop must not grow values without limit).
+  static constexpr std::size_t kMaxStringLength = 512;
+
+  Value() = default;  // ⊤
+
+  static Value top() { return Value{}; }
+  static Value bottom() {
+    Value v;
+    v.kind_ = Kind::Bottom;
+    return v;
+  }
+  static Value constant(std::uint64_t c) {
+    Value v;
+    v.kind_ = Kind::Const;
+    v.const_ = c;
+    return v;
+  }
+  static Value str(std::string s) {
+    if (s.size() > kMaxStringLength) return bottom();
+    Value v;
+    v.kind_ = Kind::Str;
+    v.str_ = std::move(s);
+    return v;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_top() const { return kind_ == Kind::Top; }
+  bool is_bottom() const { return kind_ == Kind::Bottom; }
+  bool is_const() const { return kind_ == Kind::Const; }
+  bool is_str() const { return kind_ == Kind::Str; }
+  /// Known (non-⊤/⊥) value.
+  bool is_known() const { return is_const() || is_str(); }
+
+  std::uint64_t const_value() const { return const_; }
+  const std::string& str_value() const { return str_; }
+
+  /// Greatest lower bound. ⊤ is the identity; unequal known values (or a
+  /// Const against a Str) fall to ⊥.
+  static Value meet(const Value& a, const Value& b) {
+    if (a.is_top()) return b;
+    if (b.is_top()) return a;
+    if (a == b) return a;
+    return bottom();
+  }
+
+  friend bool operator==(const Value& a, const Value& b) {
+    if (a.kind_ != b.kind_) return false;
+    if (a.kind_ == Kind::Const) return a.const_ == b.const_;
+    if (a.kind_ == Kind::Str) return a.str_ == b.str_;
+    return true;
+  }
+
+  /// "⊤", "⊥", "0x2a", or "\"text\"" — diagnostics and reports.
+  std::string to_string() const;
+
+ private:
+  Kind kind_ = Kind::Top;
+  std::uint64_t const_ = 0;
+  std::string str_;
+};
+
+}  // namespace firmres::analysis::valueflow

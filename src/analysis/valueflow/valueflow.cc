@@ -1,0 +1,655 @@
+#include "analysis/valueflow/valueflow.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+#include <set>
+
+#include "ir/library.h"
+#include "support/strings.h"
+
+namespace firmres::analysis {
+
+namespace {
+
+using valueflow::Value;
+
+std::uint64_t mask_to_size(std::uint64_t v, std::uint32_t size_bytes) {
+  if (size_bytes == 0 || size_bytes >= 8) return v;
+  return v & ((std::uint64_t{1} << (size_bytes * 8)) - 1);
+}
+
+std::int64_t sign_extend(std::uint64_t v, std::uint32_t size_bytes) {
+  if (size_bytes == 0 || size_bytes >= 8) return static_cast<std::int64_t>(v);
+  const std::uint64_t sign = std::uint64_t{1} << (size_bytes * 8 - 1);
+  v = mask_to_size(v, size_bytes);
+  return static_cast<std::int64_t>((v ^ sign) - sign);
+}
+
+/// ⊥ absorbs, ⊤ propagates, and only two *known* values reach `fold`.
+template <typename F>
+Value combine2(const Value& a, const Value& b, F&& fold) {
+  if (a.is_bottom() || b.is_bottom()) return Value::bottom();
+  if (a.is_top() || b.is_top()) return Value::top();
+  return fold(a, b);
+}
+
+/// Fold a binary integer op; Str operands (or ⊥/⊤) never reach `fold`.
+template <typename F>
+Value fold_ints(const Value& a, const Value& b, F&& fold) {
+  return combine2(a, b, [&](const Value& x, const Value& y) {
+    if (!x.is_const() || !y.is_const()) return Value::bottom();
+    return fold(x.const_value(), y.const_value());
+  });
+}
+
+/// Meet `val` into the sweep's next environment: every definition of the
+/// same varnode within a function meets together (flow-insensitive).
+void weaken(std::map<ir::VarNode, Value>& next, const ir::VarNode& v,
+            const Value& val) {
+  if (v.space != ir::Space::Register && v.space != ir::Space::Unique &&
+      v.space != ir::Space::Stack)
+    return;
+  auto [it, inserted] = next.try_emplace(v, val);
+  if (!inserted) it->second = Value::meet(it->second, val);
+}
+
+}  // namespace
+
+bool ValueFlow::is_tracked(const ir::VarNode& v) {
+  return v.space == ir::Space::Register || v.space == ir::Space::Unique ||
+         v.space == ir::Space::Stack;
+}
+
+ValueFlow::ValueFlow(const ir::Program& program, support::ThreadPool* pool)
+    : ValueFlow(program, pool, Options{}) {}
+
+ValueFlow::ValueFlow(const ir::Program& program, support::ThreadPool* pool,
+                     Options options)
+    : program_(program), options_(options) {
+  run(pool);
+}
+
+Value ValueFlow::eval(const Env& env, const ir::VarNode& v) const {
+  if (v.space == ir::Space::Const) return Value::constant(v.offset);
+  if (v.space == ir::Space::Ram) {
+    const auto text = program_.data().string_at(v.offset);
+    return text.has_value() ? Value::str(std::string(*text))
+                            : Value::bottom();
+  }
+  const auto it = env.find(v);
+  return it == env.end() ? Value::top() : it->second;
+}
+
+Value ValueFlow::expand_format(const std::string& fmt,
+                               const std::vector<Value>& args) const {
+  std::string out;
+  std::size_t next_arg = 0;
+  bool any_top = false;
+  for (std::size_t i = 0; i < fmt.size(); ++i) {
+    const char c = fmt[i];
+    if (c != '%') {
+      out.push_back(c);
+      continue;
+    }
+    if (i + 1 >= fmt.size()) return Value::bottom();
+    ++i;
+    if (fmt[i] == '%') {
+      out.push_back('%');
+      continue;
+    }
+    // Width/precision/flag syntax changes the expansion — don't guess.
+    std::size_t spec = i;
+    bool has_flags = false;
+    while (spec < fmt.size() &&
+           std::strchr("0123456789-+ #.", fmt[spec]) != nullptr) {
+      has_flags = true;
+      ++spec;
+    }
+    while (spec < fmt.size() && std::strchr("hlzjt", fmt[spec]) != nullptr)
+      ++spec;
+    if (spec >= fmt.size() || has_flags) return Value::bottom();
+    const char conv = fmt[spec];
+    i = spec;
+    if (next_arg >= args.size()) return Value::bottom();
+    const Value& a = args[next_arg++];
+    if (a.is_bottom()) return Value::bottom();
+    if (a.is_top()) {
+      any_top = true;
+      continue;
+    }
+    switch (conv) {
+      case 's':
+        if (!a.is_str()) return Value::bottom();
+        out += a.str_value();
+        break;
+      case 'd':
+      case 'i':
+        if (!a.is_const()) return Value::bottom();
+        out += std::to_string(static_cast<std::int64_t>(a.const_value()));
+        break;
+      case 'u':
+        if (!a.is_const()) return Value::bottom();
+        out += std::to_string(a.const_value());
+        break;
+      case 'x':
+        if (!a.is_const()) return Value::bottom();
+        out += support::format(
+            "%llx", static_cast<unsigned long long>(a.const_value()));
+        break;
+      case 'X':
+        if (!a.is_const()) return Value::bottom();
+        out += support::format(
+            "%llX", static_cast<unsigned long long>(a.const_value()));
+        break;
+      case 'c':
+        if (!a.is_const()) return Value::bottom();
+        out.push_back(static_cast<char>(a.const_value() & 0xff));
+        break;
+      default:
+        return Value::bottom();
+    }
+  }
+  if (any_top) return Value::top();
+  return Value::str(std::move(out));
+}
+
+Value ValueFlow::transfer_call(const ir::PcodeOp& op, const Env& env,
+                               Env& next, const Snapshot& snapshot) const {
+  const bool indirect = op.opcode == ir::OpCode::CallInd;
+  const std::size_t arg_base = indirect ? 1 : 0;
+  const auto arg_var = [&](std::size_t i) -> const ir::VarNode* {
+    const std::size_t k = arg_base + i;
+    return k < op.inputs.size() ? &op.inputs[k] : nullptr;
+  };
+  const auto arg = [&](std::size_t i) -> Value {
+    const ir::VarNode* v = arg_var(i);
+    return v != nullptr ? eval(env, *v) : Value::bottom();
+  };
+  const auto bottom_stack_args = [&] {
+    for (std::size_t k = arg_base; k < op.inputs.size(); ++k)
+      if (op.inputs[k].space == ir::Space::Stack)
+        weaken(next, op.inputs[k], Value::bottom());
+  };
+
+  const ir::Function* callee = nullptr;
+  if (indirect) {
+    const auto it = snapshot.resolved.find(&op);
+    callee = it != snapshot.resolved.end() ? it->second : nullptr;
+    if (callee == nullptr) {
+      bottom_stack_args();
+      return Value::bottom();
+    }
+  } else {
+    callee = program_.function(op.callee);
+  }
+
+  if (callee != nullptr && !callee->is_import()) {
+    // Local call: the return summary is known, but the callee may write
+    // through pointer arguments — stack-space actuals become unknown.
+    bottom_stack_args();
+    const auto li = local_index_.find(callee);
+    return li != local_index_.end() ? snapshot.summaries[li->second].ret
+                                    : Value::bottom();
+  }
+
+  const ir::LibFunction* lib = ir::LibraryModel::instance().find(op.callee);
+  if (lib == nullptr) {
+    bottom_stack_args();
+    return Value::bottom();
+  }
+
+  if (lib->kind == ir::LibKind::StringOp) {
+    const std::string& n = lib->name;
+    if (n == "strcpy" || n == "strncpy" || n == "memcpy") {
+      if (const ir::VarNode* dst = arg_var(0)) weaken(next, *dst, arg(1));
+      return Value::bottom();
+    }
+    if (n == "strcat" || n == "strncat") {
+      if (const ir::VarNode* dst = arg_var(0)) {
+        const Value cat =
+            combine2(eval(env, *dst), arg(1), [](const Value& a,
+                                                 const Value& b) {
+              if (!a.is_str() || !b.is_str()) return Value::bottom();
+              return Value::str(a.str_value() + b.str_value());
+            });
+        weaken(next, *dst, cat);
+      }
+      return Value::bottom();
+    }
+    if (n == "sprintf" || n == "snprintf") {
+      const std::size_t fmt_i = n == "snprintf" ? 2 : 1;
+      const Value fv = arg(fmt_i);
+      std::vector<Value> vals;
+      for (std::size_t k = fmt_i + 1; arg_base + k < op.inputs.size(); ++k)
+        vals.push_back(arg(k));
+      Value result = Value::bottom();
+      if (fv.is_str())
+        result = expand_format(fv.str_value(), vals);
+      else if (fv.is_top())
+        result = Value::top();
+      if (const ir::VarNode* dst = arg_var(0)) weaken(next, *dst, result);
+      return Value::bottom();  // returns the character count
+    }
+    if (n == "strdup") return arg(0);
+    if (n == "atoi" || n == "atol") {
+      const Value a = arg(0);
+      if (a.is_top()) return Value::top();
+      if (!a.is_str()) return Value::bottom();
+      return Value::constant(static_cast<std::uint64_t>(
+          std::strtoll(a.str_value().c_str(), nullptr, 10)));
+    }
+    // Remaining string helpers (strlen, strcmp, strstr, strtok, …): only
+    // a summary-declared destination argument loses its value.
+    if (lib->summary.dst >= 0) {
+      if (const ir::VarNode* dst =
+              arg_var(static_cast<std::size_t>(lib->summary.dst)))
+        weaken(next, *dst, Value::bottom());
+    }
+    return Value::bottom();
+  }
+
+  // Modelled non-string library call: trust the summary — only declared
+  // output arguments (and receive buffers) are clobbered.
+  if (lib->summary.dst >= 0) {
+    if (const ir::VarNode* dst =
+            arg_var(static_cast<std::size_t>(lib->summary.dst)))
+      weaken(next, *dst, Value::bottom());
+  }
+  if (lib->recv_buf_arg >= 0) {
+    if (const ir::VarNode* buf =
+            arg_var(static_cast<std::size_t>(lib->recv_buf_arg)))
+      weaken(next, *buf, Value::bottom());
+  }
+  return Value::bottom();
+}
+
+ValueFlow::Env ValueFlow::solve_function(const ir::Function& fn,
+                                         const FnSummary& boundary,
+                                         const Snapshot& snapshot) const {
+  Env base;
+  const std::vector<ir::VarNode>& params = fn.params();
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    if (!is_tracked(params[i])) continue;
+    base[params[i]] = i < boundary.params.size() ? boundary.params[i]
+                                                 : Value::bottom();
+  }
+  const std::vector<const ir::PcodeOp*> ops = fn.ops_in_order();
+
+  Env env = base;
+  for (int sweep = 0; sweep < options_.max_sweeps; ++sweep) {
+    Env next = base;
+    for (const ir::PcodeOp* op : ops) {
+      // Out-of-range operands (malformed programs — this engine also runs
+      // inside the verifier) evaluate to ⊥ rather than crashing.
+      const auto in = [&](std::size_t i) {
+        return i < op->inputs.size() ? eval(env, op->inputs[i])
+                                     : Value::bottom();
+      };
+      Value out = Value::bottom();
+      switch (op->opcode) {
+        case ir::OpCode::Copy:
+        case ir::OpCode::Cast:
+          out = in(0);
+          break;
+        case ir::OpCode::Load:
+          out = Value::bottom();
+          break;
+        case ir::OpCode::Store:
+          // The pointed-to storage is overwritten with an unknown layout.
+          if (!op->inputs.empty())
+            weaken(next, op->inputs[0], Value::bottom());
+          continue;
+        case ir::OpCode::Piece:
+          out = combine2(in(0), in(1), [&](const Value& hi, const Value& lo) {
+            if (hi.is_str() && lo.is_str())
+              return Value::str(hi.str_value() + lo.str_value());
+            if (hi.is_const() && lo.is_const()) {
+              const std::uint32_t lo_bytes = op->inputs[1].size;
+              const std::uint64_t shifted =
+                  lo_bytes >= 8 ? 0 : hi.const_value() << (lo_bytes * 8);
+              return Value::constant(mask_to_size(
+                  shifted | mask_to_size(lo.const_value(), lo_bytes),
+                  op->output.has_value() ? op->output->size : 8));
+            }
+            return Value::bottom();
+          });
+          break;
+        case ir::OpCode::SubPiece:
+          out = combine2(in(0), in(1), [&](const Value& a, const Value& k) {
+            if (!k.is_const()) return Value::bottom();
+            const std::uint64_t drop = k.const_value();
+            if (a.is_str())
+              return Value::str(a.str_value().substr(
+                  std::min<std::size_t>(drop, a.str_value().size())));
+            if (a.is_const()) {
+              const std::uint64_t shifted =
+                  drop >= 8 ? 0 : a.const_value() >> (drop * 8);
+              return Value::constant(mask_to_size(
+                  shifted, op->output.has_value() ? op->output->size : 8));
+            }
+            return Value::bottom();
+          });
+          break;
+        case ir::OpCode::PtrAdd:
+          out = combine2(in(0), in(1), [&](const Value& a, const Value& b) {
+            if (!b.is_const()) return Value::bottom();
+            if (a.is_str())
+              return Value::str(a.str_value().substr(std::min<std::size_t>(
+                  b.const_value(), a.str_value().size())));
+            if (a.is_const())
+              return Value::constant(a.const_value() + b.const_value());
+            return Value::bottom();
+          });
+          break;
+        case ir::OpCode::PtrSub:
+          out = fold_ints(in(0), in(1), [](std::uint64_t a, std::uint64_t b) {
+            return Value::constant(a - b);
+          });
+          break;
+        case ir::OpCode::IntAdd:
+        case ir::OpCode::IntSub:
+        case ir::OpCode::IntMult:
+        case ir::OpCode::IntDiv:
+        case ir::OpCode::IntAnd:
+        case ir::OpCode::IntOr:
+        case ir::OpCode::IntXor:
+        case ir::OpCode::IntLeft:
+        case ir::OpCode::IntRight: {
+          const std::uint32_t out_size =
+              op->output.has_value() ? op->output->size : 8;
+          out = fold_ints(in(0), in(1), [&](std::uint64_t a, std::uint64_t b)
+                                            -> Value {
+            std::uint64_t r = 0;
+            switch (op->opcode) {
+              case ir::OpCode::IntAdd: r = a + b; break;
+              case ir::OpCode::IntSub: r = a - b; break;
+              case ir::OpCode::IntMult: r = a * b; break;
+              case ir::OpCode::IntDiv:
+                if (b == 0) return Value::bottom();
+                r = a / b;
+                break;
+              case ir::OpCode::IntAnd: r = a & b; break;
+              case ir::OpCode::IntOr: r = a | b; break;
+              case ir::OpCode::IntXor: r = a ^ b; break;
+              case ir::OpCode::IntLeft: r = b >= 64 ? 0 : a << b; break;
+              case ir::OpCode::IntRight: r = b >= 64 ? 0 : a >> b; break;
+              default: return Value::bottom();
+            }
+            return Value::constant(mask_to_size(r, out_size));
+          });
+          break;
+        }
+        case ir::OpCode::IntNegate: {
+          const Value a = in(0);
+          if (a.is_bottom())
+            out = Value::bottom();
+          else if (a.is_top())
+            out = Value::top();
+          else if (a.is_const())
+            out = Value::constant(mask_to_size(
+                ~a.const_value(),
+                op->output.has_value() ? op->output->size : 8));
+          else
+            out = Value::bottom();
+          break;
+        }
+        case ir::OpCode::IntEqual:
+        case ir::OpCode::IntNotEqual:
+        case ir::OpCode::IntLess:
+        case ir::OpCode::IntSLess:
+        case ir::OpCode::IntLessEqual: {
+          const std::uint32_t sz =
+              op->inputs.empty() ? 8 : op->inputs[0].size;
+          out = fold_ints(in(0), in(1), [&](std::uint64_t a, std::uint64_t b) {
+            const std::uint64_t ua = mask_to_size(a, sz);
+            const std::uint64_t ub = mask_to_size(b, sz);
+            bool r = false;
+            switch (op->opcode) {
+              case ir::OpCode::IntEqual: r = ua == ub; break;
+              case ir::OpCode::IntNotEqual: r = ua != ub; break;
+              case ir::OpCode::IntLess: r = ua < ub; break;
+              case ir::OpCode::IntSLess:
+                r = sign_extend(a, sz) < sign_extend(b, sz);
+                break;
+              case ir::OpCode::IntLessEqual: r = ua <= ub; break;
+              default: break;
+            }
+            return Value::constant(r ? 1 : 0);
+          });
+          break;
+        }
+        case ir::OpCode::BoolAnd:
+        case ir::OpCode::BoolOr:
+          out = fold_ints(in(0), in(1), [&](std::uint64_t a, std::uint64_t b) {
+            const bool r = op->opcode == ir::OpCode::BoolAnd
+                               ? (a != 0 && b != 0)
+                               : (a != 0 || b != 0);
+            return Value::constant(r ? 1 : 0);
+          });
+          break;
+        case ir::OpCode::BoolNegate: {
+          const Value a = in(0);
+          if (a.is_top())
+            out = Value::top();
+          else if (a.is_const())
+            out = Value::constant(a.const_value() == 0 ? 1 : 0);
+          else
+            out = Value::bottom();
+          break;
+        }
+        case ir::OpCode::Call:
+        case ir::OpCode::CallInd:
+          out = transfer_call(*op, env, next, snapshot);
+          break;
+        case ir::OpCode::Branch:
+        case ir::OpCode::CBranch:
+        case ir::OpCode::BranchInd:
+        case ir::OpCode::Return:
+          continue;
+      }
+      if (op->output.has_value()) weaken(next, *op->output, out);
+    }
+    if (next == env) break;
+    env = std::move(next);
+  }
+  return env;
+}
+
+void ValueFlow::run(support::ThreadPool* pool) {
+  const ir::LibraryModel& lib = ir::LibraryModel::instance();
+
+  for (const ir::Function* fn : program_.functions()) {
+    if (fn->is_import()) continue;
+    local_index_[fn] = locals_.size();
+    locals_.push_back(fn);
+    by_entry_[fn->entry_address()] = fn;
+  }
+  for (const ir::Function* fn : locals_) {
+    for (const ir::PcodeOp* op : fn->ops_in_order()) {
+      op_owner_[op] = fn;
+      if (op->opcode == ir::OpCode::Call && !op->callee.empty())
+        direct_sites_[op->callee].push_back(op);
+    }
+  }
+
+  // Functions registered as callbacks through a *constant* operand — the
+  // plain CallGraph sees these too; their parameters come from the event
+  // loop, not any visible callsite.
+  std::set<const ir::Function*> const_registered;
+  for (const ir::Function* fn : locals_) {
+    for (const ir::PcodeOp* op : fn->ops_in_order()) {
+      if (op->opcode != ir::OpCode::Call) continue;
+      const ir::LibFunction* f = lib.find(op->callee);
+      if (f == nullptr || f->kind != ir::LibKind::EventReg ||
+          f->callback_arg < 0)
+        continue;
+      const auto ca = static_cast<std::size_t>(f->callback_arg);
+      if (ca >= op->inputs.size() || !op->inputs[ca].is_constant()) continue;
+      const auto it = by_entry_.find(op->inputs[ca].offset);
+      if (it != by_entry_.end()) const_registered.insert(it->second);
+    }
+  }
+  entry_bottom_.assign(locals_.size(), false);
+  for (std::size_t i = 0; i < locals_.size(); ++i)
+    entry_bottom_[i] = const_registered.count(locals_[i]) > 0;
+
+  summaries_.resize(locals_.size());
+  for (std::size_t i = 0; i < locals_.size(); ++i) {
+    const bool ebot =
+        entry_bottom_[i] ||
+        direct_sites_.find(locals_[i]->name()) == direct_sites_.end();
+    summaries_[i].params.assign(
+        locals_[i]->params().size(),
+        ebot ? Value::bottom() : Value::top());
+    summaries_[i].ret = Value::top();
+  }
+  envs_.resize(locals_.size());
+
+  std::vector<const ir::Function*> folded;
+  for (int round = 1; round <= options_.max_rounds; ++round) {
+    stats_.rounds = round;
+    const Snapshot snapshot{summaries_, resolved_};
+
+    const auto solve = [&](std::size_t i) {
+      envs_[i] =
+          solve_function(*locals_[i], snapshot.summaries[i], snapshot);
+    };
+    if (pool != nullptr)
+      support::parallel_for(*pool, locals_.size(), solve);
+    else
+      for (std::size_t i = 0; i < locals_.size(); ++i) solve(i);
+
+    // Sequential merge, creation/layout order: first re-resolve indirect
+    // targets and fold event registrations from the fresh environments …
+    std::map<const ir::PcodeOp*, const ir::Function*> new_resolved;
+    std::vector<const ir::Function*> new_folded;
+    std::set<const ir::Function*> new_folded_set;
+    std::map<const ir::Function*, std::vector<const ir::PcodeOp*>>
+        indirect_by_target;
+    for (std::size_t i = 0; i < locals_.size(); ++i) {
+      for (const ir::PcodeOp* op : locals_[i]->ops_in_order()) {
+        if (op->opcode == ir::OpCode::CallInd && !op->inputs.empty()) {
+          const Value t = eval(envs_[i], op->inputs[0]);
+          if (!t.is_const()) continue;
+          const auto e = by_entry_.find(t.const_value());
+          if (e == by_entry_.end()) continue;
+          new_resolved[op] = e->second;
+          indirect_by_target[e->second].push_back(op);
+        } else if (op->opcode == ir::OpCode::Call) {
+          const ir::LibFunction* f = lib.find(op->callee);
+          if (f == nullptr || f->kind != ir::LibKind::EventReg ||
+              f->callback_arg < 0)
+            continue;
+          const auto ca = static_cast<std::size_t>(f->callback_arg);
+          if (ca >= op->inputs.size() || op->inputs[ca].is_constant())
+            continue;  // constant registrations are the CallGraph's job
+          const Value t = eval(envs_[i], op->inputs[ca]);
+          if (!t.is_const()) continue;
+          const auto e = by_entry_.find(t.const_value());
+          if (e == by_entry_.end()) continue;
+          if (new_folded_set.insert(e->second).second)
+            new_folded.push_back(e->second);
+        }
+      }
+    }
+
+    // … then recompute every function's boundary summary against the new
+    // resolution. Meet is commutative/associative, so accumulation order
+    // does not affect the result.
+    std::vector<FnSummary> new_summaries(locals_.size());
+    for (std::size_t i = 0; i < locals_.size(); ++i) {
+      const ir::Function* fn = locals_[i];
+      const std::size_t np = fn->params().size();
+      FnSummary s;
+      s.params.assign(np, Value::top());
+      std::size_t sites = 0;
+      const auto fold_site = [&](const ir::PcodeOp* op,
+                                 std::size_t arg_base) {
+        ++sites;
+        const Env& caller_env = envs_[local_index_.at(op_owner_.at(op))];
+        for (std::size_t p = 0; p < np; ++p) {
+          const std::size_t k = arg_base + p;
+          const Value a = k < op->inputs.size()
+                              ? eval(caller_env, op->inputs[k])
+                              : Value::bottom();
+          s.params[p] = Value::meet(s.params[p], a);
+        }
+      };
+      if (const auto dit = direct_sites_.find(fn->name());
+          dit != direct_sites_.end())
+        for (const ir::PcodeOp* op : dit->second) fold_site(op, 0);
+      if (const auto iit = indirect_by_target.find(fn);
+          iit != indirect_by_target.end())
+        for (const ir::PcodeOp* op : iit->second) fold_site(op, 1);
+      if (sites == 0 || entry_bottom_[i] || new_folded_set.count(fn) > 0)
+        s.params.assign(np, Value::bottom());
+
+      s.ret = Value::top();
+      bool has_return = false;
+      for (const ir::PcodeOp* op : fn->ops_in_order()) {
+        if (op->opcode != ir::OpCode::Return) continue;
+        has_return = true;
+        s.ret = Value::meet(s.ret, op->inputs.empty()
+                                       ? Value::bottom()
+                                       : eval(envs_[i], op->inputs[0]));
+      }
+      if (!has_return) s.ret = Value::bottom();
+      new_summaries[i] = std::move(s);
+    }
+
+    const bool stable = new_resolved == resolved_ &&
+                        new_summaries == summaries_ && new_folded == folded;
+    resolved_ = std::move(new_resolved);
+    summaries_ = std::move(new_summaries);
+    folded = std::move(new_folded);
+    if (stable) break;
+  }
+
+  folded_event_callbacks_ = std::move(folded);
+  for (std::size_t i = 0; i < locals_.size(); ++i) {
+    for (const ir::PcodeOp* op : locals_[i]->ops_in_order()) {
+      if (op->opcode != ir::OpCode::CallInd) continue;
+      const auto it = resolved_.find(op);
+      indirect_sites_.push_back(IndirectSite{
+          locals_[i], op, it != resolved_.end() ? it->second : nullptr});
+      ++stats_.indirect_total;
+      if (it != resolved_.end()) ++stats_.indirect_resolved;
+    }
+    for (const auto& [var, val] : envs_[i])
+      if (val.is_known()) ++stats_.folded_constants;
+  }
+}
+
+Value ValueFlow::value_of(const ir::Function* fn,
+                          const ir::VarNode& v) const {
+  if (v.space == ir::Space::Const || v.space == ir::Space::Ram) {
+    static const Env kEmpty;
+    return eval(kEmpty, v);
+  }
+  const auto it = local_index_.find(fn);
+  if (it == local_index_.end()) return Value::bottom();
+  return eval(envs_[it->second], v);
+}
+
+std::optional<std::uint64_t> ValueFlow::constant_of(
+    const ir::Function* fn, const ir::VarNode& v) const {
+  const Value val = value_of(fn, v);
+  if (!val.is_const()) return std::nullopt;
+  return val.const_value();
+}
+
+std::optional<std::string> ValueFlow::string_of(const ir::Function* fn,
+                                                const ir::VarNode& v) const {
+  const Value val = value_of(fn, v);
+  if (!val.is_str()) return std::nullopt;
+  return val.str_value();
+}
+
+const ir::Function* ValueFlow::resolved_target(const ir::PcodeOp* op) const {
+  const auto it = resolved_.find(op);
+  return it == resolved_.end() ? nullptr : it->second;
+}
+
+}  // namespace firmres::analysis

@@ -1,0 +1,151 @@
+// Interprocedural constant- and string-content propagation (SCCP-style).
+//
+// FIRMRES's call graph, taint, and slice phases all assume they can see
+// through `CallInd` and non-literal sprintf formats; this pass supplies the
+// missing facts. Per function it runs a flow-insensitive fixpoint over the
+// valueflow::Value lattice (docs/VALUEFLOW.md), transferring values through
+// Copy/Cast/Piece/SubPiece/PtrAdd/integer arithmetic and the LibraryModel
+// string summaries (strcpy/strcat/sprintf/snprintf). Interprocedurally it
+// iterates rounds of
+//
+//   snapshot (summaries + resolved indirect targets)
+//     -> parallel per-function local solves (support::parallel_for)
+//     -> sequential, creation-order recomputation of indirect-call
+//        resolution, event-callback folding, and function summaries
+//
+// until stable (or a round cap). Every merge step is a pure function of the
+// snapshot taken sequentially, so results are byte-identical at any thread
+// count — the same jobs-invariance contract the verifier gives.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/valueflow/lattice.h"
+#include "ir/program.h"
+#include "support/thread_pool.h"
+
+namespace firmres::analysis {
+
+class ValueFlow {
+ public:
+  struct Options {
+    /// Interprocedural round cap. Rounds normally stabilize in 2–4; the cap
+    /// guards the (non-monotone) resolution feedback loop.
+    int max_rounds = 16;
+    /// Per-function Jacobi sweep cap. The lattice has chains of length <= 2,
+    /// so local solves converge far earlier in practice.
+    int max_sweeps = 8;
+  };
+
+  /// One CallInd site; `target` is the devirtualized callee, or nullptr when
+  /// the function-pointer operand does not fold to a local function entry.
+  struct IndirectSite {
+    const ir::Function* caller = nullptr;
+    const ir::PcodeOp* op = nullptr;
+    const ir::Function* target = nullptr;
+  };
+
+  struct Stats {
+    std::size_t indirect_total = 0;     ///< CallInd sites in local functions
+    std::size_t indirect_resolved = 0;  ///< ... with a folded target
+    std::size_t folded_constants = 0;   ///< varnodes with a known value
+    int rounds = 0;                     ///< interprocedural rounds run
+  };
+
+  /// Runs the analysis to fixpoint. `pool` parallelizes the per-function
+  /// solves; nullptr runs them inline (identical results by construction).
+  explicit ValueFlow(const ir::Program& program,
+                     support::ThreadPool* pool = nullptr);
+  ValueFlow(const ir::Program& program, support::ThreadPool* pool,
+            Options options);
+
+  const ir::Program& program() const { return program_; }
+
+  /// Final lattice value of `v` evaluated in `fn`'s solved environment.
+  /// Const-space varnodes fold to their offset and Ram-space varnodes to
+  /// their data-segment string content regardless of `fn`.
+  valueflow::Value value_of(const ir::Function* fn,
+                            const ir::VarNode& v) const;
+
+  /// `value_of` narrowed to a numeric constant / string content.
+  std::optional<std::uint64_t> constant_of(const ir::Function* fn,
+                                           const ir::VarNode& v) const;
+  std::optional<std::string> string_of(const ir::Function* fn,
+                                       const ir::VarNode& v) const;
+
+  /// Devirtualized target of a CallInd op; nullptr when unresolved (or the
+  /// op is not an indexed CallInd).
+  const ir::Function* resolved_target(const ir::PcodeOp* op) const;
+
+  /// Every CallInd site in layout order (function creation order, then op
+  /// layout order) — resolved or not.
+  const std::vector<IndirectSite>& indirect_sites() const {
+    return indirect_sites_;
+  }
+
+  /// Local functions whose entry address reaches an EventReg callback
+  /// argument only after folding (i.e. via a non-constant operand the plain
+  /// CallGraph cannot see). Deduplicated, first-registration order.
+  const std::vector<const ir::Function*>& folded_event_callbacks() const {
+    return folded_event_callbacks_;
+  }
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  using Env = std::map<ir::VarNode, valueflow::Value>;
+
+  /// Per-function boundary summary: meet of incoming actuals per parameter
+  /// slot, and the meet of all returned values.
+  struct FnSummary {
+    std::vector<valueflow::Value> params;
+    valueflow::Value ret = valueflow::Value::bottom();
+
+    friend bool operator==(const FnSummary&, const FnSummary&) = default;
+  };
+
+  struct Snapshot {
+    std::vector<FnSummary> summaries;  ///< indexed like locals_
+    std::map<const ir::PcodeOp*, const ir::Function*> resolved;
+  };
+
+  valueflow::Value eval(const Env& env, const ir::VarNode& v) const;
+  static bool is_tracked(const ir::VarNode& v);
+
+  Env solve_function(const ir::Function& fn, const FnSummary& boundary,
+                     const Snapshot& snapshot) const;
+  valueflow::Value transfer_call(const ir::PcodeOp& op, const Env& env,
+                                 Env& next, const Snapshot& snapshot) const;
+  valueflow::Value expand_format(const std::string& fmt,
+                                 const std::vector<valueflow::Value>& args)
+      const;
+
+  void run(support::ThreadPool* pool);
+
+  const ir::Program& program_;
+  Options options_;
+
+  std::vector<const ir::Function*> locals_;  ///< creation order
+  std::map<const ir::Function*, std::size_t> local_index_;
+  std::map<std::uint64_t, const ir::Function*> by_entry_;
+  /// Direct Call sites per callee name (layout order).
+  std::map<std::string, std::vector<const ir::PcodeOp*>, std::less<>>
+      direct_sites_;
+  std::map<const ir::PcodeOp*, const ir::Function*> op_owner_;
+  /// Functions whose parameters enter as ⊥: no direct callsite, or
+  /// registered as an event callback (called with unknown arguments).
+  std::vector<bool> entry_bottom_;
+
+  std::vector<Env> envs_;            ///< indexed like locals_
+  std::vector<FnSummary> summaries_;
+  std::map<const ir::PcodeOp*, const ir::Function*> resolved_;
+  std::vector<IndirectSite> indirect_sites_;
+  std::vector<const ir::Function*> folded_event_callbacks_;
+  Stats stats_;
+};
+
+}  // namespace firmres::analysis

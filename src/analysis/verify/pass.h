@@ -83,5 +83,6 @@ std::unique_ptr<Pass> make_structure_pass();
 std::unique_ptr<Pass> make_cfg_pass();
 std::unique_ptr<Pass> make_dataflow_pass();
 std::unique_ptr<Pass> make_callgraph_pass();
+std::unique_ptr<Pass> make_valueflow_pass();
 
 }  // namespace firmres::analysis::verify

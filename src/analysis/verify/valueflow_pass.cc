@@ -1,0 +1,100 @@
+// Value-flow lints: unresolved indirect calls and constants that fold to
+// LAN destinations.
+//
+// Runs the interprocedural value-flow engine (docs/VALUEFLOW.md) once per
+// program and reports:
+//   - `unresolved-indirect-call` (warning): a CallInd whose function-pointer
+//     operand never folds to a local function entry — §IV-A identification
+//     and §IV-B taint walks stop dead at such a site. Constant-space
+//     operands are skipped: the callgraph pass already errors on those.
+//   - `constant-folds-to-lan-address` (note): a non-literal message operand
+//     of a send/deliver call whose folded string content names a LAN
+//     destination. §IV-D discards such messages late; the note surfaces the
+//     fold early. A note, not a warning: synthesized firmware legitimately
+//     reports to LAN peers, and the lint gate runs --werror.
+#include "analysis/valueflow/valueflow.h"
+#include "analysis/verify/pass.h"
+#include "ir/library.h"
+#include "support/strings.h"
+
+namespace firmres::analysis::verify {
+
+namespace {
+
+/// (block id, op index) of `op` within `fn`; {-1, -1} when absent.
+std::pair<int, int> locate(const ir::Function& fn, const ir::PcodeOp* op) {
+  for (const ir::BasicBlock& b : fn.blocks())
+    for (std::size_t oi = 0; oi < b.ops.size(); ++oi)
+      if (&b.ops[oi] == op) return {b.id, static_cast<int>(oi)};
+  return {-1, -1};
+}
+
+class ValueFlowPass final : public Pass {
+ public:
+  const char* name() const override { return "valueflow"; }
+
+  void check_function(const PassContext& ctx, const ir::Function& fn,
+                      DiagnosticSink& sink) const override {
+    (void)ctx;
+    (void)fn;
+    (void)sink;  // whole-program analysis; see check_program
+  }
+
+  void check_program(const PassContext& ctx,
+                     DiagnosticSink& sink) const override {
+    const ValueFlow vf(ctx.program);
+
+    for (const ValueFlow::IndirectSite& site : vf.indirect_sites()) {
+      if (site.target != nullptr) continue;
+      if (!site.op->inputs.empty() &&
+          site.op->inputs[0].space == ir::Space::Const)
+        continue;  // callgraph pass errors on dangling const targets
+      const auto [block, oi] = locate(*site.caller, site.op);
+      sink.warning(*site.caller, block, oi,
+                   "unresolved-indirect-call: function-pointer operand does "
+                   "not fold to a function entry; the call graph and taint "
+                   "walks stop here");
+    }
+
+    const ir::LibraryModel& lib = ir::LibraryModel::instance();
+    for (const ir::Function* fn : ctx.program.local_functions()) {
+      for (const ir::BasicBlock& b : fn->blocks()) {
+        for (std::size_t oi = 0; oi < b.ops.size(); ++oi) {
+          const ir::PcodeOp& op = b.ops[oi];
+          if (op.opcode != ir::OpCode::Call) continue;
+          const ir::LibFunction* libfn = lib.find(op.callee);
+          if (libfn == nullptr || (libfn->kind != ir::LibKind::SendFn &&
+                                   libfn->kind != ir::LibKind::MsgDeliver))
+            continue;
+          for (const int arg : libfn->msg_args) {
+            if (arg < 0 ||
+                static_cast<std::size_t>(arg) >= op.inputs.size())
+              continue;
+            const ir::VarNode& v = op.inputs[static_cast<std::size_t>(arg)];
+            // Literal operands are visible without folding; the interesting
+            // case is content assembled through copies/sprintf.
+            if (v.space == ir::Space::Const || v.space == ir::Space::Ram)
+              continue;
+            const auto text = vf.string_of(fn, v);
+            if (!text.has_value() || !support::is_lan_address(*text))
+              continue;
+            sink.note(*fn, b.id, static_cast<int>(oi),
+                      support::format(
+                          "constant-folds-to-lan-address: '%s' operand %d "
+                          "folds to \"%s\", a LAN destination (§IV-D "
+                          "discards this message)",
+                          op.callee.c_str(), arg, text->c_str()));
+          }
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> make_valueflow_pass() {
+  return std::make_unique<ValueFlowPass>();
+}
+
+}  // namespace firmres::analysis::verify

@@ -12,6 +12,7 @@ Verifier::Verifier(Options options) : options_(options) {
   if (options_.cfg) passes_.push_back(make_cfg_pass());
   if (options_.dataflow) passes_.push_back(make_dataflow_pass());
   if (options_.call_graph) passes_.push_back(make_callgraph_pass());
+  if (options_.value_flow) passes_.push_back(make_valueflow_pass());
 }
 
 LintReport Verifier::run(const ir::Program& program,

@@ -35,6 +35,7 @@ class Verifier {
     bool cfg = true;         ///< reachability / termination diagnostics
     bool dataflow = true;    ///< use-before-def, dead temps, format strings
     bool call_graph = true;  ///< dangling targets, asynchrony violations
+    bool value_flow = true;  ///< unresolved CallInd, LAN-constant folds
   };
 
   Verifier() : Verifier(Options{}) {}

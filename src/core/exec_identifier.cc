@@ -6,6 +6,7 @@
 
 #include "analysis/forward_taint.h"
 #include "analysis/predicates.h"
+#include "analysis/valueflow/valueflow.h"
 #include "ir/library.h"
 
 namespace firmres::core {
@@ -62,6 +63,11 @@ std::vector<ir::VarNode> recv_seeds(const CallSite& site) {
 
 ExecIdentification ExecutableIdentifier::analyze(
     const ir::Program& program) const {
+  if (options_.devirtualize) {
+    const analysis::ValueFlow vf(program);
+    const CallGraph cg(program, vf);
+    return analyze(program, cg);
+  }
   const CallGraph cg(program);
   return analyze(program, cg);
 }

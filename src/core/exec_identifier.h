@@ -59,6 +59,12 @@ class ExecutableIdentifier {
     /// Disable P_f scoring and accept any recv/send pair (ablation bench:
     /// the naive "has recv+send" heuristic).
     bool use_pf_scoring = true;
+    /// Build the call graph with value-flow devirtualization, so anchor
+    /// pairs connected only through resolved CallInd edges are still found
+    /// (docs/VALUEFLOW.md). Off = direct-call edges only (ablation bench).
+    /// Only affects the analyze(program) overload; the overload taking a
+    /// prebuilt CallGraph uses whatever graph it is given.
+    bool devirtualize = true;
   };
 
   ExecutableIdentifier() : options_() {}

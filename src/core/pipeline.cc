@@ -1,7 +1,9 @@
 #include "core/pipeline.h"
 
 #include <chrono>
+#include <memory>
 
+#include "analysis/valueflow/valueflow.h"
 #include "analysis/verify/verifier.h"
 #include "core/taint.h"
 #include "support/logging.h"
@@ -100,26 +102,38 @@ DeviceAnalysis Pipeline::analyze(const fw::FirmwareImage& image,
   // --- Phase 2: message-field identification via backward taint (§IV-B) ----
   // Each device-cloud program's MFTs are independent; with a pool they are
   // built concurrently, then concatenated in program order so the result is
-  // identical to the sequential loop.
-  std::vector<Mft> mfts;
+  // identical to the sequential loop. The per-program value-flow solution
+  // devirtualizes CallInd edges for the taint walks and stays alive through
+  // Phases 3/4 so slice generation can recover non-literal format operands.
+  struct ProgramWork {
+    std::unique_ptr<analysis::ValueFlow> valueflow;
+    std::vector<Mft> mfts;
+  };
+  std::vector<ProgramWork> per_program(device_cloud.size());
   {
     PhaseTimer timer(out.timings.fields_s);
-    const auto build_program = [&](const ir::Program& program) {
-      const analysis::CallGraph cg(program);
+    const auto build_program = [&](std::size_t i, support::ThreadPool* vp) {
+      const ir::Program& program = *device_cloud[i];
+      auto vf = std::make_unique<analysis::ValueFlow>(program, vp);
+      const analysis::CallGraph cg(program, *vf);
       const MftBuilder builder(program, cg, options_.taint);
-      return builder.build_all();
+      per_program[i].mfts = builder.build_all();
+      per_program[i].valueflow = std::move(vf);
     };
-    std::vector<std::vector<Mft>> per_program(device_cloud.size());
     if (pool != nullptr && device_cloud.size() > 1) {
-      support::parallel_for(*pool, device_cloud.size(), [&](std::size_t i) {
-        per_program[i] = build_program(*device_cloud[i]);
-      });
+      // Workers solve their program's value flow sequentially — the outer
+      // fan-out already saturates the pool.
+      support::parallel_for(*pool, device_cloud.size(),
+                            [&](std::size_t i) { build_program(i, nullptr); });
     } else {
       for (std::size_t i = 0; i < device_cloud.size(); ++i)
-        per_program[i] = build_program(*device_cloud[i]);
+        build_program(i, pool);
     }
-    for (std::vector<Mft>& built : per_program)
-      for (Mft& mft : built) mfts.push_back(std::move(mft));
+    for (const ProgramWork& work : per_program) {
+      const analysis::ValueFlow::Stats stats = work.valueflow->stats();
+      out.indirect_calls_total += stats.indirect_total;
+      out.indirect_calls_resolved += stats.indirect_resolved;
+    }
   }
 
   // --- Phases 3+4: semantics recovery & field concatenation (§IV-C/D) ------
@@ -128,18 +142,23 @@ DeviceAnalysis Pipeline::analyze(const fw::FirmwareImage& image,
   // below. Classification dominates, so time it directly per message.
   {
     const Reconstructor reconstructor(model_);
-    for (const Mft& mft : mfts) {
-      std::optional<ReconstructedMessage> msg;
-      {
-        PhaseTimer timer(out.timings.semantics_s);
-        msg = reconstructor.reconstruct_one(mft,
-                                            out.device_cloud_executable);
+    for (const ProgramWork& work : per_program) {
+      for (const Mft& mft : work.mfts) {
+        std::optional<ReconstructedMessage> msg;
+        {
+          PhaseTimer timer(out.timings.semantics_s);
+          msg = reconstructor.reconstruct_one(mft, out.device_cloud_executable,
+                                              work.valueflow.get());
+        }
+        PhaseTimer timer(out.timings.concat_s);
+        if (msg.has_value()) {
+          out.opaque_terminations += msg->opaque_terminations;
+          out.param_terminations += msg->param_terminations;
+          out.messages.push_back(std::move(*msg));
+        } else {
+          ++out.discarded_lan;
+        }
       }
-      PhaseTimer timer(out.timings.concat_s);
-      if (msg.has_value())
-        out.messages.push_back(std::move(*msg));
-      else
-        ++out.discarded_lan;
     }
   }
 

@@ -44,6 +44,14 @@ struct DeviceAnalysis {
   std::vector<ReconstructedMessage> messages;
   int discarded_lan = 0;
   std::vector<FlawReport> flaws;
+  /// Value-flow visibility over the device-cloud programs: how many CallInd
+  /// sites exist and how many folded to a concrete callee (devirtualized).
+  int indirect_calls_total = 0;
+  int indirect_calls_resolved = 0;
+  /// Taint-walk terminations without a source, summed over all reconstructed
+  /// messages (§V-C; per-message counts live on ReconstructedMessage).
+  int opaque_terminations = 0;
+  int param_terminations = 0;
   PhaseTimings timings;
 };
 

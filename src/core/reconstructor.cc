@@ -32,20 +32,6 @@ bool ReconstructedMessage::has_primitive(fw::Primitive p) const {
 
 namespace {
 
-bool numeric_dotted(const std::string& s, int parts[4]) {
-  const auto pieces = support::split(s, '.');
-  if (pieces.size() != 4) return false;
-  for (int i = 0; i < 4; ++i) {
-    const std::string& p = pieces[static_cast<std::size_t>(i)];
-    if (p.empty() || p.size() > 3) return false;
-    for (const char c : p)
-      if (!std::isdigit(static_cast<unsigned char>(c))) return false;
-    parts[i] = std::atoi(p.c_str());
-    if (parts[i] > 255) return false;
-  }
-  return true;
-}
-
 FieldValueSource source_of_leaf(const MftNode& leaf, const MftNode* parent) {
   switch (leaf.kind) {
     case MftNodeKind::LeafSource: {
@@ -120,22 +106,15 @@ void ordered_leaf_ids(const MftNode& node, std::vector<int>& out) {
 }  // namespace
 
 bool Reconstructor::is_lan_address(const std::string& text) {
-  // IPv6 link-local.
-  if (support::to_lower(text).rfind("fe80", 0) == 0) return true;
-  // Extract a dotted quad embedded anywhere in the text.
-  int parts[4];
-  if (!numeric_dotted(text, parts)) return false;
-  if (parts[0] == 10) return true;
-  if (parts[0] == 172 && parts[1] >= 16 && parts[1] <= 31) return true;
-  if (parts[0] == 192 && parts[1] == 168) return true;
-  if (parts[0] >= 224 && parts[0] <= 239) return true;  // multicast
-  if (parts[0] == 255 && parts[1] == 255) return true;  // broadcast
-  return false;
+  return support::is_lan_address(text);
 }
 
 std::optional<ReconstructedMessage> Reconstructor::reconstruct_one(
-    const Mft& mft, const std::string& executable) const {
-  const SliceGenerator slicer(mft);
+    const Mft& mft, const std::string& executable,
+    const analysis::ValueFlow* valueflow) const {
+  SliceGenerator::Options slice_options;
+  slice_options.valueflow = valueflow;
+  const SliceGenerator slicer(mft, slice_options);
   const auto& slices = slicer.slices();
 
   // --- semantics per slice -------------------------------------------------
@@ -250,6 +229,10 @@ std::optional<ReconstructedMessage> Reconstructor::reconstruct_one(
   msg.host = host;
   msg.format = format;
   msg.multi_field_formats = slicer.multi_field_formats();
+  for (const MftNode* leaf : mft.leaves()) {
+    if (leaf->kind == MftNodeKind::LeafOpaque) ++msg.opaque_terminations;
+    if (leaf->kind == MftNodeKind::LeafParam) ++msg.param_terminations;
+  }
 
   for (const FieldSlice* s : field_slices) {
     const MftNode* leaf = s->leaf;
@@ -287,10 +270,11 @@ std::optional<ReconstructedMessage> Reconstructor::reconstruct_one(
 }
 
 ReconstructionResult Reconstructor::reconstruct(
-    const std::vector<Mft>& mfts, const std::string& executable) const {
+    const std::vector<Mft>& mfts, const std::string& executable,
+    const analysis::ValueFlow* valueflow) const {
   ReconstructionResult out;
   for (const Mft& mft : mfts) {
-    auto msg = reconstruct_one(mft, executable);
+    auto msg = reconstruct_one(mft, executable, valueflow);
     if (msg.has_value())
       out.messages.push_back(std::move(*msg));
     else

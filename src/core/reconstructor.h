@@ -66,6 +66,11 @@ struct ReconstructedMessage {
   /// Multi-conversion sprintf format strings seen while reconstructing this
   /// message (drives the Table II clustering-threshold statistics).
   std::vector<std::string> multi_field_formats;
+  /// §V-C visibility: how many of this MFT's taint walks terminated without
+  /// a source — at an opaque call result, or at a parameter/undefined value
+  /// no callsite explains. High counts flag overtaint in the recovery.
+  int opaque_terminations = 0;
+  int param_terminations = 0;
 
   bool has_primitive(fw::Primitive p) const;
 };
@@ -80,13 +85,16 @@ class Reconstructor {
  public:
   explicit Reconstructor(const SemanticsModel& model) : model_(model) {}
 
-  /// Reconstruct all messages of one program's MFTs.
-  ReconstructionResult reconstruct(const std::vector<Mft>& mfts,
-                                   const std::string& executable) const;
+  /// Reconstruct all messages of one program's MFTs. `valueflow` (optional,
+  /// not owned) lets slice generation recover non-literal sprintf formats.
+  ReconstructionResult reconstruct(
+      const std::vector<Mft>& mfts, const std::string& executable,
+      const analysis::ValueFlow* valueflow = nullptr) const;
 
   /// One MFT → one message (or nullopt when LAN-filtered).
   std::optional<ReconstructedMessage> reconstruct_one(
-      const Mft& mft, const std::string& executable) const;
+      const Mft& mft, const std::string& executable,
+      const analysis::ValueFlow* valueflow = nullptr) const;
 
   /// §IV-D LAN predicate: 10.*, 172.16-31.*, 192.168.*, FE80-prefixed IPv6,
   /// multicast (224-239.*), broadcast.

@@ -33,6 +33,8 @@ support::Json message_to_json(const ReconstructedMessage& message) {
     fields.push_back(std::move(fo));
   }
   m.set("fields", Json(std::move(fields)));
+  m.set("opaque_terminations", message.opaque_terminations);
+  m.set("param_terminations", message.param_terminations);
   return m;
 }
 
@@ -62,6 +64,18 @@ support::Json analysis_to_json(const DeviceAnalysis& analysis,
     alarms.push_back(std::move(a));
   }
   doc.set("alarms", Json(std::move(alarms)));
+
+  Json value_flow{JsonObject{}};
+  value_flow.set("indirect_calls_total", analysis.indirect_calls_total);
+  value_flow.set("indirect_calls_resolved", analysis.indirect_calls_resolved);
+  value_flow.set("resolution_rate",
+                 analysis.indirect_calls_total == 0
+                     ? 1.0
+                     : static_cast<double>(analysis.indirect_calls_resolved) /
+                           analysis.indirect_calls_total);
+  value_flow.set("opaque_terminations", analysis.opaque_terminations);
+  value_flow.set("param_terminations", analysis.param_terminations);
+  doc.set("value_flow", std::move(value_flow));
 
   if (include_timings) {
     Json timings{JsonObject{}};

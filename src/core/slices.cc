@@ -4,6 +4,7 @@
 #include <cctype>
 #include <set>
 
+#include "analysis/valueflow/valueflow.h"
 #include "ir/library.h"
 #include "ir/printer.h"
 #include "support/strings.h"
@@ -326,6 +327,17 @@ void SliceGenerator::process_leaf(const Mft& mft, const MftNode* leaf) {
             fmt = sib->detail;
             break;
           }
+        }
+        // Non-literal format operand: recover its content from value flow
+        // (a literal sibling is preferred — it is exactly what the op saw).
+        if (fmt.empty() && options_.valueflow != nullptr &&
+            assembler->fn != nullptr &&
+            static_cast<std::size_t>(fmt_index) <
+                assembler->op->inputs.size()) {
+          const auto folded = options_.valueflow->string_of(
+              assembler->fn,
+              assembler->op->inputs[static_cast<std::size_t>(fmt_index)]);
+          if (folded.has_value()) fmt = *folded;
         }
         if (fmt.empty()) continue;  // joining sprintf ("%s%s"): keep walking
         const std::vector<std::string> with_pct = field_pieces(fmt);

@@ -17,6 +17,10 @@
 
 #include "core/mft.h"
 
+namespace firmres::analysis {
+class ValueFlow;
+}
+
 namespace firmres::core {
 
 /// What a leaf contributes to the message.
@@ -48,6 +52,11 @@ class SliceGenerator {
     /// Ablation: disable the §IV-C partial-message separation — value
     /// arguments keep the full multi-field format string in their slices.
     bool split_formats = true;
+    /// When set, sprintf/snprintf format operands that are not string
+    /// literals (copied through locals, assembled by strcpy/strcat) are
+    /// recovered from the value-flow analysis, so §IV-C splitting and key
+    /// recovery still see the format text. Not owned; may be nullptr.
+    const analysis::ValueFlow* valueflow = nullptr;
   };
 
   explicit SliceGenerator(const Mft& mft) : SliceGenerator(mft, Options{}) {}

@@ -168,6 +168,34 @@ std::unique_ptr<MftNode> def_node(BuildCtx& ctx, const ir::Function& fn,
   return node;
 }
 
+/// Node for a devirtualized CallInd whose output feeds the taint: like a
+/// FlowKind::LocalCall, descend into the resolved target's RETURN inputs
+/// instead of terminating at an opaque leaf.
+std::unique_ptr<MftNode> devirt_call_node(BuildCtx& ctx,
+                                          const ir::Function& fn,
+                                          const ir::PcodeOp& op,
+                                          const ir::VarNode& var,
+                                          int src_index,
+                                          const ir::Function& callee,
+                                          int depth) {
+  auto node = make_node(ctx, MftNodeKind::Op);
+  node->fn = &fn;
+  node->op = &op;
+  node->var = var;
+  node->src_index = src_index;
+  if (!ctx.stack.contains({&callee, ir::VarNode{}, 0})) {
+    ctx.stack.insert({&callee, ir::VarNode{}, 0});
+    callee.for_each_op([&](const ir::PcodeOp& rop) {
+      if (rop.opcode != ir::OpCode::Return) return;
+      for (const ir::VarNode& rv : rop.inputs) {
+        expand_src(ctx, callee, *node, rv, UINT64_MAX, 0, depth + 1);
+      }
+    });
+    ctx.stack.erase({&callee, ir::VarNode{}, 0});
+  }
+  return node;
+}
+
 std::vector<std::unique_ptr<MftNode>> expand_var(BuildCtx& ctx,
                                                  const ir::Function& fn,
                                                  const ir::VarNode& var,
@@ -207,7 +235,16 @@ std::vector<std::unique_ptr<MftNode>> expand_var(BuildCtx& ctx,
     for (auto it = defs.rbegin(); it != defs.rend(); ++it) {
       if (ctx.nodes >= ctx.options.max_nodes) break;
       if (it->opaque) {
-        out.push_back(opaque_leaf(ctx, fn, *it->op, var, src_index));
+        const ir::Function* devirt =
+            it->op->opcode == ir::OpCode::CallInd
+                ? ctx.call_graph.indirect_target(it->op)
+                : nullptr;
+        if (devirt != nullptr && !devirt->is_import()) {
+          out.push_back(devirt_call_node(ctx, fn, *it->op, var, src_index,
+                                         *devirt, depth));
+        } else {
+          out.push_back(opaque_leaf(ctx, fn, *it->op, var, src_index));
+        }
       } else {
         out.push_back(def_node(ctx, fn, it->edge, src_index, depth));
       }
@@ -222,12 +259,15 @@ std::vector<std::unique_ptr<MftNode>> expand_var(BuildCtx& ctx,
   if (param_it != params.end()) {
     const auto arg_index =
         static_cast<std::size_t>(param_it - params.begin());
-    const auto sites = ctx.call_graph.callsites_of(fn.name());
+    // Includes devirtualized CallInd sites (arg_offset skips the pointer
+    // operand); without value flow this equals the direct sites.
+    const auto sites = ctx.call_graph.resolved_callsites_of(fn.name());
     int expanded = 0;
     for (const analysis::CallSite& site : sites) {
       if (expanded >= ctx.options.max_callsites) break;
-      if (arg_index >= site.op->inputs.size()) continue;
-      const ir::VarNode& arg = site.op->inputs[arg_index];
+      const std::size_t input_index = site.arg_offset + arg_index;
+      if (input_index >= site.op->inputs.size()) continue;
+      const ir::VarNode& arg = site.op->inputs[input_index];
       if (arg.is_constant() || arg.is_ram()) {
         out.push_back(const_leaf(ctx, *site.caller, arg, src_index));
       } else {

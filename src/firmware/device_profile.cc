@@ -91,6 +91,7 @@ DeviceProfile from_row(const Row& r) {
   p.custom_key_rate = r.custom;
   p.num_noise_execs = r.script ? 2 : 3 + (r.id % 3);
   p.single_field_formats = (r.id == 11);
+  p.indirect_dispatch = !r.script && (r.id % 5 == 3);
   // Per-device deterministic seed; the constant offsets decorrelate streams.
   p.seed = 0xF1A3000000000000ULL + static_cast<std::uint64_t>(r.id) * 0x9E37ULL;
   return p;

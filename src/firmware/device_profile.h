@@ -50,6 +50,10 @@ struct DeviceProfile {
   /// (strcpy/strcat-style assembly): the §IV-C delimiter splitter finds no
   /// multi-field formats, so the Table II thd columns read 0 (device 11).
   bool single_field_formats = false;
+  /// Vendors whose request handler sends the reply through a function
+  /// pointer (dispatch-table style): the sender is reachable only via a
+  /// CallInd, so §IV-A identification needs value-flow devirtualization.
+  bool indirect_dispatch = false;
   std::uint64_t seed = 0;       ///< per-device RNG stream
 };
 

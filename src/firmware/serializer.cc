@@ -89,6 +89,7 @@ Json profile_to_json(const DeviceProfile& p) {
   o.set("custom_key_rate", p.custom_key_rate);
   o.set("num_noise_execs", p.num_noise_execs);
   o.set("single_field_formats", p.single_field_formats);
+  o.set("indirect_dispatch", p.indirect_dispatch);
   // 64-bit seeds exceed double precision; hex string keeps them exact.
   o.set("seed", support::format("0x%llx",
                                 static_cast<unsigned long long>(p.seed)));
@@ -116,6 +117,9 @@ DeviceProfile profile_from_json(const Json& o) {
   p.custom_key_rate = field(o, "custom_key_rate").as_number();
   p.num_noise_execs = static_cast<int>(field(o, "num_noise_execs").as_number());
   p.single_field_formats = field(o, "single_field_formats").as_bool();
+  // Absent in images serialized before the field existed.
+  if (const Json* id = o.find("indirect_dispatch"))
+    p.indirect_dispatch = id->as_bool();
   p.seed = std::strtoull(get_str(o, "seed").c_str(), nullptr, 16);
   return p;
 }

@@ -372,6 +372,21 @@ void DeviceSynthesizer::emit_parse_function(IRBuilder& b) {
 
 void DeviceSynthesizer::emit_handler(IRBuilder& b,
                                      const std::vector<std::string>& dispatch) {
+  // Dispatch-table vendors send the reply from a helper reached only
+  // through a function pointer; without value-flow devirtualization the
+  // handler has no path to a send and §IV-A misses the executable. Emitted
+  // before on_cloud_request so func_addr() can resolve it.
+  if (profile_.indirect_dispatch) {
+    FunctionBuilder s = b.function("send_reply");
+    const VarNode sock = s.param("sock");
+    const VarNode resp = s.local("resp_buf", 64);
+    s.callv("sprintf",
+            {resp, s.cstr("{\"code\":0,\"result\":\"%s\"}"), s.cstr("ok")});
+    const VarNode len = s.call("strlen", {resp});
+    s.callv("send", {sock, resp, len, s.cnum(0)});
+    s.ret();
+  }
+
   FunctionBuilder f = b.function("on_cloud_request");
   const VarNode sock = f.param("sock");
   const VarNode buf = f.local("req_buf", 512);
@@ -391,6 +406,14 @@ void DeviceSynthesizer::emit_handler(IRBuilder& b,
     f.callv(builder, {});
     f.branch(fb);
     f.set_block(fb);
+  }
+
+  if (profile_.indirect_dispatch) {
+    const VarNode slot = f.local("reply_fn", 8);
+    f.copy(slot, f.func_addr("send_reply"));
+    f.call_indirect(slot, {sock});
+    f.ret();
+    return;
   }
 
   const VarNode resp = f.local("resp_buf", 64);

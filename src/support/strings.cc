@@ -3,6 +3,7 @@
 #include <cctype>
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
 
 namespace firmres::support {
 
@@ -136,6 +137,37 @@ std::string format(const char* fmt, ...) {
   }
   va_end(args2);
   return out;
+}
+
+namespace {
+
+bool numeric_dotted(std::string_view s, int parts[4]) {
+  const auto pieces = split(s, '.');
+  if (pieces.size() != 4) return false;
+  for (int i = 0; i < 4; ++i) {
+    const std::string& p = pieces[static_cast<std::size_t>(i)];
+    if (p.empty() || p.size() > 3) return false;
+    for (const char c : p)
+      if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+    parts[i] = std::atoi(p.c_str());
+    if (parts[i] > 255) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool is_lan_address(std::string_view text) {
+  // IPv6 link-local.
+  if (to_lower(text).rfind("fe80", 0) == 0) return true;
+  int parts[4];
+  if (!numeric_dotted(text, parts)) return false;
+  if (parts[0] == 10) return true;
+  if (parts[0] == 172 && parts[1] >= 16 && parts[1] <= 31) return true;
+  if (parts[0] == 192 && parts[1] == 168) return true;
+  if (parts[0] >= 224 && parts[0] <= 239) return true;  // multicast
+  if (parts[0] == 255 && parts[1] == 255) return true;  // broadcast
+  return false;
 }
 
 }  // namespace firmres::support

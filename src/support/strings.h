@@ -51,4 +51,11 @@ std::string zero_pad(std::uint64_t value, int width);
 /// printf-style formatting into a std::string.
 std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
 
+/// Does `text` name a LAN / non-routable destination? True for IPv6
+/// link-local (fe80…) and dotted quads in the private (10/8, 172.16/12,
+/// 192.168/16), multicast (224–239) and broadcast (255.255…) ranges. The
+/// §IV-D discard filter and the `constant-folds-to-lan-address` lint share
+/// this predicate.
+bool is_lan_address(std::string_view text);
+
 }  // namespace firmres::support

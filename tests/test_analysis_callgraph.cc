@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "analysis/valueflow/valueflow.h"
 #include "ir/builder.h"
 
 namespace firmres::analysis {
@@ -162,6 +163,66 @@ TEST(CallGraph, DuplicateCallsDeduplicatedInEdges) {
   CallGraph cg(prog);
   EXPECT_EQ(cg.callees(prog.function("f")).size(), 1u);
   EXPECT_EQ(cg.callsites_of("g").size(), 2u);
+}
+
+/// f dispatches through a local function-pointer slot; g is the target.
+struct IndirectFixture {
+  ir::Program prog{"ind"};
+
+  IndirectFixture() {
+    ir::IRBuilder b(prog);
+    {
+      ir::FunctionBuilder g = b.function("g");
+      g.ret();
+    }
+    {
+      ir::FunctionBuilder f = b.function("f");
+      const ir::VarNode slot = f.local("slot", 8);
+      f.copy(slot, f.func_addr("g"));
+      f.call_indirect(slot, {f.cnum(1, 8)});
+      f.ret();
+    }
+  }
+};
+
+TEST(CallGraph, IndirectCallsitesAreSurfacedWithoutResolution) {
+  // The accessor works with no value-flow attached: the site is visible,
+  // counted, and unresolved (a stack-slot pointer does not fold here).
+  IndirectFixture fx;
+  CallGraph cg(fx.prog);
+  ASSERT_EQ(cg.indirect_callsites().size(), 1u);
+  const IndirectCallSite& site = cg.indirect_callsites()[0];
+  EXPECT_EQ(site.caller, fx.prog.function("f"));
+  EXPECT_EQ(site.op->opcode, ir::OpCode::CallInd);
+  EXPECT_EQ(site.target, nullptr);
+  EXPECT_EQ(cg.indirect_total(), 1u);
+  EXPECT_EQ(cg.indirect_resolved(), 0u);
+  EXPECT_EQ(cg.indirect_target(site.op), nullptr);
+  // Unresolved sites leave the graph untouched.
+  EXPECT_EQ(cg.distance(fx.prog.function("f"), fx.prog.function("g")), -1);
+}
+
+TEST(CallGraph, ValueFlowDevirtualizesIndirectCallsites) {
+  IndirectFixture fx;
+  const ValueFlow vf(fx.prog);
+  CallGraph cg(fx.prog, vf);
+  const ir::Function* f = fx.prog.function("f");
+  const ir::Function* g = fx.prog.function("g");
+  ASSERT_EQ(cg.indirect_callsites().size(), 1u);
+  EXPECT_EQ(cg.indirect_callsites()[0].target, g);
+  EXPECT_EQ(cg.indirect_resolved(), 1u);
+  EXPECT_EQ(cg.indirect_target(cg.indirect_callsites()[0].op), g);
+
+  // Devirtualized edges feed distance/path and the resolved-callsite index…
+  EXPECT_EQ(cg.distance(f, g), 1);
+  const auto resolved = cg.resolved_callsites_of("g");
+  ASSERT_EQ(resolved.size(), 1u);
+  EXPECT_EQ(resolved[0].caller, f);
+  EXPECT_EQ(resolved[0].arg_offset, 1u);
+  // … but never the direct-call views (§IV-A asynchrony relies on these).
+  EXPECT_TRUE(cg.callees(f).empty());
+  EXPECT_TRUE(cg.callers(g).empty());
+  EXPECT_TRUE(cg.callsites_of("g").empty());
 }
 
 }  // namespace

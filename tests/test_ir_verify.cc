@@ -368,6 +368,62 @@ TEST(CallGraphLint, IndirectCallToNonFunctionConstant) {
       << all_text(report);
 }
 
+TEST(ValueFlowLint, UnresolvedIndirectCallIsWarning) {
+  ir::Program prog("p");
+  ir::IRBuilder b(prog);
+  {
+    ir::FunctionBuilder f = b.function("f");
+    const ir::VarNode slot = f.call("dlsym", {f.cstr("handler")}, "slot");
+    f.call_indirect(slot, {});
+    f.ret();
+  }
+  const LintReport report = lint(prog);
+  EXPECT_TRUE(has_diagnostic(
+      report, Severity::Warning, "valueflow", "f", 0, 1,
+      "unresolved-indirect-call: function-pointer operand does not fold to "
+      "a function entry; the call graph and taint walks stop here"))
+      << all_text(report);
+}
+
+TEST(ValueFlowLint, ResolvedIndirectCallIsClean) {
+  ir::Program prog("p");
+  ir::IRBuilder b(prog);
+  {
+    ir::FunctionBuilder t = b.function("target");
+    t.ret();
+  }
+  {
+    ir::FunctionBuilder f = b.function("f");
+    const ir::VarNode slot = f.local("slot", 8);
+    f.copy(slot, f.func_addr("target"));
+    f.call_indirect(slot, {});
+    f.ret();
+  }
+  const LintReport report = lint(prog);
+  for (const Diagnostic& d : report.diagnostics)
+    EXPECT_NE(d.pass, std::string("valueflow")) << d.to_string();
+}
+
+TEST(ValueFlowLint, ConstantFoldingToLanAddressIsNote) {
+  ir::Program prog("p");
+  ir::IRBuilder b(prog);
+  {
+    ir::FunctionBuilder f = b.function("f");
+    const ir::VarNode buf = f.local("buf", 64);
+    f.callv("strcpy", {buf, f.cstr("192.168.1.1")});
+    f.callv("send", {f.cnum(3), buf, f.cnum(11), f.cnum(0)});
+    f.ret();
+  }
+  const LintReport report = lint(prog);
+  EXPECT_TRUE(has_diagnostic(
+      report, Severity::Note, "valueflow", "f", 0, 1,
+      "constant-folds-to-lan-address: 'send' operand 1 folds to "
+      "\"192.168.1.1\", a LAN destination (§IV-D discards this message)"))
+      << all_text(report);
+  // Notes never gate: still clean under --werror.
+  EXPECT_TRUE(report.clean(/*werror=*/true)) << all_text(report);
+}
+
 // ---------------------------------------------------------------------------
 // Pass manager / report mechanics
 // ---------------------------------------------------------------------------

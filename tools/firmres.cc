@@ -25,6 +25,7 @@
 
 #include <memory>
 
+#include "analysis/valueflow/valueflow.h"
 #include "analysis/verify/verifier.h"
 #include "cloud/vuln_hunter.h"
 #include "core/corpus_runner.h"
@@ -287,6 +288,7 @@ int cmd_lint(std::vector<std::string> args) {
 
   bool all_clean = true;
   std::size_t errors = 0, warnings = 0, notes = 0, programs = 0;
+  std::size_t indirect_total = 0, indirect_resolved = 0;
   support::JsonArray json_images;
   for (const std::string& dir : args) {
     const fw::FirmwareImage image = fw::load_image(dir);
@@ -297,14 +299,29 @@ int cmd_lint(std::vector<std::string> args) {
         continue;
       const analysis::verify::LintReport report =
           verifier.run(*file.program, pool.get());
+      const analysis::ValueFlow vf(*file.program, pool.get());
+      const analysis::ValueFlow::Stats vf_stats = vf.stats();
       ++programs;
       errors += report.errors();
       warnings += report.warnings();
       notes += report.notes();
+      indirect_total += vf_stats.indirect_total;
+      indirect_resolved += vf_stats.indirect_resolved;
       all_clean = all_clean && report.clean(werror);
       if (json) {
         support::Json entry = analysis::verify::report_to_json(report);
         entry.set("path", file.path);
+        support::Json value_flow{support::JsonObject{}};
+        value_flow.set("indirect_total",
+                       static_cast<double>(vf_stats.indirect_total));
+        value_flow.set("indirect_resolved",
+                       static_cast<double>(vf_stats.indirect_resolved));
+        value_flow.set("resolution_rate",
+                       vf_stats.indirect_total == 0
+                           ? 1.0
+                           : static_cast<double>(vf_stats.indirect_resolved) /
+                                 vf_stats.indirect_total);
+        entry.set("value_flow", std::move(value_flow));
         json_programs.push_back(std::move(entry));
       } else {
         for (const analysis::verify::Diagnostic& d : report.diagnostics)
@@ -327,6 +344,12 @@ int cmd_lint(std::vector<std::string> args) {
     std::printf("%zu program(s): %zu error(s), %zu warning(s), %zu note(s)%s\n",
                 programs, errors, warnings, notes,
                 werror ? " [--werror]" : "");
+    std::printf("indirect calls: %zu/%zu resolved (%.0f%%)\n",
+                indirect_resolved, indirect_total,
+                indirect_total == 0
+                    ? 100.0
+                    : 100.0 * static_cast<double>(indirect_resolved) /
+                          static_cast<double>(indirect_total));
   }
   return all_clean ? 0 : 1;
 }
