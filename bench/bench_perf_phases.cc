@@ -8,17 +8,39 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <cstdint>
+#include <string_view>
 
 #include "bench_util.h"
+#include "support/observability/metrics.h"
 #include "support/strings.h"
 
 namespace {
 
 using namespace firmres;
 
+std::uint64_t histogram_sum(const support::metrics::Snapshot& snap,
+                            std::string_view name) {
+  for (const auto& h : snap.histograms)
+    if (h.name == name) return h.sum;
+  return 0;
+}
+
+std::uint64_t counter_value(const support::metrics::Snapshot& snap,
+                            std::string_view name) {
+  for (const auto& c : snap.counters)
+    if (c.name == name) return c.value;
+  return 0;
+}
+
 void print_perf() {
   const core::KeywordModel model;
+  // The phase split below is re-read from the metrics registry
+  // (phase.*_us latency histograms, docs/OBSERVABILITY.md), so the
+  // registry must start empty for this section.
+  support::metrics::reset_all();
   const bench::CorpusRun run = bench::run_corpus(model);
+  const support::metrics::Snapshot snap = support::metrics::snapshot(true);
 
   std::printf("PERFORMANCE OF FIRMRES (per firmware image)\n");
   bench::print_rule();
@@ -27,37 +49,54 @@ void print_perf() {
               "check");
   bench::print_rule();
   double min_t = 1e9, max_t = 0;
-  core::PhaseTimings sum;
   for (const auto& a : run.analyses) {
     if (a.device_cloud_executable.empty()) continue;
     const auto& t = a.timings;
     min_t = std::min(min_t, t.total_s());
     max_t = std::max(max_t, t.total_s());
-    sum.pinpoint_s += t.pinpoint_s;
-    sum.fields_s += t.fields_s;
-    sum.semantics_s += t.semantics_s;
-    sum.concat_s += t.concat_s;
-    sum.check_s += t.check_s;
     std::printf("%-6d %-10.2f | %-9.2f %-9.2f %-9.2f %-9.2f %-9.2f\n",
                 a.device_id, 1e3 * t.total_s(), 1e3 * t.pinpoint_s,
                 1e3 * t.fields_s, 1e3 * t.semantics_s, 1e3 * t.concat_s,
                 1e3 * t.check_s);
   }
   bench::print_rule();
-  const double total = sum.total_s();
+  // Phase sums come from the registry's phase.*_us histograms rather than
+  // re-summing PhaseTimings — one source of truth for the split.
+  const double pinpoint_us =
+      static_cast<double>(histogram_sum(snap, "phase.pinpoint_us"));
+  const double fields_us =
+      static_cast<double>(histogram_sum(snap, "phase.fields_us"));
+  const double semantics_us =
+      static_cast<double>(histogram_sum(snap, "phase.semantics_us"));
+  const double concat_us =
+      static_cast<double>(histogram_sum(snap, "phase.concat_us"));
+  const double check_us =
+      static_cast<double>(histogram_sum(snap, "phase.check_us"));
+  const double total =
+      pinpoint_us + fields_us + semantics_us + concat_us + check_us;
   std::printf(
       "fastest firmware: %.2f ms   slowest: %.2f ms   (paper: 154 s / 1472 "
       "s on Ghidra-lifted binaries)\n",
       1e3 * min_t, 1e3 * max_t);
   std::printf(
-      "phase split (measured):  pinpoint %.2f%%  fields %.2f%%  semantics "
+      "phase split (registry):  pinpoint %.2f%%  fields %.2f%%  semantics "
       "%.2f%%  concat %.2f%%  check %.2f%%\n",
-      100 * sum.pinpoint_s / total, 100 * sum.fields_s / total,
-      100 * sum.semantics_s / total, 100 * sum.concat_s / total,
-      100 * sum.check_s / total);
+      100 * pinpoint_us / total, 100 * fields_us / total,
+      100 * semantics_us / total, 100 * concat_us / total,
+      100 * check_us / total);
   std::printf(
       "phase split (paper):     pinpoint 37.67%%  fields 43.83%%  semantics "
-      "3.71%%  concat 9.96%%  check 4.81%%\n\n");
+      "3.71%%  concat 9.96%%  check 4.81%%\n");
+  std::printf(
+      "work counters (registry): %llu taint steps, %llu messages, %llu "
+      "flaw alarms across %llu devices\n\n",
+      static_cast<unsigned long long>(counter_value(snap, "taint.steps")),
+      static_cast<unsigned long long>(
+          counter_value(snap, "pipeline.messages_reconstructed")),
+      static_cast<unsigned long long>(
+          counter_value(snap, "pipeline.flaw_alarms")),
+      static_cast<unsigned long long>(
+          counter_value(snap, "pipeline.devices_analyzed")));
 }
 
 // Corpus-level parallel fan-out: wall clock vs. CPU time per job count.

@@ -7,6 +7,8 @@
 #include <set>
 
 #include "ir/library.h"
+#include "support/observability/metrics.h"
+#include "support/observability/trace.h"
 #include "support/strings.h"
 
 namespace firmres::analysis {
@@ -14,6 +16,17 @@ namespace firmres::analysis {
 namespace {
 
 using valueflow::Value;
+
+// Value-flow counters (Work-kind: the solve is byte-identical at any
+// thread count, so these are too — docs/OBSERVABILITY.md).
+support::metrics::Counter g_vf_solves("valueflow.solves",
+                                      support::metrics::Kind::Work);
+support::metrics::Counter g_vf_rounds("valueflow.rounds",
+                                      support::metrics::Kind::Work);
+support::metrics::Counter g_vf_devirtualized("valueflow.devirtualized",
+                                             support::metrics::Kind::Work);
+support::metrics::Counter g_vf_folded_constants(
+    "valueflow.folded_constants", support::metrics::Kind::Work);
 
 std::uint64_t mask_to_size(std::uint64_t v, std::uint32_t size_bytes) {
   if (size_bytes == 0 || size_bytes >= 8) return v;
@@ -458,6 +471,8 @@ ValueFlow::Env ValueFlow::solve_function(const ir::Function& fn,
 }
 
 void ValueFlow::run(support::ThreadPool* pool) {
+  FIRMRES_SPAN("valueflow.solve", "analysis");
+  g_vf_solves.add();
   const ir::LibraryModel& lib = ir::LibraryModel::instance();
 
   for (const ir::Function* fn : program_.functions()) {
@@ -620,6 +635,9 @@ void ValueFlow::run(support::ThreadPool* pool) {
     for (const auto& [var, val] : envs_[i])
       if (val.is_known()) ++stats_.folded_constants;
   }
+  g_vf_rounds.add(static_cast<std::uint64_t>(stats_.rounds));
+  g_vf_devirtualized.add(stats_.indirect_resolved);
+  g_vf_folded_constants.add(stats_.folded_constants);
 }
 
 Value ValueFlow::value_of(const ir::Function* fn,

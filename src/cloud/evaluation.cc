@@ -4,13 +4,26 @@
 
 #include "core/slices.h"
 #include "core/truth_match.h"
+#include "support/observability/metrics.h"
+#include "support/observability/trace.h"
 #include "support/strings.h"
 
 namespace firmres::cloudsim {
 
+namespace {
+// Table II evaluation counters (Work-kind — docs/OBSERVABILITY.md).
+support::metrics::Counter g_devices_evaluated("eval.devices_evaluated",
+                                              support::metrics::Kind::Work);
+support::metrics::Counter g_probes_sent("eval.probes_sent",
+                                        support::metrics::Kind::Work);
+}  // namespace
+
 Table2Row evaluate_device(const core::DeviceAnalysis& analysis,
                           const fw::FirmwareImage& image,
                           const CloudNetwork& network) {
+  FIRMRES_SPAN_DEVICE("eval.device", "eval", analysis.device_id);
+  g_devices_evaluated.add();
+  g_probes_sent.add(analysis.messages.size());
   Table2Row row;
   row.device_id = analysis.device_id;
   const Prober prober(network, image);
@@ -79,6 +92,7 @@ std::vector<Table2Row> evaluate_corpus(
     const std::vector<fw::FirmwareImage>& corpus, const CloudNetwork& network,
     const core::SemanticsModel& model, core::CorpusRunner::Options options,
     core::CorpusResult* result) {
+  FIRMRES_SPAN("eval.corpus", "eval");
   const core::Pipeline pipeline(model);
   const core::CorpusRunner runner(pipeline, options);
   core::CorpusResult run = runner.run(corpus);

@@ -33,6 +33,8 @@ struct CorpusTask {
 struct DeviceFailure {
   int device_id = 0;
   std::string error;
+  /// How many times the task was attempted (2 when the retry also failed).
+  int attempts = 1;
 };
 
 struct CorpusResult {
@@ -60,6 +62,14 @@ class CorpusRunner {
     int jobs = 1;
     /// Also fan Phase 2 out across device-cloud programs within one image.
     bool parallel_programs = true;
+    /// Re-run a failed device task once, sequentially, after the fan-out
+    /// completes — resource-pressure failures under parallelism get a
+    /// second chance while deterministic failures fail again and surface
+    /// as one DeviceFailure with attempts = 2. A failed attempt's timings
+    /// and per-device metrics are discarded wholesale: each device
+    /// contributes exactly one attempt (the surviving one) to
+    /// CorpusResult::aggregate / cpu_s, never the sum of both.
+    bool retry_failed = true;
   };
 
   /// `pipeline` must outlive the runner.

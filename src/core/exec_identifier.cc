@@ -8,6 +8,8 @@
 #include "analysis/predicates.h"
 #include "analysis/valueflow/valueflow.h"
 #include "ir/library.h"
+#include "support/observability/metrics.h"
+#include "support/observability/trace.h"
 
 namespace firmres::core {
 
@@ -15,6 +17,14 @@ namespace {
 
 using analysis::CallGraph;
 using analysis::CallSite;
+
+// §IV-A identification counters (Work-kind: functions of program content).
+support::metrics::Counter g_programs_analyzed("identify.programs_analyzed",
+                                              support::metrics::Kind::Work);
+support::metrics::Counter g_handler_candidates("identify.handler_candidates",
+                                               support::metrics::Kind::Work);
+support::metrics::Counter g_device_cloud_verdicts(
+    "identify.device_cloud_verdicts", support::metrics::Kind::Work);
 
 std::vector<CallSite> sites_of_kind(const CallGraph& cg, ir::LibKind kind) {
   std::vector<CallSite> out;
@@ -74,6 +84,8 @@ ExecIdentification ExecutableIdentifier::analyze(
 
 ExecIdentification ExecutableIdentifier::analyze(
     const ir::Program& program, const analysis::CallGraph& cg) const {
+  FIRMRES_SPAN("identify.program", "identify");
+  g_programs_analyzed.add();
   ExecIdentification result;
   result.program = &program;
 
@@ -142,6 +154,8 @@ ExecIdentification ExecutableIdentifier::analyze(
       break;
     }
   }
+  g_handler_candidates.add(result.candidates.size());
+  if (result.is_device_cloud) g_device_cloud_verdicts.add();
   return result;
 }
 

@@ -7,11 +7,43 @@
 #include "analysis/verify/verifier.h"
 #include "core/taint.h"
 #include "support/logging.h"
+#include "support/observability/metrics.h"
+#include "support/observability/trace.h"
 #include "support/timing.h"
 
 namespace firmres::core {
 
 namespace {
+
+namespace metrics = support::metrics;
+
+// Per-phase latency histograms (microseconds) — what bench_perf_phases
+// reads back for its phase-split summary. Runtime-kind: excluded from the
+// deterministic metrics dump.
+metrics::Histogram g_phase_pinpoint_us("phase.pinpoint_us",
+                                       metrics::Kind::Runtime);
+metrics::Histogram g_phase_fields_us("phase.fields_us",
+                                     metrics::Kind::Runtime);
+metrics::Histogram g_phase_semantics_us("phase.semantics_us",
+                                        metrics::Kind::Runtime);
+metrics::Histogram g_phase_concat_us("phase.concat_us",
+                                     metrics::Kind::Runtime);
+metrics::Histogram g_phase_check_us("phase.check_us", metrics::Kind::Runtime);
+
+// Work-kind corpus totals: deterministic at any jobs level.
+metrics::Counter g_devices_analyzed("pipeline.devices_analyzed",
+                                    metrics::Kind::Work);
+metrics::Counter g_messages("pipeline.messages_reconstructed",
+                            metrics::Kind::Work);
+metrics::Counter g_lan_discarded("pipeline.lan_discarded",
+                                 metrics::Kind::Work);
+metrics::Counter g_flaw_alarms("pipeline.flaw_alarms", metrics::Kind::Work);
+metrics::Histogram g_mft_nodes("taint.mft_nodes", metrics::Kind::Work);
+metrics::Histogram g_mft_leaves("taint.mft_leaves", metrics::Kind::Work);
+
+std::uint64_t to_us(double seconds) {
+  return seconds <= 0.0 ? 0 : static_cast<std::uint64_t>(seconds * 1e6);
+}
 
 class PhaseTimer {
  public:
@@ -52,6 +84,7 @@ class CpuTimer {
 
 DeviceAnalysis Pipeline::analyze(const fw::FirmwareImage& image,
                                  support::ThreadPool* pool) const {
+  FIRMRES_SPAN_DEVICE("pipeline.analyze", "pipeline", image.profile.id);
   DeviceAnalysis out;
   out.device_id = image.profile.id;
   const CpuTimer cpu_timer(out.timings.cpu_total_s);
@@ -78,13 +111,16 @@ DeviceAnalysis Pipeline::analyze(const fw::FirmwareImage& image,
 
   // --- Phase 1: pinpoint device-cloud executables (§IV-A) ------------------
   std::vector<const ir::Program*> device_cloud;
+  std::uint64_t executables_scanned = 0;
   {
+    FIRMRES_SPAN_DEVICE("phase.pinpoint", "pipeline", image.profile.id);
     PhaseTimer timer(out.timings.pinpoint_s);
     const ExecutableIdentifier identifier(options_.identifier);
     for (const fw::FirmwareFile& file : image.files) {
       if (file.kind != fw::FirmwareFile::Kind::Executable ||
           file.program == nullptr)
         continue;
+      ++executables_scanned;
       const ExecIdentification ident = identifier.analyze(*file.program);
       if (ident.is_device_cloud) {
         device_cloud.push_back(file.program.get());
@@ -93,9 +129,41 @@ DeviceAnalysis Pipeline::analyze(const fw::FirmwareImage& image,
       }
     }
   }
+  // Fills the per-device metrics block (fixed emission order — the report
+  // is byte-compared across job counts) and feeds the corpus-level
+  // registry. Called on every exit path.
+  std::uint64_t mft_count = 0, mft_nodes = 0, mft_leaves = 0;
+  const auto finalize = [&] {
+    out.metrics = {
+        {"pinpoint.executables_scanned", executables_scanned},
+        {"pinpoint.device_cloud_programs", device_cloud.size()},
+        {"taint.mft_count", mft_count},
+        {"taint.mft_nodes", mft_nodes},
+        {"taint.mft_leaves", mft_leaves},
+        {"valueflow.indirect_total",
+         static_cast<std::uint64_t>(out.indirect_calls_total)},
+        {"valueflow.indirect_resolved",
+         static_cast<std::uint64_t>(out.indirect_calls_resolved)},
+        {"semantics.messages_reconstructed", out.messages.size()},
+        {"concat.lan_discarded",
+         static_cast<std::uint64_t>(out.discarded_lan)},
+        {"check.flaw_alarms", out.flaws.size()},
+    };
+    g_devices_analyzed.add();
+    g_messages.add(out.messages.size());
+    g_lan_discarded.add(static_cast<std::uint64_t>(out.discarded_lan));
+    g_flaw_alarms.add(out.flaws.size());
+    g_phase_pinpoint_us.observe(to_us(out.timings.pinpoint_s));
+    g_phase_fields_us.observe(to_us(out.timings.fields_s));
+    g_phase_semantics_us.observe(to_us(out.timings.semantics_s));
+    g_phase_concat_us.observe(to_us(out.timings.concat_s));
+    g_phase_check_us.observe(to_us(out.timings.check_s));
+  };
+
   if (device_cloud.empty()) {
     FIRMRES_LOG(Info) << "device " << image.profile.id
                       << ": no device-cloud executable identified";
+    finalize();
     return out;
   }
 
@@ -111,6 +179,7 @@ DeviceAnalysis Pipeline::analyze(const fw::FirmwareImage& image,
   };
   std::vector<ProgramWork> per_program(device_cloud.size());
   {
+    FIRMRES_SPAN_DEVICE("phase.fields", "pipeline", image.profile.id);
     PhaseTimer timer(out.timings.fields_s);
     const auto build_program = [&](std::size_t i, support::ThreadPool* vp) {
       const ir::Program& program = *device_cloud[i];
@@ -133,6 +202,13 @@ DeviceAnalysis Pipeline::analyze(const fw::FirmwareImage& image,
       const analysis::ValueFlow::Stats stats = work.valueflow->stats();
       out.indirect_calls_total += stats.indirect_total;
       out.indirect_calls_resolved += stats.indirect_resolved;
+      for (const Mft& mft : work.mfts) {
+        ++mft_count;
+        mft_nodes += mft.node_count();
+        mft_leaves += mft.leaf_count();
+        g_mft_nodes.observe(mft.node_count());
+        g_mft_leaves.observe(mft.leaf_count());
+      }
     }
   }
 
@@ -141,6 +217,7 @@ DeviceAnalysis Pipeline::analyze(const fw::FirmwareImage& image,
   // and ordering; we attribute its time to the two phases by a second pass
   // below. Classification dominates, so time it directly per message.
   {
+    FIRMRES_SPAN_DEVICE("phase.reconstruct", "pipeline", image.profile.id);
     const Reconstructor reconstructor(model_);
     for (const ProgramWork& work : per_program) {
       for (const Mft& mft : work.mfts) {
@@ -164,11 +241,13 @@ DeviceAnalysis Pipeline::analyze(const fw::FirmwareImage& image,
 
   // --- Phase 5: message form check (§IV-E) ----------------------------------
   {
+    FIRMRES_SPAN_DEVICE("phase.check", "pipeline", image.profile.id);
     PhaseTimer timer(out.timings.check_s);
     std::vector<std::string> files;
     for (const fw::FirmwareFile& f : image.files) files.push_back(f.path);
     out.flaws = FormChecker().check(out.messages, files);
   }
+  finalize();
   return out;
 }
 

@@ -5,7 +5,9 @@
 // Phase wall-clock times are recorded for the §V-E performance breakdown.
 #pragma once
 
+#include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/exec_identifier.h"
@@ -52,6 +54,11 @@ struct DeviceAnalysis {
   /// messages (§V-C; per-message counts live on ReconstructedMessage).
   int opaque_terminations = 0;
   int param_terminations = 0;
+  /// Per-device work metrics (docs/OBSERVABILITY.md): dotted name → count,
+  /// in a fixed emission order. Derived from what was analyzed, never from
+  /// how long it took, so the block is byte-identical at any --jobs level
+  /// and stays in the report even when timings are omitted.
+  std::vector<std::pair<std::string, std::uint64_t>> metrics;
   PhaseTimings timings;
 };
 

@@ -77,6 +77,13 @@ support::Json analysis_to_json(const DeviceAnalysis& analysis,
   value_flow.set("param_terminations", analysis.param_terminations);
   doc.set("value_flow", std::move(value_flow));
 
+  // Work metrics only (docs/OBSERVABILITY.md) — deterministic at any jobs
+  // level, so the block survives the timings-omitted byte comparison.
+  Json metrics{JsonObject{}};
+  for (const auto& [name, value] : analysis.metrics)
+    metrics.set(name, static_cast<double>(value));
+  doc.set("metrics", std::move(metrics));
+
   if (include_timings) {
     Json timings{JsonObject{}};
     timings.set("pinpoint_s", analysis.timings.pinpoint_s);

@@ -7,9 +7,18 @@
 #include "analysis/valueflow/valueflow.h"
 #include "ir/library.h"
 #include "ir/printer.h"
+#include "support/observability/metrics.h"
 #include "support/strings.h"
 
 namespace firmres::core {
+
+namespace {
+// §IV-C slice counters (Work-kind — docs/OBSERVABILITY.md).
+support::metrics::Counter g_slices_emitted("slices.emitted",
+                                           support::metrics::Kind::Work);
+support::metrics::Counter g_multi_field_formats(
+    "slices.multi_field_formats", support::metrics::Kind::Work);
+}  // namespace
 
 const char* leaf_role_name(LeafRole role) {
   switch (role) {
@@ -237,6 +246,8 @@ SliceGenerator::SliceGenerator(const Mft& mft, Options options)
       multi_field_formats_.push_back(s.leaf->detail);
     }
   }
+  g_slices_emitted.add(slices_.size());
+  g_multi_field_formats.add(multi_field_formats_.size());
 }
 
 void SliceGenerator::process_leaf(const Mft& mft, const MftNode* leaf) {

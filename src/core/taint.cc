@@ -7,6 +7,8 @@
 #include "analysis/flow.h"
 #include "ir/library.h"
 #include "support/error.h"
+#include "support/observability/metrics.h"
+#include "support/observability/trace.h"
 #include "support/strings.h"
 
 namespace firmres::core {
@@ -15,6 +17,15 @@ namespace {
 
 using analysis::FlowEdge;
 using analysis::FlowKind;
+
+// §IV-B taint-walk counters (Work-kind: one step per MFT node expanded,
+// deterministic at any jobs level — docs/OBSERVABILITY.md).
+support::metrics::Counter g_taint_steps("taint.steps",
+                                        support::metrics::Kind::Work);
+support::metrics::Counter g_taint_mfts_built("taint.mfts_built",
+                                             support::metrics::Kind::Work);
+support::metrics::Counter g_taint_budget_exhausted(
+    "taint.budget_exhausted", support::metrics::Kind::Work);
 
 struct BuildCtx {
   const ir::Program& program;
@@ -29,6 +40,7 @@ struct BuildCtx {
 
 std::unique_ptr<MftNode> make_node(BuildCtx& ctx, MftNodeKind kind) {
   ++ctx.nodes;
+  g_taint_steps.add();
   auto node = std::make_unique<MftNode>();
   node->kind = kind;
   if (node->is_leaf()) node->leaf_id = ctx.next_leaf_id++;
@@ -299,6 +311,7 @@ MftBuilder::MftBuilder(const ir::Program& program,
     : program_(program), call_graph_(call_graph), options_(options) {}
 
 Mft MftBuilder::build(const analysis::CallSite& delivery) const {
+  FIRMRES_SPAN("taint.build_mft", "taint");
   FIRMRES_CHECK(delivery.op != nullptr && delivery.caller != nullptr);
   Mft mft;
   mft.program = &program_;
@@ -337,6 +350,8 @@ Mft MftBuilder::build(const analysis::CallSite& delivery) const {
     // the argument itself is a constant (an MQTT topic literal).
     mft.roots.push_back(std::move(root));
   }
+  g_taint_mfts_built.add();
+  if (ctx.nodes >= options_.max_nodes) g_taint_budget_exhausted.add();
   return mft;
 }
 

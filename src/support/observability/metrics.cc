@@ -1,0 +1,190 @@
+#include "support/observability/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <mutex>
+
+#include "support/error.h"
+#include "support/json.h"
+#include "support/strings.h"
+
+namespace firmres::support::metrics {
+
+namespace {
+
+/// Global metric directory. Metrics register themselves on construction
+/// (they are typically function-local statics, so registration is
+/// thread-safe by the static-init guarantee plus this mutex) and are never
+/// unregistered — metric objects must have process lifetime.
+struct Directory {
+  std::mutex mutex;
+  std::vector<Counter*> counters;
+  std::vector<Gauge*> gauges;
+  std::vector<Histogram*> histograms;
+};
+
+Directory& directory() {
+  static Directory* d = new Directory();  // leaked: metrics outlive main
+  return *d;
+}
+
+template <typename T>
+void register_metric(std::vector<T*>& list, T* metric) {
+  Directory& d = directory();
+  std::lock_guard<std::mutex> lock(d.mutex);
+  list.push_back(metric);
+}
+
+int bucket_index(std::uint64_t value) {
+  int i = 0;
+  while (i < kHistogramBuckets - 1 && value >= (std::uint64_t{1} << i)) ++i;
+  return i;
+}
+
+}  // namespace
+
+Counter::Counter(const char* name, Kind kind) : name_(name), kind_(kind) {
+  register_metric(directory().counters, this);
+}
+
+Gauge::Gauge(const char* name, Kind kind) : name_(name), kind_(kind) {
+  register_metric(directory().gauges, this);
+}
+
+Histogram::Histogram(const char* name, Kind kind)
+    : name_(name), kind_(kind) {
+  register_metric(directory().histograms, this);
+}
+
+void Histogram::observe(std::uint64_t value) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  buckets_[static_cast<std::size_t>(bucket_index(value))].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+void Histogram::reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+Snapshot snapshot(bool include_runtime) {
+  Snapshot snap;
+  Directory& d = directory();
+  {
+    std::lock_guard<std::mutex> lock(d.mutex);
+    for (const Counter* c : d.counters) {
+      if (!include_runtime && c->kind() == Kind::Runtime) continue;
+      snap.counters.push_back({c->name(), c->kind(), c->value()});
+    }
+    for (const Gauge* g : d.gauges) {
+      if (!include_runtime && g->kind() == Kind::Runtime) continue;
+      snap.gauges.push_back({g->name(), g->kind(), g->value()});
+    }
+    for (const Histogram* h : d.histograms) {
+      if (!include_runtime && h->kind() == Kind::Runtime) continue;
+      Snapshot::HistogramValue v;
+      v.name = h->name();
+      v.kind = h->kind();
+      v.count = h->count();
+      v.sum = h->sum();
+      for (int i = 0; i < kHistogramBuckets; ++i)
+        v.buckets[static_cast<std::size_t>(i)] = h->bucket(i);
+      snap.histograms.push_back(std::move(v));
+    }
+  }
+  const auto by_name = [](const auto& a, const auto& b) {
+    return a.name < b.name;
+  };
+  std::sort(snap.counters.begin(), snap.counters.end(), by_name);
+  std::sort(snap.gauges.begin(), snap.gauges.end(), by_name);
+  std::sort(snap.histograms.begin(), snap.histograms.end(), by_name);
+  return snap;
+}
+
+std::string to_json(const Snapshot& snapshot) {
+  Json doc{JsonObject{}};
+  doc.set("format", "firmres-metrics");
+
+  Json counters{JsonObject{}};
+  for (const Snapshot::CounterValue& c : snapshot.counters)
+    counters.set(c.name, static_cast<double>(c.value));
+  doc.set("counters", std::move(counters));
+
+  Json gauges{JsonObject{}};
+  for (const Snapshot::GaugeValue& g : snapshot.gauges)
+    gauges.set(g.name, static_cast<double>(g.value));
+  doc.set("gauges", std::move(gauges));
+
+  Json histograms{JsonObject{}};
+  for (const Snapshot::HistogramValue& h : snapshot.histograms) {
+    Json entry{JsonObject{}};
+    entry.set("count", static_cast<double>(h.count));
+    entry.set("sum", static_cast<double>(h.sum));
+    Json buckets{JsonObject{}};
+    for (int i = 0; i < kHistogramBuckets; ++i) {
+      const std::uint64_t n = h.buckets[static_cast<std::size_t>(i)];
+      if (n == 0) continue;  // sparse: most power-of-two buckets are empty
+      const std::string bound =
+          i == kHistogramBuckets - 1
+              ? "inf"
+              : std::to_string(std::uint64_t{1} << i);
+      buckets.set(bound, static_cast<double>(n));
+    }
+    entry.set("buckets", std::move(buckets));
+    histograms.set(h.name, std::move(entry));
+  }
+  doc.set("histograms", std::move(histograms));
+  return doc.dump(true);
+}
+
+std::string to_text(const Snapshot& snapshot) {
+  std::string out;
+  for (const Snapshot::CounterValue& c : snapshot.counters)
+    out += format("%s %llu\n", c.name.c_str(),
+                  static_cast<unsigned long long>(c.value));
+  for (const Snapshot::GaugeValue& g : snapshot.gauges)
+    out += format("%s %llu\n", g.name.c_str(),
+                  static_cast<unsigned long long>(g.value));
+  for (const Snapshot::HistogramValue& h : snapshot.histograms) {
+    out += format("%s.count %llu\n", h.name.c_str(),
+                  static_cast<unsigned long long>(h.count));
+    out += format("%s.sum %llu\n", h.name.c_str(),
+                  static_cast<unsigned long long>(h.sum));
+    for (int i = 0; i < kHistogramBuckets; ++i) {
+      const std::uint64_t n = h.buckets[static_cast<std::size_t>(i)];
+      if (n == 0) continue;
+      out += format("%s.le_2e%d %llu\n", h.name.c_str(), i,
+                    static_cast<unsigned long long>(n));
+    }
+  }
+  return out;
+}
+
+void reset_all() {
+  Directory& d = directory();
+  std::lock_guard<std::mutex> lock(d.mutex);
+  for (Counter* c : d.counters) c->reset();
+  for (Gauge* g : d.gauges) g->reset();
+  for (Histogram* h : d.histograms) h->reset();
+}
+
+namespace {
+void write_file(const std::string& path, const std::string& body) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) throw ParseError("cannot write metrics file " + path);
+  std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+}
+}  // namespace
+
+void write_json(const std::string& path, bool include_runtime) {
+  write_file(path, to_json(snapshot(include_runtime)) + "\n");
+}
+
+void write_text(const std::string& path, bool include_runtime) {
+  write_file(path, to_text(snapshot(include_runtime)));
+}
+
+}  // namespace firmres::support::metrics

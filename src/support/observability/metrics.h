@@ -1,0 +1,160 @@
+// Named metrics registry (docs/OBSERVABILITY.md).
+//
+// Counters, gauges, and histograms are process-global atomics updated with
+// relaxed operations: an increment costs one uncontended fetch_add, and the
+// merged value is a plain integer sum — addition commutes, so a snapshot is
+// byte-identical no matter how work was scheduled across threads. Metrics
+// are declared once (usually as function-local statics next to the code
+// they count) and registered under a unique dotted name.
+//
+// Every metric carries a Kind:
+//   * Work    — counts derived from *what was analyzed* (taint nodes, MFT
+//     leaves, devirtualized callsites). Identical for --jobs 1 and
+//     --jobs N; these make up the deterministic section of the dump.
+//   * Runtime — measurements of *how the run went* (phase latencies, pool
+//     queue depth). Vary run to run and are excluded from the
+//     deterministic dump (include_runtime = false, the --metrics-out
+//     default) so that file stays byte-comparable across runs.
+//
+// Histograms use power-of-two buckets over unsigned integer observations
+// (latencies are recorded in microseconds), keeping all merged state in
+// exact integer arithmetic.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace firmres::support::metrics {
+
+enum class Kind {
+  Work,     ///< deterministic across thread counts
+  Runtime,  ///< timing/scheduling dependent
+};
+
+/// Power-of-two histogram buckets: bucket i counts observations with
+/// value < 2^i (the last bucket is unbounded).
+inline constexpr int kHistogramBuckets = 28;
+
+class Counter {
+ public:
+  /// `name` must be a string literal (stored by pointer) and unique.
+  Counter(const char* name, Kind kind);
+  void add(std::uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  const char* name() const { return name_; }
+  Kind kind() const { return kind_; }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  const char* name_;
+  Kind kind_;
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// A high-water-mark gauge: record() keeps the maximum observed value.
+/// (Max commutes, so snapshots stay order-independent — a last-write gauge
+/// would not be.)
+class Gauge {
+ public:
+  Gauge(const char* name, Kind kind);
+  void record(std::uint64_t value) {
+    std::uint64_t seen = value_.load(std::memory_order_relaxed);
+    while (seen < value && !value_.compare_exchange_weak(
+                               seen, value, std::memory_order_relaxed)) {
+    }
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  const char* name() const { return name_; }
+  Kind kind() const { return kind_; }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  const char* name_;
+  Kind kind_;
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Histogram {
+ public:
+  Histogram(const char* name, Kind kind);
+  void observe(std::uint64_t value);
+  const char* name() const { return name_; }
+  Kind kind() const { return kind_; }
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  std::uint64_t bucket(int i) const {
+    return buckets_[static_cast<std::size_t>(i)].load(
+        std::memory_order_relaxed);
+  }
+  void reset();
+
+ private:
+  const char* name_;
+  Kind kind_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::array<std::atomic<std::uint64_t>, kHistogramBuckets> buckets_{};
+};
+
+/// Point-in-time values of every registered metric, sorted by name within
+/// each section (so serialization order is independent of registration
+/// order, which static-initialization may permute).
+struct Snapshot {
+  struct CounterValue {
+    std::string name;
+    Kind kind;
+    std::uint64_t value;
+  };
+  struct GaugeValue {
+    std::string name;
+    Kind kind;
+    std::uint64_t value;
+  };
+  struct HistogramValue {
+    std::string name;
+    Kind kind;
+    std::uint64_t count;
+    std::uint64_t sum;
+    std::array<std::uint64_t, kHistogramBuckets> buckets;
+  };
+  std::vector<CounterValue> counters;
+  std::vector<GaugeValue> gauges;
+  std::vector<HistogramValue> histograms;
+};
+
+/// Snapshot every registered metric. `include_runtime = false` keeps only
+/// Kind::Work entries — the deterministic section.
+Snapshot snapshot(bool include_runtime = true);
+
+/// Render a snapshot as the firmres-metrics JSON document
+/// (docs/OBSERVABILITY.md lists the schema).
+std::string to_json(const Snapshot& snapshot);
+
+/// Render a snapshot as a flat `name value` text listing (histograms emit
+/// name.count / name.sum / name.le_2ei lines).
+std::string to_text(const Snapshot& snapshot);
+
+/// Zero every registered metric. Only meaningful when no thread is
+/// recording (tests, bench section boundaries).
+void reset_all();
+
+/// snapshot(include_runtime) + to_json + write to `path`. Throws
+/// support::ParseError when the file cannot be written.
+void write_json(const std::string& path, bool include_runtime = false);
+
+/// snapshot(include_runtime) + to_text + write to `path`. Throws
+/// support::ParseError when the file cannot be written.
+void write_text(const std::string& path, bool include_runtime = false);
+
+}  // namespace firmres::support::metrics

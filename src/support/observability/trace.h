@@ -1,0 +1,120 @@
+// Scoped tracing for the FIRMRES pipeline (docs/OBSERVABILITY.md).
+//
+// A trace::Span is an RAII scope marker: construction records a start
+// timestamp, destruction records the duration, and the completed event
+// lands in a buffer owned by the recording thread — the hot path never
+// touches a lock another thread contends for. Spans nest naturally
+// (pipeline.device > phase.fields > taint.build), carry a category, an
+// optional device id, and string key/value args, and cost one relaxed
+// atomic load when tracing is disabled at runtime.
+//
+// Two gates keep the overhead bounded:
+//   * compile time — defining FIRMRES_OBSERVABILITY_DISABLED turns the
+//     FIRMRES_SPAN* macros into nothing and Span into an empty shell;
+//   * run time    — spans record only while trace::set_enabled(true) is in
+//     effect (the CLI flips it when --trace-out is given).
+//
+// collect() merges every thread's buffer into one event list with a
+// deterministic total order (start time, then stable thread id, then a
+// per-thread sequence number); to_chrome_json() renders that list in the
+// chrome://tracing / Perfetto "traceEvents" format.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace firmres::support::trace {
+
+/// Runtime gate. Off by default; flipping it on/off is safe at any time,
+/// but events recorded by in-flight spans straddling the flip may be
+/// partially dropped (a span checks the gate once, at construction).
+void set_enabled(bool enabled);
+bool enabled();
+
+/// A completed span, as returned by collect().
+struct Event {
+  std::string name;
+  std::string category;
+  /// Device the span worked on; 0 when not device-scoped.
+  int device_id = 0;
+  /// Nanoseconds since an arbitrary (per-process) steady-clock epoch.
+  std::uint64_t start_ns = 0;
+  std::uint64_t duration_ns = 0;
+  /// Stable small id of the recording thread (registration order).
+  std::uint64_t thread_id = 0;
+  /// Per-thread completion sequence number (ties broken deterministically).
+  std::uint64_t sequence = 0;
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+#if !defined(FIRMRES_OBSERVABILITY_DISABLED)
+
+/// RAII scope span. Cheap to construct when tracing is disabled (one
+/// relaxed atomic load, no allocation).
+class Span {
+ public:
+  Span(const char* name, const char* category, int device_id = 0);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attach a key/value argument (shown in the trace viewer's detail
+  /// panel). No-op when the span is not recording.
+  void arg(const char* key, std::string value);
+
+ private:
+  bool live_ = false;  ///< recording (tracing was enabled at construction)
+  const char* name_ = nullptr;
+  const char* category_ = nullptr;
+  int device_id_ = 0;
+  std::uint64_t start_ns_ = 0;
+  std::vector<std::pair<std::string, std::string>> args_;
+};
+
+#else  // FIRMRES_OBSERVABILITY_DISABLED
+
+class Span {
+ public:
+  Span(const char*, const char*, int = 0) {}
+  void arg(const char*, std::string) {}
+};
+
+#endif
+
+/// Merge every thread's completed spans into one deterministically ordered
+/// list (start_ns, thread_id, sequence) and clear the buffers.
+std::vector<Event> collect();
+
+/// Drop all buffered events without returning them.
+void clear();
+
+/// Render events in the chrome://tracing JSON object format:
+/// {"traceEvents":[{"name":…,"cat":…,"ph":"X","ts":…,"dur":…,"pid":1,
+/// "tid":…,"args":{…}}, …]}. Timestamps are microseconds (the format's
+/// unit); load the file in Perfetto (ui.perfetto.dev) or chrome://tracing.
+std::string to_chrome_json(const std::vector<Event>& events);
+
+/// collect() + to_chrome_json() + write to `path`. Throws
+/// support::ParseError when the file cannot be written.
+void write_chrome_trace(const std::string& path);
+
+}  // namespace firmres::support::trace
+
+// Convenience macros: create an anonymous span covering the rest of the
+// enclosing scope. Compiled out entirely under FIRMRES_OBSERVABILITY_DISABLED.
+#if !defined(FIRMRES_OBSERVABILITY_DISABLED)
+#define FIRMRES_SPAN_CAT2(a, b) a##b
+#define FIRMRES_SPAN_CAT(a, b) FIRMRES_SPAN_CAT2(a, b)
+#define FIRMRES_SPAN(name, category)                     \
+  ::firmres::support::trace::Span FIRMRES_SPAN_CAT(      \
+      firmres_span_, __LINE__)(name, category)
+#define FIRMRES_SPAN_DEVICE(name, category, device_id)   \
+  ::firmres::support::trace::Span FIRMRES_SPAN_CAT(      \
+      firmres_span_, __LINE__)(name, category, device_id)
+#else
+#define FIRMRES_SPAN(name, category) do { } while (0)
+#define FIRMRES_SPAN_DEVICE(name, category, device_id) do { } while (0)
+#endif

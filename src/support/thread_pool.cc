@@ -1,10 +1,20 @@
 #include "support/thread_pool.h"
 
 #include "support/error.h"
+#include "support/observability/metrics.h"
+#include "support/observability/trace.h"
 
 namespace firmres::support {
 
 namespace {
+
+// Pool observability (docs/OBSERVABILITY.md). Runtime-kind: task counts and
+// queue depths depend on the schedule, so they are excluded from the
+// deterministic metrics dump.
+metrics::Counter g_tasks_executed("pool.tasks_executed",
+                                  metrics::Kind::Runtime);
+metrics::Gauge g_queue_depth_max("pool.queue_depth_max",
+                                 metrics::Kind::Runtime);
 // Lets enqueue() route a worker's nested submits to its own queue, and
 // try_run_one() know it was called from outside the pool.
 thread_local const ThreadPool* tl_pool = nullptr;
@@ -60,6 +70,7 @@ void ThreadPool::enqueue(Task task) {
   {
     std::lock_guard<std::mutex> lock(sync_mutex_);
     ++queued_;
+    g_queue_depth_max.record(queued_);
   }
   work_cv_.notify_one();
 }
@@ -94,7 +105,11 @@ bool ThreadPool::pop_task(std::size_t preferred, Task& out) {
 }
 
 void ThreadPool::run_popped(Task& task) {
-  task();  // packaged_task: exceptions land in the future, never escape
+  {
+    FIRMRES_SPAN("pool.task", "pool");
+    task();  // packaged_task: exceptions land in the future, never escape
+  }
+  g_tasks_executed.add();
   std::lock_guard<std::mutex> lock(sync_mutex_);
   --active_;
   if (queued_ == 0 && active_ == 0) idle_cv_.notify_all();

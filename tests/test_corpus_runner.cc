@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -116,6 +117,99 @@ TEST(CorpusRunner, EmptyCorpusYieldsEmptyResult) {
   EXPECT_TRUE(result.analyses.empty());
   EXPECT_TRUE(result.failures.empty());
   EXPECT_EQ(result.aggregate.total_s(), 0.0);
+}
+
+/// A task that burns "CPU" into a DeviceAnalysis and then throws on the
+/// first attempt, succeeding on the second. Regression guard for the retry
+/// attribution bug: the failed attempt's timings must be discarded with the
+/// attempt, never summed into the aggregate alongside the retry's.
+CorpusTask flaky_task(int device_id, std::atomic<int>& attempts,
+                      double attempt1_cpu_s, double attempt2_cpu_s) {
+  return CorpusTask{
+      device_id, [&attempts, device_id, attempt1_cpu_s,
+                  attempt2_cpu_s](support::ThreadPool*) {
+        const int attempt = attempts.fetch_add(1) + 1;
+        DeviceAnalysis analysis;
+        analysis.device_id = device_id;
+        analysis.timings.pinpoint_s =
+            attempt == 1 ? attempt1_cpu_s : attempt2_cpu_s;
+        analysis.timings.cpu_total_s =
+            attempt == 1 ? attempt1_cpu_s : attempt2_cpu_s;
+        if (attempt == 1)
+          throw std::runtime_error("transient failure");  // timings die here
+        return analysis;
+      }};
+}
+
+TEST(CorpusRunner, RetriedDeviceReportsExactlyOneAttempt) {
+  const Pipeline pipeline(kModel);
+  std::atomic<int> attempts{0};
+  std::vector<CorpusTask> tasks;
+  tasks.push_back(flaky_task(7, attempts, /*attempt1_cpu_s=*/100.0,
+                             /*attempt2_cpu_s=*/2.0));
+  tasks.push_back(CorpusTask{3, [](support::ThreadPool*) {
+                               DeviceAnalysis a;
+                               a.device_id = 3;
+                               a.timings.pinpoint_s = 1.0;
+                               a.timings.cpu_total_s = 1.0;
+                               return a;
+                             }});
+
+  for (const int jobs : {1, 4}) {
+    attempts = 0;
+    const CorpusRunner runner(pipeline, {.jobs = jobs});
+    const CorpusResult result = runner.run_tasks(tasks);
+    EXPECT_EQ(attempts.load(), 2) << "jobs=" << jobs;
+    EXPECT_TRUE(result.failures.empty()) << "jobs=" << jobs;
+    ASSERT_EQ(result.analyses.size(), 2u) << "jobs=" << jobs;
+    // Device 7 appears once, with the *surviving* attempt's numbers; the
+    // thrown attempt's 100 s of burned CPU must not leak into any sum.
+    EXPECT_EQ(result.analyses[0].device_id, 3);
+    EXPECT_EQ(result.analyses[1].device_id, 7);
+    EXPECT_DOUBLE_EQ(result.analyses[1].timings.cpu_total_s, 2.0);
+    EXPECT_DOUBLE_EQ(result.aggregate.pinpoint_s, 3.0);
+    EXPECT_DOUBLE_EQ(result.cpu_s, 3.0);
+  }
+}
+
+TEST(CorpusRunner, TwiceFailedDeviceRecordsTwoAttempts) {
+  const Pipeline pipeline(kModel);
+  std::atomic<int> calls{0};
+  std::vector<CorpusTask> tasks;
+  tasks.push_back(CorpusTask{5, [&calls](support::ThreadPool*) {
+                               calls.fetch_add(1);
+                               throw std::runtime_error("deterministic bug");
+                               return DeviceAnalysis{};  // unreachable
+                             }});
+  const CorpusRunner runner(pipeline, {.jobs = 1});
+  const CorpusResult result = runner.run_tasks(tasks);
+  EXPECT_EQ(calls.load(), 2);
+  EXPECT_TRUE(result.analyses.empty());
+  ASSERT_EQ(result.failures.size(), 1u);
+  EXPECT_EQ(result.failures[0].device_id, 5);
+  EXPECT_EQ(result.failures[0].attempts, 2);
+  EXPECT_EQ(result.failures[0].error, "deterministic bug");
+  EXPECT_DOUBLE_EQ(result.aggregate.total_s(), 0.0);
+  EXPECT_DOUBLE_EQ(result.cpu_s, 0.0);
+}
+
+TEST(CorpusRunner, RetryDisabledFailsAfterOneAttempt) {
+  const Pipeline pipeline(kModel);
+  std::atomic<int> calls{0};
+  std::vector<CorpusTask> tasks;
+  tasks.push_back(CorpusTask{9, [&calls](support::ThreadPool*) {
+                               calls.fetch_add(1);
+                               throw std::runtime_error("boom");
+                               return DeviceAnalysis{};  // unreachable
+                             }});
+  CorpusRunner::Options options;
+  options.jobs = 1;
+  options.retry_failed = false;
+  const CorpusResult result =
+      CorpusRunner(pipeline, options).run_tasks(tasks);
+  EXPECT_EQ(calls.load(), 1);
+  ASSERT_EQ(result.failures.size(), 1u);
+  EXPECT_EQ(result.failures[0].attempts, 1);
 }
 
 TEST(CorpusRunner, RunTasksPassesSharedPoolWhenParallel) {

@@ -1,0 +1,276 @@
+// Observability layer tests (docs/OBSERVABILITY.md): span nesting and
+// deterministic cross-thread merge, metrics aggregation equality across
+// job counts, runtime/compile-time no-op gates, and the chrome://tracing
+// export schema.
+#include "support/observability/metrics.h"
+#include "support/observability/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/corpus_runner.h"
+#include "core/report.h"
+#include "firmware/synthesizer.h"
+#include "support/json.h"
+#include "support/thread_pool.h"
+
+namespace firmres {
+namespace {
+
+namespace trace = support::trace;
+namespace metrics = support::metrics;
+
+/// RAII: turn tracing on for one test, drop any buffered events on both
+/// ends so tests cannot leak spans into each other.
+struct ScopedTracing {
+  ScopedTracing() {
+    trace::clear();
+    trace::set_enabled(true);
+  }
+  ~ScopedTracing() {
+    trace::set_enabled(false);
+    trace::clear();
+  }
+};
+
+#if !defined(FIRMRES_OBSERVABILITY_DISABLED)
+
+TEST(Trace, SpansNestAndCarryArgs) {
+  ScopedTracing tracing;
+  {
+    trace::Span outer("outer", "test", 42);
+    outer.arg("key", "value");
+    { trace::Span inner("inner", "test"); }
+  }
+  const std::vector<trace::Event> events = trace::collect();
+  ASSERT_EQ(events.size(), 2u);
+  // Spans complete inner-first but the merge orders by start time.
+  EXPECT_EQ(events[0].name, "outer");
+  EXPECT_EQ(events[1].name, "inner");
+  EXPECT_EQ(events[0].device_id, 42);
+  ASSERT_EQ(events[0].args.size(), 1u);
+  EXPECT_EQ(events[0].args[0].first, "key");
+  EXPECT_EQ(events[0].args[0].second, "value");
+  // The inner span's lifetime is contained in the outer's.
+  EXPECT_GE(events[1].start_ns, events[0].start_ns);
+  EXPECT_LE(events[1].start_ns + events[1].duration_ns,
+            events[0].start_ns + events[0].duration_ns);
+  // collect() drained the buffers.
+  EXPECT_TRUE(trace::collect().empty());
+}
+
+TEST(Trace, MultiThreadMergeIsDeterministicallyOrdered) {
+  ScopedTracing tracing;
+  {
+    support::ThreadPool pool(4);
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 16; ++i) {
+      futures.push_back(pool.submit([] {
+        trace::Span span("worker", "test");
+        (void)span;
+      }));
+    }
+    for (auto& f : futures) f.get();
+  }
+  const std::vector<trace::Event> events = trace::collect();
+  // 16 explicit spans plus the pool's own pool.task spans.
+  EXPECT_GE(events.size(), 16u);
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    const trace::Event& a = events[i - 1];
+    const trace::Event& b = events[i];
+    const bool ordered =
+        a.start_ns < b.start_ns ||
+        (a.start_ns == b.start_ns &&
+         (a.thread_id < b.thread_id ||
+          (a.thread_id == b.thread_id && a.sequence < b.sequence)));
+    EXPECT_TRUE(ordered) << "events " << i - 1 << " and " << i
+                         << " out of order";
+  }
+}
+
+TEST(Trace, RuntimeDisabledRecordsNothing) {
+  trace::clear();
+  trace::set_enabled(false);
+  {
+    FIRMRES_SPAN("ghost", "test");
+    FIRMRES_SPAN_DEVICE("ghost2", "test", 7);
+  }
+  EXPECT_TRUE(trace::collect().empty());
+}
+
+TEST(Trace, ChromeJsonMatchesTraceEventSchema) {
+  ScopedTracing tracing;
+  {
+    trace::Span span("schema", "test", 3);
+    span.arg("detail", "x");
+  }
+  const std::filesystem::path path =
+      std::filesystem::temp_directory_path() / "firmres_trace_test.json";
+  trace::write_chrome_trace(path.string());
+  std::string body;
+  {
+    std::FILE* f = std::fopen(path.string().c_str(), "r");
+    ASSERT_NE(f, nullptr);
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) body.append(buf, n);
+    std::fclose(f);
+  }
+  std::filesystem::remove(path);
+
+  const support::Json doc = support::Json::parse(body);
+  ASSERT_TRUE(doc.is_object());
+  const support::Json* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_GE(events->size(), 1u);
+  for (const support::Json& e : events->as_array()) {
+    ASSERT_TRUE(e.is_object());
+    for (const char* key : {"name", "cat", "ph", "ts", "dur", "pid", "tid"})
+      ASSERT_NE(e.find(key), nullptr) << "missing " << key;
+    EXPECT_EQ(e.find("ph")->as_string(), "X");  // complete-event phase
+    EXPECT_TRUE(e.find("ts")->is_number());
+    EXPECT_TRUE(e.find("dur")->is_number());
+  }
+  const support::Json& first = events->as_array()[0];
+  EXPECT_EQ(first.find("name")->as_string(), "schema");
+  EXPECT_EQ(first.find("cat")->as_string(), "test");
+  const support::Json* args = first.find("args");
+  ASSERT_NE(args, nullptr);
+  EXPECT_EQ(args->find("device_id")->as_number(), 3.0);
+  EXPECT_EQ(args->find("detail")->as_string(), "x");
+}
+
+#else  // FIRMRES_OBSERVABILITY_DISABLED
+
+TEST(Trace, DisabledBuildSpansCompileToNothing) {
+  trace::clear();
+  trace::set_enabled(true);
+  {
+    FIRMRES_SPAN("ghost", "test");
+    trace::Span span("ghost2", "test", 1);
+    span.arg("k", "v");
+  }
+  EXPECT_TRUE(trace::collect().empty());
+  trace::set_enabled(false);
+}
+
+#endif
+
+TEST(Metrics, CountersGaugesHistogramsAggregate) {
+  static metrics::Counter counter("test.counter", metrics::Kind::Work);
+  static metrics::Gauge gauge("test.gauge", metrics::Kind::Work);
+  static metrics::Histogram histogram("test.histogram",
+                                      metrics::Kind::Work);
+  counter.reset();
+  gauge.reset();
+  histogram.reset();
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < 1000; ++i) counter.add();
+      gauge.record(static_cast<std::uint64_t>(t + 1));
+      histogram.observe(1);    // bucket value < 2
+      histogram.observe(100);  // bucket value < 128
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(counter.value(), 4000u);
+  EXPECT_EQ(gauge.value(), 4u);  // high-water mark, not last write
+  EXPECT_EQ(histogram.count(), 8u);
+  EXPECT_EQ(histogram.sum(), 4u * 101u);
+  EXPECT_EQ(histogram.bucket(1), 4u);  // 1 < 2^1
+  EXPECT_EQ(histogram.bucket(7), 4u);  // 100 < 2^7
+}
+
+TEST(Metrics, SnapshotFiltersRuntimeKind) {
+  static metrics::Counter work("test.kind_work", metrics::Kind::Work);
+  static metrics::Counter runtime("test.kind_runtime",
+                                  metrics::Kind::Runtime);
+  work.add();
+  runtime.add();
+  const metrics::Snapshot all = metrics::snapshot(true);
+  const metrics::Snapshot deterministic = metrics::snapshot(false);
+  const auto has = [](const metrics::Snapshot& snap, const char* name) {
+    for (const auto& c : snap.counters)
+      if (c.name == name) return true;
+    return false;
+  };
+  EXPECT_TRUE(has(all, "test.kind_work"));
+  EXPECT_TRUE(has(all, "test.kind_runtime"));
+  EXPECT_TRUE(has(deterministic, "test.kind_work"));
+  EXPECT_FALSE(has(deterministic, "test.kind_runtime"));
+}
+
+/// The acceptance property behind --metrics-out: the Work-kind section of
+/// the dump is byte-identical however the corpus run was scheduled.
+TEST(Metrics, WorkDumpIsByteIdenticalAcrossJobCounts) {
+  const core::KeywordModel model;
+  const core::Pipeline pipeline(model);
+  std::vector<fw::FirmwareImage> corpus;
+  for (const int id : {1, 2, 3, 4, 21})
+    corpus.push_back(fw::synthesize(fw::profile_by_id(id)));
+
+  const auto dump_for_jobs = [&](int jobs) {
+    metrics::reset_all();
+    const core::CorpusRunner runner(pipeline, {.jobs = jobs});
+    const core::CorpusResult result = runner.run(corpus);
+    EXPECT_TRUE(result.failures.empty());
+    return metrics::to_json(metrics::snapshot(false));
+  };
+  const std::string sequential = dump_for_jobs(1);
+  EXPECT_NE(sequential.find("taint.steps"), std::string::npos);
+  EXPECT_NE(sequential.find("pipeline.devices_analyzed"), std::string::npos);
+  EXPECT_EQ(dump_for_jobs(4), sequential);
+  EXPECT_EQ(dump_for_jobs(0), sequential);  // hardware concurrency
+}
+
+/// The per-device metrics block of the report is Work-only and emitted in
+/// a fixed order, so it survives the timings-omitted byte comparison.
+TEST(Metrics, ReportMetricsBlockIsJobsInvariant) {
+  const core::KeywordModel model;
+  const core::Pipeline pipeline(model);
+  const fw::FirmwareImage image = fw::synthesize(fw::profile_by_id(2));
+
+  const core::DeviceAnalysis sequential = pipeline.analyze(image);
+  support::ThreadPool pool(4);
+  const core::DeviceAnalysis parallel = pipeline.analyze(image, &pool);
+
+  ASSERT_FALSE(sequential.metrics.empty());
+  EXPECT_EQ(sequential.metrics, parallel.metrics);
+  const std::string report =
+      core::analysis_to_json(sequential, /*include_timings=*/false)
+          .dump(true);
+  EXPECT_NE(report.find("\"metrics\""), std::string::npos);
+  EXPECT_NE(report.find("taint.mft_nodes"), std::string::npos);
+}
+
+TEST(Metrics, TextDumpListsEveryMetricKind) {
+  static metrics::Counter counter("test.text_counter", metrics::Kind::Work);
+  static metrics::Gauge gauge("test.text_gauge", metrics::Kind::Work);
+  static metrics::Histogram histogram("test.text_histogram",
+                                      metrics::Kind::Work);
+  counter.reset();
+  gauge.reset();
+  histogram.reset();
+  counter.add(3);
+  gauge.record(9);
+  histogram.observe(5);
+  const std::string text = metrics::to_text(metrics::snapshot(false));
+  EXPECT_NE(text.find("test.text_counter 3\n"), std::string::npos);
+  EXPECT_NE(text.find("test.text_gauge 9\n"), std::string::npos);
+  EXPECT_NE(text.find("test.text_histogram.count 1\n"), std::string::npos);
+  EXPECT_NE(text.find("test.text_histogram.sum 5\n"), std::string::npos);
+  EXPECT_NE(text.find("test.text_histogram.le_2e3 1\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace firmres

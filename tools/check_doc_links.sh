@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Markdown link checker for the repo's documentation set.
+#
+# Scans every tracked *.md file for inline links and verifies that each
+# relative target exists (anchors and line-number suffixes stripped).
+# External links (http/https/mailto) are skipped — CI must not depend on
+# network reachability. Exits non-zero listing every broken link.
+#
+#   tools/check_doc_links.sh [repo-root]
+set -euo pipefail
+
+cd "${1:-$(dirname "$0")/..}"
+
+broken=0
+checked=0
+# Tracked markdown only, so scratch build/ trees never leak into the scan.
+while IFS= read -r file; do
+  dir=$(dirname "$file")
+  # Inline links/images: capture the (...) target of each [...](...) pair.
+  while IFS= read -r target; do
+    [[ -z "$target" ]] && continue
+    case "$target" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    # Strip an anchor or a :line suffix from the path part.
+    path=${target%%#*}
+    path=${path%%:*}
+    [[ -z "$path" ]] && continue
+    checked=$((checked + 1))
+    # Relative to the containing file, or repo-absolute with a leading /.
+    if [[ "$path" = /* ]]; then
+      resolved=".$path"
+    else
+      resolved="$dir/$path"
+    fi
+    if [[ ! -e "$resolved" ]]; then
+      echo "$file: broken link -> $target" >&2
+      broken=$((broken + 1))
+    fi
+  done < <(grep -oE '\]\(([^()]+)\)' "$file" | sed -E 's/^\]\(//; s/\)$//')
+done < <(git ls-files '*.md')
+
+if [[ $broken -gt 0 ]]; then
+  echo "check_doc_links: $broken broken link(s) out of $checked checked" >&2
+  exit 1
+fi
+echo "check_doc_links: $checked relative link(s) OK"

@@ -1,7 +1,8 @@
 // firmres — command-line front end.
 //
 //   firmres synth <dir> [--device N]      synthesize corpus/device image(s)
-//   firmres analyze <image-dir> [--json]  run the pipeline on a saved image
+//   firmres analyze <image-dir>... [--json]
+//                                         run the pipeline on saved image(s)
 //   firmres lint <image-dir>... [--json] [--werror]
 //                                         verify/lint the lifted executables
 //   firmres hunt <image-dir>...           probe clouds, report vulnerabilities
@@ -11,10 +12,14 @@
 //   firmres corpus                        list the Table I device profiles
 //
 // Images use the directory format of firmware/serializer.h. `analyze`
-// prints the human report by default and the JSON report with --json.
+// prints the human report by default and the JSON report with --json;
+// given several image directories it fans out on a CorpusRunner.
+// analyze/hunt/lint all take the observability flags (--trace-out,
+// --metrics-out, --metrics-runtime — docs/OBSERVABILITY.md).
 //
 // Exit codes: 0 success, 1 runtime failure (or findings for hunt/lint),
-// 2 usage / unknown subcommand, 3 unknown flag.
+// 2 usage / unknown subcommand, 3 unknown flag. README.md carries the
+// full per-subcommand flag and exit-code reference.
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -38,6 +43,8 @@
 #include "support/error.h"
 #include "support/json.h"
 #include "support/logging.h"
+#include "support/observability/metrics.h"
+#include "support/observability/trace.h"
 #include "support/strings.h"
 
 namespace {
@@ -51,14 +58,23 @@ constexpr int kExitUnknownFlag = 3;
 int usage() {
   std::fprintf(stderr,
                "usage:\n"
-               "  firmres synth <dir> [--device N]\n"
-               "  firmres analyze <image-dir> [--json] [--model <path>] "
+               "  firmres analyze <image-dir>... [--json] [--model <path>] "
                "[--jobs N]\n"
                "  firmres lint <image-dir>... [--json] [--werror] [--jobs N]\n"
                "  firmres hunt <image-dir>... [--jobs N]\n"
+               "  firmres synth <dir> [--device N]\n"
                "  firmres ir <image-dir> <exec-path>\n"
                "  firmres train <model.json> [devices] [epochs]\n"
-               "  firmres corpus\n");
+               "  firmres corpus\n"
+               "\n"
+               "analyze/lint/hunt also accept the observability flags\n"
+               "(docs/OBSERVABILITY.md):\n"
+               "  --trace-out <path>    write a chrome://tracing JSON trace\n"
+               "  --metrics-out <path>  write the metrics dump (.json = JSON,\n"
+               "                        anything else = flat text)\n"
+               "  --metrics-runtime     include Runtime-kind metrics in the\n"
+               "                        dump (off by default: the Work-only\n"
+               "                        dump is byte-identical at any --jobs)\n");
   return kExitUsage;
 }
 
@@ -134,6 +150,47 @@ int take_jobs_flag(std::vector<std::string>& args) {
   return jobs < 1 ? 1 : jobs;
 }
 
+/// Consumes the shared observability flags (--trace-out, --metrics-out,
+/// --metrics-runtime) and writes the requested exports when the command
+/// finishes, whichever return path it takes. Tracing is switched on only
+/// when --trace-out was given — a plain run pays one relaxed atomic load
+/// per span site (docs/OBSERVABILITY.md).
+class ObsWriter {
+ public:
+  explicit ObsWriter(std::vector<std::string>& args)
+      : trace_out_(take_value_flag(args, "--trace-out")),
+        metrics_out_(take_value_flag(args, "--metrics-out")),
+        include_runtime_(take_flag(args, "--metrics-runtime")) {
+    if (trace_out_.has_value()) support::trace::set_enabled(true);
+  }
+
+  ObsWriter(const ObsWriter&) = delete;
+  ObsWriter& operator=(const ObsWriter&) = delete;
+
+  ~ObsWriter() {
+    try {
+      if (trace_out_.has_value()) {
+        support::trace::set_enabled(false);
+        support::trace::write_chrome_trace(*trace_out_);
+      }
+      if (metrics_out_.has_value()) {
+        if (std::string_view(*metrics_out_).ends_with(".json"))
+          support::metrics::write_json(*metrics_out_, include_runtime_);
+        else
+          support::metrics::write_text(*metrics_out_, include_runtime_);
+      }
+    } catch (const std::exception& e) {
+      // A failed export must not clobber the command's exit code path.
+      std::fprintf(stderr, "error: %s\n", e.what());
+    }
+  }
+
+ private:
+  std::optional<std::string> trace_out_;
+  std::optional<std::string> metrics_out_;
+  bool include_runtime_;
+};
+
 int cmd_corpus() {
   std::printf("%-4s %-18s %-24s %-22s %-7s\n", "ID", "Vendor", "Model",
               "Type", "Kind");
@@ -171,43 +228,13 @@ int cmd_synth(std::vector<std::string> args) {
   return 0;
 }
 
-int cmd_analyze(std::vector<std::string> args) {
-  const int jobs = take_jobs_flag(args);
-  const bool json = take_flag(args, "--json");
-  const std::string model_path =
-      take_value_flag(args, "--model").value_or("");
-  if (!reject_unknown_flags("analyze", args)) return kExitUnknownFlag;
-  if (args.empty()) return usage();
-
-  const fw::FirmwareImage image = fw::load_image(args[0]);
-  // Dictionary matcher by default; a trained classifier with --model.
-  const core::KeywordModel keyword_model;
-  std::unique_ptr<nlp::SliceClassifier> neural;
-  if (!model_path.empty()) neural = nlp::SliceClassifier::load(model_path);
-  const core::SemanticsModel& model =
-      neural != nullptr ? static_cast<const core::SemanticsModel&>(*neural)
-                        : keyword_model;
-  const core::Pipeline pipeline(model);
-  core::DeviceAnalysis analysis;
-  if (jobs > 1) {
-    // Phase 2 fans out across the image's device-cloud programs; the
-    // report is identical to the sequential run (timings aside).
-    support::ThreadPool pool(static_cast<std::size_t>(jobs));
-    analysis = pipeline.analyze(image, &pool);
-  } else {
-    analysis = pipeline.analyze(image);
-  }
-
-  if (json) {
-    std::printf("%s\n", core::analysis_to_json(analysis).dump(true).c_str());
-    return 0;
-  }
-
+void print_analysis(const fw::FirmwareImage& image,
+                    const core::DeviceAnalysis& analysis) {
   std::printf("image: %s %s (device %d)\n", image.profile.vendor.c_str(),
               image.profile.model.c_str(), image.profile.id);
   if (analysis.device_cloud_executable.empty()) {
     std::printf("no device-cloud executable identified\n");
-    return 0;
+    return;
   }
   std::printf("device-cloud executable: %s\n",
               analysis.device_cloud_executable.c_str());
@@ -226,11 +253,86 @@ int cmd_analyze(std::vector<std::string> args) {
   for (const core::FlawReport& flaw : analysis.flaws)
     std::printf("  message #%zu [%s]: %s\n", flaw.message_index,
                 core::flaw_kind_name(flaw.kind), flaw.detail.c_str());
-  return 0;
+}
+
+int cmd_analyze(std::vector<std::string> args) {
+  const int jobs = take_jobs_flag(args);
+  const bool json = take_flag(args, "--json");
+  const std::string model_path =
+      take_value_flag(args, "--model").value_or("");
+  const ObsWriter obs(args);
+  if (!reject_unknown_flags("analyze", args)) return kExitUnknownFlag;
+  if (args.empty()) return usage();
+
+  // Dictionary matcher by default; a trained classifier with --model.
+  const core::KeywordModel keyword_model;
+  std::unique_ptr<nlp::SliceClassifier> neural;
+  if (!model_path.empty()) neural = nlp::SliceClassifier::load(model_path);
+  const core::SemanticsModel& model =
+      neural != nullptr ? static_cast<const core::SemanticsModel&>(*neural)
+                        : keyword_model;
+  const core::Pipeline pipeline(model);
+
+  if (args.size() == 1) {
+    const fw::FirmwareImage image = fw::load_image(args[0]);
+    core::DeviceAnalysis analysis;
+    if (jobs > 1) {
+      // Phase 2 fans out across the image's device-cloud programs; the
+      // report is identical to the sequential run (timings aside).
+      support::ThreadPool pool(static_cast<std::size_t>(jobs));
+      analysis = pipeline.analyze(image, &pool);
+    } else {
+      analysis = pipeline.analyze(image);
+    }
+    if (json) {
+      std::printf("%s\n",
+                  core::analysis_to_json(analysis).dump(true).c_str());
+    } else {
+      print_analysis(image, analysis);
+    }
+    return 0;
+  }
+
+  // Several image directories: fan out on the CorpusRunner. A broken
+  // directory skips that device (like hunt), not the whole run.
+  std::vector<fw::FirmwareImage> images;
+  for (const std::string& dir : args) {
+    try {
+      images.push_back(fw::load_image(dir));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "skipping %s: %s\n", dir.c_str(), e.what());
+    }
+  }
+  const core::CorpusRunner runner(pipeline, {.jobs = jobs});
+  const core::CorpusResult run = runner.run(images);
+  for (const core::DeviceFailure& failure : run.failures)
+    std::fprintf(stderr, "device %d failed (%d attempt%s): %s\n",
+                 failure.device_id, failure.attempts,
+                 failure.attempts == 1 ? "" : "s", failure.error.c_str());
+  if (json) {
+    support::JsonArray reports;
+    for (const core::DeviceAnalysis& analysis : run.analyses)
+      reports.push_back(core::analysis_to_json(analysis));
+    std::printf("%s\n",
+                support::Json(std::move(reports)).dump(true).c_str());
+  } else {
+    for (const core::DeviceAnalysis& analysis : run.analyses) {
+      for (const fw::FirmwareImage& image : images) {
+        if (image.profile.id != analysis.device_id) continue;
+        print_analysis(image, analysis);
+        std::putchar('\n');
+        break;
+      }
+    }
+    std::printf("%zu device(s) analyzed, %zu failed\n", run.analyses.size(),
+                run.failures.size());
+  }
+  return run.failures.empty() && images.size() == args.size() ? 0 : 1;
 }
 
 int cmd_hunt(std::vector<std::string> args) {
   const int jobs = take_jobs_flag(args);
+  const ObsWriter obs(args);
   if (!reject_unknown_flags("hunt", args)) return kExitUnknownFlag;
   if (args.empty()) return usage();
   std::vector<fw::FirmwareImage> images;
@@ -277,6 +379,7 @@ int cmd_lint(std::vector<std::string> args) {
   const int jobs = take_jobs_flag(args);
   const bool json = take_flag(args, "--json");
   const bool werror = take_flag(args, "--werror");
+  const ObsWriter obs(args);
   if (!reject_unknown_flags("lint", args)) return kExitUnknownFlag;
   if (args.empty()) return usage();
 

@@ -4,9 +4,11 @@
 # Drives one dedicated build tree per sanitizer configuration:
 #
 #   thread            -DFIRMRES_SANITIZE=thread, runs the `concurrency`-
-#                     labeled ctest suites (test_thread_pool,
-#                     test_corpus_runner) under TSan — the CI step guarding
-#                     the parallel corpus engine and the verifier fan-out.
+#                     and `observability`-labeled ctest suites
+#                     (test_thread_pool, test_corpus_runner,
+#                     test_observability) under TSan — the step guarding
+#                     the parallel corpus engine, the verifier fan-out,
+#                     and the tracing/metrics buffers.
 #   address,undefined -DFIRMRES_SANITIZE=address,undefined, runs the full
 #                     ctest suite under ASan+UBSan.
 #
@@ -35,7 +37,7 @@ run_tree() {
 }
 
 if [[ "$MODE" == thread || "$MODE" == all ]]; then
-  run_tree "${FIRMRES_TSAN_BUILD_DIR:-build-tsan}" thread "-L concurrency" "$@"
+  run_tree "${FIRMRES_TSAN_BUILD_DIR:-build-tsan}" thread "-L concurrency|observability" "$@"
 fi
 if [[ "$MODE" == asan || "$MODE" == all ]]; then
   run_tree "${FIRMRES_ASAN_BUILD_DIR:-build-asan}" address,undefined "" "$@"
