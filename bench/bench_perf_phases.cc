@@ -182,8 +182,17 @@ BENCHMARK(BM_CorpusAnalyze)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 
 int main(int argc, char** argv) {
   firmres::support::set_log_level(firmres::support::LogLevel::Warn);
+  const std::string json_path = bench::take_json_flag(argc, argv);
   print_perf();
   print_parallel_speedup();
+  if (!json_path.empty()) {
+    // Fresh registry + run so the artifact reflects one corpus pass, not
+    // the accumulated counters of the sections above.
+    support::metrics::reset_all();
+    const core::KeywordModel model;
+    const bench::CorpusRun run = bench::run_corpus(model);
+    bench::write_bench_json(json_path, "bench_perf_phases", run.result);
+  }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -110,8 +110,16 @@ BENCHMARK(BM_EvaluateDevice);
 
 int main(int argc, char** argv) {
   firmres::support::set_log_level(firmres::support::LogLevel::Warn);
+  const std::string json_path = bench::take_json_flag(argc, argv);
   print_table2();
   maybe_neural_pass();
+  if (!json_path.empty()) {
+    support::metrics::reset_all();
+    const core::KeywordModel model;
+    const bench::CorpusRun run = bench::run_corpus(model);
+    bench::write_bench_json(json_path, "bench_table2_reconstruction",
+                            run.result);
+  }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -4,8 +4,10 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "cloud/evaluation.h"
@@ -13,7 +15,11 @@
 #include "core/corpus_runner.h"
 #include "core/pipeline.h"
 #include "firmware/synthesizer.h"
+#include "support/error.h"
+#include "support/json.h"
 #include "support/logging.h"
+#include "support/observability/metrics.h"
+#include "support/thread_pool.h"
 
 namespace firmres::bench {
 
@@ -48,6 +54,81 @@ inline std::string fmt_cluster(const std::optional<int>& c) {
 inline void print_rule(int width = 100) {
   for (int i = 0; i < width; ++i) std::putchar('-');
   std::putchar('\n');
+}
+
+/// Consume `--json <path>` from argv before benchmark::Initialize sees it
+/// (google-benchmark rejects unknown flags). Empty when absent.
+inline std::string take_json_flag(int& argc, char** argv) {
+  std::string path;
+  for (int i = 1; i < argc;) {
+    if (std::string_view(argv[i]) == "--json" && i + 1 < argc) {
+      path = argv[i + 1];
+      for (int k = i; k + 2 < argc; ++k) argv[k] = argv[k + 2];
+      argc -= 2;
+    } else {
+      ++i;
+    }
+  }
+  return path;
+}
+
+/// Write the machine-readable bench artifact tools/check_perf_regression.py
+/// compares: per-phase wall seconds, a `total` pseudo-phase carrying the
+/// wall/cpu split, and the Work-kind registry counters of the run. `commit`
+/// comes from $GITHUB_SHA (CI) or $FIRMRES_COMMIT; "unknown" otherwise.
+inline void write_bench_json(const std::string& path,
+                             const std::string& bench_name,
+                             const core::CorpusResult& result) {
+  const char* sha = std::getenv("GITHUB_SHA");
+  if (sha == nullptr) sha = std::getenv("FIRMRES_COMMIT");
+
+  support::Json doc{support::JsonObject{}};
+  doc.set("format", "firmres-bench");
+  doc.set("bench", bench_name);
+  doc.set("commit", sha != nullptr ? sha : "unknown");
+
+  support::Json config{support::JsonObject{}};
+  config.set("hardware_threads",
+             static_cast<double>(support::ThreadPool::default_parallelism()));
+  config.set("devices", static_cast<double>(result.analyses.size()));
+  doc.set("config", std::move(config));
+
+  support::Json phases{support::JsonObject{}};
+  const auto phase = [&](const char* name, double wall_s) {
+    support::Json p{support::JsonObject{}};
+    p.set("wall_s", wall_s);
+    phases.set(name, std::move(p));
+  };
+  phase("pinpoint", result.aggregate.pinpoint_s);
+  phase("fields", result.aggregate.fields_s);
+  phase("semantics", result.aggregate.semantics_s);
+  phase("concat", result.aggregate.concat_s);
+  phase("check", result.aggregate.check_s);
+  support::Json total{support::JsonObject{}};
+  total.set("wall_s", result.wall_s);
+  total.set("cpu_s", result.cpu_s);
+  phases.set("total", std::move(total));
+  doc.set("phases", std::move(phases));
+
+  // Work-kind metrics are deterministic across job counts, so a baseline
+  // mismatch here means the analysis itself changed, not the scheduler.
+  const support::metrics::Snapshot snap = support::metrics::snapshot(false);
+  support::Json registry{support::JsonObject{}};
+  for (const auto& c : snap.counters)
+    registry.set(c.name, static_cast<double>(c.value));
+  for (const auto& g : snap.gauges)
+    registry.set(g.name, static_cast<double>(g.value));
+  for (const auto& h : snap.histograms)
+    registry.set(h.name + ".sum", static_cast<double>(h.sum));
+  doc.set("registry_metrics", std::move(registry));
+
+  const std::string body = doc.dump(true);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr)
+    throw support::ParseError("cannot write bench artifact " + path);
+  std::fwrite(body.data(), 1, body.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
 }
 
 }  // namespace firmres::bench

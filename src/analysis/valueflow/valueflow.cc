@@ -551,6 +551,7 @@ void ValueFlow::run(support::ThreadPool* pool) {
           const auto e = by_entry_.find(t.const_value());
           if (e == by_entry_.end()) continue;
           new_resolved[op] = e->second;
+          first_resolved_round_.emplace(op, round);  // keeps earliest round
           indirect_by_target[e->second].push_back(op);
         } else if (op->opcode == ir::OpCode::Call) {
           const ir::LibFunction* f = lib.find(op->callee);
@@ -627,8 +628,12 @@ void ValueFlow::run(support::ThreadPool* pool) {
     for (const ir::PcodeOp* op : locals_[i]->ops_in_order()) {
       if (op->opcode != ir::OpCode::CallInd) continue;
       const auto it = resolved_.find(op);
+      const auto rit = first_resolved_round_.find(op);
       indirect_sites_.push_back(IndirectSite{
-          locals_[i], op, it != resolved_.end() ? it->second : nullptr});
+          locals_[i], op, it != resolved_.end() ? it->second : nullptr,
+          it != resolved_.end() && rit != first_resolved_round_.end()
+              ? rit->second
+              : 0});
       ++stats_.indirect_total;
       if (it != resolved_.end()) ++stats_.indirect_resolved;
     }

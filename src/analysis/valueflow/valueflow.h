@@ -43,10 +43,14 @@ class ValueFlow {
 
   /// One CallInd site; `target` is the devirtualized callee, or nullptr when
   /// the function-pointer operand does not fold to a local function entry.
+  /// `resolved_round` is the interprocedural round that first folded the
+  /// pointer operand to the target's entry (0 when unresolved) — the fold
+  /// provenance the event log and `firmres explain` report.
   struct IndirectSite {
     const ir::Function* caller = nullptr;
     const ir::PcodeOp* op = nullptr;
     const ir::Function* target = nullptr;
+    int resolved_round = 0;
   };
 
   struct Stats {
@@ -143,6 +147,8 @@ class ValueFlow {
   std::vector<Env> envs_;            ///< indexed like locals_
   std::vector<FnSummary> summaries_;
   std::map<const ir::PcodeOp*, const ir::Function*> resolved_;
+  /// First interprocedural round that folded each CallInd's target.
+  std::map<const ir::PcodeOp*, int> first_resolved_round_;
   std::vector<IndirectSite> indirect_sites_;
   std::vector<const ir::Function*> folded_event_callbacks_;
   Stats stats_;

@@ -67,6 +67,13 @@ CorpusResult CorpusRunner::run_tasks(
       failures[i] = DeviceFailure{tasks[i].device_id, "unknown error",
                                   attempt};
     }
+    if (options_.on_device_done) {
+      if (analyses[i].has_value())
+        options_.on_device_done(tasks[i].device_id, true,
+                                analyses[i]->timings);
+      else
+        options_.on_device_done(tasks[i].device_id, false, PhaseTimings{});
+    }
   };
 
   const int jobs = options_.jobs == 0

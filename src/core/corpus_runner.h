@@ -70,6 +70,13 @@ class CorpusRunner {
     /// contributes exactly one attempt (the surviving one) to
     /// CorpusResult::aggregate / cpu_s, never the sum of both.
     bool retry_failed = true;
+    /// Completion callback (the CLI's --progress), invoked once per task
+    /// attempt from the thread that ran it, right after the attempt
+    /// finishes. `ok` is false for a throwing attempt (timings are then
+    /// default-constructed). Must be thread-safe under jobs > 1; purely
+    /// observational — results and aggregation are unaffected.
+    std::function<void(int device_id, bool ok, const PhaseTimings& timings)>
+        on_device_done;
   };
 
   /// `pipeline` must outlive the runner.

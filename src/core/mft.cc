@@ -79,6 +79,12 @@ std::size_t Mft::leaf_count() const {
   return leaves;
 }
 
+const TaintProvenance* Mft::provenance_of(int leaf_id) const {
+  for (const TaintProvenance& p : provenance)
+    if (p.leaf_id == leaf_id) return &p;
+  return nullptr;
+}
+
 std::vector<const MftNode*> Mft::leaves() const {
   std::vector<const MftNode*> out;
   for (const auto& r : roots) collect_leaves(*r, out);

@@ -32,6 +32,28 @@ enum class MftNodeKind {
 
 const char* mft_node_kind_name(MftNodeKind kind);
 
+/// Per-leaf record of how the §IV-B backward taint walk reached its sink:
+/// the functions crossed from the delivery callsite to the leaf, how many
+/// of those crossings went through devirtualized indirect calls or caller
+/// ascents, and why the walk terminated there. Keyed by MftNode::leaf_id,
+/// which survives simplify()/invert(), so the provenance stays valid on
+/// the reconstructor's transformed tree (docs/PROVENANCE.md).
+struct TaintProvenance {
+  int leaf_id = -1;
+  /// Function chain from the delivery function to the leaf's function, in
+  /// descent order (duplicates possible on re-entrant paths).
+  std::vector<std::string> visited_functions;
+  /// Devirtualized CALLIND descents on the path (value-flow resolved).
+  int devirt_crossings = 0;
+  /// Parameter ascents through resolved callsites on the path.
+  int callsite_crossings = 0;
+  /// Recursion depth at the leaf.
+  int depth = 0;
+  /// Why the walk stopped: "numeric-constant", "string-constant",
+  /// "field-source", "opaque-call", "unresolved-param", "undefined-local".
+  std::string termination;
+};
+
 struct MftNode {
   MftNodeKind kind = MftNodeKind::Op;
   /// Function containing `op` (symbol scope for slice rendering).
@@ -65,6 +87,11 @@ struct Mft {
   std::string delivery_callee;
   /// One root per message-bearing argument, in argument order.
   std::vector<std::unique_ptr<MftNode>> roots;
+  /// Taint-walk provenance, one record per leaf, in leaf_id order.
+  std::vector<TaintProvenance> provenance;
+
+  /// Provenance record for a leaf_id; nullptr when unknown.
+  const TaintProvenance* provenance_of(int leaf_id) const;
 
   std::size_t node_count() const;
   std::size_t leaf_count() const;

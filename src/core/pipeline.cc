@@ -7,8 +7,10 @@
 #include "analysis/verify/verifier.h"
 #include "core/taint.h"
 #include "support/logging.h"
+#include "support/observability/events.h"
 #include "support/observability/metrics.h"
 #include "support/observability/trace.h"
+#include "support/strings.h"
 #include "support/timing.h"
 
 namespace firmres::core {
@@ -79,6 +81,75 @@ class CpuTimer {
   double& slot_;
   double start_;
 };
+
+namespace events = support::events;
+
+/// Decision events for one reconstructed message (no-ops while the event
+/// log is disabled): per-field taint termination, §IV-C format split, and
+/// classifier verdict — the same records the report's provenance block
+/// serializes, in event form for --events-out consumers.
+void emit_message_events(int device_id, const ReconstructedMessage& msg) {
+  if (!events::enabled()) return;
+  const std::string message_key = support::format(
+      "0x%llx", static_cast<unsigned long long>(msg.delivery_address));
+  for (const ReconstructedField& f : msg.fields) {
+    const FieldProvenance& prov = f.provenance;
+    const std::string field_key =
+        f.key.empty() ? "leaf:" + std::to_string(f.leaf_id) : f.key;
+    {
+      events::Event e;
+      e.category = "taint";
+      e.device_id = device_id;
+      e.message_key = message_key;
+      e.field_key = field_key;
+      e.text = "taint walk terminated: " + prov.termination;
+      e.attrs = {{"functions", support::join(prov.visited_functions, ">")},
+                 {"devirt_crossings",
+                  std::to_string(prov.devirt_crossings)},
+                 {"callsite_crossings",
+                  std::to_string(prov.callsite_crossings)}};
+      events::emit(std::move(e));
+    }
+    if (prov.split_pieces > 0) {
+      events::Event e;
+      e.category = "slices";
+      e.device_id = device_id;
+      e.message_key = message_key;
+      e.field_key = field_key;
+      e.text = "format split: piece \"" + prov.format_piece + "\"";
+      e.attrs = {{"delimiter", prov.split_delimiter},
+                 {"pieces", std::to_string(prov.split_pieces)},
+                 {"score", support::format("%.4f", prov.split_score)}};
+      events::emit(std::move(e));
+    }
+    {
+      events::Event e;
+      e.category = "semantics";
+      e.device_id = device_id;
+      e.message_key = message_key;
+      e.field_key = field_key;
+      e.text = "classified " + std::string(fw::primitive_name(f.semantics));
+      e.attrs = {{"model", prov.model},
+                 {"margin", support::format("%.4f", prov.margin)}};
+      events::emit(std::move(e));
+    }
+  }
+}
+
+void emit_decision_event(int device_id, const MftDecision& decision) {
+  if (!events::enabled()) return;
+  events::Event e;
+  e.severity =
+      decision.kept ? events::Severity::Info : events::Severity::Warn;
+  e.category = "concat";
+  e.device_id = device_id;
+  e.message_key = support::format(
+      "0x%llx", static_cast<unsigned long long>(decision.delivery_address));
+  e.text = decision.kept ? "MFT kept: " + decision.reason
+                         : "MFT dropped: " + decision.reason;
+  e.attrs = {{"delivery_callee", decision.delivery_callee}};
+  events::emit(std::move(e));
+}
 
 }  // namespace
 
@@ -202,6 +273,25 @@ DeviceAnalysis Pipeline::analyze(const fw::FirmwareImage& image,
       const analysis::ValueFlow::Stats stats = work.valueflow->stats();
       out.indirect_calls_total += stats.indirect_total;
       out.indirect_calls_resolved += stats.indirect_resolved;
+      if (events::enabled()) {
+        // Fold provenance for every devirtualized site the taint walks and
+        // the call graph will rely on.
+        for (const analysis::ValueFlow::IndirectSite& site :
+             work.valueflow->indirect_sites()) {
+          if (site.target == nullptr) continue;
+          events::Event e;
+          e.category = "valueflow";
+          e.device_id = out.device_id;
+          e.text = "devirtualized CALLIND " + site.caller->name() + " -> " +
+                   site.target->name();
+          e.attrs = {{"address",
+                      support::format("0x%llx",
+                                      static_cast<unsigned long long>(
+                                          site.op->address))},
+                     {"round", std::to_string(site.resolved_round)}};
+          events::emit(std::move(e));
+        }
+      }
       for (const Mft& mft : work.mfts) {
         ++mft_count;
         mft_nodes += mft.node_count();
@@ -222,15 +312,19 @@ DeviceAnalysis Pipeline::analyze(const fw::FirmwareImage& image,
     for (const ProgramWork& work : per_program) {
       for (const Mft& mft : work.mfts) {
         std::optional<ReconstructedMessage> msg;
+        MftDecision decision;
         {
           PhaseTimer timer(out.timings.semantics_s);
           msg = reconstructor.reconstruct_one(mft, out.device_cloud_executable,
-                                              work.valueflow.get());
+                                              work.valueflow.get(), &decision);
         }
         PhaseTimer timer(out.timings.concat_s);
+        emit_decision_event(out.device_id, decision);
+        out.mft_decisions.push_back(std::move(decision));
         if (msg.has_value()) {
           out.opaque_terminations += msg->opaque_terminations;
           out.param_terminations += msg->param_terminations;
+          emit_message_events(out.device_id, *msg);
           out.messages.push_back(std::move(*msg));
         } else {
           ++out.discarded_lan;

@@ -45,6 +45,9 @@ struct DeviceAnalysis {
   /// Reconstructed (non-LAN) messages in delivery-callsite order.
   std::vector<ReconstructedMessage> messages;
   int discarded_lan = 0;
+  /// Keep/drop record per built MFT, in delivery-callsite order — why each
+  /// candidate message survived (or fell to) the §IV-D LAN filter.
+  std::vector<MftDecision> mft_decisions;
   std::vector<FlawReport> flaws;
   /// Value-flow visibility over the device-cloud programs: how many CallInd
   /// sites exist and how many folded to a concrete callee (devirtualized).

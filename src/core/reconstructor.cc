@@ -103,6 +103,14 @@ void ordered_leaf_ids(const MftNode& node, std::vector<int>& out) {
   for (const auto& c : node.children) ordered_leaf_ids(*c, out);
 }
 
+/// Render one construction-path step for the provenance record.
+std::string path_step(const MftNode& node) {
+  if (node.op == nullptr) return mft_node_kind_name(node.kind);
+  std::string step = ir::opcode_name(node.op->opcode);
+  if (!node.op->callee.empty()) step += ":" + node.op->callee;
+  return step;
+}
+
 }  // namespace
 
 bool Reconstructor::is_lan_address(const std::string& text) {
@@ -111,18 +119,28 @@ bool Reconstructor::is_lan_address(const std::string& text) {
 
 std::optional<ReconstructedMessage> Reconstructor::reconstruct_one(
     const Mft& mft, const std::string& executable,
-    const analysis::ValueFlow* valueflow) const {
+    const analysis::ValueFlow* valueflow, MftDecision* decision) const {
+  if (decision != nullptr) {
+    decision->delivery_address = mft.delivery_op->address;
+    decision->delivery_callee = mft.delivery_callee;
+    decision->kept = true;
+    decision->reason = "reconstructed";
+  }
   SliceGenerator::Options slice_options;
   slice_options.valueflow = valueflow;
   const SliceGenerator slicer(mft, slice_options);
   const auto& slices = slicer.slices();
 
   // --- semantics per slice -------------------------------------------------
-  std::map<int, fw::Primitive> semantics;  // leaf_id → label
+  std::map<int, ScoredClassification> scored;  // leaf_id → decision
   for (const FieldSlice& s : slices) {
     if (s.role != LeafRole::Field) continue;
-    semantics[s.leaf->leaf_id] = model_.classify(s.slice_text);
+    scored[s.leaf->leaf_id] = model_.classify_scored(s.slice_text);
   }
+  const auto label_of = [&scored](int leaf_id) {
+    const auto it = scored.find(leaf_id);
+    return it == scored.end() ? fw::Primitive::None : it->second.label;
+  };
 
   // --- §IV-D field grouping + LAN filter -----------------------------------
   // The group is the MFT itself (slices were generated from its paths; path
@@ -133,13 +151,18 @@ std::optional<ReconstructedMessage> Reconstructor::reconstruct_one(
   for (const FieldSlice& s : slices) {
     const bool address_like =
         (s.role == LeafRole::Field &&
-         semantics[s.leaf->leaf_id] == fw::Primitive::Address) ||
+         label_of(s.leaf->leaf_id) == fw::Primitive::Address) ||
         s.role == LeafRole::PathConst;
     if (s.role == LeafRole::Field || address_like) {
       // Check string constants on Address slices for LAN IPs.
       if (s.leaf->kind == MftNodeKind::LeafString &&
-          is_lan_address(s.leaf->detail))
+          is_lan_address(s.leaf->detail)) {
+        if (decision != nullptr) {
+          decision->kept = false;
+          decision->reason = "lan-address:" + s.leaf->detail;
+        }
         return std::nullopt;
+      }
     }
     if (s.role == LeafRole::PathConst && endpoint.empty()) {
       std::string text = s.leaf->detail;
@@ -164,7 +187,7 @@ std::optional<ReconstructedMessage> Reconstructor::reconstruct_one(
       if (!prefix.empty()) endpoint = prefix;
     }
     if (host.empty() && s.role == LeafRole::Field &&
-        semantics[s.leaf->leaf_id] == fw::Primitive::Address) {
+        label_of(s.leaf->leaf_id) == fw::Primitive::Address) {
       host = s.leaf->detail;
     }
     // Hard-coded endpoints: a hostname-shaped string constant names the
@@ -241,7 +264,7 @@ std::optional<ReconstructedMessage> Reconstructor::reconstruct_one(
 
     ReconstructedField field;
     field.key = s->recovered_key;
-    field.semantics = semantics[leaf->leaf_id];
+    field.semantics = label_of(leaf->leaf_id);
     field.source = source_of_leaf(*leaf, parent);
     if (field.source == FieldValueSource::Opaque && derived_on_path(path))
       field.source = FieldValueSource::Derived;
@@ -264,6 +287,29 @@ std::optional<ReconstructedMessage> Reconstructor::reconstruct_one(
     if (field.key.empty() && leaf->kind == MftNodeKind::LeafSource)
       field.key = leaf->detail;
 
+    // --- derivation record (docs/PROVENANCE.md) ---------------------------
+    FieldProvenance& prov = field.provenance;
+    if (const TaintProvenance* tp = mft.provenance_of(leaf->leaf_id)) {
+      prov.visited_functions = tp->visited_functions;
+      prov.devirt_crossings = tp->devirt_crossings;
+      prov.callsite_crossings = tp->callsite_crossings;
+      prov.taint_depth = tp->depth;
+      prov.termination = tp->termination;
+    }
+    for (const MftNode* node : path)
+      prov.construction_path.push_back(path_step(*node));
+    prov.format_piece = s->format_piece;
+    if (s->split_delimiter != '\0')
+      prov.split_delimiter = std::string(1, s->split_delimiter);
+    prov.split_score = s->split_score;
+    prov.split_pieces = s->split_pieces;
+    prov.model = model_.name();
+    const auto sit = scored.find(leaf->leaf_id);
+    if (sit != scored.end()) {
+      prov.label_scores = sit->second.scores;
+      prov.margin = sit->second.margin;
+    }
+
     msg.fields.push_back(std::move(field));
   }
   return msg;
@@ -274,11 +320,13 @@ ReconstructionResult Reconstructor::reconstruct(
     const analysis::ValueFlow* valueflow) const {
   ReconstructionResult out;
   for (const Mft& mft : mfts) {
-    auto msg = reconstruct_one(mft, executable, valueflow);
+    MftDecision decision;
+    auto msg = reconstruct_one(mft, executable, valueflow, &decision);
     if (msg.has_value())
       out.messages.push_back(std::move(*msg));
     else
       ++out.discarded_lan;
+    out.decisions.push_back(std::move(decision));
   }
   return out;
 }

@@ -34,6 +34,39 @@ enum class FieldValueSource {
 
 const char* field_value_source_name(FieldValueSource s);
 
+/// Root-to-leaf derivation record for one reconstructed field — the full
+/// audit trail `firmres explain` renders (docs/PROVENANCE.md): how the
+/// taint walk reached the leaf (§IV-B), how the format string was split
+/// (§IV-C separation), and what the classifier scored (§IV-C semantics).
+struct FieldProvenance {
+  // §IV-B taint walk (from the Mft's TaintProvenance).
+  std::vector<std::string> visited_functions;
+  int devirt_crossings = 0;
+  int callsite_crossings = 0;
+  int taint_depth = 0;
+  std::string termination;
+  /// Construction path root→leaf: "opcode" or "opcode:callee" per step.
+  std::vector<std::string> construction_path;
+  // §IV-C format-split decision (zeroed when no sprintf split applied).
+  std::string format_piece;
+  std::string split_delimiter;  ///< one-char string; empty when unsplit
+  double split_score = 0.0;
+  int split_pieces = 0;
+  // §IV-C classifier decision.
+  std::string model;
+  std::vector<double> label_scores;  ///< primitive-enum order
+  double margin = 0.0;
+};
+
+/// Why one MFT was kept as a message or dropped by the §IV-D LAN filter.
+struct MftDecision {
+  std::uint64_t delivery_address = 0;
+  std::string delivery_callee;
+  bool kept = true;
+  /// "reconstructed" or "lan-address:<the offending constant>".
+  std::string reason;
+};
+
 struct ReconstructedField {
   /// Recovered wire key (format piece / cJSON key); may be empty for
   /// concat-style assembly.
@@ -49,6 +82,8 @@ struct ReconstructedField {
   std::string slice_text;
   int leaf_id = -1;
   bool hardcoded = false;  ///< value burned into the binary (§IV-E tracking)
+  /// Full derivation record behind this field's key/semantics/source.
+  FieldProvenance provenance;
 };
 
 struct ReconstructedMessage {
@@ -79,6 +114,8 @@ struct ReconstructionResult {
   std::vector<ReconstructedMessage> messages;
   /// MFTs discarded by the LAN-address filter.
   int discarded_lan = 0;
+  /// Keep/drop decision per input MFT, in input order.
+  std::vector<MftDecision> decisions;
 };
 
 class Reconstructor {
@@ -91,10 +128,12 @@ class Reconstructor {
       const std::vector<Mft>& mfts, const std::string& executable,
       const analysis::ValueFlow* valueflow = nullptr) const;
 
-  /// One MFT → one message (or nullopt when LAN-filtered).
+  /// One MFT → one message (or nullopt when LAN-filtered). `decision`
+  /// (optional, not owned) receives the keep/drop record.
   std::optional<ReconstructedMessage> reconstruct_one(
       const Mft& mft, const std::string& executable,
-      const analysis::ValueFlow* valueflow = nullptr) const;
+      const analysis::ValueFlow* valueflow = nullptr,
+      MftDecision* decision = nullptr) const;
 
   /// §IV-D LAN predicate: 10.*, 172.16-31.*, 192.168.*, FE80-prefixed IPv6,
   /// multicast (224-239.*), broadcast.

@@ -30,6 +30,42 @@ support::Json message_to_json(const ReconstructedMessage& message) {
     fo.set("source_detail", f.source_detail);
     if (!f.const_value.empty()) fo.set("const_value", f.const_value);
     fo.set("hardcoded", f.hardcoded);
+
+    // Full derivation record (docs/PROVENANCE.md) — everything `firmres
+    // explain` needs to render callsite → taint path → source → label from
+    // the report alone. Work-derived only, so byte-identical at any --jobs.
+    const FieldProvenance& p = f.provenance;
+    Json prov{JsonObject{}};
+    prov.set("termination", p.termination);
+    JsonArray visited;
+    for (const std::string& fn : p.visited_functions)
+      visited.emplace_back(fn);
+    prov.set("visited_functions", Json(std::move(visited)));
+    prov.set("devirt_crossings", p.devirt_crossings);
+    prov.set("callsite_crossings", p.callsite_crossings);
+    prov.set("taint_depth", p.taint_depth);
+    JsonArray steps;
+    for (const std::string& step : p.construction_path)
+      steps.emplace_back(step);
+    prov.set("construction_path", Json(std::move(steps)));
+    if (p.split_pieces > 0) {
+      Json split{JsonObject{}};
+      split.set("format_piece", p.format_piece);
+      split.set("delimiter", p.split_delimiter);
+      split.set("score", p.split_score);
+      split.set("pieces", p.split_pieces);
+      prov.set("split", std::move(split));
+    }
+    prov.set("model", p.model);
+    Json scores{JsonObject{}};
+    for (std::size_t c = 0; c < p.label_scores.size(); ++c)
+      scores.set(std::string(fw::primitive_name(
+                     static_cast<fw::Primitive>(c))),
+                 p.label_scores[c]);
+    prov.set("label_scores", std::move(scores));
+    prov.set("margin", p.margin);
+    fo.set("provenance", std::move(prov));
+
     fields.push_back(std::move(fo));
   }
   m.set("fields", Json(std::move(fields)));
@@ -50,6 +86,21 @@ support::Json analysis_to_json(const DeviceAnalysis& analysis,
   for (const ReconstructedMessage& m : analysis.messages)
     messages.push_back(message_to_json(m));
   doc.set("messages", Json(std::move(messages)));
+
+  // Keep/drop provenance per built MFT (§IV-D LAN filter audit trail).
+  JsonArray decisions;
+  for (const MftDecision& d : analysis.mft_decisions) {
+    Json o{JsonObject{}};
+    o.set("delivery_address",
+          support::format("0x%llx",
+                          static_cast<unsigned long long>(
+                              d.delivery_address)));
+    o.set("delivery_callee", d.delivery_callee);
+    o.set("kept", d.kept);
+    o.set("reason", d.reason);
+    decisions.push_back(std::move(o));
+  }
+  doc.set("mft_decisions", Json(std::move(decisions)));
 
   JsonArray alarms;
   for (const FlawReport& flaw : analysis.flaws) {

@@ -9,17 +9,43 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "firmware/field_dictionary.h"
 #include "firmware/primitives.h"
 
 namespace firmres::core {
 
+/// A classification decision with its evidence: per-label scores in
+/// primitive order and the argmax margin — the classifier half of a field's
+/// provenance record (docs/PROVENANCE.md).
+struct ScoredClassification {
+  fw::Primitive label = fw::Primitive::None;
+  /// One score per primitive, indexed by the primitive's enum value. For
+  /// probabilistic models these are the softmax outputs; rule-based models
+  /// report 1.0 on the chosen label and 0.0 elsewhere.
+  std::vector<double> scores;
+  /// Winner's score minus the runner-up's (1.0 for rule-based models).
+  double margin = 1.0;
+};
+
 class SemanticsModel {
  public:
   virtual ~SemanticsModel() = default;
   /// Classify one enriched code slice.
   virtual fw::Primitive classify(const std::string& slice_text) const = 0;
+  /// Classify with per-label scores. The default adapts classify() into a
+  /// degenerate distribution (1.0 on the label, margin 1.0); probabilistic
+  /// models override it with their real scores.
+  virtual ScoredClassification classify_scored(
+      const std::string& slice_text) const {
+    ScoredClassification out;
+    out.label = classify(slice_text);
+    out.scores.assign(fw::kPrimitiveCount, 0.0);
+    out.scores[static_cast<std::size_t>(out.label)] = 1.0;
+    out.margin = 1.0;
+    return out;
+  }
   /// Display name for reports/benches.
   virtual std::string name() const = 0;
 };

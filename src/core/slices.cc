@@ -130,6 +130,12 @@ std::vector<std::string> SliceGenerator::split_format(const std::string& fmt,
 }
 
 char SliceGenerator::identify_delimiter(const std::string& fmt) {
+  double score = 0.0;
+  return identify_delimiter_scored(fmt, &score);
+}
+
+char SliceGenerator::identify_delimiter_scored(const std::string& fmt,
+                                               double* score_out) {
   static constexpr char kCandidates[] = {'&', ',', ';', '|', ' '};
   char best = '\0';
   double best_score = 0.0;
@@ -157,6 +163,7 @@ char SliceGenerator::identify_delimiter(const std::string& fmt) {
       best = cand;
     }
   }
+  *score_out = best_score;
   return best;
 }
 
@@ -363,6 +370,10 @@ void SliceGenerator::process_leaf(const Mft& mft, const MftNode* leaf) {
             // The §IV-C separation step; disabled in the ablation, leaving
             // the full multi-field format in every value slice.
             if (options_.split_formats) slice.format_piece = piece;
+            double cohesion = 0.0;
+            slice.split_delimiter = identify_delimiter_scored(fmt, &cohesion);
+            slice.split_score = cohesion;
+            slice.split_pieces = static_cast<int>(with_pct.size());
             break;
           }
         }

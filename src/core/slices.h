@@ -44,6 +44,14 @@ struct FieldSlice {
   std::string format_piece;
   /// Wire key recovered from the format piece or the cJSON key sibling.
   std::string recovered_key;
+  /// §IV-C split-decision provenance (docs/PROVENANCE.md): the delimiter
+  /// chosen for this field's format string ('\0' when the format was not
+  /// split), the LCS-cohesion score of the winning candidate, and how many
+  /// '%'-bearing pieces the split produced. Only set on Field slices whose
+  /// key was recovered through a sprintf format.
+  char split_delimiter = '\0';
+  double split_score = 0.0;
+  int split_pieces = 0;
 };
 
 class SliceGenerator {
@@ -82,6 +90,12 @@ class SliceGenerator {
   /// similarity of '%'-bearing pieces). Returns '\0' when no candidate
   /// yields a multi-piece split.
   static char identify_delimiter(const std::string& fmt);
+
+  /// identify_delimiter plus the winning candidate's cohesion score
+  /// (similarity × piece count; 0.0 when no candidate splits), for the
+  /// split-decision provenance record.
+  static char identify_delimiter_scored(const std::string& fmt,
+                                        double* score);
 
   /// Single-link agglomerative clustering of substrings with
   /// Similarity(a,b) = 2·LCS/(|a|+|b|) ≥ threshold.

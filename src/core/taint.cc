@@ -36,7 +36,26 @@ struct BuildCtx {
   /// (function, varnode, bound) triples on the current recursion path —
   /// guards against strongly-connected construction patterns.
   std::set<std::tuple<const ir::Function*, ir::VarNode, std::uint64_t>> stack;
+  /// Walk-state for provenance: the function chain of the current path and
+  /// how many devirtualized / caller-ascent crossings it took to get here.
+  /// Snapshot into a TaintProvenance record at every leaf.
+  std::vector<std::string> fn_chain;
+  int devirt_crossings = 0;
+  int callsite_crossings = 0;
+  std::vector<TaintProvenance> provenance;
 };
+
+void record_leaf(BuildCtx& ctx, const MftNode& leaf, const char* termination,
+                 int depth) {
+  TaintProvenance p;
+  p.leaf_id = leaf.leaf_id;
+  p.visited_functions = ctx.fn_chain;
+  p.devirt_crossings = ctx.devirt_crossings;
+  p.callsite_crossings = ctx.callsite_crossings;
+  p.depth = depth;
+  p.termination = termination;
+  ctx.provenance.push_back(std::move(p));
+}
 
 std::unique_ptr<MftNode> make_node(BuildCtx& ctx, MftNodeKind kind) {
   ++ctx.nodes;
@@ -48,7 +67,8 @@ std::unique_ptr<MftNode> make_node(BuildCtx& ctx, MftNodeKind kind) {
 }
 
 std::unique_ptr<MftNode> const_leaf(BuildCtx& ctx, const ir::Function& fn,
-                                    const ir::VarNode& var, int src_index) {
+                                    const ir::VarNode& var, int src_index,
+                                    int depth) {
   if (var.is_ram()) {
     auto leaf = make_node(ctx, MftNodeKind::LeafString);
     leaf->fn = &fn;
@@ -58,6 +78,7 @@ std::unique_ptr<MftNode> const_leaf(BuildCtx& ctx, const ir::Function& fn,
     leaf->detail = text.has_value() ? std::string(*text)
                                     : support::format("<ram:0x%llx>",
                                                       static_cast<unsigned long long>(var.offset));
+    record_leaf(ctx, *leaf, "string-constant", depth);
     return leaf;
   }
   auto leaf = make_node(ctx, MftNodeKind::LeafConst);
@@ -65,6 +86,7 @@ std::unique_ptr<MftNode> const_leaf(BuildCtx& ctx, const ir::Function& fn,
   leaf->var = var;
   leaf->src_index = src_index;
   leaf->detail = std::to_string(var.offset);
+  record_leaf(ctx, *leaf, "numeric-constant", depth);
   return leaf;
 }
 
@@ -77,7 +99,8 @@ std::vector<std::unique_ptr<MftNode>> expand_var(BuildCtx& ctx,
 
 /// Leaf for a field-source library call (§IV-B taint sinks).
 std::unique_ptr<MftNode> source_leaf(BuildCtx& ctx, const ir::Function& fn,
-                                     const FlowEdge& edge, int src_index) {
+                                     const FlowEdge& edge, int src_index,
+                                     int depth) {
   auto leaf = make_node(ctx, MftNodeKind::LeafSource);
   leaf->fn = &fn;
   leaf->op = edge.op;
@@ -94,12 +117,14 @@ std::unique_ptr<MftNode> source_leaf(BuildCtx& ctx, const ir::Function& fn,
     }
   }
   if (leaf->detail.empty()) leaf->detail = edge.op->callee;
+  record_leaf(ctx, *leaf, "field-source", depth);
   return leaf;
 }
 
 std::unique_ptr<MftNode> opaque_leaf(BuildCtx& ctx, const ir::Function& fn,
                                      const ir::PcodeOp& op,
-                                     const ir::VarNode& var, int src_index) {
+                                     const ir::VarNode& var, int src_index,
+                                     int depth) {
   auto leaf = make_node(ctx, MftNodeKind::LeafOpaque);
   leaf->fn = &fn;
   leaf->op = &op;
@@ -107,17 +132,20 @@ std::unique_ptr<MftNode> opaque_leaf(BuildCtx& ctx, const ir::Function& fn,
   leaf->src_index = src_index;
   leaf->detail = op.opcode == ir::OpCode::Call ? op.callee
                                                : ir::opcode_name(op.opcode);
+  record_leaf(ctx, *leaf, "opaque-call", depth);
   return leaf;
 }
 
 std::unique_ptr<MftNode> param_leaf(BuildCtx& ctx, const ir::Function& fn,
-                                    const ir::VarNode& var, int src_index) {
+                                    const ir::VarNode& var, int src_index,
+                                    const char* termination, int depth) {
   auto leaf = make_node(ctx, MftNodeKind::LeafParam);
   leaf->fn = &fn;
   leaf->var = var;
   leaf->src_index = src_index;
   const ir::VarInfo* info = fn.var_info(var);
   leaf->detail = info != nullptr ? info->name : var.to_string();
+  record_leaf(ctx, *leaf, termination, depth);
   return leaf;
 }
 
@@ -128,7 +156,7 @@ void expand_src(BuildCtx& ctx, const ir::Function& fn, MftNode& parent,
                 int src_index, int depth) {
   if (ctx.nodes >= ctx.options.max_nodes) return;
   if (src.is_constant() || src.is_ram()) {
-    parent.children.push_back(const_leaf(ctx, fn, src, src_index));
+    parent.children.push_back(const_leaf(ctx, fn, src, src_index, depth));
     return;
   }
   auto defs = expand_var(ctx, fn, src, before_addr, src_index, depth);
@@ -140,7 +168,7 @@ std::unique_ptr<MftNode> def_node(BuildCtx& ctx, const ir::Function& fn,
                                   const FlowEdge& edge, int src_index,
                                   int depth) {
   if (edge.kind == FlowKind::FieldSource)
-    return source_leaf(ctx, fn, edge, src_index);
+    return source_leaf(ctx, fn, edge, src_index, depth);
 
   auto node = make_node(ctx, MftNodeKind::Op);
   node->fn = &fn;
@@ -154,12 +182,14 @@ std::unique_ptr<MftNode> def_node(BuildCtx& ctx, const ir::Function& fn,
     if (callee != nullptr && !callee->is_import() &&
         !ctx.stack.contains({callee, ir::VarNode{}, 0})) {
       ctx.stack.insert({callee, ir::VarNode{}, 0});
+      ctx.fn_chain.push_back(callee->name());
       callee->for_each_op([&](const ir::PcodeOp& op) {
         if (op.opcode != ir::OpCode::Return) return;
         for (const ir::VarNode& rv : op.inputs) {
           expand_src(ctx, *callee, *node, rv, UINT64_MAX, 0, depth + 1);
         }
       });
+      ctx.fn_chain.pop_back();
       ctx.stack.erase({callee, ir::VarNode{}, 0});
     }
     return node;
@@ -197,12 +227,16 @@ std::unique_ptr<MftNode> devirt_call_node(BuildCtx& ctx,
   node->src_index = src_index;
   if (!ctx.stack.contains({&callee, ir::VarNode{}, 0})) {
     ctx.stack.insert({&callee, ir::VarNode{}, 0});
+    ctx.fn_chain.push_back(callee.name());
+    ++ctx.devirt_crossings;
     callee.for_each_op([&](const ir::PcodeOp& rop) {
       if (rop.opcode != ir::OpCode::Return) return;
       for (const ir::VarNode& rv : rop.inputs) {
         expand_src(ctx, callee, *node, rv, UINT64_MAX, 0, depth + 1);
       }
     });
+    --ctx.devirt_crossings;
+    ctx.fn_chain.pop_back();
     ctx.stack.erase({&callee, ir::VarNode{}, 0});
   }
   return node;
@@ -255,7 +289,7 @@ std::vector<std::unique_ptr<MftNode>> expand_var(BuildCtx& ctx,
           out.push_back(devirt_call_node(ctx, fn, *it->op, var, src_index,
                                          *devirt, depth));
         } else {
-          out.push_back(opaque_leaf(ctx, fn, *it->op, var, src_index));
+          out.push_back(opaque_leaf(ctx, fn, *it->op, var, src_index, depth));
         }
       } else {
         out.push_back(def_node(ctx, fn, it->edge, src_index, depth));
@@ -280,22 +314,28 @@ std::vector<std::unique_ptr<MftNode>> expand_var(BuildCtx& ctx,
       const std::size_t input_index = site.arg_offset + arg_index;
       if (input_index >= site.op->inputs.size()) continue;
       const ir::VarNode& arg = site.op->inputs[input_index];
+      ctx.fn_chain.push_back(site.caller->name());
+      ++ctx.callsite_crossings;
       if (arg.is_constant() || arg.is_ram()) {
-        out.push_back(const_leaf(ctx, *site.caller, arg, src_index));
+        out.push_back(const_leaf(ctx, *site.caller, arg, src_index, depth));
       } else {
         auto defs_up = expand_var(ctx, *site.caller, arg, site.op->address,
                                   src_index, depth + 1);
         for (auto& d : defs_up) out.push_back(std::move(d));
       }
+      --ctx.callsite_crossings;
+      ctx.fn_chain.pop_back();
       ++expanded;
     }
-    if (out.empty()) out.push_back(param_leaf(ctx, fn, var, src_index));
+    if (out.empty())
+      out.push_back(param_leaf(ctx, fn, var, src_index, "unresolved-param",
+                               depth));
     ctx.stack.erase(stack_key);
     return out;
   }
 
   // Undefined local / register: terminal unknown.
-  out.push_back(param_leaf(ctx, fn, var, src_index));
+  out.push_back(param_leaf(ctx, fn, var, src_index, "undefined-local", depth));
   ctx.stack.erase(stack_key);
   return out;
 }
@@ -333,7 +373,11 @@ Mft MftBuilder::build(const analysis::CallSite& delivery) const {
                .options = options_,
                .nodes = 0,
                .next_leaf_id = 0,
-               .stack = {}};
+               .stack = {},
+               .fn_chain = {delivery.caller->name()},
+               .devirt_crossings = 0,
+               .callsite_crossings = 0,
+               .provenance = {}};
 
   for (const int arg : msg_args) {
     if (arg < 0 ||
@@ -350,6 +394,9 @@ Mft MftBuilder::build(const analysis::CallSite& delivery) const {
     // the argument itself is a constant (an MQTT topic literal).
     mft.roots.push_back(std::move(root));
   }
+  // Records were appended at leaf creation, so they are already in
+  // leaf_id order — the order the report serializes them in.
+  mft.provenance = std::move(ctx.provenance);
   g_taint_mfts_built.add();
   if (ctx.nodes >= options_.max_nodes) g_taint_budget_exhausted.add();
   return mft;

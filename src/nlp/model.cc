@@ -129,11 +129,32 @@ std::vector<float> SliceClassifier::predict(
 }
 
 fw::Primitive SliceClassifier::classify(const std::string& slice_text) const {
+  return classify_scored(slice_text).label;
+}
+
+core::ScoredClassification SliceClassifier::classify_scored(
+    const std::string& slice_text) const {
   const std::vector<float> probs = predict(slice_text);
-  int best = 0;
-  for (int c = 1; c < static_cast<int>(probs.size()); ++c)
-    if (probs[static_cast<std::size_t>(c)] > probs[static_cast<std::size_t>(best)]) best = c;
-  return static_cast<fw::Primitive>(best);
+  core::ScoredClassification out;
+  out.scores.assign(probs.begin(), probs.end());
+  int best = 0, second = -1;
+  for (int c = 1; c < static_cast<int>(probs.size()); ++c) {
+    if (probs[static_cast<std::size_t>(c)] >
+        probs[static_cast<std::size_t>(best)]) {
+      second = best;
+      best = c;
+    } else if (second < 0 || probs[static_cast<std::size_t>(c)] >
+                                 probs[static_cast<std::size_t>(second)]) {
+      second = c;
+    }
+  }
+  out.label = static_cast<fw::Primitive>(best);
+  out.margin = second < 0
+                   ? 1.0
+                   : static_cast<double>(
+                         probs[static_cast<std::size_t>(best)] -
+                         probs[static_cast<std::size_t>(second)]);
+  return out;
 }
 
 // --- persistence --------------------------------------------------------------

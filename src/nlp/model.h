@@ -50,6 +50,9 @@ class SliceClassifier final : public core::SemanticsModel {
 
   // --- SemanticsModel --------------------------------------------------------
   fw::Primitive classify(const std::string& slice_text) const override;
+  /// Real softmax scores + argmax margin from predict().
+  core::ScoredClassification classify_scored(
+      const std::string& slice_text) const override;
   std::string name() const override { return "attn-textcnn"; }
 
   const Vocab& vocab() const { return vocab_; }

@@ -7,25 +7,64 @@ namespace firmres::support {
 
 namespace {
 
+/// Length of the well-formed UTF-8 sequence at s[i], or 0 when the bytes
+/// there are not valid UTF-8 (bad lead byte, truncated or wrong
+/// continuation bytes, overlong encoding, surrogate, or > U+10FFFF).
+std::size_t utf8_sequence_length(std::string_view s, std::size_t i) {
+  const auto byte = [&](std::size_t k) {
+    return static_cast<unsigned char>(s[k]);
+  };
+  const unsigned char lead = byte(i);
+  std::size_t len;
+  unsigned code_min;
+  if (lead < 0xC2) return 0;  // continuation byte or overlong C0/C1 lead
+  if (lead < 0xE0) { len = 2; code_min = 0x80; }
+  else if (lead < 0xF0) { len = 3; code_min = 0x800; }
+  else if (lead < 0xF5) { len = 4; code_min = 0x10000; }
+  else return 0;  // would encode above U+10FFFF
+  if (i + len > s.size()) return 0;
+  unsigned code = lead & (0x7Fu >> len);
+  for (std::size_t k = 1; k < len; ++k) {
+    if ((byte(i + k) & 0xC0) != 0x80) return 0;
+    code = (code << 6) | (byte(i + k) & 0x3Fu);
+  }
+  if (code < code_min || code > 0x10FFFF) return 0;
+  if (code >= 0xD800 && code <= 0xDFFF) return 0;  // surrogate
+  return len;
+}
+
 void append_escaped(std::string& out, std::string_view s) {
   out.push_back('"');
-  for (const char c : s) {
+  for (std::size_t i = 0; i < s.size();) {
+    const char c = s[i];
     switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      case '\b': out += "\\b"; break;
-      case '\f': out += "\\f"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out.push_back(c);
-        }
+      case '"': out += "\\\""; ++i; continue;
+      case '\\': out += "\\\\"; ++i; continue;
+      case '\n': out += "\\n"; ++i; continue;
+      case '\r': out += "\\r"; ++i; continue;
+      case '\t': out += "\\t"; ++i; continue;
+      case '\b': out += "\\b"; ++i; continue;
+      case '\f': out += "\\f"; ++i; continue;
+      default: break;
+    }
+    const unsigned char byte = static_cast<unsigned char>(c);
+    if (byte < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", byte);
+      out += buf;
+      ++i;
+    } else if (byte < 0x80) {
+      out.push_back(c);
+      ++i;
+    } else if (const std::size_t len = utf8_sequence_length(s, i); len > 0) {
+      // Well-formed multi-byte sequence: copy through unescaped.
+      out.append(s, i, len);
+      i += len;
+    } else {
+      // Invalid UTF-8 (firmware strings carry arbitrary bytes): replace
+      // the byte with U+FFFD so the emitted document is always valid.
+      out += "\\ufffd";
+      ++i;
     }
   }
   out.push_back('"');

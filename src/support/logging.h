@@ -1,4 +1,10 @@
-// Leveled stderr logging.
+// Leveled stderr logging — a compatibility shim over the structured event
+// log (support/observability/events.h).
+//
+// Each FIRMRES_LOG line is written to stderr in a single stdio call (no
+// mid-line interleaving from worker threads) and, when the event log is
+// enabled, also recorded as a category "log" event. Implemented in
+// observability/events.cc; there is no logging.cc.
 //
 // Benchmarks and example binaries raise the level to Warn so their stdout
 // stays machine-readable; tests leave it at Info.

@@ -1,0 +1,211 @@
+#include "support/observability/events.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <tuple>
+
+#include "support/error.h"
+#include "support/json.h"
+#include "support/logging.h"
+
+namespace firmres::support::events {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// One thread's recorded events; same ownership discipline as the trace
+/// collector (trace.cc): the owning thread appends behind an uncontended
+/// mutex, collect() swaps the vector out, and the shared_ptr keeps a
+/// buffer alive after its thread exited.
+struct ThreadBuffer {
+  std::mutex mutex;
+  std::uint64_t thread_id = 0;
+  std::uint64_t next_sequence = 0;
+  std::vector<Event> events;
+};
+
+struct Collector {
+  std::mutex mutex;
+  std::uint64_t next_thread_id = 0;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+};
+
+Collector& collector() {
+  static Collector* c = new Collector();  // leaked: emits may outlive main
+  return *c;
+}
+
+ThreadBuffer& local_buffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buffer = [] {
+    auto b = std::make_shared<ThreadBuffer>();
+    Collector& c = collector();
+    std::lock_guard<std::mutex> lock(c.mutex);
+    b->thread_id = c.next_thread_id++;
+    c.buffers.push_back(b);
+    return b;
+  }();
+  return *buffer;
+}
+
+/// Content key: everything except the recording metadata. Events equal
+/// under this key serialize to identical lines, so the (thread, sequence)
+/// tie-break never affects the bytes of the deterministic export.
+auto content_key(const Event& e) {
+  return std::tie(e.device_id, e.category, e.severity, e.message_key,
+                  e.field_key, e.text, e.attrs);
+}
+
+}  // namespace
+
+const char* severity_name(Severity s) {
+  switch (s) {
+    case Severity::Debug: return "debug";
+    case Severity::Info: return "info";
+    case Severity::Warn: return "warn";
+    case Severity::Error: return "error";
+  }
+  return "?";
+}
+
+void set_enabled(bool enabled) {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void emit(Event event) {
+  if (!enabled()) return;
+  ThreadBuffer& buffer = local_buffer();
+  std::lock_guard<std::mutex> lock(buffer.mutex);
+  event.thread_id = buffer.thread_id;
+  event.sequence = buffer.next_sequence++;
+  event.timestamp_ns = now_ns();
+  buffer.events.push_back(std::move(event));
+}
+
+void emit_log(Severity severity, const std::string& text) {
+  if (enabled()) {
+    Event e;
+    e.severity = severity;
+    e.category = "log";
+    e.text = text;
+    emit(std::move(e));
+  }
+  // One stdio call per line: POSIX stdio locks the stream per call, so a
+  // worker thread's log line can never interleave inside another's.
+  std::string line = "[firmres ";
+  switch (severity) {
+    case Severity::Debug: line += "DEBUG"; break;
+    case Severity::Info: line += "INFO"; break;
+    case Severity::Warn: line += "WARN"; break;
+    case Severity::Error: line += "ERROR"; break;
+  }
+  line += "] ";
+  line += text;
+  line += '\n';
+  std::fputs(line.c_str(), stderr);
+}
+
+std::vector<Event> collect() {
+  std::vector<Event> all;
+  Collector& c = collector();
+  {
+    std::lock_guard<std::mutex> lock(c.mutex);
+    for (const std::shared_ptr<ThreadBuffer>& buffer : c.buffers) {
+      std::lock_guard<std::mutex> block(buffer->mutex);
+      for (Event& e : buffer->events) all.push_back(std::move(e));
+      buffer->events.clear();
+    }
+  }
+  std::sort(all.begin(), all.end(), [](const Event& a, const Event& b) {
+    if (content_key(a) != content_key(b))
+      return content_key(a) < content_key(b);
+    if (a.thread_id != b.thread_id) return a.thread_id < b.thread_id;
+    return a.sequence < b.sequence;
+  });
+  return all;
+}
+
+void clear() { collect(); }
+
+std::string to_json_line(const Event& event, bool include_runtime) {
+  Json line{JsonObject{}};
+  line.set("severity", severity_name(event.severity));
+  line.set("category", event.category);
+  if (event.device_id != 0) line.set("device", event.device_id);
+  if (!event.message_key.empty()) line.set("message", event.message_key);
+  if (!event.field_key.empty()) line.set("field", event.field_key);
+  line.set("text", event.text);
+  if (!event.attrs.empty()) {
+    Json attrs{JsonObject{}};
+    for (const auto& [key, value] : event.attrs) attrs.set(key, value);
+    line.set("attrs", std::move(attrs));
+  }
+  if (include_runtime) {
+    line.set("thread", static_cast<double>(event.thread_id));
+    line.set("sequence", static_cast<double>(event.sequence));
+    line.set("timestamp_ns", static_cast<double>(event.timestamp_ns));
+  }
+  return line.dump(false);
+}
+
+std::string to_jsonl(const std::vector<Event>& events,
+                     bool include_runtime) {
+  std::string out;
+  for (const Event& e : events) {
+    out += to_json_line(e, include_runtime);
+    out += '\n';
+  }
+  return out;
+}
+
+void write_jsonl(const std::string& path, bool include_runtime) {
+  const std::string body = to_jsonl(collect(), include_runtime);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) throw ParseError("cannot write event log " + path);
+  std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+}
+
+}  // namespace firmres::support::events
+
+// support/logging.h shim: the leveled stderr logger is implemented on top
+// of the event log so every surviving FIRMRES_LOG line is (a) written to
+// stderr in one atomic stdio call and (b) recorded as a category "log"
+// event when the log is enabled.
+namespace firmres::support {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::Info};
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+LogLevel log_level() { return g_level.load(); }
+
+namespace detail {
+void emit(LogLevel level, const std::string& message) {
+  events::Severity severity = events::Severity::Info;
+  switch (level) {
+    case LogLevel::Debug: severity = events::Severity::Debug; break;
+    case LogLevel::Info: severity = events::Severity::Info; break;
+    case LogLevel::Warn: severity = events::Severity::Warn; break;
+    case LogLevel::Error: severity = events::Severity::Error; break;
+    case LogLevel::Off: return;  // never emitted; LogLine filters first
+  }
+  events::emit_log(severity, message);
+}
+}  // namespace detail
+
+}  // namespace firmres::support

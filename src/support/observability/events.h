@@ -1,0 +1,102 @@
+// Structured decision-event log (docs/PROVENANCE.md).
+//
+// The tracing spans of trace.h answer "where did the time go"; this module
+// answers "why did the analysis decide that". An events::Event is one
+// analysis decision — a taint walk terminating, an indirect call folding,
+// a format string splitting, a field classifying, an MFT being kept or
+// dropped — with a severity, a category, and the device/message/field keys
+// an analyst needs to correlate it with the report.
+//
+// Recording follows the same discipline as trace.h: each thread appends to
+// its own buffer behind an uncontended mutex, and a relaxed atomic gate
+// makes a disabled emit() site nearly free. The merge, however, orders by
+// *content* — (device, category, severity, message key, field key, text,
+// attrs) — rather than by timestamp, and the JSONL serialization omits
+// wall-clock fields by default, so the exported log is byte-identical at
+// any --jobs level: the same guarantee the metrics Work section and the
+// report JSON give. (trace::collect() orders by start time instead, which
+// is the right order for a timeline but not reproducible across runs.)
+//
+// The leveled stderr logger (support/logging.h) is a shim over this module:
+// every FIRMRES_LOG line becomes a category "log" event and is written to
+// stderr in one atomic write, so worker-thread messages can no longer
+// interleave mid-line.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace firmres::support::events {
+
+enum class Severity { Debug = 0, Info = 1, Warn = 2, Error = 3 };
+
+const char* severity_name(Severity s);
+
+/// One recorded decision event.
+struct Event {
+  Severity severity = Severity::Info;
+  /// Decision family: "taint", "valueflow", "slices", "semantics",
+  /// "concat", "check", "corpus", "log", …
+  std::string category;
+  /// Device the decision concerns; 0 when not device-scoped.
+  int device_id = 0;
+  /// Delivery-callsite key ("0x4021") correlating with a report message;
+  /// empty when not message-scoped.
+  std::string message_key;
+  /// Field key (wire key or "leaf:N") within the message; empty when not
+  /// field-scoped.
+  std::string field_key;
+  /// Human-readable decision statement.
+  std::string text;
+  /// Structured detail, in emission order.
+  std::vector<std::pair<std::string, std::string>> attrs;
+
+  /// Recording metadata. Excluded from the default serialization (they
+  /// vary run-to-run); final tie-break of the deterministic merge order.
+  std::uint64_t thread_id = 0;
+  std::uint64_t sequence = 0;
+  std::uint64_t timestamp_ns = 0;
+};
+
+/// Runtime gate. Off by default; the CLI flips it on when --events-out is
+/// given. A disabled emit() costs one relaxed atomic load.
+void set_enabled(bool enabled);
+bool enabled();
+
+/// Record one event (no-op while disabled). Thread-safe; the recording
+/// thread only ever locks its own buffer's mutex.
+void emit(Event event);
+
+/// Convenience: record a leveled log-line event (category "log") when the
+/// log is enabled, AND write "[firmres LEVEL] text\n" to stderr in one
+/// atomic write. Used by the support/logging.h shim.
+void emit_log(Severity severity, const std::string& text);
+
+/// Merge every thread's buffer into one deterministically ordered list and
+/// clear the buffers. Order is full content order — (device_id, category,
+/// severity, message_key, field_key, text, attrs) with (thread_id,
+/// sequence) as the final tie-break — so two runs that made the same
+/// decisions collect the same list, regardless of scheduling (events that
+/// tie on every content key are identical lines, and identical lines in
+/// either order are the same bytes).
+std::vector<Event> collect();
+
+/// Drop all buffered events without returning them.
+void clear();
+
+/// Render one event as a single-line JSON object. `include_runtime` adds
+/// the thread/sequence/timestamp metadata (off by default: the
+/// deterministic form).
+std::string to_json_line(const Event& event, bool include_runtime = false);
+
+/// Render events as JSONL (one JSON object per line).
+std::string to_jsonl(const std::vector<Event>& events,
+                     bool include_runtime = false);
+
+/// collect() + to_jsonl() + write to `path`. Throws support::ParseError
+/// when the file cannot be written.
+void write_jsonl(const std::string& path, bool include_runtime = false);
+
+}  // namespace firmres::support::events

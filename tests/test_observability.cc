@@ -1,7 +1,9 @@
-// Observability layer tests (docs/OBSERVABILITY.md): span nesting and
-// deterministic cross-thread merge, metrics aggregation equality across
-// job counts, runtime/compile-time no-op gates, and the chrome://tracing
-// export schema.
+// Observability layer tests (docs/OBSERVABILITY.md, docs/PROVENANCE.md):
+// span nesting and deterministic cross-thread merge, metrics aggregation
+// equality across job counts, runtime/compile-time no-op gates, the
+// chrome://tracing export schema, the decision-event log's content-ordered
+// merge, and JSON string-escaping hardening shared by every exporter.
+#include "support/observability/events.h"
 #include "support/observability/metrics.h"
 #include "support/observability/trace.h"
 
@@ -18,11 +20,13 @@
 #include "core/report.h"
 #include "firmware/synthesizer.h"
 #include "support/json.h"
+#include "support/logging.h"
 #include "support/thread_pool.h"
 
 namespace firmres {
 namespace {
 
+namespace events = support::events;
 namespace trace = support::trace;
 namespace metrics = support::metrics;
 
@@ -251,6 +255,172 @@ TEST(Metrics, ReportMetricsBlockIsJobsInvariant) {
           .dump(true);
   EXPECT_NE(report.find("\"metrics\""), std::string::npos);
   EXPECT_NE(report.find("taint.mft_nodes"), std::string::npos);
+}
+
+/// RAII counterpart of ScopedTracing for the decision-event log.
+struct ScopedEvents {
+  ScopedEvents() {
+    events::clear();
+    events::set_enabled(true);
+  }
+  ~ScopedEvents() {
+    events::set_enabled(false);
+    events::clear();
+  }
+};
+
+events::Event make_event(const std::string& category, int device,
+                         const std::string& text) {
+  events::Event e;
+  e.category = category;
+  e.device_id = device;
+  e.text = text;
+  return e;
+}
+
+TEST(Events, DisabledEmitRecordsNothing) {
+  events::clear();
+  events::set_enabled(false);
+  events::emit(make_event("taint", 1, "ghost"));
+  EXPECT_TRUE(events::collect().empty());
+}
+
+TEST(Events, CollectOrdersByContentNotByEmissionTime) {
+  ScopedEvents scope;
+  // Emitted in reverse content order on one thread.
+  events::emit(make_event("taint", 2, "b"));
+  events::emit(make_event("taint", 2, "a"));
+  events::emit(make_event("concat", 1, "z"));
+  const std::vector<events::Event> got = events::collect();
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0].device_id, 1);
+  EXPECT_EQ(got[1].text, "a");
+  EXPECT_EQ(got[2].text, "b");
+  EXPECT_TRUE(events::collect().empty());  // drained
+}
+
+/// The acceptance property behind --events-out: the JSONL export is
+/// byte-identical however the emitting work was scheduled.
+TEST(Events, JsonlIsByteIdenticalAcrossThreadCounts) {
+  const auto jsonl_for_threads = [](int threads) {
+    ScopedEvents scope;
+    std::vector<std::thread> workers;
+    for (int t = 0; t < threads; ++t) {
+      workers.emplace_back([threads, t] {
+        // Each thread emits a disjoint slice of the same 24-event set.
+        for (int i = t; i < 24; i += threads) {
+          events::Event e = make_event("taint", i % 3, "step");
+          e.message_key = "0x" + std::to_string(i);
+          e.attrs.emplace_back("n", std::to_string(i));
+          events::emit(std::move(e));
+        }
+      });
+    }
+    for (std::thread& w : workers) w.join();
+    return events::to_jsonl(events::collect());
+  };
+  const std::string sequential = jsonl_for_threads(1);
+  EXPECT_EQ(jsonl_for_threads(4), sequential);
+  EXPECT_EQ(jsonl_for_threads(8), sequential);
+}
+
+TEST(Events, JsonLineOmitsRuntimeFieldsByDefault) {
+  ScopedEvents scope;
+  events::Event e = make_event("semantics", 7, "classified Address");
+  e.severity = events::Severity::Warn;
+  e.message_key = "0x4021";
+  e.field_key = "server";
+  e.attrs.emplace_back("margin", "0.75");
+  events::emit(e);
+  const std::vector<events::Event> got = events::collect();
+  ASSERT_EQ(got.size(), 1u);
+
+  const support::Json line = support::Json::parse(events::to_json_line(got[0]));
+  EXPECT_EQ(line.find("severity")->as_string(), "warn");
+  EXPECT_EQ(line.find("category")->as_string(), "semantics");
+  EXPECT_EQ(line.find("device")->as_number(), 7.0);
+  EXPECT_EQ(line.find("message")->as_string(), "0x4021");
+  EXPECT_EQ(line.find("field")->as_string(), "server");
+  EXPECT_EQ(line.find("attrs")->find("margin")->as_string(), "0.75");
+  EXPECT_EQ(line.find("thread"), nullptr);
+  EXPECT_EQ(line.find("sequence"), nullptr);
+  EXPECT_EQ(line.find("timestamp_ns"), nullptr);
+
+  const support::Json full =
+      support::Json::parse(events::to_json_line(got[0], true));
+  EXPECT_NE(full.find("thread"), nullptr);
+  EXPECT_NE(full.find("sequence"), nullptr);
+  EXPECT_NE(full.find("timestamp_ns"), nullptr);
+}
+
+TEST(Events, LoggingShimRoutesThroughEventLog) {
+  ScopedEvents scope;
+  const support::LogLevel before = support::log_level();
+  support::set_log_level(support::LogLevel::Info);
+  FIRMRES_LOG(Info) << "shimmed " << 42;
+  support::set_log_level(before);
+  const std::vector<events::Event> got = events::collect();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].category, "log");
+  EXPECT_EQ(got[0].text, "shimmed 42");
+}
+
+// JSON string escaping is centralized in support::Json::dump, so these
+// properties cover the chrome-trace, metrics, event-log, and report
+// exporters at once. A firmware string can carry arbitrary bytes; the
+// emitted document must stay valid JSON (and valid UTF-8) regardless.
+TEST(JsonEscaping, QuotesBackslashesAndControlChars) {
+  support::Json doc{support::JsonObject{}};
+  doc.set("s", std::string("a\"b\\c\nd\te\x01" "f"));
+  EXPECT_EQ(doc.dump(false), "{\"s\":\"a\\\"b\\\\c\\nd\\te\\u0001f\"}");
+  // Round-trips through our own parser.
+  const support::Json back = support::Json::parse(doc.dump(false));
+  EXPECT_EQ(back.find("s")->as_string(), "a\"b\\c\nd\te\x01" "f");
+}
+
+TEST(JsonEscaping, ValidUtf8PassesThroughUnescaped) {
+  support::Json doc{support::JsonObject{}};
+  doc.set("s", std::string("naïve 设备 🔑"));  // 2-, 3-, and 4-byte sequences
+  EXPECT_EQ(doc.dump(false), "{\"s\":\"naïve 设备 🔑\"}");
+}
+
+TEST(JsonEscaping, InvalidUtf8BecomesReplacementCharacter) {
+  const auto escaped = [](std::string s) {
+    support::Json doc{support::JsonObject{}};
+    doc.set("s", std::move(s));
+    return doc.dump(false);
+  };
+  // Lone continuation byte, truncated lead, overlong NUL, lone surrogate.
+  EXPECT_EQ(escaped("a\x80z"), "{\"s\":\"a\\ufffdz\"}");
+  EXPECT_EQ(escaped("a\xE4\xB8"), "{\"s\":\"a\\ufffd\\ufffd\"}");
+  EXPECT_EQ(escaped("\xC0\x80"), "{\"s\":\"\\ufffd\\ufffd\"}");
+  EXPECT_EQ(escaped("\xED\xA0\x80"), "{\"s\":\"\\ufffd\\ufffd\\ufffd\"}");
+}
+
+TEST(JsonEscaping, EventAttrsWithHostileBytesStayParseable) {
+  ScopedEvents scope;
+  events::Event e = make_event("log", 0, "bad \"bytes\" \x02 \xFF here");
+  e.attrs.emplace_back("path\n", "C:\\firmware\\x\x80");
+  events::emit(std::move(e));
+  const std::string jsonl = events::to_jsonl(events::collect());
+  const support::Json line = support::Json::parse(jsonl);
+  EXPECT_NE(line.find("text")->as_string().find("bad \"bytes\""),
+            std::string::npos);
+}
+
+TEST(JsonEscaping, ChromeTraceArgsWithHostileBytesStayParseable) {
+  ScopedTracing tracing;
+  {
+    trace::Span span("na\"me\x1f", "cat\\egory");
+    span.arg("k\x90", "v\"\n");
+  }
+  const std::string body = trace::to_chrome_json(trace::collect());
+  const support::Json doc = support::Json::parse(body);
+  const support::Json* trace_events = doc.find("traceEvents");
+  ASSERT_NE(trace_events, nullptr);
+  ASSERT_GE(trace_events->size(), 1u);
+  EXPECT_EQ(trace_events->as_array()[0].find("name")->as_string(),
+            "na\"me\x1f");
 }
 
 TEST(Metrics, TextDumpListsEveryMetricKind) {

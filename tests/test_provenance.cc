@@ -1,0 +1,288 @@
+// Decision-provenance tests (docs/PROVENANCE.md): per-leaf taint-walk
+// records (visited chain, crossings, termination reason), the report's
+// provenance block and mft_decisions staying byte-identical across job
+// counts, the --events-out decision log's byte-identity, the `firmres
+// explain` renderer, and the --progress callback's non-interference.
+#include "core/explain.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "analysis/call_graph.h"
+#include "core/corpus_runner.h"
+#include "core/mft.h"
+#include "core/pipeline.h"
+#include "core/report.h"
+#include "core/taint.h"
+#include "firmware/synthesizer.h"
+#include "ir/builder.h"
+#include "support/error.h"
+#include "support/json.h"
+#include "support/observability/events.h"
+
+namespace firmres {
+namespace {
+
+namespace events = support::events;
+
+core::Mft build_single(const ir::Program& prog) {
+  const analysis::CallGraph cg(prog);
+  const core::MftBuilder builder(prog, cg);
+  auto mfts = builder.build_all();
+  EXPECT_EQ(mfts.size(), 1u);
+  return std::move(mfts.front());
+}
+
+const core::TaintProvenance* provenance_of_kind(const core::Mft& mft,
+                                                core::MftNodeKind kind) {
+  for (const core::MftNode* leaf : mft.leaves())
+    if (leaf->kind == kind) return mft.provenance_of(leaf->leaf_id);
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// §IV-B taint-walk provenance on hand-built IR
+// ---------------------------------------------------------------------------
+
+TEST(TaintProvenance, EveryLeafHasARecord) {
+  ir::Program prog("p");
+  ir::IRBuilder b(prog);
+  ir::FunctionBuilder f = b.function("send_msg");
+  const ir::VarNode mac = f.call("nvram_get", {f.cstr("mac")}, "mac_val");
+  const ir::VarNode buf = f.local("msg", 128);
+  f.callv("sprintf", {buf, f.cstr("mac=%s&v=%s"), mac, f.cstr("1.0")});
+  const ir::VarNode ssl = f.call("SSL_new", {}, "ssl");
+  f.callv("SSL_write", {ssl, buf, f.cnum(64)});
+  f.ret();
+
+  const core::Mft mft = build_single(prog);
+  EXPECT_EQ(mft.provenance.size(), mft.leaves().size());
+  for (const core::MftNode* leaf : mft.leaves()) {
+    const core::TaintProvenance* p = mft.provenance_of(leaf->leaf_id);
+    ASSERT_NE(p, nullptr) << "leaf " << leaf->leaf_id << " has no record";
+    EXPECT_EQ(p->leaf_id, leaf->leaf_id);
+    EXPECT_FALSE(p->termination.empty());
+    ASSERT_FALSE(p->visited_functions.empty());
+    EXPECT_EQ(p->visited_functions.front(), "send_msg");
+  }
+
+  const core::TaintProvenance* source =
+      provenance_of_kind(mft, core::MftNodeKind::LeafSource);
+  ASSERT_NE(source, nullptr);
+  EXPECT_EQ(source->termination, "field-source");
+  EXPECT_EQ(source->devirt_crossings, 0);
+  EXPECT_EQ(source->callsite_crossings, 0);
+  const core::TaintProvenance* text =
+      provenance_of_kind(mft, core::MftNodeKind::LeafString);
+  ASSERT_NE(text, nullptr);
+  EXPECT_EQ(text->termination, "string-constant");
+}
+
+TEST(TaintProvenance, LocalCallDescentExtendsTheVisitedChain) {
+  ir::Program prog("p");
+  ir::IRBuilder b(prog);
+  {
+    ir::FunctionBuilder g = b.function("get_mac");
+    const ir::VarNode mac = g.call("nvram_get", {g.cstr("mac")}, "mac_val");
+    g.ret(mac);
+  }
+  ir::FunctionBuilder f = b.function("send_msg");
+  const ir::VarNode mac = f.call("get_mac", {}, "mac");
+  const ir::VarNode buf = f.local("msg", 128);
+  f.callv("sprintf", {buf, f.cstr("mac=%s"), mac});
+  const ir::VarNode len = f.call("strlen", {buf});
+  f.callv("http_post", {f.cstr("https://c.example/api"), buf, len});
+  f.ret();
+
+  const core::Mft mft = build_single(prog);
+  const core::TaintProvenance* source =
+      provenance_of_kind(mft, core::MftNodeKind::LeafSource);
+  ASSERT_NE(source, nullptr);
+  EXPECT_EQ(source->termination, "field-source");
+  EXPECT_EQ(source->visited_functions,
+            (std::vector<std::string>{"send_msg", "get_mac"}));
+  EXPECT_GT(source->depth, 0);
+  EXPECT_EQ(source->callsite_crossings, 0);
+}
+
+TEST(TaintProvenance, ParameterAscentCountsCallsiteCrossings) {
+  ir::Program prog("p");
+  ir::IRBuilder b(prog);
+  {
+    ir::FunctionBuilder s = b.function("send_it");
+    const ir::VarNode msg = s.param("msg");
+    const ir::VarNode len = s.call("strlen", {msg});
+    s.callv("http_post", {s.cstr("https://c.example/api"), msg, len});
+    s.ret();
+  }
+  ir::FunctionBuilder f = b.function("main");
+  const ir::VarNode sn = f.call("nvram_get", {f.cstr("serial_no")}, "sn");
+  const ir::VarNode buf = f.local("msg", 128);
+  f.callv("sprintf", {buf, f.cstr("sn=%s"), sn});
+  f.callv("send_it", {buf});
+  f.ret();
+
+  const core::Mft mft = build_single(prog);
+  const core::TaintProvenance* source =
+      provenance_of_kind(mft, core::MftNodeKind::LeafSource);
+  ASSERT_NE(source, nullptr);
+  EXPECT_EQ(source->termination, "field-source");
+  EXPECT_EQ(source->callsite_crossings, 1);
+  // Chain: root in send_it, ascended to the callsite in main.
+  EXPECT_EQ(source->visited_functions,
+            (std::vector<std::string>{"send_it", "main"}));
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: report provenance + event log across job counts
+// ---------------------------------------------------------------------------
+
+std::vector<fw::FirmwareImage> provenance_corpus() {
+  std::vector<fw::FirmwareImage> corpus;
+  for (const int id : {2, 3, 8, 13})
+    corpus.push_back(fw::synthesize(fw::profile_by_id(id)));
+  return corpus;
+}
+
+std::string reports_for_jobs(const std::vector<fw::FirmwareImage>& corpus,
+                             int jobs) {
+  const core::KeywordModel model;
+  const core::Pipeline pipeline(model);
+  const core::CorpusRunner runner(pipeline, {.jobs = jobs});
+  const core::CorpusResult result = runner.run(corpus);
+  EXPECT_TRUE(result.failures.empty());
+  std::string out;
+  for (const core::DeviceAnalysis& a : result.analyses)
+    out += core::analysis_to_json(a, /*include_timings=*/false).dump(true);
+  return out;
+}
+
+/// The acceptance property of the PR: the provenance block (and the
+/// mft_decisions array) is part of the timings-omitted report, so it must
+/// be byte-identical however the corpus run was scheduled.
+TEST(ProvenanceReport, ByteIdenticalAcrossJobCounts) {
+  const auto corpus = provenance_corpus();
+  const std::string sequential = reports_for_jobs(corpus, 1);
+  EXPECT_NE(sequential.find("\"provenance\""), std::string::npos);
+  EXPECT_NE(sequential.find("\"mft_decisions\""), std::string::npos);
+  EXPECT_NE(sequential.find("\"termination\": \"field-source\""),
+            std::string::npos);
+  EXPECT_NE(sequential.find("\"label_scores\""), std::string::npos);
+  EXPECT_EQ(reports_for_jobs(corpus, 8), sequential);
+}
+
+TEST(ProvenanceEvents, DecisionLogByteIdenticalAcrossJobCounts) {
+  const auto corpus = provenance_corpus();
+  const auto jsonl_for_jobs = [&](int jobs) {
+    events::clear();
+    events::set_enabled(true);
+    (void)reports_for_jobs(corpus, jobs);
+    events::set_enabled(false);
+    return events::to_jsonl(events::collect());
+  };
+  const std::string sequential = jsonl_for_jobs(1);
+  // The log covers the whole decision chain: §IV-B terminations,
+  // value-flow folds (devices 3/8/13 use indirect dispatch), §IV-C
+  // classifications, and §IV-D keep/drop verdicts.
+  EXPECT_NE(sequential.find("taint walk terminated"), std::string::npos);
+  EXPECT_NE(sequential.find("devirtualized CALLIND"), std::string::npos);
+  EXPECT_NE(sequential.find("\"category\":\"semantics\""), std::string::npos);
+  EXPECT_NE(sequential.find("MFT dropped: lan-address"), std::string::npos);
+  EXPECT_EQ(jsonl_for_jobs(8), sequential);
+}
+
+TEST(Progress, CallbackObservesEveryDeviceWithoutPerturbingResults) {
+  const auto corpus = provenance_corpus();
+  const core::KeywordModel model;
+  const core::Pipeline pipeline(model);
+
+  const std::string baseline = reports_for_jobs(corpus, 4);
+  std::atomic<int> seen{0};
+  std::atomic<int> failed{0};
+  core::CorpusRunner::Options options{.jobs = 4};
+  options.on_device_done = [&](int, bool ok, const core::PhaseTimings&) {
+    (ok ? seen : failed).fetch_add(1);
+  };
+  const core::CorpusRunner runner(pipeline, options);
+  const core::CorpusResult result = runner.run(corpus);
+  EXPECT_EQ(seen.load(), static_cast<int>(corpus.size()));
+  EXPECT_EQ(failed.load(), 0);
+  std::string with_callback;
+  for (const core::DeviceAnalysis& a : result.analyses)
+    with_callback +=
+        core::analysis_to_json(a, /*include_timings=*/false).dump(true);
+  EXPECT_EQ(with_callback, baseline);
+}
+
+// ---------------------------------------------------------------------------
+// `firmres explain` rendering from the report alone
+// ---------------------------------------------------------------------------
+
+support::Json device3_report() {
+  const core::KeywordModel model;
+  const core::Pipeline pipeline(model);
+  const fw::FirmwareImage image = fw::synthesize(fw::profile_by_id(3));
+  return core::analysis_to_json(pipeline.analyze(image),
+                                /*include_timings=*/false);
+}
+
+TEST(Explain, RendersRootToLeafDerivationForEveryField) {
+  const support::Json report = device3_report();
+  ASSERT_TRUE(fw::profile_by_id(3).indirect_dispatch);
+  const std::string text = core::explain_report(report, {.device_id = 3});
+
+  // Header, §IV-D verdicts (device 3 drops two LAN-addressed MFTs), and
+  // per-field derivations with the full chain.
+  EXPECT_NE(text.find("device 3 — "), std::string::npos);
+  EXPECT_NE(text.find("mft decisions:"), std::string::npos);
+  EXPECT_NE(text.find("dropped (lan-address:"), std::string::npos);
+  EXPECT_NE(text.find("taint: "), std::string::npos);
+  EXPECT_NE(text.find("terminated at field-source"), std::string::npos);
+  EXPECT_NE(text.find("construction: "), std::string::npos);
+  EXPECT_NE(text.find("classifier keyword-dictionary"), std::string::npos);
+
+  // Every reconstructed field key appears in the rendering.
+  for (const support::Json& message : report.find("messages")->as_array()) {
+    for (const support::Json& field : message.find("fields")->as_array()) {
+      const std::string key = field.find("key")->as_string();
+      if (key.empty()) continue;
+      EXPECT_NE(text.find("field \"" + key + "\""), std::string::npos)
+          << "field " << key << " missing from explain output";
+    }
+  }
+}
+
+TEST(Explain, FieldSelectorsNarrowTheRendering) {
+  const support::Json report = device3_report();
+
+  // Ordinal selector: exactly one field block.
+  const std::string one =
+      core::explain_report(report, {.device_id = 3, .field = "2"});
+  std::size_t blocks = 0;
+  for (std::size_t at = one.find("\n  ["); at != std::string::npos;
+       at = one.find("\n  [", at + 1))
+    ++blocks;
+  EXPECT_EQ(blocks, 1u);
+  EXPECT_NE(one.find("[2] field "), std::string::npos);
+
+  // Key selector: only blocks for that key.
+  const std::string by_key =
+      core::explain_report(report, {.device_id = 3, .field = "deviceID"});
+  EXPECT_NE(by_key.find("field \"deviceID\""), std::string::npos);
+  EXPECT_EQ(by_key.find("field \"server\""), std::string::npos);
+
+  EXPECT_THROW(
+      core::explain_report(report, {.device_id = 3, .field = "no-such-key"}),
+      support::ParseError);
+  EXPECT_THROW(core::explain_report(report, {.device_id = 99}),
+               support::ParseError);
+  EXPECT_THROW(core::explain_report(support::Json::parse("{\"x\":1}"),
+                                    {.device_id = 3}),
+               support::ParseError);
+}
+
+}  // namespace
+}  // namespace firmres

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Compare two firmres bench artifacts (bench --json output) for regressions.
+
+Usage:
+  check_perf_regression.py <baseline.json> <current.json>
+      [--threshold 0.5] [--min-wall-s 0.005]
+
+Timing keys (phases.*.wall_s / cpu_s) regress when current exceeds baseline
+by more than --threshold (a ratio: 0.5 = 50% slower). Phases faster than
+--min-wall-s in the baseline are skipped — at ms scale they are scheduler
+noise, not signal. registry_metrics are Work-kind (deterministic across job
+counts), so ANY difference there is reported: it means the analysis itself
+changed, which a perf baseline bump should call out.
+
+Only keys present in BOTH files are compared, so adding a phase or metric
+never fails an old baseline. Exit 0 = within threshold, 1 = regression,
+2 = usage/bad input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def flatten(obj, prefix=""):
+    """Flatten nested dicts to dotted-path -> leaf value."""
+    out = {}
+    if isinstance(obj, dict):
+        for key, value in obj.items():
+            out.update(flatten(value, f"{prefix}{key}."))
+    else:
+        out[prefix.rstrip(".")] = obj
+    return out
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    if not isinstance(doc, dict) or doc.get("format") != "firmres-bench":
+        print(f"error: {path} is not a firmres-bench artifact", file=sys.stderr)
+        sys.exit(2)
+    return doc
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.5,
+        help="allowed slowdown ratio before a timing counts as a regression",
+    )
+    parser.add_argument(
+        "--min-wall-s",
+        type=float,
+        default=0.005,
+        help="skip timing keys whose baseline is below this (noise floor)",
+    )
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    current = load(args.current)
+
+    regressions = []
+    drifts = []
+
+    base_phases = flatten(baseline.get("phases", {}))
+    cur_phases = flatten(current.get("phases", {}))
+    for key in sorted(base_phases.keys() & cur_phases.keys()):
+        base, cur = base_phases[key], cur_phases[key]
+        if not isinstance(base, (int, float)) or not isinstance(cur, (int, float)):
+            continue
+        if base < args.min_wall_s:
+            continue
+        ratio = cur / base
+        line = f"phases.{key}: {base:.4f}s -> {cur:.4f}s ({ratio:.2f}x)"
+        if ratio > 1.0 + args.threshold:
+            regressions.append(line)
+        else:
+            print(f"ok   {line}")
+
+    base_metrics = baseline.get("registry_metrics", {})
+    cur_metrics = current.get("registry_metrics", {})
+    for key in sorted(base_metrics.keys() & cur_metrics.keys()):
+        base, cur = base_metrics[key], cur_metrics[key]
+        if not isinstance(base, (int, float)) or not isinstance(cur, (int, float)):
+            continue
+        if base != cur:
+            drifts.append(f"registry_metrics.{key}: {base:g} -> {cur:g}")
+
+    for line in drifts:
+        print(f"note {line}  (work-metric drift: the analysis changed)")
+    for line in regressions:
+        print(f"FAIL {line}  (over +{args.threshold:.0%} threshold)")
+
+    base_commit = baseline.get("commit", "?")
+    cur_commit = current.get("commit", "?")
+    print(
+        f"{len(regressions)} regression(s), {len(drifts)} work-metric "
+        f"drift(s)  [{base_commit} -> {cur_commit}]"
+    )
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,6 +6,8 @@
 //   firmres lint <image-dir>... [--json] [--werror]
 //                                         verify/lint the lifted executables
 //   firmres hunt <image-dir>...           probe clouds, report vulnerabilities
+//   firmres explain <report.json> --device N [--field K]
+//                                         render field derivations from a report
 //   firmres ir <image-dir> <exec-path>    print a lifted executable
 //   firmres train <model.json> [devices] [epochs]
 //                                         train + save the neural classifier
@@ -23,6 +25,8 @@
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -34,6 +38,7 @@
 #include "analysis/verify/verifier.h"
 #include "cloud/vuln_hunter.h"
 #include "core/corpus_runner.h"
+#include "core/explain.h"
 #include "core/pipeline.h"
 #include "core/report.h"
 #include "firmware/serializer.h"
@@ -43,6 +48,7 @@
 #include "support/error.h"
 #include "support/json.h"
 #include "support/logging.h"
+#include "support/observability/events.h"
 #include "support/observability/metrics.h"
 #include "support/observability/trace.h"
 #include "support/strings.h"
@@ -59,22 +65,25 @@ int usage() {
   std::fprintf(stderr,
                "usage:\n"
                "  firmres analyze <image-dir>... [--json] [--model <path>] "
-               "[--jobs N]\n"
+               "[--jobs N] [--progress]\n"
                "  firmres lint <image-dir>... [--json] [--werror] [--jobs N]\n"
-               "  firmres hunt <image-dir>... [--jobs N]\n"
+               "  firmres hunt <image-dir>... [--jobs N] [--progress]\n"
+               "  firmres explain <report.json> --device N [--field K]\n"
                "  firmres synth <dir> [--device N]\n"
                "  firmres ir <image-dir> <exec-path>\n"
                "  firmres train <model.json> [devices] [epochs]\n"
                "  firmres corpus\n"
                "\n"
                "analyze/lint/hunt also accept the observability flags\n"
-               "(docs/OBSERVABILITY.md):\n"
+               "(docs/OBSERVABILITY.md, docs/PROVENANCE.md):\n"
                "  --trace-out <path>    write a chrome://tracing JSON trace\n"
                "  --metrics-out <path>  write the metrics dump (.json = JSON,\n"
                "                        anything else = flat text)\n"
                "  --metrics-runtime     include Runtime-kind metrics in the\n"
                "                        dump (off by default: the Work-only\n"
-               "                        dump is byte-identical at any --jobs)\n");
+               "                        dump is byte-identical at any --jobs)\n"
+               "  --events-out <path>   write the decision-event log (JSONL,\n"
+               "                        byte-identical at any --jobs)\n");
   return kExitUsage;
 }
 
@@ -160,8 +169,10 @@ class ObsWriter {
   explicit ObsWriter(std::vector<std::string>& args)
       : trace_out_(take_value_flag(args, "--trace-out")),
         metrics_out_(take_value_flag(args, "--metrics-out")),
+        events_out_(take_value_flag(args, "--events-out")),
         include_runtime_(take_flag(args, "--metrics-runtime")) {
     if (trace_out_.has_value()) support::trace::set_enabled(true);
+    if (events_out_.has_value()) support::events::set_enabled(true);
   }
 
   ObsWriter(const ObsWriter&) = delete;
@@ -179,6 +190,10 @@ class ObsWriter {
         else
           support::metrics::write_text(*metrics_out_, include_runtime_);
       }
+      if (events_out_.has_value()) {
+        support::events::set_enabled(false);
+        support::events::write_jsonl(*events_out_);
+      }
     } catch (const std::exception& e) {
       // A failed export must not clobber the command's exit code path.
       std::fprintf(stderr, "error: %s\n", e.what());
@@ -188,8 +203,25 @@ class ObsWriter {
  private:
   std::optional<std::string> trace_out_;
   std::optional<std::string> metrics_out_;
+  std::optional<std::string> events_out_;
   bool include_runtime_;
 };
+
+/// The --progress completion callback: one line per device attempt to
+/// stderr, so stdout stays machine-readable and --metrics-out /
+/// --events-out determinism is untouched.
+void print_progress(int device_id, bool ok,
+                    const core::PhaseTimings& timings) {
+  if (ok) {
+    std::fprintf(stderr,
+                 "device %d done (pinpoint %.3fs, fields %.3fs, semantics "
+                 "%.3fs, concat %.3fs, check %.3fs)\n",
+                 device_id, timings.pinpoint_s, timings.fields_s,
+                 timings.semantics_s, timings.concat_s, timings.check_s);
+  } else {
+    std::fprintf(stderr, "device %d attempt failed\n", device_id);
+  }
+}
 
 int cmd_corpus() {
   std::printf("%-4s %-18s %-24s %-22s %-7s\n", "ID", "Vendor", "Model",
@@ -258,6 +290,7 @@ void print_analysis(const fw::FirmwareImage& image,
 int cmd_analyze(std::vector<std::string> args) {
   const int jobs = take_jobs_flag(args);
   const bool json = take_flag(args, "--json");
+  const bool progress = take_flag(args, "--progress");
   const std::string model_path =
       take_value_flag(args, "--model").value_or("");
   const ObsWriter obs(args);
@@ -284,6 +317,7 @@ int cmd_analyze(std::vector<std::string> args) {
     } else {
       analysis = pipeline.analyze(image);
     }
+    if (progress) print_progress(analysis.device_id, true, analysis.timings);
     if (json) {
       std::printf("%s\n",
                   core::analysis_to_json(analysis).dump(true).c_str());
@@ -303,7 +337,9 @@ int cmd_analyze(std::vector<std::string> args) {
       std::fprintf(stderr, "skipping %s: %s\n", dir.c_str(), e.what());
     }
   }
-  const core::CorpusRunner runner(pipeline, {.jobs = jobs});
+  core::CorpusRunner::Options runner_options{.jobs = jobs};
+  if (progress) runner_options.on_device_done = print_progress;
+  const core::CorpusRunner runner(pipeline, runner_options);
   const core::CorpusResult run = runner.run(images);
   for (const core::DeviceFailure& failure : run.failures)
     std::fprintf(stderr, "device %d failed (%d attempt%s): %s\n",
@@ -332,6 +368,7 @@ int cmd_analyze(std::vector<std::string> args) {
 
 int cmd_hunt(std::vector<std::string> args) {
   const int jobs = take_jobs_flag(args);
+  const bool progress = take_flag(args, "--progress");
   const ObsWriter obs(args);
   if (!reject_unknown_flags("hunt", args)) return kExitUnknownFlag;
   if (args.empty()) return usage();
@@ -348,7 +385,9 @@ int cmd_hunt(std::vector<std::string> args) {
   }
   const core::KeywordModel model;
   const core::Pipeline pipeline(model);
-  const core::CorpusRunner runner(pipeline, {.jobs = jobs});
+  core::CorpusRunner::Options runner_options{.jobs = jobs};
+  if (progress) runner_options.on_device_done = print_progress;
+  const core::CorpusRunner runner(pipeline, runner_options);
   const core::CorpusResult run = runner.run(images);
   for (const core::DeviceFailure& failure : run.failures)
     std::fprintf(stderr, "device %d failed: %s\n", failure.device_id,
@@ -457,6 +496,28 @@ int cmd_lint(std::vector<std::string> args) {
   return all_clean ? 0 : 1;
 }
 
+/// Render root-to-leaf field derivations from a saved report JSON; no
+/// firmware image or re-analysis needed (core/explain.h).
+int cmd_explain(std::vector<std::string> args) {
+  const std::optional<std::string> device = take_value_flag(args, "--device");
+  core::ExplainOptions options;
+  options.field = take_value_flag(args, "--field").value_or("");
+  if (!reject_unknown_flags("explain", args)) return kExitUnknownFlag;
+  if (args.size() != 1 || !device.has_value()) return usage();
+  options.device_id = std::atoi(device->c_str());
+
+  std::ifstream in(args[0], std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", args[0].c_str());
+    return 1;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  const support::Json report = support::Json::parse(text.str());
+  std::printf("%s", core::explain_report(report, options).c_str());
+  return 0;
+}
+
 int cmd_train(const std::vector<std::string>& args) {
   if (!reject_unknown_flags("train", args)) return kExitUnknownFlag;
   if (args.empty()) return usage();
@@ -506,6 +567,7 @@ int main(int argc, char** argv) {
     if (cmd == "analyze") return cmd_analyze(args);
     if (cmd == "lint") return cmd_lint(args);
     if (cmd == "hunt") return cmd_hunt(args);
+    if (cmd == "explain") return cmd_explain(args);
     if (cmd == "ir") return cmd_ir(args);
     if (cmd == "train") return cmd_train(args);
   } catch (const std::exception& e) {
