@@ -9,9 +9,11 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <string_view>
 
 #include "bench_util.h"
+#include "core/analysis_cache.h"
 #include "support/observability/metrics.h"
 #include "support/strings.h"
 
@@ -183,6 +185,12 @@ BENCHMARK(BM_CorpusAnalyze)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 int main(int argc, char** argv) {
   firmres::support::set_log_level(firmres::support::LogLevel::Warn);
   const std::string json_path = bench::take_json_flag(argc, argv);
+  // --cache-dir routes the --json artifact pass through an AnalysisCache:
+  // run once for a cold artifact, rerun with the same directory for a warm
+  // one, and compare the pair with tools/check_perf_regression.py and a
+  // negative threshold to require the speedup (docs/CACHING.md).
+  const std::string cache_dir =
+      bench::take_value_flag(argc, argv, "--cache-dir");
   print_perf();
   print_parallel_speedup();
   if (!json_path.empty()) {
@@ -190,7 +198,12 @@ int main(int argc, char** argv) {
     // the accumulated counters of the sections above.
     support::metrics::reset_all();
     const core::KeywordModel model;
-    const bench::CorpusRun run = bench::run_corpus(model);
+    std::unique_ptr<core::AnalysisCache> cache;
+    if (!cache_dir.empty())
+      cache = std::make_unique<core::AnalysisCache>(
+          core::AnalysisCache::Options{.dir = cache_dir});
+    const bench::CorpusRun run =
+        bench::run_corpus(model, /*jobs=*/0, cache.get());
     bench::write_bench_json(json_path, "bench_perf_phases", run.result);
   }
   benchmark::Initialize(&argc, argv);

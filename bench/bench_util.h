@@ -34,13 +34,18 @@ struct CorpusRun {
 
 /// Synthesize + analyze the full Table I corpus with the given model.
 /// `jobs` as in CorpusRunner::Options (default: all hardware threads); the
-/// analyses are deterministic regardless of the job count.
-inline CorpusRun run_corpus(const core::SemanticsModel& model, int jobs = 0) {
+/// analyses are deterministic regardless of the job count. `cache` (may be
+/// null) wires an incremental AnalysisCache through the pipeline — the
+/// warm-vs-cold bench comparison runs through this (docs/CACHING.md).
+inline CorpusRun run_corpus(const core::SemanticsModel& model, int jobs = 0,
+                            core::AnalysisCache* cache = nullptr) {
   support::set_log_level(support::LogLevel::Warn);
   CorpusRun run;
   run.corpus = fw::synthesize_corpus();
   for (const auto& image : run.corpus) run.net.enroll(image);
-  const core::Pipeline pipeline(model);
+  core::Pipeline::Options pipeline_options;
+  pipeline_options.cache = cache;
+  const core::Pipeline pipeline(model, pipeline_options);
   const core::CorpusRunner runner(pipeline, {.jobs = jobs});
   run.result = runner.run(run.corpus);
   run.analyses = run.result.analyses;
@@ -56,20 +61,26 @@ inline void print_rule(int width = 100) {
   std::putchar('\n');
 }
 
-/// Consume `--json <path>` from argv before benchmark::Initialize sees it
-/// (google-benchmark rejects unknown flags). Empty when absent.
-inline std::string take_json_flag(int& argc, char** argv) {
-  std::string path;
+/// Consume a `--name <value>` pair from argv before benchmark::Initialize
+/// sees it (google-benchmark rejects unknown flags). Empty when absent.
+inline std::string take_value_flag(int& argc, char** argv,
+                                   std::string_view name) {
+  std::string value;
   for (int i = 1; i < argc;) {
-    if (std::string_view(argv[i]) == "--json" && i + 1 < argc) {
-      path = argv[i + 1];
+    if (std::string_view(argv[i]) == name && i + 1 < argc) {
+      value = argv[i + 1];
       for (int k = i; k + 2 < argc; ++k) argv[k] = argv[k + 2];
       argc -= 2;
     } else {
       ++i;
     }
   }
-  return path;
+  return value;
+}
+
+/// Consume `--json <path>`: the bench-artifact output path.
+inline std::string take_json_flag(int& argc, char** argv) {
+  return take_value_flag(argc, argv, "--json");
 }
 
 /// Write the machine-readable bench artifact tools/check_perf_regression.py

@@ -7,6 +7,7 @@
 #include <set>
 
 #include "ir/library.h"
+#include "support/hash.h"
 #include "support/observability/metrics.h"
 #include "support/observability/trace.h"
 #include "support/strings.h"
@@ -673,6 +674,37 @@ std::optional<std::string> ValueFlow::string_of(const ir::Function* fn,
 const ir::Function* ValueFlow::resolved_target(const ir::PcodeOp* op) const {
   const auto it = resolved_.find(op);
   return it == resolved_.end() ? nullptr : it->second;
+}
+
+std::uint64_t ValueFlow::function_signature(const ir::Function* fn) const {
+  const auto idx = local_index_.find(fn);
+  if (idx == local_index_.end()) return 0;
+  support::Hasher h(0x76667369675f3031ULL);  // "vfsig_01"
+  // Solved environment: Env is an ordered map, so iteration order (and thus
+  // the hash) is deterministic.
+  const Env& env = envs_[idx->second];
+  h.u64(env.size());
+  for (const auto& [var, val] : env) {
+    h.u8(static_cast<std::uint8_t>(var.space))
+        .u64(var.offset)
+        .u64(var.size)
+        .u8(static_cast<std::uint8_t>(val.kind()));
+    if (val.is_const()) h.u64(val.const_value());
+    if (val.is_str()) h.str(val.str_value());
+  }
+  // Devirtualized targets: hash by callee name + site address, in op layout
+  // order. Unresolved sites hash too — resolution flipping off must change
+  // the signature just as flipping on does.
+  for (const ir::PcodeOp* op : fn->ops_in_order()) {
+    if (op->opcode != ir::OpCode::CallInd) continue;
+    h.u64(op->address);
+    const auto rit = resolved_.find(op);
+    h.str(rit == resolved_.end() ? std::string_view{} : rit->second->name());
+  }
+  h.boolean(std::find(folded_event_callbacks_.begin(),
+                      folded_event_callbacks_.end(),
+                      fn) != folded_event_callbacks_.end());
+  return h.digest();
 }
 
 }  // namespace firmres::analysis

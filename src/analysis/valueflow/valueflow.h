@@ -98,6 +98,16 @@ class ValueFlow {
     return folded_event_callbacks_;
   }
 
+  /// Content hash of everything downstream phases can observe about `fn`
+  /// through this ValueFlow: its solved environment, the devirtualized
+  /// targets of its CallInd sites, and whether it is a folded event
+  /// callback. Two solves that agree on the signature are interchangeable
+  /// for taint/reconstruction over `fn` — the validation handle the
+  /// incremental analysis cache uses to keep per-function reuse sound in
+  /// an interprocedural world (docs/CACHING.md). Returns 0 for non-local
+  /// functions.
+  std::uint64_t function_signature(const ir::Function* fn) const;
+
   const Stats& stats() const { return stats_; }
 
  private:

@@ -1,11 +1,17 @@
 #include "core/pipeline.h"
 
+#include <algorithm>
 #include <chrono>
+#include <map>
 #include <memory>
+#include <set>
 
 #include "analysis/valueflow/valueflow.h"
 #include "analysis/verify/verifier.h"
+#include "core/analysis_cache.h"
 #include "core/taint.h"
+#include "ir/library.h"
+#include "support/hash.h"
 #include "support/logging.h"
 #include "support/observability/events.h"
 #include "support/observability/metrics.h"
@@ -151,6 +157,38 @@ void emit_decision_event(int device_id, const MftDecision& decision) {
   events::emit(std::move(e));
 }
 
+/// Fold-provenance event for one devirtualized CallInd site. Byte-for-byte
+/// the record the cold path emits, whether the site came from a live
+/// ValueFlow solve or a rehydrated cache entry.
+void emit_devirt_event(int device_id,
+                       const CachedProgramAnalysis::DevirtSite& site) {
+  events::Event e;
+  e.category = "valueflow";
+  e.device_id = device_id;
+  e.text = "devirtualized CALLIND " + site.caller + " -> " + site.target;
+  e.attrs = {{"address",
+              support::format("0x%llx",
+                              static_cast<unsigned long long>(site.address))},
+             {"round", std::to_string(site.round)}};
+  events::emit(std::move(e));
+}
+
+/// Hash of a function's resolved-caller set. The §IV-B walk ascends from a
+/// parameter through *every* callsite of the containing function, so a new
+/// caller appearing anywhere in the program changes the walk even though no
+/// visited function's own IR did — this hash is the cache dep that catches
+/// that.
+std::uint64_t callers_hash(const analysis::CallGraph& cg,
+                           const std::string& fn_name) {
+  support::Hasher h(0x63616c6c5f763031ULL);  // "call_v01"
+  const std::vector<analysis::CallSite> sites =
+      cg.resolved_callsites_of(fn_name);
+  h.u64(sites.size());
+  for (const analysis::CallSite& s : sites)
+    h.str(s.caller->name()).u64(s.op->address).u64(s.arg_offset);
+  return h.digest();
+}
+
 }  // namespace
 
 DeviceAnalysis Pipeline::analyze(const fw::FirmwareImage& image,
@@ -181,20 +219,49 @@ DeviceAnalysis Pipeline::analyze(const fw::FirmwareImage& image,
   }
 
   // --- Phase 1: pinpoint device-cloud executables (§IV-A) ------------------
+  AnalysisCache* cache = options_.cache;
   std::vector<const ir::Program*> device_cloud;
+  std::vector<std::uint64_t> program_hashes;  ///< parallel; cache path only
   std::uint64_t executables_scanned = 0;
   {
     FIRMRES_SPAN_DEVICE("phase.pinpoint", "pipeline", image.profile.id);
     PhaseTimer timer(out.timings.pinpoint_s);
     const ExecutableIdentifier identifier(options_.identifier);
+    std::uint64_t ident_salt = 0;
+    if (cache != nullptr) {
+      support::Hasher h(0x6964656e745f7631ULL);  // "ident_v1"
+      h.f64(options_.identifier.pf_threshold)
+          .boolean(options_.identifier.require_async)
+          .boolean(options_.identifier.use_pf_scoring)
+          .boolean(options_.identifier.devirtualize);
+      ident_salt = h.digest();
+    }
     for (const fw::FirmwareFile& file : image.files) {
       if (file.kind != fw::FirmwareFile::Kind::Executable ||
           file.program == nullptr)
         continue;
       ++executables_scanned;
-      const ExecIdentification ident = identifier.analyze(*file.program);
-      if (ident.is_device_cloud) {
+      bool is_device_cloud = false;
+      std::uint64_t program_hash = 0;
+      if (cache != nullptr) {
+        program_hash = AnalysisCache::hash_program_ir(*file.program);
+        const std::uint64_t key = support::Hasher(0x6964656e742e6b79ULL)
+                                      .u64(ident_salt)
+                                      .u64(program_hash)
+                                      .digest();
+        const std::optional<bool> hit = cache->lookup_ident(key);
+        if (hit.has_value()) {
+          is_device_cloud = *hit;
+        } else {
+          is_device_cloud = identifier.analyze(*file.program).is_device_cloud;
+          cache->store_ident(key, is_device_cloud);
+        }
+      } else {
+        is_device_cloud = identifier.analyze(*file.program).is_device_cloud;
+      }
+      if (is_device_cloud) {
         device_cloud.push_back(file.program.get());
+        program_hashes.push_back(program_hash);
         if (out.device_cloud_executable.empty())
           out.device_cloud_executable = file.path;
       }
@@ -238,15 +305,52 @@ DeviceAnalysis Pipeline::analyze(const fw::FirmwareImage& image,
     return out;
   }
 
+  // Everything besides the IR that shapes the Phase 2-4 product: taint
+  // budgets, the classifier identity, and the executable path embedded in
+  // every reconstructed message.
+  std::uint64_t analysis_salt = 0;
+  if (cache != nullptr) {
+    support::Hasher h(0x616e616c5f763031ULL);  // "anal_v01"
+    h.u64(static_cast<std::uint64_t>(options_.taint.max_depth))
+        .u64(options_.taint.max_nodes)
+        .u64(static_cast<std::uint64_t>(options_.taint.max_callsites))
+        .str(model_.name())
+        .str(out.device_cloud_executable);
+    analysis_salt = h.digest();
+  }
+
   // --- Phase 2: message-field identification via backward taint (§IV-B) ----
   // Each device-cloud program's MFTs are independent; with a pool they are
   // built concurrently, then concatenated in program order so the result is
   // identical to the sequential loop. The per-program value-flow solution
   // devirtualizes CallInd edges for the taint walks and stays alive through
   // Phases 3/4 so slice generation can recover non-literal format operands.
+  //
+  // With a cache, each program first tries its program-tier entry (a hit
+  // skips ValueFlow, taint, and reconstruction outright); on a miss the
+  // solve runs and each delivery-bearing *function* tries its fn-tier
+  // entry, validated against the live solve through the recorded deps.
+  struct FnGroup {
+    const ir::Function* fn = nullptr;
+    std::uint64_t key = 0;
+    bool from_cache = false;
+    std::vector<CachedMessage> cached;  ///< hit: fn's messages, site order
+    std::set<std::string> dep_names;    ///< miss: visited-function union
+    std::vector<CachedFunctionEntry::Dep> deps;   ///< miss: recorded deps
+    std::vector<CachedMessage> fresh;   ///< miss: filled in Phases 3+4
+  };
+  struct SiteOutcome {
+    std::optional<CachedMessage> ready;  ///< fn-tier hit
+    std::optional<Mft> mft;              ///< needs reconstruction
+    int group = -1;                      ///< FnGroup index (cache path only)
+  };
   struct ProgramWork {
     std::unique_ptr<analysis::ValueFlow> valueflow;
-    std::vector<Mft> mfts;
+    std::optional<CachedProgramAnalysis> cached;  ///< program-tier hit
+    std::vector<SiteOutcome> sites;
+    std::vector<FnGroup> groups;
+    std::uint64_t program_key = 0;
+    CachedProgramAnalysis fresh;  ///< stats/devirt now, messages in 3+4
   };
   std::vector<ProgramWork> per_program(device_cloud.size());
   {
@@ -254,11 +358,135 @@ DeviceAnalysis Pipeline::analyze(const fw::FirmwareImage& image,
     PhaseTimer timer(out.timings.fields_s);
     const auto build_program = [&](std::size_t i, support::ThreadPool* vp) {
       const ir::Program& program = *device_cloud[i];
+      ProgramWork& work = per_program[i];
+      if (cache != nullptr) {
+        work.program_key = support::Hasher(0x70726f672e6b6579ULL)
+                               .u64(analysis_salt)
+                               .u64(program_hashes[i])
+                               .digest();
+        std::optional<CachedProgramAnalysis> hit =
+            cache->lookup_program(work.program_key);
+        if (hit.has_value()) {
+          work.cached = std::move(*hit);
+          return;
+        }
+      }
       auto vf = std::make_unique<analysis::ValueFlow>(program, vp);
       const analysis::CallGraph cg(program, *vf);
       const MftBuilder builder(program, cg, options_.taint);
-      per_program[i].mfts = builder.build_all();
-      per_program[i].valueflow = std::move(vf);
+
+      const analysis::ValueFlow::Stats stats = vf->stats();
+      work.fresh.indirect_total = stats.indirect_total;
+      work.fresh.indirect_resolved = stats.indirect_resolved;
+      for (const analysis::ValueFlow::IndirectSite& site :
+           vf->indirect_sites()) {
+        if (site.target == nullptr) continue;
+        work.fresh.devirt_sites.push_back(CachedProgramAnalysis::DevirtSite{
+            site.caller->name(), site.target->name(), site.op->address,
+            site.resolved_round});
+      }
+
+      // Delivery-callsite enumeration, exactly as MftBuilder::build_all
+      // (callsite address order).
+      std::vector<analysis::CallSite> sites;
+      for (const std::string& name :
+           ir::LibraryModel::instance().names_of_kind(ir::LibKind::MsgDeliver))
+        for (const analysis::CallSite& site : cg.callsites_of(name))
+          sites.push_back(site);
+      std::sort(sites.begin(), sites.end(),
+                [](const analysis::CallSite& a, const analysis::CallSite& b) {
+                  return a.op->address < b.op->address;
+                });
+
+      if (cache == nullptr) {
+        for (const analysis::CallSite& site : sites) {
+          SiteOutcome s;
+          s.mft = builder.build(site);
+          work.sites.push_back(std::move(s));
+        }
+        work.valueflow = std::move(vf);
+        return;
+      }
+
+      const std::uint64_t fn_salt =
+          support::Hasher(0x666e2e73616c7431ULL)
+              .u64(analysis_salt)
+              .u64(AnalysisCache::hash_data_segment(program))
+              .digest();
+      // Group the sites by containing function. A function's sites form the
+      // same subsequence in global (address) order and in its fn entry, so
+      // rehydration is a per-group cursor.
+      std::map<const ir::Function*, int> group_of;
+      std::vector<int> site_group;
+      for (const analysis::CallSite& site : sites) {
+        const auto [it, inserted] = group_of.try_emplace(
+            site.caller, static_cast<int>(work.groups.size()));
+        if (inserted) {
+          FnGroup g;
+          g.fn = site.caller;
+          g.key = support::Hasher(0x666e2e6b65793031ULL)
+                      .u64(fn_salt)
+                      .u64(AnalysisCache::hash_function_ir(*site.caller))
+                      .digest();
+          work.groups.push_back(std::move(g));
+        }
+        site_group.push_back(it->second);
+      }
+      std::vector<std::size_t> group_sites(work.groups.size(), 0);
+      for (const int g : site_group) ++group_sites[static_cast<std::size_t>(g)];
+
+      const auto dep_ok = [&](const CachedFunctionEntry::Dep& dep) {
+        const ir::Function* dep_fn = program.function(dep.fn);
+        if (dep_fn == nullptr) return false;
+        if (AnalysisCache::hash_function_ir(*dep_fn) != dep.ir_hash)
+          return false;
+        if (vf->function_signature(dep_fn) != dep.vf_sig) return false;
+        if (callers_hash(cg, dep.fn) != dep.callers_hash) return false;
+        return true;
+      };
+      for (std::size_t g = 0; g < work.groups.size(); ++g) {
+        FnGroup& group = work.groups[g];
+        std::optional<CachedFunctionEntry> entry =
+            cache->lookup_function(group.key, dep_ok);
+        // The site count is derived from the function's own IR (part of the
+        // key), so a shape mismatch only means a foreign entry — rebuild.
+        if (entry.has_value() && entry->messages.size() == group_sites[g]) {
+          group.from_cache = true;
+          group.cached = std::move(entry->messages);
+        }
+      }
+
+      std::vector<std::size_t> consumed(work.groups.size(), 0);
+      for (std::size_t si = 0; si < sites.size(); ++si) {
+        const std::size_t g = static_cast<std::size_t>(site_group[si]);
+        FnGroup& group = work.groups[g];
+        SiteOutcome s;
+        s.group = static_cast<int>(g);
+        if (group.from_cache) {
+          s.ready = group.cached[consumed[g]++];
+        } else {
+          s.mft = builder.build(sites[si]);
+          // The walk's visited functions are the true dynamic dependency
+          // set of this fn's artifacts.
+          group.dep_names.insert(group.fn->name());
+          for (const TaintProvenance& p : s.mft->provenance)
+            group.dep_names.insert(p.visited_functions.begin(),
+                                   p.visited_functions.end());
+        }
+        work.sites.push_back(std::move(s));
+      }
+      // Record validation hashes for every dep while the solve is alive.
+      for (FnGroup& group : work.groups) {
+        if (group.from_cache) continue;
+        for (const std::string& name : group.dep_names) {
+          const ir::Function* dep_fn = program.function(name);
+          if (dep_fn == nullptr) continue;
+          group.deps.push_back(CachedFunctionEntry::Dep{
+              name, AnalysisCache::hash_function_ir(*dep_fn),
+              vf->function_signature(dep_fn), callers_hash(cg, name)});
+        }
+      }
+      work.valueflow = std::move(vf);
     };
     if (pool != nullptr && device_cloud.size() > 1) {
       // Workers solve their program's value flow sequentially — the outer
@@ -270,34 +498,33 @@ DeviceAnalysis Pipeline::analyze(const fw::FirmwareImage& image,
         build_program(i, pool);
     }
     for (const ProgramWork& work : per_program) {
-      const analysis::ValueFlow::Stats stats = work.valueflow->stats();
-      out.indirect_calls_total += stats.indirect_total;
-      out.indirect_calls_resolved += stats.indirect_resolved;
+      const CachedProgramAnalysis* summary =
+          work.cached.has_value() ? &*work.cached : &work.fresh;
+      out.indirect_calls_total += static_cast<int>(summary->indirect_total);
+      out.indirect_calls_resolved +=
+          static_cast<int>(summary->indirect_resolved);
       if (events::enabled()) {
         // Fold provenance for every devirtualized site the taint walks and
         // the call graph will rely on.
-        for (const analysis::ValueFlow::IndirectSite& site :
-             work.valueflow->indirect_sites()) {
-          if (site.target == nullptr) continue;
-          events::Event e;
-          e.category = "valueflow";
-          e.device_id = out.device_id;
-          e.text = "devirtualized CALLIND " + site.caller->name() + " -> " +
-                   site.target->name();
-          e.attrs = {{"address",
-                      support::format("0x%llx",
-                                      static_cast<unsigned long long>(
-                                          site.op->address))},
-                     {"round", std::to_string(site.resolved_round)}};
-          events::emit(std::move(e));
-        }
+        for (const CachedProgramAnalysis::DevirtSite& site :
+             summary->devirt_sites)
+          emit_devirt_event(out.device_id, site);
       }
-      for (const Mft& mft : work.mfts) {
+      const auto observe_mft = [&](std::uint64_t nodes, std::uint64_t leaves) {
         ++mft_count;
-        mft_nodes += mft.node_count();
-        mft_leaves += mft.leaf_count();
-        g_mft_nodes.observe(mft.node_count());
-        g_mft_leaves.observe(mft.leaf_count());
+        mft_nodes += nodes;
+        mft_leaves += leaves;
+        g_mft_nodes.observe(nodes);
+        g_mft_leaves.observe(leaves);
+      };
+      if (work.cached.has_value()) {
+        for (const CachedMessage& m : work.cached->messages)
+          observe_mft(m.mft_nodes, m.mft_leaves);
+      } else {
+        for (const SiteOutcome& s : work.sites)
+          observe_mft(
+              s.ready.has_value() ? s.ready->mft_nodes : s.mft->node_count(),
+              s.ready.has_value() ? s.ready->mft_leaves : s.mft->leaf_count());
       }
     }
   }
@@ -309,26 +536,60 @@ DeviceAnalysis Pipeline::analyze(const fw::FirmwareImage& image,
   {
     FIRMRES_SPAN_DEVICE("phase.reconstruct", "pipeline", image.profile.id);
     const Reconstructor reconstructor(model_);
-    for (const ProgramWork& work : per_program) {
-      for (const Mft& mft : work.mfts) {
-        std::optional<ReconstructedMessage> msg;
-        MftDecision decision;
+    // One delivery callsite's outcome enters the analysis — identically
+    // whether it was just reconstructed or rehydrated from the store.
+    const auto deliver = [&](const CachedMessage& m) {
+      PhaseTimer timer(out.timings.concat_s);
+      emit_decision_event(out.device_id, m.decision);
+      out.mft_decisions.push_back(m.decision);
+      if (m.message.has_value()) {
+        out.opaque_terminations += m.message->opaque_terminations;
+        out.param_terminations += m.message->param_terminations;
+        emit_message_events(out.device_id, *m.message);
+        out.messages.push_back(*m.message);
+      } else {
+        ++out.discarded_lan;
+      }
+    };
+    for (ProgramWork& work : per_program) {
+      if (work.cached.has_value()) {
+        for (const CachedMessage& m : work.cached->messages) deliver(m);
+        continue;
+      }
+      for (SiteOutcome& s : work.sites) {
+        if (s.ready.has_value()) {
+          deliver(*s.ready);
+          work.fresh.messages.push_back(std::move(*s.ready));
+          continue;
+        }
+        CachedMessage m;
+        m.fn = s.mft->delivery_fn->name();
         {
           PhaseTimer timer(out.timings.semantics_s);
-          msg = reconstructor.reconstruct_one(mft, out.device_cloud_executable,
-                                              work.valueflow.get(), &decision);
+          m.message = reconstructor.reconstruct_one(
+              *s.mft, out.device_cloud_executable, work.valueflow.get(),
+              &m.decision);
         }
+        m.mft_nodes = s.mft->node_count();
+        m.mft_leaves = s.mft->leaf_count();
+        deliver(m);
+        if (cache != nullptr) {
+          if (s.group >= 0)
+            work.groups[static_cast<std::size_t>(s.group)].fresh.push_back(m);
+          work.fresh.messages.push_back(std::move(m));
+        }
+      }
+      if (cache != nullptr) {
         PhaseTimer timer(out.timings.concat_s);
-        emit_decision_event(out.device_id, decision);
-        out.mft_decisions.push_back(std::move(decision));
-        if (msg.has_value()) {
-          out.opaque_terminations += msg->opaque_terminations;
-          out.param_terminations += msg->param_terminations;
-          emit_message_events(out.device_id, *msg);
-          out.messages.push_back(std::move(*msg));
-        } else {
-          ++out.discarded_lan;
+        for (FnGroup& group : work.groups) {
+          if (group.from_cache) continue;
+          CachedFunctionEntry entry;
+          entry.fn = group.fn->name();
+          entry.deps = group.deps;
+          entry.messages = std::move(group.fresh);
+          cache->store_function(group.key, entry);
         }
+        cache->store_program(work.program_key, work.fresh);
       }
     }
   }

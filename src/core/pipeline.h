@@ -20,6 +20,8 @@
 
 namespace firmres::core {
 
+class AnalysisCache;
+
 struct PhaseTimings {
   double pinpoint_s = 0.0;   ///< device-cloud executable identification
   double fields_s = 0.0;     ///< taint analysis / MFT construction
@@ -75,6 +77,13 @@ class Pipeline {
     /// CorpusRunner the exception isolates the device (a DeviceFailure)
     /// instead of aborting the run.
     bool lint_gate = false;
+    /// Optional incremental analysis cache (not owned; must outlive the
+    /// pipeline). When set, §IV-A verdicts and per-program/per-function
+    /// Phase 2-4 artifacts are looked up by content hash before being
+    /// recomputed, and fresh results are stored back. The cached and cold
+    /// paths produce byte-identical reports and event logs
+    /// (docs/CACHING.md); only the cache.* metrics and timings differ.
+    AnalysisCache* cache = nullptr;
   };
 
   /// `model` must outlive the pipeline.

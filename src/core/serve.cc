@@ -1,0 +1,212 @@
+#include "core/serve.h"
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <istream>
+#include <mutex>
+#include <ostream>
+#include <set>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/corpus_runner.h"
+#include "core/report.h"
+#include "firmware/serializer.h"
+#include "support/json.h"
+#include "support/observability/events.h"
+#include "support/observability/metrics.h"
+#include "support/strings.h"
+
+namespace firmres::core {
+
+namespace {
+
+namespace events = support::events;
+using support::Json;
+using support::JsonObject;
+
+// Serve-loop counters (Work-kind: command counts are what the client sent).
+support::metrics::Counter g_jobs_accepted("serve.jobs_accepted",
+                                          support::metrics::Kind::Work);
+support::metrics::Counter g_jobs_done("serve.jobs_done",
+                                      support::metrics::Kind::Work);
+support::metrics::Counter g_bad_commands("serve.bad_commands",
+                                         support::metrics::Kind::Work);
+
+struct Job {
+  std::uint64_t id = 0;
+  std::vector<std::string> dirs;
+};
+
+}  // namespace
+
+ServeSession::ServeSession(const SemanticsModel& model,
+                           Pipeline::Options pipeline_options,
+                           Options options)
+    : pipeline_(model, pipeline_options), options_(options) {}
+
+int ServeSession::run(std::istream& in, std::ostream& out) {
+  std::mutex out_mu;
+  const auto emit_line = [&](const Json& doc) {
+    std::lock_guard<std::mutex> lock(out_mu);
+    out << doc.dump(false) << "\n";
+    out.flush();  // the client blocks on lines, not on buffers
+  };
+
+  // One worker drains the FIFO so a long job never blocks command intake —
+  // the client can keep queueing firmware drops while analysis runs.
+  std::mutex queue_mu;
+  std::condition_variable queue_cv;
+  std::deque<Job> queue;
+  bool closing = false;
+  int processed = 0;
+
+  const auto process_job = [&](const Job& job) {
+    std::vector<CorpusTask> tasks;
+    tasks.reserve(job.dirs.size());
+    for (std::size_t i = 0; i < job.dirs.size(); ++i) {
+      const std::string dir = job.dirs[i];
+      // The load happens inside the task: an unreadable or corrupt image
+      // directory becomes a DeviceFailure with CorpusRunner's one-retry
+      // isolation, exactly like a throwing analysis.
+      tasks.push_back(CorpusTask{
+          static_cast<int>(i), [this, dir](support::ThreadPool* pool) {
+            const fw::FirmwareImage image = fw::load_image(dir);
+            return pipeline_.analyze(image, pool);
+          }});
+    }
+    CorpusRunner::Options runner_options;
+    runner_options.jobs = options_.jobs;
+    runner_options.retry_failed = options_.retry_failed;
+    const CorpusRunner runner(pipeline_, runner_options);
+    const CorpusResult result = runner.run_tasks(tasks);
+
+    // Task ids are submission indices, so analyses come back in submission
+    // order; the k-th analysis belongs to the k-th non-failed directory.
+    std::set<int> failed;
+    for (const DeviceFailure& f : result.failures) failed.insert(f.device_id);
+    std::size_t next = 0;
+    for (std::size_t i = 0; i < job.dirs.size(); ++i) {
+      if (failed.count(static_cast<int>(i)) != 0) continue;
+      if (next >= result.analyses.size()) break;
+      const DeviceAnalysis& analysis = result.analyses[next++];
+      emit_line(Json(JsonObject{
+          {"event", Json("report")},
+          {"job", Json(static_cast<std::int64_t>(job.id))},
+          {"image", Json(job.dirs[i])},
+          {"device", Json(analysis.device_id)},
+          {"report", analysis_to_json(analysis, /*include_timings=*/false)},
+      }));
+    }
+    for (const DeviceFailure& f : result.failures) {
+      const std::size_t idx = static_cast<std::size_t>(f.device_id);
+      emit_line(Json(JsonObject{
+          {"event", Json("device_error")},
+          {"job", Json(static_cast<std::int64_t>(job.id))},
+          {"image",
+           Json(idx < job.dirs.size() ? job.dirs[idx] : std::string())},
+          {"attempts", Json(f.attempts)},
+          {"error", Json(f.error)},
+      }));
+    }
+    if (options_.stream_events && events::enabled()) {
+      for (const events::Event& e : events::collect()) {
+        emit_line(Json(JsonObject{
+            {"event", Json("analysis_event")},
+            {"job", Json(static_cast<std::int64_t>(job.id))},
+            {"data", Json::parse(events::to_json_line(e))},
+        }));
+      }
+      events::clear();  // next job streams only its own events
+    }
+    emit_line(Json(JsonObject{
+        {"event", Json("done")},
+        {"job", Json(static_cast<std::int64_t>(job.id))},
+        {"reports",
+         Json(static_cast<std::int64_t>(result.analyses.size()))},
+        {"failures",
+         Json(static_cast<std::int64_t>(result.failures.size()))},
+    }));
+    g_jobs_done.add();
+  };
+
+  std::thread worker([&] {
+    for (;;) {
+      Job job;
+      {
+        std::unique_lock<std::mutex> lock(queue_mu);
+        queue_cv.wait(lock, [&] { return closing || !queue.empty(); });
+        if (queue.empty()) return;  // closing and fully drained
+        job = std::move(queue.front());
+        queue.pop_front();
+      }
+      process_job(job);
+      ++processed;  // worker-only write; main reads after join()
+    }
+  });
+
+  emit_line(Json(JsonObject{
+      {"event", Json("ready")},
+      {"format", Json("firmres-serve")},
+      {"version", Json(1)},
+  }));
+
+  std::uint64_t next_job = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::vector<std::string> tokens = support::split_any(line, " \t\r");
+    if (tokens.empty()) continue;
+    const std::string& cmd = tokens[0];
+    if (cmd == "quit") break;
+    if (cmd == "ping") {
+      emit_line(Json(JsonObject{{"event", Json("pong")}}));
+      continue;
+    }
+    if (cmd == "analyze") {
+      if (tokens.size() < 2) {
+        g_bad_commands.add();
+        emit_line(Json(JsonObject{
+            {"event", Json("error")},
+            {"error", Json("analyze requires at least one image directory")},
+        }));
+        continue;
+      }
+      Job job;
+      job.id = ++next_job;
+      job.dirs.assign(tokens.begin() + 1, tokens.end());
+      g_jobs_accepted.add();
+      emit_line(Json(JsonObject{
+          {"event", Json("accepted")},
+          {"job", Json(static_cast<std::int64_t>(job.id))},
+          {"images", Json(static_cast<std::int64_t>(job.dirs.size()))},
+      }));
+      {
+        std::lock_guard<std::mutex> lock(queue_mu);
+        queue.push_back(std::move(job));
+      }
+      queue_cv.notify_one();
+      continue;
+    }
+    g_bad_commands.add();
+    emit_line(Json(JsonObject{
+        {"event", Json("error")},
+        {"error", Json("unknown command: " + cmd)},
+    }));
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(queue_mu);
+    closing = true;
+  }
+  queue_cv.notify_one();
+  worker.join();
+  emit_line(Json(JsonObject{
+      {"event", Json("bye")},
+      {"jobs", Json(processed)},
+  }));
+  return processed;
+}
+
+}  // namespace firmres::core

@@ -1,0 +1,61 @@
+// Long-running analysis service mode — `firmres serve` (docs/CACHING.md).
+//
+// A vendor-scale triage loop does not relaunch the CLI per firmware drop;
+// it keeps one process warm (semantics model loaded, analysis cache hot)
+// and feeds it image paths as they arrive. ServeSession implements that
+// loop over a line protocol:
+//
+//   stdin (one command per line)        stdout (one JSON object per line)
+//   ---------------------------         ---------------------------------
+//   analyze <image-dir> [<dir>...]      {"event":"accepted","job":1,...}
+//   ping                                {"event":"report","job":1,...}
+//   quit (or EOF)                       {"event":"done","job":1,...}
+//
+// Jobs enter a FIFO queue and a single worker thread drains it, fanning
+// each job's images across the existing CorpusRunner (Options::jobs). Per
+// job the worker streams one "report" line per analyzed device — the exact
+// analysis_to_json document batch `analyze --json` prints, timings omitted
+// so the stream is byte-comparable — one "device_error" line per isolated
+// failure (an unloadable or throwing image gets CorpusRunner's one-retry
+// treatment and never sinks the job), and a closing "done" line.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "core/pipeline.h"
+#include "core/semantics.h"
+
+namespace firmres::core {
+
+class ServeSession {
+ public:
+  struct Options {
+    /// CorpusRunner fan-out within one job (1 = sequential).
+    int jobs = 1;
+    /// Retry a failed image once, sequentially (CorpusRunner semantics).
+    bool retry_failed = true;
+    /// Include per-job decision events in the stream: after each job, the
+    /// worker collects the event log and emits one "events" line. Requires
+    /// support::events::set_enabled(true) to record anything.
+    bool stream_events = false;
+  };
+
+  /// `model` must outlive the session. `pipeline_options.cache` may carry
+  /// an AnalysisCache so repeat submissions of unchanged firmware are
+  /// served from the store.
+  ServeSession(const SemanticsModel& model, Pipeline::Options pipeline_options,
+               Options options);
+
+  /// Serve commands from `in` until `quit` or EOF, writing protocol lines
+  /// to `out`. Pending jobs are drained before returning. Returns the
+  /// number of jobs processed.
+  int run(std::istream& in, std::ostream& out);
+
+ private:
+  Pipeline pipeline_;
+  Options options_;
+};
+
+}  // namespace firmres::core

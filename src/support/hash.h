@@ -1,7 +1,9 @@
 // Small non-cryptographic hashing helpers (FNV-1a, hash combining).
 //
 // Used for MFT path hashing (§IV-D "assigns a hash value to each path for
-// efficient matching"), RNG stream derivation, and vocabulary bucketing.
+// efficient matching"), RNG stream derivation, vocabulary bucketing, and —
+// via the streaming Hasher — the content-addressed keys of the incremental
+// analysis cache (docs/CACHING.md).
 #pragma once
 
 #include <cstdint>
@@ -23,5 +25,50 @@ constexpr std::uint64_t fnv1a64(std::string_view data) {
 constexpr std::uint64_t hash_combine(std::uint64_t seed, std::uint64_t v) {
   return seed ^ (v + 0x9e3779b97f4a7c15ULL + (seed << 12) + (seed >> 4));
 }
+
+/// Streaming FNV-1a accumulator for content-addressing structured data.
+///
+/// Feeds are length-prefixed (strings) or fixed-width (integers), so
+/// adjacent fields cannot alias each other ("ab"+"c" hashes differently
+/// from "a"+"bc") — a requirement for cache keys, where a collision silently
+/// substitutes one function's artifacts for another's.
+class Hasher {
+ public:
+  constexpr Hasher() = default;
+  explicit constexpr Hasher(std::uint64_t seed) { mix(seed); }
+
+  constexpr Hasher& u64(std::uint64_t v) {
+    mix(v);
+    return *this;
+  }
+  constexpr Hasher& u8(std::uint8_t v) {
+    step(v);
+    return *this;
+  }
+  constexpr Hasher& boolean(bool v) { return u8(v ? 1 : 0); }
+  constexpr Hasher& f64(double v) {
+    // Bit-pattern hash: any representational change (e.g. a threshold
+    // nudged by 1 ulp) must produce a different key.
+    return u64(__builtin_bit_cast(std::uint64_t, v));
+  }
+  constexpr Hasher& str(std::string_view s) {
+    mix(s.size());
+    for (const char c : s) step(static_cast<std::uint8_t>(c));
+    return *this;
+  }
+
+  constexpr std::uint64_t digest() const { return h_; }
+
+ private:
+  constexpr void step(std::uint8_t byte) {
+    h_ ^= byte;
+    h_ *= 0x100000001b3ULL;
+  }
+  constexpr void mix(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) step(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+
+  std::uint64_t h_ = 0xcbf29ce484222325ULL;
+};
 
 }  // namespace firmres::support

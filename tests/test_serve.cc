@@ -1,0 +1,172 @@
+// `firmres serve` smoke tests (core/serve.h, docs/CACHING.md): the line
+// protocol itself, report lines matching what batch `analyze` produces for
+// the same images, isolation of a failing image within a job, and cache
+// reuse across jobs inside one session.
+#include "core/serve.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/analysis_cache.h"
+#include "core/pipeline.h"
+#include "core/report.h"
+#include "firmware/serializer.h"
+#include "firmware/synthesizer.h"
+#include "support/json.h"
+#include "support/strings.h"
+
+namespace firmres {
+namespace {
+
+namespace fsys = std::filesystem;
+using support::Json;
+
+class TempDir {
+ public:
+  TempDir() {
+    path_ = fsys::temp_directory_path() /
+            ("firmres-serve-test-" + std::to_string(::getpid()) + "-" +
+             std::to_string(counter_++));
+    fsys::create_directories(path_);
+  }
+  ~TempDir() { fsys::remove_all(path_); }
+  const fsys::path& path() const { return path_; }
+
+ private:
+  static inline int counter_ = 0;
+  fsys::path path_;
+};
+
+/// Save synthesized images for the given device ids; returns their dirs.
+std::vector<std::string> save_images(const TempDir& base,
+                                     const std::vector<int>& ids) {
+  std::vector<std::string> dirs;
+  for (const int id : ids) {
+    const fsys::path dir =
+        base.path() / ("device" + std::to_string(id));
+    fw::save_image(fw::synthesize(fw::profile_by_id(id)), dir);
+    dirs.push_back(dir.string());
+  }
+  return dirs;
+}
+
+/// Run one serve session over `script`, returning the parsed output lines.
+std::vector<Json> serve_lines(const std::string& script,
+                              core::ServeSession::Options options,
+                              core::AnalysisCache* cache = nullptr) {
+  const core::KeywordModel model;
+  core::Pipeline::Options pipeline_options;
+  pipeline_options.cache = cache;
+  core::ServeSession session(model, pipeline_options, options);
+  std::istringstream in(script);
+  std::ostringstream out;
+  session.run(in, out);
+  std::vector<Json> lines;
+  for (const std::string& line : support::split(out.str(), '\n'))
+    if (!line.empty()) lines.push_back(Json::parse(line));
+  return lines;
+}
+
+const Json* find_event(const std::vector<Json>& lines, const char* kind,
+                       std::size_t nth = 0) {
+  std::size_t seen = 0;
+  for (const Json& line : lines)
+    if (line.find("event")->as_string() == kind && seen++ == nth)
+      return &line;
+  return nullptr;
+}
+
+std::size_t count_events(const std::vector<Json>& lines, const char* kind) {
+  std::size_t n = 0;
+  for (const Json& line : lines)
+    if (line.find("event")->as_string() == kind) ++n;
+  return n;
+}
+
+TEST(Serve, ProtocolHandshakePingAndErrors) {
+  const auto lines =
+      serve_lines("ping\nnonsense one two\nanalyze\nquit\n", {});
+  ASSERT_FALSE(lines.empty());
+  EXPECT_EQ(lines.front().find("event")->as_string(), "ready");
+  EXPECT_EQ(lines.front().find("format")->as_string(), "firmres-serve");
+  EXPECT_NE(find_event(lines, "pong"), nullptr);
+  EXPECT_EQ(count_events(lines, "error"), 2u);  // unknown cmd + bare analyze
+  EXPECT_EQ(lines.back().find("event")->as_string(), "bye");
+  EXPECT_EQ(lines.back().find("jobs")->as_number(), 0.0);
+}
+
+TEST(Serve, StreamedReportsMatchBatchAnalyze) {
+  TempDir base;
+  const std::vector<std::string> dirs = save_images(base, {2, 7, 13});
+  const auto lines = serve_lines(
+      "analyze " + dirs[0] + " " + dirs[1] + "\nanalyze " + dirs[2] + "\n",
+      {.jobs = 2});  // EOF ends the session: no explicit quit needed
+
+  EXPECT_EQ(count_events(lines, "accepted"), 2u);
+  EXPECT_EQ(count_events(lines, "done"), 2u);
+  ASSERT_EQ(count_events(lines, "report"), 3u);
+
+  const core::KeywordModel model;
+  const core::Pipeline pipeline(model);
+  for (std::size_t i = 0; i < dirs.size(); ++i) {
+    const Json* report = find_event(lines, "report", i);
+    ASSERT_NE(report, nullptr);
+    EXPECT_EQ(report->find("image")->as_string(), dirs[i]);
+    const fw::FirmwareImage image = fw::load_image(dirs[i]);
+    const Json batch = core::analysis_to_json(pipeline.analyze(image),
+                                              /*include_timings=*/false);
+    // Same timings-omitted document, byte for byte.
+    EXPECT_EQ(report->find("report")->dump(false), batch.dump(false))
+        << "image " << dirs[i];
+    EXPECT_EQ(report->find("device")->as_number(),
+              static_cast<double>(image.profile.id));
+  }
+}
+
+TEST(Serve, FailingImageIsIsolatedWithinItsJob) {
+  TempDir base;
+  const std::vector<std::string> dirs = save_images(base, {2});
+  const std::string missing = (base.path() / "no-such-image").string();
+  const auto lines = serve_lines(
+      "analyze " + dirs[0] + " " + missing + "\nquit\n", {});
+
+  // The healthy image still reports; the broken one gets a device_error
+  // after the retry, and the job completes normally.
+  ASSERT_EQ(count_events(lines, "report"), 1u);
+  EXPECT_EQ(find_event(lines, "report")->find("image")->as_string(),
+            dirs[0]);
+  const Json* error = find_event(lines, "device_error");
+  ASSERT_NE(error, nullptr);
+  EXPECT_EQ(error->find("image")->as_string(), missing);
+  EXPECT_EQ(error->find("attempts")->as_number(), 2.0);
+  const Json* done = find_event(lines, "done");
+  ASSERT_NE(done, nullptr);
+  EXPECT_EQ(done->find("reports")->as_number(), 1.0);
+  EXPECT_EQ(done->find("failures")->as_number(), 1.0);
+  EXPECT_EQ(lines.back().find("jobs")->as_number(), 1.0);
+}
+
+TEST(Serve, RepeatSubmissionsAreServedFromTheCache) {
+  TempDir base, store;
+  const std::vector<std::string> dirs = save_images(base, {3});
+  core::AnalysisCache cache({.dir = store.path().string()});
+
+  const std::string script =
+      "analyze " + dirs[0] + "\nanalyze " + dirs[0] + "\nquit\n";
+  const auto lines = serve_lines(script, {}, &cache);
+
+  ASSERT_EQ(count_events(lines, "report"), 2u);
+  // Byte-identical resubmission — and the second one came from the store.
+  EXPECT_EQ(find_event(lines, "report", 0)->find("report")->dump(false),
+            find_event(lines, "report", 1)->find("report")->dump(false));
+  EXPECT_EQ(cache.stats().program_hits, 1u);
+  EXPECT_EQ(cache.stats().program_misses, 1u);
+}
+
+}  // namespace
+}  // namespace firmres

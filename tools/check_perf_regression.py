@@ -3,14 +3,19 @@
 
 Usage:
   check_perf_regression.py <baseline.json> <current.json>
-      [--threshold 0.5] [--min-wall-s 0.005]
+      [--threshold 0.5] [--min-wall-s 0.005] [--only PREFIX]
 
 Timing keys (phases.*.wall_s / cpu_s) regress when current exceeds baseline
-by more than --threshold (a ratio: 0.5 = 50% slower). Phases faster than
---min-wall-s in the baseline are skipped — at ms scale they are scheduler
-noise, not signal. registry_metrics are Work-kind (deterministic across job
-counts), so ANY difference there is reported: it means the analysis itself
-changed, which a perf baseline bump should call out.
+by more than --threshold (a ratio: 0.5 = 50% slower). A NEGATIVE threshold
+turns the check into a required-speedup gate: -0.1 fails any compared key
+that is not at least 10% faster — the warm-vs-cold analysis-cache gate in
+CI runs this way (docs/CACHING.md). --only (repeatable) restricts the
+timing comparison to keys with the given prefix, e.g. `--only total` for
+the end-to-end wall/cpu pair. Phases faster than --min-wall-s in the
+baseline are skipped — at ms scale they are scheduler noise, not signal.
+registry_metrics are Work-kind (deterministic across job counts), so ANY
+difference there is reported: it means the analysis itself changed, which
+a perf baseline bump should call out.
 
 Only keys present in BOTH files are compared, so adding a phase or metric
 never fails an old baseline. Exit 0 = within threshold, 1 = regression,
@@ -62,6 +67,13 @@ def main():
         default=0.005,
         help="skip timing keys whose baseline is below this (noise floor)",
     )
+    parser.add_argument(
+        "--only",
+        action="append",
+        default=[],
+        metavar="PREFIX",
+        help="compare only phase keys starting with PREFIX (repeatable)",
+    )
     args = parser.parse_args()
 
     baseline = load(args.baseline)
@@ -75,6 +87,8 @@ def main():
     for key in sorted(base_phases.keys() & cur_phases.keys()):
         base, cur = base_phases[key], cur_phases[key]
         if not isinstance(base, (int, float)) or not isinstance(cur, (int, float)):
+            continue
+        if args.only and not any(key.startswith(p) for p in args.only):
             continue
         if base < args.min_wall_s:
             continue
@@ -97,7 +111,7 @@ def main():
     for line in drifts:
         print(f"note {line}  (work-metric drift: the analysis changed)")
     for line in regressions:
-        print(f"FAIL {line}  (over +{args.threshold:.0%} threshold)")
+        print(f"FAIL {line}  (over {args.threshold:+.0%} threshold)")
 
     base_commit = baseline.get("commit", "?")
     cur_commit = current.get("commit", "?")

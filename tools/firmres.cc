@@ -6,6 +6,8 @@
 //   firmres lint <image-dir>... [--json] [--werror]
 //                                         verify/lint the lifted executables
 //   firmres hunt <image-dir>...           probe clouds, report vulnerabilities
+//   firmres serve [--jobs N]              long-running analysis service on
+//                                         stdin/stdout (docs/CACHING.md)
 //   firmres explain <report.json> --device N [--field K]
 //                                         render field derivations from a report
 //   firmres ir <image-dir> <exec-path>    print a lifted executable
@@ -18,6 +20,9 @@
 // given several image directories it fans out on a CorpusRunner.
 // analyze/hunt/lint all take the observability flags (--trace-out,
 // --metrics-out, --metrics-runtime — docs/OBSERVABILITY.md).
+// analyze/hunt/serve take --cache-dir <dir> to reuse per-function analysis
+// artifacts across runs, and --cache-stats to print the hit/miss summary
+// to stderr on exit (docs/CACHING.md).
 //
 // Exit codes: 0 success, 1 runtime failure (or findings for hunt/lint),
 // 2 usage / unknown subcommand, 3 unknown flag. README.md carries the
@@ -26,6 +31,7 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <iostream>
 #include <sstream>
 #include <optional>
 #include <string>
@@ -37,10 +43,12 @@
 #include "analysis/valueflow/valueflow.h"
 #include "analysis/verify/verifier.h"
 #include "cloud/vuln_hunter.h"
+#include "core/analysis_cache.h"
 #include "core/corpus_runner.h"
 #include "core/explain.h"
 #include "core/pipeline.h"
 #include "core/report.h"
+#include "core/serve.h"
 #include "firmware/serializer.h"
 #include "firmware/synthesizer.h"
 #include "nlp/trainer.h"
@@ -68,13 +76,14 @@ int usage() {
                "[--jobs N] [--progress]\n"
                "  firmres lint <image-dir>... [--json] [--werror] [--jobs N]\n"
                "  firmres hunt <image-dir>... [--jobs N] [--progress]\n"
+               "  firmres serve [--jobs N] [--model <path>] [--stream-events]\n"
                "  firmres explain <report.json> --device N [--field K]\n"
                "  firmres synth <dir> [--device N]\n"
                "  firmres ir <image-dir> <exec-path>\n"
                "  firmres train <model.json> [devices] [epochs]\n"
                "  firmres corpus\n"
                "\n"
-               "analyze/lint/hunt also accept the observability flags\n"
+               "analyze/lint/hunt/serve also accept the observability flags\n"
                "(docs/OBSERVABILITY.md, docs/PROVENANCE.md):\n"
                "  --trace-out <path>    write a chrome://tracing JSON trace\n"
                "  --metrics-out <path>  write the metrics dump (.json = JSON,\n"
@@ -83,7 +92,19 @@ int usage() {
                "                        dump (off by default: the Work-only\n"
                "                        dump is byte-identical at any --jobs)\n"
                "  --events-out <path>   write the decision-event log (JSONL,\n"
-               "                        byte-identical at any --jobs)\n");
+               "                        byte-identical at any --jobs)\n"
+               "\n"
+               "analyze/hunt/serve take the incremental-cache flags\n"
+               "(docs/CACHING.md):\n"
+               "  --cache-dir <dir>     reuse per-function analysis artifacts\n"
+               "                        across runs (reports stay\n"
+               "                        byte-identical to uncached runs)\n"
+               "  --cache-stats         print the cache hit/miss summary to\n"
+               "                        stderr when the command finishes\n"
+               "\n"
+               "serve reads one command per line from stdin (`analyze\n"
+               "<image-dir>...`, `ping`, `quit`) and streams one JSON object\n"
+               "per line to stdout — see docs/CACHING.md for the protocol.\n");
   return kExitUsage;
 }
 
@@ -157,6 +178,60 @@ int take_jobs_flag(std::vector<std::string>& args) {
   if (jobs == 0)
     jobs = static_cast<int>(support::ThreadPool::default_parallelism());
   return jobs < 1 ? 1 : jobs;
+}
+
+/// The consumed --cache-dir/--cache-stats pair. The cache (when enabled)
+/// must outlive every Pipeline that points at it, so commands keep this
+/// struct alive for their whole body.
+struct CacheFlags {
+  std::unique_ptr<core::AnalysisCache> cache;
+  bool stats = false;
+};
+
+CacheFlags take_cache_flags(std::vector<std::string>& args) {
+  CacheFlags flags;
+  const std::optional<std::string> dir = take_value_flag(args, "--cache-dir");
+  flags.stats = take_flag(args, "--cache-stats");
+  if (dir.has_value()) {
+    core::AnalysisCache::Options options;
+    options.dir = *dir;
+    flags.cache = std::make_unique<core::AnalysisCache>(options);
+  }
+  return flags;
+}
+
+/// --cache-stats epilogue: one summary line per tier on stderr, so stdout
+/// (reports, serve protocol) stays machine-readable.
+void print_cache_stats(const CacheFlags& flags) {
+  if (!flags.stats) return;
+  if (flags.cache == nullptr) {
+    std::fprintf(stderr, "cache: disabled (no --cache-dir)\n");
+    return;
+  }
+  const core::AnalysisCache::Stats s = flags.cache->stats();
+  const auto rate = [](std::uint64_t hits, std::uint64_t misses) {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0
+                      : 100.0 * static_cast<double>(hits) /
+                            static_cast<double>(total);
+  };
+  std::fprintf(stderr,
+               "cache: ident %llu/%llu hits (%.0f%%), program %llu/%llu "
+               "(%.0f%%), fn %llu/%llu (%.0f%%)\n",
+               static_cast<unsigned long long>(s.ident_hits),
+               static_cast<unsigned long long>(s.ident_hits + s.ident_misses),
+               rate(s.ident_hits, s.ident_misses),
+               static_cast<unsigned long long>(s.program_hits),
+               static_cast<unsigned long long>(s.program_hits +
+                                               s.program_misses),
+               rate(s.program_hits, s.program_misses),
+               static_cast<unsigned long long>(s.fn_hits),
+               static_cast<unsigned long long>(s.fn_hits + s.fn_misses),
+               rate(s.fn_hits, s.fn_misses));
+  std::fprintf(stderr, "cache: %llu stores, %llu evictions, %llu load errors\n",
+               static_cast<unsigned long long>(s.stores),
+               static_cast<unsigned long long>(s.evictions),
+               static_cast<unsigned long long>(s.load_errors));
 }
 
 /// Consumes the shared observability flags (--trace-out, --metrics-out,
@@ -293,6 +368,7 @@ int cmd_analyze(std::vector<std::string> args) {
   const bool progress = take_flag(args, "--progress");
   const std::string model_path =
       take_value_flag(args, "--model").value_or("");
+  const CacheFlags cache = take_cache_flags(args);
   const ObsWriter obs(args);
   if (!reject_unknown_flags("analyze", args)) return kExitUnknownFlag;
   if (args.empty()) return usage();
@@ -304,7 +380,9 @@ int cmd_analyze(std::vector<std::string> args) {
   const core::SemanticsModel& model =
       neural != nullptr ? static_cast<const core::SemanticsModel&>(*neural)
                         : keyword_model;
-  const core::Pipeline pipeline(model);
+  core::Pipeline::Options pipeline_options;
+  pipeline_options.cache = cache.cache.get();
+  const core::Pipeline pipeline(model, pipeline_options);
 
   if (args.size() == 1) {
     const fw::FirmwareImage image = fw::load_image(args[0]);
@@ -324,6 +402,7 @@ int cmd_analyze(std::vector<std::string> args) {
     } else {
       print_analysis(image, analysis);
     }
+    print_cache_stats(cache);
     return 0;
   }
 
@@ -363,12 +442,14 @@ int cmd_analyze(std::vector<std::string> args) {
     std::printf("%zu device(s) analyzed, %zu failed\n", run.analyses.size(),
                 run.failures.size());
   }
+  print_cache_stats(cache);
   return run.failures.empty() && images.size() == args.size() ? 0 : 1;
 }
 
 int cmd_hunt(std::vector<std::string> args) {
   const int jobs = take_jobs_flag(args);
   const bool progress = take_flag(args, "--progress");
+  const CacheFlags cache = take_cache_flags(args);
   const ObsWriter obs(args);
   if (!reject_unknown_flags("hunt", args)) return kExitUnknownFlag;
   if (args.empty()) return usage();
@@ -384,7 +465,9 @@ int cmd_hunt(std::vector<std::string> args) {
     }
   }
   const core::KeywordModel model;
-  const core::Pipeline pipeline(model);
+  core::Pipeline::Options pipeline_options;
+  pipeline_options.cache = cache.cache.get();
+  const core::Pipeline pipeline(model, pipeline_options);
   core::CorpusRunner::Options runner_options{.jobs = jobs};
   if (progress) runner_options.on_device_done = print_progress;
   const core::CorpusRunner runner(pipeline, runner_options);
@@ -409,7 +492,41 @@ int cmd_hunt(std::vector<std::string> args) {
     }
   }
   std::printf("%d confirmed vulnerabilities\n", confirmed);
+  print_cache_stats(cache);
   return confirmed > 0 ? 0 : 1;
+}
+
+/// Long-running analysis service: read commands from stdin, stream JSONL
+/// protocol lines to stdout until `quit` or EOF (core/serve.h). Pairs with
+/// --cache-dir so resubmitted firmware is served from the artifact store.
+int cmd_serve(std::vector<std::string> args) {
+  const int jobs = take_jobs_flag(args);
+  const bool stream_events = take_flag(args, "--stream-events");
+  const std::string model_path =
+      take_value_flag(args, "--model").value_or("");
+  const CacheFlags cache = take_cache_flags(args);
+  const ObsWriter obs(args);
+  if (!reject_unknown_flags("serve", args)) return kExitUnknownFlag;
+  if (!args.empty()) return usage();  // image paths arrive over stdin
+
+  const core::KeywordModel keyword_model;
+  std::unique_ptr<nlp::SliceClassifier> neural;
+  if (!model_path.empty()) neural = nlp::SliceClassifier::load(model_path);
+  const core::SemanticsModel& model =
+      neural != nullptr ? static_cast<const core::SemanticsModel&>(*neural)
+                        : keyword_model;
+
+  core::Pipeline::Options pipeline_options;
+  pipeline_options.cache = cache.cache.get();
+  core::ServeSession::Options serve_options;
+  serve_options.jobs = jobs;
+  serve_options.stream_events = stream_events;
+  if (stream_events) support::events::set_enabled(true);
+
+  core::ServeSession session(model, pipeline_options, serve_options);
+  session.run(std::cin, std::cout);
+  print_cache_stats(cache);
+  return 0;
 }
 
 /// Lint every lifted executable of the given image directories with the IR
@@ -567,6 +684,7 @@ int main(int argc, char** argv) {
     if (cmd == "analyze") return cmd_analyze(args);
     if (cmd == "lint") return cmd_lint(args);
     if (cmd == "hunt") return cmd_hunt(args);
+    if (cmd == "serve") return cmd_serve(args);
     if (cmd == "explain") return cmd_explain(args);
     if (cmd == "ir") return cmd_ir(args);
     if (cmd == "train") return cmd_train(args);
