@@ -14,6 +14,7 @@
 
 #include "bench_util.h"
 #include "core/analysis_cache.h"
+#include "core/sdk_registry.h"
 #include "support/observability/metrics.h"
 #include "support/strings.h"
 
@@ -99,6 +100,63 @@ void print_perf() {
           counter_value(snap, "pipeline.flaw_alarms")),
       static_cast<unsigned long long>(
           counter_value(snap, "pipeline.devices_analyzed")));
+}
+
+// Shared-library dedup: the SDK corpus links the same vendor-SDK functions
+// into every image; with the component registry their value-flow solves are
+// substituted by certified summaries instead of re-run per device
+// (docs/COMPONENTS.md). Reports are byte-identical either way (minus the
+// components blocks); only the analyze phases should get faster.
+void print_sdk_dedup(const std::string& baseline_json,
+                     const std::string& registry_json) {
+  const core::KeywordModel model;
+  const analysis::components::LibraryRegistry registry =
+      core::build_sdk_registry();
+
+  support::metrics::reset_all();
+  const bench::CorpusRun plain = bench::run_custom_corpus(
+      fw::synthesize_sdk_corpus(), model, core::Pipeline::Options{});
+  if (!baseline_json.empty())
+    bench::write_bench_json(baseline_json, "bench_perf_phases_sdk",
+                            plain.result);
+
+  support::metrics::reset_all();
+  core::Pipeline::Options with_registry;
+  with_registry.registry = &registry;
+  const bench::CorpusRun matched = bench::run_custom_corpus(
+      fw::synthesize_sdk_corpus(), model, with_registry);
+  if (!registry_json.empty())
+    bench::write_bench_json(registry_json, "bench_perf_phases_sdk",
+                            matched.result);
+  const support::metrics::Snapshot snap = support::metrics::snapshot(false);
+
+  std::printf("SHARED-LIBRARY DEDUP (%zu SDK-linked images, jobs=all)\n",
+              plain.corpus.size());
+  bench::print_rule();
+  std::printf("%-22s %-14s %-14s %-10s\n", "", "no registry", "registry",
+              "ratio");
+  bench::print_rule();
+  const auto row = [](const char* name, double base_s, double cur_s) {
+    std::printf("%-22s %-14.2f %-14.2f %-10s\n", name, 1e3 * base_s,
+                1e3 * cur_s,
+                base_s <= 0.0
+                    ? "-"
+                    : support::format("%.2fx", base_s / cur_s).c_str());
+  };
+  row("pinpoint (ms)", plain.result.aggregate.pinpoint_s,
+      matched.result.aggregate.pinpoint_s);
+  row("fields (ms)", plain.result.aggregate.fields_s,
+      matched.result.aggregate.fields_s);
+  row("analyze total (ms)",
+      plain.result.aggregate.pinpoint_s + plain.result.aggregate.fields_s,
+      matched.result.aggregate.pinpoint_s +
+          matched.result.aggregate.fields_s);
+  bench::print_rule();
+  std::printf(
+      "%llu function solves substituted from the registry across the "
+      "corpus\n\n",
+      static_cast<unsigned long long>(
+          counter_value(snap, "valueflow.substituted_functions")));
 }
 
 // Corpus-level parallel fan-out: wall clock vs. CPU time per job count.
@@ -191,8 +249,17 @@ int main(int argc, char** argv) {
   // negative threshold to require the speedup (docs/CACHING.md).
   const std::string cache_dir =
       bench::take_value_flag(argc, argv, "--cache-dir");
+  // --sdk-json / --sdk-registry-json write the shared-library corpus
+  // artifact pair (no-registry vs registry-matched); CI compares them with
+  // check_perf_regression.py and a negative threshold to require the
+  // dedup speedup (docs/COMPONENTS.md).
+  const std::string sdk_json =
+      bench::take_value_flag(argc, argv, "--sdk-json");
+  const std::string sdk_registry_json =
+      bench::take_value_flag(argc, argv, "--sdk-registry-json");
   print_perf();
   print_parallel_speedup();
+  print_sdk_dedup(sdk_json, sdk_registry_json);
   if (!json_path.empty()) {
     // Fresh registry + run so the artifact reflects one corpus pass, not
     // the accumulated counters of the sections above.

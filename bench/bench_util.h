@@ -52,6 +52,23 @@ inline CorpusRun run_corpus(const core::SemanticsModel& model, int jobs = 0,
   return run;
 }
 
+/// As run_corpus, but over a caller-supplied corpus and full pipeline
+/// options — the component-registry benches run the shared-library corpus
+/// through this with and without Options::registry (docs/COMPONENTS.md).
+inline CorpusRun run_custom_corpus(
+    std::vector<fw::FirmwareImage> corpus, const core::SemanticsModel& model,
+    const core::Pipeline::Options& pipeline_options, int jobs = 0) {
+  support::set_log_level(support::LogLevel::Warn);
+  CorpusRun run;
+  run.corpus = std::move(corpus);
+  for (const auto& image : run.corpus) run.net.enroll(image);
+  const core::Pipeline pipeline(model, pipeline_options);
+  const core::CorpusRunner runner(pipeline, {.jobs = jobs});
+  run.result = runner.run(run.corpus);
+  run.analyses = run.result.analyses;
+  return run;
+}
+
 inline std::string fmt_cluster(const std::optional<int>& c) {
   return c.has_value() ? std::to_string(*c) : "-";
 }

@@ -1,0 +1,80 @@
+#include "analysis/components/builder.h"
+
+#include <memory>
+
+#include "analysis/components/fingerprint.h"
+#include "analysis/valueflow/valueflow.h"
+#include "support/error.h"
+
+namespace firmres::analysis::components {
+
+RegistryLibrary build_library_from_program(
+    const ir::Program& program, std::string name, std::string version,
+    bool risky, std::string risk_note,
+    const std::vector<std::string>& function_names) {
+  // One solve per sweep cap: solves[c-1] capped at c sweeps. The last one
+  // uses the default cap and supplies the converged environments; the
+  // earlier ones only serve to find each function's min_sweeps.
+  const ValueFlow::Options defaults;
+  std::vector<std::unique_ptr<ValueFlow>> solves;
+  for (int cap = 1; cap <= defaults.max_sweeps; ++cap) {
+    ValueFlow::Options options;
+    options.max_sweeps = cap;
+    solves.push_back(
+        std::make_unique<ValueFlow>(program, nullptr, options));
+  }
+  const ValueFlow& converged = *solves.back();
+
+  RegistryLibrary library;
+  library.name = std::move(name);
+  library.version = std::move(version);
+  library.risky = risky;
+  library.risk_note = std::move(risk_note);
+
+  for (const std::string& fn_name : function_names) {
+    const ir::Function* fn = program.function(fn_name);
+    FIRMRES_CHECK_MSG(fn != nullptr && !fn->is_import(),
+                      "registry build: no local function named " + fn_name);
+    const std::map<ir::VarNode, valueflow::Value>* env =
+        converged.solved_env(fn);
+    FIRMRES_CHECK_MSG(env != nullptr,
+                      "registry build: no solved env for " + fn_name);
+
+    RegistryFunction record;
+    record.name = fn_name;
+    record.fingerprint = fingerprint_function(program, *fn);
+
+    record.min_sweeps = defaults.max_sweeps;
+    for (int cap = 1; cap < defaults.max_sweeps; ++cap) {
+      const std::map<ir::VarNode, valueflow::Value>* capped =
+          solves[cap - 1]->solved_env(fn);
+      if (capped != nullptr && *capped == *env) {
+        record.min_sweeps = cap;
+        break;
+      }
+    }
+
+    bool branchless = true;
+    fn->for_each_op([&](const ir::PcodeOp& op) {
+      if (op.opcode == ir::OpCode::CBranch) branchless = false;
+    });
+    record.branchless = branchless;
+
+    const std::map<ir::VarNode, std::uint32_t> index =
+        normalization_map(*fn);
+    for (const auto& [var, value] : *env) {
+      const auto it = index.find(var);
+      FIRMRES_CHECK_MSG(it != index.end(),
+                        "registry build: env varnode not in " + fn_name);
+      record.env.push_back(RegistryEnvEntry{
+          .space = static_cast<std::uint8_t>(var.space),
+          .index = it->second,
+          .size = static_cast<std::uint32_t>(var.size),
+          .value = value});
+    }
+    library.functions.push_back(std::move(record));
+  }
+  return library;
+}
+
+}  // namespace firmres::analysis::components

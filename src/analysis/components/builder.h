@@ -1,0 +1,29 @@
+// Registry construction: certify a template program's functions offline
+// (docs/COMPONENTS.md).
+//
+// Solves the template with the value-flow engine at every sweep cap up to
+// the default, records each requested function's fingerprint, its
+// converged environment in normalized (position-independent) form, and the
+// smallest sweep cap that reproduces that environment — the data the
+// matcher needs to substitute the function soundly in any image it is
+// matched in.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/components/registry.h"
+#include "ir/program.h"
+
+namespace firmres::analysis::components {
+
+/// Builds one registry library entry from a template program containing
+/// the library's functions. `function_names` selects which local functions
+/// to record; unknown or import names abort (a registry build is an
+/// offline, trusted step — unlike loading, which must degrade).
+RegistryLibrary build_library_from_program(
+    const ir::Program& program, std::string name, std::string version,
+    bool risky, std::string risk_note,
+    const std::vector<std::string>& function_names);
+
+}  // namespace firmres::analysis::components

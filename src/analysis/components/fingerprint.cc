@@ -1,0 +1,127 @@
+#include "analysis/components/fingerprint.h"
+
+#include <string_view>
+
+#include "ir/library.h"
+#include "support/hash.h"
+
+namespace firmres::analysis::components {
+namespace {
+
+// Domain-separation salt for fingerprints ("cmpfpr01"); bump if the shape
+// of the hashed data ever changes, so stale registries cannot match.
+constexpr std::uint64_t kFingerprintSalt = 0x636d70667072'3031ULL;
+
+bool is_tracked(const ir::VarNode& v) {
+  return v.space == ir::Space::Register || v.space == ir::Space::Unique ||
+         v.space == ir::Space::Stack;
+}
+
+void assign_index(std::map<ir::VarNode, std::uint32_t>& index,
+                  const ir::VarNode& v) {
+  if (!is_tracked(v)) return;
+  index.emplace(v, static_cast<std::uint32_t>(index.size()));
+}
+
+// Markers keep operand classes from aliasing each other in the stream.
+enum : std::uint8_t {
+  kMarkConst = 1,
+  kMarkRamString = 2,
+  kMarkRamOpaque = 3,
+  kMarkTracked = 4,
+  kMarkCalleeImport = 5,
+  kMarkCalleeLocal = 6,
+  kMarkNoOutput = 7,
+  kMarkOutput = 8,
+};
+
+void feed_varnode(support::Hasher& h, const ir::Program& program,
+                  const std::map<ir::VarNode, std::uint32_t>& index,
+                  const ir::VarNode& v) {
+  switch (v.space) {
+    case ir::Space::Const:
+      h.u8(kMarkConst).u64(v.offset);
+      break;
+    case ir::Space::Ram: {
+      // Anchor on the pointed-at string content, never the raw offset:
+      // interning order differs between images.
+      const std::optional<std::string_view> s =
+          program.data().string_at(v.offset);
+      if (s.has_value()) {
+        h.u8(kMarkRamString).str(*s);
+      } else {
+        h.u8(kMarkRamOpaque);
+      }
+      break;
+    }
+    default:
+      h.u8(kMarkTracked).u64(index.at(v));
+      break;
+  }
+  h.u64(v.size);
+}
+
+}  // namespace
+
+std::map<ir::VarNode, std::uint32_t> normalization_map(
+    const ir::Function& fn) {
+  std::map<ir::VarNode, std::uint32_t> index;
+  for (const ir::VarNode& p : fn.params()) assign_index(index, p);
+  fn.for_each_op([&](const ir::PcodeOp& op) {
+    for (const ir::VarNode& in : op.inputs) assign_index(index, in);
+    if (op.output.has_value()) assign_index(index, *op.output);
+  });
+  return index;
+}
+
+std::uint64_t fingerprint_function(const ir::Program& program,
+                                   const ir::Function& fn) {
+  const std::map<ir::VarNode, std::uint32_t> index = normalization_map(fn);
+  support::Hasher h(kFingerprintSalt);
+
+  h.u64(fn.params().size());
+  for (const ir::VarNode& p : fn.params()) {
+    h.u8(static_cast<std::uint8_t>(p.space)).u64(p.size);
+  }
+
+  const std::vector<ir::BasicBlock>& blocks = fn.blocks();
+  h.u64(blocks.size());
+  for (const ir::BasicBlock& block : blocks) {
+    h.u64(block.successors.size());
+    for (const int succ : block.successors)
+      h.u64(static_cast<std::uint64_t>(succ));
+    h.u64(block.ops.size());
+    for (const ir::PcodeOp& op : block.ops) {
+      h.u8(static_cast<std::uint8_t>(op.opcode));
+      if (op.opcode == ir::OpCode::Call && !op.callee.empty()) {
+        const ir::Function* callee = program.function(op.callee);
+        if (callee == nullptr || callee->is_import()) {
+          // Import anchor: name plus modelled kind — the "callee-kind
+          // skeleton" that distinguishes e.g. a send wrapper from a
+          // string helper even under renamed thunks.
+          h.u8(kMarkCalleeImport).str(op.callee);
+          const ir::LibFunction* lib =
+              ir::LibraryModel::instance().find(op.callee);
+          h.u8(lib != nullptr ? static_cast<std::uint8_t>(lib->kind) : 0xff);
+        } else {
+          // Local callee: shape only — intra-library call structure is
+          // captured by the callee's own fingerprint, and local names
+          // need not survive stripping.
+          h.u8(kMarkCalleeLocal);
+        }
+      }
+      h.u64(op.inputs.size());
+      for (const ir::VarNode& in : op.inputs)
+        feed_varnode(h, program, index, in);
+      if (op.output.has_value()) {
+        h.u8(kMarkOutput);
+        feed_varnode(h, program, index, *op.output);
+      } else {
+        h.u8(kMarkNoOutput);
+      }
+    }
+  }
+  return h.digest();
+}
+
+}  // namespace firmres::analysis::components

@@ -1,0 +1,41 @@
+// Position-independent function fingerprinting (docs/COMPONENTS.md).
+//
+// Hashes an ir::Function into an opcode-shape signature that is stable
+// across images: the same library function, linked into two different
+// programs at different addresses and with its strings interned at
+// different data-segment offsets, hashes to the same 64-bit value. The
+// fingerprint covers the opcode sequence, the block/successor shape, the
+// callee skeleton (import names + LibraryModel kinds; local calls reduced
+// to a marker), parameter arity, and per-operand anchors: Const operands
+// by raw value, Ram operands by the *string content* they point at, and
+// Register/Unique/Stack operands by a dense first-use index within the
+// function. Op addresses and raw Ram offsets are deliberately excluded —
+// they are position-dependent.
+//
+// The same first-use normalization is exported (`normalization_map`) so
+// the registry can store solved value-flow environments keyed by dense
+// index and the matcher can denormalize them back onto a live function.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "ir/function.h"
+#include "ir/program.h"
+#include "ir/varnode.h"
+
+namespace firmres::analysis::components {
+
+/// Position-independent opcode-shape signature of `fn` within `program`
+/// (the program supplies string content for Ram operands).
+std::uint64_t fingerprint_function(const ir::Program& program,
+                                   const ir::Function& fn);
+
+/// Dense first-use index for every tracked (Register/Unique/Stack) varnode
+/// of `fn`: parameters first, then operands/outputs in op layout order.
+/// Deterministic for a given function body, and — because fingerprinting
+/// hashes the same traversal — identical for any two functions that share
+/// a fingerprint.
+std::map<ir::VarNode, std::uint32_t> normalization_map(const ir::Function& fn);
+
+}  // namespace firmres::analysis::components

@@ -1,0 +1,186 @@
+#include "analysis/components/matcher.h"
+
+#include <algorithm>
+
+#include "analysis/components/fingerprint.h"
+#include "ir/library.h"
+
+namespace firmres::analysis::components {
+namespace {
+
+// Live structural certification: true when the function's local solve is a
+// pure function of its own op sequence (independent of interprocedural
+// summaries and resolution state), so a precomputed environment can stand
+// in for it without changing any downstream artifact. Also reports whether
+// the body is CBranch-free (exact P_f skip in §IV-A).
+bool certify(const ir::Program& program, const ir::Function& fn,
+             bool* branchless, std::string* why) {
+  if (!fn.params().empty()) {
+    *why = "has parameters (summary-dependent boundary)";
+    return false;
+  }
+  bool ok = true;
+  bool no_cbranch = true;
+  fn.for_each_op([&](const ir::PcodeOp& op) {
+    if (!ok) return;
+    switch (op.opcode) {
+      case ir::OpCode::CBranch:
+        no_cbranch = false;
+        break;
+      case ir::OpCode::CallInd:
+      case ir::OpCode::BranchInd:
+        ok = false;
+        *why = "indirect control flow";
+        break;
+      case ir::OpCode::Call: {
+        const ir::Function* callee = program.function(op.callee);
+        if (callee != nullptr && !callee->is_import()) {
+          ok = false;
+          *why = "calls local function " + op.callee;
+          break;
+        }
+        const ir::LibFunction* lib =
+            ir::LibraryModel::instance().find(op.callee);
+        if (lib != nullptr && lib->kind == ir::LibKind::EventReg) {
+          ok = false;
+          *why = "registers event callback via " + op.callee;
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  });
+  *branchless = no_cbranch;
+  return ok;
+}
+
+// Denormalizes a stored environment onto the live function: dense first-use
+// indices back to live varnodes. Fails (false) on any index/space/size
+// mismatch — should not happen for an honest fingerprint match, but a
+// hostile or stale registry must degrade, not corrupt.
+bool denormalize_env(const ir::Function& fn,
+                     const std::vector<RegistryEnvEntry>& stored,
+                     std::map<ir::VarNode, valueflow::Value>* env) {
+  const std::map<ir::VarNode, std::uint32_t> index = normalization_map(fn);
+  std::vector<const ir::VarNode*> by_index(index.size(), nullptr);
+  for (const auto& [var, i] : index) by_index[i] = &var;
+  for (const RegistryEnvEntry& e : stored) {
+    if (e.index >= by_index.size()) return false;
+    const ir::VarNode& var = *by_index[e.index];
+    if (static_cast<std::uint8_t>(var.space) != e.space ||
+        var.size != e.size)
+      return false;
+    (*env)[var] = e.value;
+  }
+  return true;
+}
+
+bool refs_consistent(const LibraryRegistry& registry,
+                     const std::vector<LibraryRegistry::Ref>& refs) {
+  const RegistryFunction& first = registry.function(refs[0]);
+  for (std::size_t i = 1; i < refs.size(); ++i) {
+    const RegistryFunction& other = registry.function(refs[i]);
+    if (other.env != first.env || other.min_sweeps != first.min_sweeps)
+      return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+MatchResult match_program(const ir::Program& program,
+                          const LibraryRegistry& registry,
+                          const MatchOptions& options) {
+  MatchResult out;
+  for (const ir::Function* fn : program.local_functions()) {
+    const std::uint64_t fp = fingerprint_function(program, *fn);
+    const std::vector<LibraryRegistry::Ref>* refs = registry.lookup(fp);
+    if (refs == nullptr || refs->empty()) continue;
+
+    FunctionMatch match;
+    match.fn = fn;
+    match.fingerprint = fp;
+    match.refs = *refs;
+    match.registry_function = registry.function((*refs)[0]).name;
+
+    bool branchless = false;
+    std::string why;
+    const RegistryFunction& record = registry.function((*refs)[0]);
+    if (!refs_consistent(registry, *refs)) {
+      match.detail = "conflicting summaries across registry libraries";
+    } else if (!certify(program, *fn, &branchless, &why)) {
+      match.detail = why;
+    } else if (record.min_sweeps > options.max_sweeps) {
+      match.detail = "requires more solver sweeps than the live cap";
+    } else {
+      ValueFlow::Substitution sub;
+      sub.min_sweeps = record.min_sweeps;
+      if (!denormalize_env(*fn, record.env, &sub.env)) {
+        match.detail = "stored environment does not map onto live function";
+      } else {
+        match.substitutable = true;
+        match.branchless = branchless;
+        out.substitutions.emplace(fn, std::move(sub));
+        if (branchless) out.branchless.insert(fn);
+      }
+    }
+    out.matches.push_back(std::move(match));
+  }
+  return out;
+}
+
+std::vector<ComponentHit> component_inventory(
+    const LibraryRegistry& registry,
+    const std::vector<const MatchResult*>& results) {
+  const std::size_t nlibs = registry.libraries().size();
+  std::vector<std::set<std::size_t>> matched_fis(nlibs);
+  std::vector<std::set<std::size_t>> unique_fis(nlibs);
+  std::vector<std::set<std::string>> names(nlibs);
+  std::vector<std::set<const ir::Function*>> substituted(nlibs);
+
+  for (const MatchResult* result : results) {
+    if (result == nullptr) continue;
+    for (const FunctionMatch& match : result->matches) {
+      for (const LibraryRegistry::Ref& ref : match.refs) {
+        matched_fis[ref.library].insert(ref.function);
+        if (match.refs.size() == 1)
+          unique_fis[ref.library].insert(ref.function);
+        names[ref.library].insert(match.fn->name());
+        if (match.substitutable) substituted[ref.library].insert(match.fn);
+      }
+    }
+  }
+
+  // Same-name version disambiguation: a library with shared-only evidence
+  // is suppressed when a sibling version has unique evidence, and flagged
+  // version-ambiguous otherwise.
+  std::set<std::string> names_with_unique;
+  for (std::size_t li = 0; li < nlibs; ++li) {
+    if (!unique_fis[li].empty())
+      names_with_unique.insert(registry.libraries()[li].name);
+  }
+
+  std::vector<ComponentHit> out;
+  for (std::size_t li = 0; li < nlibs; ++li) {
+    const RegistryLibrary& lib = registry.libraries()[li];
+    if (matched_fis[li].empty()) continue;
+    const bool has_unique = !unique_fis[li].empty();
+    if (!has_unique && names_with_unique.count(lib.name) > 0) continue;
+    ComponentHit hit;
+    hit.name = lib.name;
+    hit.version = lib.version;
+    hit.risky = lib.risky;
+    hit.risk_note = lib.risk_note;
+    hit.matched_functions = matched_fis[li].size();
+    hit.total_functions = lib.functions.size();
+    hit.unique_matches = unique_fis[li].size();
+    hit.substituted_functions = substituted[li].size();
+    hit.version_ambiguous = !has_unique;
+    hit.matched_names.assign(names[li].begin(), names[li].end());
+    out.push_back(std::move(hit));
+  }
+  return out;
+}
+
+}  // namespace firmres::analysis::components

@@ -1,0 +1,89 @@
+// Component matcher: joins a live program against a LibraryRegistry
+// (docs/COMPONENTS.md).
+//
+// For every local function it computes the position-independent
+// fingerprint and looks it up in the registry index. A hit yields:
+//
+//   * an inventory contribution — which known libraries this image embeds,
+//     with risk flags and version(-ambiguity) attribution, and
+//   * when the function passes live structural certification, a
+//     ValueFlow::Substitution that replaces its per-round solve with the
+//     registry's precomputed environment.
+//
+// Certification is re-verified on the live function, never trusted from
+// the file: the function must have no parameters and call only
+// imports/unknowns (its solve is then a pure function of its op sequence,
+// independent of interprocedural summaries), contain no CallInd/BranchInd,
+// and not call event-registration functions. Only then is substituting the
+// stored environment byte-identical to solving — the contract the
+// report-determinism tests pin down.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/components/registry.h"
+#include "analysis/valueflow/valueflow.h"
+#include "ir/program.h"
+
+namespace firmres::analysis::components {
+
+struct MatchOptions {
+  /// Live ValueFlow sweep cap; substitutions needing more sweeps than this
+  /// are refused (the live solver would not have converged to them).
+  int max_sweeps = 8;
+};
+
+/// One fingerprint hit, in function creation order.
+struct FunctionMatch {
+  const ir::Function* fn = nullptr;
+  std::uint64_t fingerprint = 0;
+  std::string registry_function;          ///< registry-side function name
+  std::vector<LibraryRegistry::Ref> refs; ///< all candidate registry refs
+  bool substitutable = false;
+  bool branchless = false;  ///< live scan: no CBranch ops (exact P_f skip)
+  /// Why the match is inventory-only (empty when substitutable).
+  std::string detail;
+};
+
+/// Per-library inventory row (see component_inventory for the rules).
+struct ComponentHit {
+  std::string name;
+  std::string version;
+  bool risky = false;
+  std::string risk_note;
+  std::size_t matched_functions = 0;  ///< distinct registry fns matched
+  std::size_t total_functions = 0;    ///< registry fns in the library
+  std::size_t unique_matches = 0;     ///< matches no other library shares
+  std::size_t substituted_functions = 0;
+  bool version_ambiguous = false;
+  std::vector<std::string> matched_names;  ///< program fn names, sorted
+};
+
+struct MatchResult {
+  std::vector<FunctionMatch> matches;  ///< function creation order
+  /// Substitutions for the certified subset, keyed by live function.
+  std::map<const ir::Function*, ValueFlow::Substitution> substitutions;
+  /// Certified-branchless matched functions (exact §IV-A P_f skip).
+  std::set<const ir::Function*> branchless;
+};
+
+/// Matches every local function of `program` against the registry.
+MatchResult match_program(const ir::Program& program,
+                          const LibraryRegistry& registry,
+                          const MatchOptions& options = {});
+
+/// Aggregates match results (typically one per executable of an image)
+/// into a deterministic per-library inventory. A library is reported when
+/// it has at least one matched function and either (a) at least one match
+/// unique to it, or (b) no same-name library has unique evidence — in
+/// which case every such same-name candidate is reported with
+/// `version_ambiguous` set. Rows follow registry order.
+std::vector<ComponentHit> component_inventory(
+    const LibraryRegistry& registry,
+    const std::vector<const MatchResult*>& results);
+
+}  // namespace firmres::analysis::components

@@ -1,0 +1,112 @@
+// LibraryRegistry: versioned on-disk registry of known library functions
+// (docs/COMPONENTS.md).
+//
+// Each library entry carries a name, a version, risk flags, and one record
+// per function: the position-independent fingerprint (fingerprint.h), the
+// solved value-flow environment in *normalized* form (keys are dense
+// first-use indices rather than live varnodes, so the same record applies
+// to every image the function is linked into), and the smallest sweep cap
+// that reproduces that environment. The matcher (matcher.h) joins live
+// functions against the fingerprint index and turns records back into
+// ValueFlow substitutions.
+//
+// The on-disk format mirrors the analysis cache envelope: a JSON document
+// {format, version, payload, payload_hash} whose payload hash is checked
+// before any field is read. Load never throws past its boundary — a
+// truncated, version-skewed, or otherwise unreadable file degrades to "no
+// registry" with an error message, and suspicious-but-loadable content
+// (duplicate fingerprints) degrades to "no match" for the affected
+// fingerprints with a warning, never an abort.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/valueflow/lattice.h"
+
+namespace firmres::analysis::components {
+
+/// One normalized environment binding: the varnode is identified by its
+/// dense first-use index (see fingerprint.h normalization_map).
+struct RegistryEnvEntry {
+  std::uint8_t space = 0;   ///< ir::Space of the original varnode
+  std::uint32_t index = 0;  ///< dense first-use index within the function
+  std::uint32_t size = 0;
+  valueflow::Value value;
+
+  friend bool operator==(const RegistryEnvEntry&,
+                         const RegistryEnvEntry&) = default;
+};
+
+struct RegistryFunction {
+  std::string name;
+  std::uint64_t fingerprint = 0;
+  /// Normalized solved environment, sorted by (space, index, size).
+  std::vector<RegistryEnvEntry> env;
+  /// Smallest ValueFlow sweep cap whose local solve converges to `env`;
+  /// substitution under a smaller live cap is refused.
+  int min_sweeps = 1;
+  /// No CBranch ops: the function contributes no predicates, so §IV-A's
+  /// P_f scan can skip it with an exact 0.0 contribution.
+  bool branchless = false;
+};
+
+struct RegistryLibrary {
+  std::string name;
+  std::string version;
+  bool risky = false;
+  std::string risk_note;  ///< why the component is flagged (advisory text)
+  std::vector<RegistryFunction> functions;
+};
+
+class LibraryRegistry {
+ public:
+  /// Index entry: functions()[function] of libraries()[library].
+  struct Ref {
+    std::size_t library = 0;
+    std::size_t function = 0;
+  };
+
+  LibraryRegistry() = default;
+
+  /// Appends a library and indexes its fingerprints. Duplicate fingerprints
+  /// *within* one library are ambiguous by construction and are dropped
+  /// from the index (recorded in warnings()); the same fingerprint across
+  /// libraries is legitimate shared code and keeps every ref.
+  void add_library(RegistryLibrary library);
+
+  const std::vector<RegistryLibrary>& libraries() const { return libraries_; }
+  const RegistryFunction& function(const Ref& ref) const {
+    return libraries_[ref.library].functions[ref.function];
+  }
+
+  /// All index refs for a fingerprint (insertion order), or nullptr.
+  const std::vector<Ref>* lookup(std::uint64_t fingerprint) const;
+
+  /// Non-fatal degradations recorded while building/loading (e.g. dropped
+  /// duplicate fingerprints). Callers surface these through the event log.
+  const std::vector<std::string>& warnings() const { return warnings_; }
+
+  std::size_t total_functions() const;
+
+  /// Serializes to the versioned envelope and writes atomically
+  /// (temp + rename). Returns an error message, or empty on success.
+  std::string save(const std::string& path) const;
+
+  /// Loads a registry file. On any failure — missing file, malformed JSON,
+  /// wrong format marker, version skew, payload-hash mismatch, shape
+  /// errors — returns nullopt and sets `*error`; never throws, so a bad
+  /// registry can never abort a device analysis.
+  static std::optional<LibraryRegistry> load(const std::string& path,
+                                             std::string* error);
+
+ private:
+  std::vector<RegistryLibrary> libraries_;
+  std::map<std::uint64_t, std::vector<Ref>> index_;
+  std::vector<std::string> warnings_;
+};
+
+}  // namespace firmres::analysis::components

@@ -28,6 +28,8 @@ support::metrics::Counter g_vf_devirtualized("valueflow.devirtualized",
                                              support::metrics::Kind::Work);
 support::metrics::Counter g_vf_folded_constants(
     "valueflow.folded_constants", support::metrics::Kind::Work);
+support::metrics::Counter g_vf_substituted(
+    "valueflow.substituted_functions", support::metrics::Kind::Work);
 
 std::uint64_t mask_to_size(std::uint64_t v, std::uint32_t size_bytes) {
   if (size_bytes == 0 || size_bytes >= 8) return v;
@@ -523,12 +525,31 @@ void ValueFlow::run(support::ThreadPool* pool) {
   }
   envs_.resize(locals_.size());
 
+  // Registry substitution: install precomputed environments and exempt
+  // those functions from the per-round solves. The matcher only offers a
+  // substitution for functions whose solve is summary-independent and
+  // whose converged env the registry reproduces at `min_sweeps`, so the
+  // installed env equals what every round's solve would have produced —
+  // the merge below reads envs_ uniformly and cannot tell the difference.
+  std::vector<bool> substituted(locals_.size(), false);
+  if (options_.substitutions != nullptr) {
+    for (std::size_t i = 0; i < locals_.size(); ++i) {
+      const auto it = options_.substitutions->find(locals_[i]);
+      if (it == options_.substitutions->end()) continue;
+      if (it->second.min_sweeps > options_.max_sweeps) continue;
+      envs_[i] = it->second.env;
+      substituted[i] = true;
+      ++stats_.substituted_functions;
+    }
+  }
+
   std::vector<const ir::Function*> folded;
   for (int round = 1; round <= options_.max_rounds; ++round) {
     stats_.rounds = round;
     const Snapshot snapshot{summaries_, resolved_};
 
     const auto solve = [&](std::size_t i) {
+      if (substituted[i]) return;
       envs_[i] =
           solve_function(*locals_[i], snapshot.summaries[i], snapshot);
     };
@@ -644,6 +665,7 @@ void ValueFlow::run(support::ThreadPool* pool) {
   g_vf_rounds.add(static_cast<std::uint64_t>(stats_.rounds));
   g_vf_devirtualized.add(stats_.indirect_resolved);
   g_vf_folded_constants.add(stats_.folded_constants);
+  g_vf_substituted.add(stats_.substituted_functions);
 }
 
 Value ValueFlow::value_of(const ir::Function* fn,
@@ -674,6 +696,12 @@ std::optional<std::string> ValueFlow::string_of(const ir::Function* fn,
 const ir::Function* ValueFlow::resolved_target(const ir::PcodeOp* op) const {
   const auto it = resolved_.find(op);
   return it == resolved_.end() ? nullptr : it->second;
+}
+
+const std::map<ir::VarNode, valueflow::Value>* ValueFlow::solved_env(
+    const ir::Function* fn) const {
+  const auto it = local_index_.find(fn);
+  return it == local_index_.end() ? nullptr : &envs_[it->second];
 }
 
 std::uint64_t ValueFlow::function_signature(const ir::Function* fn) const {

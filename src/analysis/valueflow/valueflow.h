@@ -32,6 +32,21 @@ namespace firmres::analysis {
 
 class ValueFlow {
  public:
+  /// Precomputed solved environment for one function, produced by the
+  /// component registry (docs/COMPONENTS.md). Installing it skips that
+  /// function's per-round local solve. Sound only for functions whose solve
+  /// is summary-independent (no params, no local/indirect callees — the
+  /// matcher re-certifies this structurally on the live function), where
+  /// the solve is a pure function of the op sequence; the substituted env
+  /// is then byte-identical to what the solver would have produced, so
+  /// every downstream artifact is unchanged. `min_sweeps` is the smallest
+  /// sweep cap that reproduces the converged env; substitution under a
+  /// smaller live cap would change results and is refused.
+  struct Substitution {
+    std::map<ir::VarNode, valueflow::Value> env;
+    int min_sweeps = 1;
+  };
+
   struct Options {
     /// Interprocedural round cap. Rounds normally stabilize in 2–4; the cap
     /// guards the (non-monotone) resolution feedback loop.
@@ -39,6 +54,11 @@ class ValueFlow {
     /// Per-function Jacobi sweep cap. The lattice has chains of length <= 2,
     /// so local solves converge far earlier in practice.
     int max_sweeps = 8;
+    /// Registry-matched functions whose solves are replaced by precomputed
+    /// environments. Not owned; may cover functions of other programs
+    /// (entries are looked up by Function pointer and simply ignored).
+    const std::map<const ir::Function*, Substitution>* substitutions =
+        nullptr;
   };
 
   /// One CallInd site; `target` is the devirtualized callee, or nullptr when
@@ -58,6 +78,8 @@ class ValueFlow {
     std::size_t indirect_resolved = 0;  ///< ... with a folded target
     std::size_t folded_constants = 0;   ///< varnodes with a known value
     int rounds = 0;                     ///< interprocedural rounds run
+    /// Functions whose solve was replaced by a registry environment.
+    std::size_t substituted_functions = 0;
   };
 
   /// Runs the analysis to fixpoint. `pool` parallelizes the per-function
@@ -107,6 +129,12 @@ class ValueFlow {
   /// an interprocedural world (docs/CACHING.md). Returns 0 for non-local
   /// functions.
   std::uint64_t function_signature(const ir::Function* fn) const;
+
+  /// The solved environment of a local function, or nullptr for imports /
+  /// unknown functions. The registry builder extracts certified library
+  /// environments through this (docs/COMPONENTS.md).
+  const std::map<ir::VarNode, valueflow::Value>* solved_env(
+      const ir::Function* fn) const;
 
   const Stats& stats() const { return stats_; }
 

@@ -1,0 +1,76 @@
+// Component inventory lints (docs/COMPONENTS.md).
+//
+// Matches the program against the supplied LibraryRegistry and reports:
+//   - `risky-component-match` (warning): the image embeds a library the
+//     registry flags as known-risky — the One-Bad-Apple signal that shared
+//     third-party code concentrates the security risk.
+//   - `version-ambiguous-component-match` (note): the matched functions
+//     are all shared across several versions of the same library, so the
+//     inventory cannot pin the version. A note, not a warning: partial
+//     linking of a library's shared core is legitimate, but downstream
+//     advisories keyed on versions need the caveat.
+#include "analysis/components/matcher.h"
+#include "analysis/components/registry.h"
+#include "analysis/verify/pass.h"
+#include "support/strings.h"
+
+namespace firmres::analysis::verify {
+
+namespace {
+
+class ComponentsPass final : public Pass {
+ public:
+  explicit ComponentsPass(const components::LibraryRegistry* registry)
+      : registry_(registry) {}
+
+  const char* name() const override { return "components"; }
+
+  void check_function(const PassContext& ctx, const ir::Function& fn,
+                     DiagnosticSink& sink) const override {
+    (void)ctx;
+    (void)fn;
+    (void)sink;  // whole-program matching; see check_program
+  }
+
+  void check_program(const PassContext& ctx,
+                     DiagnosticSink& sink) const override {
+    if (registry_ == nullptr) return;
+    const components::MatchResult result =
+        components::match_program(ctx.program, *registry_);
+    const std::vector<components::ComponentHit> inventory =
+        components::component_inventory(*registry_, {&result});
+    for (const components::ComponentHit& hit : inventory) {
+      if (hit.risky) {
+        sink.report(
+            Severity::Warning, nullptr, -1, -1,
+            support::format(
+                "risky-component-match: %s %s (%zu/%zu functions matched)%s%s",
+                hit.name.c_str(), hit.version.c_str(), hit.matched_functions,
+                hit.total_functions, hit.risk_note.empty() ? "" : ": ",
+                hit.risk_note.c_str()));
+      }
+      if (hit.version_ambiguous) {
+        sink.report(
+            Severity::Note, nullptr, -1, -1,
+            support::format(
+                "version-ambiguous-component-match: %s %s matched only "
+                "through functions shared with other versions "
+                "(%zu matched, none unique)",
+                hit.name.c_str(), hit.version.c_str(),
+                hit.matched_functions));
+      }
+    }
+  }
+
+ private:
+  const components::LibraryRegistry* registry_;
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> make_components_pass(
+    const components::LibraryRegistry* registry) {
+  return std::make_unique<ComponentsPass>(registry);
+}
+
+}  // namespace firmres::analysis::verify

@@ -17,6 +17,10 @@
 #include "analysis/verify/diagnostics.h"
 #include "ir/program.h"
 
+namespace firmres::analysis::components {
+class LibraryRegistry;
+}
+
 namespace firmres::analysis::verify {
 
 /// Everything a pass may consult. Built once per program by the Verifier and
@@ -84,5 +88,10 @@ std::unique_ptr<Pass> make_cfg_pass();
 std::unique_ptr<Pass> make_dataflow_pass();
 std::unique_ptr<Pass> make_callgraph_pass();
 std::unique_ptr<Pass> make_valueflow_pass();
+/// Component inventory lints (docs/COMPONENTS.md): Warning on a matched
+/// known-risky library, Note on a version-ambiguous match. `registry` must
+/// outlive the pass.
+std::unique_ptr<Pass> make_components_pass(
+    const components::LibraryRegistry* registry);
 
 }  // namespace firmres::analysis::verify

@@ -74,7 +74,9 @@ std::vector<ir::VarNode> recv_seeds(const CallSite& site) {
 ExecIdentification ExecutableIdentifier::analyze(
     const ir::Program& program) const {
   if (options_.devirtualize) {
-    const analysis::ValueFlow vf(program);
+    analysis::ValueFlow::Options vf_options;
+    vf_options.substitutions = options_.substitutions;
+    const analysis::ValueFlow vf(program, nullptr, vf_options);
     const CallGraph cg(program, vf);
     return analyze(program, cg);
   }
@@ -116,6 +118,13 @@ ExecIdentification ExecutableIdentifier::analyze(
       analysis::ForwardTaint taint(program, cg, *recv.caller,
                                    recv_seeds(recv));
       for (const ir::Function* fn : cand.sequence) {
+        if (options_.registry_branchless != nullptr &&
+            options_.registry_branchless->count(fn) > 0) {
+          // Certified branchless: no CBranch ⇒ no predicates ⇒ P_f is the
+          // exact 0.0 the scan below would compute.
+          cand.pf.push_back(0.0);
+          continue;
+        }
         const auto preds = analysis::predicates_of(*fn);
         std::size_t total = 0, from_request = 0;
         for (const analysis::Predicate& p : preds) {

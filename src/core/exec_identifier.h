@@ -14,11 +14,14 @@
 // is a device-cloud executable.
 #pragma once
 
+#include <map>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "analysis/call_graph.h"
+#include "analysis/valueflow/valueflow.h"
 #include "ir/program.h"
 
 namespace firmres::core {
@@ -65,6 +68,15 @@ class ExecutableIdentifier {
     /// Only affects the analyze(program) overload; the overload taking a
     /// prebuilt CallGraph uses whatever graph it is given.
     bool devirtualize = true;
+    /// Registry-matched substitutions threaded into the devirtualizing
+    /// value-flow solve (docs/COMPONENTS.md). Not owned; may cover
+    /// functions of other programs. analyze(program) overload only.
+    const std::map<const ir::Function*, analysis::ValueFlow::Substitution>*
+        substitutions = nullptr;
+    /// Registry-certified branchless functions: no CBranch means no
+    /// predicate operands, so their P_f is pinned to the exact 0.0 the
+    /// scan would compute, skipping the forward-taint membership counts.
+    const std::set<const ir::Function*>* registry_branchless = nullptr;
   };
 
   ExecutableIdentifier() : options_() {}

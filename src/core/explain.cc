@@ -109,6 +109,18 @@ void render_field(const Json& message, const Json& field, int ordinal,
     out += "      construction: " + rendered + "\n";
   }
 
+  // Registry-matched library crossings (docs/COMPONENTS.md).
+  if (const Json* components = prov->find("registry_components");
+      components != nullptr && components->is_array() &&
+      components->size() > 0) {
+    std::string rendered;
+    for (const Json& label : components->as_array()) {
+      if (!rendered.empty()) rendered += ", ";
+      rendered += label.is_string() ? label.as_string() : "?";
+    }
+    out += "      resolved via registry match: " + rendered + "\n";
+  }
+
   // §IV-C format-split decision.
   if (const Json* split = prov->find("split");
       split != nullptr && split->is_object()) {
@@ -152,6 +164,28 @@ std::string explain_report(const Json& report,
   std::string out = support::format(
       "device %d — %s\n", options.device_id,
       str_or(device, "device_cloud_executable", "(no executable)").c_str());
+
+  // Component inventory (docs/COMPONENTS.md).
+  if (const Json* components = device.find("components");
+      components != nullptr && components->is_array() &&
+      components->size() > 0) {
+    out += "\ncomponents:\n";
+    for (const Json& c : components->as_array()) {
+      const Json* risky = c.find("risky");
+      const Json* ambiguous = c.find("version_ambiguous");
+      out += support::format(
+          "  %s %s — %d/%d functions matched, %d substituted",
+          str_or(c, "name", "?").c_str(), str_or(c, "version", "?").c_str(),
+          int_or(c, "matched_functions"), int_or(c, "total_functions"),
+          int_or(c, "substituted_functions"));
+      if (ambiguous != nullptr && ambiguous->is_bool() &&
+          ambiguous->as_bool())
+        out += " [version ambiguous]";
+      if (risky != nullptr && risky->is_bool() && risky->as_bool())
+        out += " [RISKY: " + str_or(c, "risk_note", "?") + "]";
+      out += "\n";
+    }
+  }
 
   // §IV-D keep/drop provenance per built MFT.
   if (const Json* decisions = device.find("mft_decisions");

@@ -218,6 +218,84 @@ DeviceAnalysis Pipeline::analyze(const fw::FirmwareImage& image,
     if (!failures.empty()) throw analysis::verify::VerifyError(failures);
   }
 
+  // --- Component registry matching (docs/COMPONENTS.md) --------------------
+  // Sequential, file order, so the inventory and "components" events are
+  // deterministic at any jobs level. The products feed the later phases:
+  // certified substitutions skip per-function value-flow solves in Phases
+  // 1-2, branchless certification pins P_f contributions in Phase 1, and
+  // the matched-function labels tag taint provenance post-hoc — none of
+  // which changes any pre-existing report byte.
+  std::map<const ir::Function*, analysis::ValueFlow::Substitution>
+      registry_subs;
+  std::set<const ir::Function*> registry_branchless;
+  std::map<std::string, std::string> component_labels;  ///< fn name → label
+  if (options_.registry != nullptr) {
+    FIRMRES_SPAN_DEVICE("phase.components", "pipeline", image.profile.id);
+    PhaseTimer timer(out.timings.pinpoint_s);
+    const analysis::components::LibraryRegistry& registry =
+        *options_.registry;
+    std::vector<analysis::components::MatchResult> results;
+    for (const fw::FirmwareFile& file : image.files) {
+      if (file.kind != fw::FirmwareFile::Kind::Executable ||
+          file.program == nullptr)
+        continue;
+      results.push_back(
+          analysis::components::match_program(*file.program, registry));
+    }
+    std::vector<const analysis::components::MatchResult*> views;
+    for (const analysis::components::MatchResult& r : results)
+      views.push_back(&r);
+    out.components =
+        analysis::components::component_inventory(registry, views);
+    for (const analysis::components::MatchResult& r : results) {
+      registry_subs.insert(r.substitutions.begin(), r.substitutions.end());
+      registry_branchless.insert(r.branchless.begin(), r.branchless.end());
+      for (const analysis::components::FunctionMatch& m : r.matches) {
+        std::string label = m.registry_function + " [";
+        for (std::size_t k = 0; k < m.refs.size(); ++k) {
+          const analysis::components::RegistryLibrary& lib =
+              registry.libraries()[m.refs[k].library];
+          if (k > 0) label += ", ";
+          label += lib.name + " " + lib.version;
+        }
+        label += "]";
+        const auto [it, inserted] =
+            component_labels.emplace(m.fn->name(), std::move(label));
+        if (events::enabled()) {
+          events::Event e;
+          e.category = "components";
+          e.device_id = out.device_id;
+          e.text = "registry match: " + m.fn->name() + " -> " + it->second;
+          e.attrs = {{"fingerprint",
+                      support::format("%016llx",
+                                      static_cast<unsigned long long>(
+                                          m.fingerprint))},
+                     {"substitutable", m.substitutable ? "yes" : "no"}};
+          if (!m.detail.empty()) e.attrs.push_back({"detail", m.detail});
+          events::emit(std::move(e));
+        }
+      }
+    }
+    if (events::enabled()) {
+      for (const analysis::components::ComponentHit& hit : out.components) {
+        events::Event e;
+        e.severity =
+            hit.risky ? events::Severity::Warn : events::Severity::Info;
+        e.category = "components";
+        e.device_id = out.device_id;
+        e.text = support::format(
+            "component identified: %s %s (%zu/%zu functions)",
+            hit.name.c_str(), hit.version.c_str(), hit.matched_functions,
+            hit.total_functions);
+        e.attrs = {{"risky", hit.risky ? "yes" : "no"},
+                   {"version_ambiguous",
+                    hit.version_ambiguous ? "yes" : "no"}};
+        if (hit.risky) e.attrs.push_back({"risk_note", hit.risk_note});
+        events::emit(std::move(e));
+      }
+    }
+  }
+
   // --- Phase 1: pinpoint device-cloud executables (§IV-A) ------------------
   AnalysisCache* cache = options_.cache;
   std::vector<const ir::Program*> device_cloud;
@@ -226,7 +304,15 @@ DeviceAnalysis Pipeline::analyze(const fw::FirmwareImage& image,
   {
     FIRMRES_SPAN_DEVICE("phase.pinpoint", "pipeline", image.profile.id);
     PhaseTimer timer(out.timings.pinpoint_s);
-    const ExecutableIdentifier identifier(options_.identifier);
+    // Registry products thread into the §IV-A solves; they change no
+    // verdict (substitution is byte-identical), so ident cache keys need
+    // not cover them.
+    ExecutableIdentifier::Options ident_options = options_.identifier;
+    if (options_.registry != nullptr) {
+      ident_options.substitutions = &registry_subs;
+      ident_options.registry_branchless = &registry_branchless;
+    }
+    const ExecutableIdentifier identifier(ident_options);
     std::uint64_t ident_salt = 0;
     if (cache != nullptr) {
       support::Hasher h(0x6964656e745f7631ULL);  // "ident_v1"
@@ -371,7 +457,11 @@ DeviceAnalysis Pipeline::analyze(const fw::FirmwareImage& image,
           return;
         }
       }
-      auto vf = std::make_unique<analysis::ValueFlow>(program, vp);
+      analysis::ValueFlow::Options vf_options;
+      if (options_.registry != nullptr)
+        vf_options.substitutions = &registry_subs;
+      auto vf =
+          std::make_unique<analysis::ValueFlow>(program, vp, vf_options);
       const analysis::CallGraph cg(program, *vf);
       const MftBuilder builder(program, cg, options_.taint);
 
@@ -590,6 +680,30 @@ DeviceAnalysis Pipeline::analyze(const fw::FirmwareImage& image,
           cache->store_function(group.key, entry);
         }
         cache->store_program(work.program_key, work.fresh);
+      }
+    }
+  }
+
+  // Post-hoc provenance tagging: fields whose taint walk crossed a
+  // registry-matched function carry the component labels, so `firmres
+  // explain` can say "resolved via registry match". Applied after the
+  // cache stores above — cached artifacts never contain the tags — and to
+  // out.messages regardless of which tier produced them, so warm, cold,
+  // and fn-tier paths are tagged identically.
+  if (!component_labels.empty()) {
+    for (ReconstructedMessage& message : out.messages) {
+      for (ReconstructedField& field : message.fields) {
+        std::vector<std::string>& labels =
+            field.provenance.registry_components;
+        for (const std::string& fn : field.provenance.visited_functions) {
+          const auto it = component_labels.find(fn);
+          if (it != component_labels.end()) labels.push_back(it->second);
+        }
+        if (labels.empty()) continue;
+        // visited_functions is walk order; report sorted and deduplicated.
+        std::sort(labels.begin(), labels.end());
+        labels.erase(std::unique(labels.begin(), labels.end()),
+                     labels.end());
       }
     }
   }

@@ -10,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/components/matcher.h"
 #include "core/exec_identifier.h"
 #include "core/form_check.h"
 #include "core/taint.h"
@@ -64,6 +65,9 @@ struct DeviceAnalysis {
   /// how long it took, so the block is byte-identical at any --jobs level
   /// and stays in the report even when timings are omitted.
   std::vector<std::pair<std::string, std::uint64_t>> metrics;
+  /// Per-image component inventory (docs/COMPONENTS.md): known libraries
+  /// the registry matched across all executables. Empty without a registry.
+  std::vector<analysis::components::ComponentHit> components;
   PhaseTimings timings;
 };
 
@@ -84,6 +88,15 @@ class Pipeline {
     /// paths produce byte-identical reports and event logs
     /// (docs/CACHING.md); only the cache.* metrics and timings differ.
     AnalysisCache* cache = nullptr;
+    /// Optional component registry (not owned; must outlive the pipeline).
+    /// When set, every executable is fingerprint-matched against it before
+    /// Phase 1: matches fill DeviceAnalysis.components, certified matches
+    /// substitute their precomputed value-flow environments for live
+    /// solves, and taint provenance crossing matched functions is tagged
+    /// (docs/COMPONENTS.md). Everything except the new components /
+    /// registry_components report blocks is byte-identical to a
+    /// registry-less run.
+    const analysis::components::LibraryRegistry* registry = nullptr;
   };
 
   /// `model` must outlive the pipeline.

@@ -56,6 +56,12 @@ struct FieldProvenance {
   std::string model;
   std::vector<double> label_scores;  ///< primitive-enum order
   double margin = 0.0;
+  /// Registry-matched library functions the taint walk crossed (labels like
+  /// "vsdk_log_init [vendorsdk 1.4.2]", sorted): this field's derivation
+  /// was partly resolved via registry match instead of live analysis
+  /// (docs/COMPONENTS.md). Annotated post-hoc by the pipeline — never part
+  /// of cached artifacts, so warm and cold runs stay byte-identical.
+  std::vector<std::string> registry_components;
 };
 
 /// Why one MFT was kept as a message or dropped by the §IV-D LAN filter.

@@ -64,6 +64,12 @@ support::Json message_to_json(const ReconstructedMessage& message) {
                  p.label_scores[c]);
     prov.set("label_scores", std::move(scores));
     prov.set("margin", p.margin);
+    if (!p.registry_components.empty()) {
+      JsonArray components;
+      for (const std::string& label : p.registry_components)
+        components.emplace_back(label);
+      prov.set("registry_components", Json(std::move(components)));
+    }
     fo.set("provenance", std::move(prov));
 
     fields.push_back(std::move(fo));
@@ -72,6 +78,29 @@ support::Json message_to_json(const ReconstructedMessage& message) {
   m.set("opaque_terminations", message.opaque_terminations);
   m.set("param_terminations", message.param_terminations);
   return m;
+}
+
+support::Json components_to_json(
+    const std::vector<analysis::components::ComponentHit>& components) {
+  JsonArray out;
+  for (const analysis::components::ComponentHit& hit : components) {
+    Json c{JsonObject{}};
+    c.set("name", hit.name);
+    c.set("version", hit.version);
+    c.set("risky", hit.risky);
+    if (hit.risky) c.set("risk_note", hit.risk_note);
+    c.set("matched_functions", static_cast<int>(hit.matched_functions));
+    c.set("total_functions", static_cast<int>(hit.total_functions));
+    c.set("unique_matches", static_cast<int>(hit.unique_matches));
+    c.set("substituted_functions",
+          static_cast<int>(hit.substituted_functions));
+    c.set("version_ambiguous", hit.version_ambiguous);
+    JsonArray names;
+    for (const std::string& n : hit.matched_names) names.emplace_back(n);
+    c.set("matched_names", Json(std::move(names)));
+    out.push_back(std::move(c));
+  }
+  return Json(std::move(out));
 }
 
 support::Json analysis_to_json(const DeviceAnalysis& analysis,
@@ -127,6 +156,12 @@ support::Json analysis_to_json(const DeviceAnalysis& analysis,
   value_flow.set("opaque_terminations", analysis.opaque_terminations);
   value_flow.set("param_terminations", analysis.param_terminations);
   doc.set("value_flow", std::move(value_flow));
+
+  // Per-device component inventory (docs/COMPONENTS.md). Present only when
+  // a registry was supplied and matched, so registry-less reports are
+  // byte-identical to pre-registry ones.
+  if (!analysis.components.empty())
+    doc.set("components", components_to_json(analysis.components));
 
   // Work metrics only (docs/OBSERVABILITY.md) — deterministic at any jobs
   // level, so the block survives the timings-omitted byte comparison.

@@ -16,6 +16,12 @@ namespace firmres::core {
 /// sources, hard-coded markers).
 support::Json message_to_json(const ReconstructedMessage& message);
 
+/// Per-device component inventory as a JSON array (docs/COMPONENTS.md) —
+/// the `components` block of the report, also emitted standalone by
+/// `firmres components`.
+support::Json components_to_json(
+    const std::vector<analysis::components::ComponentHit>& components);
+
 /// The full report: executable verdict, messages, LAN-discard count,
 /// flaw alarms, and phase timings. `include_timings = false` omits the
 /// timings block — the only run-to-run varying part — yielding a document

@@ -1,0 +1,22 @@
+#include "core/sdk_registry.h"
+
+#include <memory>
+
+#include "analysis/components/builder.h"
+#include "firmware/sdk_library.h"
+
+namespace firmres::core {
+
+analysis::components::LibraryRegistry build_sdk_registry() {
+  analysis::components::LibraryRegistry registry;
+  for (const fw::SdkLibraryDef& def : fw::sdk_library_defs()) {
+    const std::unique_ptr<ir::Program> program =
+        fw::build_sdk_template_program(def);
+    registry.add_library(analysis::components::build_library_from_program(
+        *program, def.name, def.version, def.risky, def.risk_note,
+        def.function_names));
+  }
+  return registry;
+}
+
+}  // namespace firmres::core

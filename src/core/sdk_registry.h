@@ -1,0 +1,20 @@
+// Built-in registry of the synthetic vendor SDK (docs/COMPONENTS.md).
+//
+// Substitution note (see DESIGN.md §2): real deployments would certify
+// registries from vendor SDK releases; here the registry is certified from
+// the same template emitters the synthesizer links into the shared-library
+// corpus (fw::sdk_library_defs), so matches against that corpus exercise
+// the full pipeline — fingerprinting, substitution, inventory, risk
+// flagging — with known ground truth.
+#pragma once
+
+#include "analysis/components/registry.h"
+
+namespace firmres::core {
+
+/// Certifies every SDK library definition into one registry: vendorsdk
+/// 1.4.2, vendorsdk 2.0.1 (sharing their core functions — the version-
+/// ambiguity case), and the risky libtoken 0.9.1.
+analysis::components::LibraryRegistry build_sdk_registry();
+
+}  // namespace firmres::core

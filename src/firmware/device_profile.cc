@@ -106,6 +106,28 @@ std::vector<DeviceProfile> standard_corpus() {
   return out;
 }
 
+std::vector<DeviceProfile> sdk_corpus() {
+  // (device id, sdk_version, bundle_libtoken): two full-v1 images, two
+  // full-v2, one shared-core-only (version-ambiguous), and two libtoken
+  // carriers — every inventory and lint case in one corpus.
+  constexpr struct {
+    int id;
+    int sdk_version;
+    bool libtoken;
+  } kSdkRows[] = {
+      {1, 1, false}, {2, 2, false}, {4, 1, true},
+      {5, 2, false}, {7, 3, false}, {9, 1, true},
+  };
+  std::vector<DeviceProfile> out;
+  for (const auto& row : kSdkRows) {
+    DeviceProfile p = profile_by_id(row.id);
+    p.sdk_version = row.sdk_version;
+    p.bundle_libtoken = row.libtoken;
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
 DeviceProfile profile_by_id(int id) {
   for (const Row& r : kRows) {
     if (r.id == id) return from_row(r);

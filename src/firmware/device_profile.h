@@ -54,11 +54,22 @@ struct DeviceProfile {
   /// pointer (dispatch-table style): the sender is reachable only via a
   /// CallInd, so §IV-A identification needs value-flow devirtualization.
   bool indirect_dispatch = false;
+  /// Third-party SDK linked into the device-cloud binary and the webserver
+  /// (docs/COMPONENTS.md): 0 none, 1 vendorsdk 1.4.2, 2 vendorsdk 2.0.1,
+  /// 3 only the cross-version shared core (version-ambiguous on purpose).
+  int sdk_version = 0;
+  /// Additionally link the known-risky libtoken 0.9.1.
+  bool bundle_libtoken = false;
   std::uint64_t seed = 0;       ///< per-device RNG stream
 };
 
 /// The 22-device corpus of Table I.
 std::vector<DeviceProfile> standard_corpus();
+
+/// Shared-library corpus: a standard-corpus subset with vendorsdk/libtoken
+/// stamped into each image (docs/COMPONENTS.md), so the same function
+/// bodies recur across devices — the workload where registry matching pays.
+std::vector<DeviceProfile> sdk_corpus();
 
 /// Convenience: the profile with a given Table I id. Aborts if absent.
 DeviceProfile profile_by_id(int id);

@@ -1,0 +1,163 @@
+#include "firmware/sdk_library.h"
+
+#include "support/error.h"
+#include "support/strings.h"
+
+namespace firmres::fw {
+namespace {
+
+// One leaf function: `chains` independent def-use chains of constant
+// arithmetic feeding modelled string calls. Depth per chain is 4 (add →
+// xor → sprintf fold → strlen), comfortably under the solver's 8-sweep
+// cap; chains are independent so the flow-insensitive Jacobi solve
+// converges regardless of their count. All content derives from the table
+// below — no RNG, no addresses — so bodies are bit-for-bit repeatable.
+struct LeafSpec {
+  const char* name;
+  const char* tag;       ///< distinguishes bodies (format strings differ)
+  std::uint64_t salt;    ///< distinguishes constant operands
+  int chains;
+};
+
+constexpr LeafSpec kSharedCore[] = {
+    {"vsdk_log_init", "loginit", 0x5d01, 40},
+    {"vsdk_format_version", "fmtver", 0x5d02, 36},
+    {"vsdk_checksum_seed", "cksum", 0x5d03, 44},
+    {"vsdk_rotate_keys", "rotkey", 0x5d04, 38},
+    {"vsdk_flush_queue", "flushq", 0x5d05, 42},
+    {"vsdk_heartbeat_fmt", "hbfmt", 0x5d06, 40},
+    {"vsdk_metric_pack", "metric", 0x5d07, 46},
+};
+constexpr LeafSpec kV1Only[] = {
+    {"vsdk_compat_shim", "compat", 0x1d01, 36},
+    {"vsdk_legacy_pad", "legacy", 0x1d02, 34},
+    {"vsdk_v1_banner", "banner1", 0x1d03, 30},
+};
+constexpr LeafSpec kV2Only[] = {
+    {"vsdk_tls_profile", "tlsprof", 0x2d01, 36},
+    {"vsdk_batch_pack", "batch", 0x2d02, 34},
+    {"vsdk_v2_banner", "banner2", 0x2d03, 30},
+};
+constexpr LeafSpec kLibtoken[] = {
+    {"ltk_derive_key", "ltkkey", 0x7a01, 36},
+    {"ltk_sign_blob", "ltksign", 0x7a02, 40},
+    {"ltk_embed_token", "ltktok", 0x7a03, 32},
+};
+
+void emit_leaf(ir::IRBuilder& b, const LeafSpec& spec) {
+  ir::FunctionBuilder f = b.function(spec.name);
+  const std::string fmt = support::format("%s[%%x:%%x]", spec.tag);
+  for (int c = 0; c < spec.chains; ++c) {
+    const std::uint64_t k =
+        spec.salt + static_cast<std::uint64_t>(c) * 0x9e37ULL;
+    if (c % 3 == 2) {
+      // Concat-style chain: strcpy then strcat assemble a known string.
+      const ir::VarNode s =
+          f.local(support::format("%s_s%d", spec.tag, c), 64);
+      f.callv("strcpy", {s, f.cstr(spec.tag)});
+      f.callv("strcat",
+              {s, f.cstr(support::format(":%llu",
+                                         static_cast<unsigned long long>(
+                                             k & 0xffff)))});
+      f.callv("syslog", {f.cnum(5), s});
+    } else {
+      // Sprintf-style chain: two arithmetic steps feed a format fold.
+      const ir::VarNode a = f.binop(ir::OpCode::IntAdd, f.cnum(k & 0xffff),
+                                    f.cnum(0x1000 + c * 7));
+      const ir::VarNode m =
+          f.binop(ir::OpCode::IntXor, a, f.cnum((k >> 4) & 0xffff));
+      const ir::VarNode buf =
+          f.local(support::format("%s_buf%d", spec.tag, c), 64);
+      f.callv("sprintf", {buf, f.cstr(fmt), m, a});
+      const ir::VarNode n = f.call("strlen", {buf});
+      f.callv("syslog", {f.cnum(6), buf, n});
+    }
+  }
+  if (std::string_view(spec.name) == "ltk_embed_token") {
+    // The libtoken risk: a static signing secret baked into every image.
+    const ir::VarNode sec = f.local("ltk_secret", 64);
+    f.callv("strcpy", {sec, f.cstr("ltk-static-secret-9f27aa51")});
+    f.callv("syslog", {f.cnum(3), sec});
+  }
+  f.ret();
+}
+
+const LeafSpec* find_spec(const std::string& name) {
+  for (const LeafSpec& s : kSharedCore)
+    if (name == s.name) return &s;
+  for (const LeafSpec& s : kV1Only)
+    if (name == s.name) return &s;
+  for (const LeafSpec& s : kV2Only)
+    if (name == s.name) return &s;
+  for (const LeafSpec& s : kLibtoken)
+    if (name == s.name) return &s;
+  return nullptr;
+}
+
+template <std::size_t N>
+void append_names(std::vector<std::string>& out, const LeafSpec (&specs)[N]) {
+  for (const LeafSpec& s : specs) out.push_back(s.name);
+}
+
+}  // namespace
+
+std::vector<SdkLibraryDef> sdk_library_defs() {
+  SdkLibraryDef v1{.name = "vendorsdk",
+                   .version = "1.4.2",
+                   .risky = false,
+                   .risk_note = "",
+                   .function_names = {}};
+  append_names(v1.function_names, kSharedCore);
+  append_names(v1.function_names, kV1Only);
+
+  SdkLibraryDef v2{.name = "vendorsdk",
+                   .version = "2.0.1",
+                   .risky = false,
+                   .risk_note = "",
+                   .function_names = {}};
+  append_names(v2.function_names, kSharedCore);
+  append_names(v2.function_names, kV2Only);
+
+  SdkLibraryDef ltk{.name = "libtoken",
+                    .version = "0.9.1",
+                    .risky = true,
+                    .risk_note =
+                        "embeds a static token-signing secret "
+                        "(vendor advisory LTK-2019-03)",
+                    .function_names = {}};
+  append_names(ltk.function_names, kLibtoken);
+
+  return {std::move(v1), std::move(v2), std::move(ltk)};
+}
+
+std::vector<std::string> emit_sdk_functions(ir::IRBuilder& b,
+                                            int sdk_version,
+                                            bool bundle_libtoken) {
+  std::vector<std::string> names;
+  if (sdk_version > 0) {
+    append_names(names, kSharedCore);
+    if (sdk_version == 1) append_names(names, kV1Only);
+    if (sdk_version == 2) append_names(names, kV2Only);
+    // sdk_version 3: shared core only — matches both vendorsdk versions
+    // with no unique evidence, the version-ambiguous inventory case.
+  }
+  if (bundle_libtoken) append_names(names, kLibtoken);
+  for (const std::string& name : names) emit_leaf(b, *find_spec(name));
+  return names;
+}
+
+std::unique_ptr<ir::Program> build_sdk_template_program(
+    const SdkLibraryDef& def) {
+  auto program = std::make_unique<ir::Program>("sdk_template_" + def.name +
+                                               "_" + def.version);
+  ir::IRBuilder b(*program);
+  for (const std::string& name : def.function_names) {
+    const LeafSpec* spec = find_spec(name);
+    FIRMRES_CHECK_MSG(spec != nullptr,
+                      "unknown sdk template function: " + name);
+    emit_leaf(b, *spec);
+  }
+  return program;
+}
+
+}  // namespace firmres::fw

@@ -1,0 +1,56 @@
+// Synthetic third-party SDK code stamped into device images
+// (docs/COMPONENTS.md).
+//
+// Real firmware corpora share library code across vendors (AutoFirm); to
+// make the component-identification dedup win measurable, the synthesizer
+// can link a fixed-content "vendorsdk" (two versions sharing a common
+// core) and a known-risky "libtoken" into device-cloud binaries and the
+// webserver noise binary. Emission is deliberately RNG-free: the same
+// function body is emitted into every image, so its position-independent
+// fingerprint (analysis/components/fingerprint.h) is identical everywhere
+// — exactly the property a registry match keys on.
+//
+// Every leaf is parameter-less, calls only imports, and branches nowhere,
+// so it passes the matcher's substitution certification; bodies are many
+// short independent chains of constant arithmetic and modelled string ops,
+// deep enough to cost the value-flow solver real sweeps but well under
+// its sweep cap.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/builder.h"
+#include "ir/program.h"
+
+namespace firmres::fw {
+
+/// One registry library: which of the SDK functions belong to it.
+struct SdkLibraryDef {
+  std::string name;
+  std::string version;
+  bool risky = false;
+  std::string risk_note;
+  std::vector<std::string> function_names;
+};
+
+/// The three shipped library definitions: vendorsdk 1.4.2, vendorsdk 2.0.1
+/// (sharing a seven-function core, three version-unique functions each),
+/// and the risky libtoken 0.9.1.
+std::vector<SdkLibraryDef> sdk_library_defs();
+
+/// Emits the SDK leaves selected by the profile knobs into `b` and returns
+/// their names (for an sdk_init caller). `sdk_version` 1/2 link the full
+/// respective vendorsdk; 3 links only the shared core (version-ambiguous
+/// by construction); `bundle_libtoken` adds libtoken 0.9.1.
+std::vector<std::string> emit_sdk_functions(ir::IRBuilder& b,
+                                            int sdk_version,
+                                            bool bundle_libtoken);
+
+/// A program containing exactly `def`'s functions — the SDK-only template
+/// the registry builder analyzes once, offline.
+std::unique_ptr<ir::Program> build_sdk_template_program(
+    const SdkLibraryDef& def);
+
+}  // namespace firmres::fw

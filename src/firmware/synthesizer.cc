@@ -5,6 +5,7 @@
 #include <set>
 
 #include "firmware/catalog.h"
+#include "firmware/sdk_library.h"
 #include "ir/builder.h"
 #include "support/error.h"
 #include "support/strings.h"
@@ -57,6 +58,14 @@ class DeviceSynthesizer {
   void emit_handler(IRBuilder& b, const std::vector<std::string>& dispatch);
   void emit_periodic(IRBuilder& b, const std::vector<std::string>& periodic);
   void emit_main(IRBuilder& b);
+
+  /// Profile-gated third-party SDK (docs/COMPONENTS.md): emits the
+  /// vendorsdk/libtoken leaves plus an `sdk_init` caller. RNG-free, so
+  /// identical bodies land in every image that links the same SDK.
+  bool sdk_enabled() const {
+    return profile_.sdk_version > 0 || profile_.bundle_libtoken;
+  }
+  void emit_sdk(IRBuilder& b);
 
   // --- noise executables ---------------------------------------------------
   std::unique_ptr<Program> build_webserver();
@@ -439,8 +448,18 @@ void DeviceSynthesizer::emit_periodic(IRBuilder& b,
   f.ret();
 }
 
+void DeviceSynthesizer::emit_sdk(IRBuilder& b) {
+  const std::vector<std::string> leaves = emit_sdk_functions(
+      b, profile_.sdk_version, profile_.bundle_libtoken);
+  if (leaves.empty()) return;
+  FunctionBuilder f = b.function("sdk_init");
+  for (const std::string& leaf : leaves) f.callv(leaf, {});
+  f.ret();
+}
+
 void DeviceSynthesizer::emit_main(IRBuilder& b) {
   FunctionBuilder f = b.function("main");
+  if (sdk_enabled()) f.callv("sdk_init", {});
   const VarNode loop = f.local("ev_loop", 8);
   if (profile_.primary_protocol == Protocol::Mqtt) {
     const VarNode cli = f.call("mosquitto_new", {}, "client");
@@ -470,6 +489,10 @@ std::unique_ptr<Program> DeviceSynthesizer::build_device_cloud_program(
   IRBuilder b(*program);
   current_builder_ = &b;
   aux_rng_ = Rng(profile_.seed ^ 0xA0C0FFEEULL);
+
+  // Shared SDK first (callee-before-caller: sdk_init references the
+  // leaves, main references sdk_init).
+  if (sdk_enabled()) emit_sdk(b);
 
   std::vector<std::string> builder_names;
   delivery_addresses.resize(specs.size(), 0);
@@ -508,6 +531,10 @@ std::unique_ptr<Program> DeviceSynthesizer::build_webserver() {
   auto program = std::make_unique<Program>("httpd");
   IRBuilder b(*program);
 
+  // The LAN web UI links the same vendor SDK as the cloud daemon — the
+  // cross-executable duplication a component registry deduplicates.
+  if (sdk_enabled()) emit_sdk(b);
+
   {
     FunctionBuilder f = b.function("handle_http");
     const VarNode conn = f.param("conn");
@@ -534,6 +561,7 @@ std::unique_ptr<Program> DeviceSynthesizer::build_webserver() {
   }
   {
     FunctionBuilder f = b.function("main");
+    if (sdk_enabled()) f.callv("sdk_init", {});
     const VarNode sock =
         f.call("socket", {f.cnum(2), f.cnum(1), f.cnum(0)}, "listen_sock");
     f.callv("handle_http", {sock});  // direct (synchronous) invocation
@@ -795,6 +823,13 @@ FirmwareImage synthesize(const DeviceProfile& profile) {
 std::vector<FirmwareImage> synthesize_corpus() {
   std::vector<FirmwareImage> out;
   for (const DeviceProfile& profile : standard_corpus())
+    out.push_back(synthesize(profile));
+  return out;
+}
+
+std::vector<FirmwareImage> synthesize_sdk_corpus() {
+  std::vector<FirmwareImage> out;
+  for (const DeviceProfile& profile : sdk_corpus())
     out.push_back(synthesize(profile));
   return out;
 }

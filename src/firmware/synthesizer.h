@@ -28,4 +28,10 @@ FirmwareImage synthesize(const DeviceProfile& profile);
 /// Synthesize the full Table I corpus (22 images).
 std::vector<FirmwareImage> synthesize_corpus();
 
+/// Synthesize the shared-library corpus (fw::sdk_corpus profiles): a
+/// standard-corpus subset whose images all link the synthetic vendor SDK,
+/// so identical library functions recur across devices and executables
+/// (docs/COMPONENTS.md).
+std::vector<FirmwareImage> synthesize_sdk_corpus();
+
 }  // namespace firmres::fw

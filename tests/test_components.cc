@@ -1,0 +1,509 @@
+// Component-registry tests (docs/COMPONENTS.md): position-independent
+// fingerprint stability across images, registry round-trip and on-disk
+// robustness (truncated / version-skewed / tampered files degrade to "no
+// registry", duplicate fingerprints to "no match" — never an abort), the
+// substitution certification and sweep-cap refusal, per-image inventory
+// semantics (version pinning, risk flags, version ambiguity), the
+// components verifier pass, and the pipeline contract: a registry run is
+// byte-identical to a registry-less run except for the new components and
+// registry_components provenance blocks, at any job count.
+#include "analysis/components/matcher.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/components/builder.h"
+#include "analysis/components/fingerprint.h"
+#include "analysis/components/registry.h"
+#include "analysis/verify/verifier.h"
+#include "core/corpus_runner.h"
+#include "core/pipeline.h"
+#include "core/report.h"
+#include "core/sdk_registry.h"
+#include "firmware/sdk_library.h"
+#include "firmware/synthesizer.h"
+
+namespace firmres {
+namespace {
+
+namespace components = analysis::components;
+namespace fsys = std::filesystem;
+
+const core::KeywordModel kModel;
+
+class TempDir {
+ public:
+  TempDir() {
+    path_ = fsys::temp_directory_path() /
+            ("firmres-components-test-" + std::to_string(::getpid()) + "-" +
+             std::to_string(counter_++));
+    fsys::create_directories(path_);
+  }
+  ~TempDir() { fsys::remove_all(path_); }
+  std::string str() const { return path_.string(); }
+  fsys::path operator/(const std::string& leaf) const { return path_ / leaf; }
+
+ private:
+  static inline int counter_ = 0;
+  fsys::path path_;
+};
+
+std::string slurp(const fsys::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void spit(const fsys::path& p, const std::string& content) {
+  std::ofstream out(p, std::ios::binary | std::ios::trunc);
+  out << content;
+}
+
+/// Synthesize one shared-library-corpus image by Table I device id.
+fw::FirmwareImage sdk_image(int id) {
+  for (const fw::DeviceProfile& p : fw::sdk_corpus())
+    if (p.id == id) return fw::synthesize(p);
+  ADD_FAILURE() << "device " << id << " not in sdk_corpus";
+  return {};
+}
+
+const ir::Program* device_cloud_program(const fw::FirmwareImage& image) {
+  const fw::FirmwareFile* f = image.file(image.truth.device_cloud_executable);
+  return f != nullptr ? f->program.get() : nullptr;
+}
+
+/// Match every executable of the image and aggregate the inventory, the
+/// way the pipeline and `firmres components` do.
+std::vector<components::ComponentHit> image_inventory(
+    const fw::FirmwareImage& image, const components::LibraryRegistry& reg) {
+  std::vector<components::MatchResult> results;
+  for (const ir::Program* prog : image.executables())
+    results.push_back(components::match_program(*prog, reg));
+  std::vector<const components::MatchResult*> ptrs;
+  for (const components::MatchResult& r : results) ptrs.push_back(&r);
+  return components::component_inventory(reg, ptrs);
+}
+
+const components::ComponentHit* hit_named(
+    const std::vector<components::ComponentHit>& hits, const std::string& name,
+    const std::string& version) {
+  for (const components::ComponentHit& h : hits)
+    if (h.name == name && h.version == version) return &h;
+  return nullptr;
+}
+
+std::string report_dump(const core::DeviceAnalysis& a) {
+  return core::analysis_to_json(a, /*include_timings=*/false).dump(true);
+}
+
+/// Strips exactly the blocks the registry is allowed to add: the per-device
+/// component inventory and the per-field registry_components annotations.
+core::DeviceAnalysis scrub_registry_blocks(core::DeviceAnalysis a) {
+  a.components.clear();
+  for (core::ReconstructedMessage& m : a.messages)
+    for (core::ReconstructedField& f : m.fields)
+      f.provenance.registry_components.clear();
+  return a;
+}
+
+// ---------------------------------------------------------------------------
+// Fingerprinting: position independence
+// ---------------------------------------------------------------------------
+
+TEST(Fingerprint, StableAcrossTemplateAndLinkedImages) {
+  // The same SDK function body, analyzed in the offline template program
+  // and linked into a full device image (different program, different op
+  // addresses, strings interned at different data-segment offsets), must
+  // hash to the same signature — the property a registry match keys on.
+  const std::vector<fw::SdkLibraryDef> defs = fw::sdk_library_defs();
+  ASSERT_FALSE(defs.empty());
+  const fw::SdkLibraryDef& def = defs.front();  // vendorsdk 1.4.2
+  const std::unique_ptr<ir::Program> tmpl = fw::build_sdk_template_program(def);
+
+  const fw::FirmwareImage image = sdk_image(1);  // links vendorsdk 1.4.2
+  int found = 0;
+  for (const std::string& name : def.function_names) {
+    const ir::Function* tfn = tmpl->function(name);
+    ASSERT_NE(tfn, nullptr) << name;
+    const std::uint64_t want = components::fingerprint_function(*tmpl, *tfn);
+    for (const ir::Program* prog : image.executables()) {
+      const ir::Function* lfn = prog->function(name);
+      if (lfn == nullptr) continue;
+      ++found;
+      EXPECT_EQ(components::fingerprint_function(*prog, *lfn), want)
+          << name << " in " << prog->name();
+    }
+  }
+  // The SDK is stamped into the device-cloud binary and the webserver.
+  EXPECT_GE(found, static_cast<int>(def.function_names.size()));
+}
+
+TEST(Fingerprint, DistinctFunctionsGetDistinctSignatures) {
+  const fw::SdkLibraryDef def = fw::sdk_library_defs().front();
+  const std::unique_ptr<ir::Program> tmpl = fw::build_sdk_template_program(def);
+  std::vector<std::uint64_t> prints;
+  for (const std::string& name : def.function_names)
+    prints.push_back(
+        components::fingerprint_function(*tmpl, *tmpl->function(name)));
+  for (std::size_t i = 0; i < prints.size(); ++i)
+    for (std::size_t j = i + 1; j < prints.size(); ++j)
+      EXPECT_NE(prints[i], prints[j])
+          << def.function_names[i] << " vs " << def.function_names[j];
+}
+
+// ---------------------------------------------------------------------------
+// Registry: round-trip and on-disk robustness
+// ---------------------------------------------------------------------------
+
+TEST(Registry, SaveLoadRoundTripIsByteStable) {
+  const components::LibraryRegistry built = core::build_sdk_registry();
+  EXPECT_EQ(built.libraries().size(), 3u);
+  EXPECT_GT(built.total_functions(), 0u);
+  EXPECT_TRUE(built.warnings().empty());
+
+  TempDir dir;
+  const fsys::path first = dir / "registry.json";
+  const fsys::path second = dir / "again.json";
+  ASSERT_EQ(built.save(first.string()), "");
+
+  std::string error;
+  const std::optional<components::LibraryRegistry> loaded =
+      components::LibraryRegistry::load(first.string(), &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(loaded->libraries().size(), built.libraries().size());
+  EXPECT_EQ(loaded->total_functions(), built.total_functions());
+
+  // Serialization is deterministic, so load-then-save reproduces the file.
+  ASSERT_EQ(loaded->save(second.string()), "");
+  EXPECT_EQ(slurp(first), slurp(second));
+}
+
+TEST(Registry, LoadDegradesOnBadFilesAndNeverThrows) {
+  TempDir dir;
+  std::string error;
+
+  // Missing file.
+  EXPECT_FALSE(components::LibraryRegistry::load(
+                   (dir / "absent.json").string(), &error)
+                   .has_value());
+  EXPECT_NE(error.find("cannot open"), std::string::npos) << error;
+
+  // Not JSON at all.
+  const fsys::path garbage = dir / "garbage.json";
+  spit(garbage, "component registry? never heard of it");
+  EXPECT_FALSE(
+      components::LibraryRegistry::load(garbage.string(), &error).has_value());
+  EXPECT_NE(error.find("malformed JSON"), std::string::npos) << error;
+
+  const components::LibraryRegistry built = core::build_sdk_registry();
+  const fsys::path good = dir / "good.json";
+  ASSERT_EQ(built.save(good.string()), "");
+  const std::string content = slurp(good);
+
+  // Truncated mid-document.
+  const fsys::path truncated = dir / "truncated.json";
+  spit(truncated, content.substr(0, content.size() / 2));
+  EXPECT_FALSE(components::LibraryRegistry::load(truncated.string(), &error)
+                   .has_value());
+
+  // Wrong format marker: some other tool's JSON.
+  const fsys::path wrong_format = dir / "format.json";
+  std::string other = content;
+  const auto fpos = other.find("firmres-registry");
+  ASSERT_NE(fpos, std::string::npos);
+  other.replace(fpos, std::string("firmres-registry").size(), "firmres-cache");
+  spit(wrong_format, other);
+  EXPECT_FALSE(components::LibraryRegistry::load(wrong_format.string(), &error)
+                   .has_value());
+  EXPECT_NE(error.find("not a firmres registry"), std::string::npos) << error;
+
+  // Version skew: a future build's file must be refused, with both
+  // versions named so the operator knows which side to upgrade.
+  const fsys::path skewed = dir / "skewed.json";
+  std::string future = content;
+  const auto vpos = future.find("\"version\": 1");
+  ASSERT_NE(vpos, std::string::npos);
+  future.replace(vpos, std::string("\"version\": 1").size(),
+                 "\"version\": 99");
+  spit(skewed, future);
+  EXPECT_FALSE(
+      components::LibraryRegistry::load(skewed.string(), &error).has_value());
+  EXPECT_NE(error.find("version skew"), std::string::npos) << error;
+
+  // Payload tamper: hash checked before any payload field is read.
+  const fsys::path tampered = dir / "tampered.json";
+  std::string bitflip = content;
+  const auto npos = bitflip.find("vendorsdk");
+  ASSERT_NE(npos, std::string::npos);
+  bitflip.replace(npos, std::string("vendorsdk").size(), "vendorsdX");
+  spit(tampered, bitflip);
+  EXPECT_FALSE(components::LibraryRegistry::load(tampered.string(), &error)
+                   .has_value());
+  EXPECT_NE(error.find("payload hash mismatch"), std::string::npos) << error;
+}
+
+TEST(Registry, DuplicateFingerprintWithinLibraryDegradesToNoMatch) {
+  const fw::SdkLibraryDef def = fw::sdk_library_defs().front();
+  const std::unique_ptr<ir::Program> tmpl = fw::build_sdk_template_program(def);
+  components::RegistryLibrary lib = components::build_library_from_program(
+      *tmpl, def.name, def.version, def.risky, def.risk_note,
+      def.function_names);
+  ASSERT_FALSE(lib.functions.empty());
+
+  // Re-record the first function under a second name: two names, one
+  // fingerprint, inside one library — ambiguous by construction.
+  components::RegistryFunction dup = lib.functions.front();
+  dup.name += "_copy";
+  lib.functions.push_back(dup);
+
+  components::LibraryRegistry registry;
+  registry.add_library(lib);
+  ASSERT_FALSE(registry.warnings().empty());
+  EXPECT_NE(registry.warnings().front().find("duplicate"), std::string::npos)
+      << registry.warnings().front();
+
+  // The poisoned fingerprint is out of the index; the others still match.
+  EXPECT_EQ(registry.lookup(dup.fingerprint), nullptr);
+  const components::MatchResult result =
+      components::match_program(*tmpl, registry);
+  EXPECT_EQ(result.matches.size(), lib.functions.size() - 2);
+  for (const components::FunctionMatch& m : result.matches)
+    EXPECT_NE(m.fingerprint, dup.fingerprint);
+
+  // And the degraded registry still drives a full device analysis — a
+  // suspicious registry must never abort a device.
+  core::Pipeline::Options options;
+  options.registry = &registry;
+  const fw::FirmwareImage image = sdk_image(1);
+  const core::DeviceAnalysis a = core::Pipeline(kModel, options).analyze(image);
+  EXPECT_FALSE(a.messages.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Matching: certification and sweep-cap refusal
+// ---------------------------------------------------------------------------
+
+TEST(Match, SdkTemplateFunctionsAreSubstitutable) {
+  const components::LibraryRegistry registry = core::build_sdk_registry();
+  const fw::SdkLibraryDef def = fw::sdk_library_defs().front();
+  const std::unique_ptr<ir::Program> tmpl = fw::build_sdk_template_program(def);
+
+  const components::MatchResult result =
+      components::match_program(*tmpl, registry);
+  EXPECT_EQ(result.matches.size(), def.function_names.size());
+  for (const components::FunctionMatch& m : result.matches) {
+    EXPECT_TRUE(m.substitutable) << m.registry_function << ": " << m.detail;
+    EXPECT_TRUE(m.branchless) << m.registry_function;
+    EXPECT_TRUE(result.substitutions.count(m.fn)) << m.registry_function;
+  }
+}
+
+TEST(Match, SubstitutionRefusedWhenLiveSweepCapIsTooLow) {
+  // A live solver capped below the registry's min_sweeps would not have
+  // converged to the stored environment — substituting it would change
+  // results, so the match degrades to inventory-only.
+  const components::LibraryRegistry registry = core::build_sdk_registry();
+  const fw::SdkLibraryDef def = fw::sdk_library_defs().front();
+  const std::unique_ptr<ir::Program> tmpl = fw::build_sdk_template_program(def);
+
+  const components::MatchResult result =
+      components::match_program(*tmpl, registry, {.max_sweeps = 0});
+  EXPECT_EQ(result.matches.size(), def.function_names.size());
+  EXPECT_TRUE(result.substitutions.empty());
+  for (const components::FunctionMatch& m : result.matches) {
+    EXPECT_FALSE(m.substitutable);
+    EXPECT_EQ(m.detail, "requires more solver sweeps than the live cap");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Inventory: version pinning, risk, ambiguity
+// ---------------------------------------------------------------------------
+
+TEST(Inventory, FullLinkPinsTheVersionUnambiguously) {
+  const components::LibraryRegistry registry = core::build_sdk_registry();
+  const auto hits = image_inventory(sdk_image(1), registry);  // full v1
+
+  const components::ComponentHit* v1 =
+      hit_named(hits, "vendorsdk", "1.4.2");
+  ASSERT_NE(v1, nullptr);
+  EXPECT_FALSE(v1->version_ambiguous);
+  EXPECT_GT(v1->unique_matches, 0u);
+  EXPECT_EQ(v1->matched_functions, v1->total_functions);
+  EXPECT_FALSE(v1->risky);
+  // Version-unique evidence for 1.4.2 suppresses the 2.0.1 candidate.
+  EXPECT_EQ(hit_named(hits, "vendorsdk", "2.0.1"), nullptr);
+  EXPECT_EQ(hit_named(hits, "libtoken", "0.9.1"), nullptr);
+}
+
+TEST(Inventory, RiskyLibraryIsFlagged) {
+  const components::LibraryRegistry registry = core::build_sdk_registry();
+  const auto hits = image_inventory(sdk_image(4), registry);  // v1 + libtoken
+
+  const components::ComponentHit* tok = hit_named(hits, "libtoken", "0.9.1");
+  ASSERT_NE(tok, nullptr);
+  EXPECT_TRUE(tok->risky);
+  EXPECT_FALSE(tok->risk_note.empty());
+  EXPECT_GT(tok->matched_functions, 0u);
+  ASSERT_NE(hit_named(hits, "vendorsdk", "1.4.2"), nullptr);
+}
+
+TEST(Inventory, SharedCoreOnlyLinkIsVersionAmbiguous) {
+  const components::LibraryRegistry registry = core::build_sdk_registry();
+  const auto hits = image_inventory(sdk_image(7), registry);  // shared core
+
+  const components::ComponentHit* v1 = hit_named(hits, "vendorsdk", "1.4.2");
+  const components::ComponentHit* v2 = hit_named(hits, "vendorsdk", "2.0.1");
+  ASSERT_NE(v1, nullptr);
+  ASSERT_NE(v2, nullptr);
+  for (const components::ComponentHit* h : {v1, v2}) {
+    EXPECT_TRUE(h->version_ambiguous);
+    EXPECT_EQ(h->unique_matches, 0u);
+    EXPECT_GT(h->matched_functions, 0u);
+    EXPECT_LT(h->matched_functions, h->total_functions);
+  }
+  // Both candidates matched exactly the shared core.
+  EXPECT_EQ(v1->matched_names, v2->matched_names);
+}
+
+// ---------------------------------------------------------------------------
+// Verifier: the components lint pass
+// ---------------------------------------------------------------------------
+
+TEST(VerifyComponents, RiskyMatchIsAWarning) {
+  const components::LibraryRegistry registry = core::build_sdk_registry();
+  const fw::FirmwareImage image = sdk_image(4);  // libtoken carrier
+  const ir::Program* prog = device_cloud_program(image);
+  ASSERT_NE(prog, nullptr);
+
+  analysis::verify::Verifier::Options options;
+  options.component_registry = &registry;
+  const analysis::verify::LintReport report =
+      analysis::verify::Verifier(options).run(*prog);
+
+  bool flagged = false;
+  for (const analysis::verify::Diagnostic& d : report.diagnostics)
+    if (d.pass == "components" &&
+        d.message.find("risky-component-match: libtoken") !=
+            std::string::npos) {
+      EXPECT_EQ(d.severity, analysis::verify::Severity::Warning);
+      flagged = true;
+    }
+  EXPECT_TRUE(flagged);
+  // Advisory only: the program still lints clean at the error level.
+  EXPECT_TRUE(report.clean());
+}
+
+TEST(VerifyComponents, VersionAmbiguityIsANote) {
+  const components::LibraryRegistry registry = core::build_sdk_registry();
+  const fw::FirmwareImage image = sdk_image(7);  // shared-core-only
+  const ir::Program* prog = device_cloud_program(image);
+  ASSERT_NE(prog, nullptr);
+
+  analysis::verify::Verifier::Options options;
+  options.component_registry = &registry;
+  const analysis::verify::LintReport report =
+      analysis::verify::Verifier(options).run(*prog);
+
+  int notes = 0;
+  for (const analysis::verify::Diagnostic& d : report.diagnostics)
+    if (d.pass == "components" &&
+        d.message.find("version-ambiguous-component-match") !=
+            std::string::npos) {
+      EXPECT_EQ(d.severity, analysis::verify::Severity::Note);
+      ++notes;
+    }
+  EXPECT_EQ(notes, 2);  // one per unpinnable vendorsdk version
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline: byte-identity contract and provenance annotation
+// ---------------------------------------------------------------------------
+
+TEST(PipelineComponents, RegistryRunIsByteIdenticalModuloNewBlocks) {
+  const components::LibraryRegistry registry = core::build_sdk_registry();
+  const fw::FirmwareImage image = sdk_image(4);
+
+  const core::DeviceAnalysis plain = core::Pipeline(kModel).analyze(image);
+  core::Pipeline::Options options;
+  options.registry = &registry;
+  const core::DeviceAnalysis with_registry =
+      core::Pipeline(kModel, options).analyze(image);
+
+  EXPECT_TRUE(plain.components.empty());
+  EXPECT_FALSE(with_registry.components.empty());
+  // Stripping exactly the inventory and the registry_components provenance
+  // annotations recovers the registry-less report, byte for byte — the
+  // substitution changed where values came from, never what they are.
+  EXPECT_EQ(report_dump(plain),
+            report_dump(scrub_registry_blocks(with_registry)));
+}
+
+TEST(PipelineComponents, RegistryRunsAreJobCountInvariant) {
+  const components::LibraryRegistry registry = core::build_sdk_registry();
+  std::vector<fw::FirmwareImage> corpus;
+  corpus.push_back(sdk_image(4));
+  corpus.push_back(sdk_image(7));
+
+  core::Pipeline::Options options;
+  options.registry = &registry;
+  const core::Pipeline pipeline(kModel, options);
+  core::CorpusRunner::Options serial_jobs;
+  serial_jobs.jobs = 1;
+  core::CorpusRunner::Options pooled_jobs;
+  pooled_jobs.jobs = 4;
+  const core::CorpusResult serial =
+      core::CorpusRunner(pipeline, serial_jobs).run(corpus);
+  const core::CorpusResult pooled =
+      core::CorpusRunner(pipeline, pooled_jobs).run(corpus);
+
+  ASSERT_EQ(serial.analyses.size(), pooled.analyses.size());
+  for (std::size_t i = 0; i < serial.analyses.size(); ++i)
+    EXPECT_EQ(report_dump(serial.analyses[i]), report_dump(pooled.analyses[i]));
+}
+
+TEST(PipelineComponents, MatchedTaintChainsCarryRegistryProvenance) {
+  // Register a device's own parameter-less field helpers (fetch_*) as a
+  // "library", then analyze a fresh synthesis of the same profile: fields
+  // whose taint walk descends through a matched helper must carry the
+  // registry label in provenance, so `firmres explain` can render
+  // "resolved via registry match".
+  const fw::FirmwareImage first = fw::synthesize(fw::profile_by_id(1));
+  const ir::Program* prog = device_cloud_program(first);
+  ASSERT_NE(prog, nullptr);
+  std::vector<std::string> helpers;
+  for (const ir::Function* fn : prog->local_functions())
+    if (fn->name().rfind("fetch_", 0) == 0) helpers.push_back(fn->name());
+  ASSERT_FALSE(helpers.empty());
+
+  components::LibraryRegistry registry;
+  registry.add_library(components::build_library_from_program(
+      *prog, "helperlib", "1.0", false, "", helpers));
+
+  const fw::FirmwareImage second = fw::synthesize(fw::profile_by_id(1));
+  core::Pipeline::Options options;
+  options.registry = &registry;
+  const core::DeviceAnalysis a =
+      core::Pipeline(kModel, options).analyze(second);
+
+  ASSERT_FALSE(a.components.empty());
+  EXPECT_EQ(a.components.front().name, "helperlib");
+  int annotated = 0;
+  for (const core::ReconstructedMessage& m : a.messages)
+    for (const core::ReconstructedField& f : m.fields)
+      for (const std::string& label : f.provenance.registry_components) {
+        EXPECT_NE(label.find("helperlib 1.0"), std::string::npos) << label;
+        ++annotated;
+      }
+  EXPECT_GT(annotated, 0);
+}
+
+}  // namespace
+}  // namespace firmres

@@ -1,0 +1,92 @@
+// Streaming-Hasher edge cases (support/hash.h). The Hasher mints the
+// content-addressed keys of the analysis cache and the component-registry
+// fingerprints, so its digests must be stable across processes, platforms,
+// and feed chunking — a silent change here invalidates every cache and
+// registry file in the field.
+#include "support/hash.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace firmres::support {
+namespace {
+
+TEST(Hasher, EmptyInputIsFnvOffsetBasis) {
+  // No feeds: the digest is the FNV-1a offset basis, same as fnv1a64("").
+  EXPECT_EQ(Hasher().digest(), fnv1a64(""));
+  EXPECT_EQ(Hasher().digest(), 0xcbf29ce484222325ULL);
+}
+
+TEST(Hasher, EmptyStringFeedIsNotANoop) {
+  // str("") feeds the length prefix, so it must differ from no feed at
+  // all — "zero fields" and "one empty field" are different contents.
+  EXPECT_NE(Hasher().str("").digest(), Hasher().digest());
+  EXPECT_EQ(Hasher().str("").digest(), Hasher().str("").digest());
+}
+
+TEST(Hasher, ChunkBoundariesDoNotAlias) {
+  // Length prefixes keep adjacent string feeds from aliasing: "ab"+"c",
+  // "a"+"bc", and "abc" are three different field layouts.
+  const std::uint64_t ab_c = Hasher().str("ab").str("c").digest();
+  const std::uint64_t a_bc = Hasher().str("a").str("bc").digest();
+  const std::uint64_t abc = Hasher().str("abc").digest();
+  EXPECT_NE(ab_c, a_bc);
+  EXPECT_NE(ab_c, abc);
+  EXPECT_NE(a_bc, abc);
+}
+
+TEST(Hasher, SameFeedSequenceIsDeterministic) {
+  // Identical feed sequences converge regardless of how the caller
+  // assembled the inputs (fresh temporaries, reused buffers, ...).
+  const std::string key = "device_cloud";
+  EXPECT_EQ(Hasher().str(key).u64(7).boolean(true).digest(),
+            Hasher().str("device_cloud").u64(7).boolean(true).digest());
+  EXPECT_EQ(Hasher().u8(0x61).u8(0x62).digest(),
+            Hasher().u8(0x61).u8(0x62).digest());
+}
+
+TEST(Hasher, FeedTypeIsPartOfTheContent) {
+  // u8('a') and str("a") must not collide: one is a fixed-width byte, the
+  // other a length-prefixed field.
+  EXPECT_NE(Hasher().u8('a').digest(), Hasher().str("a").digest());
+  // A bool is a u8, by definition of the encoding.
+  EXPECT_EQ(Hasher().boolean(true).digest(), Hasher().u8(1).digest());
+}
+
+TEST(Hasher, SeededDiffersFromUnseeded) {
+  EXPECT_NE(Hasher(0x1ULL).digest(), Hasher().digest());
+  EXPECT_NE(Hasher(0x1ULL).str("x").digest(), Hasher().str("x").digest());
+  EXPECT_NE(Hasher(0x1ULL).digest(), Hasher(0x2ULL).digest());
+  // Seeding with v must equal feeding v first — the documented encoding.
+  EXPECT_EQ(Hasher(0x5dULL).digest(), Hasher().u64(0x5dULL).digest());
+}
+
+TEST(Hasher, GoldenDigestsAreCrossProcessStable) {
+  // Hard-coded digests computed independently of this implementation.
+  // These pin the on-disk key format: cache entries and registry
+  // fingerprints written by one build must be readable by the next.
+  EXPECT_EQ(fnv1a64("firmres"), 0xe15a560775891e85ULL);
+  EXPECT_EQ(Hasher().u64(0x1234).digest(), 0x07b32d0dc6fdf72bULL);
+  EXPECT_EQ(Hasher().str("firmres").digest(), 0xaf92857dffb43d90ULL);
+  EXPECT_EQ(Hasher(0xdeadbeefULL).str("device").u64(42).digest(),
+            0x4832fb550e0d48d1ULL);
+}
+
+TEST(Hasher, ConstexprUsable) {
+  // Keys are minted in constant expressions (salts, static tables).
+  constexpr std::uint64_t digest = Hasher(0x10ULL).u64(2).digest();
+  static_assert(digest != 0, "constexpr digest");
+  EXPECT_EQ(digest, Hasher(0x10ULL).u64(2).digest());
+}
+
+TEST(Hasher, F64UsesBitPattern) {
+  // 0.0 and -0.0 compare equal as doubles but are different bit patterns —
+  // the hash must distinguish them (a threshold nudged by one ulp must
+  // produce a new key).
+  EXPECT_NE(Hasher().f64(0.0).digest(), Hasher().f64(-0.0).digest());
+  EXPECT_EQ(Hasher().f64(0.3).digest(), Hasher().f64(0.3).digest());
+}
+
+}  // namespace
+}  // namespace firmres::support

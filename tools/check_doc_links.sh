@@ -4,7 +4,9 @@
 # Scans every tracked *.md file for inline links and verifies that each
 # relative target exists (anchors and line-number suffixes stripped).
 # External links (http/https/mailto) are skipped — CI must not depend on
-# network reachability. Exits non-zero listing every broken link.
+# network reachability. Also verifies that every docs/*.md page is linked
+# from the docs/README.md index, so deep-dives cannot silently drop off
+# the map. Exits non-zero listing every broken link / unindexed page.
 #
 #   tools/check_doc_links.sh [repo-root]
 set -euo pipefail
@@ -40,8 +42,22 @@ while IFS= read -r file; do
   done < <(grep -oE '\]\(([^()]+)\)' "$file" | sed -E 's/^\]\(//; s/\)$//')
 done < <(git ls-files '*.md')
 
-if [[ $broken -gt 0 ]]; then
-  echo "check_doc_links: $broken broken link(s) out of $checked checked" >&2
+# Every docs page must appear in the docs/README.md index.
+unindexed=0
+if [[ -f docs/README.md ]]; then
+  while IFS= read -r page; do
+    leaf=$(basename "$page")
+    [[ "$leaf" = README.md ]] && continue
+    if ! grep -qF "($leaf)" docs/README.md; then
+      echo "docs/README.md: missing index entry for docs/$leaf" >&2
+      unindexed=$((unindexed + 1))
+    fi
+  done < <(git ls-files 'docs/*.md')
+fi
+
+if [[ $broken -gt 0 || $unindexed -gt 0 ]]; then
+  echo "check_doc_links: $broken broken link(s) out of $checked checked," \
+       "$unindexed unindexed docs page(s)" >&2
   exit 1
 fi
-echo "check_doc_links: $checked relative link(s) OK"
+echo "check_doc_links: $checked relative link(s) OK, docs index complete"

@@ -1,11 +1,14 @@
 // firmres — command-line front end.
 //
-//   firmres synth <dir> [--device N]      synthesize corpus/device image(s)
+//   firmres synth <dir> [--device N] [--sdk] [--sdk-registry <path>]
+//                                         synthesize corpus/device image(s)
 //   firmres analyze <image-dir>... [--json]
 //                                         run the pipeline on saved image(s)
 //   firmres lint <image-dir>... [--json] [--werror]
 //                                         verify/lint the lifted executables
 //   firmres hunt <image-dir>...           probe clouds, report vulnerabilities
+//   firmres components <registry> <image-dir>... [--json]
+//                                         inventory known library components
 //   firmres serve [--jobs N]              long-running analysis service on
 //                                         stdin/stdout (docs/CACHING.md)
 //   firmres explain <report.json> --device N [--field K]
@@ -40,6 +43,8 @@
 
 #include <memory>
 
+#include "analysis/components/matcher.h"
+#include "analysis/components/registry.h"
 #include "analysis/valueflow/valueflow.h"
 #include "analysis/verify/verifier.h"
 #include "cloud/vuln_hunter.h"
@@ -48,6 +53,7 @@
 #include "core/explain.h"
 #include "core/pipeline.h"
 #include "core/report.h"
+#include "core/sdk_registry.h"
 #include "core/serve.h"
 #include "firmware/serializer.h"
 #include "firmware/synthesizer.h"
@@ -77,8 +83,10 @@ int usage() {
                "  firmres lint <image-dir>... [--json] [--werror] [--jobs N]\n"
                "  firmres hunt <image-dir>... [--jobs N] [--progress]\n"
                "  firmres serve [--jobs N] [--model <path>] [--stream-events]\n"
+               "  firmres components <registry> <image-dir>... [--json]\n"
                "  firmres explain <report.json> --device N [--field K]\n"
-               "  firmres synth <dir> [--device N]\n"
+               "  firmres synth <dir> [--device N] [--sdk] "
+               "[--sdk-registry <path>]\n"
                "  firmres ir <image-dir> <exec-path>\n"
                "  firmres train <model.json> [devices] [epochs]\n"
                "  firmres corpus\n"
@@ -101,6 +109,14 @@ int usage() {
                "                        byte-identical to uncached runs)\n"
                "  --cache-stats         print the cache hit/miss summary to\n"
                "                        stderr when the command finishes\n"
+               "\n"
+               "analyze/hunt/serve/lint take --registry <path> to match\n"
+               "executables against a component registry\n"
+               "(docs/COMPONENTS.md): matched library functions reuse their\n"
+               "certified summaries, the report gains a `components`\n"
+               "inventory, and lint flags risky/ambiguous components. synth\n"
+               "--sdk writes the shared-library corpus; synth --sdk-registry\n"
+               "<path> writes the matching registry file.\n"
                "\n"
                "serve reads one command per line from stdin (`analyze\n"
                "<image-dir>...`, `ping`, `quit`) and streams one JSON object\n"
@@ -197,6 +213,36 @@ CacheFlags take_cache_flags(std::vector<std::string>& args) {
     options.dir = *dir;
     flags.cache = std::make_unique<core::AnalysisCache>(options);
   }
+  return flags;
+}
+
+/// The consumed --registry flag: a loaded component registry
+/// (docs/COMPONENTS.md), or null. A registry that fails to load degrades
+/// to analysis without component matching — a logged warning, never an
+/// abort — so a corrupt registry file can never take a device run down.
+struct RegistryFlags {
+  std::unique_ptr<analysis::components::LibraryRegistry> registry;
+};
+
+RegistryFlags take_registry_flag(std::vector<std::string>& args) {
+  RegistryFlags flags;
+  const std::optional<std::string> path =
+      take_value_flag(args, "--registry");
+  if (!path.has_value()) return flags;
+  std::string error;
+  std::optional<analysis::components::LibraryRegistry> loaded =
+      analysis::components::LibraryRegistry::load(*path, &error);
+  if (!loaded.has_value()) {
+    support::events::emit_log(support::events::Severity::Warn,
+                              "registry " + *path + " unusable: " + error +
+                                  " — continuing without component matching");
+    return flags;
+  }
+  for (const std::string& warning : loaded->warnings())
+    support::events::emit_log(support::events::Severity::Warn,
+                              "registry " + *path + ": " + warning);
+  flags.registry = std::make_unique<analysis::components::LibraryRegistry>(
+      std::move(*loaded));
   return flags;
 }
 
@@ -313,11 +359,30 @@ int cmd_synth(std::vector<std::string> args) {
   int only_device = 0;
   if (const auto device = take_value_flag(args, "--device"))
     only_device = std::atoi(device->c_str());
+  const bool sdk = take_flag(args, "--sdk");
+  const std::optional<std::string> registry_path =
+      take_value_flag(args, "--sdk-registry");
   if (!reject_unknown_flags("synth", args)) return kExitUnknownFlag;
+  if (registry_path.has_value()) {
+    // Certify the vendor-SDK templates into a registry file — the offline
+    // step matching the --sdk corpus (docs/COMPONENTS.md).
+    const analysis::components::LibraryRegistry registry =
+        core::build_sdk_registry();
+    const std::string error = registry.save(*registry_path);
+    if (!error.empty()) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 1;
+    }
+    std::printf("wrote %s (%zu libraries, %zu functions)\n",
+                registry_path->c_str(), registry.libraries().size(),
+                registry.total_functions());
+    if (args.empty()) return 0;  // registry-only invocation
+  }
   if (args.empty()) return usage();
   const fsys::path base = args[0];
   int written = 0;
-  for (const fw::DeviceProfile& profile : fw::standard_corpus()) {
+  for (const fw::DeviceProfile& profile :
+       sdk ? fw::sdk_corpus() : fw::standard_corpus()) {
     if (only_device != 0 && profile.id != only_device) continue;
     const fw::FirmwareImage image = fw::synthesize(profile);
     const fsys::path dir =
@@ -339,6 +404,12 @@ void print_analysis(const fw::FirmwareImage& image,
                     const core::DeviceAnalysis& analysis) {
   std::printf("image: %s %s (device %d)\n", image.profile.vendor.c_str(),
               image.profile.model.c_str(), image.profile.id);
+  for (const analysis::components::ComponentHit& hit : analysis.components)
+    std::printf("component: %s %s — %zu/%zu functions matched%s%s\n",
+                hit.name.c_str(), hit.version.c_str(), hit.matched_functions,
+                hit.total_functions,
+                hit.version_ambiguous ? " [version ambiguous]" : "",
+                hit.risky ? (" [RISKY: " + hit.risk_note + "]").c_str() : "");
   if (analysis.device_cloud_executable.empty()) {
     std::printf("no device-cloud executable identified\n");
     return;
@@ -370,6 +441,7 @@ int cmd_analyze(std::vector<std::string> args) {
       take_value_flag(args, "--model").value_or("");
   const CacheFlags cache = take_cache_flags(args);
   const ObsWriter obs(args);
+  const RegistryFlags registry = take_registry_flag(args);
   if (!reject_unknown_flags("analyze", args)) return kExitUnknownFlag;
   if (args.empty()) return usage();
 
@@ -382,6 +454,7 @@ int cmd_analyze(std::vector<std::string> args) {
                         : keyword_model;
   core::Pipeline::Options pipeline_options;
   pipeline_options.cache = cache.cache.get();
+  pipeline_options.registry = registry.registry.get();
   const core::Pipeline pipeline(model, pipeline_options);
 
   if (args.size() == 1) {
@@ -451,6 +524,7 @@ int cmd_hunt(std::vector<std::string> args) {
   const bool progress = take_flag(args, "--progress");
   const CacheFlags cache = take_cache_flags(args);
   const ObsWriter obs(args);
+  const RegistryFlags registry = take_registry_flag(args);
   if (!reject_unknown_flags("hunt", args)) return kExitUnknownFlag;
   if (args.empty()) return usage();
   std::vector<fw::FirmwareImage> images;
@@ -467,6 +541,7 @@ int cmd_hunt(std::vector<std::string> args) {
   const core::KeywordModel model;
   core::Pipeline::Options pipeline_options;
   pipeline_options.cache = cache.cache.get();
+  pipeline_options.registry = registry.registry.get();
   const core::Pipeline pipeline(model, pipeline_options);
   core::CorpusRunner::Options runner_options{.jobs = jobs};
   if (progress) runner_options.on_device_done = print_progress;
@@ -506,6 +581,7 @@ int cmd_serve(std::vector<std::string> args) {
       take_value_flag(args, "--model").value_or("");
   const CacheFlags cache = take_cache_flags(args);
   const ObsWriter obs(args);
+  const RegistryFlags registry = take_registry_flag(args);
   if (!reject_unknown_flags("serve", args)) return kExitUnknownFlag;
   if (!args.empty()) return usage();  // image paths arrive over stdin
 
@@ -518,6 +594,7 @@ int cmd_serve(std::vector<std::string> args) {
 
   core::Pipeline::Options pipeline_options;
   pipeline_options.cache = cache.cache.get();
+  pipeline_options.registry = registry.registry.get();
   core::ServeSession::Options serve_options;
   serve_options.jobs = jobs;
   serve_options.stream_events = stream_events;
@@ -536,6 +613,7 @@ int cmd_lint(std::vector<std::string> args) {
   const bool json = take_flag(args, "--json");
   const bool werror = take_flag(args, "--werror");
   const ObsWriter obs(args);
+  const RegistryFlags registry = take_registry_flag(args);
   if (!reject_unknown_flags("lint", args)) return kExitUnknownFlag;
   if (args.empty()) return usage();
 
@@ -543,7 +621,9 @@ int cmd_lint(std::vector<std::string> args) {
   if (jobs > 1)
     pool = std::make_unique<support::ThreadPool>(
         static_cast<std::size_t>(jobs));
-  const analysis::verify::Verifier verifier;
+  analysis::verify::Verifier::Options verifier_options;
+  verifier_options.component_registry = registry.registry.get();
+  const analysis::verify::Verifier verifier(verifier_options);
 
   bool all_clean = true;
   std::size_t errors = 0, warnings = 0, notes = 0, programs = 0;
@@ -611,6 +691,68 @@ int cmd_lint(std::vector<std::string> args) {
                           static_cast<double>(indirect_total));
   }
   return all_clean ? 0 : 1;
+}
+
+/// Fingerprint-match every executable of the given images against a
+/// component registry and print the per-device inventory — no pipeline
+/// run, no ground truth needed (docs/COMPONENTS.md). Exit 0 on success
+/// (whatever was matched), 1 on an unusable registry or image.
+int cmd_components(std::vector<std::string> args) {
+  const bool json = take_flag(args, "--json");
+  if (!reject_unknown_flags("components", args)) return kExitUnknownFlag;
+  if (args.size() < 2) return usage();
+
+  std::string error;
+  const std::optional<analysis::components::LibraryRegistry> registry =
+      analysis::components::LibraryRegistry::load(args[0], &error);
+  if (!registry.has_value()) {
+    std::fprintf(stderr, "cannot load registry %s: %s\n", args[0].c_str(),
+                 error.c_str());
+    return 1;
+  }
+  for (const std::string& warning : registry->warnings())
+    std::fprintf(stderr, "registry warning: %s\n", warning.c_str());
+
+  support::JsonArray json_devices;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const fw::FirmwareImage image = fw::load_image(args[i]);
+    std::vector<analysis::components::MatchResult> results;
+    for (const fw::FirmwareFile& file : image.files) {
+      if (file.kind != fw::FirmwareFile::Kind::Executable ||
+          file.program == nullptr)
+        continue;
+      results.push_back(
+          analysis::components::match_program(*file.program, *registry));
+    }
+    std::vector<const analysis::components::MatchResult*> views;
+    for (const analysis::components::MatchResult& r : results)
+      views.push_back(&r);
+    const std::vector<analysis::components::ComponentHit> inventory =
+        analysis::components::component_inventory(*registry, views);
+    if (json) {
+      support::JsonObject obj;
+      obj.emplace_back("image", args[i]);
+      obj.emplace_back("device", image.profile.id);
+      obj.emplace_back("components", core::components_to_json(inventory));
+      json_devices.push_back(support::Json(std::move(obj)));
+      continue;
+    }
+    std::printf("%s (device %d):\n", args[i].c_str(), image.profile.id);
+    if (inventory.empty()) std::printf("  no known components matched\n");
+    for (const analysis::components::ComponentHit& hit : inventory) {
+      std::printf("  %s %s — %zu/%zu functions matched, %zu unique%s%s\n",
+                  hit.name.c_str(), hit.version.c_str(),
+                  hit.matched_functions, hit.total_functions,
+                  hit.unique_matches,
+                  hit.version_ambiguous ? " [version ambiguous]" : "",
+                  hit.risky ? (" [RISKY: " + hit.risk_note + "]").c_str()
+                            : "");
+    }
+  }
+  if (json)
+    std::printf("%s\n",
+                support::Json(std::move(json_devices)).dump(true).c_str());
+  return 0;
 }
 
 /// Render root-to-leaf field derivations from a saved report JSON; no
@@ -685,6 +827,7 @@ int main(int argc, char** argv) {
     if (cmd == "lint") return cmd_lint(args);
     if (cmd == "hunt") return cmd_hunt(args);
     if (cmd == "serve") return cmd_serve(args);
+    if (cmd == "components") return cmd_components(args);
     if (cmd == "explain") return cmd_explain(args);
     if (cmd == "ir") return cmd_ir(args);
     if (cmd == "train") return cmd_train(args);
