@@ -159,6 +159,48 @@ void print_sdk_dedup(const std::string& baseline_json,
           counter_value(snap, "valueflow.substituted_functions")));
 }
 
+// Memory def-use visibility: the memory-staging corpus routes message
+// fields through global/heap cells that separate writer functions fill
+// (docs/POINTSTO.md). The per-device columns come from the report's
+// memory_flow block; the work counters re-read the registry's pointsto.*
+// Work metrics, so the two sources must agree.
+void print_memory_flow() {
+  const core::KeywordModel model;
+  support::metrics::reset_all();
+  const bench::CorpusRun run = bench::run_custom_corpus(
+      fw::synthesize_memory_corpus(), model, core::Pipeline::Options{});
+  const support::metrics::Snapshot snap = support::metrics::snapshot(false);
+
+  std::printf("MEMORY FLOW (points-to over %zu memory-staging images)\n",
+              run.corpus.size());
+  bench::print_rule();
+  std::printf("%-6s %-8s %-10s %-11s %-8s %-13s %-9s\n", "Device", "loads",
+              "resolved", "via-stores", "stores", "never-loaded", "mem-term");
+  bench::print_rule();
+  for (const auto& a : run.analyses) {
+    if (a.device_cloud_executable.empty()) continue;
+    const auto& mf = a.memory_flow;
+    std::printf("%-6d %-8llu %-10llu %-11llu %-8llu %-13llu %-9d\n",
+                a.device_id, static_cast<unsigned long long>(mf.loads_total),
+                static_cast<unsigned long long>(mf.loads_resolved),
+                static_cast<unsigned long long>(mf.loads_with_stores),
+                static_cast<unsigned long long>(mf.stores_total),
+                static_cast<unsigned long long>(mf.stores_never_loaded),
+                a.memory_terminations);
+  }
+  bench::print_rule();
+  std::printf(
+      "work counters (registry): %llu points-to solves, %llu/%llu loads "
+      "resolved, %llu stores indexed\n\n",
+      static_cast<unsigned long long>(counter_value(snap, "pointsto.solves")),
+      static_cast<unsigned long long>(
+          counter_value(snap, "pointsto.loads_resolved")),
+      static_cast<unsigned long long>(
+          counter_value(snap, "pointsto.loads_total")),
+      static_cast<unsigned long long>(
+          counter_value(snap, "pointsto.stores_total")));
+}
+
 // Corpus-level parallel fan-out: wall clock vs. CPU time per job count.
 // The analyses are bit-identical across job counts (CorpusRunner's
 // determinism guarantee); only the wall clock should move. Speedup is
@@ -258,6 +300,7 @@ int main(int argc, char** argv) {
   const std::string sdk_registry_json =
       bench::take_value_flag(argc, argv, "--sdk-registry-json");
   print_perf();
+  print_memory_flow();
   print_parallel_speedup();
   print_sdk_dedup(sdk_json, sdk_registry_json);
   if (!json_path.empty()) {

@@ -1,0 +1,594 @@
+#include "analysis/pointsto/pointsto.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "ir/library.h"
+#include "support/hash.h"
+#include "support/observability/metrics.h"
+#include "support/observability/trace.h"
+#include "support/strings.h"
+
+namespace firmres::analysis::pointsto {
+
+namespace {
+
+// Points-to counters (Work-kind: the solve is byte-identical at any thread
+// count, so these are too — docs/OBSERVABILITY.md).
+support::metrics::Counter g_pt_solves("pointsto.solves",
+                                      support::metrics::Kind::Work);
+support::metrics::Counter g_pt_loads("pointsto.loads_total",
+                                     support::metrics::Kind::Work);
+support::metrics::Counter g_pt_loads_resolved("pointsto.loads_resolved",
+                                              support::metrics::Kind::Work);
+support::metrics::Counter g_pt_stores("pointsto.stores_total",
+                                      support::metrics::Kind::Work);
+
+/// One unification constraint, extracted syntactically from a single op.
+/// Generation is per-function and embarrassingly parallel; application is
+/// sequential (the deterministic merge).
+struct Constraint {
+  enum class Kind : std::uint8_t {
+    AddrOf,        ///< deref(node(dst)) gains `loc` (dst holds its address)
+    Assign,        ///< node(dst) ≡ node(src)
+    Load,          ///< node(dst) ≡ deref(node(src)); `op` is the Load
+    Store,         ///< deref(node(dst)) ≡ node(src); `op` is the Store
+    Alloc,         ///< deref(node(dst)) gains HeapLoc(op->address)
+    SummaryWrite,  ///< deref(node(dst)) written by a modelled library call
+    Bottom,        ///< deref(node(dst)) reachable by unknown code: ⊥
+    CallBind,      ///< bind op's actuals/output to callee params/returns
+  };
+  Kind kind;
+  ir::VarNode dst{};
+  ir::VarNode src{};
+  AbsLoc loc{};
+  const ir::PcodeOp* op = nullptr;
+  const ir::Function* callee = nullptr;
+};
+
+/// Per-function generation output.
+struct FnConstraints {
+  std::vector<Constraint> list;
+  /// Entry addresses registered as event callbacks through constant
+  /// operands — their parameters come from the event loop, not any visible
+  /// callsite.
+  std::vector<std::uint64_t> registered;
+};
+
+bool is_value_var(const ir::VarNode& v) {
+  return v.space == ir::Space::Register || v.space == ir::Space::Unique ||
+         v.space == ir::Space::Stack;
+}
+
+/// Extract the constraints of one function. Pure syntactic scan — reads
+/// only the (immutable) program, so it is safe to fan out across threads.
+void generate(const ir::Program& program, const ir::Function& fn,
+              FnConstraints& out) {
+  const ir::LibraryModel& lib = ir::LibraryModel::instance();
+  std::set<ir::VarNode> stack_seen;
+  const auto add = [&out](Constraint c) { out.list.push_back(std::move(c)); };
+  // Every stack slot is its own address: the IR uses one varnode for both
+  // the buffer cell and the pointer passed to callees (§IV-B summaries).
+  const auto note_stack = [&](const ir::VarNode& v) {
+    if (v.space == ir::Space::Stack && stack_seen.insert(v).second)
+      add({.kind = Constraint::Kind::AddrOf,
+           .dst = v,
+           .loc = AbsLoc{AbsLoc::Kind::Stack, fn.entry_address(), v.offset}});
+  };
+  const auto global_of = [](const ir::VarNode& v) {
+    return AbsLoc{AbsLoc::Kind::Global, 0, v.offset};
+  };
+
+  for (const ir::PcodeOp* op : fn.ops_in_order()) {
+    for (const ir::VarNode& in : op->inputs) note_stack(in);
+    if (op->output.has_value()) note_stack(*op->output);
+    const auto in_at = [&](std::size_t i) -> const ir::VarNode* {
+      return i < op->inputs.size() ? &op->inputs[i] : nullptr;
+    };
+
+    switch (op->opcode) {
+      case ir::OpCode::Load: {
+        const ir::VarNode* addr = in_at(0);
+        if (addr == nullptr || !op->output.has_value()) break;
+        if (addr->is_constant() || addr->is_ram())
+          add({.kind = Constraint::Kind::AddrOf,
+               .dst = *addr,
+               .loc = global_of(*addr)});
+        add({.kind = Constraint::Kind::Load,
+             .dst = *op->output,
+             .src = *addr,
+             .op = op});
+        break;
+      }
+      case ir::OpCode::Store: {
+        const ir::VarNode* addr = in_at(0);
+        const ir::VarNode* val = in_at(1);
+        if (addr == nullptr || val == nullptr) break;
+        if (addr->is_constant() || addr->is_ram())
+          add({.kind = Constraint::Kind::AddrOf,
+               .dst = *addr,
+               .loc = global_of(*addr)});
+        // A constant stored into memory may be a pointer: give it a global
+        // identity so a later double-load resolves through it.
+        if (val->is_constant())
+          add({.kind = Constraint::Kind::AddrOf,
+               .dst = *val,
+               .loc = global_of(*val)});
+        add({.kind = Constraint::Kind::Store,
+             .dst = *addr,
+             .src = *val,
+             .op = op});
+        break;
+      }
+      case ir::OpCode::Copy:
+      case ir::OpCode::Cast: {
+        const ir::VarNode* src = in_at(0);
+        if (src == nullptr || !op->output.has_value()) break;
+        if (src->is_constant()) {
+          // Copying a constant address: track it, then flow as usual.
+          add({.kind = Constraint::Kind::AddrOf,
+               .dst = *src,
+               .loc = global_of(*src)});
+          add({.kind = Constraint::Kind::Assign,
+               .dst = *op->output,
+               .src = *src});
+        } else if (is_value_var(*src)) {
+          add({.kind = Constraint::Kind::Assign,
+               .dst = *op->output,
+               .src = *src});
+        }
+        break;
+      }
+      case ir::OpCode::Piece:
+      case ir::OpCode::SubPiece:
+      case ir::OpCode::PtrAdd:
+      case ir::OpCode::PtrSub: {
+        // Constant-offset arithmetic stays within the pointed-to object
+        // (field-offset awareness lives in the location identities, not
+        // here): the result aliases the base pointer's class.
+        if (!op->output.has_value()) break;
+        const ir::VarNode* base = in_at(0);
+        const ir::VarNode* off = in_at(1);
+        if (base != nullptr && base->is_constant() && off != nullptr &&
+            off->is_constant() &&
+            (op->opcode == ir::OpCode::PtrAdd ||
+             op->opcode == ir::OpCode::PtrSub)) {
+          const std::uint64_t target = op->opcode == ir::OpCode::PtrAdd
+                                           ? base->offset + off->offset
+                                           : base->offset - off->offset;
+          add({.kind = Constraint::Kind::AddrOf,
+               .dst = *op->output,
+               .loc = AbsLoc{AbsLoc::Kind::Global, 0, target}});
+          break;
+        }
+        if (base != nullptr && is_value_var(*base))
+          add({.kind = Constraint::Kind::Assign,
+               .dst = *op->output,
+               .src = *base});
+        if (op->opcode == ir::OpCode::Piece && off != nullptr &&
+            is_value_var(*off))
+          add({.kind = Constraint::Kind::Assign,
+               .dst = *op->output,
+               .src = *off});
+        break;
+      }
+      case ir::OpCode::Call: {
+        const ir::Function* callee = program.function(op->callee);
+        if (callee != nullptr && !callee->is_import()) {
+          add({.kind = Constraint::Kind::CallBind, .op = op,
+               .callee = callee});
+          break;
+        }
+        const ir::LibFunction* f = lib.find(op->callee);
+        if (f == nullptr) {
+          // Unknown import: every argument (and the result) escapes —
+          // whatever they point at may be rewritten behind our back.
+          for (const ir::VarNode& in : op->inputs)
+            if (is_value_var(in) || in.is_constant())
+              add({.kind = Constraint::Kind::Bottom, .dst = in});
+          if (op->output.has_value())
+            add({.kind = Constraint::Kind::Bottom, .dst = *op->output});
+          break;
+        }
+        if (f->kind == ir::LibKind::Alloc) {
+          if (op->output.has_value() && f->name != "free")
+            add({.kind = Constraint::Kind::Alloc,
+                 .dst = *op->output,
+                 .op = op});
+          break;
+        }
+        if (f->summary.dst >= 0) {
+          if (const ir::VarNode* dst =
+                  in_at(static_cast<std::size_t>(f->summary.dst)))
+            add({.kind = Constraint::Kind::SummaryWrite, .dst = *dst});
+        }
+        if (f->recv_buf_arg >= 0) {
+          if (const ir::VarNode* buf =
+                  in_at(static_cast<std::size_t>(f->recv_buf_arg)))
+            add({.kind = Constraint::Kind::SummaryWrite, .dst = *buf});
+        }
+        if (op->output.has_value()) {
+          // A modelled call's result has known provenance; its pointees'
+          // contents flow through the summary (nvram_get, strdup, …).
+          add({.kind = Constraint::Kind::SummaryWrite, .dst = *op->output});
+          if (f->kind == ir::LibKind::StringOp && f->summary.dst < 0)
+            add({.kind = Constraint::Kind::Alloc,
+                 .dst = *op->output,
+                 .op = op});
+        }
+        if (f->kind == ir::LibKind::EventReg && f->callback_arg >= 0) {
+          const ir::VarNode* cb =
+              in_at(static_cast<std::size_t>(f->callback_arg));
+          if (cb != nullptr && cb->is_constant())
+            out.registered.push_back(cb->offset);
+        }
+        break;
+      }
+      case ir::OpCode::CallInd: {
+        // Unresolved at this stage (points-to runs before ValueFlow):
+        // arguments escape, the result is unknown.
+        for (std::size_t i = 1; i < op->inputs.size(); ++i)
+          if (is_value_var(op->inputs[i]) || op->inputs[i].is_constant())
+            add({.kind = Constraint::Kind::Bottom, .dst = op->inputs[i]});
+        if (op->output.has_value())
+          add({.kind = Constraint::Kind::Bottom, .dst = *op->output});
+        break;
+      }
+      default:
+        break;  // arithmetic/compares/branches carry no pointers we track
+    }
+  }
+}
+
+/// Union-find over value classes, with one pointee edge per class
+/// (Steensgaard's ref component) and location membership / ⊥ / summary
+/// flags carried on the class. Node ids are assigned in sequential
+/// application order and roots are always the smallest id in the class, so
+/// the final structure is a pure function of the constraint stream.
+class Solver {
+ public:
+  int fresh() {
+    const int id = static_cast<int>(parent_.size());
+    parent_.push_back(id);
+    pointee_.push_back(-1);
+    locs_.emplace_back();
+    bottom_.push_back(false);
+    summary_.push_back(false);
+    return id;
+  }
+
+  int find(int n) {
+    while (parent_[n] != n) {
+      parent_[n] = parent_[parent_[n]];
+      n = parent_[n];
+    }
+    return n;
+  }
+
+  int node_of(const ir::Function* fn, const ir::VarNode& v) {
+    if (v.is_constant()) {
+      const auto [it, inserted] = const_nodes_.try_emplace(v.offset, -1);
+      if (inserted) it->second = fresh();
+      return it->second;
+    }
+    if (v.is_ram()) {
+      const auto [it, inserted] = ram_nodes_.try_emplace(v.offset, -1);
+      if (inserted) it->second = fresh();
+      return it->second;
+    }
+    const auto [it, inserted] = var_nodes_.try_emplace({fn, v}, -1);
+    if (inserted) it->second = fresh();
+    return it->second;
+  }
+
+  /// The content class of one abstract location.
+  int node_of_loc(const AbsLoc& loc) {
+    const auto [it, inserted] = loc_nodes_.try_emplace(loc, -1);
+    if (inserted) {
+      const int id = fresh();
+      locs_[id].push_back(static_cast<int>(loc_table_.size()));
+      loc_table_.push_back(loc);
+      it->second = id;
+    }
+    return it->second;
+  }
+
+  int deref(int n) {
+    const int r = find(n);
+    if (pointee_[r] == -1) pointee_[r] = fresh();
+    return find(pointee_[r]);
+  }
+
+  void unify(int a, int b) {
+    std::vector<std::pair<int, int>> work{{a, b}};
+    while (!work.empty()) {
+      auto [x, y] = work.back();
+      work.pop_back();
+      x = find(x);
+      y = find(y);
+      if (x == y) continue;
+      if (x > y) std::swap(x, y);  // smallest id is the representative
+      parent_[y] = x;
+      locs_[x].insert(locs_[x].end(), locs_[y].begin(), locs_[y].end());
+      locs_[y].clear();
+      if (bottom_[y]) bottom_[x] = true;
+      if (summary_[y]) summary_[x] = true;
+      if (pointee_[x] == -1)
+        pointee_[x] = pointee_[y];
+      else if (pointee_[y] != -1)
+        work.emplace_back(pointee_[x], pointee_[y]);
+    }
+  }
+
+  void set_bottom(int n) { bottom_[find(n)] = true; }
+  void set_summary(int n) { summary_[find(n)] = true; }
+
+  /// ⊥ is transitive through memory: pointers stored in a poisoned cell may
+  /// be overwritten, so the cells *they* reference are poisoned too.
+  void propagate_bottom() {
+    std::vector<int> work;
+    for (int r = 0; r < static_cast<int>(parent_.size()); ++r)
+      if (parent_[r] == r && bottom_[r]) work.push_back(r);
+    while (!work.empty()) {
+      const int r = work.back();
+      work.pop_back();
+      if (pointee_[r] == -1) continue;
+      const int d = find(pointee_[r]);
+      if (!bottom_[d]) {
+        bottom_[d] = true;
+        work.push_back(d);
+      }
+    }
+  }
+
+  bool bottom(int root) const { return bottom_[root]; }
+  bool summary(int root) const { return summary_[root]; }
+  const std::vector<int>& loc_ids(int root) const { return locs_[root]; }
+  const AbsLoc& loc_at(int id) const {
+    return loc_table_[static_cast<std::size_t>(id)];
+  }
+  std::size_t location_count() const { return loc_table_.size(); }
+
+ private:
+  std::vector<int> parent_;
+  std::vector<int> pointee_;
+  std::vector<std::vector<int>> locs_;
+  std::vector<bool> bottom_;
+  std::vector<bool> summary_;
+  std::map<std::pair<const ir::Function*, ir::VarNode>, int> var_nodes_;
+  std::map<std::uint64_t, int> const_nodes_;
+  std::map<std::uint64_t, int> ram_nodes_;
+  std::map<AbsLoc, int> loc_nodes_;
+  std::vector<AbsLoc> loc_table_;
+};
+
+}  // namespace
+
+std::string absloc_name(const AbsLoc& loc, const ir::Program& program) {
+  switch (loc.kind) {
+    case AbsLoc::Kind::Stack: {
+      std::string owner = support::format(
+          "0x%llx", static_cast<unsigned long long>(loc.owner_entry));
+      for (const ir::Function* fn : program.local_functions())
+        if (fn->entry_address() == loc.owner_entry) owner = fn->name();
+      return support::format(
+          "stack:%s+0x%llx", owner.c_str(),
+          static_cast<unsigned long long>(loc.address));
+    }
+    case AbsLoc::Kind::Global:
+      return support::format(
+          "global:0x%llx", static_cast<unsigned long long>(loc.address));
+    case AbsLoc::Kind::Heap:
+      return support::format(
+          "heap:0x%llx", static_cast<unsigned long long>(loc.address));
+  }
+  return "?";
+}
+
+PointsTo::PointsTo(const ir::Program& program, support::ThreadPool* pool,
+                   Options options)
+    : program_(program), options_(options) {
+  run(pool);
+}
+
+void PointsTo::run(support::ThreadPool* pool) {
+  FIRMRES_SPAN("pointsto.solve", "analysis");
+  g_pt_solves.add();
+
+  std::vector<const ir::Function*> locals;
+  for (const ir::Function* fn : program_.functions())
+    if (!fn->is_import()) locals.push_back(fn);
+
+  // Phase 1: per-function constraint generation, fanned out across the
+  // pool. Each function writes only its own slot.
+  std::vector<FnConstraints> generated(locals.size());
+  const auto gen = [&](std::size_t i) {
+    generate(program_, *locals[i], generated[i]);
+  };
+  if (pool != nullptr)
+    support::parallel_for(*pool, locals.size(), gen);
+  else
+    for (std::size_t i = 0; i < locals.size(); ++i) gen(i);
+
+  // Phase 2: sequential deterministic merge, function-creation order.
+  Solver solver;
+  std::set<std::uint64_t> registered;
+  std::set<const ir::Function*> directly_called;
+  std::set<const ir::PcodeOp*> alloc_sites;
+  for (std::size_t i = 0; i < locals.size(); ++i) {
+    const ir::Function* fn = locals[i];
+    for (const Constraint& c : generated[i].list) {
+      switch (c.kind) {
+        case Constraint::Kind::AddrOf:
+          solver.unify(solver.deref(solver.node_of(fn, c.dst)),
+                       solver.node_of_loc(c.loc));
+          break;
+        case Constraint::Kind::Assign:
+          solver.unify(solver.node_of(fn, c.dst), solver.node_of(fn, c.src));
+          break;
+        case Constraint::Kind::Load:
+          solver.unify(solver.node_of(fn, c.dst),
+                       solver.deref(solver.node_of(fn, c.src)));
+          break;
+        case Constraint::Kind::Store:
+          solver.unify(solver.deref(solver.node_of(fn, c.dst)),
+                       solver.node_of(fn, c.src));
+          break;
+        case Constraint::Kind::Alloc:
+          solver.unify(
+              solver.deref(solver.node_of(fn, c.dst)),
+              solver.node_of_loc(
+                  AbsLoc{AbsLoc::Kind::Heap, 0, c.op->address}));
+          alloc_sites.insert(c.op);
+          break;
+        case Constraint::Kind::SummaryWrite:
+          solver.set_summary(solver.deref(solver.node_of(fn, c.dst)));
+          break;
+        case Constraint::Kind::Bottom:
+          solver.set_bottom(solver.deref(solver.node_of(fn, c.dst)));
+          break;
+        case Constraint::Kind::CallBind: {
+          directly_called.insert(c.callee);
+          const auto& params = c.callee->params();
+          const std::size_t n =
+              std::min(params.size(), c.op->inputs.size());
+          for (std::size_t p = 0; p < n; ++p)
+            solver.unify(solver.node_of(fn, c.op->inputs[p]),
+                         solver.node_of(c.callee, params[p]));
+          if (c.op->output.has_value()) {
+            const int out = solver.node_of(fn, *c.op->output);
+            c.callee->for_each_op([&](const ir::PcodeOp& rop) {
+              if (rop.opcode != ir::OpCode::Return) return;
+              for (const ir::VarNode& rv : rop.inputs)
+                solver.unify(out, solver.node_of(c.callee, rv));
+            });
+          }
+          break;
+        }
+      }
+    }
+    for (const std::uint64_t entry : generated[i].registered)
+      registered.insert(entry);
+  }
+
+  // Parameters of functions no visible callsite binds (event callbacks,
+  // roots) carry unknown pointers: poison what they reference.
+  for (const ir::Function* fn : locals) {
+    if (directly_called.contains(fn) &&
+        !registered.contains(fn->entry_address()))
+      continue;
+    for (const ir::VarNode& p : fn->params())
+      solver.set_bottom(solver.deref(solver.node_of(fn, p)));
+  }
+  solver.propagate_bottom();
+
+  // Phase 3: materialize the def-use index, in function/layout order.
+  std::map<int, std::vector<StoreRef>> class_stores;
+  std::map<int, std::size_t> class_loads;
+  struct LoadSite {
+    const ir::PcodeOp* op;
+    const ir::Function* fn;
+    int cls;
+  };
+  std::vector<LoadSite> load_sites;
+  std::vector<std::pair<const ir::PcodeOp*, int>> store_sites;
+  for (const ir::Function* fn : locals) {
+    for (const ir::PcodeOp* op : fn->ops_in_order()) {
+      if (op->opcode == ir::OpCode::Load && !op->inputs.empty() &&
+          op->output.has_value()) {
+        const int cls = solver.deref(solver.node_of(fn, op->inputs[0]));
+        load_sites.push_back({op, fn, cls});
+        ++class_loads[cls];
+      } else if (op->opcode == ir::OpCode::Store && op->inputs.size() >= 2) {
+        const int cls = solver.deref(solver.node_of(fn, op->inputs[0]));
+        class_stores[cls].push_back(StoreRef{op, fn});
+        store_sites.emplace_back(op, cls);
+      }
+    }
+  }
+  for (auto& [cls, stores] : class_stores)
+    std::sort(stores.begin(), stores.end(),
+              [](const StoreRef& a, const StoreRef& b) {
+                return a.op->address < b.op->address;
+              });
+
+  bool any_unresolved_load = false;
+  for (const LoadSite& site : load_sites) {
+    LoadResolution res;
+    res.summary_written = solver.summary(site.cls);
+    std::vector<AbsLoc> locs;
+    for (const int id : solver.loc_ids(site.cls))
+      locs.push_back(solver.loc_at(id));
+    std::sort(locs.begin(), locs.end());
+    locs.erase(std::unique(locs.begin(), locs.end()), locs.end());
+    res.resolved = !solver.bottom(site.cls) &&
+                   locs.size() <= options_.max_locs_per_class;
+    res.locs = std::move(locs);
+    if (res.resolved) {
+      const auto it = class_stores.find(site.cls);
+      if (it != class_stores.end()) res.stores = it->second;
+    } else {
+      any_unresolved_load = true;
+    }
+    ++stats_.loads_total;
+    if (res.resolved) ++stats_.loads_resolved;
+    if (!res.stores.empty()) ++stats_.loads_with_stores;
+    loads_.emplace(site.op, std::move(res));
+  }
+  for (const auto& [op, cls] : store_sites) {
+    ++stats_.stores_total;
+    const auto lc = class_loads.find(cls);
+    const bool reaches = solver.bottom(cls) ||
+                         (lc != class_loads.end() && lc->second > 0) ||
+                         any_unresolved_load;
+    if (!reaches) ++stats_.stores_never_loaded;
+    store_reaches_.emplace(op, reaches);
+  }
+  stats_.locations = solver.location_count();
+  stats_.alloc_sites = alloc_sites.size();
+
+  // Per-function signatures: everything a consumer can observe about one
+  // function through this index (docs/CACHING.md).
+  for (const ir::Function* fn : locals) {
+    support::Hasher h(0x70747369675f3031ULL);  // "ptsig_01"
+    for (const ir::PcodeOp* op : fn->ops_in_order()) {
+      if (op->opcode == ir::OpCode::Load) {
+        const auto it = loads_.find(op);
+        if (it == loads_.end()) continue;
+        h.u64(op->address)
+            .boolean(it->second.resolved)
+            .boolean(it->second.summary_written)
+            .u64(it->second.stores.size());
+        for (const StoreRef& st : it->second.stores)
+          h.u64(st.op->address).str(st.fn->name());
+      } else if (op->opcode == ir::OpCode::Store) {
+        const auto it = store_reaches_.find(op);
+        if (it == store_reaches_.end()) continue;
+        h.u64(op->address).boolean(it->second);
+      }
+    }
+    fn_signatures_.emplace(fn, h.digest());
+  }
+
+  g_pt_loads.add(stats_.loads_total);
+  g_pt_loads_resolved.add(stats_.loads_resolved);
+  g_pt_stores.add(stats_.stores_total);
+}
+
+const LoadResolution* PointsTo::resolve_load(const ir::PcodeOp* op) const {
+  const auto it = loads_.find(op);
+  return it == loads_.end() ? nullptr : &it->second;
+}
+
+bool PointsTo::store_reaches_load(const ir::PcodeOp* op) const {
+  const auto it = store_reaches_.find(op);
+  return it == store_reaches_.end() || it->second;
+}
+
+std::uint64_t PointsTo::function_signature(const ir::Function* fn) const {
+  const auto it = fn_signatures_.find(fn);
+  return it == fn_signatures_.end() ? 0 : it->second;
+}
+
+}  // namespace firmres::analysis::pointsto

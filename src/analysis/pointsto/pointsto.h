@@ -1,0 +1,138 @@
+// Flow-insensitive points-to analysis and the memory def-use index
+// (docs/POINTSTO.md).
+//
+// FIRMRES's backward taint walk and the ValueFlow solver both stop dead at
+// memory: a Load has no known reaching Store, so tokens staged in heap or
+// global buffers terminate as `undefined-local` and their fields are never
+// reconstructed (§IV-B / §V-C overtainting). This pass closes that gap with
+// a Steensgaard-style unification analysis over the whole ir::Program:
+//
+//   - abstract locations: stack slots (per function, per offset), globals
+//     (per address — constant and Ram address operands), and heap objects
+//     (one per malloc-family allocation site);
+//   - constraints are generated per function in parallel on a
+//     support::ThreadPool, then unified by a sequential union-find merge in
+//     function-creation order — results are byte-identical at any thread
+//     count, the same determinism contract ValueFlow gives;
+//   - locations reachable by unknown code (arguments of unmodelled imports
+//     or unresolved CallInds, values with untracked provenance) are poisoned
+//     to ⊥, so every resolution the index *does* hand out is sound.
+//
+// The product is the memory def-use index: for every Load, the set of
+// reaching Stores (plus whether the located cells are also written through
+// modelled library summaries — sprintf/recv buffers), consumed by the
+// MftBuilder (memory taint crossings), ValueFlow (Load transfers), and the
+// `pointsto` verifier pass.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ir/program.h"
+#include "support/thread_pool.h"
+
+namespace firmres::analysis::pointsto {
+
+/// One abstract memory location. `owner_entry` identifies the owning
+/// function for stack slots (entry address — stable across runs, unlike
+/// pointers); `address` is the stack offset / global address / allocation
+/// callsite address.
+struct AbsLoc {
+  enum class Kind : std::uint8_t { Stack, Global, Heap };
+  Kind kind = Kind::Global;
+  std::uint64_t owner_entry = 0;  ///< Stack only: owning function entry
+  std::uint64_t address = 0;
+
+  friend auto operator<=>(const AbsLoc&, const AbsLoc&) = default;
+};
+
+/// Human-readable location name for lints and docs: `stack:<fn>+0x10`,
+/// `global:0x500000`, `heap:0x10234`.
+std::string absloc_name(const AbsLoc& loc, const ir::Program& program);
+
+/// One reaching Store of a Load, with its owning function.
+struct StoreRef {
+  const ir::PcodeOp* op = nullptr;
+  const ir::Function* fn = nullptr;
+};
+
+/// What the index knows about one Load op.
+struct LoadResolution {
+  /// The address operand's targets have fully tracked provenance. False is
+  /// the sound ⊥: the cells may be written by code the analysis cannot see.
+  bool resolved = false;
+  /// The located cells are also written through modelled library-call
+  /// summaries (sprintf/strcpy destinations, recv buffers, field-source
+  /// getters): their contents flow through FlowEdges, not Store ops, so the
+  /// taint walk must keep its legacy address chase for them.
+  bool summary_written = false;
+  /// Reaching Store ops, in ascending op-address order.
+  std::vector<StoreRef> stores;
+  /// Locations the address may reference, sorted; empty when the pointer's
+  /// provenance never passed through an address-of or allocation.
+  std::vector<AbsLoc> locs;
+};
+
+class PointsTo {
+ public:
+  struct Options {
+    /// A unified class holding more locations than this collapses to ⊥ —
+    /// a resolution listing half the program is noise, not signal.
+    std::size_t max_locs_per_class;
+
+    Options() : max_locs_per_class(64) {}
+  };
+
+  /// Runs the analysis. `pool` parallelizes per-function constraint
+  /// generation; nullptr runs it inline (identical results by
+  /// construction).
+  explicit PointsTo(const ir::Program& program,
+                    support::ThreadPool* pool = nullptr,
+                    Options options = Options());
+
+  PointsTo(const PointsTo&) = delete;
+  PointsTo& operator=(const PointsTo&) = delete;
+
+  const ir::Program& program() const { return program_; }
+
+  /// Memory def-use: the resolution of one Load op. nullptr when `op` is
+  /// not a Load of this program.
+  const LoadResolution* resolve_load(const ir::PcodeOp* op) const;
+
+  /// True unless the analysis can prove no Load ever reads the cell this
+  /// Store wrote (the `store-never-loaded` lint fires on false).
+  bool store_reaches_load(const ir::PcodeOp* op) const;
+
+  struct Stats {
+    std::size_t loads_total = 0;
+    std::size_t loads_resolved = 0;     ///< tracked provenance (not ⊥)
+    std::size_t loads_with_stores = 0;  ///< ... with >= 1 reaching Store
+    std::size_t stores_total = 0;
+    std::size_t stores_never_loaded = 0;
+    std::size_t locations = 0;          ///< distinct abstract locations
+    std::size_t alloc_sites = 0;        ///< malloc-family callsites
+  };
+  const Stats& stats() const { return stats_; }
+
+  /// Content hash of everything downstream phases can observe about `fn`
+  /// through this index: each of its Loads' resolutions (flags + reaching
+  /// store addresses) and each of its Stores' reachability. The per-function
+  /// analysis-cache dependency (docs/CACHING.md). Returns 0 for non-local
+  /// functions.
+  std::uint64_t function_signature(const ir::Function* fn) const;
+
+ private:
+  void run(support::ThreadPool* pool);
+
+  const ir::Program& program_;
+  Options options_;
+  Stats stats_;
+  std::map<const ir::PcodeOp*, LoadResolution> loads_;
+  std::map<const ir::PcodeOp*, bool> store_reaches_;
+  std::map<const ir::Function*, std::uint64_t> fn_signatures_;
+};
+
+}  // namespace firmres::analysis::pointsto

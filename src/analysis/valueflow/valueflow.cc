@@ -6,6 +6,7 @@
 #include <cstring>
 #include <set>
 
+#include "analysis/pointsto/pointsto.h"
 #include "ir/library.h"
 #include "support/hash.h"
 #include "support/observability/metrics.h"
@@ -218,7 +219,7 @@ Value ValueFlow::transfer_call(const ir::PcodeOp& op, const Env& env,
 
   if (lib->kind == ir::LibKind::StringOp) {
     const std::string& n = lib->name;
-    if (n == "strcpy" || n == "strncpy" || n == "memcpy") {
+    if (n == "strcpy" || n == "strncpy" || n == "memcpy" || n == "memmove") {
       if (const ir::VarNode* dst = arg_var(0)) weaken(next, *dst, arg(1));
       return Value::bottom();
     }
@@ -309,9 +310,14 @@ ValueFlow::Env ValueFlow::solve_function(const ir::Function& fn,
         case ir::OpCode::Cast:
           out = in(0);
           break;
-        case ir::OpCode::Load:
-          out = Value::bottom();
+        case ir::OpCode::Load: {
+          // Memory def-use (docs/POINTSTO.md): tracked loads read the meet
+          // of their reaching stores, recomputed in the sequential merge
+          // like function summaries. Untracked loads stay ⊥.
+          const auto mit = snapshot.mem.find(op);
+          out = mit != snapshot.mem.end() ? mit->second : Value::bottom();
           break;
+        }
         case ir::OpCode::Store:
           // The pointed-to storage is overwritten with an unknown layout.
           if (!op->inputs.empty())
@@ -513,6 +519,32 @@ void ValueFlow::run(support::ThreadPool* pool) {
   for (std::size_t i = 0; i < locals_.size(); ++i)
     entry_bottom_[i] = const_registered.count(locals_[i]) > 0;
 
+  // Tracked loads: points-to resolved the cell with >= 1 reaching Store and
+  // no modelled-summary write racing it. Their cell values start optimistic
+  // (⊤) and are recomputed each round in the sequential merge.
+  if (options_.pointsto != nullptr) {
+    for (const ir::Function* fn : locals_) {
+      for (const ir::PcodeOp* op : fn->ops_in_order()) {
+        if (op->opcode != ir::OpCode::Load) continue;
+        const pointsto::LoadResolution* res =
+            options_.pointsto->resolve_load(op);
+        if (res == nullptr || !res->resolved || res->stores.empty() ||
+            res->summary_written)
+          continue;
+        MemLoad ml;
+        ml.op = op;
+        for (const pointsto::StoreRef& st : res->stores) {
+          const auto oit = local_index_.find(st.fn);
+          if (oit != local_index_.end() && st.op->inputs.size() >= 2)
+            ml.stores.emplace_back(oit->second, st.op);
+        }
+        if (ml.stores.empty()) continue;
+        mem_[op] = Value::top();
+        mem_loads_.push_back(std::move(ml));
+      }
+    }
+  }
+
   summaries_.resize(locals_.size());
   for (std::size_t i = 0; i < locals_.size(); ++i) {
     const bool ebot =
@@ -546,7 +578,7 @@ void ValueFlow::run(support::ThreadPool* pool) {
   std::vector<const ir::Function*> folded;
   for (int round = 1; round <= options_.max_rounds; ++round) {
     stats_.rounds = round;
-    const Snapshot snapshot{summaries_, resolved_};
+    const Snapshot snapshot{summaries_, resolved_, mem_};
 
     const auto solve = [&](std::size_t i) {
       if (substituted[i]) return;
@@ -637,11 +669,23 @@ void ValueFlow::run(support::ThreadPool* pool) {
       new_summaries[i] = std::move(s);
     }
 
+    // … and the memory cell value of every tracked load: the meet of its
+    // reaching stores' values in the fresh environments.
+    std::map<const ir::PcodeOp*, Value> new_mem;
+    for (const MemLoad& ml : mem_loads_) {
+      Value v = Value::top();
+      for (const auto& [owner, st] : ml.stores)
+        v = Value::meet(v, eval(envs_[owner], st->inputs[1]));
+      new_mem.emplace(ml.op, v);
+    }
+
     const bool stable = new_resolved == resolved_ &&
-                        new_summaries == summaries_ && new_folded == folded;
+                        new_summaries == summaries_ && new_folded == folded &&
+                        new_mem == mem_;
     resolved_ = std::move(new_resolved);
     summaries_ = std::move(new_summaries);
     folded = std::move(new_folded);
+    mem_ = std::move(new_mem);
     if (stable) break;
   }
 
@@ -728,6 +772,17 @@ std::uint64_t ValueFlow::function_signature(const ir::Function* fn) const {
     h.u64(op->address);
     const auto rit = resolved_.find(op);
     h.str(rit == resolved_.end() ? std::string_view{} : rit->second->name());
+  }
+  // Memory cell values read by this function's tracked loads
+  // (docs/POINTSTO.md): a store in *another* function changing what a load
+  // here sees must change this signature.
+  for (const ir::PcodeOp* op : fn->ops_in_order()) {
+    if (op->opcode != ir::OpCode::Load) continue;
+    const auto mit = mem_.find(op);
+    if (mit == mem_.end()) continue;
+    h.u64(op->address).u8(static_cast<std::uint8_t>(mit->second.kind()));
+    if (mit->second.is_const()) h.u64(mit->second.const_value());
+    if (mit->second.is_str()) h.str(mit->second.str_value());
   }
   h.boolean(std::find(folded_event_callbacks_.begin(),
                       folded_event_callbacks_.end(),

@@ -28,6 +28,10 @@
 #include "ir/program.h"
 #include "support/thread_pool.h"
 
+namespace firmres::analysis::pointsto {
+class PointsTo;
+}  // namespace firmres::analysis::pointsto
+
 namespace firmres::analysis {
 
 class ValueFlow {
@@ -59,6 +63,11 @@ class ValueFlow {
     /// (entries are looked up by Function pointer and simply ignored).
     const std::map<const ir::Function*, Substitution>* substitutions =
         nullptr;
+    /// Memory def-use index (docs/POINTSTO.md). When set, a Load whose
+    /// cell has tracked provenance and at least one reaching Store reads
+    /// the meet of the stored values instead of ⊥ — constant strings
+    /// survive a round-trip through a global/heap buffer. Not owned.
+    const pointsto::PointsTo* pointsto = nullptr;
   };
 
   /// One CallInd site; `target` is the devirtualized callee, or nullptr when
@@ -153,6 +162,10 @@ class ValueFlow {
   struct Snapshot {
     std::vector<FnSummary> summaries;  ///< indexed like locals_
     std::map<const ir::PcodeOp*, const ir::Function*> resolved;
+    /// Memory cell values per tracked Load op (points-to-resolved loads
+    /// with reaching stores only): the meet of the stored values as of the
+    /// previous round. Recomputed in the sequential merge like summaries.
+    std::map<const ir::PcodeOp*, valueflow::Value> mem;
   };
 
   valueflow::Value eval(const Env& env, const ir::VarNode& v) const;
@@ -184,6 +197,15 @@ class ValueFlow {
 
   std::vector<Env> envs_;            ///< indexed like locals_
   std::vector<FnSummary> summaries_;
+  /// Tracked Loads (resolved, >= 1 reaching store, not summary-written) and
+  /// the owner index of each reaching Store — fixed over the solve.
+  struct MemLoad {
+    const ir::PcodeOp* op = nullptr;
+    /// (owner locals_ index, store op) pairs in store-address order.
+    std::vector<std::pair<std::size_t, const ir::PcodeOp*>> stores;
+  };
+  std::vector<MemLoad> mem_loads_;   ///< function/layout order
+  std::map<const ir::PcodeOp*, valueflow::Value> mem_;
   std::map<const ir::PcodeOp*, const ir::Function*> resolved_;
   /// First interprocedural round that folded each CallInd's target.
   std::map<const ir::PcodeOp*, int> first_resolved_round_;

@@ -88,6 +88,9 @@ std::unique_ptr<Pass> make_cfg_pass();
 std::unique_ptr<Pass> make_dataflow_pass();
 std::unique_ptr<Pass> make_callgraph_pass();
 std::unique_ptr<Pass> make_valueflow_pass();
+/// Memory def-use lints (docs/POINTSTO.md): stores no load ever reads,
+/// tainted loads the points-to index cannot resolve.
+std::unique_ptr<Pass> make_pointsto_pass();
 /// Component inventory lints (docs/COMPONENTS.md): Warning on a matched
 /// known-risky library, Note on a version-ambiguous match. `registry` must
 /// outlive the pass.

@@ -1,0 +1,114 @@
+// Points-to memory def-use lints (docs/POINTSTO.md).
+//
+// Runs the points-to solver (docs/POINTSTO.md) once per program and
+// reports:
+//   - `store-never-loaded` (note): a Store writing a cell the analysis can
+//     prove no Load ever reads — dead staging code, or a buffer the
+//     firmware fills but only ships through library calls the model does
+//     not cover. A note: harmless at analysis time, but each one is a cell
+//     whose contents the reconstruction will never see.
+//   - `tainted-load-unresolved` (warning): a Load whose result carries
+//     network-received bytes (forward taint from every RecvFn callsite)
+//     but whose reaching stores the index cannot resolve. The §IV-B
+//     backward walk terminates `memory-unresolved` at such a load, so any
+//     field assembled from it is lost to reconstruction.
+#include "analysis/forward_taint.h"
+#include "analysis/pointsto/pointsto.h"
+#include "analysis/verify/pass.h"
+#include "ir/library.h"
+#include "support/strings.h"
+
+namespace firmres::analysis::verify {
+
+namespace {
+
+/// Seeds of one RecvFn callsite: the buffer argument and the returned
+/// value, exactly the anchor exec_identifier taints from.
+std::vector<ir::VarNode> recv_seeds(const CallSite& site) {
+  std::vector<ir::VarNode> seeds;
+  const ir::LibFunction* lib =
+      ir::LibraryModel::instance().find(site.op->callee);
+  if (lib != nullptr && lib->recv_buf_arg >= 0 &&
+      static_cast<std::size_t>(lib->recv_buf_arg) < site.op->inputs.size())
+    seeds.push_back(
+        site.op->inputs[static_cast<std::size_t>(lib->recv_buf_arg)]);
+  if (site.op->output.has_value()) seeds.push_back(*site.op->output);
+  return seeds;
+}
+
+class PointsToPass final : public Pass {
+ public:
+  const char* name() const override { return "pointsto"; }
+
+  void check_function(const PassContext& ctx, const ir::Function& fn,
+                      DiagnosticSink& sink) const override {
+    (void)ctx;
+    (void)fn;
+    (void)sink;  // whole-program analysis; see check_program
+  }
+
+  void check_program(const PassContext& ctx,
+                     DiagnosticSink& sink) const override {
+    const pointsto::PointsTo pt(ctx.program);
+
+    // Network taint, forward from every recv-family callsite: a load is
+    // "tainted" when any such propagation reaches its output.
+    std::vector<ForwardTaint> taints;
+    for (const std::string& name :
+         ir::LibraryModel::instance().names_of_kind(ir::LibKind::RecvFn)) {
+      for (const CallSite& site : ctx.call_graph.callsites_of(name)) {
+        std::vector<ir::VarNode> seeds = recv_seeds(site);
+        if (seeds.empty()) continue;
+        taints.emplace_back(ctx.program, ctx.call_graph, *site.caller,
+                            std::move(seeds));
+      }
+    }
+    const auto is_tainted = [&](const ir::Function* fn,
+                                const ir::VarNode& v) {
+      for (const ForwardTaint& t : taints)
+        if (t.is_tainted(fn, v)) return true;
+      return false;
+    };
+
+    for (const ir::Function* fn : ctx.program.local_functions()) {
+      for (const ir::BasicBlock& b : fn->blocks()) {
+        for (std::size_t oi = 0; oi < b.ops.size(); ++oi) {
+          const ir::PcodeOp& op = b.ops[oi];
+          if (op.opcode == ir::OpCode::Store) {
+            if (pt.store_reaches_load(&op)) continue;
+            sink.note(*fn, b.id, static_cast<int>(oi),
+                      "store-never-loaded: no Load ever reads the cell this "
+                      "Store writes; its contents are invisible to "
+                      "reconstruction");
+            continue;
+          }
+          if (op.opcode != ir::OpCode::Load || !op.output.has_value())
+            continue;
+          const pointsto::LoadResolution* res = pt.resolve_load(&op);
+          if (res == nullptr) continue;
+          if (!res->stores.empty() || res->summary_written) continue;
+          if (!is_tainted(fn, *op.output)) continue;
+          std::string where = res->locs.empty()
+                                  ? std::string("escaped cell")
+                                  : pointsto::absloc_name(res->locs.front(),
+                                                          ctx.program);
+          sink.warning(
+              *fn, b.id, static_cast<int>(oi),
+              support::format(
+                  "tainted-load-unresolved: load of network-received data "
+                  "from %s has no resolvable reaching store; taint walks "
+                  "terminate memory-unresolved here",
+                  where.c_str()));
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> make_pointsto_pass() {
+  return std::make_unique<PointsToPass>();
+}
+
+}  // namespace firmres::analysis::verify

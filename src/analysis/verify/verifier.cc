@@ -13,6 +13,7 @@ Verifier::Verifier(Options options) : options_(options) {
   if (options_.dataflow) passes_.push_back(make_dataflow_pass());
   if (options_.call_graph) passes_.push_back(make_callgraph_pass());
   if (options_.value_flow) passes_.push_back(make_valueflow_pass());
+  if (options_.points_to) passes_.push_back(make_pointsto_pass());
   if (options_.component_registry != nullptr)
     passes_.push_back(make_components_pass(options_.component_registry));
 }

@@ -36,6 +36,7 @@ class Verifier {
     bool dataflow = true;    ///< use-before-def, dead temps, format strings
     bool call_graph = true;  ///< dangling targets, asynchrony violations
     bool value_flow = true;  ///< unresolved CallInd, LAN-constant folds
+    bool points_to = true;   ///< dead stores, unresolvable tainted loads
     /// When set, adds the components pass: risky / version-ambiguous
     /// third-party-library matches (docs/COMPONENTS.md). Not owned; must
     /// outlive the Verifier.

@@ -100,6 +100,7 @@ Json provenance_to_json(const FieldProvenance& p) {
       {"visited_functions", Json(std::move(visited))},
       {"devirt_crossings", Json(p.devirt_crossings)},
       {"callsite_crossings", Json(p.callsite_crossings)},
+      {"memory_crossings", Json(p.memory_crossings)},
       {"taint_depth", Json(p.taint_depth)},
       {"termination", Json(p.termination)},
       {"construction_path", Json(std::move(path))},
@@ -119,6 +120,7 @@ FieldProvenance provenance_from_json(const Json& j) {
     p.visited_functions.push_back(f.as_string());
   p.devirt_crossings = req_int(j, "devirt_crossings");
   p.callsite_crossings = req_int(j, "callsite_crossings");
+  p.memory_crossings = req_int(j, "memory_crossings");
   p.taint_depth = req_int(j, "taint_depth");
   p.termination = req_str(j, "termination");
   for (const Json& s : req(j, "construction_path").as_array())
@@ -178,6 +180,7 @@ Json message_to_json(const ReconstructedMessage& m) {
       {"multi_field_formats", Json(std::move(formats))},
       {"opaque_terminations", Json(m.opaque_terminations)},
       {"param_terminations", Json(m.param_terminations)},
+      {"memory_terminations", Json(m.memory_terminations)},
   });
 }
 
@@ -195,6 +198,7 @@ ReconstructedMessage message_from_json(const Json& j) {
     m.multi_field_formats.push_back(s.as_string());
   m.opaque_terminations = req_int(j, "opaque_terminations");
   m.param_terminations = req_int(j, "param_terminations");
+  m.memory_terminations = req_int(j, "memory_terminations");
   return m;
 }
 
@@ -255,6 +259,14 @@ Json program_to_json(const CachedProgramAnalysis& p) {
       {"indirect_total", Json(static_cast<std::int64_t>(p.indirect_total))},
       {"indirect_resolved",
        Json(static_cast<std::int64_t>(p.indirect_resolved))},
+      {"pt_loads_total", Json(static_cast<std::int64_t>(p.pt_loads_total))},
+      {"pt_loads_resolved",
+       Json(static_cast<std::int64_t>(p.pt_loads_resolved))},
+      {"pt_loads_with_stores",
+       Json(static_cast<std::int64_t>(p.pt_loads_with_stores))},
+      {"pt_stores_total", Json(static_cast<std::int64_t>(p.pt_stores_total))},
+      {"pt_stores_never_loaded",
+       Json(static_cast<std::int64_t>(p.pt_stores_never_loaded))},
       {"devirt_sites", Json(std::move(devirt))},
       {"messages", Json(std::move(messages))},
   });
@@ -266,6 +278,16 @@ CachedProgramAnalysis program_from_json(const Json& j) {
       static_cast<std::uint64_t>(req(j, "indirect_total").as_number());
   p.indirect_resolved =
       static_cast<std::uint64_t>(req(j, "indirect_resolved").as_number());
+  p.pt_loads_total =
+      static_cast<std::uint64_t>(req(j, "pt_loads_total").as_number());
+  p.pt_loads_resolved =
+      static_cast<std::uint64_t>(req(j, "pt_loads_resolved").as_number());
+  p.pt_loads_with_stores =
+      static_cast<std::uint64_t>(req(j, "pt_loads_with_stores").as_number());
+  p.pt_stores_total =
+      static_cast<std::uint64_t>(req(j, "pt_stores_total").as_number());
+  p.pt_stores_never_loaded = static_cast<std::uint64_t>(
+      req(j, "pt_stores_never_loaded").as_number());
   for (const Json& s : req(j, "devirt_sites").as_array()) {
     p.devirt_sites.push_back(CachedProgramAnalysis::DevirtSite{
         req_str(s, "caller"), req_str(s, "target"), req_u64(s, "address"),
@@ -284,6 +306,7 @@ Json fn_entry_to_json(const CachedFunctionEntry& e) {
         {"ir_hash", Json(hex_u64(d.ir_hash))},
         {"vf_sig", Json(hex_u64(d.vf_sig))},
         {"callers_hash", Json(hex_u64(d.callers_hash))},
+        {"pt_sig", Json(hex_u64(d.pt_sig))},
     }));
   }
   JsonArray messages;
@@ -302,7 +325,7 @@ CachedFunctionEntry fn_entry_from_json(const Json& j) {
   for (const Json& d : req(j, "deps").as_array()) {
     e.deps.push_back(CachedFunctionEntry::Dep{
         req_str(d, "fn"), req_u64(d, "ir_hash"), req_u64(d, "vf_sig"),
-        req_u64(d, "callers_hash")});
+        req_u64(d, "callers_hash"), req_u64(d, "pt_sig")});
   }
   for (const Json& m : req(j, "messages").as_array())
     e.messages.push_back(cached_message_from_json(m));

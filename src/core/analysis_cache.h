@@ -66,6 +66,14 @@ struct CachedMessage {
 struct CachedProgramAnalysis {
   std::uint64_t indirect_total = 0;
   std::uint64_t indirect_resolved = 0;
+  /// Points-to memory def-use stats for the report's memory_flow block
+  /// (docs/POINTSTO.md) — a program-tier hit skips the solve, so the
+  /// numbers must rehydrate from here.
+  std::uint64_t pt_loads_total = 0;
+  std::uint64_t pt_loads_resolved = 0;
+  std::uint64_t pt_loads_with_stores = 0;
+  std::uint64_t pt_stores_total = 0;
+  std::uint64_t pt_stores_never_loaded = 0;
   struct DevirtSite {
     std::string caller;
     std::string target;
@@ -90,6 +98,11 @@ struct CachedFunctionEntry {
     /// callsites, so a *new caller elsewhere* invalidates this function's
     /// walks even though no dep's own IR changed).
     std::uint64_t callers_hash = 0;
+    /// PointsTo::function_signature of the dep: a Store added *anywhere*
+    /// can change what a Load in this function's walks resolves to, and
+    /// the dep's signature covers exactly its observable load/store facts
+    /// (docs/POINTSTO.md).
+    std::uint64_t pt_sig = 0;
   };
   std::vector<Dep> deps;  ///< includes `fn` itself; name order
   std::vector<CachedMessage> messages;  ///< this fn's callsites, addr order

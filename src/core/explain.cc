@@ -94,10 +94,13 @@ void render_field(const Json& message, const Json& field, int ordinal,
   }
   out += "      taint: " + (chain.empty() ? "(no walk recorded)" : chain);
   out += support::format(
-      " — terminated at %s (depth %d, %d devirtualized, %d caller ascents)\n",
+      " — terminated at %s (depth %d, %d devirtualized, %d caller ascents",
       str_or(*prov, "termination", "?").c_str(),
       int_or(*prov, "taint_depth"), int_or(*prov, "devirt_crossings"),
       int_or(*prov, "callsite_crossings"));
+  if (const int memory = int_or(*prov, "memory_crossings"); memory > 0)
+    out += support::format(", %d memory store hops", memory);
+  out += ")\n";
 
   if (const Json* steps = prov->find("construction_path");
       steps != nullptr && steps->is_array() && steps->size() > 0) {
@@ -185,6 +188,23 @@ std::string explain_report(const Json& report,
         out += " [RISKY: " + str_or(c, "risk_note", "?") + "]";
       out += "\n";
     }
+  }
+
+  // Points-to memory def-use visibility (docs/POINTSTO.md). Absent from
+  // pre-points-to reports; skipped silently then.
+  if (const Json* memory = device.find("memory_flow");
+      memory != nullptr && memory->is_object()) {
+    const Json* rate = memory->find("resolution_rate");
+    out += support::format(
+        "\nmemory flow: %d/%d loads resolved (%.1f%%), %d via stores, "
+        "%d stores (%d never loaded), %d unresolved-load terminations\n",
+        int_or(*memory, "loads_resolved"), int_or(*memory, "loads_total"),
+        (rate != nullptr && rate->is_number() ? rate->as_number() : 1.0) *
+            100.0,
+        int_or(*memory, "loads_with_stores"),
+        int_or(*memory, "stores_total"),
+        int_or(*memory, "stores_never_loaded"),
+        int_or(*memory, "memory_terminations"));
   }
 
   // §IV-D keep/drop provenance per built MFT.

@@ -16,6 +16,7 @@ const char* mft_node_kind_name(MftNodeKind kind) {
     case MftNodeKind::LeafSource: return "LeafSource";
     case MftNodeKind::LeafOpaque: return "LeafOpaque";
     case MftNodeKind::LeafParam: return "LeafParam";
+    case MftNodeKind::LeafMemory: return "LeafMemory";
   }
   return "?";
 }

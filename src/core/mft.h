@@ -28,6 +28,7 @@ enum class MftNodeKind {
   LeafSource,  ///< field-source library call (NVRAM/config/env/frontend/…)
   LeafOpaque,  ///< result of a call with no modelled inflow (time, rand, …)
   LeafParam,   ///< unresolved function parameter (no callers found)
+  LeafMemory,  ///< Load whose reaching stores points-to could not resolve
 };
 
 const char* mft_node_kind_name(MftNodeKind kind);
@@ -47,10 +48,14 @@ struct TaintProvenance {
   int devirt_crossings = 0;
   /// Parameter ascents through resolved callsites on the path.
   int callsite_crossings = 0;
+  /// Load→reaching-Store hops on the path, resolved through the points-to
+  /// memory def-use index (docs/POINTSTO.md).
+  int memory_crossings = 0;
   /// Recursion depth at the leaf.
   int depth = 0;
   /// Why the walk stopped: "numeric-constant", "string-constant",
-  /// "field-source", "opaque-call", "unresolved-param", "undefined-local".
+  /// "field-source", "opaque-call", "unresolved-param", "undefined-local",
+  /// "memory-unresolved".
   std::string termination;
 };
 

@@ -6,6 +6,7 @@
 #include <memory>
 #include <set>
 
+#include "analysis/pointsto/pointsto.h"
 #include "analysis/valueflow/valueflow.h"
 #include "analysis/verify/verifier.h"
 #include "core/analysis_cache.h"
@@ -400,6 +401,7 @@ DeviceAnalysis Pipeline::analyze(const fw::FirmwareImage& image,
     h.u64(static_cast<std::uint64_t>(options_.taint.max_depth))
         .u64(options_.taint.max_nodes)
         .u64(static_cast<std::uint64_t>(options_.taint.max_callsites))
+        .boolean(options_.pointsto)
         .str(model_.name())
         .str(out.device_cloud_executable);
     analysis_salt = h.digest();
@@ -431,6 +433,7 @@ DeviceAnalysis Pipeline::analyze(const fw::FirmwareImage& image,
     int group = -1;                      ///< FnGroup index (cache path only)
   };
   struct ProgramWork {
+    std::unique_ptr<analysis::pointsto::PointsTo> pointsto;
     std::unique_ptr<analysis::ValueFlow> valueflow;
     std::optional<CachedProgramAnalysis> cached;  ///< program-tier hit
     std::vector<SiteOutcome> sites;
@@ -457,17 +460,29 @@ DeviceAnalysis Pipeline::analyze(const fw::FirmwareImage& image,
           return;
         }
       }
+      std::unique_ptr<analysis::pointsto::PointsTo> pt;
+      if (options_.pointsto)
+        pt = std::make_unique<analysis::pointsto::PointsTo>(program, vp);
       analysis::ValueFlow::Options vf_options;
       if (options_.registry != nullptr)
         vf_options.substitutions = &registry_subs;
+      vf_options.pointsto = pt.get();
       auto vf =
           std::make_unique<analysis::ValueFlow>(program, vp, vf_options);
       const analysis::CallGraph cg(program, *vf);
-      const MftBuilder builder(program, cg, options_.taint);
+      const MftBuilder builder(program, cg, options_.taint, pt.get());
 
       const analysis::ValueFlow::Stats stats = vf->stats();
       work.fresh.indirect_total = stats.indirect_total;
       work.fresh.indirect_resolved = stats.indirect_resolved;
+      if (pt != nullptr) {
+        const analysis::pointsto::PointsTo::Stats pt_stats = pt->stats();
+        work.fresh.pt_loads_total = pt_stats.loads_total;
+        work.fresh.pt_loads_resolved = pt_stats.loads_resolved;
+        work.fresh.pt_loads_with_stores = pt_stats.loads_with_stores;
+        work.fresh.pt_stores_total = pt_stats.stores_total;
+        work.fresh.pt_stores_never_loaded = pt_stats.stores_never_loaded;
+      }
       for (const analysis::ValueFlow::IndirectSite& site :
            vf->indirect_sites()) {
         if (site.target == nullptr) continue;
@@ -532,6 +547,9 @@ DeviceAnalysis Pipeline::analyze(const fw::FirmwareImage& image,
           return false;
         if (vf->function_signature(dep_fn) != dep.vf_sig) return false;
         if (callers_hash(cg, dep.fn) != dep.callers_hash) return false;
+        if ((pt != nullptr ? pt->function_signature(dep_fn) : 0) !=
+            dep.pt_sig)
+          return false;
         return true;
       };
       for (std::size_t g = 0; g < work.groups.size(); ++g) {
@@ -573,9 +591,11 @@ DeviceAnalysis Pipeline::analyze(const fw::FirmwareImage& image,
           if (dep_fn == nullptr) continue;
           group.deps.push_back(CachedFunctionEntry::Dep{
               name, AnalysisCache::hash_function_ir(*dep_fn),
-              vf->function_signature(dep_fn), callers_hash(cg, name)});
+              vf->function_signature(dep_fn), callers_hash(cg, name),
+              pt != nullptr ? pt->function_signature(dep_fn) : 0});
         }
       }
+      work.pointsto = std::move(pt);
       work.valueflow = std::move(vf);
     };
     if (pool != nullptr && device_cloud.size() > 1) {
@@ -593,6 +613,11 @@ DeviceAnalysis Pipeline::analyze(const fw::FirmwareImage& image,
       out.indirect_calls_total += static_cast<int>(summary->indirect_total);
       out.indirect_calls_resolved +=
           static_cast<int>(summary->indirect_resolved);
+      out.memory_flow.loads_total += summary->pt_loads_total;
+      out.memory_flow.loads_resolved += summary->pt_loads_resolved;
+      out.memory_flow.loads_with_stores += summary->pt_loads_with_stores;
+      out.memory_flow.stores_total += summary->pt_stores_total;
+      out.memory_flow.stores_never_loaded += summary->pt_stores_never_loaded;
       if (events::enabled()) {
         // Fold provenance for every devirtualized site the taint walks and
         // the call graph will rely on.
@@ -635,6 +660,7 @@ DeviceAnalysis Pipeline::analyze(const fw::FirmwareImage& image,
       if (m.message.has_value()) {
         out.opaque_terminations += m.message->opaque_terminations;
         out.param_terminations += m.message->param_terminations;
+        out.memory_terminations += m.message->memory_terminations;
         emit_message_events(out.device_id, *m.message);
         out.messages.push_back(*m.message);
       } else {

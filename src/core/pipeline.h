@@ -60,6 +60,18 @@ struct DeviceAnalysis {
   /// messages (§V-C; per-message counts live on ReconstructedMessage).
   int opaque_terminations = 0;
   int param_terminations = 0;
+  int memory_terminations = 0;
+  /// Memory def-use visibility over the device-cloud programs
+  /// (docs/POINTSTO.md): points-to load/store resolution totals, summed
+  /// like the valueflow counters above — the report's `memory_flow` block.
+  struct MemoryFlowStats {
+    std::uint64_t loads_total = 0;
+    std::uint64_t loads_resolved = 0;
+    std::uint64_t loads_with_stores = 0;
+    std::uint64_t stores_total = 0;
+    std::uint64_t stores_never_loaded = 0;
+  };
+  MemoryFlowStats memory_flow;
   /// Per-device work metrics (docs/OBSERVABILITY.md): dotted name → count,
   /// in a fixed emission order. Derived from what was analyzed, never from
   /// how long it took, so the block is byte-identical at any --jobs level
@@ -81,6 +93,11 @@ class Pipeline {
     /// CorpusRunner the exception isolates the device (a DeviceFailure)
     /// instead of aborting the run.
     bool lint_gate = false;
+    /// Build the points-to memory def-use index per device-cloud program
+    /// and thread it through ValueFlow and the taint walks
+    /// (docs/POINTSTO.md). On by default; off reproduces the legacy
+    /// walk that terminates at every Load — kept for A/B gates.
+    bool pointsto = true;
     /// Optional incremental analysis cache (not owned; must outlive the
     /// pipeline). When set, §IV-A verdicts and per-program/per-function
     /// Phase 2-4 artifacts are looked up by content hash before being

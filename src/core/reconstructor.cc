@@ -255,6 +255,7 @@ std::optional<ReconstructedMessage> Reconstructor::reconstruct_one(
   for (const MftNode* leaf : mft.leaves()) {
     if (leaf->kind == MftNodeKind::LeafOpaque) ++msg.opaque_terminations;
     if (leaf->kind == MftNodeKind::LeafParam) ++msg.param_terminations;
+    if (leaf->kind == MftNodeKind::LeafMemory) ++msg.memory_terminations;
   }
 
   for (const FieldSlice* s : field_slices) {
@@ -293,6 +294,7 @@ std::optional<ReconstructedMessage> Reconstructor::reconstruct_one(
       prov.visited_functions = tp->visited_functions;
       prov.devirt_crossings = tp->devirt_crossings;
       prov.callsite_crossings = tp->callsite_crossings;
+      prov.memory_crossings = tp->memory_crossings;
       prov.taint_depth = tp->depth;
       prov.termination = tp->termination;
     }

@@ -43,6 +43,9 @@ struct FieldProvenance {
   std::vector<std::string> visited_functions;
   int devirt_crossings = 0;
   int callsite_crossings = 0;
+  /// Load→reaching-Store hops resolved through the points-to memory
+  /// def-use index (docs/POINTSTO.md).
+  int memory_crossings = 0;
   int taint_depth = 0;
   std::string termination;
   /// Construction path root→leaf: "opcode" or "opcode:callee" per step.
@@ -112,6 +115,9 @@ struct ReconstructedMessage {
   /// no callsite explains. High counts flag overtaint in the recovery.
   int opaque_terminations = 0;
   int param_terminations = 0;
+  /// Loads whose cell the points-to index could not resolve to any store
+  /// (docs/POINTSTO.md ⊥): the memory analogue of the counts above.
+  int memory_terminations = 0;
 
   bool has_primitive(fw::Primitive p) const;
 };

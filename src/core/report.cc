@@ -43,6 +43,10 @@ support::Json message_to_json(const ReconstructedMessage& message) {
     prov.set("visited_functions", Json(std::move(visited)));
     prov.set("devirt_crossings", p.devirt_crossings);
     prov.set("callsite_crossings", p.callsite_crossings);
+    // Emitted only when a Load→Store hop was taken, so reports over
+    // memory-free firmware stay byte-identical to pre-points-to ones.
+    if (p.memory_crossings > 0)
+      prov.set("memory_crossings", p.memory_crossings);
     prov.set("taint_depth", p.taint_depth);
     JsonArray steps;
     for (const std::string& step : p.construction_path)
@@ -77,6 +81,8 @@ support::Json message_to_json(const ReconstructedMessage& message) {
   m.set("fields", Json(std::move(fields)));
   m.set("opaque_terminations", message.opaque_terminations);
   m.set("param_terminations", message.param_terminations);
+  if (message.memory_terminations > 0)
+    m.set("memory_terminations", message.memory_terminations);
   return m;
 }
 
@@ -156,6 +162,32 @@ support::Json analysis_to_json(const DeviceAnalysis& analysis,
   value_flow.set("opaque_terminations", analysis.opaque_terminations);
   value_flow.set("param_terminations", analysis.param_terminations);
   doc.set("value_flow", std::move(value_flow));
+
+  // Points-to memory def-use visibility (docs/POINTSTO.md) — the memory
+  // analogue of the value_flow block above. Always present: zero counters
+  // on memory-free firmware still tell the analyst the pass ran.
+  Json memory_flow{JsonObject{}};
+  memory_flow.set("loads_total",
+                  static_cast<std::int64_t>(analysis.memory_flow.loads_total));
+  memory_flow.set(
+      "loads_resolved",
+      static_cast<std::int64_t>(analysis.memory_flow.loads_resolved));
+  memory_flow.set(
+      "loads_with_stores",
+      static_cast<std::int64_t>(analysis.memory_flow.loads_with_stores));
+  memory_flow.set(
+      "stores_total",
+      static_cast<std::int64_t>(analysis.memory_flow.stores_total));
+  memory_flow.set(
+      "stores_never_loaded",
+      static_cast<std::int64_t>(analysis.memory_flow.stores_never_loaded));
+  memory_flow.set("resolution_rate",
+                  analysis.memory_flow.loads_total == 0
+                      ? 1.0
+                      : static_cast<double>(analysis.memory_flow.loads_resolved) /
+                            static_cast<double>(analysis.memory_flow.loads_total));
+  memory_flow.set("memory_terminations", analysis.memory_terminations);
+  doc.set("memory_flow", std::move(memory_flow));
 
   // Per-device component inventory (docs/COMPONENTS.md). Present only when
   // a registry was supplied and matched, so registry-less reports are

@@ -5,6 +5,7 @@
 #include <tuple>
 
 #include "analysis/flow.h"
+#include "analysis/pointsto/pointsto.h"
 #include "ir/library.h"
 #include "support/error.h"
 #include "support/observability/metrics.h"
@@ -31,6 +32,8 @@ struct BuildCtx {
   const ir::Program& program;
   const analysis::CallGraph& call_graph;
   const MftBuilder::Options& options;
+  /// Memory def-use index; nullptr runs the legacy address chase only.
+  const analysis::pointsto::PointsTo* pointsto = nullptr;
   std::size_t nodes = 0;
   int next_leaf_id = 0;
   /// (function, varnode, bound) triples on the current recursion path —
@@ -42,6 +45,7 @@ struct BuildCtx {
   std::vector<std::string> fn_chain;
   int devirt_crossings = 0;
   int callsite_crossings = 0;
+  int memory_crossings = 0;
   std::vector<TaintProvenance> provenance;
 };
 
@@ -52,6 +56,7 @@ void record_leaf(BuildCtx& ctx, const MftNode& leaf, const char* termination,
   p.visited_functions = ctx.fn_chain;
   p.devirt_crossings = ctx.devirt_crossings;
   p.callsite_crossings = ctx.callsite_crossings;
+  p.memory_crossings = ctx.memory_crossings;
   p.depth = depth;
   p.termination = termination;
   ctx.provenance.push_back(std::move(p));
@@ -149,6 +154,29 @@ std::unique_ptr<MftNode> param_leaf(BuildCtx& ctx, const ir::Function& fn,
   return leaf;
 }
 
+/// Leaf for a Load the memory def-use index could not resolve: the address
+/// has no tracked reaching Store and no modelled-summary write either, so
+/// the value's origin is genuinely unknown (docs/POINTSTO.md ⊥).
+std::unique_ptr<MftNode> memory_leaf(BuildCtx& ctx, const ir::Function& fn,
+                                     const ir::PcodeOp& op,
+                                     const ir::VarNode& var, int src_index,
+                                     const analysis::pointsto::LoadResolution& res,
+                                     int depth) {
+  auto leaf = make_node(ctx, MftNodeKind::LeafMemory);
+  leaf->fn = &fn;
+  leaf->op = &op;
+  leaf->var = var;
+  leaf->src_index = src_index;
+  for (std::size_t i = 0; i < res.locs.size() && i < 4; ++i) {
+    if (!leaf->detail.empty()) leaf->detail += ",";
+    leaf->detail += analysis::pointsto::absloc_name(res.locs[i], ctx.program);
+  }
+  if (leaf->detail.empty())
+    leaf->detail = res.resolved ? "<no-store>" : "<escaped>";
+  record_leaf(ctx, *leaf, "memory-unresolved", depth);
+  return leaf;
+}
+
 /// Expand one source slot of an op: constants become leaves directly,
 /// other varnodes expand into their def-op nodes.
 void expand_src(BuildCtx& ctx, const ir::Function& fn, MftNode& parent,
@@ -169,6 +197,16 @@ std::unique_ptr<MftNode> def_node(BuildCtx& ctx, const ir::Function& fn,
                                   int depth) {
   if (edge.kind == FlowKind::FieldSource)
     return source_leaf(ctx, fn, edge, src_index, depth);
+
+  // Memory def-use (docs/POINTSTO.md): a Load whose cell has no reaching
+  // Store and no modelled-summary write terminates here — the legacy
+  // address chase would only manufacture an `undefined-local`.
+  const analysis::pointsto::LoadResolution* mem = nullptr;
+  if (ctx.pointsto != nullptr && edge.op->opcode == ir::OpCode::Load) {
+    mem = ctx.pointsto->resolve_load(edge.op);
+    if (mem != nullptr && mem->stores.empty() && !mem->summary_written)
+      return memory_leaf(ctx, fn, *edge.op, edge.dst, src_index, *mem, depth);
+  }
 
   auto node = make_node(ctx, MftNodeKind::Op);
   node->fn = &fn;
@@ -193,6 +231,31 @@ std::unique_ptr<MftNode> def_node(BuildCtx& ctx, const ir::Function& fn,
       ctx.stack.erase({callee, ir::VarNode{}, 0});
     }
     return node;
+  }
+
+  if (mem != nullptr && !mem->stores.empty()) {
+    // Continue the backward walk through every reaching Store: one Op node
+    // per Store, expanding the value it wrote at the point it wrote it.
+    for (const analysis::pointsto::StoreRef& st : mem->stores) {
+      if (ctx.nodes >= ctx.options.max_nodes) break;
+      if (st.op->inputs.size() < 2 || st.fn == nullptr) continue;
+      auto store_node = make_node(ctx, MftNodeKind::Op);
+      store_node->fn = st.fn;
+      store_node->op = st.op;
+      store_node->var = st.op->inputs[1];
+      store_node->src_index = 1;
+      ++ctx.memory_crossings;
+      const bool crosses_fn = st.fn != &fn;
+      if (crosses_fn) ctx.fn_chain.push_back(st.fn->name());
+      expand_src(ctx, *st.fn, *store_node, st.op->inputs[1], st.op->address,
+                 1, depth + 1);
+      if (crosses_fn) ctx.fn_chain.pop_back();
+      --ctx.memory_crossings;
+      node->children.push_back(std::move(store_node));
+    }
+    // Cells also written through modelled library summaries (sprintf into
+    // the same buffer) additionally keep the legacy address chase below.
+    if (!mem->summary_written) return node;
   }
 
   // Summary / Direct / Overtaint: expand each source slot. The slot index
@@ -350,6 +413,14 @@ MftBuilder::MftBuilder(const ir::Program& program,
                        const analysis::CallGraph& call_graph, Options options)
     : program_(program), call_graph_(call_graph), options_(options) {}
 
+MftBuilder::MftBuilder(const ir::Program& program,
+                       const analysis::CallGraph& call_graph, Options options,
+                       const analysis::pointsto::PointsTo* pointsto)
+    : program_(program),
+      call_graph_(call_graph),
+      options_(options),
+      pointsto_(pointsto) {}
+
 Mft MftBuilder::build(const analysis::CallSite& delivery) const {
   FIRMRES_SPAN("taint.build_mft", "taint");
   FIRMRES_CHECK(delivery.op != nullptr && delivery.caller != nullptr);
@@ -371,12 +442,14 @@ Mft MftBuilder::build(const analysis::CallSite& delivery) const {
   BuildCtx ctx{.program = program_,
                .call_graph = call_graph_,
                .options = options_,
+               .pointsto = pointsto_,
                .nodes = 0,
                .next_leaf_id = 0,
                .stack = {},
                .fn_chain = {delivery.caller->name()},
                .devirt_crossings = 0,
                .callsite_crossings = 0,
+               .memory_crossings = 0,
                .provenance = {}};
 
   for (const int arg : msg_args) {

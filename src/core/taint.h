@@ -17,6 +17,10 @@
 #include "core/mft.h"
 #include "ir/program.h"
 
+namespace firmres::analysis::pointsto {
+class PointsTo;
+}  // namespace firmres::analysis::pointsto
+
 namespace firmres::core {
 
 class MftBuilder {
@@ -31,6 +35,10 @@ class MftBuilder {
              const analysis::CallGraph& call_graph);
   MftBuilder(const ir::Program& program, const analysis::CallGraph& call_graph,
              Options options);
+  /// With a points-to memory def-use index, Loads continue into their
+  /// reaching Stores instead of terminating (docs/POINTSTO.md).
+  MftBuilder(const ir::Program& program, const analysis::CallGraph& call_graph,
+             Options options, const analysis::pointsto::PointsTo* pointsto);
 
   /// One MFT per message-delivery callsite in the program, in callsite
   /// address order.
@@ -43,6 +51,7 @@ class MftBuilder {
   const ir::Program& program_;
   const analysis::CallGraph& call_graph_;
   Options options_;
+  const analysis::pointsto::PointsTo* pointsto_ = nullptr;
 };
 
 }  // namespace firmres::core

@@ -128,6 +128,28 @@ std::vector<DeviceProfile> sdk_corpus() {
   return out;
 }
 
+std::vector<DeviceProfile> memory_corpus() {
+  // (device id, memory staging, sdk_version): two plain control devices
+  // for the reconstruction A/B baseline, three memory-staging devices
+  // across both assembly styles, one of them SDK-stamped.
+  constexpr struct {
+    int id;
+    bool memory;
+    int sdk_version;
+  } kMemRows[] = {
+      {2, false, 0},  {6, false, 0}, {1, true, 0},
+      {10, true, 0},  {15, true, 1},
+  };
+  std::vector<DeviceProfile> out;
+  for (const auto& row : kMemRows) {
+    DeviceProfile p = profile_by_id(row.id);
+    p.memory_indirection = row.memory;
+    p.sdk_version = row.sdk_version;
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
 DeviceProfile profile_by_id(int id) {
   for (const Row& r : kRows) {
     if (r.id == id) return from_row(r);

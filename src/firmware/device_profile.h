@@ -54,6 +54,13 @@ struct DeviceProfile {
   /// pointer (dispatch-table style): the sender is reachable only via a
   /// CallInd, so §IV-A identification needs value-flow devirtualization.
   bool indirect_dispatch = false;
+  /// Vendors that stage one field value per message through memory: a
+  /// writer function stores the value to a global slot (or a heap cell
+  /// double-indirected through one), and the message builder loads it back
+  /// before delivery. Without the points-to memory def-use index
+  /// (docs/POINTSTO.md) every such field terminates unresolved and is lost
+  /// to reconstruction.
+  bool memory_indirection = false;
   /// Third-party SDK linked into the device-cloud binary and the webserver
   /// (docs/COMPONENTS.md): 0 none, 1 vendorsdk 1.4.2, 2 vendorsdk 2.0.1,
   /// 3 only the cross-version shared core (version-ambiguous on purpose).
@@ -70,6 +77,13 @@ std::vector<DeviceProfile> standard_corpus();
 /// stamped into each image (docs/COMPONENTS.md), so the same function
 /// bodies recur across devices — the workload where registry matching pays.
 std::vector<DeviceProfile> sdk_corpus();
+
+/// Memory-staging corpus: standard-corpus subset where most devices route
+/// one field per message through a global/heap cell (memory_indirection),
+/// plus plain control devices — the A/B workload for the points-to pass
+/// (docs/POINTSTO.md). One memory device is SDK-stamped so registry
+/// matching and memory staging are exercised together.
+std::vector<DeviceProfile> memory_corpus();
 
 /// Convenience: the profile with a given Table I id. Aborts if absent.
 DeviceProfile profile_by_id(int id);

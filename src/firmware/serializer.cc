@@ -90,6 +90,8 @@ Json profile_to_json(const DeviceProfile& p) {
   o.set("num_noise_execs", p.num_noise_execs);
   o.set("single_field_formats", p.single_field_formats);
   o.set("indirect_dispatch", p.indirect_dispatch);
+  // Emitted only when set so pre-existing serialized images stay identical.
+  if (p.memory_indirection) o.set("memory_indirection", true);
   // 64-bit seeds exceed double precision; hex string keeps them exact.
   o.set("seed", support::format("0x%llx",
                                 static_cast<unsigned long long>(p.seed)));
@@ -120,6 +122,8 @@ DeviceProfile profile_from_json(const Json& o) {
   // Absent in images serialized before the field existed.
   if (const Json* id = o.find("indirect_dispatch"))
     p.indirect_dispatch = id->as_bool();
+  if (const Json* mi = o.find("memory_indirection"))
+    p.memory_indirection = mi->as_bool();
   p.seed = std::strtoull(get_str(o, "seed").c_str(), nullptr, 16);
   return p;
 }

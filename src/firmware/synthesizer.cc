@@ -51,6 +51,12 @@ class DeviceSynthesizer {
                             const std::string& fn_name,
                             std::uint64_t& delivery_address, int& noise_count);
   VarNode emit_field_value(FunctionBuilder& f, const FieldSpec& field);
+  /// memory_indirection vendors: emit a writer function that stores the
+  /// field value into a global slot (even slots: heap cell double-indirected
+  /// through one), call it from the builder, and load the value back — the
+  /// Load/Store chain the points-to index must bridge (docs/POINTSTO.md).
+  VarNode emit_staged_field(IRBuilder& b, FunctionBuilder& f,
+                            const MessageSpec& spec, const FieldSpec& field);
   VarNode emit_body(FunctionBuilder& f, const MessageSpec& spec,
                     const std::vector<std::pair<const FieldSpec*, VarNode>>&
                         vals);
@@ -89,6 +95,8 @@ class DeviceSynthesizer {
   Rng rng_;
   /// Decisions that must not perturb the main stream (helper indirection).
   Rng aux_rng_{0};
+  /// Global staging slots handed out so far (memory_indirection only).
+  std::size_t memory_slots_ = 0;
   DeviceIdentity identity_;
   ir::IRBuilder* current_builder_ = nullptr;
   std::map<std::string, std::string> helper_names_;
@@ -171,6 +179,39 @@ VarNode DeviceSynthesizer::emit_field_value(FunctionBuilder& f,
       return f.call("rand", {}, val_name);
   }
   return f.cstr(field.value);
+}
+
+VarNode DeviceSynthesizer::emit_staged_field(IRBuilder& b, FunctionBuilder& f,
+                                             const MessageSpec& spec,
+                                             const FieldSpec& field) {
+  // One fresh 8-byte global per staged field; alternate plain-global and
+  // heap double-indirection so both abstract-location kinds are exercised.
+  const std::uint64_t slot =
+      0xD0000000ULL + static_cast<std::uint64_t>(memory_slots_) * 8;
+  const bool heap = (memory_slots_ % 2) == 1;
+  ++memory_slots_;
+
+  std::string writer = "stage_" + spec.name + "_" + field.key;
+  for (char& c : writer)
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  {
+    FunctionBuilder w = b.function(writer);
+    const VarNode value = emit_field_value(w, field);
+    if (heap) {
+      const VarNode cell = w.call("malloc", {w.cnum(16)}, field.key + "_cell");
+      w.store(cell, value);
+      w.store(w.cnum(slot, 8), cell);
+    } else {
+      w.store(w.cnum(slot, 8), value);
+    }
+    w.ret();
+  }
+  f.callv(writer, {});
+  if (heap) {
+    const VarNode cell = f.load(f.cnum(slot, 8));
+    return f.load(cell);
+  }
+  return f.load(f.cnum(slot, 8));
 }
 
 // ---------------------------------------------------------------------------
@@ -275,6 +316,21 @@ void DeviceSynthesizer::emit_message_builder(IRBuilder& b,
                                              int& noise_count) {
   FunctionBuilder f = b.function(fn_name);
 
+  // memory_indirection vendors stage one field per message through a
+  // global/heap cell — prefer a hard-coded token (the staged-credential
+  // case §IV-E tracks), else the first plain field.
+  const FieldSpec* staged = nullptr;
+  if (profile_.memory_indirection) {
+    for (const FieldSpec& field : spec.fields) {
+      if (field.primitive == Primitive::Address) continue;
+      if (field.origin == FieldOrigin::HardcodedStr) {
+        staged = &field;
+        break;
+      }
+      if (staged == nullptr) staged = &field;
+    }
+  }
+
   // Gather field values; the host/Address field routes into the URL.
   std::vector<std::pair<const FieldSpec*, VarNode>> vals;
   const FieldSpec* host_field = nullptr;
@@ -285,7 +341,9 @@ void DeviceSynthesizer::emit_message_builder(IRBuilder& b,
       host_var = emit_field_value(f, field);
       continue;
     }
-    vals.emplace_back(&field, emit_field_value(f, field));
+    vals.emplace_back(&field, &field == staged
+                                  ? emit_staged_field(b, f, spec, field)
+                                  : emit_field_value(f, field));
   }
 
   VarNode body = emit_body(f, spec, vals);
@@ -830,6 +888,13 @@ std::vector<FirmwareImage> synthesize_corpus() {
 std::vector<FirmwareImage> synthesize_sdk_corpus() {
   std::vector<FirmwareImage> out;
   for (const DeviceProfile& profile : sdk_corpus())
+    out.push_back(synthesize(profile));
+  return out;
+}
+
+std::vector<FirmwareImage> synthesize_memory_corpus() {
+  std::vector<FirmwareImage> out;
+  for (const DeviceProfile& profile : memory_corpus())
     out.push_back(synthesize(profile));
   return out;
 }

@@ -34,4 +34,10 @@ std::vector<FirmwareImage> synthesize_corpus();
 /// (docs/COMPONENTS.md).
 std::vector<FirmwareImage> synthesize_sdk_corpus();
 
+/// Synthesize the memory-staging corpus (fw::memory_corpus profiles):
+/// devices whose message builders load staged token values back out of
+/// global/heap cells written by separate writer functions — the workload
+/// the points-to memory def-use index exists for (docs/POINTSTO.md).
+std::vector<FirmwareImage> synthesize_memory_corpus();
+
 }  // namespace firmres::fw

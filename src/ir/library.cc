@@ -130,6 +130,12 @@ LibraryModel::LibraryModel() {
   add(make("memcpy", LibKind::StringOp,
            {.dst = 0, .srcs = {1}, .srcs_from = -1, .dst_also_src = false,
             .is_field_source = false}));
+  add(make("memmove", LibKind::StringOp,
+           {.dst = 0, .srcs = {1}, .srcs_from = -1, .dst_also_src = false,
+            .is_field_source = false}));
+  add(make("memset", LibKind::StringOp,
+           {.dst = 0, .srcs = {1}, .srcs_from = -1, .dst_also_src = false,
+            .is_field_source = false}));
   add(make("strdup", LibKind::StringOp,
            {.dst = -1, .srcs = {0}, .srcs_from = -1, .dst_also_src = false,
             .is_field_source = false}));
@@ -223,7 +229,6 @@ LibraryModel::LibraryModel() {
   add(make("malloc", LibKind::Alloc, {}));
   add(make("calloc", LibKind::Alloc, {}));
   add(make("free", LibKind::Alloc, {}));
-  add(make("memset", LibKind::Other, {}));
   add(make("socket", LibKind::Other, {}));
   add(make("connect", LibKind::Other, {}));
   add(make("close", LibKind::Other, {}));

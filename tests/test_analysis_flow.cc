@@ -171,11 +171,30 @@ TEST(FlowEdges, FlowFreeSummariesYieldNothing) {
   ir::FunctionBuilder f = b.irb.function("f");
   const ir::VarNode buf = f.local("buf");
   f.call("strlen", {buf});
-  f.callv("memset", {buf, f.cnum(0), f.cnum(64)});
+  f.callv("socket", {f.cnum(2), f.cnum(1), f.cnum(0)});
   f.ret();
   const auto ops = b.prog.function("f")->ops_in_order();
   EXPECT_TRUE(flow_edges(*ops[0], b.prog).empty());  // strlen
-  EXPECT_TRUE(flow_edges(*ops[1], b.prog).empty());  // memset
+  EXPECT_TRUE(flow_edges(*ops[1], b.prog).empty());  // socket
+}
+
+TEST(FlowEdges, MemFamilyCopiesIntoDestination) {
+  Builder b;
+  ir::FunctionBuilder f = b.irb.function("f");
+  const ir::VarNode dst = f.local("dst");
+  const ir::VarNode src = f.local("src");
+  f.callv("memmove", {dst, src, f.cnum(16)});
+  f.callv("memset", {dst, f.cnum(0), f.cnum(64)});
+  const auto ops = b.prog.function("f")->ops_in_order();
+  const auto mv = flow_edges(*ops[0], b.prog);
+  ASSERT_EQ(mv.size(), 1u);
+  EXPECT_EQ(mv[0].kind, FlowKind::Summary);
+  EXPECT_EQ(mv[0].dst, dst);
+  ASSERT_EQ(mv[0].srcs.size(), 1u);
+  EXPECT_EQ(mv[0].srcs[0], src);
+  const auto ms = flow_edges(*ops[1], b.prog);
+  ASSERT_EQ(ms.size(), 1u);  // the fill byte flows into the buffer
+  EXPECT_EQ(ms[0].dst, dst);
 }
 
 TEST(WrittenVarnodes, IncludesRawCallOutput) {

@@ -4,6 +4,7 @@
 Usage:
   check_perf_regression.py <baseline.json> <current.json>
       [--threshold 0.5] [--min-wall-s 0.005] [--only PREFIX]
+  check_perf_regression.py --self-test
 
 Timing keys (phases.*.wall_s / cpu_s) regress when current exceeds baseline
 by more than --threshold (a ratio: 0.5 = 50% slower). A NEGATIVE threshold
@@ -11,20 +12,27 @@ turns the check into a required-speedup gate: -0.1 fails any compared key
 that is not at least 10% faster — the warm-vs-cold analysis-cache gate in
 CI runs this way (docs/CACHING.md). --only (repeatable) restricts the
 timing comparison to keys with the given prefix, e.g. `--only total` for
-the end-to-end wall/cpu pair. Phases faster than --min-wall-s in the
+the end-to-end wall/cpu pair. Every --only prefix must match at least one
+phase key in BOTH artifacts; a prefix that matches nothing is a usage
+error (exit 2), so a renamed or dropped section fails loudly instead of
+passing on zero comparisons. Phases faster than --min-wall-s in the
 baseline are skipped — at ms scale they are scheduler noise, not signal.
 registry_metrics are Work-kind (deterministic across job counts), so ANY
 difference there is reported: it means the analysis itself changed, which
 a perf baseline bump should call out.
 
-Only keys present in BOTH files are compared, so adding a phase or metric
-never fails an old baseline. Exit 0 = within threshold, 1 = regression,
-2 = usage/bad input.
+Without --only, only keys present in BOTH files are compared, so adding a
+phase or metric never fails an old baseline. Exit 0 = within threshold,
+1 = regression, 2 = usage/bad input. --self-test runs the built-in
+checks against synthetic artifacts and exits 0 on success (wired into
+ctest as perf_regression_selftest).
 """
 
 import argparse
 import json
+import os
 import sys
+import tempfile
 
 
 def flatten(obj, prefix=""):
@@ -51,7 +59,7 @@ def load(path):
     return doc
 
 
-def main():
+def run(argv):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline")
     parser.add_argument("current")
@@ -72,18 +80,36 @@ def main():
         action="append",
         default=[],
         metavar="PREFIX",
-        help="compare only phase keys starting with PREFIX (repeatable)",
+        help="compare only phase keys starting with PREFIX (repeatable); "
+        "each prefix must match in both artifacts",
     )
-    args = parser.parse_args()
+    args = parser.parse_args(argv)
 
     baseline = load(args.baseline)
     current = load(args.current)
 
+    base_phases = flatten(baseline.get("phases", {}))
+    cur_phases = flatten(current.get("phases", {}))
+
+    # A prefix that matches nothing would silently compare zero keys and
+    # pass — exactly the failure mode a renamed bench section produces.
+    only_errors = False
+    for prefix in args.only:
+        for name, phases in (("baseline", base_phases), ("current", cur_phases)):
+            if not any(key.startswith(prefix) for key in phases):
+                path = args.baseline if name == "baseline" else args.current
+                print(
+                    f"error: --only {prefix} matches no phase key in "
+                    f"{name} artifact {path}",
+                    file=sys.stderr,
+                )
+                only_errors = True
+    if only_errors:
+        return 2
+
     regressions = []
     drifts = []
 
-    base_phases = flatten(baseline.get("phases", {}))
-    cur_phases = flatten(current.get("phases", {}))
     for key in sorted(base_phases.keys() & cur_phases.keys()):
         base, cur = base_phases[key], cur_phases[key]
         if not isinstance(base, (int, float)) or not isinstance(cur, (int, float)):
@@ -120,6 +146,116 @@ def main():
         f"drift(s)  [{base_commit} -> {cur_commit}]"
     )
     return 1 if regressions else 0
+
+
+def self_test():
+    """Exercise the comparison logic against synthetic artifacts."""
+
+    def artifact(total_wall=1.0, fields_wall=0.5, metrics=None, fmt="firmres-bench"):
+        return {
+            "format": fmt,
+            "bench": "selftest",
+            "commit": "selftest",
+            "phases": {
+                "total": {"wall_s": total_wall},
+                "fields": {"wall_s": fields_wall},
+            },
+            "registry_metrics": metrics or {"taint.steps": 100},
+        }
+
+    failures = []
+
+    def check(name, expected_exit, base_doc, cur_doc, extra_args):
+        with tempfile.TemporaryDirectory() as tmp:
+            base_path = os.path.join(tmp, "base.json")
+            cur_path = os.path.join(tmp, "cur.json")
+            for path, doc in ((base_path, base_doc), (cur_path, cur_doc)):
+                with open(path, "w", encoding="utf-8") as f:
+                    json.dump(doc, f)
+            try:
+                code = run([base_path, cur_path] + extra_args)
+            except SystemExit as e:  # load() exits directly on bad input
+                code = e.code
+        status = "ok" if code == expected_exit else "FAIL"
+        print(f"self-test {status}: {name} (exit {code}, want {expected_exit})")
+        if code != expected_exit:
+            failures.append(name)
+
+    check("identical artifacts pass", 0, artifact(), artifact(), [])
+    check(
+        "2x slowdown over +50% threshold fails",
+        1,
+        artifact(total_wall=1.0),
+        artifact(total_wall=2.0),
+        ["--threshold", "0.5"],
+    )
+    check(
+        "slowdown under noise floor is skipped",
+        0,
+        artifact(total_wall=0.001),
+        artifact(total_wall=0.002),
+        ["--min-wall-s", "0.005"],
+    )
+    check(
+        "--only prefix missing from both artifacts is a usage error",
+        2,
+        artifact(),
+        artifact(),
+        ["--only", "no_such_section"],
+    )
+    base_extra = artifact()
+    base_extra["phases"]["memory"] = {"wall_s": 0.2}
+    check(
+        "--only prefix present only in baseline is a usage error",
+        2,
+        base_extra,
+        artifact(),
+        ["--only", "memory"],
+    )
+    check(
+        "--only restricts comparison to the named section",
+        0,
+        artifact(total_wall=1.0, fields_wall=0.1),
+        artifact(total_wall=1.0, fields_wall=9.0),
+        ["--only", "total"],
+    )
+    check(
+        "negative threshold requires a speedup",
+        1,
+        artifact(total_wall=1.0),
+        artifact(total_wall=1.0),
+        ["--threshold", "-0.1"],
+    )
+    check(
+        "negative threshold passes a real speedup",
+        0,
+        artifact(total_wall=1.0, fields_wall=0.5),
+        artifact(total_wall=0.5, fields_wall=0.2),
+        ["--threshold", "-0.1"],
+    )
+    check(
+        "work-metric drift is a note, not a failure",
+        0,
+        artifact(metrics={"taint.steps": 100}),
+        artifact(metrics={"taint.steps": 101}),
+        [],
+    )
+    check(
+        "non-bench artifact is a usage error",
+        2,
+        artifact(fmt="not-a-bench"),
+        artifact(),
+        [],
+    )
+
+    print(f"self-test: {10 - len(failures)}/10 passed")
+    return 1 if failures else 0
+
+
+def main():
+    if "--self-test" in sys.argv[1:]:
+        return self_test()
+    return run(sys.argv[1:])
 
 
 if __name__ == "__main__":

@@ -45,6 +45,7 @@
 
 #include "analysis/components/matcher.h"
 #include "analysis/components/registry.h"
+#include "analysis/pointsto/pointsto.h"
 #include "analysis/valueflow/valueflow.h"
 #include "analysis/verify/verifier.h"
 #include "cloud/vuln_hunter.h"
@@ -85,7 +86,7 @@ int usage() {
                "  firmres serve [--jobs N] [--model <path>] [--stream-events]\n"
                "  firmres components <registry> <image-dir>... [--json]\n"
                "  firmres explain <report.json> --device N [--field K]\n"
-               "  firmres synth <dir> [--device N] [--sdk] "
+               "  firmres synth <dir> [--device N] [--sdk | --memory] "
                "[--sdk-registry <path>]\n"
                "  firmres ir <image-dir> <exec-path>\n"
                "  firmres train <model.json> [devices] [epochs]\n"
@@ -116,7 +117,8 @@ int usage() {
                "certified summaries, the report gains a `components`\n"
                "inventory, and lint flags risky/ambiguous components. synth\n"
                "--sdk writes the shared-library corpus; synth --sdk-registry\n"
-               "<path> writes the matching registry file.\n"
+               "<path> writes the matching registry file; synth --memory\n"
+               "writes the memory-staging corpus (docs/POINTSTO.md).\n"
                "\n"
                "serve reads one command per line from stdin (`analyze\n"
                "<image-dir>...`, `ping`, `quit`) and streams one JSON object\n"
@@ -360,9 +362,14 @@ int cmd_synth(std::vector<std::string> args) {
   if (const auto device = take_value_flag(args, "--device"))
     only_device = std::atoi(device->c_str());
   const bool sdk = take_flag(args, "--sdk");
+  const bool memory = take_flag(args, "--memory");
   const std::optional<std::string> registry_path =
       take_value_flag(args, "--sdk-registry");
   if (!reject_unknown_flags("synth", args)) return kExitUnknownFlag;
+  if (sdk && memory) {
+    std::fprintf(stderr, "--sdk and --memory are mutually exclusive\n");
+    return kExitUsage;
+  }
   if (registry_path.has_value()) {
     // Certify the vendor-SDK templates into a registry file — the offline
     // step matching the --sdk corpus (docs/COMPONENTS.md).
@@ -382,7 +389,9 @@ int cmd_synth(std::vector<std::string> args) {
   const fsys::path base = args[0];
   int written = 0;
   for (const fw::DeviceProfile& profile :
-       sdk ? fw::sdk_corpus() : fw::standard_corpus()) {
+       sdk      ? fw::sdk_corpus()
+       : memory ? fw::memory_corpus()
+                : fw::standard_corpus()) {
     if (only_device != 0 && profile.id != only_device) continue;
     const fw::FirmwareImage image = fw::synthesize(profile);
     const fsys::path dir =
@@ -628,6 +637,8 @@ int cmd_lint(std::vector<std::string> args) {
   bool all_clean = true;
   std::size_t errors = 0, warnings = 0, notes = 0, programs = 0;
   std::size_t indirect_total = 0, indirect_resolved = 0;
+  std::size_t pt_loads_total = 0, pt_loads_resolved = 0;
+  std::size_t pt_stores_total = 0, pt_stores_never_loaded = 0;
   support::JsonArray json_images;
   for (const std::string& dir : args) {
     const fw::FirmwareImage image = fw::load_image(dir);
@@ -640,12 +651,18 @@ int cmd_lint(std::vector<std::string> args) {
           verifier.run(*file.program, pool.get());
       const analysis::ValueFlow vf(*file.program, pool.get());
       const analysis::ValueFlow::Stats vf_stats = vf.stats();
+      const analysis::pointsto::PointsTo pt(*file.program, pool.get());
+      const analysis::pointsto::PointsTo::Stats pt_stats = pt.stats();
       ++programs;
       errors += report.errors();
       warnings += report.warnings();
       notes += report.notes();
       indirect_total += vf_stats.indirect_total;
       indirect_resolved += vf_stats.indirect_resolved;
+      pt_loads_total += pt_stats.loads_total;
+      pt_loads_resolved += pt_stats.loads_resolved;
+      pt_stores_total += pt_stats.stores_total;
+      pt_stores_never_loaded += pt_stats.stores_never_loaded;
       all_clean = all_clean && report.clean(werror);
       if (json) {
         support::Json entry = analysis::verify::report_to_json(report);
@@ -661,6 +678,24 @@ int cmd_lint(std::vector<std::string> args) {
                            : static_cast<double>(vf_stats.indirect_resolved) /
                                  vf_stats.indirect_total);
         entry.set("value_flow", std::move(value_flow));
+        support::Json memory_flow{support::JsonObject{}};
+        memory_flow.set("loads_total",
+                        static_cast<double>(pt_stats.loads_total));
+        memory_flow.set("loads_resolved",
+                        static_cast<double>(pt_stats.loads_resolved));
+        memory_flow.set("loads_with_stores",
+                        static_cast<double>(pt_stats.loads_with_stores));
+        memory_flow.set("stores_total",
+                        static_cast<double>(pt_stats.stores_total));
+        memory_flow.set("stores_never_loaded",
+                        static_cast<double>(pt_stats.stores_never_loaded));
+        memory_flow.set(
+            "resolution_rate",
+            pt_stats.loads_total == 0
+                ? 1.0
+                : static_cast<double>(pt_stats.loads_resolved) /
+                      static_cast<double>(pt_stats.loads_total));
+        entry.set("memory_flow", std::move(memory_flow));
         json_programs.push_back(std::move(entry));
       } else {
         for (const analysis::verify::Diagnostic& d : report.diagnostics)
@@ -689,6 +724,14 @@ int cmd_lint(std::vector<std::string> args) {
                     ? 100.0
                     : 100.0 * static_cast<double>(indirect_resolved) /
                           static_cast<double>(indirect_total));
+    std::printf("memory loads: %zu/%zu resolved (%.0f%%), "
+                "%zu store(s), %zu never loaded\n",
+                pt_loads_resolved, pt_loads_total,
+                pt_loads_total == 0
+                    ? 100.0
+                    : 100.0 * static_cast<double>(pt_loads_resolved) /
+                          static_cast<double>(pt_loads_total),
+                pt_stores_total, pt_stores_never_loaded);
   }
   return all_clean ? 0 : 1;
 }

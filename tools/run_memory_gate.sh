@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# Memory-corpus reconstruction gate (docs/POINTSTO.md).
+#
+# Synthesizes the memory-staging corpus (`firmres synth --memory`: control
+# devices 02/06 plus staging devices 01/10/15, whose message builders load
+# token values back out of global/heap cells filled by separate writer
+# functions) and asserts the points-to memory def-use index recovers them:
+#
+#   - every binary device reconstructs at least one field (the control
+#     devices pin the seed pipeline's behaviour; the A/B "fields >= without
+#     the pass" property itself is pinned by tests/test_pointsto.cc);
+#   - on the staging devices every load resolves (resolution_rate 1.0),
+#     at least one resolves through a reaching Store, and no taint walk
+#     terminates memory-unresolved.
+#
+#   tools/run_memory_gate.sh [firmres-binary] [workdir]
+#
+# Defaults: binary build/tools/firmres, workdir a fresh mktemp -d (removed
+# on exit; a caller-supplied workdir is left in place for inspection).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+FIRMRES=${1:-build/tools/firmres}
+if [[ ! -x "$FIRMRES" ]]; then
+  echo "run_memory_gate: firmres binary not found at $FIRMRES" >&2
+  echo "  build it first: cmake -B build -S . && cmake --build build -j" >&2
+  exit 1
+fi
+
+if [[ $# -ge 2 ]]; then
+  WORKDIR=$2
+  mkdir -p "$WORKDIR"
+else
+  WORKDIR=$(mktemp -d)
+  trap 'rm -rf "$WORKDIR"' EXIT
+fi
+
+"$FIRMRES" synth "$WORKDIR" --memory >/dev/null
+"$FIRMRES" analyze "$WORKDIR"/device* --json > "$WORKDIR/report.json"
+
+python3 - "$WORKDIR/report.json" <<'EOF'
+import json
+import sys
+
+# fw::memory_corpus rows with memory_indirection set (device_profile.cc).
+STAGING_DEVICES = {1, 10, 15}
+
+report = json.load(open(sys.argv[1], encoding="utf-8"))
+failures = []
+seen = set()
+for dev in report:
+    did = dev["device_id"]
+    seen.add(did)
+    fields = sum(len(m["fields"]) for m in dev["messages"])
+    if fields == 0:
+        failures.append(f"device {did:02d}: no reconstructed fields")
+        continue
+    mf = dev["memory_flow"]
+    line = (
+        f"device {did:02d}: {fields} fields, "
+        f"{mf['loads_resolved']}/{mf['loads_total']} loads resolved, "
+        f"{mf['loads_with_stores']} via stores, "
+        f"{mf['memory_terminations']} memory terminations"
+    )
+    print(line)
+    if did not in STAGING_DEVICES:
+        continue
+    if mf["loads_total"] == 0:
+        failures.append(f"device {did:02d}: no loads reached the index")
+    if mf["loads_resolved"] != mf["loads_total"]:
+        failures.append(f"device {did:02d}: unresolved loads on a staging device")
+    if mf["loads_with_stores"] == 0:
+        failures.append(f"device {did:02d}: no load resolved through a store")
+    if mf["memory_terminations"] != 0:
+        failures.append(f"device {did:02d}: memory-unresolved taint terminations")
+
+missing = STAGING_DEVICES - seen
+if missing:
+    failures.append(f"staging devices missing from the report: {sorted(missing)}")
+
+for f in failures:
+    print(f"FAIL {f}", file=sys.stderr)
+print(f"memory gate: {len(failures)} failure(s) across {len(seen)} devices")
+sys.exit(1 if failures else 0)
+EOF
