@@ -17,7 +17,8 @@ void render(const core::MftNode& node, int depth) {
   std::printf("%*s%s", depth * 2, "",
               core::mft_node_kind_name(node.kind));
   if (node.op != nullptr && node.op->opcode == ir::OpCode::Call)
-    std::printf(" %s", node.op->callee.c_str());
+    std::printf(" %.*s", static_cast<int>(node.op->callee.size()),
+                node.op->callee.data());
   if (!node.detail.empty()) std::printf(" [%s]", node.detail.c_str());
   std::printf("\n");
   for (const auto& c : node.children) render(*c, depth + 1);

@@ -57,10 +57,10 @@ void CallGraph::build(const ValueFlow* valueflow) {
         }
         if (op.opcode != ir::OpCode::Call) continue;
         const CallSite site{.caller = fn, .op = &op, .arg_offset = 0};
-        sites_by_callee_[op.callee].push_back(site);
+        sites_by_callee_[std::string(op.callee)].push_back(site);
         sites_by_caller_[fn].push_back(site);
 
-        const ir::Function* target = program_.function(op.callee);
+        const ir::Function* target = program_.function_by_id(op.callee_fn);
         if (target != nullptr && !target->is_import() &&
             seen_callees.insert(target).second) {
           callees_[fn].push_back(target);
@@ -69,7 +69,7 @@ void CallGraph::build(const ValueFlow* valueflow) {
 
         // Event-callback registration: a const function-pointer argument to
         // an EventReg library call marks the target as implicitly invoked.
-        const ir::LibFunction* libfn = lib.find(op.callee);
+        const ir::LibFunction* libfn = op.lib();
         if (libfn != nullptr && libfn->kind == ir::LibKind::EventReg &&
             libfn->callback_arg >= 0 &&
             static_cast<std::size_t>(libfn->callback_arg) < op.inputs.size()) {
@@ -103,6 +103,14 @@ void CallGraph::build(const ValueFlow* valueflow) {
               });
     adj.erase(std::unique(adj.begin(), adj.end()), adj.end());
   }
+
+  // Merge direct + devirtualized callsites once; resolved_callsites_of is
+  // queried per parameter leaf on the taint hot path.
+  resolved_sites_by_callee_ = sites_by_callee_;
+  for (const auto& [name, sites] : devirt_sites_by_callee_) {
+    auto& merged = resolved_sites_by_callee_[name];
+    merged.insert(merged.end(), sites.begin(), sites.end());
+  }
 }
 
 const std::vector<const ir::Function*>& CallGraph::callers(
@@ -117,10 +125,10 @@ const std::vector<const ir::Function*>& CallGraph::callees(
   return it == callees_.end() ? empty_ : it->second;
 }
 
-std::vector<CallSite> CallGraph::callsites_of(
+const std::vector<CallSite>& CallGraph::callsites_of(
     std::string_view callee_name) const {
   const auto it = sites_by_callee_.find(callee_name);
-  return it == sites_by_callee_.end() ? std::vector<CallSite>{} : it->second;
+  return it == sites_by_callee_.end() ? empty_sites_ : it->second;
 }
 
 const ir::Function* CallGraph::indirect_target(const ir::PcodeOp* op) const {
@@ -129,18 +137,16 @@ const ir::Function* CallGraph::indirect_target(const ir::PcodeOp* op) const {
   return nullptr;
 }
 
-std::vector<CallSite> CallGraph::resolved_callsites_of(
+const std::vector<CallSite>& CallGraph::resolved_callsites_of(
     std::string_view callee_name) const {
-  std::vector<CallSite> out = callsites_of(callee_name);
-  const auto it = devirt_sites_by_callee_.find(callee_name);
-  if (it != devirt_sites_by_callee_.end())
-    out.insert(out.end(), it->second.begin(), it->second.end());
-  return out;
+  const auto it = resolved_sites_by_callee_.find(callee_name);
+  return it == resolved_sites_by_callee_.end() ? empty_sites_ : it->second;
 }
 
-std::vector<CallSite> CallGraph::callsites_in(const ir::Function* fn) const {
+const std::vector<CallSite>& CallGraph::callsites_in(
+    const ir::Function* fn) const {
   const auto it = sites_by_caller_.find(fn);
-  return it == sites_by_caller_.end() ? std::vector<CallSite>{} : it->second;
+  return it == sites_by_caller_.end() ? empty_sites_ : it->second;
 }
 
 std::vector<const ir::Function*> CallGraph::path(const ir::Function* a,

@@ -62,12 +62,14 @@ class CallGraph {
       const ir::Function* fn) const;
 
   /// All direct callsites targeting `callee_name` anywhere in the program.
-  std::vector<CallSite> callsites_of(std::string_view callee_name) const;
+  const std::vector<CallSite>& callsites_of(std::string_view callee_name) const;
 
   /// Direct callsites of `callee_name` plus devirtualized CallInd sites
   /// resolved to it (value-flow constructor only; equals `callsites_of`
-  /// otherwise). Devirtualized sites carry arg_offset = 1.
-  std::vector<CallSite> resolved_callsites_of(
+  /// otherwise). Devirtualized sites carry arg_offset = 1. The merged
+  /// vectors are precomputed at construction (taint queries this per
+  /// parameter leaf on its hot path).
+  const std::vector<CallSite>& resolved_callsites_of(
       std::string_view callee_name) const;
 
   /// Every CallInd site in the program, in function-creation/layout order,
@@ -86,7 +88,7 @@ class CallGraph {
   const ir::Function* indirect_target(const ir::PcodeOp* op) const;
 
   /// All direct callsites whose caller is `fn`.
-  std::vector<CallSite> callsites_in(const ir::Function* fn) const;
+  const std::vector<CallSite>& callsites_in(const ir::Function* fn) const;
 
   /// Hop distance between two functions on the *undirected* call graph
   /// (anchors of a handler are connected through shared helpers regardless
@@ -124,8 +126,12 @@ class CallGraph {
   /// Devirtualized sites per target name (value-flow constructor).
   std::map<std::string, std::vector<CallSite>, std::less<>>
       devirt_sites_by_callee_;
+  /// Direct + devirtualized sites per target name, merged once after build.
+  std::map<std::string, std::vector<CallSite>, std::less<>>
+      resolved_sites_by_callee_;
   std::size_t indirect_resolved_ = 0;
   std::vector<const ir::Function*> empty_;
+  std::vector<CallSite> empty_sites_;
 };
 
 }  // namespace firmres::analysis

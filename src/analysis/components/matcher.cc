@@ -33,17 +33,16 @@ bool certify(const ir::Program& program, const ir::Function& fn,
         *why = "indirect control flow";
         break;
       case ir::OpCode::Call: {
-        const ir::Function* callee = program.function(op.callee);
+        const ir::Function* callee = program.function_by_id(op.callee_fn);
         if (callee != nullptr && !callee->is_import()) {
           ok = false;
-          *why = "calls local function " + op.callee;
+          *why = "calls local function " + std::string(op.callee);
           break;
         }
-        const ir::LibFunction* lib =
-            ir::LibraryModel::instance().find(op.callee);
+        const ir::LibFunction* lib = op.lib();
         if (lib != nullptr && lib->kind == ir::LibKind::EventReg) {
           ok = false;
-          *why = "registers event callback via " + op.callee;
+          *why = "registers event callback via " + std::string(op.callee);
         }
         break;
       }

@@ -33,16 +33,17 @@ std::optional<ir::VarNode> summary_dst(const ir::PcodeOp& op,
 
 std::vector<FlowEdge> call_edges(const ir::PcodeOp& op,
                                  const ir::Program& program) {
-  const auto& lib = ir::LibraryModel::instance();
-  const ir::LibFunction* libfn = lib.find(op.callee);
-  const ir::Function* target = program.function(op.callee);
+  // Pre-resolved dense ids (Program::set_call_target) — no string-keyed
+  // map lookups on this path.
+  const ir::LibFunction* libfn = op.lib();
+  const ir::Function* target = program.function_by_id(op.callee_fn);
 
   if (target != nullptr && !target->is_import()) {
     // Local call: the inter-procedural engines descend into the body; the
     // edge records only that the output comes "from the call".
     if (!op.output.has_value()) return {};
     return {FlowEdge{.dst = *op.output,
-                     .srcs = op.inputs,
+                     .srcs = {op.inputs.begin(), op.inputs.end()},
                      .dst_also_src = false,
                      .kind = FlowKind::LocalCall,
                      .op = &op}};
@@ -66,7 +67,7 @@ std::vector<FlowEdge> call_edges(const ir::PcodeOp& op,
   // Unknown import: overtaint. Output derives from every input.
   if (!op.output.has_value() || op.inputs.empty()) return {};
   return {FlowEdge{.dst = *op.output,
-                   .srcs = op.inputs,
+                   .srcs = {op.inputs.begin(), op.inputs.end()},
                    .dst_also_src = false,
                    .kind = FlowKind::Overtaint,
                    .op = &op}};
@@ -99,7 +100,7 @@ std::vector<FlowEdge> flow_edges(const ir::PcodeOp& op,
     default:
       if (!op.output.has_value()) return {};
       return {FlowEdge{.dst = *op.output,
-                       .srcs = op.inputs,
+                       .srcs = {op.inputs.begin(), op.inputs.end()},
                        .dst_also_src = false,
                        .kind = FlowKind::Direct,
                        .op = &op}};

@@ -26,12 +26,12 @@ std::vector<Predicate> predicates_of(const ir::Function& fn) {
           def->opcode == ir::OpCode::BoolOr ||
           def->opcode == ir::OpCode::BoolNegate) {
         p.condition_def = def;
-        p.operands = def->inputs;
+        p.operands = {def->inputs.begin(), def->inputs.end()};
       } else if (def->opcode == ir::OpCode::Call) {
         // Condition straight from a call result (strcmp(...) == used as
         // bool): the call's arguments are the compared operands.
         p.condition_def = def;
-        p.operands = def->inputs;
+        p.operands = {def->inputs.begin(), def->inputs.end()};
       }
     }
     if (p.operands.empty()) {

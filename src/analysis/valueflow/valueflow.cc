@@ -199,7 +199,7 @@ Value ValueFlow::transfer_call(const ir::PcodeOp& op, const Env& env,
       return Value::bottom();
     }
   } else {
-    callee = program_.function(op.callee);
+    callee = program_.function_by_id(op.callee_fn);
   }
 
   if (callee != nullptr && !callee->is_import()) {
@@ -211,7 +211,7 @@ Value ValueFlow::transfer_call(const ir::PcodeOp& op, const Env& env,
                                     : Value::bottom();
   }
 
-  const ir::LibFunction* lib = ir::LibraryModel::instance().find(op.callee);
+  const ir::LibFunction* lib = op.lib();
   if (lib == nullptr) {
     bottom_stack_args();
     return Value::bottom();
@@ -282,9 +282,9 @@ Value ValueFlow::transfer_call(const ir::PcodeOp& op, const Env& env,
   return Value::bottom();
 }
 
-ValueFlow::Env ValueFlow::solve_function(const ir::Function& fn,
-                                         const FnSummary& boundary,
-                                         const Snapshot& snapshot) const {
+ValueFlow::Env ValueFlow::solve_function(
+    const ir::Function& fn, const std::vector<const ir::PcodeOp*>& ops,
+    const FnSummary& boundary, const Snapshot& snapshot) const {
   Env base;
   const std::vector<ir::VarNode>& params = fn.params();
   for (std::size_t i = 0; i < params.size(); ++i) {
@@ -292,7 +292,6 @@ ValueFlow::Env ValueFlow::solve_function(const ir::Function& fn,
     base[params[i]] = i < boundary.params.size() ? boundary.params[i]
                                                  : Value::bottom();
   }
-  const std::vector<const ir::PcodeOp*> ops = fn.ops_in_order();
 
   Env env = base;
   for (int sweep = 0; sweep < options_.max_sweeps; ++sweep) {
@@ -482,7 +481,6 @@ ValueFlow::Env ValueFlow::solve_function(const ir::Function& fn,
 void ValueFlow::run(support::ThreadPool* pool) {
   FIRMRES_SPAN("valueflow.solve", "analysis");
   g_vf_solves.add();
-  const ir::LibraryModel& lib = ir::LibraryModel::instance();
 
   for (const ir::Function* fn : program_.functions()) {
     if (fn->is_import()) continue;
@@ -490,11 +488,13 @@ void ValueFlow::run(support::ThreadPool* pool) {
     locals_.push_back(fn);
     by_entry_[fn->entry_address()] = fn;
   }
-  for (const ir::Function* fn : locals_) {
-    for (const ir::PcodeOp* op : fn->ops_in_order()) {
-      op_owner_[op] = fn;
-      if (op->opcode == ir::OpCode::Call && !op->callee.empty())
-        direct_sites_[op->callee].push_back(op);
+  local_ops_.resize(locals_.size());
+  for (std::size_t i = 0; i < locals_.size(); ++i) {
+    local_ops_[i] = locals_[i]->ops_in_order();
+    for (const ir::PcodeOp* op : local_ops_[i]) {
+      op_owner_[op] = locals_[i];
+      if (op->opcode == ir::OpCode::Call && op->callee_fn != ir::kNoFunc)
+        direct_sites_[op->callee_fn].push_back(op);
     }
   }
 
@@ -502,10 +502,10 @@ void ValueFlow::run(support::ThreadPool* pool) {
   // plain CallGraph sees these too; their parameters come from the event
   // loop, not any visible callsite.
   std::set<const ir::Function*> const_registered;
-  for (const ir::Function* fn : locals_) {
-    for (const ir::PcodeOp* op : fn->ops_in_order()) {
+  for (std::size_t i = 0; i < locals_.size(); ++i) {
+    for (const ir::PcodeOp* op : local_ops_[i]) {
       if (op->opcode != ir::OpCode::Call) continue;
-      const ir::LibFunction* f = lib.find(op->callee);
+      const ir::LibFunction* f = op->lib();
       if (f == nullptr || f->kind != ir::LibKind::EventReg ||
           f->callback_arg < 0)
         continue;
@@ -523,8 +523,8 @@ void ValueFlow::run(support::ThreadPool* pool) {
   // no modelled-summary write racing it. Their cell values start optimistic
   // (⊤) and are recomputed each round in the sequential merge.
   if (options_.pointsto != nullptr) {
-    for (const ir::Function* fn : locals_) {
-      for (const ir::PcodeOp* op : fn->ops_in_order()) {
+    for (std::size_t i = 0; i < locals_.size(); ++i) {
+      for (const ir::PcodeOp* op : local_ops_[i]) {
         if (op->opcode != ir::OpCode::Load) continue;
         const pointsto::LoadResolution* res =
             options_.pointsto->resolve_load(op);
@@ -549,7 +549,7 @@ void ValueFlow::run(support::ThreadPool* pool) {
   for (std::size_t i = 0; i < locals_.size(); ++i) {
     const bool ebot =
         entry_bottom_[i] ||
-        direct_sites_.find(locals_[i]->name()) == direct_sites_.end();
+        direct_sites_.find(locals_[i]->id()) == direct_sites_.end();
     summaries_[i].params.assign(
         locals_[i]->params().size(),
         ebot ? Value::bottom() : Value::top());
@@ -582,8 +582,8 @@ void ValueFlow::run(support::ThreadPool* pool) {
 
     const auto solve = [&](std::size_t i) {
       if (substituted[i]) return;
-      envs_[i] =
-          solve_function(*locals_[i], snapshot.summaries[i], snapshot);
+      envs_[i] = solve_function(*locals_[i], local_ops_[i],
+                                snapshot.summaries[i], snapshot);
     };
     if (pool != nullptr)
       support::parallel_for(*pool, locals_.size(), solve);
@@ -598,7 +598,7 @@ void ValueFlow::run(support::ThreadPool* pool) {
     std::map<const ir::Function*, std::vector<const ir::PcodeOp*>>
         indirect_by_target;
     for (std::size_t i = 0; i < locals_.size(); ++i) {
-      for (const ir::PcodeOp* op : locals_[i]->ops_in_order()) {
+      for (const ir::PcodeOp* op : local_ops_[i]) {
         if (op->opcode == ir::OpCode::CallInd && !op->inputs.empty()) {
           const Value t = eval(envs_[i], op->inputs[0]);
           if (!t.is_const()) continue;
@@ -608,7 +608,7 @@ void ValueFlow::run(support::ThreadPool* pool) {
           first_resolved_round_.emplace(op, round);  // keeps earliest round
           indirect_by_target[e->second].push_back(op);
         } else if (op->opcode == ir::OpCode::Call) {
-          const ir::LibFunction* f = lib.find(op->callee);
+          const ir::LibFunction* f = op->lib();
           if (f == nullptr || f->kind != ir::LibKind::EventReg ||
               f->callback_arg < 0)
             continue;
@@ -647,7 +647,7 @@ void ValueFlow::run(support::ThreadPool* pool) {
           s.params[p] = Value::meet(s.params[p], a);
         }
       };
-      if (const auto dit = direct_sites_.find(fn->name());
+      if (const auto dit = direct_sites_.find(fn->id());
           dit != direct_sites_.end())
         for (const ir::PcodeOp* op : dit->second) fold_site(op, 0);
       if (const auto iit = indirect_by_target.find(fn);
@@ -658,7 +658,7 @@ void ValueFlow::run(support::ThreadPool* pool) {
 
       s.ret = Value::top();
       bool has_return = false;
-      for (const ir::PcodeOp* op : fn->ops_in_order()) {
+      for (const ir::PcodeOp* op : local_ops_[i]) {
         if (op->opcode != ir::OpCode::Return) continue;
         has_return = true;
         s.ret = Value::meet(s.ret, op->inputs.empty()
@@ -691,7 +691,7 @@ void ValueFlow::run(support::ThreadPool* pool) {
 
   folded_event_callbacks_ = std::move(folded);
   for (std::size_t i = 0; i < locals_.size(); ++i) {
-    for (const ir::PcodeOp* op : locals_[i]->ops_in_order()) {
+    for (const ir::PcodeOp* op : local_ops_[i]) {
       if (op->opcode != ir::OpCode::CallInd) continue;
       const auto it = resolved_.find(op);
       const auto rit = first_resolved_round_.find(op);
@@ -767,7 +767,7 @@ std::uint64_t ValueFlow::function_signature(const ir::Function* fn) const {
   // Devirtualized targets: hash by callee name + site address, in op layout
   // order. Unresolved sites hash too — resolution flipping off must change
   // the signature just as flipping on does.
-  for (const ir::PcodeOp* op : fn->ops_in_order()) {
+  for (const ir::PcodeOp* op : local_ops_[idx->second]) {
     if (op->opcode != ir::OpCode::CallInd) continue;
     h.u64(op->address);
     const auto rit = resolved_.find(op);
@@ -776,7 +776,7 @@ std::uint64_t ValueFlow::function_signature(const ir::Function* fn) const {
   // Memory cell values read by this function's tracked loads
   // (docs/POINTSTO.md): a store in *another* function changing what a load
   // here sees must change this signature.
-  for (const ir::PcodeOp* op : fn->ops_in_order()) {
+  for (const ir::PcodeOp* op : local_ops_[idx->second]) {
     if (op->opcode != ir::OpCode::Load) continue;
     const auto mit = mem_.find(op);
     if (mit == mem_.end()) continue;

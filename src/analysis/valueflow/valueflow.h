@@ -22,6 +22,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "analysis/valueflow/lattice.h"
@@ -171,7 +172,9 @@ class ValueFlow {
   valueflow::Value eval(const Env& env, const ir::VarNode& v) const;
   static bool is_tracked(const ir::VarNode& v);
 
-  Env solve_function(const ir::Function& fn, const FnSummary& boundary,
+  Env solve_function(const ir::Function& fn,
+                     const std::vector<const ir::PcodeOp*>& ops,
+                     const FnSummary& boundary,
                      const Snapshot& snapshot) const;
   valueflow::Value transfer_call(const ir::PcodeOp& op, const Env& env,
                                  Env& next, const Snapshot& snapshot) const;
@@ -187,10 +190,15 @@ class ValueFlow {
   std::vector<const ir::Function*> locals_;  ///< creation order
   std::map<const ir::Function*, std::size_t> local_index_;
   std::map<std::uint64_t, const ir::Function*> by_entry_;
-  /// Direct Call sites per callee name (layout order).
-  std::map<std::string, std::vector<const ir::PcodeOp*>, std::less<>>
+  /// Direct Call sites per callee FuncId (layout order). Dense ids from
+  /// PcodeOp::callee_fn — no string keys on the per-round merge path.
+  std::unordered_map<ir::FuncId, std::vector<const ir::PcodeOp*>>
       direct_sites_;
   std::map<const ir::PcodeOp*, const ir::Function*> op_owner_;
+  /// Flattened layout-order op list per local function (indexed like
+  /// locals_), built once — the per-round loops used to re-allocate this
+  /// via ops_in_order() on every visit.
+  std::vector<std::vector<const ir::PcodeOp*>> local_ops_;
   /// Functions whose parameters enter as ⊥: no direct callsite, or
   /// registered as an event callback (called with unknown arguments).
   std::vector<bool> entry_bottom_;

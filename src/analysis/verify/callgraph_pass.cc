@@ -50,12 +50,12 @@ class CallGraphPass final : public Pass {
           if (target == nullptr) {
             sink.error(fn, b.id, static_cast<int>(oi),
                        support::format("call to unknown function '%s'",
-                                       op.callee.c_str()));
+                                       std::string(op.callee).c_str()));
           } else if (target->is_import() && libfn == nullptr) {
             sink.note(fn, b.id, static_cast<int>(oi),
                       support::format("import '%s' has no library summary; "
                                       "dataflow will overtaint through it",
-                                      op.callee.c_str()));
+                                      std::string(op.callee).c_str()));
           }
           if (libfn != nullptr && libfn->kind == ir::LibKind::EventReg &&
               libfn->callback_arg >= 0) {
@@ -98,7 +98,7 @@ class CallGraphPass final : public Pass {
       sink.error(fn, b.id, oi,
                  support::format("event registration '%s' is missing its "
                                  "callback argument (index %d)",
-                                 op.callee.c_str(), callback_arg));
+                                 std::string(op.callee).c_str(), callback_arg));
       return;
     }
     const ir::VarNode& cb = op.inputs[static_cast<std::size_t>(callback_arg)];

@@ -37,7 +37,7 @@ std::string describe(const ir::Function& fn, const ir::VarNode& v) {
   const ir::VarInfo* info = fn.var_info(v);
   if (info != nullptr && !info->name.empty())
     return support::format("%s '%s'", v.to_string().c_str(),
-                           info->name.c_str());
+                           std::string(info->name).c_str());
   return v.to_string();
 }
 
@@ -253,7 +253,7 @@ class DataflowPass final : public Pass {
           sink.error(fn, b.id, static_cast<int>(oi),
                      support::format("%s callsite is missing its format "
                                      "argument (needs %zu inputs, has %zu)",
-                                     op.callee.c_str(), fmt_idx + 1,
+                                     std::string(op.callee).c_str(), fmt_idx + 1,
                                      op.inputs.size()));
           continue;
         }
@@ -262,7 +262,7 @@ class DataflowPass final : public Pass {
           sink.note(fn, b.id, static_cast<int>(oi),
                     support::format("%s format operand is not a string "
                                     "constant; field splitting cannot see it",
-                                    op.callee.c_str()));
+                                    std::string(op.callee).c_str()));
           continue;
         }
         const auto text = ctx.program.data().string_at(fmt.offset);
@@ -270,7 +270,7 @@ class DataflowPass final : public Pass {
           sink.warning(fn, b.id, static_cast<int>(oi),
                        support::format("%s format operand does not resolve "
                                        "to a data-segment string",
-                                       op.callee.c_str()));
+                                       std::string(op.callee).c_str()));
           continue;
         }
         const int need = format_value_args(*text);

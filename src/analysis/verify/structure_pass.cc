@@ -234,7 +234,7 @@ class StructurePass final : public Pass {
     if (op.opcode != ir::OpCode::Call && !op.callee.empty())
       sink.error(fn, b.id, oi,
                  support::format("callee symbol '%s' on a %s op",
-                                 op.callee.c_str(), opname));
+                                 std::string(op.callee).c_str(), opname));
 
     if (op.output.has_value()) {
       if (op.output->size == 0)

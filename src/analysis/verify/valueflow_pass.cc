@@ -83,7 +83,7 @@ class ValueFlowPass final : public Pass {
                           "constant-folds-to-lan-address: '%s' operand %d "
                           "folds to \"%s\", a LAN destination (§IV-D "
                           "discards this message)",
-                          op.callee.c_str(), arg, text->c_str()));
+                          std::string(op.callee).c_str(), arg, text->c_str()));
           }
         }
       }

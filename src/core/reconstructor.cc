@@ -107,7 +107,10 @@ void ordered_leaf_ids(const MftNode& node, std::vector<int>& out) {
 std::string path_step(const MftNode& node) {
   if (node.op == nullptr) return mft_node_kind_name(node.kind);
   std::string step = ir::opcode_name(node.op->opcode);
-  if (!node.op->callee.empty()) step += ":" + node.op->callee;
+  if (!node.op->callee.empty()) {
+    step += ":";
+    step += node.op->callee;
+  }
   return step;
 }
 

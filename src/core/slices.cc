@@ -395,8 +395,11 @@ void SliceGenerator::process_leaf(const Mft& mft, const MftNode* leaf) {
     const MftNode* next = pi + 1 < path.size() ? path[pi + 1] : nullptr;
     std::string rendered;
     rendered += ir::opcode_name(node->op->opcode);
-    if (node->op->opcode == ir::OpCode::Call)
-      rendered += " (Fun, " + node->op->callee + ")";
+    if (node->op->opcode == ir::OpCode::Call) {
+      rendered += " (Fun, ";
+      rendered += node->op->callee;
+      rendered += ")";
+    }
     if (node->op->output.has_value()) {
       rendered +=
           " " + ir::render_enriched(*node->op->output, *node->fn) + " =";

@@ -145,34 +145,43 @@ Primitive keyword_label(std::string_view text) {
   // because a derived credential's slice shows both the derivation ("sign",
   // "hmac") and the secret it reads ("dev_secret") — the wire field is the
   // signature (§II-B form ②). None last by construction.
-  static const Primitive kOrder[] = {
-      Primitive::Signature,   Primitive::BindToken, Primitive::DevSecret,
-      Primitive::UserCred,    Primitive::DevIdentifier,
-      Primitive::Address,
-  };
-  for (const Primitive p : kOrder) {
-    for (const FieldTemplate& t : templates_for(p)) {
-      if (support::icontains(text, t.key)) return p;
-    }
+  //
+  // Hot path: every slice runs every dictionary here, so the keys are
+  // pre-lowered once and the text lowered once per call, leaving plain
+  // substring finds in the scan.
+  static const std::vector<std::pair<std::string, Primitive>> kLoweredKeys =
+      [] {
+        static const Primitive kOrder[] = {
+            Primitive::Signature,     Primitive::BindToken,
+            Primitive::DevSecret,     Primitive::UserCred,
+            Primitive::DevIdentifier, Primitive::Address,
+        };
+        std::vector<std::pair<std::string, Primitive>> out;
+        for (const Primitive p : kOrder)
+          for (const FieldTemplate& t : templates_for(p))
+            out.emplace_back(support::to_lower(t.key), p);
+        return out;
+      }();
+  const std::string lowered = support::to_lower(text);
+  for (const auto& [key, p] : kLoweredKeys) {
+    if (lowered.find(key) != std::string::npos) return p;
   }
   return Primitive::None;
 }
 
 std::optional<Primitive> primitive_of_key(std::string_view key) {
-  const std::string lowered = support::to_lower(key);
   for (const Primitive p : all_primitives()) {
     for (const FieldTemplate& t : templates_for(p)) {
-      if (support::to_lower(t.key) == lowered) return p;
+      if (support::iequals(t.key, key)) return p;
     }
   }
   return std::nullopt;
 }
 
 std::optional<std::string> logical_of_key(std::string_view key) {
-  const std::string lowered = support::to_lower(key);
   for (const Primitive p : all_primitives()) {
     for (const FieldTemplate& t : templates_for(p)) {
-      if (support::to_lower(t.key) == lowered && !t.logical.empty())
+      if (support::iequals(t.key, key) && !t.logical.empty())
         return t.logical;
     }
   }

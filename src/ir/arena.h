@@ -1,0 +1,131 @@
+// Arena storage for the P-Code IR: dense IDs, interned strings, and pooled
+// operand lists.
+//
+// The analyses (§IV-A identification, §IV-B taint, ValueFlow, points-to,
+// the verifier) are all worklist algorithms over `ir::Program`; their inner
+// loops used to chase per-op heap allocations (a std::vector of inputs and a
+// std::string callee per PcodeOp) and string-keyed map lookups per call op.
+// This header provides the replacement storage model:
+//
+//   * StrId / FuncId / LibId — dense 32/32/16-bit indices replacing string
+//     keys on the hot paths. `StrId 0` is always the empty string; `LibId 0`
+//     means "not a known library function"; `kNoFunc` means "no in-program
+//     callee".
+//   * StringTable — per-program string interner. Views returned by `view()`
+//     are stable for the life of the Program (deque-backed storage; elements
+//     never move, even when the Program itself is moved).
+//   * OperandArena — chunked bump storage for PcodeOp input lists. Ops hold
+//     `std::span<const VarNode>` into the arena, so copying an op is a
+//     shallow 16-byte span copy and iterating inputs touches contiguous
+//     memory. Chunks are reserved up front and never reallocate, so spans
+//     are stable for the life of the Program.
+//
+// Invariants (see docs/IR.md):
+//   * IDs are creation-ordered and dense: the Nth add_function gets
+//     FuncId N, the Nth distinct interned string gets StrId N (with N=0
+//     reserved for "").
+//   * IDs are never reused or invalidated; Programs only grow.
+//   * Out-of-range IDs are a programming error: `view()` /
+//     `Program::function_by_id` throw via FIRMRES_CHECK rather than
+//     returning garbage.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/varnode.h"
+#include "support/error.h"
+
+namespace firmres::ir {
+
+/// Index into a Program's StringTable. 0 is always the empty string.
+using StrId = std::uint32_t;
+
+/// Dense per-program function index (creation order, imports included).
+using FuncId = std::uint32_t;
+
+/// 1-based index into LibraryModel::all(); 0 = not a known library function.
+using LibId = std::uint16_t;
+
+/// Sentinel FuncId: "no in-program function" (e.g. a call to a name the
+/// program does not define — impossible through the builder, which
+/// auto-registers imports, but representable in hand-built IR).
+inline constexpr FuncId kNoFunc = 0xFFFFFFFFu;
+
+/// Per-program string interner. Deduplicates on intern; id 0 is the empty
+/// string. Returned views are stable for the table's lifetime (deque-backed
+/// element storage never moves) and remain valid after the owning Program is
+/// moved.
+class StringTable {
+ public:
+  StringTable() { strings_.emplace_back(); }  // id 0 = ""
+
+  /// Intern `s`, returning its dense id. Repeated interning of equal
+  /// strings returns the same id.
+  StrId intern(std::string_view s) {
+    if (s.empty()) return 0;
+    const auto it = index_.find(s);
+    if (it != index_.end()) return it->second;
+    strings_.emplace_back(s);
+    const StrId id = static_cast<StrId>(strings_.size() - 1);
+    index_.emplace(std::string_view(strings_.back()), id);
+    return id;
+  }
+
+  /// Stable view of an interned string. Out-of-range ids throw.
+  std::string_view view(StrId id) const {
+    FIRMRES_CHECK_MSG(id < strings_.size(), "StrId out of range");
+    return strings_[id];
+  }
+
+  /// Number of interned strings, the empty string included.
+  std::size_t size() const { return strings_.size(); }
+
+ private:
+  std::deque<std::string> strings_;  // stable element addresses
+  std::unordered_map<std::string_view, StrId> index_;  // views into strings_
+};
+
+/// Chunked bump allocator for PcodeOp operand lists. Each chunk is reserved
+/// at construction and never reallocates, so spans handed out stay valid for
+/// the arena's lifetime (and across moves of the owning Program).
+class OperandArena {
+ public:
+  std::span<const VarNode> copy(const VarNode* data, std::size_t n) {
+    if (n == 0) return {};
+    if (chunks_.empty() ||
+        chunks_.back().capacity() - chunks_.back().size() < n) {
+      chunks_.emplace_back();
+      chunks_.back().reserve(std::max(kChunkNodes, n));
+    }
+    std::vector<VarNode>& chunk = chunks_.back();
+    const std::size_t start = chunk.size();
+    chunk.insert(chunk.end(), data, data + n);
+    total_ += n;
+    return {chunk.data() + start, n};
+  }
+
+  std::span<const VarNode> copy(std::initializer_list<VarNode> vals) {
+    return copy(vals.begin(), vals.size());
+  }
+
+  std::span<const VarNode> copy(const std::vector<VarNode>& vals) {
+    return copy(vals.data(), vals.size());
+  }
+
+  /// Total VarNodes stored across all chunks.
+  std::size_t size() const { return total_; }
+
+ private:
+  static constexpr std::size_t kChunkNodes = 4096;
+  std::vector<std::vector<VarNode>> chunks_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace firmres::ir

@@ -15,35 +15,27 @@ VarNode FunctionBuilder::param(std::string_view name) {
                   .offset = 0x1000 + fn_.params().size() * 8,
                   .size = 8};
   fn_.add_param(v);
-  fn_.set_var_info(v, VarInfo{.type = DataType::Param,
-                              .name = std::string(name),
-                              .node_id = program_.alloc_node_id()});
+  fn_.set_var_info(v, DataType::Param, name, program_.alloc_node_id());
   return v;
 }
 
 VarNode FunctionBuilder::local(std::string_view name, std::uint32_t size) {
   const VarNode v{.space = Space::Stack, .offset = next_stack_, .size = size};
   next_stack_ += std::max<std::uint64_t>(size, 8);
-  fn_.set_var_info(v, VarInfo{.type = DataType::Local,
-                              .name = std::string(name),
-                              .node_id = program_.alloc_node_id()});
+  fn_.set_var_info(v, DataType::Local, name, program_.alloc_node_id());
   return v;
 }
 
 VarNode FunctionBuilder::cstr(std::string_view text) {
   const std::uint64_t offset = program_.data().intern(text);
   const VarNode v{.space = Space::Ram, .offset = offset, .size = 8};
-  fn_.set_var_info(v, VarInfo{.type = DataType::Constant,
-                              .name = std::string(text),
-                              .node_id = 0});
+  fn_.set_var_info(v, DataType::Constant, text, 0);
   return v;
 }
 
 VarNode FunctionBuilder::cnum(std::uint64_t value, std::uint32_t size) {
   const VarNode v{.space = Space::Const, .offset = value, .size = size};
-  fn_.set_var_info(v, VarInfo{.type = DataType::Constant,
-                              .name = std::to_string(value),
-                              .node_id = 0});
+  fn_.set_var_info(v, DataType::Constant, std::to_string(value), 0);
   return v;
 }
 
@@ -55,9 +47,7 @@ VarNode FunctionBuilder::func_addr(std::string_view function_name) {
   const VarNode v{.space = Space::Const,
                   .offset = target->entry_address(),
                   .size = 8};
-  fn_.set_var_info(v, VarInfo{.type = DataType::Function,
-                              .name = std::string(function_name),
-                              .node_id = 0});
+  fn_.set_var_info(v, DataType::Function, function_name, 0);
   return v;
 }
 
@@ -69,11 +59,7 @@ VarNode FunctionBuilder::temp(std::uint32_t size) {
 PcodeOp& FunctionBuilder::emit(OpCode opcode) {
   BasicBlock& b = fn_.block(current_);
   last_address_ = program_.alloc_op_address();
-  b.ops.push_back(PcodeOp{.address = last_address_,
-                          .opcode = opcode,
-                          .output = std::nullopt,
-                          .inputs = {},
-                          .callee = {}});
+  b.ops.push_back(PcodeOp{.address = last_address_, .opcode = opcode});
   return b.ops.back();
 }
 
@@ -91,8 +77,8 @@ VarNode FunctionBuilder::call(std::string_view callee,
   ensure_callee(callee);
   VarNode out = ret_name.empty() ? temp() : local(ret_name);
   PcodeOp& op = emit(OpCode::Call);
-  op.callee = std::string(callee);
-  op.inputs = std::move(args);
+  program_.set_call_target(op, callee);
+  op.inputs = program_.operand_list(args.data(), args.size());
   op.output = out;
   return out;
 }
@@ -101,21 +87,24 @@ void FunctionBuilder::callv(std::string_view callee,
                             std::vector<VarNode> args) {
   ensure_callee(callee);
   PcodeOp& op = emit(OpCode::Call);
-  op.callee = std::string(callee);
-  op.inputs = std::move(args);
+  program_.set_call_target(op, callee);
+  op.inputs = program_.operand_list(args.data(), args.size());
 }
 
 void FunctionBuilder::call_indirect(VarNode target,
                                     std::vector<VarNode> args) {
   PcodeOp& op = emit(OpCode::CallInd);
-  op.inputs.push_back(target);
-  op.inputs.insert(op.inputs.end(), args.begin(), args.end());
+  std::vector<VarNode> all;
+  all.reserve(args.size() + 1);
+  all.push_back(target);
+  all.insert(all.end(), args.begin(), args.end());
+  op.inputs = program_.operand_list(all.data(), all.size());
 }
 
 VarNode FunctionBuilder::binop(OpCode opcode, VarNode a, VarNode b) {
   VarNode out = temp(is_comparison(opcode) ? 1 : a.size);
   PcodeOp& op = emit(opcode);
-  op.inputs = {a, b};
+  op.inputs = program_.operand_list({a, b});
   op.output = out;
   return out;
 }
@@ -123,28 +112,28 @@ VarNode FunctionBuilder::binop(OpCode opcode, VarNode a, VarNode b) {
 VarNode FunctionBuilder::unop(OpCode opcode, VarNode a) {
   VarNode out = temp(a.size);
   PcodeOp& op = emit(opcode);
-  op.inputs = {a};
+  op.inputs = program_.operand_list({a});
   op.output = out;
   return out;
 }
 
 void FunctionBuilder::copy(VarNode dst, VarNode src) {
   PcodeOp& op = emit(OpCode::Copy);
-  op.inputs = {src};
+  op.inputs = program_.operand_list({src});
   op.output = dst;
 }
 
 VarNode FunctionBuilder::load(VarNode addr) {
   VarNode out = temp();
   PcodeOp& op = emit(OpCode::Load);
-  op.inputs = {addr};
+  op.inputs = program_.operand_list({addr});
   op.output = out;
   return out;
 }
 
 void FunctionBuilder::store(VarNode addr, VarNode value) {
   PcodeOp& op = emit(OpCode::Store);
-  op.inputs = {addr, value};
+  op.inputs = program_.operand_list({addr, value});
 }
 
 int FunctionBuilder::new_block() { return fn_.add_block(); }
@@ -157,24 +146,25 @@ void FunctionBuilder::set_block(int id) {
 
 void FunctionBuilder::branch(int target_block) {
   PcodeOp& op = emit(OpCode::Branch);
-  op.inputs = {VarNode{.space = Space::Const,
-                       .offset = static_cast<std::uint64_t>(target_block),
-                       .size = 4}};
+  op.inputs = program_.operand_list(
+      {VarNode{.space = Space::Const,
+               .offset = static_cast<std::uint64_t>(target_block),
+               .size = 4}});
   fn_.block(current_).successors = {target_block};
 }
 
 void FunctionBuilder::cbranch(VarNode cond, int true_block, int false_block) {
   PcodeOp& op = emit(OpCode::CBranch);
-  op.inputs = {cond,
-               VarNode{.space = Space::Const,
-                       .offset = static_cast<std::uint64_t>(true_block),
-                       .size = 4}};
+  op.inputs = program_.operand_list(
+      {cond, VarNode{.space = Space::Const,
+                     .offset = static_cast<std::uint64_t>(true_block),
+                     .size = 4}});
   fn_.block(current_).successors = {true_block, false_block};
 }
 
 void FunctionBuilder::ret(std::optional<VarNode> value) {
   PcodeOp& op = emit(OpCode::Return);
-  if (value.has_value()) op.inputs = {*value};
+  if (value.has_value()) op.inputs = program_.operand_list({*value});
 }
 
 FunctionBuilder IRBuilder::function(std::string_view name) {

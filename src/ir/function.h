@@ -4,14 +4,22 @@
 // as body-less Functions flagged `is_import`; their dataflow behaviour comes
 // from LibraryModel summaries, mirroring how FIRMRES "write[s] function
 // summaries for commonly invoked system calls and library calls" (§IV-B).
+//
+// Storage model (docs/IR.md): functions carry a dense per-program FuncId
+// (creation order), blocks already have dense ids, ops live in contiguous
+// per-block vectors (the op pools), and the symbol table is a flat vector
+// sorted by VarNode — binary-searched on lookup, iterated in sorted order
+// by the serializer and cache hashers exactly as the old std::map was.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "ir/arena.h"
 #include "ir/pcode.h"
 #include "ir/varnode.h"
 #include "support/error.h"
@@ -26,12 +34,21 @@ struct BasicBlock {
 
 class Function {
  public:
-  Function(std::string name, std::uint64_t entry, bool is_import)
-      : name_(std::move(name)), entry_(entry), is_import_(is_import) {}
+  Function(std::string name, std::uint64_t entry, bool is_import,
+           FuncId id = kNoFunc, StringTable* strings = nullptr)
+      : name_(std::move(name)),
+        entry_(entry),
+        is_import_(is_import),
+        id_(id),
+        strings_(strings) {}
 
   const std::string& name() const { return name_; }
   std::uint64_t entry_address() const { return entry_; }
   bool is_import() const { return is_import_; }
+
+  /// Dense creation-order id within the owning Program (kNoFunc for a
+  /// Function constructed outside a Program).
+  FuncId id() const { return id_; }
 
   const std::vector<VarNode>& params() const { return params_; }
   void add_param(VarNode v) { params_.push_back(v); }
@@ -51,15 +68,40 @@ class Function {
     return id;
   }
 
-  /// Symbol information for a VarNode in this function's scope.
+  /// Symbol information for a VarNode in this function's scope. Binary
+  /// search over the sorted flat table.
   const VarInfo* var_info(const VarNode& v) const {
-    const auto it = var_info_.find(v);
-    return it == var_info_.end() ? nullptr : &it->second;
+    const auto it = std::lower_bound(
+        var_info_.begin(), var_info_.end(), v,
+        [](const auto& entry, const VarNode& key) { return entry.first < key; });
+    return (it != var_info_.end() && it->first == v) ? &it->second : nullptr;
   }
-  void set_var_info(const VarNode& v, VarInfo info) {
-    var_info_[v] = std::move(info);
+
+  /// Record (or overwrite) symbol information. `name` is interned in the
+  /// owning Program's StringTable, so callers may pass temporaries.
+  void set_var_info(const VarNode& v, DataType type, std::string_view name,
+                    std::uint32_t node_id) {
+    FIRMRES_CHECK_MSG(strings_ != nullptr,
+                      "set_var_info on a Function without a Program");
+    const StrId name_id = strings_->intern(name);
+    VarInfo info{.type = type,
+                 .name = strings_->view(name_id),
+                 .name_id = name_id,
+                 .node_id = node_id};
+    const auto it = std::lower_bound(
+        var_info_.begin(), var_info_.end(), v,
+        [](const auto& entry, const VarNode& key) { return entry.first < key; });
+    if (it != var_info_.end() && it->first == v) {
+      it->second = info;
+    } else {
+      var_info_.insert(it, {v, info});
+    }
   }
-  const std::map<VarNode, VarInfo>& var_table() const { return var_info_; }
+
+  /// The full symbol table, sorted by VarNode.
+  const std::vector<std::pair<VarNode, VarInfo>>& var_table() const {
+    return var_info_;
+  }
 
   /// Visit every op in layout order (block order, op order within block).
   void for_each_op(const std::function<void(const PcodeOp&)>& fn) const {
@@ -68,9 +110,11 @@ class Function {
   }
 
   /// All ops in layout order, flattened. Convenience for analyses that are
-  /// control-flow-insensitive (the backward taint of §IV-B).
+  /// control-flow-insensitive (the backward taint of §IV-B). Allocates;
+  /// hot paths iterate blocks()/for_each_op directly instead.
   std::vector<const PcodeOp*> ops_in_order() const {
     std::vector<const PcodeOp*> out;
+    out.reserve(op_count());
     for (const auto& b : blocks_)
       for (const auto& op : b.ops) out.push_back(&op);
     return out;
@@ -86,9 +130,11 @@ class Function {
   std::string name_;
   std::uint64_t entry_;
   bool is_import_;
+  FuncId id_;
+  StringTable* strings_;  ///< owning Program's interner (may be null)
   std::vector<VarNode> params_;
   std::vector<BasicBlock> blocks_;
-  std::map<VarNode, VarInfo> var_info_;
+  std::vector<std::pair<VarNode, VarInfo>> var_info_;  ///< sorted by VarNode
 };
 
 }  // namespace firmres::ir

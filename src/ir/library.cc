@@ -1,5 +1,7 @@
 #include "ir/library.h"
 
+#include "support/error.h"
+
 namespace firmres::ir {
 
 const char* lib_kind_name(LibKind kind) {
@@ -243,6 +245,11 @@ LibraryModel::LibraryModel() {
   add(make("curl_easy_setopt", LibKind::Other, {}));
   add(make("mosquitto_new", LibKind::Other, {}));
   add(make("mosquitto_connect", LibKind::Other, {}));
+
+  // LibId is a u16 with 0 reserved for "not catalogued".
+  FIRMRES_CHECK(functions_.size() < 0xFFFF);
+  for (const auto& f : functions_)
+    by_kind_[static_cast<std::size_t>(f.kind)].push_back(f.name);
 }
 
 const LibraryModel& LibraryModel::instance() {
@@ -275,11 +282,21 @@ bool LibraryModel::is_field_source(std::string_view name) const {
   }
 }
 
-std::vector<std::string> LibraryModel::names_of_kind(LibKind kind) const {
-  std::vector<std::string> out;
-  for (const auto& f : functions_)
-    if (f.kind == kind) out.push_back(f.name);
-  return out;
+LibId LibraryModel::id_of(std::string_view name) const {
+  const auto it = index_.find(name);
+  return it == index_.end() ? 0 : static_cast<LibId>(it->second + 1);
+}
+
+const LibFunction* LibraryModel::by_id(LibId id) {
+  if (id == 0) return nullptr;
+  const LibraryModel& model = instance();
+  FIRMRES_CHECK_MSG(id <= model.functions_.size(), "LibId out of range");
+  return &model.functions_[id - 1];
+}
+
+const std::vector<std::string>& LibraryModel::names_of_kind(
+    LibKind kind) const {
+  return by_kind_[static_cast<std::size_t>(kind)];
 }
 
 }  // namespace firmres::ir

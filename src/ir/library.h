@@ -16,12 +16,15 @@
 // in real firmware.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "ir/arena.h"
 
 namespace firmres::ir {
 
@@ -90,13 +93,29 @@ class LibraryModel {
   /// True for any of the Source* kinds.
   bool is_field_source(std::string_view name) const;
 
-  std::vector<std::string> names_of_kind(LibKind kind) const;
+  /// Dense catalogue id of `name`: 1 + its index in all(), or 0 when the
+  /// name is not catalogued. Resolved once per call op at IR construction
+  /// (Program::set_call_target) so analyses use PcodeOp::lib() instead of
+  /// per-op string lookups.
+  LibId id_of(std::string_view name) const;
+
+  /// Summary for a dense id previously returned by id_of; nullptr for 0.
+  /// Out-of-range non-zero ids throw.
+  static const LibFunction* by_id(LibId id);
+
+  /// All catalogued names of one kind, in catalogue order. The returned
+  /// vector is cached in the singleton (callers used to pay an allocation
+  /// per query on the identification hot path).
+  const std::vector<std::string>& names_of_kind(LibKind kind) const;
   const std::vector<LibFunction>& all() const { return functions_; }
 
  private:
   LibraryModel();
   std::vector<LibFunction> functions_;
   std::map<std::string, std::size_t, std::less<>> index_;
+  std::array<std::vector<std::string>,
+             static_cast<std::size_t>(LibKind::Other) + 1>
+      by_kind_;
 };
 
 }  // namespace firmres::ir

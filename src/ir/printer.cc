@@ -18,25 +18,26 @@ std::string render_enriched(const VarNode& v, const Function& fn) {
                              static_cast<unsigned long long>(v.offset));
     return render_raw(v);
   }
+  const std::string name(info->name);
   switch (info->type) {
     case DataType::Function:
-      return support::format("(Fun, %s)", info->name.c_str());
+      return "(Fun, " + name + ")";
     case DataType::Constant:
       if (v.space == Space::Ram) {
-        return support::format("(Cons, \"%s\")", info->name.c_str());
+        return "(Cons, \"" + name + "\")";
       }
-      return support::format("(Cons, %s)", info->name.c_str());
+      return "(Cons, " + name + ")";
     case DataType::Local:
-      return support::format("(Local, %s, v_%u)", info->name.c_str(),
+      return support::format("(Local, %s, v_%u)", name.c_str(),
                              info->node_id);
     case DataType::Param:
-      return support::format("(Param, %s, v_%u)", info->name.c_str(),
+      return support::format("(Param, %s, v_%u)", name.c_str(),
                              info->node_id);
     case DataType::DataPtr:
-      return support::format("(DataPtr, %s, v_%u)", info->name.c_str(),
+      return support::format("(DataPtr, %s, v_%u)", name.c_str(),
                              info->node_id);
     case DataType::Global:
-      return support::format("(Global, %s, v_%u)", info->name.c_str(),
+      return support::format("(Global, %s, v_%u)", name.c_str(),
                              info->node_id);
     case DataType::Unknown:
       return render_raw(v);

@@ -1,29 +1,55 @@
 #include "ir/program.h"
 
+#include "ir/library.h"
 #include "support/error.h"
 
 namespace firmres::ir {
 
 Function& Program::add_function(std::string_view name, bool is_import) {
-  FIRMRES_CHECK_MSG(functions_.find(name) == functions_.end(),
+  FIRMRES_CHECK_MSG(index_.find(name) == index_.end(),
                     "duplicate function: " + std::string(name));
   next_func_address_ += 0x100;
-  auto fn = std::make_unique<Function>(std::string(name), next_func_address_,
-                                       is_import);
-  Function* raw = fn.get();
-  functions_.emplace(std::string(name), std::move(fn));
-  order_.push_back(raw);
-  return *raw;
+  const FuncId id = static_cast<FuncId>(funcs_.size());
+  funcs_.emplace_back(std::string(name), next_func_address_, is_import, id,
+                      &strings_);
+  Function& fn = funcs_.back();
+  order_.push_back(&fn);
+  index_.emplace(std::string_view(fn.name()), id);
+  return fn;
 }
 
 Function* Program::function(std::string_view name) {
-  const auto it = functions_.find(name);
-  return it == functions_.end() ? nullptr : it->second.get();
+  const auto it = index_.find(name);
+  return it == index_.end() ? nullptr : order_[it->second];
 }
 
 const Function* Program::function(std::string_view name) const {
-  const auto it = functions_.find(name);
-  return it == functions_.end() ? nullptr : it->second.get();
+  const auto it = index_.find(name);
+  return it == index_.end() ? nullptr : order_[it->second];
+}
+
+FuncId Program::function_id(std::string_view name) const {
+  const auto it = index_.find(name);
+  return it == index_.end() ? kNoFunc : it->second;
+}
+
+Function* Program::function_by_id(FuncId id) {
+  if (id == kNoFunc) return nullptr;
+  FIRMRES_CHECK_MSG(id < funcs_.size(), "FuncId out of range");
+  return order_[id];
+}
+
+const Function* Program::function_by_id(FuncId id) const {
+  if (id == kNoFunc) return nullptr;
+  FIRMRES_CHECK_MSG(id < funcs_.size(), "FuncId out of range");
+  return order_[id];
+}
+
+void Program::set_call_target(PcodeOp& op, std::string_view callee) {
+  op.callee_id = strings_.intern(callee);
+  op.callee = strings_.view(op.callee_id);
+  op.callee_fn = function_id(callee);
+  op.lib_id = LibraryModel::instance().id_of(callee);
 }
 
 std::vector<Function*> Program::local_functions() const {

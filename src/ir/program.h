@@ -4,15 +4,26 @@
 // a read-only data segment, and stable op/function addressing. Programs are
 // what the firmware synthesizer produces and what every FIRMRES analysis
 // consumes.
+//
+// Storage model (docs/IR.md): functions live in a deque (stable addresses,
+// dense creation-order FuncIds), the name index is an unordered map of
+// views into the functions' own name storage, operand lists live in a
+// per-program OperandArena, and all interned strings (callee symbols,
+// VarInfo names) live in a per-program StringTable. `set_call_target` is
+// the single place a call op's callee is recorded; it keeps the interned
+// view and the dense callee_fn / lib_id resolutions in sync.
 #pragma once
 
 #include <cstdint>
-#include <map>
+#include <deque>
 #include <memory>
+#include <span>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
+#include "ir/arena.h"
 #include "ir/data_segment.h"
 #include "ir/function.h"
 
@@ -32,14 +43,44 @@ class Program {
   DataSegment& data() { return data_; }
   const DataSegment& data() const { return data_; }
 
-  /// Create a function. Names are unique within a program.
+  /// Per-program string interner (callee symbols, VarInfo names).
+  StringTable& strings() { return strings_; }
+  const StringTable& strings() const { return strings_; }
+
+  /// Per-program operand pool backing PcodeOp::inputs.
+  OperandArena& operands() { return operands_; }
+
+  /// Copy an operand list into the pool; the returned span is stable for
+  /// the Program's lifetime.
+  std::span<const VarNode> operand_list(std::initializer_list<VarNode> vals) {
+    return operands_.copy(vals);
+  }
+  std::span<const VarNode> operand_list(const VarNode* data, std::size_t n) {
+    return operands_.copy(data, n);
+  }
+
+  /// Record `op`'s direct-call target: interns the symbol and pre-resolves
+  /// the dense in-program FuncId and LibraryModel id. The only sanctioned
+  /// way to set PcodeOp::callee.
+  void set_call_target(PcodeOp& op, std::string_view callee);
+
+  /// Create a function. Names are unique within a program. The new
+  /// function's FuncId is the creation index (functions().size() - 1).
   Function& add_function(std::string_view name, bool is_import = false);
 
   /// Look up by name; nullptr when absent.
   Function* function(std::string_view name);
   const Function* function(std::string_view name) const;
 
-  /// All functions in creation order (imports included).
+  /// Dense id for a name; kNoFunc when absent.
+  FuncId function_id(std::string_view name) const;
+
+  /// Look up by dense id; nullptr for kNoFunc, throws on other
+  /// out-of-range ids (a corrupted id is a programming error).
+  Function* function_by_id(FuncId id);
+  const Function* function_by_id(FuncId id) const;
+
+  /// All functions in creation order (imports included). Index == FuncId.
   const std::vector<Function*>& functions() const { return order_; }
 
   /// Local (non-import) functions only.
@@ -56,8 +97,12 @@ class Program {
  private:
   std::string name_;
   DataSegment data_;
-  std::map<std::string, std::unique_ptr<Function>, std::less<>> functions_;
+  StringTable strings_;
+  OperandArena operands_;
+  std::deque<Function> funcs_;  ///< stable addresses; index == FuncId
   std::vector<Function*> order_;
+  /// Views into each Function's own name storage (stable in the deque).
+  std::unordered_map<std::string_view, FuncId> index_;
   std::uint64_t next_op_address_ = 0x10000;
   std::uint64_t next_func_address_ = 0x1000;
   std::uint32_t next_node_id_ = 1000;

@@ -118,16 +118,18 @@ VarNode varnode_from_json(const Json& v) {
                  .size = static_cast<std::uint32_t>(arr[2].as_number())};
 }
 
-PcodeOp op_from_json(const Json& o) {
+PcodeOp op_from_json(Program& program, const Json& o) {
   PcodeOp op;
   op.address = static_cast<std::uint64_t>(field(o, "addr").as_number());
   op.opcode = opcode_from_name(field(o, "op").as_string());
   if (const Json* out = o.find("out"); out != nullptr)
     op.output = varnode_from_json(*out);
+  std::vector<VarNode> inputs;
   for (const Json& in : field(o, "in").as_array())
-    op.inputs.push_back(varnode_from_json(in));
+    inputs.push_back(varnode_from_json(in));
+  op.inputs = program.operand_list(inputs.data(), inputs.size());
   if (const Json* callee = o.find("callee"); callee != nullptr)
-    op.callee = callee->as_string();
+    program.set_call_target(op, callee->as_string());
   return op;
 }
 
@@ -172,9 +174,13 @@ std::unique_ptr<Program> program_from_json(const support::Json& doc) {
         entry.as_array()[1].as_string());
   }
 
-  // Functions are created in document order so deterministic entry
-  // addresses reproduce and func_addr constants stay valid.
-  for (const Json& fdoc : field(doc, "functions").as_array()) {
+  // Two-pass decode. Pass 1 creates every function shell in document order
+  // (so deterministic entry addresses reproduce and func_addr constants
+  // stay valid); pass 2 fills bodies. The split lets set_call_target
+  // resolve forward references — a call to a function that appears later
+  // in the document still gets its dense callee_fn id.
+  const JsonArray& fdocs = field(doc, "functions").as_array();
+  for (const Json& fdoc : fdocs) {
     Function& fn = program->add_function(field(fdoc, "name").as_string(),
                                          field(fdoc, "import").as_bool());
     const auto expected_entry =
@@ -186,6 +192,10 @@ std::unique_ptr<Program> program_from_json(const support::Json& doc) {
           fn.name().c_str(),
           static_cast<unsigned long long>(expected_entry),
           static_cast<unsigned long long>(fn.entry_address())));
+  }
+
+  for (const Json& fdoc : fdocs) {
+    Function& fn = *program->function(field(fdoc, "name").as_string());
 
     for (const Json& p : field(fdoc, "params").as_array())
       fn.add_param(varnode_from_json(p));
@@ -193,10 +203,9 @@ std::unique_ptr<Program> program_from_json(const support::Json& doc) {
     for (const Json& s : field(fdoc, "symbols").as_array()) {
       fn.set_var_info(
           varnode_from_json(field(s, "var")),
-          VarInfo{.type = data_type_from_name(field(s, "type").as_string()),
-                  .name = field(s, "name").as_string(),
-                  .node_id = static_cast<std::uint32_t>(
-                      field(s, "id").as_number())});
+          data_type_from_name(field(s, "type").as_string()),
+          field(s, "name").as_string(),
+          static_cast<std::uint32_t>(field(s, "id").as_number()));
     }
 
     for (const Json& bdoc : field(fdoc, "blocks").as_array()) {
@@ -207,7 +216,7 @@ std::unique_ptr<Program> program_from_json(const support::Json& doc) {
       for (const Json& s : field(bdoc, "succ").as_array())
         block.successors.push_back(static_cast<int>(s.as_number()));
       for (const Json& o : field(bdoc, "ops").as_array())
-        block.ops.push_back(op_from_json(o));
+        block.ops.push_back(op_from_json(*program, o));
     }
   }
   return program;

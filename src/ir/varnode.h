@@ -11,6 +11,7 @@
 #include <compare>
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 namespace firmres::ir {
 
@@ -58,10 +59,14 @@ const char* data_type_name(DataType type);
 
 /// Symbol-table entry for a VarNode: its recovered type and name. `node_id`
 /// disambiguates same-named variables across functions (§IV-C "we randomly
-/// generate Node IDs for them to differentiate them").
+/// generate Node IDs for them to differentiate them"). The name is interned
+/// in the owning Program's StringTable — VarInfo is constructed only by
+/// Function::set_var_info, which performs the interning, so the view is
+/// stable for the Program's lifetime.
 struct VarInfo {
   DataType type = DataType::Unknown;
-  std::string name;
+  std::string_view name;       ///< interned; see Function::set_var_info
+  std::uint32_t name_id = 0;   ///< StrId of `name` (0 = empty)
   std::uint32_t node_id = 0;
 };
 

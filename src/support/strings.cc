@@ -59,9 +59,31 @@ std::string to_lower(std::string_view s) {
 bool icontains(std::string_view haystack, std::string_view needle) {
   if (needle.empty()) return true;
   if (needle.size() > haystack.size()) return false;
-  const std::string h = to_lower(haystack);
-  const std::string n = to_lower(needle);
-  return h.find(n) != std::string::npos;
+  // Allocation-free scan: this sits on the classifier hot path (every slice
+  // token against every dictionary key), where the old to_lower-both-sides
+  // version dominated the semantics phase's allocation profile.
+  const auto lower = [](char c) {
+    return static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  };
+  const char n0 = lower(needle[0]);
+  const std::size_t last = haystack.size() - needle.size();
+  for (std::size_t i = 0; i <= last; ++i) {
+    if (lower(haystack[i]) != n0) continue;
+    std::size_t j = 1;
+    while (j < needle.size() && lower(haystack[i + j]) == lower(needle[j])) ++j;
+    if (j == needle.size()) return true;
+  }
+  return false;
+}
+
+bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i])))
+      return false;
+  }
+  return true;
 }
 
 std::string replace_all(std::string_view s, std::string_view from,

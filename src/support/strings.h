@@ -31,6 +31,9 @@ std::string to_lower(std::string_view s);
 /// True if `haystack` contains `needle` ignoring ASCII case.
 bool icontains(std::string_view haystack, std::string_view needle);
 
+/// True if `a` equals `b` ignoring ASCII case. Allocation-free.
+bool iequals(std::string_view a, std::string_view b);
+
 /// Replace every occurrence of `from` with `to`.
 std::string replace_all(std::string_view s, std::string_view from,
                         std::string_view to);

@@ -354,7 +354,8 @@ TEST(CacheRobustness, EvictionKeepsTheStoreBoundedAndCorrect) {
 /// Append a dead self-copy op to `fn` — the smallest IR content change.
 /// It perturbs no other function's value flow, so the recorded-dependency
 /// check should invalidate exactly the entries that name `fn` as a dep.
-void mutate_function(ir::Function& fn, std::uint64_t address) {
+void mutate_function(ir::Program& prog, ir::Function& fn,
+                     std::uint64_t address) {
   ASSERT_FALSE(fn.blocks().empty());
   std::optional<ir::VarNode> v;
   if (!fn.params().empty()) {
@@ -376,7 +377,7 @@ void mutate_function(ir::Function& fn, std::uint64_t address) {
   op.address = address;
   op.opcode = ir::OpCode::Copy;
   op.output = *v;
-  op.inputs = {*v};
+  op.inputs = prog.operand_list({*v});
   fn.blocks().front().ops.push_back(op);
 }
 
@@ -405,8 +406,8 @@ TEST(CacheIncrementality, MutatingOneFunctionRecomputesOnlyItsDependents) {
       ASSERT_FALSE(locals.empty());
       ir::Function* victim = locals[static_cast<std::size_t>(rng.uniform(
           0, static_cast<std::int64_t>(locals.size()) - 1))];
-      mutate_function(*victim, 0xCAFE000000ULL + static_cast<std::uint64_t>(
-                                                     trial));
+      mutate_function(*prog, *victim,
+                      0xCAFE000000ULL + static_cast<std::uint64_t>(trial));
 
       // Expected invalidations, computed from the recorded deps alone.
       std::size_t expected_misses = 0;

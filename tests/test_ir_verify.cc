@@ -54,8 +54,8 @@ ir::PcodeOp raw_op(ir::Program& prog, ir::OpCode opcode,
   op.address = prog.alloc_op_address();
   op.opcode = opcode;
   op.output = std::move(output);
-  op.inputs = std::move(inputs);
-  op.callee = std::move(callee);
+  op.inputs = prog.operand_list(inputs.data(), inputs.size());
+  if (!callee.empty()) prog.set_call_target(op, callee);
   return op;
 }
 
@@ -224,7 +224,7 @@ TEST(Dataflow, DefinedOnOnePathOnlyIsWarning) {
     def.address = prog.alloc_op_address();
     def.opcode = ir::OpCode::Copy;
     def.output = t;
-    def.inputs = {f.cnum(1)};
+    def.inputs = prog.operand_list({f.cnum(1)});
     f.branch(join);
     f.set_block(join);
     f.ret(t);
