@@ -90,6 +90,20 @@ void print_perf() {
   std::printf(
       "phase split (paper):     pinpoint 37.67%%  fields 43.83%%  semantics "
       "3.71%%  concat 9.96%%  check 4.81%%\n");
+  // Tail behavior across devices, straight from the registry's latency
+  // buckets — the distributions the serve-mode heartbeat and the
+  // --only-percentile regression gate watch (docs/OBSERVABILITY.md).
+  for (const auto& h : snap.histograms) {
+    if (h.count == 0 || h.name.rfind("phase.", 0) != 0) continue;
+    std::printf(
+        "latency %-18s p50 %8.1f us  p90 %8.1f us  p99 %8.1f us  max %8.1f "
+        "us  (%llu devices)\n",
+        h.name.c_str() + 6, support::metrics::histogram_percentile(h, 0.50),
+        support::metrics::histogram_percentile(h, 0.90),
+        support::metrics::histogram_percentile(h, 0.99),
+        support::metrics::histogram_percentile(h, 1.0),
+        static_cast<unsigned long long>(h.count));
+  }
   std::printf(
       "work counters (registry): %llu taint steps, %llu messages, %llu "
       "flaw alarms across %llu devices\n\n",

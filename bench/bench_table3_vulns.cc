@@ -48,8 +48,26 @@ void print_table3() {
       "reported flawed messages: %d (paper: 26)\n"
       "confirmed vulnerabilities: %d in %zu devices (paper: 14 in 8)\n"
       "previously known: %d (paper: 1, CVE-2023-2586)\n"
-      "rejected during verification: %d (paper: 11)\n\n",
+      "rejected during verification: %d (paper: 11)\n",
       reported, confirmed, devices.size(), known, false_alarms);
+
+  // Probe telemetry from the registry (docs/OBSERVABILITY.md): every hunt
+  // probe flowed through the instrumented Prober::send hop above.
+  const support::metrics::Snapshot snap = support::metrics::snapshot(true);
+  std::uint64_t probes = 0;
+  for (const auto& c : snap.counters)
+    if (c.name == "probe.requests") probes = c.value;
+  for (const auto& h : snap.histograms) {
+    if (h.name != "probe.latency_us") continue;
+    std::printf(
+        "probe telemetry: %llu requests, latency p50 %.1f us  p90 %.1f us  "
+        "p99 %.1f us  max %.1f us\n\n",
+        static_cast<unsigned long long>(probes),
+        support::metrics::histogram_percentile(h, 0.50),
+        support::metrics::histogram_percentile(h, 0.90),
+        support::metrics::histogram_percentile(h, 0.99),
+        support::metrics::histogram_percentile(h, 1.0));
+  }
 }
 
 void BM_HuntDevice(benchmark::State& state) {

@@ -150,6 +150,37 @@ inline void write_bench_json(const std::string& path,
     registry.set(h.name + ".sum", static_cast<double>(h.sum));
   doc.set("registry_metrics", std::move(registry));
 
+  // Latency distributions (Runtime-kind included): raw power-of-two
+  // buckets plus precomputed percentiles, so the regression gate can
+  // bound tail latency (--only-percentile phase.fields_us:p99). The gate
+  // recomputes percentiles from the buckets; the precomputed values are
+  // for human diffing.
+  const support::metrics::Snapshot full = support::metrics::snapshot(true);
+  support::Json histograms{support::JsonObject{}};
+  for (const auto& h : full.histograms) {
+    if (h.count == 0) continue;
+    support::Json entry{support::JsonObject{}};
+    entry.set("count", static_cast<double>(h.count));
+    entry.set("sum", static_cast<double>(h.sum));
+    support::Json buckets{support::JsonObject{}};
+    for (int i = 0; i < support::metrics::kHistogramBuckets; ++i) {
+      const std::uint64_t n = h.buckets[static_cast<std::size_t>(i)];
+      if (n == 0) continue;
+      const std::string bound =
+          i == support::metrics::kHistogramBuckets - 1
+              ? "inf"
+              : std::to_string(std::uint64_t{1} << i);
+      buckets.set(bound, static_cast<double>(n));
+    }
+    entry.set("buckets", std::move(buckets));
+    entry.set("p50", support::metrics::histogram_percentile(h, 0.50));
+    entry.set("p90", support::metrics::histogram_percentile(h, 0.90));
+    entry.set("p99", support::metrics::histogram_percentile(h, 0.99));
+    entry.set("max", support::metrics::histogram_percentile(h, 1.0));
+    histograms.set(h.name, std::move(entry));
+  }
+  doc.set("histograms", std::move(histograms));
+
   const std::string body = doc.dump(true);
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr)

@@ -1,5 +1,6 @@
 #include "cloud/evaluation.h"
 
+#include <chrono>
 #include <set>
 
 #include "core/slices.h"
@@ -16,12 +17,31 @@ support::metrics::Counter g_devices_evaluated("eval.devices_evaluated",
                                               support::metrics::Kind::Work);
 support::metrics::Counter g_probes_sent("eval.probes_sent",
                                         support::metrics::Kind::Work);
+// End-to-end §V-C evaluation latency per device (probing included) —
+// Runtime-kind, the per-device counterpart of probe.latency_us.
+support::metrics::Histogram g_device_eval_us("eval.device_us",
+                                             support::metrics::Kind::Runtime);
+
+/// RAII microsecond timer feeding a latency histogram.
+struct HistogramTimer {
+  explicit HistogramTimer(support::metrics::Histogram& histogram)
+      : histogram_(histogram), start_(std::chrono::steady_clock::now()) {}
+  ~HistogramTimer() {
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    histogram_.observe(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
+            .count()));
+  }
+  support::metrics::Histogram& histogram_;
+  std::chrono::steady_clock::time_point start_;
+};
 }  // namespace
 
 Table2Row evaluate_device(const core::DeviceAnalysis& analysis,
                           const fw::FirmwareImage& image,
                           const CloudNetwork& network) {
   FIRMRES_SPAN_DEVICE("eval.device", "eval", analysis.device_id);
+  const HistogramTimer timer(g_device_eval_us);
   g_devices_evaluated.add();
   g_probes_sent.add(analysis.messages.size());
   Table2Row row;

@@ -1,6 +1,9 @@
 #include "cloud/prober.h"
 
+#include <chrono>
+
 #include "firmware/crypto_sim.h"
+#include "support/observability/metrics.h"
 #include "support/strings.h"
 
 namespace firmres::cloudsim {
@@ -8,6 +11,41 @@ namespace firmres::cloudsim {
 namespace {
 
 using core::FieldValueSource;
+namespace metrics = firmres::support::metrics;
+
+// Probe telemetry (docs/OBSERVABILITY.md). Request and verdict counts are
+// Work-kind: what gets probed and how the simulated cloud answers depend
+// only on the analysis, not on scheduling. The latency histogram is
+// Runtime — it is the metric the ROADMAP item-3 load harness watches.
+metrics::Counter g_probe_requests("probe.requests", metrics::Kind::Work);
+metrics::Counter g_probe_as_device("probe.as_device", metrics::Kind::Work);
+metrics::Counter g_probe_as_attacker("probe.as_attacker",
+                                     metrics::Kind::Work);
+metrics::Histogram g_probe_latency_us("probe.latency_us",
+                                      metrics::Kind::Runtime);
+metrics::Counter g_verdict_ok("probe.verdict.ok", metrics::Kind::Work);
+metrics::Counter g_verdict_no_permission("probe.verdict.no_permission",
+                                         metrics::Kind::Work);
+metrics::Counter g_verdict_access_denied("probe.verdict.access_denied",
+                                         metrics::Kind::Work);
+metrics::Counter g_verdict_bad_request("probe.verdict.bad_request",
+                                       metrics::Kind::Work);
+metrics::Counter g_verdict_path_not_exists("probe.verdict.path_not_exists",
+                                           metrics::Kind::Work);
+metrics::Counter g_verdict_not_supported("probe.verdict.not_supported",
+                                         metrics::Kind::Work);
+
+void count_verdict(Verdict verdict) {
+  switch (verdict) {
+    case Verdict::Ok: g_verdict_ok.add(); return;
+    case Verdict::NoPermission: g_verdict_no_permission.add(); return;
+    case Verdict::AccessDenied: g_verdict_access_denied.add(); return;
+    case Verdict::BadRequest: g_verdict_bad_request.add(); return;
+    case Verdict::PathNotExists: g_verdict_path_not_exists.add(); return;
+    case Verdict::NotSupported: g_verdict_not_supported.add(); return;
+  }
+}
+
 
 std::string devinfo_value(const std::string& getter,
                           const fw::DeviceIdentity& id) {
@@ -128,14 +166,28 @@ Request Prober::forge(const core::ReconstructedMessage& message,
   return request;
 }
 
+Response Prober::send(const Request& request) const {
+  g_probe_requests.add();
+  const auto start = std::chrono::steady_clock::now();
+  Response response = network_.send(request);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  g_probe_latency_us.observe(static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
+          .count()));
+  count_verdict(response.verdict);
+  return response;
+}
+
 Response Prober::probe_as_device(
     const core::ReconstructedMessage& message) const {
-  return network_.send(forge(message, /*attacker=*/false));
+  g_probe_as_device.add();
+  return send(forge(message, /*attacker=*/false));
 }
 
 Response Prober::probe_as_attacker(const core::ReconstructedMessage& message,
                                    const AttackerKnowledge& knowledge) const {
-  return network_.send(forge(message, /*attacker=*/true, knowledge));
+  g_probe_as_attacker.add();
+  return send(forge(message, /*attacker=*/true, knowledge));
 }
 
 }  // namespace firmres::cloudsim

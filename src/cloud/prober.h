@@ -56,6 +56,13 @@ class Prober {
   Response probe_as_attacker(const core::ReconstructedMessage& message,
                              const AttackerKnowledge& knowledge = {}) const;
 
+  /// Instrumented transport hop: counts the request, times it into the
+  /// probe.latency_us histogram, and tallies the verdict. Every probe —
+  /// including callers that forge() separately because they need the
+  /// Request afterwards (vuln_hunter) — must send through here, never
+  /// through CloudNetwork::send directly, or the telemetry drifts.
+  Response send(const Request& request) const;
+
  private:
   std::string device_value(const core::ReconstructedField& field) const;
   std::string attacker_value(const core::ReconstructedField& field,

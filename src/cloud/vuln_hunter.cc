@@ -2,9 +2,19 @@
 
 #include <set>
 
+#include "support/observability/metrics.h"
 #include "support/strings.h"
 
 namespace firmres::cloudsim {
+
+namespace {
+// Hunt telemetry (Work-kind): attacker probes fired and findings confirmed
+// are functions of the analysis alone (docs/OBSERVABILITY.md).
+support::metrics::Counter g_attacker_probes("hunt.attacker_probes",
+                                            support::metrics::Kind::Work);
+support::metrics::Counter g_confirmed("hunt.confirmed_findings",
+                                      support::metrics::Kind::Work);
+}  // namespace
 
 HuntResult VulnHunter::hunt(const core::DeviceAnalysis& analysis,
                             const fw::FirmwareImage& image) const {
@@ -19,7 +29,8 @@ HuntResult VulnHunter::hunt(const core::DeviceAnalysis& analysis,
   for (const std::size_t index : flagged) {
     const core::ReconstructedMessage& message = analysis.messages[index];
     const Request request = prober.forge(message, /*attacker=*/true);
-    const Response response = network_.send(request);
+    g_attacker_probes.add();
+    const Response response = prober.send(request);
 
     const VendorCloud* cloud = network_.cloud_for(request.host);
     const EndpointPolicy* policy =
@@ -48,6 +59,7 @@ HuntResult VulnHunter::hunt(const core::DeviceAnalysis& analysis,
           break;
         }
       }
+      g_confirmed.add();
       result.confirmed.push_back(std::move(finding));
     } else {
       ++result.false_alarms;

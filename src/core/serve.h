@@ -40,6 +40,13 @@ class ServeSession {
     /// worker collects the event log and emits one "events" line. Requires
     /// support::events::set_enabled(true) to record anything.
     bool stream_events = false;
+    /// Emit a periodic "stats" heartbeat line every this many seconds
+    /// (0 = off). Each heartbeat reports the interval's delta over the
+    /// metrics registry: device throughput, per-phase latency percentiles,
+    /// cache hit rate, queue depth, and jobs in flight — plus one final
+    /// tick before "bye" covering the tail of the run, so even a short
+    /// session with a long interval yields at least one record.
+    double stats_interval_s = 0.0;
   };
 
   /// `model` must outlive the session. `pipeline_options.cache` may carry

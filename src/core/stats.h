@@ -1,0 +1,48 @@
+// Cross-run telemetry aggregation — `firmres stats` (docs/OBSERVABILITY.md).
+//
+// Every firmres run can leave artifacts behind: a --metrics-out registry
+// dump, an --events-out decision log, a serve-mode JSONL stream. This
+// module folds any mix of them — across runs, machines, or days — into one
+// aggregate: registry metrics merge the way the live registry would have
+// (counters and histogram buckets sum exactly, since power-of-two buckets
+// align across files; high-water gauges take the max), JSONL files are
+// tallied by record kind, and the result renders as one table with
+// percentiles recomputed from the merged buckets. That recomputation is
+// the point of shipping raw buckets in the artifacts: a p99 of merged
+// buckets is a true p99 of the union, which no averaging of per-run p99s
+// can give.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "support/observability/metrics.h"
+
+namespace firmres::core::stats {
+
+struct Aggregate {
+  int metrics_files = 0;
+  int jsonl_files = 0;
+  std::uint64_t jsonl_lines = 0;
+  /// Merged registry values, sorted by name. Kind is not recorded in the
+  /// JSON artifacts, so merged entries carry Kind::Work uniformly.
+  support::metrics::Snapshot merged;
+  /// JSONL record tallies, sorted by key: serve-stream lines count under
+  /// "event:<name>", decision-event lines under "category:<name>".
+  std::vector<std::pair<std::string, std::uint64_t>> record_counts;
+};
+
+/// Load and merge artifacts. Each path is auto-detected: a document whose
+/// "format" is "firmres-metrics" merges into the registry section; any
+/// other content is treated as JSONL and tallied line by line. Throws
+/// support::ParseError on unreadable files or unparseable lines.
+Aggregate aggregate_artifacts(const std::vector<std::string>& paths);
+
+/// Render the aggregate as the `firmres stats` table (counters, gauges,
+/// histograms with p50/p90/p99/max from the merged buckets, record
+/// tallies).
+std::string render_table(const Aggregate& aggregate);
+
+}  // namespace firmres::core::stats

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <mutex>
+#include <unordered_map>
 
 #include "support/error.h"
 #include "support/json.h"
@@ -69,6 +70,84 @@ void Histogram::reset() {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
 }
 
+std::uint64_t histogram_bucket_lower(int i) {
+  if (i <= 0) return 0;
+  return std::uint64_t{1} << (i - 1);
+}
+
+std::uint64_t histogram_bucket_upper(int i) {
+  if (i < 0) return 1;
+  if (i > kHistogramBuckets - 1) i = kHistogramBuckets - 1;
+  return std::uint64_t{1} << i;
+}
+
+double histogram_percentile(const Snapshot::HistogramValue& h, double q) {
+  if (h.count == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  const double target = q * static_cast<double>(h.count);
+  double cumulative = 0.0;
+  for (int i = 0; i < kHistogramBuckets; ++i) {
+    const double n =
+        static_cast<double>(h.buckets[static_cast<std::size_t>(i)]);
+    if (n == 0.0) continue;
+    if (cumulative + n >= target) {
+      const double frac =
+          std::min(1.0, std::max(0.0, (target - cumulative) / n));
+      const double lo = static_cast<double>(histogram_bucket_lower(i));
+      const double hi = static_cast<double>(histogram_bucket_upper(i));
+      double estimate = lo + frac * (hi - lo);
+      // The last bucket is unbounded; its nominal one-octave upper bound
+      // can overshoot, but no observation can exceed the histogram's sum.
+      if (i == kHistogramBuckets - 1)
+        estimate = std::min(estimate, static_cast<double>(h.sum));
+      return estimate;
+    }
+    cumulative += n;
+  }
+  // count > 0 guarantees the loop returned; keep -Wreturn-type quiet.
+  return static_cast<double>(h.sum) / static_cast<double>(h.count);
+}
+
+Snapshot Snapshot::delta(const Snapshot& prev) const {
+  const auto sub = [](std::uint64_t cur, std::uint64_t old) {
+    return cur >= old ? cur - old : std::uint64_t{0};
+  };
+  Snapshot out;
+
+  std::unordered_map<std::string, std::uint64_t> prev_counters;
+  for (const CounterValue& c : prev.counters)
+    prev_counters.emplace(c.name, c.value);
+  for (const CounterValue& c : counters) {
+    const auto it = prev_counters.find(c.name);
+    out.counters.push_back(
+        {c.name, c.kind,
+         it == prev_counters.end() ? c.value : sub(c.value, it->second)});
+  }
+
+  out.gauges = gauges;  // high-water marks have no meaningful difference
+
+  std::unordered_map<std::string, const HistogramValue*> prev_hists;
+  for (const HistogramValue& h : prev.histograms)
+    prev_hists.emplace(h.name, &h);
+  for (const HistogramValue& h : histograms) {
+    const auto it = prev_hists.find(h.name);
+    if (it == prev_hists.end()) {
+      out.histograms.push_back(h);
+      continue;
+    }
+    const HistogramValue& old = *it->second;
+    HistogramValue d = h;
+    d.count = sub(h.count, old.count);
+    d.sum = sub(h.sum, old.sum);
+    for (int i = 0; i < kHistogramBuckets; ++i) {
+      const auto bi = static_cast<std::size_t>(i);
+      d.buckets[bi] = sub(h.buckets[bi], old.buckets[bi]);
+    }
+    out.histograms.push_back(std::move(d));
+  }
+  return out;
+}
+
 Snapshot snapshot(bool include_runtime) {
   Snapshot snap;
   Directory& d = directory();
@@ -133,6 +212,14 @@ std::string to_json(const Snapshot& snapshot) {
       buckets.set(bound, static_cast<double>(n));
     }
     entry.set("buckets", std::move(buckets));
+    if (h.count > 0) {
+      Json percentiles{JsonObject{}};
+      percentiles.set("p50", histogram_percentile(h, 0.50));
+      percentiles.set("p90", histogram_percentile(h, 0.90));
+      percentiles.set("p99", histogram_percentile(h, 0.99));
+      percentiles.set("max", histogram_percentile(h, 1.0));
+      entry.set("percentiles", std::move(percentiles));
+    }
     histograms.set(h.name, std::move(entry));
   }
   doc.set("histograms", std::move(histograms));
@@ -162,6 +249,65 @@ std::string to_text(const Snapshot& snapshot) {
   return out;
 }
 
+std::string openmetrics_name(const std::string& name) {
+  std::string out = "firmres_";
+  for (const char ch : name) {
+    const bool ok = (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') ||
+                    (ch >= '0' && ch <= '9') || ch == '_' || ch == ':';
+    out.push_back(ok ? ch : '_');
+  }
+  return out;
+}
+
+std::string openmetrics_escape_label(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char ch : value) {
+    switch (ch) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(ch);
+    }
+  }
+  return out;
+}
+
+std::string to_openmetrics(const Snapshot& snapshot) {
+  std::string out;
+  for (const Snapshot::CounterValue& c : snapshot.counters) {
+    const std::string n = openmetrics_name(c.name);
+    out += "# TYPE " + n + " counter\n";
+    out += n + "_total " + std::to_string(c.value) + "\n";
+  }
+  for (const Snapshot::GaugeValue& g : snapshot.gauges) {
+    const std::string n = openmetrics_name(g.name);
+    out += "# TYPE " + n + " gauge\n";
+    out += n + " " + std::to_string(g.value) + "\n";
+  }
+  for (const Snapshot::HistogramValue& h : snapshot.histograms) {
+    const std::string n = openmetrics_name(h.name);
+    out += "# TYPE " + n + " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (int i = 0; i < kHistogramBuckets - 1; ++i) {
+      const std::uint64_t count = h.buckets[static_cast<std::size_t>(i)];
+      cumulative += count;
+      if (count == 0) continue;  // sparse; cumulative values stay monotone
+      // Observations are integers, so bucket i's contents are exactly the
+      // values <= 2^i - 1: emit the precise inclusive bound, not the
+      // half-open one, so the cumulative series is exact.
+      const std::uint64_t le = histogram_bucket_upper(i) - 1;
+      out += n + "_bucket{le=\"" + std::to_string(le) + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += n + "_bucket{le=\"+Inf\"} " + std::to_string(h.count) + "\n";
+    out += n + "_sum " + std::to_string(h.sum) + "\n";
+    out += n + "_count " + std::to_string(h.count) + "\n";
+  }
+  out += "# EOF\n";
+  return out;
+}
+
 void reset_all() {
   Directory& d = directory();
   std::lock_guard<std::mutex> lock(d.mutex);
@@ -185,6 +331,10 @@ void write_json(const std::string& path, bool include_runtime) {
 
 void write_text(const std::string& path, bool include_runtime) {
   write_file(path, to_text(snapshot(include_runtime)));
+}
+
+void write_openmetrics(const std::string& path, bool include_runtime) {
+  write_file(path, to_openmetrics(snapshot(include_runtime)));
 }
 
 }  // namespace firmres::support::metrics

@@ -34,8 +34,11 @@ enum class Kind {
   Runtime,  ///< timing/scheduling dependent
 };
 
-/// Power-of-two histogram buckets: bucket i counts observations with
-/// value < 2^i (the last bucket is unbounded).
+/// Power-of-two histogram buckets. Bucket 0 counts the observation 0;
+/// bucket i (1 ≤ i < kHistogramBuckets-1) counts observations in
+/// [2^(i-1), 2^i) — so an observation of exactly 2^i lands in bucket i+1 —
+/// and the last bucket is unbounded below by 2^(kHistogramBuckets-2).
+/// tests/test_observability.cc pins these boundaries.
 inline constexpr int kHistogramBuckets = 28;
 
 class Counter {
@@ -131,15 +134,53 @@ struct Snapshot {
   std::vector<CounterValue> counters;
   std::vector<GaugeValue> gauges;
   std::vector<HistogramValue> histograms;
+
+  /// The change since `prev`: counters and histogram counts/sums/buckets
+  /// subtract name-matched entries of `prev` (clamped at zero, so a
+  /// reset_all() between snapshots degrades to the full current value);
+  /// gauges keep their current high-water value (a max has no meaningful
+  /// difference). Metrics absent from `prev` pass through whole. This is
+  /// what turns the process-lifetime registry into interval telemetry —
+  /// the serve-mode `stats` heartbeat is delta(previous tick).
+  Snapshot delta(const Snapshot& prev) const;
 };
+
+/// Estimate the q-quantile (q in [0, 1]) of a bucketed histogram by
+/// log-linear interpolation: the target rank is located in its
+/// power-of-two bucket exactly, then positioned linearly between the
+/// bucket's bounds. Returns 0 for an empty histogram. q = 1 returns the
+/// upper bound of the highest occupied bucket (for the unbounded last
+/// bucket, one octave above its lower bound, capped by `sum`).
+double histogram_percentile(const Snapshot::HistogramValue& h, double q);
+
+/// Lower/upper value bounds of bucket i (upper bound of the last bucket
+/// follows the q = 1 convention above, ignoring the sum cap).
+std::uint64_t histogram_bucket_lower(int i);
+std::uint64_t histogram_bucket_upper(int i);
 
 /// Snapshot every registered metric. `include_runtime = false` keeps only
 /// Kind::Work entries — the deterministic section.
 Snapshot snapshot(bool include_runtime = true);
 
 /// Render a snapshot as the firmres-metrics JSON document
-/// (docs/OBSERVABILITY.md lists the schema).
+/// (docs/OBSERVABILITY.md lists the schema). Histograms with at least one
+/// observation carry a `percentiles` block (p50/p90/p99/max estimated by
+/// histogram_percentile) alongside the exact buckets.
 std::string to_json(const Snapshot& snapshot);
+
+/// Render a snapshot as an OpenMetrics / Prometheus text exposition:
+/// `firmres_`-prefixed sanitized names, counters as `_total` samples,
+/// histograms as cumulative `_bucket{le="..."}` series plus `_sum` and
+/// `_count`, terminated by `# EOF`.
+std::string to_openmetrics(const Snapshot& snapshot);
+
+/// Map a dotted metric name onto the OpenMetrics charset: prepend
+/// `firmres_` and rewrite every byte outside [a-zA-Z0-9_:] to `_`.
+std::string openmetrics_name(const std::string& name);
+
+/// Escape a label value for the exposition format (backslash, double
+/// quote, and newline get backslash escapes).
+std::string openmetrics_escape_label(const std::string& value);
 
 /// Render a snapshot as a flat `name value` text listing (histograms emit
 /// name.count / name.sum / name.le_2ei lines).
@@ -156,5 +197,9 @@ void write_json(const std::string& path, bool include_runtime = false);
 /// snapshot(include_runtime) + to_text + write to `path`. Throws
 /// support::ParseError when the file cannot be written.
 void write_text(const std::string& path, bool include_runtime = false);
+
+/// snapshot(include_runtime) + to_openmetrics + write to `path`. Throws
+/// support::ParseError when the file cannot be written.
+void write_openmetrics(const std::string& path, bool include_runtime = false);
 
 }  // namespace firmres::support::metrics

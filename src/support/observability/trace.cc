@@ -146,13 +146,18 @@ std::string to_chrome_json(const std::vector<Event>& events) {
   return doc.dump(true);
 }
 
-void write_chrome_trace(const std::string& path) {
-  const std::string body = to_chrome_json(collect());
+void write_chrome_trace(const std::string& path,
+                        const std::vector<Event>& events) {
+  const std::string body = to_chrome_json(events);
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) throw ParseError("cannot write trace file " + path);
   std::fwrite(body.data(), 1, body.size(), f);
   std::fputc('\n', f);
   std::fclose(f);
+}
+
+void write_chrome_trace(const std::string& path) {
+  write_chrome_trace(path, collect());
 }
 
 }  // namespace firmres::support::trace

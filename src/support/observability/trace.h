@@ -101,6 +101,12 @@ std::string to_chrome_json(const std::vector<Event>& events);
 /// support::ParseError when the file cannot be written.
 void write_chrome_trace(const std::string& path);
 
+/// Same, over an already-collected event list — for callers that share one
+/// collect() between several exporters (collect() drains the buffers, so a
+/// second exporter calling it again would see nothing).
+void write_chrome_trace(const std::string& path,
+                        const std::vector<Event>& events);
+
 }  // namespace firmres::support::trace
 
 // Convenience macros: create an anonymous span covering the rest of the

@@ -5,10 +5,12 @@
 // merge, and JSON string-escaping hardening shared by every exporter.
 #include "support/observability/events.h"
 #include "support/observability/metrics.h"
+#include "support/observability/profile.h"
 #include "support/observability/trace.h"
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <future>
@@ -421,6 +423,359 @@ TEST(JsonEscaping, ChromeTraceArgsWithHostileBytesStayParseable) {
   ASSERT_GE(trace_events->size(), 1u);
   EXPECT_EQ(trace_events->as_array()[0].find("name")->as_string(),
             "na\"me\x1f");
+}
+
+// Pins the power-of-two bucket boundary contract the percentile estimator,
+// the OpenMetrics exporter, and tools/check_perf_regression.py all assume:
+// an observation of exactly 2^i lands in bucket i+1 (buckets are
+// [2^(i-1), 2^i), half-open at the top), zero lands in bucket 0, and
+// anything >= 2^26 lands in the unbounded last bucket.
+TEST(Metrics, BucketBoundariesArePinned) {
+  static metrics::Histogram histogram("test.bucket_pin", metrics::Kind::Work);
+  histogram.reset();
+
+  histogram.observe(0);
+  EXPECT_EQ(histogram.bucket(0), 1u);
+
+  for (int i = 0; i < metrics::kHistogramBuckets - 2; ++i) {
+    histogram.reset();
+    histogram.observe(std::uint64_t{1} << i);  // exactly 2^i
+    EXPECT_EQ(histogram.bucket(i + 1), 1u) << "2^" << i;
+    // ...and 2^i - 1 stays one bucket below (except 2^0 - 1 == 0).
+    if (i == 0) continue;
+    histogram.reset();
+    histogram.observe((std::uint64_t{1} << i) - 1);
+    EXPECT_EQ(histogram.bucket(i), 1u) << "2^" << i << " - 1";
+  }
+
+  // The last bucket is unbounded: 2^26, 2^40, and UINT64_MAX all land there.
+  const int last = metrics::kHistogramBuckets - 1;
+  histogram.reset();
+  histogram.observe(std::uint64_t{1} << 26);
+  histogram.observe(std::uint64_t{1} << 40);
+  histogram.observe(~std::uint64_t{0});
+  EXPECT_EQ(histogram.bucket(last), 3u);
+  EXPECT_EQ(histogram.count(), 3u);
+  EXPECT_EQ(histogram.sum(),
+            (std::uint64_t{1} << 26) + (std::uint64_t{1} << 40) +
+                ~std::uint64_t{0});
+
+  histogram.reset();
+  EXPECT_EQ(histogram.count(), 0u);
+  EXPECT_EQ(histogram.sum(), 0u);
+  for (int i = 0; i < metrics::kHistogramBuckets; ++i)
+    EXPECT_EQ(histogram.bucket(i), 0u) << "bucket " << i;
+}
+
+TEST(Metrics, BucketBoundHelpersMatchTheBuckets) {
+  EXPECT_EQ(metrics::histogram_bucket_lower(0), 0u);
+  EXPECT_EQ(metrics::histogram_bucket_upper(0), 1u);
+  EXPECT_EQ(metrics::histogram_bucket_lower(4), 8u);
+  EXPECT_EQ(metrics::histogram_bucket_upper(4), 16u);
+  const int last = metrics::kHistogramBuckets - 1;
+  EXPECT_EQ(metrics::histogram_bucket_lower(last), std::uint64_t{1} << 26);
+  EXPECT_EQ(metrics::histogram_bucket_upper(last), std::uint64_t{1} << 27);
+}
+
+// Golden percentile values under log-linear interpolation. 100 observations
+// of 10 all land in bucket [8, 16): p50 = 8 + 0.5*8 = 12, p90 = 15.2,
+// p99 = 15.92, max = 16. tools/check_perf_regression.py pins the same
+// goldens against its Python reimplementation.
+TEST(Metrics, PercentileGoldens) {
+  static metrics::Histogram histogram("test.percentiles",
+                                      metrics::Kind::Work);
+  histogram.reset();
+  for (int i = 0; i < 100; ++i) histogram.observe(10);
+
+  const metrics::Snapshot snap = metrics::snapshot(false);
+  const metrics::Snapshot::HistogramValue* h = nullptr;
+  for (const auto& entry : snap.histograms)
+    if (entry.name == "test.percentiles") h = &entry;
+  ASSERT_NE(h, nullptr);
+  EXPECT_DOUBLE_EQ(metrics::histogram_percentile(*h, 0.50), 12.0);
+  EXPECT_DOUBLE_EQ(metrics::histogram_percentile(*h, 0.90), 15.2);
+  EXPECT_DOUBLE_EQ(metrics::histogram_percentile(*h, 0.99), 15.92);
+  EXPECT_DOUBLE_EQ(metrics::histogram_percentile(*h, 1.0), 16.0);
+  EXPECT_EQ(metrics::histogram_percentile(*h, 0.0), 8.0);  // bucket floor
+}
+
+TEST(Metrics, PercentileSpansMultipleBuckets) {
+  static metrics::Histogram histogram("test.percentile_spread",
+                                      metrics::Kind::Work);
+  histogram.reset();
+  for (int i = 0; i < 50; ++i) histogram.observe(1);    // bucket [1, 2)
+  for (int i = 0; i < 50; ++i) histogram.observe(100);  // bucket [64, 128)
+
+  const metrics::Snapshot snap = metrics::snapshot(false);
+  for (const auto& h : snap.histograms) {
+    if (h.name != "test.percentile_spread") continue;
+    // p50 exhausts the first bucket exactly: estimate = hi of [1, 2).
+    EXPECT_DOUBLE_EQ(metrics::histogram_percentile(h, 0.50), 2.0);
+    // p90 is 80% through the second bucket: 64 + 0.8*64.
+    EXPECT_DOUBLE_EQ(metrics::histogram_percentile(h, 0.90), 115.2);
+  }
+
+  // Empty histogram: every percentile is 0.
+  histogram.reset();
+  metrics::Snapshot::HistogramValue empty{};
+  empty.name = "empty";
+  EXPECT_DOUBLE_EQ(metrics::histogram_percentile(empty, 0.99), 0.0);
+}
+
+// The last bucket has no upper bound; the estimate is capped by the
+// observed sum so a single huge outlier cannot report above itself.
+TEST(Metrics, PercentileLastBucketCappedBySum) {
+  static metrics::Histogram histogram("test.percentile_tail",
+                                      metrics::Kind::Work);
+  histogram.reset();
+  histogram.observe((std::uint64_t{1} << 26) + 5);
+  const metrics::Snapshot snap = metrics::snapshot(false);
+  for (const auto& h : snap.histograms) {
+    if (h.name != "test.percentile_tail") continue;
+    const double p99 = metrics::histogram_percentile(h, 0.99);
+    EXPECT_GE(p99, static_cast<double>(std::uint64_t{1} << 26));
+    EXPECT_LE(p99, static_cast<double>(h.sum));
+  }
+}
+
+TEST(Metrics, DeltaSubtractsCountersAndBuckets) {
+  static metrics::Counter counter("test.delta_counter", metrics::Kind::Work);
+  static metrics::Gauge gauge("test.delta_gauge", metrics::Kind::Work);
+  static metrics::Histogram histogram("test.delta_histogram",
+                                      metrics::Kind::Work);
+  counter.reset();
+  gauge.reset();
+  histogram.reset();
+
+  counter.add(10);
+  gauge.record(7);
+  histogram.observe(3);
+  const metrics::Snapshot before = metrics::snapshot(false);
+
+  counter.add(5);
+  gauge.record(2);  // below the high-water mark: gauge stays 7
+  histogram.observe(3);
+  histogram.observe(40);
+  const metrics::Snapshot after = metrics::snapshot(false);
+
+  const metrics::Snapshot delta = after.delta(before);
+  for (const auto& c : delta.counters)
+    if (c.name == "test.delta_counter") EXPECT_EQ(c.value, 5u);
+  for (const auto& g : delta.gauges)
+    if (g.name == "test.delta_gauge") EXPECT_EQ(g.value, 7u);  // current
+  for (const auto& h : delta.histograms) {
+    if (h.name != "test.delta_histogram") continue;
+    EXPECT_EQ(h.count, 2u);
+    EXPECT_EQ(h.sum, 43u);
+    EXPECT_EQ(h.buckets[2], 1u);  // 3 in [2, 4)
+    EXPECT_EQ(h.buckets[6], 1u);  // 40 in [32, 64)
+  }
+
+  // A reset between snapshots would make counts go backwards; the delta
+  // clamps at zero instead of underflowing.
+  counter.reset();
+  const metrics::Snapshot reset_snap = metrics::snapshot(false);
+  const metrics::Snapshot clamped = reset_snap.delta(after);
+  for (const auto& c : clamped.counters)
+    if (c.name == "test.delta_counter") EXPECT_EQ(c.value, 0u);
+}
+
+// Delta computation under concurrent writers must stay well-defined (and
+// TSan-clean): every observation lands in exactly one interval or the
+// next, never torn across both.
+TEST(Metrics, DeltaUnderConcurrentObserversIsConsistent) {
+  static metrics::Counter counter("test.delta_concurrent",
+                                  metrics::Kind::Work);
+  counter.reset();
+  metrics::Snapshot prev = metrics::snapshot(false);
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&stop] {
+      while (!stop.load(std::memory_order_relaxed)) counter.add();
+    });
+  }
+  std::uint64_t total_delta = 0;
+  for (int tick = 0; tick < 50; ++tick) {
+    const metrics::Snapshot now = metrics::snapshot(false);
+    const metrics::Snapshot delta = now.delta(prev);
+    for (const auto& c : delta.counters)
+      if (c.name == "test.delta_concurrent") total_delta += c.value;
+    prev = now;
+  }
+  stop.store(true);
+  for (std::thread& w : writers) w.join();
+
+  // The summed deltas can never exceed the final absolute value, and the
+  // final delta closes the gap exactly.
+  const metrics::Snapshot last = metrics::snapshot(false);
+  std::uint64_t final_value = 0;
+  for (const auto& c : last.counters)
+    if (c.name == "test.delta_concurrent") final_value = c.value;
+  EXPECT_LE(total_delta, final_value);
+  const metrics::Snapshot tail = last.delta(prev);
+  for (const auto& c : tail.counters)
+    if (c.name == "test.delta_concurrent")
+      EXPECT_EQ(total_delta + c.value, final_value);
+}
+
+TEST(Metrics, JsonDumpCarriesPercentilesForNonEmptyHistograms) {
+  static metrics::Histogram histogram("test.json_percentiles",
+                                      metrics::Kind::Work);
+  histogram.reset();
+  for (int i = 0; i < 100; ++i) histogram.observe(10);
+  const support::Json doc =
+      support::Json::parse(metrics::to_json(metrics::snapshot(false)));
+  const support::Json* hists = doc.find("histograms");
+  ASSERT_NE(hists, nullptr);
+  const support::Json* entry = hists->find("test.json_percentiles");
+  ASSERT_NE(entry, nullptr);
+  const support::Json* percentiles = entry->find("percentiles");
+  ASSERT_NE(percentiles, nullptr);
+  EXPECT_EQ(percentiles->find("p50")->as_number(), 12.0);
+  EXPECT_EQ(percentiles->find("p99")->as_number(), 15.92);
+  EXPECT_EQ(percentiles->find("max")->as_number(), 16.0);
+}
+
+TEST(OpenMetrics, NamesAreSanitizedAndLabelsEscaped) {
+  EXPECT_EQ(metrics::openmetrics_name("taint.mft_nodes"),
+            "firmres_taint_mft_nodes");
+  EXPECT_EQ(metrics::openmetrics_name("phase.fields-us"),
+            "firmres_phase_fields_us");
+  EXPECT_EQ(metrics::openmetrics_escape_label("a\"b\\c\nd"),
+            "a\\\"b\\\\c\\nd");
+}
+
+TEST(OpenMetrics, ExpositionFormatIsWellFormed) {
+  static metrics::Counter counter("test.om_counter", metrics::Kind::Work);
+  static metrics::Gauge gauge("test.om_gauge", metrics::Kind::Work);
+  static metrics::Histogram histogram("test.om_histogram",
+                                      metrics::Kind::Work);
+  counter.reset();
+  gauge.reset();
+  histogram.reset();
+  counter.add(3);
+  gauge.record(9);
+  histogram.observe(5);   // bucket [4, 8) -> cumulative le="7"
+  histogram.observe(50);  // bucket [32, 64) -> cumulative le="63"
+
+  const std::string body = metrics::to_openmetrics(metrics::snapshot(false));
+  EXPECT_NE(body.find("# TYPE firmres_test_om_counter counter\n"),
+            std::string::npos);
+  EXPECT_NE(body.find("firmres_test_om_counter_total 3\n"),
+            std::string::npos);
+  EXPECT_NE(body.find("# TYPE firmres_test_om_gauge gauge\n"),
+            std::string::npos);
+  EXPECT_NE(body.find("firmres_test_om_gauge 9\n"), std::string::npos);
+  // Histogram buckets are cumulative with exact inclusive integer bounds.
+  EXPECT_NE(body.find("firmres_test_om_histogram_bucket{le=\"7\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(body.find("firmres_test_om_histogram_bucket{le=\"63\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(body.find("firmres_test_om_histogram_bucket{le=\"+Inf\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(body.find("firmres_test_om_histogram_sum 55\n"),
+            std::string::npos);
+  EXPECT_NE(body.find("firmres_test_om_histogram_count 2\n"),
+            std::string::npos);
+  // Terminated exactly once, at the end.
+  ASSERT_GE(body.size(), 6u);
+  EXPECT_EQ(body.substr(body.size() - 6), "# EOF\n");
+  EXPECT_EQ(body.find("# EOF"), body.rfind("# EOF"));
+
+  // Cumulative bucket counts are monotone non-decreasing.
+  std::uint64_t prev = 0;
+  std::size_t pos = 0;
+  const std::string needle = "firmres_test_om_histogram_bucket{le=";
+  while ((pos = body.find(needle, pos)) != std::string::npos) {
+    const std::size_t space = body.find(' ', pos);
+    const std::size_t eol = body.find('\n', space);
+    const std::uint64_t value =
+        std::stoull(body.substr(space + 1, eol - space - 1));
+    EXPECT_GE(value, prev);
+    prev = value;
+    pos = eol;
+  }
+}
+
+namespace profile = support::profile;
+
+trace::Event make_span(const char* name, std::uint64_t thread,
+                       std::uint64_t start_ns, std::uint64_t duration_ns,
+                       std::uint64_t sequence = 0) {
+  trace::Event e;
+  e.name = name;
+  e.category = "test";
+  e.thread_id = thread;
+  e.start_ns = start_ns;
+  e.duration_ns = duration_ns;
+  e.sequence = sequence;
+  return e;
+}
+
+// The fold reconstructs the span tree per thread from intervals: a span
+// strictly inside another becomes its child; self time is total minus
+// children, clamped at zero.
+TEST(Profile, FoldNestsSpansAndComputesSelfTime) {
+  std::vector<trace::Event> events;
+  events.push_back(make_span("outer", 1, 0, 10000, 0));
+  events.push_back(make_span("inner", 1, 2000, 3000, 1));
+  events.push_back(make_span("inner", 1, 6000, 1000, 2));
+  events.push_back(make_span("other", 2, 0, 5000, 0));
+
+  const std::vector<profile::Entry> entries = profile::fold(events);
+  ASSERT_EQ(entries.size(), 3u);  // map-ordered: deterministic
+  EXPECT_EQ(entries[0].stack, "other");
+  EXPECT_EQ(entries[1].stack, "outer");
+  EXPECT_EQ(entries[2].stack, "outer;inner");
+
+  EXPECT_EQ(entries[1].total_ns, 10000u);
+  EXPECT_EQ(entries[1].self_ns, 6000u);  // 10000 - (3000 + 1000)
+  EXPECT_EQ(entries[1].count, 1u);
+  EXPECT_EQ(entries[2].total_ns, 4000u);
+  EXPECT_EQ(entries[2].self_ns, 4000u);  // leaves: self == total
+  EXPECT_EQ(entries[2].count, 2u);
+  EXPECT_EQ(entries[0].self_ns, 5000u);
+}
+
+TEST(Profile, CollapsedOutputIsFlamegraphCompatible) {
+  std::vector<trace::Event> events;
+  events.push_back(make_span("a", 1, 0, 5000, 0));
+  events.push_back(make_span("b", 1, 1000, 2000, 1));
+  const std::string collapsed =
+      profile::to_collapsed(profile::fold(events));
+  // One "stack self_us" line per entry, children joined with ';'.
+  EXPECT_NE(collapsed.find("a 3\n"), std::string::npos);
+  EXPECT_NE(collapsed.find("a;b 2\n"), std::string::npos);
+  // Zero-self entries are skipped (nothing to attribute).
+  std::vector<trace::Event> wrapper;
+  wrapper.push_back(make_span("w", 1, 0, 1000, 0));
+  wrapper.push_back(make_span("leaf", 1, 0, 1000, 1));
+  const std::string only_leaf =
+      profile::to_collapsed(profile::fold(wrapper));
+  EXPECT_EQ(only_leaf.find("w 0"), std::string::npos);
+  EXPECT_NE(only_leaf.find("w;leaf 1\n"), std::string::npos);
+}
+
+TEST(Profile, FoldIsDeterministicAcrossInputOrder) {
+  std::vector<trace::Event> events;
+  for (int t = 1; t <= 4; ++t) {
+    events.push_back(
+        make_span("root", static_cast<std::uint64_t>(t), 0, 8000, 0));
+    events.push_back(
+        make_span("leaf", static_cast<std::uint64_t>(t), 1000, 2000, 1));
+  }
+  std::vector<trace::Event> reversed(events.rbegin(), events.rend());
+  const std::vector<profile::Entry> a = profile::fold(events);
+  const std::vector<profile::Entry> b = profile::fold(reversed);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].stack, b[i].stack);
+    EXPECT_EQ(a[i].total_ns, b[i].total_ns);
+    EXPECT_EQ(a[i].self_ns, b[i].self_ns);
+    EXPECT_EQ(a[i].count, b[i].count);
+  }
 }
 
 TEST(Metrics, TextDumpListsEveryMetricKind) {

@@ -151,6 +151,95 @@ TEST(Serve, FailingImageIsIsolatedWithinItsJob) {
   EXPECT_EQ(lines.back().find("jobs")->as_number(), 1.0);
 }
 
+// --stats-interval emits periodic heartbeat records; the session always
+// emits one final tail tick on shutdown so even a short session (or a huge
+// interval, as here) yields at least one record to validate against.
+TEST(Serve, StatsHeartbeatCarriesThroughputAndPercentiles) {
+  TempDir base;
+  const std::vector<std::string> dirs = save_images(base, {2, 7});
+  core::ServeSession::Options options;
+  options.stats_interval_s = 3600.0;  // only the final tail tick fires
+  const auto lines = serve_lines(
+      "analyze " + dirs[0] + " " + dirs[1] + "\nquit\n", options);
+
+  ASSERT_GE(count_events(lines, "stats"), 1u);
+  // The tail tick is emitted after the worker drains, before "bye".
+  EXPECT_EQ(lines.back().find("event")->as_string(), "bye");
+  const Json* stats = nullptr;
+  for (const Json& line : lines)
+    if (line.find("event")->as_string() == "stats") stats = &line;  // last
+
+  ASSERT_NE(stats, nullptr);
+  for (const char* key :
+       {"seq", "uptime_s", "interval_s", "jobs", "throughput", "phases",
+        "cache", "pool"})
+    ASSERT_NE(stats->find(key), nullptr) << "missing " << key;
+
+  const Json* jobs = stats->find("jobs");
+  EXPECT_EQ(jobs->find("in_flight")->as_number(), 0.0);
+  EXPECT_EQ(jobs->find("queue_depth")->as_number(), 0.0);
+
+  const Json* throughput = stats->find("throughput");
+  ASSERT_NE(throughput->find("devices_analyzed"), nullptr);
+  ASSERT_NE(throughput->find("devices_per_s"), nullptr);
+
+  // Cumulative across ticks, jobs.accepted/done must sum to the session's
+  // 1 job; devices_analyzed across ticks sums to 2.
+  double accepted = 0, done = 0, devices = 0;
+  for (const Json& line : lines) {
+    if (line.find("event")->as_string() != "stats") continue;
+    accepted += line.find("jobs")->find("accepted")->as_number();
+    done += line.find("jobs")->find("done")->as_number();
+    devices +=
+        line.find("throughput")->find("devices_analyzed")->as_number();
+  }
+  EXPECT_EQ(accepted, 1.0);
+  EXPECT_EQ(done, 1.0);
+  EXPECT_EQ(devices, 2.0);
+
+  // Phase latency entries carry the full percentile quartet; at least one
+  // pipeline phase must have fired for 2 analyzed devices.
+  const Json* phases = stats->find("phases");
+  ASSERT_TRUE(phases->is_object());
+  bool saw_phase = false;
+  for (const auto& [name, entry] : phases->as_object()) {
+    saw_phase = true;
+    for (const char* key : {"count", "p50", "p90", "p99", "max"})
+      ASSERT_NE(entry.find(key), nullptr)
+          << "phase " << name << " missing " << key;
+    EXPECT_GE(entry.find("max")->as_number(),
+              entry.find("p50")->as_number());
+  }
+  EXPECT_TRUE(saw_phase);
+}
+
+// The Work-kind sections of the streamed reports are byte-identical at any
+// job count (same property batch analyze has); stats heartbeats are
+// Runtime-flavored and excluded from the comparison.
+TEST(Serve, ReportsAreByteIdenticalAcrossJobCounts) {
+  TempDir base;
+  const std::vector<std::string> dirs = save_images(base, {2, 7, 13, 21});
+  std::string script = "analyze";
+  for (const std::string& dir : dirs) script += " " + dir;
+  script += "\nquit\n";
+
+  const auto reports_for_jobs = [&](int jobs) {
+    core::ServeSession::Options options;
+    options.jobs = jobs;
+    options.stats_interval_s = 3600.0;  // prove stats don't perturb reports
+    const auto lines = serve_lines(script, options);
+    std::vector<std::string> reports;
+    for (const Json& line : lines)
+      if (line.find("event")->as_string() == "report")
+        reports.push_back(line.find("report")->dump(false));
+    return reports;
+  };
+
+  const std::vector<std::string> sequential = reports_for_jobs(1);
+  ASSERT_EQ(sequential.size(), dirs.size());
+  EXPECT_EQ(reports_for_jobs(8), sequential);
+}
+
 TEST(Serve, RepeatSubmissionsAreServedFromTheCache) {
   TempDir base, store;
   const std::vector<std::string> dirs = save_images(base, {3});

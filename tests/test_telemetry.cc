@@ -1,0 +1,216 @@
+// End-to-end telemetry tests (docs/OBSERVABILITY.md): the instrumented
+// cloud prober populates its counters and latency histogram on a real
+// synth-corpus hunt, per-verdict tallies reconcile with the hunt result,
+// and `firmres stats` aggregation round-trips registry dumps and JSONL
+// artifacts written by the exporters themselves.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "cloud/evaluation.h"
+#include "cloud/prober.h"
+#include "cloud/vuln_hunter.h"
+#include "core/pipeline.h"
+#include "core/stats.h"
+#include "firmware/synthesizer.h"
+#include "support/json.h"
+#include "support/observability/metrics.h"
+
+namespace firmres {
+namespace {
+
+namespace fsys = std::filesystem;
+namespace metrics = support::metrics;
+using support::Json;
+
+std::uint64_t counter_value(const metrics::Snapshot& snap,
+                            const std::string& name) {
+  for (const auto& c : snap.counters)
+    if (c.name == name) return c.value;
+  return 0;
+}
+
+const metrics::Snapshot::HistogramValue* find_histogram(
+    const metrics::Snapshot& snap, const std::string& name) {
+  for (const auto& h : snap.histograms)
+    if (h.name == name) return &h;
+  return nullptr;
+}
+
+/// Analyze one synthesized device and hunt it; every probe flows through
+/// the instrumented Prober::send hop.
+cloudsim::HuntResult hunt_device(int id, cloudsim::CloudNetwork& net) {
+  const fw::FirmwareImage image = fw::synthesize(fw::profile_by_id(id));
+  net.enroll(image);
+  const core::KeywordModel model;
+  const core::DeviceAnalysis analysis = core::Pipeline(model).analyze(image);
+  return cloudsim::VulnHunter(net).hunt(analysis, image);
+}
+
+TEST(Telemetry, HuntPopulatesProbeCountersAndLatency) {
+  metrics::reset_all();
+  cloudsim::CloudNetwork net;
+  const cloudsim::HuntResult result = hunt_device(2, net);
+
+  const metrics::Snapshot snap = metrics::snapshot(true);
+  const std::uint64_t probes = counter_value(snap, "probe.requests");
+  const std::uint64_t flagged =
+      static_cast<std::uint64_t>(result.confirmed.size()) +
+      static_cast<std::uint64_t>(result.false_alarms);
+  // One instrumented probe per flagged message, no more, no less.
+  EXPECT_EQ(probes, flagged);
+  EXPECT_GE(probes, 1u);
+  EXPECT_EQ(counter_value(snap, "hunt.attacker_probes"), probes);
+  EXPECT_EQ(counter_value(snap, "hunt.confirmed_findings"),
+            result.confirmed.size());
+
+  // Each probe contributed one latency observation.
+  const metrics::Snapshot::HistogramValue* latency =
+      find_histogram(snap, "probe.latency_us");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_EQ(latency->count, probes);
+}
+
+TEST(Telemetry, VerdictCountersReconcileWithProbeTotal) {
+  metrics::reset_all();
+  cloudsim::CloudNetwork net;
+  hunt_device(2, net);
+  hunt_device(17, net);
+
+  const metrics::Snapshot snap = metrics::snapshot(true);
+  std::uint64_t verdicts = 0;
+  for (const auto& c : snap.counters)
+    if (c.name.rfind("probe.verdict.", 0) == 0) verdicts += c.value;
+  EXPECT_EQ(verdicts, counter_value(snap, "probe.requests"));
+  EXPECT_GE(verdicts, 2u);
+}
+
+TEST(Telemetry, DeviceEvaluationObservesItsLatencyHistogram) {
+  metrics::reset_all();
+  cloudsim::CloudNetwork net;
+  const fw::FirmwareImage image = fw::synthesize(fw::profile_by_id(2));
+  net.enroll(image);
+  const core::KeywordModel model;
+  const core::DeviceAnalysis analysis = core::Pipeline(model).analyze(image);
+  cloudsim::evaluate_device(analysis, image, net);
+
+  const metrics::Snapshot snap = metrics::snapshot(true);
+  const metrics::Snapshot::HistogramValue* h =
+      find_histogram(snap, "eval.device_us");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 1u);
+  // Persona counters: evaluation probes as the device (validity check).
+  EXPECT_GE(counter_value(snap, "probe.as_device"), 1u);
+}
+
+class TempDir {
+ public:
+  TempDir() {
+    path_ = fsys::temp_directory_path() /
+            ("firmres-telemetry-test-" + std::to_string(::getpid()) + "-" +
+             std::to_string(counter_++));
+    fsys::create_directories(path_);
+  }
+  ~TempDir() { fsys::remove_all(path_); }
+  const fsys::path& path() const { return path_; }
+
+ private:
+  static inline int counter_ = 0;
+  fsys::path path_;
+};
+
+std::string write_file(const TempDir& dir, const std::string& name,
+                       const std::string& body) {
+  const fsys::path path = dir.path() / name;
+  std::ofstream out(path);
+  out << body;
+  return path.string();
+}
+
+// Round-trip: two registry dumps written by the real exporter merge the
+// way the live registry would have — counters sum, gauges take the max,
+// histogram buckets add exactly — and a JSONL stream tallies by kind.
+TEST(Telemetry, StatsAggregationRoundTripsExporterArtifacts) {
+  TempDir dir;
+
+  static metrics::Counter counter("test.agg_counter", metrics::Kind::Work);
+  static metrics::Gauge gauge("test.agg_gauge", metrics::Kind::Work);
+  static metrics::Histogram histogram("test.agg_histogram",
+                                      metrics::Kind::Work);
+  counter.reset();
+  gauge.reset();
+  histogram.reset();
+
+  counter.add(3);
+  gauge.record(5);
+  histogram.observe(10);
+  const std::string first =
+      write_file(dir, "run1.json", metrics::to_json(metrics::snapshot(false)));
+
+  counter.reset();
+  gauge.reset();
+  histogram.reset();
+  counter.add(4);
+  gauge.record(2);
+  histogram.observe(10);
+  histogram.observe(100);
+  const std::string second =
+      write_file(dir, "run2.json", metrics::to_json(metrics::snapshot(false)));
+
+  const std::string jsonl = write_file(
+      dir, "serve.jsonl",
+      "{\"event\":\"report\",\"device\":2}\n"
+      "{\"event\":\"report\",\"device\":7}\n"
+      "{\"event\":\"stats\",\"seq\":1}\n"
+      "{\"category\":\"taint\",\"device\":2,\"text\":\"step\"}\n");
+
+  const core::stats::Aggregate agg =
+      core::stats::aggregate_artifacts({first, second, jsonl});
+  EXPECT_EQ(agg.metrics_files, 2);
+  EXPECT_EQ(agg.jsonl_files, 1);
+  EXPECT_EQ(agg.jsonl_lines, 4u);
+
+  EXPECT_EQ(counter_value(agg.merged, "test.agg_counter"), 7u);  // 3 + 4
+  std::uint64_t gauge_value = 0;
+  for (const auto& g : agg.merged.gauges)
+    if (g.name == "test.agg_gauge") gauge_value = g.value;
+  EXPECT_EQ(gauge_value, 5u);  // max, not sum
+
+  const metrics::Snapshot::HistogramValue* h =
+      find_histogram(agg.merged, "test.agg_histogram");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 3u);
+  EXPECT_EQ(h->sum, 120u);
+  EXPECT_EQ(h->buckets[4], 2u);  // both 10s in [8, 16)
+  EXPECT_EQ(h->buckets[7], 1u);  // 100 in [64, 128)
+
+  std::uint64_t reports = 0, stats_lines = 0, taint = 0;
+  for (const auto& [key, n] : agg.record_counts) {
+    if (key == "event:report") reports = n;
+    if (key == "event:stats") stats_lines = n;
+    if (key == "category:taint") taint = n;
+  }
+  EXPECT_EQ(reports, 2u);
+  EXPECT_EQ(stats_lines, 1u);
+  EXPECT_EQ(taint, 1u);
+
+  const std::string table = core::stats::render_table(agg);
+  EXPECT_NE(table.find("test.agg_counter"), std::string::npos);
+  EXPECT_NE(table.find("test.agg_histogram"), std::string::npos);
+  EXPECT_NE(table.find("event:report"), std::string::npos);
+}
+
+TEST(Telemetry, StatsAggregationRejectsMalformedJsonl) {
+  TempDir dir;
+  const std::string bad =
+      write_file(dir, "bad.jsonl", "{\"event\":\"ok\"}\nnot json at all\n");
+  EXPECT_THROW(core::stats::aggregate_artifacts({bad}),
+               support::ParseError);
+}
+
+}  // namespace
+}  // namespace firmres

@@ -4,6 +4,7 @@
 Usage:
   check_perf_regression.py <baseline.json> <current.json>
       [--threshold 0.5] [--min-wall-s 0.005] [--only PREFIX]
+      [--only-percentile NAME:PCT]
   check_perf_regression.py --self-test
 
 Timing keys (phases.*.wall_s / cpu_s) regress when current exceeds baseline
@@ -21,6 +22,15 @@ registry_metrics are Work-kind (deterministic across job counts), so ANY
 difference there is reported: it means the analysis itself changed, which
 a perf baseline bump should call out.
 
+--only-percentile NAME:PCT (repeatable; PCT one of p50/p90/p99/max, e.g.
+`--only-percentile phase.fields_us:p99`) gates a latency percentile of the
+artifacts' `histograms` section against the same --threshold ratio, so a
+gate can bound tail latency, not just totals. Percentiles are recomputed
+here from the raw power-of-two buckets with the same log-linear
+interpolation the C++ registry uses (src/support/observability/metrics.cc)
+— the precomputed p50/p90/p99 values in the artifact are advisory. Like
+--only, every spec must name a histogram present in BOTH artifacts.
+
 Without --only, only keys present in BOTH files are compared, so adding a
 phase or metric never fails an old baseline. Exit 0 = within threshold,
 1 = regression, 2 = usage/bad input. --self-test runs the built-in
@@ -33,6 +43,62 @@ import json
 import os
 import sys
 import tempfile
+
+
+# Mirrors kHistogramBuckets in src/support/observability/metrics.h: bucket 0
+# holds zero observations, bucket i (1 <= i < 27) holds [2^(i-1), 2^i), the
+# last bucket is unbounded above 2^26. Artifact bucket keys are the exclusive
+# upper bound as a decimal string ("1", "2", ..., "67108864") or "inf".
+BUCKET_COUNT = 28
+
+PERCENTILE_LABELS = {"p50": 0.50, "p90": 0.90, "p99": 0.99, "max": 1.0}
+
+
+def bucket_index(bound):
+    """Map an artifact bucket key back to its registry bucket index."""
+    if bound == "inf":
+        return BUCKET_COUNT - 1
+    value = int(bound)
+    index = value.bit_length() - 1
+    if value <= 0 or (1 << index) != value or index >= BUCKET_COUNT - 1:
+        raise ValueError(f"not a power-of-two histogram bound: {bound!r}")
+    return index
+
+
+def percentile(hist, q):
+    """Log-linear percentile over raw buckets; mirrors histogram_percentile
+    in src/support/observability/metrics.cc exactly."""
+    count = hist.get("count", 0)
+    if count <= 0:
+        return 0.0
+    buckets = {}
+    for bound, n in hist.get("buckets", {}).items():
+        index = bucket_index(bound)
+        buckets[index] = buckets.get(index, 0) + n
+    target = min(max(q, 0.0), 1.0) * count
+    cumulative = 0.0
+    for index in sorted(buckets):
+        n = buckets[index]
+        if n <= 0:
+            continue
+        if cumulative + n >= target:
+            frac = min(max((target - cumulative) / n, 0.0), 1.0)
+            lo = 0.0 if index == 0 else float(1 << (index - 1))
+            hi = float(1 << index)
+            estimate = lo + frac * (hi - lo)
+            if index == BUCKET_COUNT - 1:
+                estimate = min(estimate, float(hist.get("sum", estimate)))
+            return estimate
+        cumulative += n
+    return float(hist.get("sum", 0)) / count
+
+
+def parse_percentile_spec(spec):
+    """'phase.fields_us:p99' -> ('phase.fields_us', 'p99', 0.99) or None."""
+    name, sep, label = spec.rpartition(":")
+    if not sep or not name or label not in PERCENTILE_LABELS:
+        return None
+    return name, label, PERCENTILE_LABELS[label]
 
 
 def flatten(obj, prefix=""):
@@ -83,6 +149,14 @@ def run(argv):
         help="compare only phase keys starting with PREFIX (repeatable); "
         "each prefix must match in both artifacts",
     )
+    parser.add_argument(
+        "--only-percentile",
+        action="append",
+        default=[],
+        metavar="NAME:PCT",
+        help="gate a histogram percentile (PCT: p50/p90/p99/max) against "
+        "--threshold (repeatable); NAME must exist in both artifacts",
+    )
     args = parser.parse_args(argv)
 
     baseline = load(args.baseline)
@@ -104,11 +178,62 @@ def run(argv):
                     file=sys.stderr,
                 )
                 only_errors = True
+
+    # Same loud-failure contract as --only: a misspelled or dropped
+    # histogram must not pass on zero comparisons.
+    base_hists = baseline.get("histograms", {})
+    cur_hists = current.get("histograms", {})
+    percentile_specs = []
+    for spec in args.only_percentile:
+        parsed = parse_percentile_spec(spec)
+        if parsed is None:
+            print(
+                f"error: --only-percentile {spec} is not NAME:PCT "
+                f"(PCT one of {'/'.join(sorted(PERCENTILE_LABELS))})",
+                file=sys.stderr,
+            )
+            only_errors = True
+            continue
+        name = parsed[0]
+        for which, hists, path in (
+            ("baseline", base_hists, args.baseline),
+            ("current", cur_hists, args.current),
+        ):
+            if name not in hists:
+                print(
+                    f"error: --only-percentile {spec} matches no histogram "
+                    f"in {which} artifact {path}",
+                    file=sys.stderr,
+                )
+                only_errors = True
+                break
+        else:
+            percentile_specs.append(parsed)
     if only_errors:
         return 2
 
     regressions = []
     drifts = []
+
+    for name, label, q in percentile_specs:
+        try:
+            base = percentile(base_hists[name], q)
+            cur = percentile(cur_hists[name], q)
+        except (ValueError, TypeError) as e:
+            print(f"error: histogram {name}: {e}", file=sys.stderr)
+            return 2
+        line = f"histograms.{name}:{label}: {base:.1f}us -> {cur:.1f}us"
+        if base <= 0.0:
+            # An all-zero baseline distribution has no meaningful ratio;
+            # report it rather than divide by zero.
+            print(f"note {line}  (baseline percentile is zero; skipped)")
+            continue
+        ratio = cur / base
+        line += f" ({ratio:.2f}x)"
+        if ratio > 1.0 + args.threshold:
+            regressions.append(line)
+        else:
+            print(f"ok   {line}")
 
     for key in sorted(base_phases.keys() & cur_phases.keys()):
         base, cur = base_phases[key], cur_phases[key]
@@ -151,7 +276,13 @@ def run(argv):
 def self_test():
     """Exercise the comparison logic against synthetic artifacts."""
 
-    def artifact(total_wall=1.0, fields_wall=0.5, metrics=None, fmt="firmres-bench"):
+    def artifact(
+        total_wall=1.0,
+        fields_wall=0.5,
+        metrics=None,
+        fmt="firmres-bench",
+        hists=None,
+    ):
         return {
             "format": fmt,
             "bench": "selftest",
@@ -161,11 +292,16 @@ def self_test():
                 "fields": {"wall_s": fields_wall},
             },
             "registry_metrics": metrics or {"taint.steps": 100},
+            "histograms": hists
+            or {"phase.fields_us": {"count": 100, "sum": 1200, "buckets": {"16": 100}}},
         }
 
     failures = []
+    checks = 0
 
     def check(name, expected_exit, base_doc, cur_doc, extra_args):
+        nonlocal checks
+        checks += 1
         with tempfile.TemporaryDirectory() as tmp:
             base_path = os.path.join(tmp, "base.json")
             cur_path = os.path.join(tmp, "cur.json")
@@ -247,8 +383,61 @@ def self_test():
         artifact(),
         [],
     )
+    # All 100 observations land in bucket [8, 16): p99 ~= 15.92us. A current
+    # run with all observations in [32, 64) has p99 ~= 63.68us, a 4x blowup.
+    slow_hist = {
+        "phase.fields_us": {"count": 100, "sum": 4800, "buckets": {"64": 100}}
+    }
+    check(
+        "p99 blowup over threshold fails",
+        1,
+        artifact(),
+        artifact(hists=slow_hist),
+        ["--only-percentile", "phase.fields_us:p99"],
+    )
+    check(
+        "identical p99 passes",
+        0,
+        artifact(),
+        artifact(),
+        ["--only-percentile", "phase.fields_us:p99"],
+    )
+    check(
+        "--only-percentile unknown histogram is a usage error",
+        2,
+        artifact(),
+        artifact(),
+        ["--only-percentile", "no.such_histogram:p99"],
+    )
+    check(
+        "--only-percentile without :PCT suffix is a usage error",
+        2,
+        artifact(),
+        artifact(),
+        ["--only-percentile", "phase.fields_us"],
+    )
+    check(
+        "max percentile compares the distribution tail",
+        1,
+        artifact(),
+        artifact(hists=slow_hist),
+        ["--only-percentile", "phase.fields_us:max"],
+    )
 
-    print(f"self-test: {10 - len(failures)}/10 passed")
+    # Golden percentile values: 100 observations in bucket [8, 16) under
+    # log-linear interpolation — p50 = 8 + 0.5*8 = 12, p99 = 15.92. Keeps
+    # this estimator pinned to the C++ one (test_observability.cc goldens).
+    hist = artifact()["histograms"]["phase.fields_us"]
+    for label, q, want in (("p50", 0.50, 12.0), ("p99", 0.99, 15.92)):
+        checks += 1
+        got = percentile(hist, q)
+        ok = abs(got - want) < 1e-9
+        status = "ok" if ok else "FAIL"
+        print(f"self-test {status}: {label} golden ({got} vs {want})")
+        if not ok:
+            failures.append(f"{label} golden")
+
+    print(f"self-test: {checks - len(failures)}/{checks} passed")
     return 1 if failures else 0
 
 

@@ -1,0 +1,239 @@
+#!/usr/bin/env python3
+"""Validate firmres telemetry artifacts: serve-mode stats streams and
+OpenMetrics expositions.
+
+Usage:
+  check_stats_schema.py [--serve-log serve.jsonl] [--openmetrics m.prom]
+  check_stats_schema.py --self-test
+
+--serve-log validates a `firmres serve` output stream (JSONL, one record
+per line): the session must open with a `ready` record and close with
+`bye`, every line must parse as JSON, and every `stats` heartbeat must
+carry the full schema documented in docs/OBSERVABILITY.md — seq strictly
+increasing, jobs/throughput/phases/cache/pool sections present, each phase
+entry a complete count/p50/p90/p99/max quartet with max >= p50, and the
+cache hit rate inside [0, 1]. At least one stats record is required, so
+running serve without --stats-interval fails this check by design.
+
+--openmetrics validates an exposition written by --metrics-format prom:
+a single `# EOF` terminator on the last line, every sample formatted as
+`name value` or `name{le="..."} value`, cumulative histogram buckets
+monotone non-decreasing with the `+Inf` bucket equal to `_count`.
+
+Exit 0 = all named artifacts valid, 1 = validation failure, 2 = usage.
+CI runs this (blocking) against a live serve session over the synthesized
+corpus; the --self-test mode feeds known-good and known-bad documents
+through both validators and is wired into ctest as stats_schema_selftest.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+STATS_SECTIONS = ("seq", "uptime_s", "interval_s", "jobs", "throughput",
+                  "phases", "cache", "pool")
+JOBS_KEYS = ("accepted", "done", "in_flight", "queue_depth")
+PHASE_KEYS = ("count", "p50", "p90", "p99", "max")
+
+
+def check_serve_log(body, errors):
+    records = []
+    for line_no, line in enumerate(body.splitlines(), 1):
+        if not line.strip():
+            continue
+        try:
+            records.append((line_no, json.loads(line)))
+        except json.JSONDecodeError as e:
+            errors.append(f"line {line_no}: not JSON: {e}")
+            return
+    if not records:
+        errors.append("empty serve log")
+        return
+    if records[0][1].get("event") != "ready":
+        errors.append("first record is not a ready handshake")
+    if records[-1][1].get("event") != "bye":
+        errors.append("last record is not a bye")
+
+    stats = [(n, r) for n, r in records if r.get("event") == "stats"]
+    if not stats:
+        errors.append("no stats heartbeat records (was --stats-interval set?)")
+        return
+
+    prev_seq = 0
+    for line_no, record in stats:
+        where = f"line {line_no} (stats)"
+        for key in STATS_SECTIONS:
+            if key not in record:
+                errors.append(f"{where}: missing {key}")
+        seq = record.get("seq", 0)
+        if seq <= prev_seq:
+            errors.append(f"{where}: seq {seq} not increasing")
+        prev_seq = seq
+
+        jobs = record.get("jobs", {})
+        for key in JOBS_KEYS:
+            if key not in jobs:
+                errors.append(f"{where}: jobs missing {key}")
+        throughput = record.get("throughput", {})
+        for key in ("devices_analyzed", "devices_per_s"):
+            if key not in throughput:
+                errors.append(f"{where}: throughput missing {key}")
+        for name, entry in record.get("phases", {}).items():
+            for key in PHASE_KEYS:
+                if key not in entry:
+                    errors.append(f"{where}: phase {name} missing {key}")
+            if all(k in entry for k in PHASE_KEYS):
+                if entry["max"] + 1e-9 < entry["p50"]:
+                    errors.append(f"{where}: phase {name} max < p50")
+        cache = record.get("cache", {})
+        rate = cache.get("hit_rate")
+        if rate is not None and not 0.0 <= rate <= 1.0:
+            errors.append(f"{where}: cache hit_rate {rate} outside [0, 1]")
+
+
+SAMPLE_RE = re.compile(
+    r'^[a-zA-Z_:][a-zA-Z0-9_:]*(\{le="[^"]*"\})? -?[0-9][0-9.eE+-]*$')
+
+
+def check_openmetrics(body, errors):
+    lines = body.splitlines()
+    if not lines or lines[-1] != "# EOF":
+        errors.append("missing # EOF terminator on the last line")
+    if sum(1 for line in lines if line == "# EOF") > 1:
+        errors.append("more than one # EOF")
+
+    # name -> cumulative bucket values in order of appearance.
+    buckets = {}
+    counts = {}
+    for line_no, line in enumerate(lines, 1):
+        if not line or line.startswith("#"):
+            continue
+        if not SAMPLE_RE.match(line):
+            errors.append(f"line {line_no}: not an OpenMetrics sample: {line}")
+            continue
+        name, value = line.rsplit(" ", 1)
+        if "_bucket{le=" in name:
+            base = name.split("_bucket{le=")[0]
+            buckets.setdefault(base, []).append((line_no, float(value)))
+        elif name.endswith("_count"):
+            counts[name[: -len("_count")]] = float(value)
+
+    for base, series in buckets.items():
+        for (_, prev), (line_no, cur) in zip(series, series[1:]):
+            if cur < prev:
+                errors.append(
+                    f"line {line_no}: {base} bucket not monotone "
+                    f"({cur} < {prev})")
+        if base in counts and series and series[-1][1] != counts[base]:
+            errors.append(
+                f"{base}: +Inf bucket {series[-1][1]:g} != count "
+                f"{counts[base]:g}")
+
+
+def validate(path, checker):
+    try:
+        with open(path, encoding="utf-8") as f:
+            body = f.read()
+    except OSError as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    errors = []
+    checker(body, errors)
+    for message in errors:
+        print(f"FAIL {path}: {message}")
+    if not errors:
+        print(f"ok   {path}")
+    return not errors
+
+
+GOOD_STATS = json.dumps({
+    "event": "stats", "seq": 1, "uptime_s": 0.5, "interval_s": 0.5,
+    "jobs": {"accepted": 1, "done": 1, "in_flight": 0, "queue_depth": 0},
+    "throughput": {"devices_analyzed": 2, "devices_per_s": 4.0},
+    "phases": {"fields_us": {"count": 2, "p50": 12.0, "p90": 15.2,
+                             "p99": 15.92, "max": 16.0}},
+    "cache": {"hits": 0, "misses": 2, "hit_rate": 0.0},
+    "pool": {"queue_depth_max": 1},
+}, separators=(",", ":"))
+
+GOOD_SERVE = (
+    '{"event":"ready","format":"firmres-serve"}\n'
+    + GOOD_STATS + "\n"
+    + '{"event":"bye","jobs":1}\n'
+)
+
+GOOD_PROM = """# TYPE firmres_probe_requests counter
+firmres_probe_requests_total 26
+# TYPE firmres_probe_latency_us histogram
+firmres_probe_latency_us_bucket{le="7"} 10
+firmres_probe_latency_us_bucket{le="63"} 26
+firmres_probe_latency_us_bucket{le="+Inf"} 26
+firmres_probe_latency_us_sum 180
+firmres_probe_latency_us_count 26
+# EOF
+"""
+
+
+def self_test():
+    failures = []
+    checks = 0
+
+    def check(name, checker, body, want_valid):
+        nonlocal checks
+        checks += 1
+        errors = []
+        checker(body, errors)
+        ok = (not errors) == want_valid
+        status = "ok" if ok else "FAIL"
+        print(f"self-test {status}: {name}"
+              + (f" ({errors[0]})" if errors and not ok else ""))
+        if not ok:
+            failures.append(name)
+
+    check("well-formed serve log passes", check_serve_log, GOOD_SERVE, True)
+    check("serve log without stats fails", check_serve_log,
+          GOOD_SERVE.replace(GOOD_STATS + "\n", ""), False)
+    check("stats missing a section fails", check_serve_log,
+          GOOD_SERVE.replace('"cache":', '"notcache":'), False)
+    check("non-monotone seq fails", check_serve_log,
+          '{"event":"ready"}\n'
+          + GOOD_STATS + "\n" + GOOD_STATS + "\n"  # seq repeats
+          + '{"event":"bye"}\n', False)
+    check("hit rate above 1 fails", check_serve_log,
+          GOOD_SERVE.replace('"hit_rate":0.0', '"hit_rate":1.5'), False)
+    check("unterminated serve log fails", check_serve_log,
+          GOOD_SERVE.replace('{"event":"bye","jobs":1}\n', ""), False)
+    check("well-formed exposition passes", check_openmetrics, GOOD_PROM, True)
+    check("missing # EOF fails", check_openmetrics,
+          GOOD_PROM.replace("# EOF\n", ""), False)
+    check("non-monotone buckets fail", check_openmetrics,
+          GOOD_PROM.replace('le="63"} 26', 'le="63"} 5'), False)
+    check("+Inf != count fails", check_openmetrics,
+          GOOD_PROM.replace('le="+Inf"} 26', 'le="+Inf"} 25'), False)
+    check("garbage sample line fails", check_openmetrics,
+          GOOD_PROM.replace("_sum 180", "_sum one-eighty"), False)
+
+    print(f"self-test: {checks - len(failures)}/{checks} passed")
+    return 1 if failures else 0
+
+
+def main():
+    if "--self-test" in sys.argv[1:]:
+        return self_test()
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--serve-log", metavar="PATH")
+    parser.add_argument("--openmetrics", metavar="PATH")
+    args = parser.parse_args()
+    if not args.serve_log and not args.openmetrics:
+        parser.error("nothing to validate: pass --serve-log or --openmetrics")
+    ok = True
+    if args.serve_log:
+        ok &= validate(args.serve_log, check_serve_log)
+    if args.openmetrics:
+        ok &= validate(args.openmetrics, check_openmetrics)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,8 +9,11 @@
 //   firmres hunt <image-dir>...           probe clouds, report vulnerabilities
 //   firmres components <registry> <image-dir>... [--json]
 //                                         inventory known library components
-//   firmres serve [--jobs N]              long-running analysis service on
+//   firmres serve [--jobs N] [--stats-interval S]
+//                                         long-running analysis service on
 //                                         stdin/stdout (docs/CACHING.md)
+//   firmres stats <artifact>...           aggregate metrics/events/serve
+//                                         artifacts across runs
 //   firmres explain <report.json> --device N [--field K]
 //                                         render field derivations from a report
 //   firmres ir <image-dir> <exec-path>    print a lifted executable
@@ -21,8 +24,9 @@
 // Images use the directory format of firmware/serializer.h. `analyze`
 // prints the human report by default and the JSON report with --json;
 // given several image directories it fans out on a CorpusRunner.
-// analyze/hunt/lint all take the observability flags (--trace-out,
-// --metrics-out, --metrics-runtime — docs/OBSERVABILITY.md).
+// analyze/hunt/lint/serve all take the observability flags (--trace-out,
+// --profile-out, --metrics-out, --metrics-format,
+// --metrics-include-runtime — docs/OBSERVABILITY.md).
 // analyze/hunt/serve take --cache-dir <dir> to reuse per-function analysis
 // artifacts across runs, and --cache-stats to print the hit/miss summary
 // to stderr on exit (docs/CACHING.md).
@@ -56,6 +60,7 @@
 #include "core/report.h"
 #include "core/sdk_registry.h"
 #include "core/serve.h"
+#include "core/stats.h"
 #include "firmware/serializer.h"
 #include "firmware/synthesizer.h"
 #include "nlp/trainer.h"
@@ -65,6 +70,7 @@
 #include "support/logging.h"
 #include "support/observability/events.h"
 #include "support/observability/metrics.h"
+#include "support/observability/profile.h"
 #include "support/observability/trace.h"
 #include "support/strings.h"
 
@@ -83,7 +89,9 @@ int usage() {
                "[--jobs N] [--progress]\n"
                "  firmres lint <image-dir>... [--json] [--werror] [--jobs N]\n"
                "  firmres hunt <image-dir>... [--jobs N] [--progress]\n"
-               "  firmres serve [--jobs N] [--model <path>] [--stream-events]\n"
+               "  firmres serve [--jobs N] [--model <path>] [--stream-events] "
+               "[--stats-interval S]\n"
+               "  firmres stats <artifact>...\n"
                "  firmres components <registry> <image-dir>... [--json]\n"
                "  firmres explain <report.json> --device N [--field K]\n"
                "  firmres synth <dir> [--device N] [--sdk | --memory] "
@@ -95,11 +103,18 @@ int usage() {
                "analyze/lint/hunt/serve also accept the observability flags\n"
                "(docs/OBSERVABILITY.md, docs/PROVENANCE.md):\n"
                "  --trace-out <path>    write a chrome://tracing JSON trace\n"
+               "  --profile-out <path>  write a collapsed-stack span profile\n"
+               "                        (speedscope / flamegraph.pl input)\n"
                "  --metrics-out <path>  write the metrics dump (.json = JSON,\n"
                "                        anything else = flat text)\n"
-               "  --metrics-runtime     include Runtime-kind metrics in the\n"
-               "                        dump (off by default: the Work-only\n"
-               "                        dump is byte-identical at any --jobs)\n"
+               "  --metrics-format <f>  force the dump format: json, or prom\n"
+               "                        (OpenMetrics text exposition)\n"
+               "  --metrics-include-runtime\n"
+               "                        include Runtime-kind metrics (phase\n"
+               "                        latencies, queue depth) in the dump\n"
+               "                        (off by default: the Work-only dump\n"
+               "                        is byte-identical at any --jobs;\n"
+               "                        --metrics-runtime is an alias)\n"
                "  --events-out <path>   write the decision-event log (JSONL,\n"
                "                        byte-identical at any --jobs)\n"
                "\n"
@@ -122,7 +137,14 @@ int usage() {
                "\n"
                "serve reads one command per line from stdin (`analyze\n"
                "<image-dir>...`, `ping`, `quit`) and streams one JSON object\n"
-               "per line to stdout — see docs/CACHING.md for the protocol.\n");
+               "per line to stdout — see docs/CACHING.md for the protocol.\n"
+               "serve --stats-interval S emits a `stats` heartbeat line every\n"
+               "S seconds (req/s, per-phase latency percentiles, cache hit\n"
+               "rate, queue depth — docs/OBSERVABILITY.md).\n"
+               "\n"
+               "stats aggregates saved artifacts (--metrics-out dumps,\n"
+               "--events-out logs, serve streams) across runs into one table\n"
+               "with percentiles recomputed from the merged buckets.\n");
   return kExitUsage;
 }
 
@@ -282,19 +304,33 @@ void print_cache_stats(const CacheFlags& flags) {
                static_cast<unsigned long long>(s.load_errors));
 }
 
-/// Consumes the shared observability flags (--trace-out, --metrics-out,
-/// --metrics-runtime) and writes the requested exports when the command
-/// finishes, whichever return path it takes. Tracing is switched on only
-/// when --trace-out was given — a plain run pays one relaxed atomic load
-/// per span site (docs/OBSERVABILITY.md).
+/// Consumes the shared observability flags (--trace-out, --profile-out,
+/// --metrics-out, --metrics-format, --metrics-runtime /
+/// --metrics-include-runtime, --events-out) and writes the requested
+/// exports when the command finishes, whichever return path it takes.
+/// Tracing is switched on only when --trace-out or --profile-out was
+/// given — a plain run pays one relaxed atomic load per span site
+/// (docs/OBSERVABILITY.md).
 class ObsWriter {
  public:
   explicit ObsWriter(std::vector<std::string>& args)
       : trace_out_(take_value_flag(args, "--trace-out")),
+        profile_out_(take_value_flag(args, "--profile-out")),
         metrics_out_(take_value_flag(args, "--metrics-out")),
-        events_out_(take_value_flag(args, "--events-out")),
-        include_runtime_(take_flag(args, "--metrics-runtime")) {
-    if (trace_out_.has_value()) support::trace::set_enabled(true);
+        metrics_format_(take_value_flag(args, "--metrics-format")),
+        events_out_(take_value_flag(args, "--events-out")) {
+    // Both spellings must be consumed unconditionally — short-circuiting
+    // would leave the second one behind as an "unknown flag".
+    const bool runtime_short = take_flag(args, "--metrics-runtime");
+    const bool runtime_long = take_flag(args, "--metrics-include-runtime");
+    include_runtime_ = runtime_short || runtime_long;
+    if (metrics_format_.has_value() && *metrics_format_ != "json" &&
+        *metrics_format_ != "prom") {
+      throw support::ParseError("--metrics-format must be 'json' or 'prom', got '" +
+                                *metrics_format_ + "'");
+    }
+    if (trace_out_.has_value() || profile_out_.has_value())
+      support::trace::set_enabled(true);
     if (events_out_.has_value()) support::events::set_enabled(true);
   }
 
@@ -303,12 +339,23 @@ class ObsWriter {
 
   ~ObsWriter() {
     try {
-      if (trace_out_.has_value()) {
+      if (trace_out_.has_value() || profile_out_.has_value()) {
         support::trace::set_enabled(false);
-        support::trace::write_chrome_trace(*trace_out_);
+        // collect() drains the span buffers, so the trace and profile
+        // exporters must share one collection.
+        const std::vector<support::trace::Event> events =
+            support::trace::collect();
+        if (trace_out_.has_value())
+          support::trace::write_chrome_trace(*trace_out_, events);
+        if (profile_out_.has_value())
+          support::profile::write_collapsed(*profile_out_, events);
       }
       if (metrics_out_.has_value()) {
-        if (std::string_view(*metrics_out_).ends_with(".json"))
+        if (metrics_format_.value_or("") == "prom")
+          support::metrics::write_openmetrics(*metrics_out_,
+                                              include_runtime_);
+        else if (metrics_format_.value_or("") == "json" ||
+                 std::string_view(*metrics_out_).ends_with(".json"))
           support::metrics::write_json(*metrics_out_, include_runtime_);
         else
           support::metrics::write_text(*metrics_out_, include_runtime_);
@@ -325,7 +372,9 @@ class ObsWriter {
 
  private:
   std::optional<std::string> trace_out_;
+  std::optional<std::string> profile_out_;
   std::optional<std::string> metrics_out_;
+  std::optional<std::string> metrics_format_;
   std::optional<std::string> events_out_;
   bool include_runtime_;
 };
@@ -586,6 +635,19 @@ int cmd_hunt(std::vector<std::string> args) {
 int cmd_serve(std::vector<std::string> args) {
   const int jobs = take_jobs_flag(args);
   const bool stream_events = take_flag(args, "--stream-events");
+  double stats_interval_s = 0.0;
+  if (const auto interval = take_value_flag(args, "--stats-interval")) {
+    std::size_t consumed = 0;
+    try {
+      stats_interval_s = std::stod(*interval, &consumed);
+    } catch (const std::exception&) {
+      consumed = 0;
+    }
+    if (consumed != interval->size() || stats_interval_s <= 0.0)
+      throw support::ParseError("invalid --stats-interval value '" +
+                                *interval +
+                                "' (expected seconds > 0, e.g. 5 or 0.5)");
+  }
   const std::string model_path =
       take_value_flag(args, "--model").value_or("");
   const CacheFlags cache = take_cache_flags(args);
@@ -607,6 +669,7 @@ int cmd_serve(std::vector<std::string> args) {
   core::ServeSession::Options serve_options;
   serve_options.jobs = jobs;
   serve_options.stream_events = stream_events;
+  serve_options.stats_interval_s = stats_interval_s;
   if (stream_events) support::events::set_enabled(true);
 
   core::ServeSession session(model, pipeline_options, serve_options);
@@ -798,6 +861,19 @@ int cmd_components(std::vector<std::string> args) {
   return 0;
 }
 
+/// Aggregate saved telemetry artifacts — --metrics-out dumps, --events-out
+/// logs, serve-mode JSONL streams — across any number of runs into one
+/// table with percentiles recomputed from the merged buckets
+/// (core/stats.h, docs/OBSERVABILITY.md).
+int cmd_stats(const std::vector<std::string>& args) {
+  if (!reject_unknown_flags("stats", args)) return kExitUnknownFlag;
+  if (args.empty()) return usage();
+  const core::stats::Aggregate aggregate =
+      core::stats::aggregate_artifacts(args);
+  std::printf("%s", core::stats::render_table(aggregate).c_str());
+  return 0;
+}
+
 /// Render root-to-leaf field derivations from a saved report JSON; no
 /// firmware image or re-analysis needed (core/explain.h).
 int cmd_explain(std::vector<std::string> args) {
@@ -871,6 +947,7 @@ int main(int argc, char** argv) {
     if (cmd == "hunt") return cmd_hunt(args);
     if (cmd == "serve") return cmd_serve(args);
     if (cmd == "components") return cmd_components(args);
+    if (cmd == "stats") return cmd_stats(args);
     if (cmd == "explain") return cmd_explain(args);
     if (cmd == "ir") return cmd_ir(args);
     if (cmd == "train") return cmd_train(args);
